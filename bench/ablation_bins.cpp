@@ -1,0 +1,71 @@
+// Ablation: address-range bin count (§5.2).
+//
+// The paper: "selecting the number of bins for variables is important. A
+// large number of bins can show fine-grained hot ranges but may ignore
+// some important patterns"; the default is five bins for variables larger
+// than five pages, configurable via an environment variable. This ablation
+// profiles the AMG workload at several bin counts and reports, for
+// RAP_diag_data, the per-thread hot-range width and the resulting pattern
+// classification in both the whole program and the dominant region. With
+// ONE bin (the naive min/max strategy) stray accesses smear every thread's
+// range to nearly the whole variable and the pattern is unusable; with a
+// handful of bins the hot blocks emerge.
+
+#include "apps/miniamg.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("Ablation: bin count for address-centric attribution (§5.2)");
+
+  support::Table table({"bins", "context", "mean hot width", "pattern",
+                        "action"});
+
+  for (const std::uint32_t bins : {1u, 2u, 5u, 10u, 20u}) {
+    simrt::Machine machine(numasim::amd_magny_cours());
+    core::ProfilerConfig cfg = ibs_config(500);
+    cfg.address_bins = bins;
+    core::Profiler profiler(machine, cfg);
+    apps::run_miniamg(machine, {.threads = 48,
+                          .rows_per_thread = 512,
+                          .nnz_per_row = 4,
+                          .relax_sweeps = 5,
+                          .matvec_sweeps = 1,
+                          .variant = apps::Variant::kBaseline});
+    const core::SessionData data = profiler.snapshot();
+    const core::Analyzer analyzer(data);
+    const core::Advisor advisor(analyzer);
+    const auto id = find_variable(data, "RAP_diag_data");
+
+    const auto relax_frame = [&]() -> simrt::FrameId {
+      for (simrt::FrameId f = 0; f < data.frames.size(); ++f) {
+        if (data.frames[f].name == "hypre_BoomerAMGRelax._omp") return f;
+      }
+      return core::kWholeProgram;
+    }();
+
+    for (const auto& [label, context] :
+         {std::pair{"whole program", core::kWholeProgram},
+          std::pair{"relax region", relax_frame}}) {
+      const auto pattern = advisor.classify(id, context);
+      const auto rec = advisor.recommend(id);
+      table.add_row({std::to_string(bins), label,
+                     support::format_fixed(pattern.mean_width, 3),
+                     std::string(to_string(pattern.kind)),
+                     context == core::kWholeProgram
+                         ? std::string(to_string(rec.action))
+                         : ""});
+    }
+  }
+  std::cout << table.to_text();
+
+  std::cout
+      << "\nReading: in the relax region the TRUE per-thread footprint is a\n"
+         "1/48-wide block. One bin cannot separate it from stray accesses\n"
+         "(hot width ~1.0); five bins recover the block; more bins refine\n"
+         "the estimate further at higher profile volume. The advisor's\n"
+         "action is stable once bins >= 5 (the paper's default).\n";
+  return 0;
+}

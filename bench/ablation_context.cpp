@@ -1,0 +1,95 @@
+// Ablation: whole-program vs per-context address-centric analysis (§5.2,
+// the Fig. 4-vs-Fig. 5 design choice).
+//
+// Prior data-centric tools stop at "RAP_diag_data has many remote
+// accesses". Whole-program range analysis adds a pattern — but a smeared
+// one. Only the per-calling-context refinement (weighted by latency)
+// recovers the dominant region's blocked pattern. This ablation compares
+// the optimization each analysis level implies and measures what actually
+// happens to AMG's solver time when each is applied, demonstrating that
+// the context-sensitive advice is the one worth shipping.
+
+#include "apps/miniamg.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("Ablation: context-sensitive vs whole-program pattern analysis");
+
+  const apps::AmgConfig base_cfg{.threads = 48,
+                                 .rows_per_thread = 1024,
+                                 .nnz_per_row = 4,
+                                 .relax_sweeps = 5,
+                                 .matvec_sweeps = 1,
+                                 .variant = apps::Variant::kBaseline};
+
+  simrt::Machine machine(numasim::amd_magny_cours());
+  core::Profiler profiler(machine, ibs_config(500));
+  const apps::AmgRun baseline = run_miniamg(machine, base_cfg);
+  const core::SessionData data = profiler.snapshot();
+  const core::Analyzer analyzer(data);
+  const core::Advisor advisor(analyzer);
+  const auto id = find_variable(data, "RAP_diag_data");
+
+  const auto whole = advisor.classify(id, core::kWholeProgram);
+  const auto rec = advisor.recommend(id);
+
+  subheading("what each analysis level concludes for RAP_diag_data");
+  support::Table table({"analysis level", "observation", "implied fix"});
+  table.add_row({"code/data-centric only (prior tools)",
+                 "many remote accesses, indirect indexing",
+                 "unknown - no layout guidance"});
+  table.add_row({"whole-program ranges (naive §5.2)",
+                 std::string(to_string(whole.kind)),
+                 whole.kind == core::PatternKind::kFullRange ||
+                         whole.kind == core::PatternKind::kIrregular
+                     ? "interleave (suboptimal)"
+                     : std::string(to_string(rec.action))});
+  table.add_row({"per-context ranges (this paper)",
+                 std::string(to_string(rec.guiding.kind)) + " in " +
+                     data.frame_name(rec.guiding_context) + " (" +
+                     support::format_percent(rec.guiding_context_share) +
+                     " of cost)",
+                 std::string(to_string(rec.action))});
+  std::cout << table.to_text();
+
+  subheading("measured outcome of each implied fix (solver time)");
+  const auto run_variant = [&](apps::Variant v) {
+    simrt::Machine m(numasim::amd_magny_cours());
+    apps::AmgConfig cfg = base_cfg;
+    cfg.variant = v;
+    return run_miniamg(m, cfg);
+  };
+  // Interleave-everything is what a pattern-blind (or whole-program-only)
+  // analysis prescribes; the mixed fix follows the per-context advice.
+  const apps::AmgRun interleave = run_variant(apps::Variant::kInterleave);
+  const apps::AmgRun mixed = run_variant(apps::Variant::kBlockwise);
+  support::Table out({"fix", "solver cycles", "vs baseline"});
+  const auto vs = [&](const apps::AmgRun& r) {
+    return speedup_str(static_cast<double>(baseline.solve_cycles),
+                       static_cast<double>(r.solve_cycles));
+  };
+  out.add_row({"baseline", support::format_count(baseline.solve_cycles), "-"});
+  out.add_row({"whole-program advice (interleave everything)",
+               support::format_count(interleave.solve_cycles),
+               vs(interleave)});
+  out.add_row({"per-context advice (blockwise CSR + interleaved vectors)",
+               support::format_count(mixed.solve_cycles), vs(mixed)});
+  std::cout << out.to_text();
+
+  Comparison cmp;
+  cmp.add("whole-program pattern alone is not actionable",
+          "Fig. 4: no obvious pattern",
+          std::string(to_string(whole.kind)),
+          whole.kind != core::PatternKind::kBlocked);
+  cmp.add("per-context analysis recovers the blocked pattern",
+          "Fig. 5: regular", std::string(to_string(rec.guiding.kind)),
+          rec.guiding.kind == core::PatternKind::kBlocked);
+  cmp.add("context-guided fix beats the context-blind fix",
+          "-51% vs -36%", vs(mixed) + " vs " + vs(interleave),
+          mixed.solve_cycles < interleave.solve_cycles);
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablation: the lpi_NUMA severity threshold (§4.2).
+//
+// "Experimentally, we have found that if lpi_NUMA is larger than 0.1 cycle
+// per instruction, the NUMA losses ... are significant enough to warrant
+// optimization." This harness measures lpi_NUMA (IBS, Eq. 2) for all four
+// case-study workloads, applies each one's NUMA fix, and tabulates the
+// realized speedup next to the metric's verdict — the Blackscholes row is
+// the paper's own validation of the metric (§8.3).
+
+#include "apps/miniamg.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/miniumt.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace numaprof;
+using namespace numaprof::bench;
+
+struct RowResult {
+  std::string app;
+  double lpi = 0;
+  bool verdict = false;   // warrants optimization?
+  double speedup = 0;     // realized gain of the fix, fraction
+};
+
+}  // namespace
+
+int main() {
+  heading("Ablation: validating the lpi_NUMA > 0.1 rule of thumb (§4.2)");
+
+  std::vector<RowResult> rows;
+
+  // LULESH (AMD): blockwise fix, compute phase.
+  {
+    RowResult r{.app = "LULESH"};
+    apps::LuleshConfig cfg{.threads = 48,
+                           .pages_per_thread = 4,
+                           .timesteps = 16,
+                           .variant = apps::Variant::kBaseline};
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, ibs_config(500));
+    const auto base = run_minilulesh(m, cfg);
+    const core::Analyzer an(p.snapshot());
+    r.lpi = an.program().lpi.value_or(0);
+    r.verdict = an.program().warrants_optimization;
+    cfg.variant = apps::Variant::kBlockwise;
+    simrt::Machine m2(numasim::amd_magny_cours());
+    const auto fixed = run_minilulesh(m2, cfg);
+    r.speedup = static_cast<double>(base.compute_cycles) /
+                    static_cast<double>(fixed.compute_cycles) -
+                1.0;
+    rows.push_back(r);
+  }
+
+  // AMG2006 (AMD): mixed fix, solver phase.
+  {
+    RowResult r{.app = "AMG2006"};
+    apps::AmgConfig cfg{.threads = 48,
+                        .rows_per_thread = 1024,
+                        .nnz_per_row = 4,
+                        .relax_sweeps = 5,
+                        .matvec_sweeps = 1,
+                        .variant = apps::Variant::kBaseline};
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, ibs_config(500));
+    const auto base = run_miniamg(m, cfg);
+    const core::Analyzer an(p.snapshot());
+    r.lpi = an.program().lpi.value_or(0);
+    r.verdict = an.program().warrants_optimization;
+    cfg.variant = apps::Variant::kBlockwise;
+    simrt::Machine m2(numasim::amd_magny_cours());
+    const auto fixed = run_miniamg(m2, cfg);
+    r.speedup = static_cast<double>(base.solve_cycles) /
+                    static_cast<double>(fixed.solve_cycles) -
+                1.0;
+    rows.push_back(r);
+  }
+
+  // Blackscholes (AMD): NUMA-isolated AoS fix, compute phase.
+  {
+    RowResult r{.app = "Blackscholes"};
+    apps::BlackscholesConfig cfg;
+    cfg.threads = 48;
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, ibs_config(500));
+    run_miniblackscholes(m, cfg);
+    const core::Analyzer an(p.snapshot());
+    r.lpi = an.program().lpi.value_or(0);
+    r.verdict = an.program().warrants_optimization;
+    cfg.variant = apps::Variant::kAosRegroup;
+    cfg.aos_with_master_init = true;
+    simrt::Machine m2(numasim::amd_magny_cours());
+    const auto remote = run_miniblackscholes(m2, cfg);
+    cfg.aos_with_master_init = false;
+    simrt::Machine m3(numasim::amd_magny_cours());
+    const auto fixed = run_miniblackscholes(m3, cfg);
+    r.speedup = static_cast<double>(remote.compute_cycles) /
+                    static_cast<double>(fixed.compute_cycles) -
+                1.0;
+    rows.push_back(r);
+  }
+
+  // UMT2013 (POWER7, but measured with IBS here so lpi exists):
+  {
+    RowResult r{.app = "UMT2013"};
+    apps::UmtConfig cfg{.threads = 32,
+                        .groups = 64,
+                        .corners = 32,
+                        .angles = 128,
+                        .sweeps = 10,
+                        .variant = apps::Variant::kBaseline};
+    simrt::Machine m(numasim::power7());
+    core::Profiler p(m, ibs_config(500));
+    const auto base = run_miniumt(m, cfg);
+    const core::Analyzer an(p.snapshot());
+    r.lpi = an.program().lpi.value_or(0);
+    r.verdict = an.program().warrants_optimization;
+    cfg.variant = apps::Variant::kParallelInit;
+    simrt::Machine m2(numasim::power7());
+    const auto fixed = run_miniumt(m2, cfg);
+    r.speedup = static_cast<double>(base.total_cycles) /
+                    static_cast<double>(fixed.total_cycles) -
+                1.0;
+    rows.push_back(r);
+  }
+
+  support::Table table({"application", "lpi_NUMA (Eq. 2)",
+                        "verdict (>0.1?)", "realized speedup of fix",
+                        "metric correct?"});
+  bool all_correct = true;
+  for (const RowResult& r : rows) {
+    // "Correct" = the verdict predicts whether the fix pays off (>=4%).
+    const bool worthwhile = r.speedup >= 0.04;
+    const bool correct = worthwhile == r.verdict;
+    all_correct &= correct;
+    table.add_row({r.app, support::format_fixed(r.lpi, 3),
+                   r.verdict ? "optimize" : "skip",
+                   support::format_percent(r.speedup),
+                   correct ? "yes" : "NO"});
+  }
+  std::cout << table.to_text();
+  std::cout << (all_correct
+                    ? "\n[SHAPE OK] the 0.1 cycles/instruction threshold "
+                      "separates the worthwhile fixes from the pointless "
+                      "one, as in §8.3.\n"
+                    : "\n[SHAPE MISMATCH] the threshold misclassified a "
+                      "workload.\n");
+  return 0;
+}

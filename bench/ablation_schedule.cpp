@@ -1,0 +1,166 @@
+// Ablation: iteration schedule x data placement (the §2 design space).
+//
+// §2: co-location is the most powerful optimization WHEN threads have a
+// fixed binding to data; "in cases where there is not a fixed binding
+// between threads and data ... using memory interleaving to avoid
+// contention for a single NUMA domain may be beneficial". This ablation
+// measures the full cross product on one kernel: under static scheduling
+// the block-wise first touch wins big; under dynamic scheduling block-wise
+// placement loses its meaning (chunks land on arbitrary threads) and
+// interleaving becomes the best available placement. The advisor's pattern
+// classification tracks the regime change.
+
+#include "apps/common.hpp"
+#include "bench_common.hpp"
+#include "simrt/omp.hpp"
+
+namespace {
+
+using namespace numaprof;
+using namespace numaprof::bench;
+
+enum class Placement { kMaster, kBlockwise, kInterleave };
+
+std::string_view to_string(Placement p) {
+  switch (p) {
+    case Placement::kMaster: return "master first-touch (baseline)";
+    case Placement::kBlockwise: return "block-wise parallel first touch";
+    case Placement::kInterleave: return "interleave";
+  }
+  return "?";
+}
+
+constexpr std::uint32_t kThreads = 48;
+constexpr std::uint64_t kElems = kThreads * 4 * apps::kElemsPerPage;
+
+numasim::Cycles run_cell(simrt::Schedule schedule, Placement placement,
+                         core::PatternKind* pattern_out = nullptr) {
+  simrt::Machine m(numasim::amd_magny_cours());
+  std::optional<core::Profiler> profiler;
+  if (pattern_out != nullptr) {
+    core::ProfilerConfig cfg = ibs_config(211);
+    profiler.emplace(m, cfg);
+  }
+
+  simos::VAddr data = 0;
+  const simos::PolicySpec policy = placement == Placement::kInterleave
+                                       ? simos::PolicySpec::interleave()
+                                       : simos::PolicySpec::first_touch();
+  parallel_region(m, 1, "alloc", {},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    data = t.malloc(kElems * 8, "grid", policy);
+                    co_return;
+                  });
+  if (placement == Placement::kBlockwise) {
+    parallel_region(m, kThreads, "init._omp", {},
+                    [&](simrt::SimThread& t, std::uint32_t i) -> simrt::Task {
+                      const apps::Slice s =
+                          apps::block_slice(kElems, i, kThreads);
+                      apps::store_lines(t, data, s.begin, s.end);
+                      co_return;
+                    });
+  } else {
+    parallel_region(m, 1, "init", {},
+                    [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                      apps::store_lines(t, data, 0, kElems);
+                      co_return;
+                    });
+  }
+
+  const numasim::Cycles before = m.elapsed();
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    simrt::parallel_for(m, kThreads, "compute._omp", {}, kElems / 8,
+                        schedule, 16,
+                        [&](simrt::SimThread& t, std::uint64_t i) {
+                          t.load(apps::elem_addr(data, i * 8));
+                          t.exec(2);
+                          t.store(apps::elem_addr(data, i * 8));
+                        });
+  }
+  const numasim::Cycles compute = m.elapsed() - before;
+
+  if (pattern_out != nullptr) {
+    const core::SessionData session = profiler->snapshot();
+    const core::Analyzer analyzer(session);
+    const core::Advisor advisor(analyzer);
+    for (const core::Variable& v : session.variables) {
+      if (v.name == "grid") *pattern_out = advisor.classify(v.id).kind;
+    }
+  }
+  return compute;
+}
+
+}  // namespace
+
+int main() {
+  heading("Ablation: iteration schedule x data placement (§2)");
+
+  support::Table table({"schedule", "placement", "compute cycles",
+                        "vs schedule's baseline"});
+  std::map<simrt::Schedule, std::map<Placement, numasim::Cycles>> cells;
+  for (const auto schedule :
+       {simrt::Schedule::kStatic, simrt::Schedule::kDynamic}) {
+    for (const auto placement :
+         {Placement::kMaster, Placement::kBlockwise, Placement::kInterleave}) {
+      cells[schedule][placement] = run_cell(schedule, placement);
+    }
+    const double base =
+        static_cast<double>(cells[schedule][Placement::kMaster]);
+    for (const auto placement :
+         {Placement::kMaster, Placement::kBlockwise, Placement::kInterleave}) {
+      const auto cycles = cells[schedule][placement];
+      table.add_row({std::string(to_string(schedule)),
+                     std::string(to_string(placement)),
+                     support::format_count(cycles),
+                     placement == Placement::kMaster
+                         ? "-"
+                         : speedup_str(base, static_cast<double>(cycles))});
+    }
+  }
+  std::cout << table.to_text();
+
+  subheading("what the tool sees");
+  core::PatternKind static_pattern{}, dynamic_pattern{};
+  run_cell(simrt::Schedule::kStatic, Placement::kMaster, &static_pattern);
+  run_cell(simrt::Schedule::kDynamic, Placement::kMaster, &dynamic_pattern);
+  std::cout << "static schedule  -> pattern: " << to_string(static_pattern)
+            << " (fixed binding: co-locate)\n"
+            << "dynamic schedule -> pattern: " << to_string(dynamic_pattern)
+            << " (no fixed binding: balance instead)\n";
+
+  const auto& st = cells[simrt::Schedule::kStatic];
+  const auto& dy = cells[simrt::Schedule::kDynamic];
+  Comparison cmp;
+  cmp.add("static: block-wise co-location wins", "best placement",
+          support::format_count(st.at(Placement::kBlockwise)),
+          st.at(Placement::kBlockwise) < st.at(Placement::kInterleave) &&
+              st.at(Placement::kBlockwise) < st.at(Placement::kMaster));
+  // Under static scheduling co-location beats interleaving by a wide
+  // margin; under dynamic scheduling both merely balance pages across
+  // domains, so the co-location ADVANTAGE disappears (block-wise placement
+  // degenerates into coarse interleaving when chunks land on arbitrary
+  // threads).
+  const double static_advantage =
+      static_cast<double>(st.at(Placement::kInterleave)) /
+      static_cast<double>(st.at(Placement::kBlockwise));
+  const double dynamic_advantage =
+      static_cast<double>(dy.at(Placement::kInterleave)) /
+      static_cast<double>(dy.at(Placement::kBlockwise));
+  cmp.add("dynamic: co-location's edge over interleave disappears",
+          "ratio ~1 (vs >>1 static)",
+          support::format_fixed(dynamic_advantage, 2) + "x vs " +
+              support::format_fixed(static_advantage, 2) + "x static",
+          dynamic_advantage < 1.2 && static_advantage > 1.5);
+  cmp.add("dynamic: interleaving is beneficial (§2)", "interleave < baseline",
+          support::format_count(dy.at(Placement::kInterleave)) + " < " +
+              support::format_count(dy.at(Placement::kMaster)),
+          dy.at(Placement::kInterleave) < dy.at(Placement::kMaster));
+  cmp.add("tool detects the regime: blocked vs not-blocked",
+          "pattern changes with schedule",
+          std::string(to_string(static_pattern)) + " vs " +
+              std::string(to_string(dynamic_pattern)),
+          static_pattern == core::PatternKind::kBlocked &&
+              dynamic_pattern != core::PatternKind::kBlocked);
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,33 @@
+# Bench binaries land directly in build/bench/ (and nothing else does), so
+# `for b in build/bench/*; do $b; done` runs every table/figure harness.
+set(NUMAPROF_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+function(numaprof_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE numaprof_apps numaprof_core numaprof_osopt)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
+endfunction()
+
+numaprof_bench(table1_sampling_config)
+numaprof_bench(table2_overhead)
+numaprof_bench(fig1_distributions)
+numaprof_bench(fig2_firsttouch)
+numaprof_bench(fig3_lulesh)
+numaprof_bench(lulesh_power7_mrk)
+numaprof_bench(fig4_7_amg)
+numaprof_bench(fig8_9_blackscholes)
+numaprof_bench(fig10_umt)
+numaprof_bench(speedup_summary)
+numaprof_bench(ablation_bins)
+numaprof_bench(ablation_context)
+numaprof_bench(ablation_lpi_threshold)
+numaprof_bench(trace_timeline)
+numaprof_bench(ablation_fabric)
+numaprof_bench(ablation_schedule)
+numaprof_bench(ablation_os_migration)
+
+add_executable(micro_tool_paths ${CMAKE_SOURCE_DIR}/bench/micro_tool_paths.cpp)
+target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core benchmark::benchmark benchmark::benchmark_main)
+set_target_properties(micro_tool_paths PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})

@@ -1,0 +1,92 @@
+// Figure 10 + §8.4: the UMT2013 case study on POWER7 with MRK.
+//
+// The loop kernel of Fig. 10 reads STime(ig, c, Angle) with Angle-planes
+// assigned to threads round-robin. STime is allocated and initialized by
+// the master, so 86% of sampled L3 misses touch remote memory in the
+// paper's run; STime alone accounts for 18.2% of remote accesses and shows
+// a staggered per-thread pattern like Blackscholes' buffer. Parallelizing
+// STime's initialization (each thread first-touches the planes it sweeps)
+// removes most of its remote accesses and yields a modest ~7% speedup —
+// modest because the other master-initialized arrays keep their placement.
+
+#include "apps/miniumt.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("Figure 10 / §8.4: UMT2013 on POWER7 with MRK, 32 threads");
+
+  const apps::UmtConfig base_cfg{.threads = 32,
+                                 .groups = 64,
+                                 .corners = 32,
+                                 .angles = 128,
+                                 .sweeps = 10,
+                                 .variant = apps::Variant::kBaseline};
+
+  simrt::Machine machine(numasim::power7());
+  core::Profiler profiler(machine, mrk_config());
+  const apps::UmtRun baseline = run_miniumt(machine, base_cfg);
+  const core::SessionData data = profiler.snapshot();
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+
+  std::cout << viewer.program_summary();
+  subheading("data-centric view (MRK: sampled L3 misses)");
+  std::cout << viewer.data_centric_table(6).to_text();
+
+  const auto stime = find_variable(data, "STime");
+  subheading("address-centric view of STime: staggered round-robin planes");
+  std::cout << viewer.address_centric_plot(stime, core::kWholeProgram, 48);
+  subheading("first-touch report for STime");
+  std::cout << viewer.first_touch_table(stime).to_text();
+
+  const core::Advisor advisor(analyzer);
+  const auto rec = advisor.recommend(stime);
+  subheading("advisor");
+  std::cout << "pattern: " << to_string(rec.guiding.kind)
+            << "  action: " << to_string(rec.action) << "\nwhy: "
+            << rec.rationale << "\n";
+
+  subheading("applying the fix (parallel STime initialization)");
+  simrt::Machine fixed_m(numasim::power7());
+  apps::UmtConfig fixed_cfg = base_cfg;
+  fixed_cfg.variant = apps::Variant::kParallelInit;
+  const apps::UmtRun fixed = run_miniumt(fixed_m, fixed_cfg);
+  std::cout << "baseline total: " << support::format_count(baseline.total_cycles)
+            << "  fixed total: " << support::format_count(fixed.total_cycles)
+            << "  speedup: "
+            << speedup_str(static_cast<double>(baseline.total_cycles),
+                           static_cast<double>(fixed.total_cycles))
+            << "\n";
+
+  const auto stime_report = analyzer.report(stime);
+  Comparison cmp;
+  cmp.add("most sampled L3 misses are remote", "86%",
+          support::format_percent(analyzer.program().remote_l3_fraction),
+          analyzer.program().remote_l3_fraction > 0.5);
+  cmp.add("heap variables drive a large share of remote accesses", "47%",
+          support::format_percent(
+              analyzer.kind_remote_share(core::VariableKind::kHeap)),
+          analyzer.kind_remote_share(core::VariableKind::kHeap) > 0.3);
+  cmp.add("STime is a top offender", "18.2% of remote accesses",
+          support::format_percent(stime_report.mismatch_share),
+          stime_report.mismatch_share > 0.1);
+  cmp.add("STime pattern: staggered across threads (like Fig. 8)",
+          "staggered",
+          std::string(to_string(rec.guiding.kind)),
+          rec.guiding.kind == core::PatternKind::kStaggeredOverlap ||
+              rec.guiding.kind == core::PatternKind::kBlocked);
+  cmp.add("fix: co-locate via parallel initialization", "parallel init",
+          std::string(to_string(rec.action)),
+          rec.action == core::Action::kRegroupAos ||
+              rec.action == core::Action::kBlockwiseFirstTouch);
+  cmp.add("modest whole-program speedup", "+7%",
+          speedup_str(static_cast<double>(baseline.total_cycles),
+                      static_cast<double>(fixed.total_cycles)),
+          fixed.total_cycles < baseline.total_cycles &&
+              fixed.total_cycles * 3 > baseline.total_cycles * 2);
+  cmp.print();
+  return 0;
+}

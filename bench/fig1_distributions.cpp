@@ -1,0 +1,79 @@
+// Figure 1: three common data distributions on a NUMA architecture.
+//
+// Distribution 1 allocates everything in one domain: locality AND
+// bandwidth problems. Distribution 2 interleaves across domains: the
+// centralized contention disappears, but most accesses are still remote.
+// Distribution 3 co-locates data with computation: local accesses and no
+// centralized contention. This harness measures all three with the same
+// block-partitioned kernel and reports the quantities the figure's caption
+// discusses.
+
+#include "apps/distributions.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("Figure 1: data distributions on an 8-domain NUMA machine");
+
+  support::Table table({"distribution", "runtime (cycles)", "mean latency",
+                        "remote accesses", "controller imbalance",
+                        "requests per domain"});
+  std::map<apps::Distribution, apps::DistributionRun> runs;
+  for (const auto dist :
+       {apps::Distribution::kCentralized, apps::Distribution::kInterleaved,
+        apps::Distribution::kColocated}) {
+    simrt::Machine machine(numasim::amd_magny_cours());
+    const apps::DistributionRun run = apps::run_distribution(
+        machine, {.threads = 48,
+                  .pages_per_thread = 4,
+                  .sweeps = 4,
+                  .distribution = dist});
+    std::string per_domain;
+    for (const auto r : run.controller_requests) {
+      if (!per_domain.empty()) per_domain += " ";
+      per_domain += support::format_count(r);
+    }
+    table.add_row({std::string(to_string(dist)),
+                   support::format_count(run.compute_cycles),
+                   support::format_fixed(run.mean_access_latency, 1),
+                   support::format_percent(run.remote_fraction),
+                   support::format_fixed(run.controller_imbalance, 2),
+                   per_domain});
+    runs.emplace(dist, run);
+  }
+  std::cout << table.to_text();
+
+  const auto& central = runs.at(apps::Distribution::kCentralized);
+  const auto& inter = runs.at(apps::Distribution::kInterleaved);
+  const auto& coloc = runs.at(apps::Distribution::kColocated);
+
+  Comparison cmp;
+  cmp.add("centralized has bandwidth problem", "imbalance ~ domain count",
+          support::format_fixed(central.controller_imbalance, 1),
+          central.controller_imbalance > 4.0);
+  cmp.add("interleaving balances requests", "imbalance ~ 1",
+          support::format_fixed(inter.controller_imbalance, 2),
+          inter.controller_imbalance < 1.3);
+  cmp.add("interleaving keeps the locality problem", "remote ~ (D-1)/D",
+          support::format_percent(inter.remote_fraction),
+          inter.remote_fraction > 0.7);
+  cmp.add("co-location fixes locality", "remote ~ 0",
+          support::format_percent(coloc.remote_fraction),
+          coloc.remote_fraction < 0.05);
+  cmp.add("co-location fastest", "coloc < interleave < centralized",
+          support::format_count(coloc.compute_cycles) + " < " +
+              support::format_count(inter.compute_cycles) + " < " +
+              support::format_count(central.compute_cycles),
+          coloc.compute_cycles < inter.compute_cycles &&
+              inter.compute_cycles < central.compute_cycles);
+  cmp.add("contention inflates latency (\"up to 5x\", §2 [7])",
+          "centralized >> co-located",
+          support::format_fixed(
+              central.mean_access_latency / coloc.mean_access_latency, 2) +
+              "x",
+          central.mean_access_latency > 1.5 * coloc.mean_access_latency);
+  cmp.print();
+  return 0;
+}

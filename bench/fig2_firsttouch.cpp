@@ -1,0 +1,127 @@
+// Figure 2: pinpointing first touches with page protection.
+//
+// The §6 protocol: the allocation wrapper masks permissions on a new heap
+// block's pages; the first access traps; the handler performs code- and
+// data-centric attribution from the fault context, restores permissions,
+// and the access retries. This harness demonstrates the protocol on a
+// workload with one master-initialized and one worker-initialized variable,
+// shows the merged first-touch call paths, and measures the runtime
+// overhead of the trapping (the paper's claim: low, no instrumentation of
+// memory accesses required).
+
+#include "apps/common.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace numaprof;
+using namespace numaprof::bench;
+
+void workload(simrt::Machine& m) {
+  constexpr std::uint32_t kThreads = 16;
+  constexpr std::uint64_t kPages = 32;
+  constexpr std::uint64_t kElems = kPages * apps::kElemsPerPage;
+  simos::VAddr master_var = 0;
+  simos::VAddr worker_var = 0;
+  const auto main_f = m.frames().intern("main", "app.c", 10);
+
+  parallel_region(m, 1, "setup", {main_f},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    {
+                      simrt::ScopedFrame f(t, "alloc_grid", "app.c", 20);
+                      master_var = t.malloc(kElems * 8, "grid");
+                    }
+                    {
+                      simrt::ScopedFrame f(t, "alloc_result", "app.c", 24);
+                      worker_var = t.malloc(kElems * 8, "result");
+                    }
+                    simrt::ScopedFrame init(t, "serial_init", "app.c", 30);
+                    apps::store_lines(t, master_var, 0, kElems);
+                    co_return;
+                  });
+  parallel_region(
+      m, kThreads, "compute._omp", {main_f},
+      [&](simrt::SimThread& t, std::uint32_t index) -> simrt::Task {
+        simrt::ScopedFrame f(t, "parallel_compute", "app.c", 40);
+        const apps::Slice s = apps::block_slice(kElems, index, kThreads);
+        for (std::uint64_t i = s.begin; i < s.end; i += apps::kLineStride) {
+          t.load(apps::elem_addr(master_var, i));
+          t.store(apps::elem_addr(worker_var, i));  // first touch here
+          co_await t.tick();
+        }
+      });
+}
+
+}  // namespace
+
+int main() {
+  heading("Figure 2: first-touch pinpointing via page protection");
+
+  simrt::Machine machine(numasim::amd_magny_cours());
+  core::ProfilerConfig cfg = ibs_config(1000);
+  cfg.track_first_touch = true;
+  core::Profiler profiler(machine, cfg);
+  const double monitored_time = time_seconds([&] { workload(machine); });
+  const core::SessionData data = profiler.snapshot();
+  // Timing comparison below uses fresh machines, best of 3 per side, so
+  // allocator/cache warmup does not masquerade as protocol overhead.
+  const auto timed = [&](bool track) {
+    double best = 1e9;
+    for (int rep = 0; rep < 3; ++rep) {
+      best = std::min(best, time_seconds([&] {
+                        simrt::Machine m2(numasim::amd_magny_cours());
+                        core::ProfilerConfig c2 = ibs_config(1000);
+                        c2.track_first_touch = track;
+                        core::Profiler p2(m2, c2);
+                        workload(m2);
+                      }));
+    }
+    return best;
+  };
+  const double tracked_time = timed(true);
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+
+  subheading("trapped first touches");
+  std::cout << "total fault records: " << data.first_touches.size() << "\n";
+  for (const char* name : {"grid", "result"}) {
+    const auto id = find_variable(data, name);
+    std::cout << "\nvariable '" << name << "':\n"
+              << viewer.first_touch_table(id).to_text();
+  }
+
+  subheading("protocol overhead");
+  const double untracked_time = timed(false);
+  const double overhead =
+      untracked_time > 0 ? tracked_time / untracked_time - 1.0 : 0.0;
+  (void)monitored_time;
+  std::cout << "with first-touch tracking:    "
+            << support::format_fixed(tracked_time * 1e3, 1) << " ms\n"
+            << "without first-touch tracking: "
+            << support::format_fixed(untracked_time * 1e3, 1) << " ms\n"
+            << "overhead: " << support::format_percent(overhead) << "\n";
+
+  Comparison cmp;
+  const auto grid_sites = data.first_touch_sites(find_variable(data, "grid"));
+  const auto result_sites =
+      data.first_touch_sites(find_variable(data, "result"));
+  cmp.add("every page of 'grid' trapped exactly once", "32 pages, one each",
+          support::format_count(grid_sites.empty() ? 0 : grid_sites[0].pages),
+          !grid_sites.empty() && grid_sites[0].pages == 32);
+  cmp.add("'grid' first touch attributed to the serial init",
+          "serial_init call path",
+          grid_sites.empty() ? "?" : data.path_string(grid_sites[0].node),
+          !grid_sites.empty() &&
+              data.path_string(grid_sites[0].node).find("serial_init") !=
+                  std::string::npos);
+  cmp.add("'result' first touches merge across the parallel loop (§6)",
+          "one site, 16 threads",
+          result_sites.empty()
+              ? "?"
+              : std::to_string(result_sites[0].threads.size()) + " threads",
+          !result_sites.empty() && result_sites[0].threads.size() == 16);
+  cmp.add("low overhead (no access instrumentation)", "low",
+          support::format_percent(overhead), overhead < 0.6);
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Figures 4-7 + §8.2: the AMG2006 case study.
+//
+// The whole-program address-centric view of RAP_diag_data shows no usable
+// pattern (Fig. 4), because several regions access it differently. Drilling
+// into the dominant parallel region (hypre_BoomerAMGRelax._omp, ~74% of the
+// variable's NUMA latency) reveals clean per-thread blocks (Fig. 5) that
+// direct a block-wise distribution — something code-centric analysis alone
+// cannot see through the RAP_diag_data[A_diag_i[i]] indirection. The same
+// holds for RAP_diag_j (Figs. 6-7). Applying the mixed fix (block-wise CSR
+// + interleaved full-range vectors) beats interleaving everything:
+// paper -51% vs -36% of solver time.
+
+#include "apps/miniamg.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("Figures 4-7 / §8.2: AMG2006 on AMD Magny-Cours with IBS");
+
+  const apps::AmgConfig base_cfg{.threads = 48,
+                                 .rows_per_thread = 1024,
+                                 .nnz_per_row = 4,
+                                 .relax_sweeps = 5,
+                                 .matvec_sweeps = 1,
+                                 .variant = apps::Variant::kBaseline};
+
+  simrt::Machine machine(numasim::amd_magny_cours());
+  core::Profiler profiler(machine, ibs_config(500));
+  const apps::AmgRun baseline = run_miniamg(machine, base_cfg);
+  const core::SessionData data = profiler.snapshot();
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+  const core::Advisor advisor(analyzer);
+
+  std::cout << viewer.program_summary();
+  subheading("data-centric view");
+  std::cout << viewer.data_centric_table(8).to_text();
+
+  // Figures 4-7: whole-program vs dominant-region views.
+  const auto relax_frame = [&]() -> simrt::FrameId {
+    for (simrt::FrameId f = 0; f < data.frames.size(); ++f) {
+      if (data.frames[f].name == "hypre_BoomerAMGRelax._omp") return f;
+    }
+    return core::kWholeProgram;
+  }();
+  for (const char* name : {"RAP_diag_data", "RAP_diag_j"}) {
+    const auto id = find_variable(data, name);
+    subheading(std::string("whole-program view of ") + name +
+               " (Fig. " + (std::string(name) == "RAP_diag_data" ? "4" : "6") +
+               "): smeared");
+    std::cout << viewer.address_centric_plot(id, core::kWholeProgram, 48);
+    subheading(std::string("relax-region view of ") + name + " (Fig. " +
+               (std::string(name) == "RAP_diag_data" ? "5" : "7") +
+               "): regular blocks");
+    std::cout << viewer.address_centric_plot(id, relax_frame, 48);
+  }
+
+  subheading("region-scoped lpi_NUMA");
+  for (const char* region :
+       {"hypre_BoomerAMGRelax._omp", "hypre_ParCSRMatrixMatvec._omp"}) {
+    const auto node = analyzer.find_region(region);
+    const auto lpi = node ? analyzer.region_lpi(*node) : std::nullopt;
+    std::cout << region << ": "
+              << (lpi ? support::format_fixed(*lpi, 3) : "n/a") << "\n";
+  }
+
+  subheading("advisor (uses the dominant region's pattern)");
+  support::Table advice({"variable", "whole-program pattern",
+                         "guiding context", "context share", "action"});
+  for (const char* name :
+       {"RAP_diag_data", "RAP_diag_j", "RAP_diag_i", "x_vec", "z_aux"}) {
+    const auto id = find_variable(data, name);
+    const auto rec = advisor.recommend(id);
+    advice.add_row({name, std::string(to_string(rec.whole_program.kind)),
+                    data.frame_name(rec.guiding_context),
+                    support::format_percent(rec.guiding_context_share),
+                    std::string(to_string(rec.action))});
+  }
+  std::cout << advice.to_text();
+
+  subheading("solver-phase times");
+  const auto run_variant = [&](apps::Variant v) {
+    simrt::Machine m(numasim::amd_magny_cours());
+    apps::AmgConfig cfg = base_cfg;
+    cfg.variant = v;
+    return run_miniamg(m, cfg);
+  };
+  const apps::AmgRun optimized = run_variant(apps::Variant::kBlockwise);
+  const apps::AmgRun interleave = run_variant(apps::Variant::kInterleave);
+  support::Table speed({"variant", "solver cycles", "reduction vs baseline"});
+  const auto reduction = [&](const apps::AmgRun& run) {
+    return support::format_percent(
+        1.0 - static_cast<double>(run.solve_cycles) /
+                  static_cast<double>(baseline.solve_cycles));
+  };
+  speed.add_row({"baseline", support::format_count(baseline.solve_cycles),
+                 "-"});
+  speed.add_row({"mixed fix (blockwise CSR + interleaved vectors)",
+                 support::format_count(optimized.solve_cycles),
+                 reduction(optimized)});
+  speed.add_row({"interleave everything (prior work)",
+                 support::format_count(interleave.solve_cycles),
+                 reduction(interleave)});
+  std::cout << speed.to_text();
+
+  const auto rap = analyzer.report(find_variable(data, "RAP_diag_data"));
+  const auto rap_rec = advisor.recommend(find_variable(data, "RAP_diag_data"));
+  const double relax_share = rap_rec.guiding_context_share;
+  Comparison cmp;
+  cmp.add("program lpi above threshold, worse than LULESH's workload class",
+          "0.92 > 0.1",
+          support::format_fixed(analyzer.program().lpi.value_or(0), 3),
+          analyzer.program().warrants_optimization);
+  cmp.add("heap dominates remote latency", "61.8%",
+          support::format_percent(
+              analyzer.kind_remote_share(core::VariableKind::kHeap)),
+          analyzer.kind_remote_share(core::VariableKind::kHeap) > 0.5);
+  cmp.add("RAP_diag_data is a top offender", "18.6% of latency",
+          support::format_percent(rap.remote_latency_share),
+          rap.remote_latency_share > 0.08);
+  cmp.add("whole-program pattern not directly usable (Fig. 4)",
+          "no obvious pattern",
+          std::string(to_string(rap_rec.whole_program.kind)),
+          rap_rec.whole_program.kind != core::PatternKind::kBlocked);
+  cmp.add("dominant region carries most of the variable's cost (Fig. 5)",
+          "74.2%", support::format_percent(relax_share), relax_share > 0.5);
+  cmp.add("regional pattern directs block-wise distribution",
+          "block-wise at first touch",
+          std::string(to_string(rap_rec.action)),
+          rap_rec.action == core::Action::kBlockwiseFirstTouch);
+  cmp.add("full-range vectors get interleaving instead", "interleave",
+          std::string(to_string(
+              advisor.recommend(find_variable(data, "x_vec")).action)),
+          advisor.recommend(find_variable(data, "x_vec")).action ==
+              core::Action::kInterleave);
+  cmp.add("mixed fix reduces solver time more than interleave-everything",
+          "-51% vs -36%", reduction(optimized) + " vs " + reduction(interleave),
+          optimized.solve_cycles < interleave.solve_cycles &&
+              interleave.solve_cycles < baseline.solve_cycles);
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// §8.1 (POWER7/MRK half): LULESH measured with marked-event sampling.
+//
+// Without latency support, the diagnosis rests on M_l/M_r and the L3-miss
+// mix: the paper reports 66% of L3 misses touching remote memory, heap
+// arrays accounting for ~65% of remote accesses and the (promoted) stack
+// variable nodelist for ~31%. The fixes behave differently than on AMD:
+// block-wise still wins (+7.5%), but interleaving DEGRADES the total run
+// (-16.4%) — on this 4-domain machine the centralized contention relief is
+// small, while interleaving adds remote cost to the serial initialization
+// and forfeits placement control.
+
+#include "apps/minilulesh.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace numaprof;
+  using namespace numaprof::bench;
+
+  heading("§8.1 on POWER7 with MRK (PM_MRK_FROM_L3MISS)");
+
+  // Sized so the hot arrays (4 x 64 x 4 pages = 4 MiB) exceed one POWER7
+  // L3 (1 MiB) while the worker-local velocity arrays' per-domain share
+  // (768 KiB) fits — as on the real machine, local data caches well and
+  // the centralized arrays keep missing.
+  const apps::LuleshConfig base_cfg{.threads = 64,
+                                    .pages_per_thread = 4,
+                                    .timesteps = 6,
+                                    .variant = apps::Variant::kBaseline};
+
+  simrt::Machine machine(numasim::power7());
+  core::Profiler profiler(machine, mrk_config());
+  const apps::LuleshRun baseline = run_minilulesh(machine, base_cfg);
+  const core::SessionData data = profiler.snapshot();
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+
+  std::cout << viewer.program_summary();
+  subheading("data-centric view (MRK samples = L3 misses)");
+  std::cout << viewer.data_centric_table(8).to_text();
+
+  const auto z = find_variable(data, "z");
+  subheading("address-centric view of z (same blocked shape as on AMD)");
+  std::cout << viewer.address_centric_plot(z);
+
+  subheading("fixes (total time: init + compute phases)");
+  const auto run_variant = [&](apps::Variant v) {
+    simrt::Machine m(numasim::power7());
+    apps::LuleshConfig cfg = base_cfg;
+    cfg.variant = v;
+    return run_minilulesh(m, cfg);
+  };
+  const apps::LuleshRun blockwise = run_variant(apps::Variant::kBlockwise);
+  const apps::LuleshRun interleave = run_variant(apps::Variant::kInterleave);
+  support::Table speed({"variant", "compute cycles", "total cycles",
+                        "speedup (total)"});
+  speed.add_row({"baseline", support::format_count(baseline.compute_cycles),
+                 support::format_count(baseline.total_cycles), "-"});
+  speed.add_row({"blockwise", support::format_count(blockwise.compute_cycles),
+                 support::format_count(blockwise.total_cycles),
+                 speedup_str(static_cast<double>(baseline.total_cycles),
+                             static_cast<double>(blockwise.total_cycles))});
+  speed.add_row({"interleave",
+                 support::format_count(interleave.compute_cycles),
+                 support::format_count(interleave.total_cycles),
+                 speedup_str(static_cast<double>(baseline.total_cycles),
+                             static_cast<double>(interleave.total_cycles))});
+  std::cout << speed.to_text();
+  std::cout << "note: the serial-init phase is a far larger share of this\n"
+               "mini run than of the hour-long original, so the block-wise\n"
+               "total-time gain is amplified; the direction is the claim.\n";
+
+  // Heap vs static shares of remote accesses (M_r based: MRK has no
+  // latency).
+  const double heap_share =
+      analyzer.kind_remote_share(core::VariableKind::kHeap);
+  const double nodelist_share =
+      analyzer.report(find_variable(data, "nodelist")).mismatch_share;
+
+  Comparison cmp;
+  cmp.add("majority of L3 misses are remote", "66%",
+          support::format_percent(analyzer.program().remote_l3_fraction),
+          analyzer.program().remote_l3_fraction > 0.5);
+  cmp.add("heap arrays carry most remote accesses", "65%",
+          support::format_percent(heap_share), heap_share > 0.4);
+  cmp.add("nodelist carries a large share too", "31%",
+          support::format_percent(nodelist_share), nodelist_share > 0.1);
+  cmp.add("no lpi without latency support", "n/a for MRK",
+          analyzer.program().lpi ? "present (wrong)" : "n/a",
+          !analyzer.program().lpi.has_value());
+  cmp.add("block-wise improves the POWER7 run", "+7.5%",
+          speedup_str(static_cast<double>(baseline.total_cycles),
+                      static_cast<double>(blockwise.total_cycles)),
+          blockwise.total_cycles < baseline.total_cycles);
+  cmp.add("interleaving DEGRADES the POWER7 run", "-16.4%",
+          speedup_str(static_cast<double>(baseline.total_cycles),
+                      static_cast<double>(interleave.total_cycles)),
+          interleave.total_cycles > baseline.total_cycles);
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Microbenchmarks of the tool's hot paths (google-benchmark).
+//
+// These are engineering benchmarks, not paper reproductions: they bound
+// the per-event cost of the machinery that runs inside the monitored
+// program (cache model lookups, sampler dispatch, CCT insertion, page-table
+// queries, metric updates) and of the offline stages (merge, serialization).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "apps/minilulesh.hpp"
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "numasim/cache.hpp"
+#include "numasim/system.hpp"
+#include "pmu/mechanisms.hpp"
+#include "simos/page_table.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace numaprof;
+
+void BM_CacheAccess(benchmark::State& state) {
+  numasim::SetAssocCache cache({.sets = 64, .ways = 8, .hit_latency = 3});
+  support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_below(4096)));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_SystemAccessColdStream(benchmark::State& state) {
+  numasim::System system(numasim::amd_magny_cours());
+  std::uint64_t addr = 0;
+  numasim::Cycles now = 0;
+  for (auto _ : state) {
+    const auto result = system.access(0, 3, addr, false, now);
+    benchmark::DoNotOptimize(result.latency);
+    addr += numasim::kLineBytes;
+    now += result.latency;
+  }
+}
+BENCHMARK(BM_SystemAccessColdStream);
+
+void BM_PageTableHomeOf(benchmark::State& state) {
+  simos::PageTable table(8);
+  table.register_region(0, 1 << 16, simos::PolicySpec::interleave());
+  support::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.home_of(rng.next_below(1 << 16), 3));
+  }
+}
+BENCHMARK(BM_PageTableHomeOf);
+
+void BM_CctExtend(benchmark::State& state) {
+  core::Cct cct;
+  support::Rng rng(3);
+  simrt::FrameId path[6];
+  for (auto _ : state) {
+    for (auto& f : path) {
+      f = static_cast<simrt::FrameId>(rng.next_below(64));
+    }
+    benchmark::DoNotOptimize(cct.extend(core::kRootNode, path));
+  }
+}
+BENCHMARK(BM_CctExtend);
+
+void BM_MetricAdd(benchmark::State& state) {
+  core::MetricStore store(8);
+  support::Rng rng(4);
+  for (auto _ : state) {
+    store.add(static_cast<core::NodeId>(rng.next_below(4096)),
+              core::kMemorySamples, 1.0);
+  }
+  benchmark::DoNotOptimize(store.width());
+}
+BENCHMARK(BM_MetricAdd);
+
+void BM_SamplerDispatchIbs(benchmark::State& state) {
+  // Cost of the per-access observer path for a hardware sampler (this is
+  // what every memory access of a monitored program pays).
+  auto config = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  config.period = 1 << 20;  // effectively never fire: measures the fast path
+  pmu::IbsSampler sampler(config);
+  simrt::Machine machine(numasim::test_machine(2, 2));
+  machine.spawn([](simrt::SimThread&) -> simrt::Task { co_return; });
+  machine.run();
+  simrt::AccessEvent event{};
+  event.addr = simos::kStaticBase;
+  for (auto _ : state) {
+    sampler.on_access(machine.thread(0), event);
+  }
+  benchmark::DoNotOptimize(sampler.samples_emitted());
+}
+BENCHMARK(BM_SamplerDispatchIbs);
+
+void BM_SoftIbsStub(benchmark::State& state) {
+  auto config = pmu::EventConfig::mini(pmu::Mechanism::kSoftIbs);
+  pmu::SoftIbsSampler sampler(config);
+  simrt::Machine machine(numasim::test_machine(2, 2));
+  machine.spawn([](simrt::SimThread&) -> simrt::Task { co_return; });
+  machine.run();
+  simrt::AccessEvent event{};
+  event.addr = simos::kStaticBase;
+  for (auto _ : state) {
+    sampler.on_access(machine.thread(0), event);
+  }
+  benchmark::DoNotOptimize(sampler.samples_emitted());
+}
+BENCHMARK(BM_SoftIbsStub);
+
+void BM_ProfileSaveLoad(benchmark::State& state) {
+  simrt::Machine machine(numasim::test_machine(4, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 50;
+  core::Profiler profiler(machine, cfg);
+  apps::run_minilulesh(machine, {.threads = 8,
+                                 .pages_per_thread = 2,
+                                 .timesteps = 2,
+                                 .variant = apps::Variant::kBaseline});
+  const core::SessionData data = profiler.snapshot();
+  for (auto _ : state) {
+    std::stringstream stream;
+    core::save_profile(data, stream);
+    benchmark::DoNotOptimize(core::load_profile(stream).cct.size());
+  }
+}
+BENCHMARK(BM_ProfileSaveLoad);
+
+void BM_AnalyzerMerge(benchmark::State& state) {
+  simrt::Machine machine(numasim::test_machine(4, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 50;
+  core::Profiler profiler(machine, cfg);
+  apps::run_minilulesh(machine, {.threads = 8,
+                                 .pages_per_thread = 2,
+                                 .timesteps = 2,
+                                 .variant = apps::Variant::kBaseline});
+  const core::SessionData data = profiler.snapshot();
+  for (auto _ : state) {
+    const core::Analyzer analyzer(data);
+    benchmark::DoNotOptimize(analyzer.program().samples);
+  }
+}
+BENCHMARK(BM_AnalyzerMerge);
+
+}  // namespace

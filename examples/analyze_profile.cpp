@@ -1,0 +1,96 @@
+// CLI: the hpcprof/hpcviewer analogue as a command-line tool.
+//
+// Loads a profile written by save_profile_file (e.g. by the
+// lulesh_analysis example or your own instrumented run) and either prints
+// the analysis to stdout or writes a full report directory.
+//
+// Usage:
+//   analyze_profile <profile-file>                  # print to stdout
+//   analyze_profile <profile-file> <report-dir>     # write a report tree
+//   analyze_profile --diff <before> <after>         # compare two profiles
+//   analyze_profile --selftest                      # generate + analyze a
+//                                                   # built-in demo profile
+
+#include <iostream>
+
+#include "apps/minilulesh.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/diff.hpp"
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+
+using namespace numaprof;
+
+namespace {
+
+core::SessionData demo_session() {
+  simrt::Machine machine(numasim::amd_magny_cours());
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.record_trace = true;
+  core::Profiler profiler(machine, cfg);
+  apps::run_minilulesh(machine, {.threads = 48,
+                                 .pages_per_thread = 3,
+                                 .timesteps = 8,
+                                 .variant = apps::Variant::kBaseline});
+  return profiler.snapshot();
+}
+
+void print_analysis(const core::SessionData& data) {
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+  std::cout << viewer.program_summary() << "\n"
+            << viewer.data_centric_table(10).to_text() << "\n"
+            << viewer.code_centric_table(10).to_text() << "\n"
+            << viewer.domain_balance_table().to_text() << "\n";
+  const std::string timeline = viewer.trace_timeline();
+  if (!timeline.empty()) std::cout << timeline << "\n";
+
+  const core::Advisor advisor(analyzer);
+  for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+    std::cout << rec.variable_name << ": " << to_string(rec.action) << "\n  "
+              << rec.rationale << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "--selftest") {
+      const core::SessionData data = demo_session();
+      print_analysis(data);
+      return 0;
+    }
+    if (argc >= 4 && std::string(argv[1]) == "--diff") {
+      const core::SessionData before = core::load_profile_file(argv[2]);
+      const core::SessionData after = core::load_profile_file(argv[3]);
+      const core::Analyzer before_an(before);
+      const core::Analyzer after_an(after);
+      std::cout << core::render_diff(core::diff_profiles(before_an, after_an));
+      return 0;
+    }
+    if (argc < 2) {
+      std::cerr << "usage: analyze_profile <profile-file> [report-dir]\n"
+                   "       analyze_profile --diff <before> <after>\n"
+                   "       analyze_profile --selftest\n";
+      return 2;
+    }
+    const core::SessionData data = core::load_profile_file(argv[1]);
+    if (argc >= 3) {
+      const core::Analyzer analyzer(data);
+      const std::string main_file = core::write_report(analyzer, argv[2]);
+      std::cout << "report written; start at " << main_file << "\n";
+    } else {
+      print_analysis(data);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "analyze_profile: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,94 @@
+// Example: the same workload observed through all six address-sampling
+// mechanisms (§3), showing what each can and cannot report.
+//
+// IBS and PEBS-LL support latency (and therefore lpi_NUMA); MRK samples
+// only L3-miss events; PEBS samples all retired instructions but needs
+// skid correction; DEAR samples high-latency loads without NUMA data
+// sources; Soft-IBS needs no PMU at all. The M_l/M_r classification works
+// identically everywhere because it rests on move_pages + thread binding,
+// not on PMU features (§4.1).
+
+#include <iostream>
+
+#include "apps/common.hpp"
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+#include "support/table.hpp"
+
+using namespace numaprof;
+
+namespace {
+
+/// The canonical first-touch pathology: master initializes, workers
+/// process block-wise.
+void run_workload(simrt::Machine& m) {
+  constexpr std::uint32_t kThreads = 24;
+  constexpr std::uint64_t kElems = kThreads * 16 * apps::kElemsPerPage;
+  simos::VAddr grid = 0;
+  const auto main_f = m.frames().intern("main");
+  parallel_region(m, 1, "init", {main_f},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    grid = t.malloc(kElems * 8, "grid");
+                    apps::store_lines(t, grid, 0, kElems);
+                    co_return;
+                  });
+  parallel_region(m, kThreads, "work._omp", {main_f},
+                  [&](simrt::SimThread& t, std::uint32_t i) -> simrt::Task {
+                    const apps::Slice s =
+                        apps::block_slice(kElems, i, kThreads);
+                    for (int sweep = 0; sweep < 6; ++sweep) {
+                      apps::load_lines(t, grid, s.begin, s.end);
+                      co_await t.yield();
+                    }
+                    co_return;
+                  });
+}
+
+}  // namespace
+
+int main() {
+  support::Table table({"mechanism", "samples", "memory samples",
+                        "M_r share", "remote L3 share", "lpi_NUMA",
+                        "verdict"});
+
+  for (const auto mechanism :
+       {pmu::Mechanism::kIbs, pmu::Mechanism::kMrk, pmu::Mechanism::kPebs,
+        pmu::Mechanism::kDear, pmu::Mechanism::kPebsLl,
+        pmu::Mechanism::kSoftIbs}) {
+    simrt::Machine machine(numasim::amd_magny_cours());
+    core::ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(mechanism);
+    // This demo workload is small; sample densely so every mechanism's
+    // columns are populated.
+    cfg.event.period = std::min<std::uint64_t>(cfg.event.period, 250);
+    cfg.event.min_sample_gap = std::min<numasim::Cycles>(
+        cfg.event.min_sample_gap, 5000);
+    core::Profiler profiler(machine, cfg);
+    run_workload(machine);
+    const core::SessionData data = profiler.snapshot();
+    const core::Analyzer analyzer(data);
+    const core::ProgramSummary& p = analyzer.program();
+
+    const double mr_share =
+        p.match + p.mismatch
+            ? static_cast<double>(p.mismatch) /
+                  static_cast<double>(p.match + p.mismatch)
+            : 0.0;
+    table.add_row(
+        {std::string(to_string(mechanism)), support::format_count(p.samples),
+         support::format_count(p.memory_samples),
+         support::format_percent(mr_share),
+         p.l3_miss_samples ? support::format_percent(p.remote_l3_fraction)
+                           : "n/a",
+         p.lpi ? support::format_fixed(*p.lpi, 3) : "n/a",
+         p.warrants_optimization ? "optimize" : "skip"});
+  }
+
+  std::cout << "One workload, six address-sampling mechanisms:\n\n"
+            << table.to_text()
+            << "\nNote how M_r agrees across mechanisms (it relies on\n"
+               "move_pages, not PMU features), while lpi_NUMA exists only\n"
+               "where the hardware reports latency (IBS, PEBS-LL, DEAR).\n";
+  return 0;
+}

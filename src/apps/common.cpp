@@ -1,0 +1,30 @@
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+std::string_view to_string(Variant v) noexcept {
+  switch (v) {
+    case Variant::kBaseline: return "baseline";
+    case Variant::kBlockwise: return "blockwise";
+    case Variant::kInterleave: return "interleave";
+    case Variant::kAosRegroup: return "AoS-regroup";
+    case Variant::kParallelInit: return "parallel-init";
+  }
+  return "?";
+}
+
+void store_lines(simrt::SimThread& t, simos::VAddr base, std::uint64_t begin,
+                 std::uint64_t end) {
+  for (std::uint64_t i = begin; i < end; i += kLineStride) {
+    t.store(elem_addr(base, i));
+  }
+}
+
+void load_lines(simrt::SimThread& t, simos::VAddr base, std::uint64_t begin,
+                std::uint64_t end) {
+  for (std::uint64_t i = begin; i < end; i += kLineStride) {
+    t.load(elem_addr(base, i));
+  }
+}
+
+}  // namespace numaprof::apps

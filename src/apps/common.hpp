@@ -1,0 +1,82 @@
+// Shared plumbing for the mini-app workloads (§8's four benchmarks).
+//
+// Each mini-app reproduces the *memory access structure* its original
+// exhibits — who first-touches which variable, and which per-thread ranges
+// the compute regions read/write — because those two properties are what
+// every diagnosis and fix in the paper's case studies key off.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "numasim/types.hpp"
+#include "simos/types.hpp"
+#include "simrt/machine.hpp"
+#include "simrt/thread.hpp"
+
+namespace numaprof::apps {
+
+/// The optimization variants the case studies compare (§8).
+enum class Variant : std::uint8_t {
+  kBaseline,      // original code: master-thread initialization
+  kBlockwise,     // §8.1/8.2 fix: block-wise distribution via a parallel
+                  // first-touch initialization pass
+  kInterleave,    // prior work's prescription: interleave page allocation
+  kAosRegroup,    // §8.3 fix: regroup SoA sections into an AoS + parallel init
+  kParallelInit,  // §8.4 fix: co-locating parallel initialization only
+};
+
+std::string_view to_string(Variant v) noexcept;
+
+/// Elements per 4 KiB page for 8-byte elements.
+inline constexpr std::uint64_t kElemsPerPage = simos::kPageBytes / 8;
+/// Element stride covering one 64-byte cache line of 8-byte elements.
+inline constexpr std::uint64_t kLineStride = numasim::kLineBytes / 8;
+
+inline simos::VAddr elem_addr(simos::VAddr base, std::uint64_t index,
+                              std::uint32_t elem_size = 8) noexcept {
+  return base + index * elem_size;
+}
+
+/// Writes elements [begin, end) of an 8-byte-element array at cache-line
+/// stride (touching every line, and therefore every page: exactly what an
+/// initialization loop does for first-touch purposes).
+void store_lines(simrt::SimThread& t, simos::VAddr base, std::uint64_t begin,
+                 std::uint64_t end);
+
+/// Reads elements [begin, end) at cache-line stride.
+void load_lines(simrt::SimThread& t, simos::VAddr base, std::uint64_t begin,
+                std::uint64_t end);
+
+/// Measures per-phase virtual durations against a machine's elapsed clock.
+class PhaseClock {
+ public:
+  explicit PhaseClock(const simrt::Machine& machine) noexcept
+      : machine_(&machine), mark_(machine.elapsed()) {}
+
+  /// Cycles since the last lap (or construction), and re-arms.
+  numasim::Cycles lap() noexcept {
+    const numasim::Cycles now = machine_->elapsed();
+    const numasim::Cycles delta = now - mark_;
+    mark_ = now;
+    return delta;
+  }
+
+ private:
+  const simrt::Machine* machine_;
+  numasim::Cycles mark_;
+};
+
+/// Contiguous [begin, end) slice of `total` for worker `index` of `count`.
+struct Slice {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+constexpr Slice block_slice(std::uint64_t total, std::uint32_t index,
+                            std::uint32_t count) noexcept {
+  const std::uint64_t begin = total * index / count;
+  const std::uint64_t end = total * (index + 1) / count;
+  return {begin, end};
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,109 @@
+#include "apps/distributions.hpp"
+
+#include <vector>
+
+#include "simos/numa_api.hpp"
+#include "support/stats.hpp"
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+}  // namespace
+
+std::string_view to_string(Distribution d) noexcept {
+  switch (d) {
+    case Distribution::kCentralized: return "centralized";
+    case Distribution::kInterleaved: return "interleaved";
+    case Distribution::kColocated: return "co-located";
+  }
+  return "?";
+}
+
+DistributionRun run_distribution(Machine& m, const DistributionConfig& cfg) {
+  DistributionRun run;
+  run.elements = static_cast<std::uint64_t>(cfg.threads) *
+                 cfg.pages_per_thread * kElemsPerPage;
+  auto& frames = m.frames();
+  const FrameId main_f = frames.intern("main", "fig1.c", 10);
+  const std::vector<FrameId> base = {main_f};
+
+  PolicySpec policy = PolicySpec::first_touch();
+  switch (cfg.distribution) {
+    case Distribution::kCentralized:
+      policy = PolicySpec::bind(0);
+      break;
+    case Distribution::kInterleaved:
+      policy = PolicySpec::interleave();
+      break;
+    case Distribution::kColocated:
+      policy = PolicySpec::first_touch();
+      break;
+  }
+
+  parallel_region(m, 1, "allocate", base,
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    run.data = t.malloc(run.elements * 8, "data", policy);
+                    co_return;
+                  });
+
+  if (cfg.distribution == Distribution::kColocated) {
+    // Figure 1, distribution 3: the compute threads themselves perform the
+    // first touch on their own blocks, co-locating data with computation.
+    parallel_region(m, cfg.threads, "init._omp", base,
+                    [&](SimThread& t, std::uint32_t index) -> Task {
+                      const Slice s =
+                          block_slice(run.elements, index, cfg.threads);
+                      store_lines(t, run.data, s.begin, s.end);
+                      co_return;
+                    });
+  }
+
+  m.system().reset_stats();
+  const numasim::Cycles before = m.elapsed();
+
+  // Shared latency accumulator across workers: the run is cooperative
+  // (single host thread), so plain aggregation is race-free.
+  support::Accumulator latency;
+  std::uint64_t remote = 0;
+  std::uint64_t total = 0;
+
+  parallel_region(
+      m, cfg.threads, "process._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice s = block_slice(run.elements, index, cfg.threads);
+        for (std::uint32_t sweep = 0; sweep < cfg.sweeps; ++sweep) {
+          for (std::uint64_t i = s.begin; i < s.end; i += kLineStride) {
+            const numasim::Cycles cycles = t.load(elem_addr(run.data, i));
+            latency.add(static_cast<double>(cycles));
+            const auto home = simos::domain_of_addr(
+                m.memory().page_table(), elem_addr(run.data, i));
+            ++total;
+            if (home && *home != t.domain()) ++remote;
+            t.exec(2);
+            t.store(elem_addr(run.data, i));
+            co_await t.tick();
+          }
+          co_await t.yield();
+        }
+        co_return;
+      });
+
+  run.compute_cycles = m.elapsed() - before;
+  run.mean_access_latency = latency.mean();
+  run.remote_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(remote) / static_cast<double>(total);
+  run.controller_requests = m.system().controller_requests();
+  run.controller_imbalance = support::imbalance(run.controller_requests);
+  return run;
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,49 @@
+// Figure 1 workload: one shared array, three data distributions.
+//
+// The paper's Figure 1 contrasts (a) all data in one NUMA domain — locality
+// AND bandwidth problems; (b) data distributed across domains without
+// regard to access affinity (interleaving) — contention fixed, locality
+// not; (c) data co-located with the computation that uses it — both fixed.
+// This workload runs the same block-partitioned read/write kernel under
+// the three placements and reports the measurements that tell them apart:
+// runtime, average access latency, remote access fraction, and per-domain
+// memory-controller request balance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+enum class Distribution : std::uint8_t {
+  kCentralized,  // Figure 1, distribution 1: everything in domain 1
+  kInterleaved,  // Figure 1, distribution 2
+  kColocated,    // Figure 1, distribution 3: blocks live with their threads
+};
+
+std::string_view to_string(Distribution d) noexcept;
+
+struct DistributionConfig {
+  std::uint32_t threads = 48;
+  std::uint32_t pages_per_thread = 4;
+  std::uint32_t sweeps = 4;
+  Distribution distribution = Distribution::kCentralized;
+};
+
+struct DistributionRun {
+  simos::VAddr data = 0;
+  std::uint64_t elements = 0;
+  numasim::Cycles compute_cycles = 0;
+  double mean_access_latency = 0.0;       // cycles, from the kernel itself
+  double remote_fraction = 0.0;           // page-home vs thread-domain
+  std::vector<std::uint64_t> controller_requests;  // per domain
+  double controller_imbalance = 1.0;      // max/mean
+};
+
+DistributionRun run_distribution(simrt::Machine& machine,
+                                 const DistributionConfig& config);
+
+}  // namespace numaprof::apps

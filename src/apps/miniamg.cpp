@@ -1,0 +1,252 @@
+#include "apps/miniamg.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId solve;
+  FrameId build;
+  FrameId alloc_i, alloc_j, alloc_data, alloc_x, alloc_z;
+  FrameId init_loop;
+  FrameId relax_loop;
+  FrameId matvec_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "amg2006.c", 540);
+  fr.solve = f.intern("hypre_BoomerAMGSolve", "par_amg_solve.c", 100);
+  fr.build = f.intern("hypre_BoomerAMGBuildCoarseOperator", "par_rap.c", 52);
+  fr.alloc_i = f.intern("hypre_CTAlloc(RAP_diag_i)", "par_rap.c", 401);
+  fr.alloc_j = f.intern("hypre_CTAlloc(RAP_diag_j)", "par_rap.c", 407);
+  fr.alloc_data = f.intern("hypre_CTAlloc(RAP_diag_data)", "par_rap.c", 413);
+  fr.alloc_x = f.intern("hypre_CTAlloc(x_vec)", "par_vector.c", 88);
+  fr.alloc_z = f.intern("hypre_CTAlloc(z_aux)", "par_vector.c", 95);
+  fr.init_loop = f.intern("rap_init", "par_rap.c", 430,
+                          simrt::FrameKind::kLoop);
+  fr.relax_loop = f.intern("relax_rows", "par_relax.c", 220,
+                           simrt::FrameKind::kLoop);
+  fr.matvec_loop = f.intern("matvec_rows", "par_csr_matvec.c", 140,
+                            simrt::FrameKind::kLoop);
+  return fr;
+}
+
+/// Deterministic "matrix column" for the indirect x_vec access — plays the
+/// role of the RAP_diag_j values used as indices in the original
+/// (RAP_diag_data[A_diag_i[i]]-style indirection, §8.2).
+constexpr std::uint64_t column_of(std::uint64_t row, std::uint32_t k,
+                                  std::uint64_t rows) noexcept {
+  return (row * 2654435761ULL + 911382323ULL * (k + 1)) % rows;
+}
+
+/// Level-decorated variable name: level 0 keeps the paper's exact names.
+std::string level_name(const char* base, std::uint32_t level) {
+  return level == 0 ? base : std::string(base) + "_L" + std::to_string(level);
+}
+
+}  // namespace
+
+AmgRun run_miniamg(Machine& m, const AmgConfig& cfg) {
+  const Frames fr = make_frames(m);
+  const std::uint32_t level_count = cfg.levels == 0 ? 1 : cfg.levels;
+  AmgRun run;
+  run.rows = static_cast<std::uint64_t>(cfg.threads) * cfg.rows_per_thread;
+  run.nnz = run.rows * cfg.nnz_per_row;
+  PhaseClock phase(m);
+
+  const bool interleave_all = cfg.variant == Variant::kInterleave;
+  const bool optimized = cfg.variant == Variant::kBlockwise;
+  // Optimized: CSR arrays get their homes from a parallel first-touch pass;
+  // the full-range vectors are interleaved (the §8.2 mixed prescription).
+  const PolicySpec csr_policy =
+      interleave_all ? PolicySpec::interleave() : PolicySpec::first_touch();
+  const PolicySpec vec_policy =
+      (interleave_all || optimized) ? PolicySpec::interleave()
+                                    : PolicySpec::first_touch();
+
+  const std::vector<FrameId> base = {fr.main, fr.solve};
+
+  // Level geometry: AMG coarsens by ~4x per level.
+  run.levels.resize(level_count);
+  for (std::uint32_t l = 0; l < level_count; ++l) {
+    run.levels[l].rows = std::max<std::uint64_t>(run.rows >> (2 * l),
+                                                 cfg.threads);
+    run.levels[l].nnz = run.levels[l].rows * cfg.nnz_per_row;
+  }
+
+  // --- Setup: allocate + master initialization (every level) -----------
+  parallel_region(
+      m, 1, "hypre_BoomerAMGBuildCoarseOperator", base,
+      [&](SimThread& t, std::uint32_t) -> Task {
+        for (std::uint32_t l = 0; l < level_count; ++l) {
+          AmgLevel& level = run.levels[l];
+          {
+            ScopedFrame a(t, fr.alloc_i);
+            level.rap_diag_i = t.malloc((level.rows + 1) * 8,
+                                        level_name("RAP_diag_i", l),
+                                        csr_policy);
+          }
+          {
+            ScopedFrame a(t, fr.alloc_j);
+            level.rap_diag_j = t.malloc(level.nnz * 8,
+                                        level_name("RAP_diag_j", l),
+                                        csr_policy);
+          }
+          {
+            ScopedFrame a(t, fr.alloc_data);
+            level.rap_diag_data = t.malloc(level.nnz * 8,
+                                           level_name("RAP_diag_data", l),
+                                           csr_policy);
+          }
+          {
+            ScopedFrame a(t, fr.alloc_x);
+            level.x_vec = t.malloc(level.rows * 8, level_name("x_vec", l),
+                                   vec_policy);
+          }
+        }
+        {
+          ScopedFrame a(t, fr.alloc_z);
+          run.z_aux = t.malloc(run.rows * 8, "z_aux", vec_policy);
+        }
+        if (cfg.variant != Variant::kBlockwise) {
+          // Original code: the master builds every coarse operator,
+          // first-touching all pages into its own domain.
+          ScopedFrame init(t, fr.init_loop);
+          for (std::uint32_t l = 0; l < level_count; ++l) {
+            const AmgLevel& level = run.levels[l];
+            store_lines(t, level.rap_diag_i, 0, level.rows + 1);
+            co_await t.tick();
+            store_lines(t, level.rap_diag_j, 0, level.nnz);
+            co_await t.tick();
+            store_lines(t, level.rap_diag_data, 0, level.nnz);
+            co_await t.tick();
+            store_lines(t, level.x_vec, 0, level.rows);
+          }
+          store_lines(t, run.z_aux, 0, run.rows);
+        }
+        co_return;
+      });
+
+  if (cfg.variant == Variant::kBlockwise) {
+    // The paper's fix, applied at the first-touch location the tool
+    // pinpointed: each thread initializes its own row block of every
+    // level's CSR arrays; the interleaved vectors are touched master-side
+    // (their homes are fixed by policy, not by toucher).
+    parallel_region(
+        m, cfg.threads, "rap_init._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame init(t, fr.init_loop);
+          for (std::uint32_t l = 0; l < level_count; ++l) {
+            const AmgLevel& level = run.levels[l];
+            const Slice rows = block_slice(level.rows, index, cfg.threads);
+            const Slice nnz = block_slice(level.nnz, index, cfg.threads);
+            store_lines(t, level.rap_diag_i, rows.begin, rows.end);
+            co_await t.tick();
+            store_lines(t, level.rap_diag_j, nnz.begin, nnz.end);
+            co_await t.tick();
+            store_lines(t, level.rap_diag_data, nnz.begin, nnz.end);
+            co_await t.tick();
+          }
+          if (index == 0) {
+            for (std::uint32_t l = 0; l < level_count; ++l) {
+              store_lines(t, run.levels[l].x_vec, 0, run.levels[l].rows);
+            }
+            store_lines(t, run.z_aux, 0, run.rows);
+          }
+          co_return;
+        });
+  }
+  run.setup_cycles = phase.lap();
+
+  // Level-0 aliases (the paper's names).
+  run.rap_diag_i = run.levels[0].rap_diag_i;
+  run.rap_diag_j = run.levels[0].rap_diag_j;
+  run.rap_diag_data = run.levels[0].rap_diag_data;
+  run.x_vec = run.levels[0].x_vec;
+
+  // --- Solve: V-cycles of relaxation sweeps (block-partitioned rows) ---
+  // Per sweep the cycle relaxes levels 0..L-1 going down and L-2..0 coming
+  // back up; with one level this is exactly one relaxation pass.
+  parallel_region(
+      m, cfg.threads, "hypre_BoomerAMGRelax._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        // One row of relaxation on level `l` (plain body; the coroutine
+        // below owns the suspension points).
+        const auto relax_row = [&](std::uint32_t l, std::uint64_t row) {
+          const AmgLevel& level = run.levels[l];
+          t.load(elem_addr(level.rap_diag_i, row));
+          for (std::uint32_t k = 0; k < cfg.nnz_per_row; ++k) {
+            const std::uint64_t idx = row * cfg.nnz_per_row + k;
+            t.load(elem_addr(level.rap_diag_j, idx));
+            t.load(elem_addr(level.rap_diag_data, idx));
+            t.load(elem_addr(level.x_vec, column_of(row, k, level.rows)));
+          }
+          t.exec(3 * cfg.nnz_per_row);
+          t.store(elem_addr(level.x_vec, row));
+        };
+        // V-cycle level order: down 0..L-1, then up L-2..0.
+        std::vector<std::uint32_t> order;
+        for (std::uint32_t l = 0; l < level_count; ++l) order.push_back(l);
+        for (std::uint32_t l = level_count - 1; l-- > 0;) order.push_back(l);
+
+        for (std::uint32_t sweep = 0; sweep < cfg.relax_sweeps; ++sweep) {
+          ScopedFrame loop(t, fr.relax_loop);
+          for (const std::uint32_t l : order) {
+            const Slice rows =
+                block_slice(run.levels[l].rows, index, cfg.threads);
+            for (std::uint64_t row = rows.begin; row < rows.end; ++row) {
+              relax_row(l, row);
+              co_await t.tick();
+            }
+            co_await t.yield();  // level barrier
+          }
+        }
+        co_return;
+      });
+
+  // --- Solve: matvec sweeps on the finest level (CYCLIC row partition) --
+  // This region's per-thread ranges span the whole CSR arrays, which is
+  // what makes the WHOLE-PROGRAM address-centric view irregular (Fig. 4)
+  // even though the dominant relax region is cleanly blocked (Fig. 5).
+  parallel_region(
+      m, cfg.threads, "hypre_ParCSRMatrixMatvec._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        for (std::uint32_t sweep = 0; sweep < cfg.matvec_sweeps; ++sweep) {
+          ScopedFrame loop(t, fr.matvec_loop);
+          for (std::uint64_t row = index; row < run.rows;
+               row += cfg.threads) {
+            t.load(elem_addr(run.rap_diag_i, row));
+            for (std::uint32_t k = 0; k < cfg.nnz_per_row; ++k) {
+              const std::uint64_t idx = row * cfg.nnz_per_row + k;
+              t.load(elem_addr(run.rap_diag_j, idx));
+              t.load(elem_addr(run.rap_diag_data, idx));
+              t.load(elem_addr(run.z_aux, column_of(row, k, run.rows)));
+            }
+            t.exec(2 * cfg.nnz_per_row);
+            t.store(elem_addr(run.z_aux, row));
+            co_await t.tick();
+          }
+          co_await t.yield();
+        }
+        co_return;
+      });
+  run.solve_cycles = phase.lap();
+  run.total_cycles = run.setup_cycles + run.solve_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

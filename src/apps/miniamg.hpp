@@ -1,0 +1,76 @@
+// MiniAmg: the AMG2006 case study workload (§8.2, Figures 4-7).
+//
+// Memory structure reproduced from the original (a BoomerAMG solve):
+//  - RAP_diag_i / RAP_diag_j / RAP_diag_data: a CSR coarse-grid operator,
+//    allocated and initialized by the master thread. The relaxation region
+//    (hypre_BoomerAMGRelax._omp) partitions ROWS block-wise, so each
+//    thread's INDIRECT accesses RAP_diag_data[RAP_diag_i[row]..] land in a
+//    contiguous blocked range — but only inside that region. A setup pass
+//    (master, full range) and a cyclically-partitioned matvec region smear
+//    the whole-program picture into the irregular pattern of Figs. 4/6,
+//    while the relax region shows the clean blocks of Figs. 5/7 and
+//    carries ~74% of the variable's NUMA latency.
+//  - x_vec / z_aux: vectors read through column indirection by every
+//    thread across their full extent -> the "interleave these" variables.
+//
+// Variants:
+//  - kBaseline: master init everywhere.
+//  - kBlockwise: the paper's fix — block-wise first touch for the CSR
+//    arrays, interleaved allocation for the full-range vectors (solver
+//    time -51% in the paper).
+//  - kInterleave: prior work — interleave every problematic variable
+//    (solver time -36% in the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+struct AmgConfig {
+  std::uint32_t threads = 48;
+  /// CSR rows per thread (scales all arrays).
+  std::uint32_t rows_per_thread = 1024;
+  /// Non-zeros per row (RAP_diag_data/j sizes = rows * nnz_per_row).
+  std::uint32_t nnz_per_row = 4;
+  std::uint32_t relax_sweeps = 5;
+  std::uint32_t matvec_sweeps = 1;
+  /// Multigrid depth. Level k's operator has rows/4^k rows (AMG coarsens
+  /// by ~4x per level); each solve sweep is a V-cycle relaxing down and
+  /// back up the hierarchy. 1 = the single-level behaviour the case-study
+  /// harness calibrates against.
+  std::uint32_t levels = 1;
+  Variant variant = Variant::kBaseline;
+};
+
+/// One multigrid level's coarse operator + solution vector.
+struct AmgLevel {
+  simos::VAddr rap_diag_i = 0;
+  simos::VAddr rap_diag_j = 0;
+  simos::VAddr rap_diag_data = 0;
+  simos::VAddr x_vec = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t nnz = 0;
+};
+
+struct AmgRun {
+  // Level-0 (finest) aliases, matching the paper's variable names.
+  simos::VAddr rap_diag_i = 0;
+  simos::VAddr rap_diag_j = 0;
+  simos::VAddr rap_diag_data = 0;
+  simos::VAddr x_vec = 0;
+  simos::VAddr z_aux = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t nnz = 0;
+  /// The full hierarchy (levels[0] aliases the fields above).
+  std::vector<AmgLevel> levels;
+  numasim::Cycles setup_cycles = 0;
+  numasim::Cycles solve_cycles = 0;  // the paper's "solver phase" time
+  numasim::Cycles total_cycles = 0;
+};
+
+AmgRun run_miniamg(simrt::Machine& machine, const AmgConfig& config);
+
+}  // namespace numaprof::apps

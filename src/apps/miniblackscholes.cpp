@@ -1,0 +1,129 @@
+#include "apps/miniblackscholes.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId alloc_buffer;
+  FrameId alloc_prices;
+  FrameId init_loop;
+  FrameId price_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "blackscholes.c", 310);
+  fr.alloc_buffer = f.intern("malloc(buffer)", "blackscholes.c", 340);
+  fr.alloc_prices = f.intern("malloc(prices)", "blackscholes.c", 346);
+  fr.init_loop = f.intern("init_options", "blackscholes.c", 360,
+                          simrt::FrameKind::kLoop);
+  fr.price_loop = f.intern("BlkSchlsEqEuroNoDiv", "blackscholes.c", 236,
+                           simrt::FrameKind::kLoop);
+  return fr;
+}
+
+inline constexpr std::uint32_t kSections = 5;  // sptprice..otime
+
+}  // namespace
+
+BlackscholesRun run_miniblackscholes(Machine& m,
+                                     const BlackscholesConfig& cfg) {
+  const Frames fr = make_frames(m);
+  BlackscholesRun run;
+  run.options = static_cast<std::uint64_t>(cfg.threads) *
+                cfg.options_per_thread;
+  PhaseClock phase(m);
+
+  const bool aos =
+      cfg.variant == Variant::kAosRegroup || cfg.aos_with_master_init;
+  const bool parallel_init =
+      cfg.variant == Variant::kAosRegroup && !cfg.aos_with_master_init;
+  const PolicySpec policy = cfg.variant == Variant::kInterleave
+                                ? PolicySpec::interleave()
+                                : PolicySpec::first_touch();
+  const std::vector<FrameId> base = {fr.main};
+
+  // Address of option i's field s (s in [0,5)): SoA places the five
+  // sections end-to-end (Fig. 9a); AoS packs the five fields per option
+  // (Fig. 9b).
+  const auto field_addr = [&](std::uint64_t option,
+                              std::uint32_t field) -> simos::VAddr {
+    if (aos) return run.buffer + (option * kSections + field) * 8;
+    return run.buffer + (static_cast<std::uint64_t>(field) * run.options +
+                         option) * 8;
+  };
+
+  // --- Allocation + initialization ------------------------------------
+  parallel_region(
+      m, 1, "main_init", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_buffer);
+          run.buffer =
+              t.malloc(run.options * kSections * 8, "buffer", policy);
+        }
+        {
+          ScopedFrame a(t, fr.alloc_prices);
+          run.prices = t.malloc(run.options * 8, "prices", policy);
+        }
+        if (!parallel_init) {
+          // Original: only the master initializes buffer (§8.3), homing
+          // every page in its domain.
+          ScopedFrame init(t, fr.init_loop);
+          store_lines(t, run.buffer, 0, run.options * kSections);
+        }
+        co_return;
+      });
+
+  if (parallel_init) {
+    // §8.3 fix: parallelize the initialization loop so each thread first
+    // touches its own (now contiguous, AoS) option block.
+    parallel_region(
+        m, cfg.threads, "init_options._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame init(t, fr.init_loop);
+          const Slice s = block_slice(run.options, index, cfg.threads);
+          store_lines(t, run.buffer, s.begin * kSections,
+                      s.end * kSections);
+          co_return;
+        });
+  }
+  run.init_cycles = phase.lap();
+
+  // --- Pricing loop ----------------------------------------------------
+  parallel_region(
+      m, cfg.threads, "bs_thread._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice s = block_slice(run.options, index, cfg.threads);
+        for (std::uint32_t iter = 0; iter < cfg.iterations; ++iter) {
+          ScopedFrame loop(t, fr.price_loop);
+          for (std::uint64_t option = s.begin; option < s.end;
+               option += kLineStride) {
+            for (std::uint32_t field = 0; field < kSections; ++field) {
+              t.load(field_addr(option, field));
+            }
+            t.exec(cfg.flops_per_option);
+            t.store(elem_addr(run.prices, option));
+            co_await t.tick();
+          }
+          co_await t.yield();
+        }
+        co_return;
+      });
+  run.compute_cycles = phase.lap();
+  run.total_cycles = run.init_cycles + run.compute_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

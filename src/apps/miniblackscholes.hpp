@@ -1,0 +1,59 @@
+// MiniBlackscholes: the Blackscholes case study workload (§8.3, Figs. 8-9).
+//
+// Memory structure reproduced from the PARSEC original:
+//  - buffer: ONE heap allocation holding five equal sections (sptprice,
+//    strike, rate, volatility, otime), each section indexed by option.
+//    The master thread initializes it; every worker thread then reads its
+//    option slice from EVERY section, so thread t touches
+//    [t*N/T, t*N/T + 4N + N/T] — the ascending, heavily-overlapping
+//    staggered ranges of Fig. 8/9a.
+//  - prices: per-option output, first-written by the workers (local).
+//
+// The kernel is compute-heavy (the Black-Scholes formula), so even though
+// buffer's pages all live in the master's domain, lpi_NUMA stays below the
+// 0.1 threshold and the paper's verdict is "optimization not worthwhile":
+// the kAosRegroup variant (Fig. 9b: regroup sections into an array of
+// structures + parallel first-touch init) eliminates the remote accesses
+// yet improves runtime by well under 1%.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+struct BlackscholesConfig {
+  std::uint32_t threads = 48;
+  /// Options per thread (buffer holds 5 sections x options doubles).
+  /// Deliberately not a power of two: power-of-two section strides alias
+  /// into the same L2 sets and manufacture conflict misses the real
+  /// workload does not have.
+  std::uint32_t options_per_thread = 480;
+  std::uint32_t iterations = 384;  // PARSEC reruns the pricing loop
+  /// ALU instructions per option: the Black-Scholes formula (CNDF etc.) is
+  /// ~250 flops, which is what keeps memory (and NUMA) off the critical
+  /// path.
+  std::uint32_t flops_per_option = 256;
+  Variant variant = Variant::kBaseline;
+  /// Ablation knob: use the AoS layout but KEEP the master-thread
+  /// initialization. Comparing this against kAosRegroup isolates the pure
+  /// NUMA gain (co-location) from the cache-format gain (an AoS packs one
+  /// option's five fields into a single cache line) — the §8.3 "<0.1%"
+  /// claim is about the former.
+  bool aos_with_master_init = false;
+};
+
+struct BlackscholesRun {
+  simos::VAddr buffer = 0;  // the five-section SoA buffer (or AoS variant)
+  simos::VAddr prices = 0;
+  std::uint64_t options = 0;
+  numasim::Cycles init_cycles = 0;
+  numasim::Cycles compute_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+BlackscholesRun run_miniblackscholes(simrt::Machine& machine,
+                                     const BlackscholesConfig& config);
+
+}  // namespace numaprof::apps

@@ -1,0 +1,184 @@
+#include "apps/minilulesh.hpp"
+
+#include <array>
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId leapfrog;
+  FrameId domain_ctor;
+  std::array<FrameId, 6> alloc;  // one operator new[] site per array
+  FrameId init_loop;
+  FrameId calc_force;
+  FrameId node_loop;
+  FrameId calc_kinematics;
+  FrameId elem_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "lulesh.cc", 2720);
+  fr.leapfrog = f.intern("LagrangeLeapFrog", "lulesh.cc", 2613);
+  fr.domain_ctor = f.intern("Domain::Domain", "lulesh.cc", 2100);
+  const std::array<std::uint32_t, 6> lines = {2159, 2160, 2164,
+                                              2170, 2171, 2172};
+  for (std::size_t i = 0; i < 6; ++i) {
+    fr.alloc[i] = f.intern("operator new[]", "lulesh.cc", lines[i]);
+  }
+  fr.init_loop = f.intern("InitMeshDecomp", "lulesh.cc", 2300,
+                          simrt::FrameKind::kLoop);
+  fr.calc_force = f.intern("CalcForceForNodes._omp", "lulesh.cc", 1014,
+                           simrt::FrameKind::kParallelRegion);
+  fr.node_loop = f.intern("for_nodes", "lulesh.cc", 1022,
+                          simrt::FrameKind::kLoop);
+  fr.calc_kinematics = f.intern("CalcKinematicsForElems._omp", "lulesh.cc",
+                                1544, simrt::FrameKind::kParallelRegion);
+  fr.elem_loop = f.intern("for_elems", "lulesh.cc", 1550,
+                          simrt::FrameKind::kLoop);
+  return fr;
+}
+
+}  // namespace
+
+LuleshRun run_minilulesh(Machine& m, const LuleshConfig& cfg) {
+  const Frames fr = make_frames(m);
+  LuleshRun run;
+  run.elements = static_cast<std::uint64_t>(cfg.threads) *
+                 cfg.pages_per_thread * kElemsPerPage;
+  const std::uint64_t bytes = run.elements * 8;
+  PhaseClock phase(m);
+
+  // Prior work's interleave prescription applies to the variables the
+  // tool flags as problematic: x/y/z/nodelist (master-inited, remote-heavy).
+  // xd/yd/zd show no remote latency in the baseline (worker-first-touched),
+  // so they keep their natural first-touch placement in every variant.
+  const PolicySpec hot_policy = cfg.variant == Variant::kInterleave
+                                    ? PolicySpec::interleave()
+                                    : PolicySpec::first_touch();
+  // nodelist: the promoted-to-static stack array of §8.1.
+  run.nodelist = m.define_static("nodelist", bytes, hot_policy).start;
+
+  const std::vector<FrameId> base = {fr.main};
+
+  // --- Allocation + (master or parallel) initialization ---------------
+  struct Slot {
+    const char* name;
+    simos::VAddr* addr;
+    bool master_initialized;  // x/y/z + nodelist; xd/yd/zd are outputs
+  };
+  const std::array<Slot, 6> slots = {{{"x", &run.x, true},
+                                      {"y", &run.y, true},
+                                      {"z", &run.z, true},
+                                      {"xd", &run.xd, false},
+                                      {"yd", &run.yd, false},
+                                      {"zd", &run.zd, false}}};
+
+  parallel_region(
+      m, 1, "Domain::Domain", base,
+      [&](SimThread& t, std::uint32_t) -> Task {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+          ScopedFrame alloc(t, fr.alloc[i]);
+          *slots[i].addr =
+              t.malloc(bytes, slots[i].name,
+                       slots[i].master_initialized
+                           ? hot_policy
+                           : simos::PolicySpec::first_touch());
+        }
+        if (cfg.variant != Variant::kBlockwise) {
+          // Original code: the master thread initializes the mesh, first-
+          // touching every page of x/y/z/nodelist into its own domain.
+          ScopedFrame init(t, fr.init_loop);
+          for (const Slot& slot : slots) {
+            if (slot.master_initialized) {
+              store_lines(t, *slot.addr, 0, run.elements);
+              co_await t.tick();
+            }
+          }
+          store_lines(t, run.nodelist, 0, run.elements);
+        }
+        co_return;
+      });
+
+  if (cfg.variant == Variant::kBlockwise) {
+    // The paper's fix: adjust the code performing first touches so each
+    // thread initializes (and therefore homes) its own block.
+    parallel_region(
+        m, cfg.threads, "InitMeshDecomp._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame init(t, fr.init_loop);
+          const Slice s = block_slice(run.elements, index, cfg.threads);
+          for (const Slot& slot : slots) {
+            if (slot.master_initialized) {
+              store_lines(t, *slot.addr, s.begin, s.end);
+              co_await t.tick();
+            }
+          }
+          store_lines(t, run.nodelist, s.begin, s.end);
+          co_return;
+        });
+  }
+  run.init_cycles = phase.lap();
+
+  // --- Compute: the leapfrog alternates two regions per timestep:
+  // CalcForceForNodes reads the coordinate arrays + nodelist block-wise and
+  // writes the velocity arrays (their first touch, in the baseline);
+  // CalcKinematicsForElems reads the velocities back and advances the
+  // coordinates. ---------------------------------------------------------
+  const std::vector<FrameId> compute_base = {fr.main, fr.leapfrog};
+  parallel_region(
+      m, cfg.threads, "timestep_loop._omp", compute_base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice s = block_slice(run.elements, index, cfg.threads);
+        for (std::uint32_t step = 0; step < cfg.timesteps; ++step) {
+          {
+            ScopedFrame force(t, fr.calc_force);
+            ScopedFrame loop(t, fr.node_loop);
+            for (std::uint64_t i = s.begin; i < s.end; i += kLineStride) {
+              t.load(elem_addr(run.x, i));
+              t.load(elem_addr(run.y, i));
+              t.load(elem_addr(run.z, i));
+              t.load(elem_addr(run.nodelist, i));
+              t.exec(6);  // force kernel arithmetic
+              t.store(elem_addr(run.xd, i));
+              t.store(elem_addr(run.yd, i));
+              t.store(elem_addr(run.zd, i));
+              co_await t.tick();
+            }
+          }
+          co_await t.yield();  // region barrier
+          {
+            ScopedFrame kinematics(t, fr.calc_kinematics);
+            ScopedFrame loop(t, fr.elem_loop);
+            for (std::uint64_t i = s.begin; i < s.end; i += kLineStride) {
+              t.load(elem_addr(run.xd, i));
+              t.load(elem_addr(run.yd, i));
+              t.load(elem_addr(run.zd, i));
+              t.exec(5);  // position update arithmetic
+              t.store(elem_addr(run.x, i));
+              t.store(elem_addr(run.y, i));
+              t.store(elem_addr(run.z, i));
+              co_await t.tick();
+            }
+          }
+          co_await t.yield();  // timestep barrier
+        }
+        co_return;
+      });
+  run.compute_cycles = phase.lap();
+  run.total_cycles = run.init_cycles + run.compute_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,54 @@
+// MiniLulesh: the LULESH case study workload (§8.1).
+//
+// Memory structure reproduced from the original:
+//  - coordinate arrays x, y, z: heap, allocated and INITIALIZED by the
+//    master thread (so first-touch homes every page in the master's
+//    domain), then read block-wise by all workers each timestep;
+//  - velocity arrays xd, yd, zd: heap, pure outputs — first WRITTEN by the
+//    workers inside the parallel region, so even the baseline first-touch
+//    places them block-wise locally (this is why interleaving "every
+//    problematic variable" can lose: it destroys this natural locality,
+//    which is mild on the 8-domain AMD box but decisive on POWER7);
+//  - nodelist: the stack array the paper promoted to a static variable so
+//    the tool could observe it; master-initialized, read by all workers.
+//
+// Variants:
+//  - kBaseline: master init of x/y/z/nodelist.
+//  - kBlockwise: the paper's fix — parallel first-touch initialization, so
+//    each thread's block of every array lands in its own domain (+25% on
+//    AMD, +7.5% on POWER7 in the paper).
+//  - kInterleave: prior work's fix — interleaved pages for ALL seven
+//    variables (+13% on AMD, -16.4% on POWER7 in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+struct LuleshConfig {
+  std::uint32_t threads = 48;
+  /// Pages of each array owned by each thread (array size scales with it).
+  std::uint32_t pages_per_thread = 4;
+  std::uint32_t timesteps = 6;
+  Variant variant = Variant::kBaseline;
+};
+
+struct LuleshRun {
+  // Variable base addresses (for locating them in profiles).
+  simos::VAddr x = 0, y = 0, z = 0;
+  simos::VAddr xd = 0, yd = 0, zd = 0;
+  simos::VAddr nodelist = 0;
+  std::uint64_t elements = 0;
+  numasim::Cycles init_cycles = 0;
+  numasim::Cycles compute_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+/// Runs MiniLulesh on `machine` (which must be freshly constructed — the
+/// run spawns threads and allocates program state).
+LuleshRun run_minilulesh(simrt::Machine& machine, const LuleshConfig& config);
+
+}  // namespace numaprof::apps

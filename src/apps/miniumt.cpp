@@ -1,0 +1,133 @@
+#include "apps/miniumt.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId snswp;
+  FrameId alloc_stime, alloc_stotal, alloc_psi;
+  FrameId init_loop;
+  FrameId corner_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "SuOlsonTest.cc", 120);
+  fr.snswp = f.intern("snswp3d", "snswp3d.c", 88);
+  fr.alloc_stime = f.intern("alloc(Z%STime)", "Teton.cc", 301);
+  fr.alloc_stotal = f.intern("alloc(Z%STotal)", "Teton.cc", 305);
+  fr.alloc_psi = f.intern("alloc(psi)", "Teton.cc", 309);
+  fr.init_loop = f.intern("init_STime", "Teton.cc", 340,
+                          simrt::FrameKind::kLoop);
+  fr.corner_loop = f.intern("corner_group_loop", "snswp3d.c", 120,
+                            simrt::FrameKind::kLoop);
+  return fr;
+}
+
+}  // namespace
+
+UmtRun run_miniumt(Machine& m, const UmtConfig& cfg) {
+  const Frames fr = make_frames(m);
+  UmtRun run;
+  run.plane_elems = static_cast<std::uint64_t>(cfg.groups) * cfg.corners;
+  run.elements = run.plane_elems * cfg.angles;
+  PhaseClock phase(m);
+  const std::vector<FrameId> base = {fr.main};
+
+  // Element index of STime(ig, c, angle), Fortran order (ig fastest): one
+  // Angle-plane is a contiguous chunk of plane_elems elements.
+  const auto plane_base = [&](std::uint32_t angle) -> std::uint64_t {
+    return static_cast<std::uint64_t>(angle) * run.plane_elems;
+  };
+
+  // --- Allocation + initialization ------------------------------------
+  parallel_region(
+      m, 1, "Teton_setup", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_stime);
+          run.stime = t.malloc(run.elements * 8, "STime");
+        }
+        {
+          ScopedFrame a(t, fr.alloc_stotal);
+          run.stotal = t.malloc(run.elements * 8, "STotal");
+        }
+        {
+          ScopedFrame a(t, fr.alloc_psi);
+          run.psi = t.malloc(run.elements * 8, "psi");
+        }
+        {
+          // STotal is ALWAYS master-initialized (the §8.4 fix only touched
+          // STime; the other heap arrays kept their remote placement,
+          // which is why the whole-program win was a modest 7%).
+          ScopedFrame init(t, fr.init_loop);
+          store_lines(t, run.stotal, 0, run.elements);
+          store_lines(t, run.psi, 0, run.elements);  // master zeroes psi
+          if (cfg.variant != Variant::kParallelInit) {
+            // Original: the master initializes STime too, homing it
+            // entirely in its own domain (§8.4).
+            store_lines(t, run.stime, 0, run.elements);
+          }
+        }
+        co_return;
+      });
+
+  if (cfg.variant == Variant::kParallelInit) {
+    // The paper's fix: each thread initializes the STime planes it will
+    // consume in the sweep (round-robin by Angle), co-locating data with
+    // its computation.
+    parallel_region(
+        m, cfg.threads, "init_STime._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame init(t, fr.init_loop);
+          for (std::uint32_t angle = index; angle < cfg.angles;
+               angle += cfg.threads) {
+            store_lines(t, run.stime, plane_base(angle),
+                        plane_base(angle) + run.plane_elems);
+            co_await t.tick();
+          }
+          co_return;
+        });
+  }
+  run.init_cycles = phase.lap();
+
+  // --- Sweep: Angle-planes round-robin across threads ------------------
+  const std::vector<FrameId> sweep_base = {fr.main, fr.snswp};
+  parallel_region(
+      m, cfg.threads, "snswp3d._omp", sweep_base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        for (std::uint32_t sweep = 0; sweep < cfg.sweeps; ++sweep) {
+          ScopedFrame loop(t, fr.corner_loop);
+          for (std::uint32_t angle = index; angle < cfg.angles;
+               angle += cfg.threads) {
+            const std::uint64_t plane = plane_base(angle);
+            // do c / do ig: source = STotal(ig,c) + STime(ig,c,Angle)
+            for (std::uint64_t e = 0; e < run.plane_elems;
+                 e += kLineStride) {
+              t.load(elem_addr(run.stime, plane + e));
+              t.load(elem_addr(run.stotal, plane + e));
+              t.exec(4);
+              t.store(elem_addr(run.psi, plane + e));
+            }
+            co_await t.tick();
+          }
+          co_await t.yield();
+        }
+        co_return;
+      });
+  run.sweep_cycles = phase.lap();
+  run.total_cycles = run.init_cycles + run.sweep_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,49 @@
+// MiniUmt: the UMT2013 case study workload (§8.4, Figure 10).
+//
+// Memory structure reproduced from the original radiation-transport sweep:
+//  - STime: a 3-D array STime(ig, c, Angle) (Fortran order: ig fastest),
+//    allocated and initialized by the master thread. The sweep loop
+//    assigns two-dimensional Angle-planes to threads ROUND-ROBIN, so
+//    thread t reads planes t, t+T, t+2T, ... — a staggered pattern across
+//    threads like Blackscholes' buffer (§8.4).
+//  - STotal: same shape, master-initialized like STime (it keeps its
+//    remote placement even in the fixed variant, as in the paper).
+//  - psi: the angular flux output, allocated AND zeroed by the master
+//    (Fortran allocate + initialization), so it is remote too.
+//
+// Variant kParallelInit is the paper's fix: parallelize STime's
+// initialization so each thread first-touches exactly the planes it will
+// read in the sweep (+7% whole-program in the paper — modest, because
+// STime is only ~18% of remote accesses).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+
+namespace numaprof::apps {
+
+struct UmtConfig {
+  std::uint32_t threads = 32;
+  std::uint32_t groups = 64;     // ig extent (fastest dimension)
+  std::uint32_t corners = 8;     // c extent
+  /// Angle-plane count; default 2 planes per thread.
+  std::uint32_t angles = 64;
+  std::uint32_t sweeps = 4;
+  Variant variant = Variant::kBaseline;
+};
+
+struct UmtRun {
+  simos::VAddr stime = 0;
+  simos::VAddr stotal = 0;
+  simos::VAddr psi = 0;
+  std::uint64_t plane_elems = 0;  // groups * corners
+  std::uint64_t elements = 0;     // plane_elems * angles
+  numasim::Cycles init_cycles = 0;
+  numasim::Cycles sweep_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+UmtRun run_miniumt(simrt::Machine& machine, const UmtConfig& config);
+
+}  // namespace numaprof::apps

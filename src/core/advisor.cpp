@@ -1,0 +1,257 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace numaprof::core {
+
+std::string_view to_string(PatternKind k) noexcept {
+  switch (k) {
+    case PatternKind::kUnsampled: return "unsampled";
+    case PatternKind::kSingleThread: return "single-thread";
+    case PatternKind::kBlocked: return "blocked";
+    case PatternKind::kStaggeredOverlap: return "staggered-overlap";
+    case PatternKind::kFullRange: return "full-range";
+    case PatternKind::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+std::string_view to_string(Action a) noexcept {
+  switch (a) {
+    case Action::kNone: return "none";
+    case Action::kBlockwiseFirstTouch: return "blockwise-first-touch";
+    case Action::kInterleave: return "interleave";
+    case Action::kRegroupAos: return "regroup-AoS+parallel-init";
+    case Action::kColocate: return "colocate-single-domain";
+  }
+  return "?";
+}
+
+PatternAnalysis Advisor::classify(VariableId variable,
+                                  simrt::FrameId context) const {
+  const SessionData& d = analyzer_->data();
+  const Variable& var = d.variables.at(variable);
+  auto ranges = d.address_centric.thread_ranges(var, context);
+
+  // Drop threads with negligible traffic (below 2% of the busiest thread):
+  // a master thread touching one element shouldn't distort the pattern.
+  std::uint64_t max_count = 0;
+  for (const ThreadRange& r : ranges) max_count = std::max(max_count, r.count);
+  std::erase_if(ranges, [&](const ThreadRange& r) {
+    return r.count * 50 < max_count;
+  });
+
+  PatternAnalysis p;
+  p.threads = static_cast<std::uint32_t>(ranges.size());
+  if (ranges.empty()) return p;
+  if (ranges.size() == 1) {
+    p.kind = PatternKind::kSingleThread;
+    p.mean_width = ranges[0].hi - ranges[0].lo;
+    p.coverage = p.mean_width;
+    p.monotonic_fraction = 1.0;
+    return p;
+  }
+
+  // Ranges arrive sorted by tid. Compute widths, adjacent overlap, and
+  // midpoint monotonicity.
+  double width_sum = 0.0;
+  for (const ThreadRange& r : ranges) width_sum += r.hi - r.lo;
+  p.mean_width = width_sum / static_cast<double>(ranges.size());
+
+  double overlap_sum = 0.0;
+  std::uint32_t ascending = 0;
+  for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+    const ThreadRange& a = ranges[i];
+    const ThreadRange& b = ranges[i + 1];
+    const double inter =
+        std::max(0.0, std::min(a.hi, b.hi) - std::max(a.lo, b.lo));
+    const double smaller = std::max(1e-9, std::min(a.hi - a.lo, b.hi - b.lo));
+    overlap_sum += std::min(1.0, inter / smaller);
+    const double mid_a = (a.lo + a.hi) / 2;
+    const double mid_b = (b.lo + b.hi) / 2;
+    if (mid_b >= mid_a - 1e-9) ++ascending;
+  }
+  const auto pairs = static_cast<double>(ranges.size() - 1);
+  p.mean_overlap = overlap_sum / pairs;
+  p.monotonic_fraction = static_cast<double>(ascending) / pairs;
+
+  // Coverage: union of [lo,hi] intervals.
+  auto sorted = ranges;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ThreadRange& a, const ThreadRange& b) {
+              return a.lo < b.lo;
+            });
+  double covered = 0.0;
+  double cursor = 0.0;
+  for (const ThreadRange& r : sorted) {
+    const double lo = std::max(r.lo, cursor);
+    if (r.hi > lo) {
+      covered += r.hi - lo;
+      cursor = r.hi;
+    }
+  }
+  p.coverage = covered;
+
+  // Midpoint spread separates staggered wide ranges (Blackscholes: every
+  // thread wide but consistently shifted, Fig. 8) from true full-range
+  // access (every thread the same span).
+  const double mid_first = (ranges.front().lo + ranges.front().hi) / 2;
+  const double mid_last = (ranges.back().lo + ranges.back().hi) / 2;
+  const double spread = mid_last - mid_first;
+
+  if (p.mean_width >= 0.8 && spread < 0.05) {
+    p.kind = PatternKind::kFullRange;
+  } else if (p.monotonic_fraction >= 0.8 && p.mean_overlap <= 0.35 &&
+             (p.coverage >= 0.5 || spread >= 0.5)) {
+    // Disjoint ascending blocks. Sparse sampling can leave each thread's
+    // observed range a sliver of its true block (low coverage), but the
+    // midpoints still span the variable — spread rescues that case.
+    p.kind = PatternKind::kBlocked;
+  } else if (p.monotonic_fraction >= 0.8 && p.mean_overlap > 0.35 &&
+             spread >= 0.05) {
+    p.kind = PatternKind::kStaggeredOverlap;
+  } else if (p.mean_width >= 0.8) {
+    p.kind = PatternKind::kFullRange;  // wide but unordered
+  } else {
+    p.kind = PatternKind::kIrregular;
+  }
+  return p;
+}
+
+double Advisor::variable_context_weight(VariableId variable,
+                                        simrt::FrameId context) const {
+  const SessionData& d = analyzer_->data();
+  double latency = 0.0;
+  double count = 0.0;
+  d.address_centric.for_each([&](const BinKey& key, const BinStats& stats) {
+    if (key.variable != variable || key.context != context) return;
+    latency += stats.latency;
+    count += static_cast<double>(stats.count);
+  });
+  // Latency-weighted when the mechanism reports latency (§5.2: "use
+  // aggregate latency measurements attributed to a context as a guide");
+  // sample counts otherwise (MRK, Soft-IBS).
+  return latency > 0.0 ? latency : count;
+}
+
+std::pair<simrt::FrameId, double> Advisor::guiding_context(
+    VariableId variable, double min_share) const {
+  const PatternAnalysis whole = classify(variable, kWholeProgram);
+  // Blocked / single-thread whole-program patterns are already maximally
+  // actionable. Anything weaker may be a *mixture* of per-region patterns
+  // (Fig. 4 vs Fig. 5): a blocked hot region smeared by a cheap
+  // full-range region looks full-range (or staggered) overall, so drill
+  // into contexts and adopt a pattern only if it is strictly stronger.
+  if (whole.kind == PatternKind::kBlocked ||
+      whole.kind == PatternKind::kSingleThread) {
+    return {kWholeProgram, 1.0};
+  }
+  const bool accept_staggered = whole.kind != PatternKind::kStaggeredOverlap;
+
+  // Drill into the calling contexts, heaviest first, and adopt the first
+  // strongly-actionable pattern carrying at least `min_share` of the
+  // variable's cost (Fig. 5 / Fig. 7).
+  const SessionData& d = analyzer_->data();
+  const double total = variable_context_weight(variable, kWholeProgram);
+  if (total <= 0.0) return {kWholeProgram, 1.0};
+
+  std::map<simrt::FrameId, double> weights;
+  d.address_centric.for_each([&](const BinKey& key, const BinStats& stats) {
+    if (key.variable != variable || key.context == kWholeProgram) return;
+    weights[key.context] += stats.latency > 0.0
+                                ? stats.latency
+                                : static_cast<double>(stats.count);
+  });
+  std::vector<std::pair<simrt::FrameId, double>> ordered(weights.begin(),
+                                                         weights.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [context, weight] : ordered) {
+    const double share = weight / total;
+    if (share < min_share) break;  // ordered descending: no later context fits
+    // Skip frames that are just enclosing wrappers with the same smeared
+    // mix; adopt the first context whose pattern is strongly actionable.
+    const PatternAnalysis p = classify(variable, context);
+    if (p.kind == PatternKind::kBlocked ||
+        p.kind == PatternKind::kSingleThread ||
+        (accept_staggered && p.kind == PatternKind::kStaggeredOverlap)) {
+      return {context, share};
+    }
+  }
+  return {kWholeProgram, 1.0};
+}
+
+Recommendation Advisor::recommend(VariableId variable) const {
+  const SessionData& d = analyzer_->data();
+  Recommendation rec;
+  rec.variable = variable;
+  rec.variable_name = d.variables.at(variable).name;
+  rec.whole_program = classify(variable, kWholeProgram);
+  rec.severity_warrants = analyzer_->program().warrants_optimization;
+  rec.first_touch_sites = d.first_touch_sites(variable);
+
+  const auto [context, share] = guiding_context(variable);
+  rec.guiding_context = context;
+  rec.guiding_context_share = share;
+  rec.guiding =
+      context == kWholeProgram ? rec.whole_program : classify(variable, context);
+
+  std::ostringstream why;
+  switch (rec.guiding.kind) {
+    case PatternKind::kBlocked:
+      rec.action = Action::kBlockwiseFirstTouch;
+      why << "threads access disjoint ascending blocks; distribute the "
+             "variable block-wise by adjusting the first-touch code";
+      break;
+    case PatternKind::kStaggeredOverlap:
+      rec.action = Action::kRegroupAos;
+      why << "per-thread ranges ascend but overlap heavily, indicating "
+             "interleaved per-thread sections; regroup into an array of "
+             "structures and parallelize the initialization loop";
+      break;
+    case PatternKind::kFullRange:
+      rec.action = Action::kInterleave;
+      why << "every thread touches (nearly) the whole variable; interleaved "
+             "page allocation balances requests across domains";
+      break;
+    case PatternKind::kSingleThread:
+      rec.action = Action::kColocate;
+      why << "a single thread performs the accesses; co-locate the variable "
+             "with that thread's NUMA domain";
+      break;
+    case PatternKind::kIrregular:
+      rec.action = Action::kInterleave;
+      why << "no regular pattern even per calling context; interleaving "
+             "avoids concentrating requests on one domain (low confidence)";
+      break;
+    case PatternKind::kUnsampled:
+      rec.action = Action::kNone;
+      why << "no samples for this variable";
+      break;
+  }
+  if (context != kWholeProgram) {
+    why << " (pattern taken from context '" << d.frame_name(context)
+        << "', carrying " << static_cast<int>(share * 100)
+        << "% of this variable's NUMA cost)";
+  }
+  if (!rec.severity_warrants) {
+    why << "; NOTE: program lpi_NUMA is below the 0.1 threshold, so this "
+           "optimization is unlikely to improve end-to-end performance";
+  }
+  rec.rationale = why.str();
+  return rec;
+}
+
+std::vector<Recommendation> Advisor::recommend_all(std::size_t top_n) const {
+  std::vector<Recommendation> recs;
+  for (const VariableReport& report : analyzer_->variables()) {
+    if (recs.size() >= top_n) break;
+    recs.push_back(recommend(report.id));
+  }
+  return recs;
+}
+
+}  // namespace numaprof::core

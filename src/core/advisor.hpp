@@ -1,0 +1,101 @@
+// Optimization advisor: turns address-centric patterns into the concrete
+// NUMA fixes the paper's case studies apply (§8).
+//
+// The paper's tool surfaces the per-thread access-range plot and leaves the
+// inference to the analyst; this module encodes that inference:
+//  - blocked, disjoint, tid-ascending ranges  -> block-wise distribution at
+//    the first-touch site (LULESH z/nodelist, AMG RAP_diag_* in their hot
+//    parallel region);
+//  - ascending but heavily overlapping ranges -> the data is an SoA layout
+//    interleaving per-thread sections; regroup into an array of structures
+//    and parallelize initialization (Blackscholes buffer, UMT STime);
+//  - every thread spanning the whole range    -> interleaved allocation
+//    (the two remaining AMG variables);
+//  - irregular whole-program pattern          -> re-classify inside the
+//    dominant calling context (the Fig. 4 vs Fig. 5 insight);
+//  - severity gate: recommendations are tagged not-worthwhile when
+//    lpi_NUMA is below the 0.1 threshold (Blackscholes, §8.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace numaprof::core {
+
+enum class PatternKind : std::uint8_t {
+  kUnsampled,
+  kSingleThread,      // one thread does (nearly) all accesses
+  kBlocked,           // disjoint ascending blocks, one per thread
+  kStaggeredOverlap,  // ascending but heavily overlapping ranges
+  kFullRange,         // every thread touches ~the whole variable
+  kIrregular,
+};
+
+std::string_view to_string(PatternKind k) noexcept;
+
+enum class Action : std::uint8_t {
+  kNone,                 // below severity threshold or nothing to do
+  kBlockwiseFirstTouch,  // distribute blocks via a parallel first touch
+  kInterleave,           // numactl-style page interleaving
+  kRegroupAos,           // regroup sections into an array-of-structures,
+                         // then parallel first touch
+  kColocate,             // bind the variable to its single user's domain
+};
+
+std::string_view to_string(Action a) noexcept;
+
+struct PatternAnalysis {
+  PatternKind kind = PatternKind::kUnsampled;
+  std::uint32_t threads = 0;
+  double mean_width = 0.0;       // avg normalized range width
+  double mean_overlap = 0.0;     // avg adjacent-pair overlap fraction
+  double coverage = 0.0;         // union of ranges / full extent
+  double monotonic_fraction = 0.0;  // adjacent pairs ascending by midpoint
+};
+
+struct Recommendation {
+  VariableId variable = 0;
+  std::string variable_name;
+  PatternAnalysis whole_program;
+  PatternAnalysis guiding;          // the pattern the advice is based on
+  simrt::FrameId guiding_context = kWholeProgram;
+  double guiding_context_share = 1.0;  // its share of the variable's cost
+  Action action = Action::kNone;
+  bool severity_warrants = false;   // program lpi over threshold (§4.2)
+  std::string rationale;
+  std::vector<FirstTouchSite> first_touch_sites;  // where to edit (§6)
+};
+
+class Advisor {
+ public:
+  explicit Advisor(const Analyzer& analyzer) : analyzer_(&analyzer) {}
+
+  /// Classifies the per-thread access pattern of (variable, context).
+  PatternAnalysis classify(VariableId variable,
+                           simrt::FrameId context = kWholeProgram) const;
+
+  /// Full recommendation with automatic context selection.
+  Recommendation recommend(VariableId variable) const;
+
+  /// Recommendations for the top-N variables by NUMA cost.
+  std::vector<Recommendation> recommend_all(std::size_t top_n = 10) const;
+
+  /// The context whose pattern should guide optimization: the whole
+  /// program when its pattern is regular; otherwise the most expensive
+  /// calling context whose pattern IS regular and whose cost share is at
+  /// least `min_share` (the §8.2 drill-down). Returns context + its share.
+  std::pair<simrt::FrameId, double> guiding_context(
+      VariableId variable, double min_share = 0.5) const;
+
+ private:
+  double variable_context_weight(VariableId variable,
+                                 simrt::FrameId context) const;
+
+  const Analyzer* analyzer_;
+};
+
+}  // namespace numaprof::core

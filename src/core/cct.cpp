@@ -1,0 +1,79 @@
+#include "core/cct.hpp"
+
+#include <algorithm>
+
+namespace numaprof::core {
+
+Cct::Cct() {
+  nodes_.push_back(CctNode{.parent = kRootNode,
+                           .kind = NodeKind::kRoot,
+                           .key = 0,
+                           .depth = 0});
+  edges_.emplace_back();
+}
+
+NodeId Cct::child(NodeId parent, NodeKind kind, std::uint64_t key) {
+  auto& index = edges_.at(parent);
+  const std::uint64_t ck = child_key(kind, key);
+  const auto it = index.find(ck);
+  if (it != index.end()) return it->second;
+
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(CctNode{.parent = parent,
+                           .kind = kind,
+                           .key = key,
+                           .depth = nodes_[parent].depth + 1});
+  edges_.emplace_back();
+  edges_[parent].emplace(ck, id);
+  return id;
+}
+
+std::optional<NodeId> Cct::find_child(NodeId parent, NodeKind kind,
+                                      std::uint64_t key) const {
+  const auto& index = edges_.at(parent);
+  const auto it = index.find(child_key(kind, key));
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Cct::extend(NodeId base, std::span<const simrt::FrameId> frames) {
+  NodeId current = base;
+  for (const simrt::FrameId frame : frames) {
+    current = child(current, NodeKind::kFrame, frame);
+  }
+  return current;
+}
+
+std::vector<NodeId> Cct::path_to(NodeId id) const {
+  std::vector<NodeId> path;
+  for (NodeId cursor = id; cursor != kRootNode;
+       cursor = nodes_[cursor].parent) {
+    path.push_back(cursor);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void Cct::visit(NodeId id, const std::function<void(NodeId)>& fn) const {
+  fn(id);
+  for (const auto& [key, chid] : edges_.at(id)) visit(chid, fn);
+}
+
+std::vector<NodeId> Cct::children(NodeId id) const {
+  std::vector<NodeId> result;
+  result.reserve(edges_.at(id).size());
+  for (const auto& [key, chid] : edges_.at(id)) result.push_back(chid);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool Cct::is_ancestor(NodeId ancestor, NodeId id) const {
+  NodeId cursor = id;
+  while (true) {
+    if (cursor == ancestor) return true;
+    if (cursor == kRootNode) return false;
+    cursor = nodes_[cursor].parent;
+  }
+}
+
+}  // namespace numaprof::core

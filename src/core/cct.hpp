@@ -1,0 +1,83 @@
+// Augmented calling context tree (CCT), §7.1.
+//
+// hpcrun records "a mixture of variable allocation paths, memory access
+// call paths, and first touch call paths", with dummy nodes separating the
+// segments recorded for different purposes. This CCT reproduces that: frame
+// nodes form call paths; kAllocation/kAccess/kFirstTouch dummy nodes mark
+// what the subtree below them represents; kVariable and kBin nodes hang
+// data-centric attribution off allocation paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simrt/frame.hpp"
+
+namespace numaprof::core {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kRootNode = 0;
+
+enum class NodeKind : std::uint8_t {
+  kRoot,
+  kFrame,       // a function / loop / parallel-region in a call path
+  kAllocation,  // dummy: children form the allocation call path segment
+  kAccess,      // dummy: children form memory-access call path segments
+  kFirstTouch,  // dummy: children form first-touch call path segments
+  kVariable,    // data-centric anchor (key = VariableId)
+  kBin,         // address-range bin of a variable (key = bin index), §5.2
+};
+
+struct CctNode {
+  NodeId parent = kRootNode;
+  NodeKind kind = NodeKind::kRoot;
+  std::uint64_t key = 0;  // FrameId / VariableId / bin index, per kind
+  std::uint32_t depth = 0;
+};
+
+class Cct {
+ public:
+  Cct();
+
+  /// Finds or creates the child of `parent` with (kind, key).
+  NodeId child(NodeId parent, NodeKind kind, std::uint64_t key);
+
+  /// Lookup without creation (for read-only consumers like the viewer).
+  std::optional<NodeId> find_child(NodeId parent, NodeKind kind,
+                                   std::uint64_t key) const;
+
+  /// Extends `base` by a call path (root-to-leaf frame ids), creating frame
+  /// nodes as needed; returns the leaf's node.
+  NodeId extend(NodeId base, std::span<const simrt::FrameId> frames);
+
+  const CctNode& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Root-to-node path of ids (includes `id`, excludes the root).
+  std::vector<NodeId> path_to(NodeId id) const;
+
+  /// Depth-first visit of the subtree at `id` (pre-order, includes `id`).
+  void visit(NodeId id, const std::function<void(NodeId)>& fn) const;
+
+  /// All direct children of `id`.
+  std::vector<NodeId> children(NodeId id) const;
+
+  /// True when `ancestor` is on the root path of `id` (or equal).
+  bool is_ancestor(NodeId ancestor, NodeId id) const;
+
+ private:
+  static std::uint64_t child_key(NodeKind kind, std::uint64_t key) noexcept {
+    return (static_cast<std::uint64_t>(kind) << 56) | (key & 0x00ff'ffff'ffff'ffffULL);
+  }
+
+  std::vector<CctNode> nodes_;
+  // Per-parent child index; node ids are dense so a vector of maps works.
+  std::vector<std::unordered_map<std::uint64_t, NodeId>> edges_;
+};
+
+}  // namespace numaprof::core

@@ -1,0 +1,141 @@
+#include "core/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace numaprof::core {
+
+namespace {
+
+double mismatch_fraction(const VariableReport& r) noexcept {
+  const auto total = r.match + r.mismatch;
+  return total ? static_cast<double>(r.mismatch) / static_cast<double>(total)
+               : 0.0;
+}
+
+double program_mismatch_fraction(const ProgramSummary& p) noexcept {
+  const auto total = p.match + p.mismatch;
+  return total ? static_cast<double>(p.mismatch) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace
+
+std::vector<std::string> DiffReport::resolved_variables() const {
+  std::vector<std::string> names;
+  for (const VariableDelta& delta : variables) {
+    if (!delta.only_before && !delta.only_after && delta.resolved()) {
+      names.push_back(delta.name);
+    }
+  }
+  return names;
+}
+
+DiffReport diff_profiles(const Analyzer& before, const Analyzer& after) {
+  DiffReport report;
+  report.lpi_before = before.program().lpi;
+  report.lpi_after = after.program().lpi;
+  report.mismatch_fraction_before =
+      program_mismatch_fraction(before.program());
+  report.mismatch_fraction_after = program_mismatch_fraction(after.program());
+
+  // Index both sides by variable name (the stable identity across runs;
+  // allocation order and addresses may differ).
+  std::map<std::string, const VariableReport*> lhs, rhs;
+  for (const VariableReport& r : before.variables()) lhs.emplace(r.name, &r);
+  for (const VariableReport& r : after.variables()) rhs.emplace(r.name, &r);
+
+  for (const auto& [name, b] : lhs) {
+    VariableDelta delta;
+    delta.name = name;
+    delta.kind = b->kind;
+    delta.mismatch_fraction_before = mismatch_fraction(*b);
+    delta.remote_share_before = b->remote_latency_share;
+    const auto it = rhs.find(name);
+    if (it == rhs.end()) {
+      delta.only_before = true;
+    } else {
+      delta.mismatch_fraction_after = mismatch_fraction(*it->second);
+      delta.remote_share_after = it->second->remote_latency_share;
+    }
+    report.variables.push_back(std::move(delta));
+  }
+  for (const auto& [name, a] : rhs) {
+    if (lhs.contains(name)) continue;
+    VariableDelta delta;
+    delta.name = name;
+    delta.kind = a->kind;
+    delta.mismatch_fraction_after = mismatch_fraction(*a);
+    delta.remote_share_after = a->remote_latency_share;
+    delta.only_after = true;
+    report.variables.push_back(std::move(delta));
+  }
+
+  std::sort(report.variables.begin(), report.variables.end(),
+            [](const VariableDelta& a, const VariableDelta& b) {
+              const double da = std::abs(a.mismatch_fraction_before -
+                                         a.mismatch_fraction_after);
+              const double db = std::abs(b.mismatch_fraction_before -
+                                         b.mismatch_fraction_after);
+              return da > db;
+            });
+  return report;
+}
+
+std::string render_diff(const DiffReport& report) {
+  using support::format_fixed;
+  using support::format_percent;
+
+  std::ostringstream os;
+  os << "=== profile diff (before -> after) ===\n";
+  const auto lpi_str = [](const std::optional<double>& lpi) {
+    return lpi ? format_fixed(*lpi, 3) : std::string("n/a");
+  };
+  os << "lpi_NUMA: " << lpi_str(report.lpi_before) << " -> "
+     << lpi_str(report.lpi_after) << "\n"
+     << "program M_r share: " << format_percent(report.mismatch_fraction_before)
+     << " -> " << format_percent(report.mismatch_fraction_after) << "\n";
+
+  support::Table table({"variable", "kind", "M_r share before",
+                        "M_r share after", "remote-latency share", "status"});
+  for (const VariableDelta& d : report.variables) {
+    std::string status = "unchanged";
+    if (d.only_before) {
+      status = "gone";
+    } else if (d.only_after) {
+      status = "new";
+    } else if (d.resolved()) {
+      status = "RESOLVED";
+    } else if (d.mismatch_fraction_after >
+               d.mismatch_fraction_before + 0.1) {
+      status = "regressed";
+    } else if (d.mismatch_fraction_after + 0.1 <
+               d.mismatch_fraction_before) {
+      status = "improved";
+    }
+    table.add_row({d.name, std::string(to_string(d.kind)),
+                   d.only_after ? "-" : format_percent(d.mismatch_fraction_before),
+                   d.only_before ? "-" : format_percent(d.mismatch_fraction_after),
+                   format_percent(d.remote_share_before) + " -> " +
+                       format_percent(d.remote_share_after),
+                   status});
+  }
+  os << table.to_text();
+
+  const auto resolved = report.resolved_variables();
+  os << "resolved variables: ";
+  if (resolved.empty()) {
+    os << "(none)";
+  } else {
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << resolved[i];
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace numaprof::core

@@ -1,0 +1,59 @@
+// Profile differencing: quantify what a NUMA fix changed.
+//
+// The §8 workflow ends with "apply the fix, re-measure, verify": every
+// case study compares M_l/M_r, latency shares, and lpi_NUMA before and
+// after an optimization. This module automates that comparison between two
+// profiles of the same program (e.g. baseline vs block-wise LULESH),
+// matching variables by name and reporting per-variable and program-level
+// deltas.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "support/table.hpp"
+
+namespace numaprof::core {
+
+struct VariableDelta {
+  std::string name;
+  VariableKind kind = VariableKind::kUnknown;
+  // move_pages-based remote shares of the variable's own accesses.
+  double mismatch_fraction_before = 0.0;
+  double mismatch_fraction_after = 0.0;
+  // Shares of program remote latency (0 when no latency support).
+  double remote_share_before = 0.0;
+  double remote_share_after = 0.0;
+  bool only_before = false;  // variable vanished (e.g. freed earlier)
+  bool only_after = false;
+
+  /// A fix "resolved" the variable when its remote-access share of its own
+  /// traffic collapsed (mismatch fraction dropped below half its previous
+  /// value and below 30%).
+  bool resolved() const noexcept {
+    return mismatch_fraction_before > 0.0 &&
+           mismatch_fraction_after < 0.3 &&
+           mismatch_fraction_after < 0.5 * mismatch_fraction_before;
+  }
+};
+
+struct DiffReport {
+  std::optional<double> lpi_before;
+  std::optional<double> lpi_after;
+  double mismatch_fraction_before = 0.0;  // program-level M_r share
+  double mismatch_fraction_after = 0.0;
+  std::vector<VariableDelta> variables;  // by |mismatch delta|, descending
+
+  /// Variables whose NUMA placement the fix repaired.
+  std::vector<std::string> resolved_variables() const;
+};
+
+/// Compares two analyzed profiles of (assumed) the same program.
+DiffReport diff_profiles(const Analyzer& before, const Analyzer& after);
+
+/// Renders the report as an aligned table plus a verdict line.
+std::string render_diff(const DiffReport& report);
+
+}  // namespace numaprof::core

@@ -1,0 +1,301 @@
+#include "core/profile_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace numaprof::core {
+
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+bool needs_escape(char c) noexcept {
+  return c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
+         static_cast<unsigned char>(c) < 0x20;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("profile parse error: " + what);
+}
+
+std::string expect_tag(std::istream& is, const char* tag) {
+  std::string token;
+  if (!(is >> token) || token != tag) {
+    fail(std::string("expected '") + tag + "', got '" + token + "'");
+  }
+  return token;
+}
+
+template <typename T>
+T read_value(std::istream& is, const char* what) {
+  T value{};
+  if (!(is >> value)) fail(std::string("bad value for ") + what);
+  return value;
+}
+
+}  // namespace
+
+std::string escape_field(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (needs_escape(c)) {
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (out.empty()) out = "%00";  // empty fields must still tokenize
+  return out;
+}
+
+std::string unescape_field(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%') {
+      if (i + 2 >= escaped.size()) fail("truncated escape");
+      const auto digit = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        fail("bad escape digit");
+      };
+      const int value = digit(escaped[i + 1]) * 16 + digit(escaped[i + 2]);
+      if (value != 0) out.push_back(static_cast<char>(value));
+      i += 2;
+    } else {
+      out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+void save_profile(const SessionData& data, std::ostream& os) {
+  os << "numaprof-profile " << kProfileFormatVersion << "\n";
+  os << "machine " << data.domain_count << " " << data.core_count << " "
+     << escape_field(data.machine_name) << "\n";
+  os << "sampling " << static_cast<int>(data.mechanism) << " "
+     << data.sampling_period << " " << data.pebs_ll_events << "\n";
+
+  os << "frames " << data.frames.size() << "\n";
+  for (const simrt::FrameInfo& f : data.frames) {
+    os << static_cast<int>(f.kind) << " " << f.line << " "
+       << escape_field(f.name) << " " << escape_field(f.file) << "\n";
+  }
+
+  os << "cct " << data.cct.size() << "\n";
+  // Node 0 is the root; emit children in id order so reconstruction by
+  // sequential child() calls reproduces identical ids.
+  for (NodeId id = 1; id < data.cct.size(); ++id) {
+    const CctNode& n = data.cct.node(id);
+    os << n.parent << " " << static_cast<int>(n.kind) << " " << n.key << "\n";
+  }
+
+  os << "variables " << data.variables.size() << "\n";
+  for (const Variable& v : data.variables) {
+    os << static_cast<int>(v.kind) << " " << v.start << " " << v.size << " "
+       << v.page_count << " " << v.variable_node << " " << v.alloc_tid << " "
+       << (v.live ? 1 : 0) << " " << escape_field(v.name) << "\n";
+  }
+
+  os << "threads " << data.totals.size() << "\n";
+  for (std::size_t tid = 0; tid < data.totals.size(); ++tid) {
+    const ThreadTotals& t = data.totals[tid];
+    os << t.samples << " " << t.memory_samples << " " << t.match << " "
+       << t.mismatch << " " << t.remote_latency << " " << t.total_latency
+       << " " << t.l3_miss_samples << " " << t.remote_l3_miss_samples << " "
+       << t.instructions << " " << t.memory_instructions;
+    for (const auto v : t.per_domain) os << " " << v;
+    os << "\n";
+
+    const MetricStore empty(data.domain_count);
+    const MetricStore& store =
+        tid < data.stores.size() ? data.stores[tid] : empty;
+    const auto nodes = store.nodes();
+    os << "metrics " << nodes.size() << " " << store.width() << "\n";
+    for (const NodeId node : nodes) {
+      os << node;
+      for (std::uint32_t m = 0; m < store.width(); ++m) {
+        os << " " << store.get(node, m);
+      }
+      os << "\n";
+    }
+  }
+
+  os << "addrcentric " << data.address_centric.entry_count() << "\n";
+  data.address_centric.for_each([&](const BinKey& key, const BinStats& s) {
+    os << key.context << " " << key.variable << " " << key.bin << " "
+       << key.tid << " " << s.lo << " " << s.hi << " " << s.count << " "
+       << s.latency << "\n";
+  });
+
+  os << "firsttouch " << data.first_touches.size() << "\n";
+  for (const FirstTouchRecord& r : data.first_touches) {
+    os << r.variable << " " << r.tid << " " << r.domain << " " << r.node
+       << " " << r.page << "\n";
+  }
+
+  os << "trace " << data.trace.size() << "\n";
+  for (const TraceEvent& e : data.trace) {
+    os << e.time << " " << e.tid << " " << e.variable << " "
+       << e.home_domain << " " << (e.mismatch ? 1 : 0) << " "
+       << (e.remote ? 1 : 0) << " " << e.latency << "\n";
+  }
+  os << "end\n";
+}
+
+SessionData load_profile(std::istream& is) {
+  expect_tag(is, "numaprof-profile");
+  const int version = read_value<int>(is, "version");
+  if (version != kProfileFormatVersion) fail("unsupported format version");
+
+  SessionData data;
+  expect_tag(is, "machine");
+  data.domain_count = read_value<std::uint32_t>(is, "domain_count");
+  data.core_count = read_value<std::uint32_t>(is, "core_count");
+  data.machine_name =
+      unescape_field(read_value<std::string>(is, "machine_name"));
+
+  expect_tag(is, "sampling");
+  data.mechanism =
+      static_cast<pmu::Mechanism>(read_value<int>(is, "mechanism"));
+  data.sampling_period = read_value<std::uint64_t>(is, "period");
+  data.pebs_ll_events = read_value<std::uint64_t>(is, "pebs_ll_events");
+
+  expect_tag(is, "frames");
+  const auto frame_count = read_value<std::size_t>(is, "frame count");
+  data.frames.reserve(frame_count);
+  for (std::size_t i = 0; i < frame_count; ++i) {
+    simrt::FrameInfo f;
+    f.kind = static_cast<simrt::FrameKind>(read_value<int>(is, "frame kind"));
+    f.line = read_value<std::uint32_t>(is, "frame line");
+    f.name = unescape_field(read_value<std::string>(is, "frame name"));
+    f.file = unescape_field(read_value<std::string>(is, "frame file"));
+    data.frames.push_back(std::move(f));
+  }
+
+  expect_tag(is, "cct");
+  const auto node_count = read_value<std::size_t>(is, "cct size");
+  for (std::size_t id = 1; id < node_count; ++id) {
+    const auto parent = read_value<NodeId>(is, "cct parent");
+    const auto kind = static_cast<NodeKind>(read_value<int>(is, "cct kind"));
+    const auto key = read_value<std::uint64_t>(is, "cct key");
+    const NodeId created = data.cct.child(parent, kind, key);
+    if (created != id) fail("cct node ids out of order");
+  }
+
+  expect_tag(is, "variables");
+  const auto var_count = read_value<std::size_t>(is, "variable count");
+  data.variables.reserve(var_count);
+  for (std::size_t i = 0; i < var_count; ++i) {
+    Variable v;
+    v.id = static_cast<VariableId>(i);
+    v.kind = static_cast<VariableKind>(read_value<int>(is, "var kind"));
+    v.start = read_value<simos::VAddr>(is, "var start");
+    v.size = read_value<std::uint64_t>(is, "var size");
+    v.page_count = read_value<std::uint64_t>(is, "var pages");
+    v.variable_node = read_value<NodeId>(is, "var node");
+    if (v.variable_node >= data.cct.size()) fail("variable node out of range");
+    v.alloc_tid = read_value<simrt::ThreadId>(is, "var tid");
+    v.live = read_value<int>(is, "var live") != 0;
+    v.name = unescape_field(read_value<std::string>(is, "var name"));
+    data.variables.push_back(std::move(v));
+  }
+
+  expect_tag(is, "threads");
+  const auto thread_count = read_value<std::size_t>(is, "thread count");
+  for (std::size_t tid = 0; tid < thread_count; ++tid) {
+    ThreadTotals t;
+    t.samples = read_value<std::uint64_t>(is, "samples");
+    t.memory_samples = read_value<std::uint64_t>(is, "memory samples");
+    t.match = read_value<std::uint64_t>(is, "match");
+    t.mismatch = read_value<std::uint64_t>(is, "mismatch");
+    t.remote_latency = read_value<double>(is, "remote latency");
+    t.total_latency = read_value<double>(is, "total latency");
+    t.l3_miss_samples = read_value<std::uint64_t>(is, "l3 misses");
+    t.remote_l3_miss_samples = read_value<std::uint64_t>(is, "remote l3");
+    t.instructions = read_value<std::uint64_t>(is, "instructions");
+    t.memory_instructions = read_value<std::uint64_t>(is, "mem instructions");
+    t.per_domain.resize(data.domain_count);
+    for (auto& v : t.per_domain) v = read_value<std::uint64_t>(is, "domain");
+    data.totals.push_back(std::move(t));
+
+    expect_tag(is, "metrics");
+    const auto metric_nodes = read_value<std::size_t>(is, "metric nodes");
+    const auto width = read_value<std::uint32_t>(is, "metric width");
+    MetricStore store(data.domain_count);
+    if (width != store.width()) fail("metric width mismatch");
+    for (std::size_t n = 0; n < metric_nodes; ++n) {
+      const auto node = read_value<NodeId>(is, "metric node");
+      if (node >= data.cct.size()) fail("metric node out of range");
+      for (std::uint32_t m = 0; m < width; ++m) {
+        const auto value = read_value<double>(is, "metric value");
+        if (value != 0.0) store.add(node, m, value);
+      }
+    }
+    data.stores.push_back(std::move(store));
+  }
+
+  expect_tag(is, "addrcentric");
+  const auto entry_count = read_value<std::size_t>(is, "addr entries");
+  for (std::size_t i = 0; i < entry_count; ++i) {
+    BinKey key;
+    key.context = read_value<simrt::FrameId>(is, "ctx");
+    key.variable = read_value<VariableId>(is, "var");
+    key.bin = read_value<std::uint32_t>(is, "bin");
+    key.tid = read_value<simrt::ThreadId>(is, "tid");
+    BinStats stats;
+    stats.lo = read_value<simos::VAddr>(is, "lo");
+    stats.hi = read_value<simos::VAddr>(is, "hi");
+    stats.count = read_value<std::uint64_t>(is, "count");
+    stats.latency = read_value<double>(is, "latency");
+    data.address_centric.insert(key, stats);
+  }
+
+  expect_tag(is, "firsttouch");
+  const auto ft_count = read_value<std::size_t>(is, "firsttouch count");
+  for (std::size_t i = 0; i < ft_count; ++i) {
+    FirstTouchRecord r;
+    r.variable = read_value<VariableId>(is, "ft var");
+    r.tid = read_value<simrt::ThreadId>(is, "ft tid");
+    r.domain = read_value<std::uint32_t>(is, "ft domain");
+    r.node = read_value<NodeId>(is, "ft node");
+    if (r.node >= data.cct.size()) fail("first-touch node out of range");
+    r.page = read_value<std::uint64_t>(is, "ft page");
+    data.first_touches.push_back(r);
+  }
+
+  expect_tag(is, "trace");
+  const auto trace_count = read_value<std::size_t>(is, "trace count");
+  data.trace.reserve(trace_count);
+  for (std::size_t i = 0; i < trace_count; ++i) {
+    TraceEvent e;
+    e.time = read_value<numasim::Cycles>(is, "trace time");
+    e.tid = read_value<simrt::ThreadId>(is, "trace tid");
+    e.variable = read_value<VariableId>(is, "trace var");
+    e.home_domain = read_value<std::uint32_t>(is, "trace home");
+    e.mismatch = read_value<int>(is, "trace mismatch") != 0;
+    e.remote = read_value<int>(is, "trace remote") != 0;
+    e.latency = read_value<std::uint32_t>(is, "trace latency");
+    data.trace.push_back(e);
+  }
+  expect_tag(is, "end");
+  return data;
+}
+
+void save_profile_file(const SessionData& data, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_profile(data, os);
+}
+
+SessionData load_profile_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_profile(is);
+}
+
+}  // namespace numaprof::core

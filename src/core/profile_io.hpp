@@ -1,0 +1,29 @@
+// Profile serialization: the on-disk handoff between the online profiler
+// (hpcrun writes per-thread measurement files) and the offline analyzer
+// (hpcprof reads and merges them), §7. A SessionData round-trips through a
+// line-oriented text format; strings are percent-escaped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/session.hpp"
+
+namespace numaprof::core {
+
+/// Current format version; load_profile rejects others.
+inline constexpr int kProfileFormatVersion = 2;
+
+void save_profile(const SessionData& data, std::ostream& os);
+void save_profile_file(const SessionData& data, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+SessionData load_profile(std::istream& is);
+SessionData load_profile_file(const std::string& path);
+
+/// Percent-escaping for strings embedded in the profile format (escapes
+/// '%', whitespace, and control characters).
+std::string escape_field(std::string_view raw);
+std::string unescape_field(std::string_view escaped);
+
+}  // namespace numaprof::core

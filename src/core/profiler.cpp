@@ -1,0 +1,220 @@
+#include "core/profiler.hpp"
+
+#include "pmu/mechanisms.hpp"
+#include "simos/numa_api.hpp"
+
+namespace numaprof::core {
+
+Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
+    : machine_(machine),
+      config_(config),
+      sampler_(pmu::make_sampler(config.event)),
+      registry_(cct_, machine.memory()),
+      addr_(ProfilerConfig::resolve_bins(config.address_bins)) {
+  access_dummy_ = cct_.child(kRootNode, NodeKind::kAccess, 0);
+  first_touch_dummy_ = cct_.child(kRootNode, NodeKind::kFirstTouch, 0);
+
+  sampler_->set_sink([this](const pmu::Sample& s) { on_sample(s); });
+  machine_.add_observer(*sampler_);
+  machine_.add_observer(*this);
+  if (config_.track_first_touch) {
+    machine_.set_protect_on_alloc(true);
+    machine_.set_fault_handler(
+        [this](const simrt::FaultEvent& f) { on_fault(f); });
+  }
+  running_ = true;
+}
+
+Profiler::~Profiler() {
+  if (running_) stop();
+}
+
+void Profiler::stop() {
+  if (!running_) return;
+  machine_.remove_observer(*sampler_);
+  machine_.remove_observer(*this);
+  if (config_.track_first_touch) {
+    machine_.set_protect_on_alloc(false);
+    machine_.set_fault_handler({});
+  }
+  // Read the "conventional PMU counters": absolute instruction and memory
+  // access counts per thread (the I and I_MEM of Eq. 1).
+  for (simrt::ThreadId tid = 0; tid < machine_.thread_count(); ++tid) {
+    ThreadTotals& t = totals_of(tid);
+    const simrt::SimThread& thread = machine_.thread(tid);
+    t.instructions = thread.instructions();
+    t.memory_instructions = thread.memory_accesses();
+  }
+  running_ = false;
+}
+
+MetricStore& Profiler::store_of(simrt::ThreadId tid) {
+  while (stores_.size() <= tid) {
+    stores_.emplace_back(machine_.topology().domain_count);
+  }
+  return stores_[tid];
+}
+
+ThreadTotals& Profiler::totals_of(simrt::ThreadId tid) {
+  while (totals_.size() <= tid) {
+    ThreadTotals t;
+    t.per_domain.assign(machine_.topology().domain_count, 0);
+    totals_.push_back(std::move(t));
+  }
+  return totals_[tid];
+}
+
+void Profiler::on_alloc(const simrt::AllocEvent& event) {
+  registry_.on_alloc(event);
+}
+
+void Profiler::on_free(const simrt::FreeEvent& event) {
+  registry_.on_free(event);
+}
+
+void Profiler::record_at(MetricStore& store, NodeId node, bool mismatch,
+                         bool remote, const pmu::Sample& sample,
+                         std::uint32_t home_domain) {
+  store.add(node, kSamples, 1);
+  store.add(node, kMemorySamples, 1);
+  store.add(node, mismatch ? kNumaMismatch : kNumaMatch, 1);
+  store.add(node, domain_metric(home_domain), 1);
+  if (sample.latency) {
+    const auto latency = static_cast<double>(*sample.latency);
+    store.add(node, kTotalLatency, latency);
+    if (remote) store.add(node, kRemoteLatency, latency);
+  }
+  if (sample.l3_miss) {
+    store.add(node, kL3MissSamples, 1);
+    if (mismatch) store.add(node, kRemoteL3MissSamples, 1);
+  }
+  if (sample.data_source) {
+    store.add(node, source_metric(*sample.data_source), 1);
+  }
+}
+
+void Profiler::on_sample(const pmu::Sample& sample) {
+  MetricStore& store = store_of(sample.tid);
+  ThreadTotals& totals = totals_of(sample.tid);
+  ++totals.samples;
+
+  // Code-centric attribution: the sample's call path under [ACCESS].
+  const NodeId code_leaf = cct_.extend(access_dummy_, sample.stack);
+  if (!sample.is_memory) {
+    // A sampled non-memory instruction (IBS/PEBS): contributes to I^s only.
+    store.add(code_leaf, kSamples, 1);
+    return;
+  }
+  ++totals.memory_samples;
+
+  // Domain classification (§4.1): move_pages for the data's domain,
+  // numa_node_of_cpu for the sampling CPU's domain.
+  const auto home = simos::domain_of_addr(machine_.memory().page_table(),
+                                          sample.addr);
+  const numasim::DomainId thread_domain =
+      simos::numa_node_of_cpu(machine_.topology(), sample.core);
+  const numasim::DomainId home_domain = home.value_or(thread_domain);
+  const bool mismatch = home_domain != thread_domain;
+  // Latency remoteness prefers the PMU data source when present: a sample
+  // served from a private cache is NOT remote traffic even if move_pages
+  // says the page lives elsewhere (the §4.1 bias the latency metrics fix).
+  const bool remote = sample.data_source
+                          ? numasim::is_remote(*sample.data_source)
+                          : mismatch;
+
+  record_at(store, code_leaf, mismatch, remote, sample, home_domain);
+
+  // Data-centric attribution: variable node + its address-range bin node
+  // (bins are synthetic variables, §5.2).
+  const VariableId vid = registry_.resolve(sample.addr);
+  const Variable& var = registry_.variable(vid);
+  record_at(store, var.variable_node, mismatch, remote, sample, home_domain);
+  if (addr_.bins_for(var) > 1) {
+    const NodeId bin_node = cct_.child(var.variable_node, NodeKind::kBin,
+                                       addr_.bin_of(var, sample.addr));
+    record_at(store, bin_node, mismatch, remote, sample, home_domain);
+  }
+
+  // Whole-program totals.
+  mismatch ? ++totals.mismatch : ++totals.match;
+  totals.per_domain[home_domain] += 1;
+  if (sample.latency) {
+    const auto latency = static_cast<double>(*sample.latency);
+    totals.total_latency += latency;
+    if (remote) totals.remote_latency += latency;
+  }
+  if (sample.l3_miss) {
+    ++totals.l3_miss_samples;
+    if (mismatch) ++totals.remote_l3_miss_samples;
+  }
+
+  // Address-centric attribution (§5.2).
+  addr_.record(sample.stack, var, sample.tid, sample.addr,
+               sample.latency ? static_cast<double>(*sample.latency) : 0.0);
+
+  // Optional trace event (time-varying analysis, core/trace.hpp).
+  if (config_.record_trace && trace_.size() < config_.trace_capacity) {
+    trace_.push_back(TraceEvent{
+        .time = sample.time,
+        .tid = sample.tid,
+        .variable = vid,
+        .home_domain = home_domain,
+        .mismatch = mismatch,
+        .remote = remote,
+        .latency = static_cast<std::uint32_t>(sample.latency.value_or(0))});
+  }
+}
+
+void Profiler::on_fault(const simrt::FaultEvent& fault) {
+  // The simulated SIGSEGV handler of §6: code-centric attribution from the
+  // signal context, data-centric from the faulting address, then restore
+  // permissions so the access can retry.
+  auto& page_table = machine_.memory().page_table();
+  const simos::PageId page = simos::page_of(fault.addr);
+  page_table.unprotect(page);
+
+  const VariableId vid = registry_.resolve(fault.addr);
+  const NodeId leaf = cct_.extend(first_touch_dummy_, fault.stack);
+  const NodeId node = cct_.child(leaf, NodeKind::kVariable, vid);
+
+  MetricStore& store = store_of(fault.tid);
+  store.add(node, kFirstTouches, 1);
+  store.add(registry_.variable(vid).variable_node, kFirstTouches, 1);
+
+  first_touches_.push_back(FirstTouchRecord{
+      .variable = vid,
+      .tid = fault.tid,
+      .domain = simos::numa_node_of_cpu(machine_.topology(), fault.core),
+      .node = node,
+      .page = page});
+}
+
+SessionData Profiler::snapshot() {
+  if (running_) stop();
+  SessionData data;
+  data.machine_name = machine_.topology().name;
+  data.domain_count = machine_.topology().domain_count;
+  data.core_count = machine_.topology().core_count();
+  data.mechanism = config_.event.mechanism;
+  data.sampling_period = config_.event.period;
+
+  const auto& frames = machine_.frames();
+  data.frames.reserve(frames.size());
+  for (simrt::FrameId f = 0; f < frames.size(); ++f) {
+    data.frames.push_back(frames.info(f));
+  }
+  data.cct = cct_;
+  data.variables = registry_.all();
+  data.stores = stores_;
+  data.totals = totals_;
+  data.address_centric = addr_;
+  data.first_touches = first_touches_;
+  data.trace = trace_;
+  if (const auto* pebs_ll =
+          dynamic_cast<const pmu::PebsLlSampler*>(sampler_.get())) {
+    data.pebs_ll_events = pebs_ll->events_counted();
+  }
+  return data;
+}
+
+}  // namespace numaprof::core

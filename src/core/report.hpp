@@ -1,0 +1,39 @@
+// Report generation: a complete analysis written to a directory.
+//
+// hpcviewer presents profiles interactively; this reproduction's
+// equivalent is a self-contained report directory a user can archive or
+// diff between runs:
+//   report.txt          program summary + verdicts + recommendations
+//   data_centric.csv    the variable ranking
+//   code_centric.csv    the call-path ranking
+//   domains.csv         per-domain request balance
+//   var_<name>/         per-hot-variable detail: address-centric CSV +
+//                       plot, first-touch sites, data sources
+//   timeline.txt        trace timeline (when a trace was recorded)
+#pragma once
+
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/viewer.hpp"
+
+namespace numaprof::core {
+
+struct ReportOptions {
+  /// How many top variables get a detail subdirectory.
+  std::size_t top_variables = 5;
+  /// Rows in the ranking CSVs.
+  std::size_t table_rows = 50;
+  /// Windows in the trace timeline.
+  std::uint32_t timeline_windows = 72;
+};
+
+/// Writes the full report into `directory` (created if missing, files
+/// overwritten). Returns the path of the main report.txt.
+/// Throws std::runtime_error on I/O failure.
+std::string write_report(const Analyzer& analyzer,
+                         const std::string& directory,
+                         const ReportOptions& options = {});
+
+}  // namespace numaprof::core

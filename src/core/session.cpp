@@ -1,0 +1,77 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace numaprof::core {
+
+std::vector<FirstTouchSite> SessionData::first_touch_sites(
+    VariableId variable) const {
+  // Merge records by CCT context: multiple threads initializing a variable
+  // concurrently (a parallel first-touch loop) fold into one site listing
+  // every touching thread and domain.
+  std::map<NodeId, FirstTouchSite> by_node;
+  for (const FirstTouchRecord& record : first_touches) {
+    if (record.variable != variable) continue;
+    FirstTouchSite& site = by_node[record.node];
+    site.node = record.node;
+    ++site.pages;
+    site.threads.push_back(record.tid);
+    site.domains.push_back(record.domain);
+  }
+  std::vector<FirstTouchSite> sites;
+  sites.reserve(by_node.size());
+  for (auto& [node, site] : by_node) {
+    std::sort(site.threads.begin(), site.threads.end());
+    site.threads.erase(
+        std::unique(site.threads.begin(), site.threads.end()),
+        site.threads.end());
+    std::sort(site.domains.begin(), site.domains.end());
+    site.domains.erase(
+        std::unique(site.domains.begin(), site.domains.end()),
+        site.domains.end());
+    sites.push_back(std::move(site));
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const FirstTouchSite& a, const FirstTouchSite& b) {
+              return a.pages > b.pages;
+            });
+  return sites;
+}
+
+std::string SessionData::frame_name(simrt::FrameId frame) const {
+  if (frame == kWholeProgram) return "<whole program>";
+  if (frame >= frames.size()) return "<frame " + std::to_string(frame) + ">";
+  return frames[frame].name;
+}
+
+std::string SessionData::node_label(NodeId node) const {
+  const CctNode& n = cct.node(node);
+  switch (n.kind) {
+    case NodeKind::kRoot: return "<root>";
+    case NodeKind::kFrame:
+      return frame_name(static_cast<simrt::FrameId>(n.key));
+    case NodeKind::kAllocation: return "[ALLOCATION]";
+    case NodeKind::kAccess: return "[ACCESS]";
+    case NodeKind::kFirstTouch: return "[FIRST-TOUCH]";
+    case NodeKind::kVariable: {
+      const auto var = static_cast<VariableId>(n.key);
+      return var < variables.size() ? "VAR " + variables[var].name
+                                    : "VAR #" + std::to_string(n.key);
+    }
+    case NodeKind::kBin: return "bin " + std::to_string(n.key);
+  }
+  return "?";
+}
+
+std::string SessionData::path_string(NodeId node) const {
+  std::string out;
+  for (const NodeId id : cct.path_to(node)) {
+    if (cct.node(id).kind == NodeKind::kRoot) continue;
+    if (!out.empty()) out += " > ";
+    out += node_label(id);
+  }
+  return out.empty() ? "<root>" : out;
+}
+
+}  // namespace numaprof::core

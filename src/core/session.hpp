@@ -1,0 +1,109 @@
+// SessionData: everything a profiling run produces, decoupled from the live
+// machine — the in-memory equivalent of hpcrun's measurement files. The
+// offline analyzer, viewer, advisor, and (de)serializer all operate on this
+// so that analysis of a live run and of a loaded profile share one code
+// path (§7.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/addrcentric.hpp"
+#include "core/cct.hpp"
+#include "core/datacentric.hpp"
+#include "core/metrics.hpp"
+#include "core/trace.hpp"
+#include "pmu/sample.hpp"
+#include "simrt/frame.hpp"
+
+namespace numaprof::core {
+
+/// Whole-program counters for one thread (the "conventional PMU counter"
+/// values of §4.2 plus sample aggregates).
+struct ThreadTotals {
+  std::uint64_t samples = 0;         // I^s: all sampled instructions
+  std::uint64_t memory_samples = 0;
+  std::uint64_t match = 0;           // M_l
+  std::uint64_t mismatch = 0;        // M_r
+  double remote_latency = 0.0;       // l^s_NUMA
+  double total_latency = 0.0;
+  std::uint64_t l3_miss_samples = 0;
+  std::uint64_t remote_l3_miss_samples = 0;
+  std::vector<std::uint64_t> per_domain;  // sampled accesses per home domain
+  std::uint64_t instructions = 0;         // absolute I (counter)
+  std::uint64_t memory_instructions = 0;  // absolute I_MEM (counter)
+};
+
+/// One trapped first touch (§6).
+struct FirstTouchRecord {
+  VariableId variable = 0;
+  simrt::ThreadId tid = 0;
+  std::uint32_t domain = 0;   // domain of the touching thread
+  NodeId node = kRootNode;    // CCT node: first-touch path -> variable
+  std::uint64_t page = 0;     // faulting page id
+};
+
+/// A first-touch site after postmortem merging of per-thread call paths
+/// (§6: "call paths of first touches to the same variable from different
+/// threads are merged postmortemly").
+struct FirstTouchSite {
+  NodeId node = kRootNode;     // merged CCT context
+  std::uint64_t pages = 0;     // pages first-touched from this site
+  std::vector<simrt::ThreadId> threads;   // who touched (sorted, unique)
+  std::vector<std::uint32_t> domains;     // where those threads ran
+};
+
+struct SessionData {
+  // Machine description.
+  std::string machine_name;
+  std::uint32_t domain_count = 1;
+  std::uint32_t core_count = 1;
+
+  // Monitoring configuration.
+  pmu::Mechanism mechanism = pmu::Mechanism::kIbs;
+  std::uint64_t sampling_period = 1;
+
+  // Program structure.
+  std::vector<simrt::FrameInfo> frames;
+  Cct cct;
+  std::vector<Variable> variables;
+
+  // Per-thread measurements.
+  std::vector<MetricStore> stores;
+  std::vector<ThreadTotals> totals;
+
+  // Address-centric data and first touches.
+  AddressCentric address_centric;
+  std::vector<FirstTouchRecord> first_touches;
+
+  // Mechanism-specific absolutes.
+  std::uint64_t pebs_ll_events = 0;  // free-running qualifying-event count
+
+  // Optional per-sample trace (§10 future work, when the profiler was
+  // configured with record_trace).
+  std::vector<TraceEvent> trace;
+
+  std::uint64_t thread_count() const noexcept { return totals.size(); }
+
+  std::uint64_t total_instructions() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& t : totals) total += t.instructions;
+    return total;
+  }
+
+  /// Postmortem merge of first-touch call paths per variable (§6).
+  std::vector<FirstTouchSite> first_touch_sites(VariableId variable) const;
+
+  /// Frame display name (safe on kWholeProgram / out-of-range).
+  std::string frame_name(simrt::FrameId frame) const;
+
+  /// One node's display label ("[ALLOCATION]", a frame name, "VAR z", ...).
+  std::string node_label(NodeId node) const;
+
+  /// Renders a CCT node as a human-readable path string, e.g.
+  /// "[ALLOCATION] main > solver > operator new[] > VAR z".
+  std::string path_string(NodeId node) const;
+};
+
+}  // namespace numaprof::core

@@ -1,0 +1,300 @@
+#include "core/viewer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "pmu/config.hpp"
+
+namespace numaprof::core {
+
+namespace {
+
+using support::format_count;
+using support::format_fixed;
+using support::format_percent;
+
+std::string lpi_cell(const std::optional<double>& lpi) {
+  return lpi ? format_fixed(*lpi, 3) : "n/a";
+}
+
+}  // namespace
+
+std::string Viewer::program_summary() const {
+  const ProgramSummary& p = analyzer_->program();
+  const SessionData& d = analyzer_->data();
+  std::ostringstream os;
+  os << "=== NUMA profile: " << d.machine_name << " ===\n"
+     << "mechanism: " << pmu::to_string(d.mechanism)
+     << "  period: " << d.sampling_period
+     << "  threads: " << d.thread_count() << "\n"
+     << "instructions (I): " << format_count(p.instructions)
+     << "  memory (I_MEM): " << format_count(p.memory_instructions)
+     << "  sampled (I^s): " << format_count(p.samples) << "\n"
+     << "M_l (NUMA_MATCH): " << format_count(p.match)
+     << "  M_r (NUMA_MISMATCH): " << format_count(p.mismatch) << "\n";
+  if (p.total_latency > 0.0) {
+    os << "sampled latency: " << format_fixed(p.total_latency, 0)
+       << " cycles, remote fraction: "
+       << format_percent(p.remote_latency_fraction) << "\n";
+  }
+  if (p.l3_miss_samples > 0) {
+    os << "L3-miss samples: " << format_count(p.l3_miss_samples)
+       << ", remote: " << format_percent(p.remote_l3_fraction) << "\n";
+  }
+  os << "domain imbalance (max/mean requests): "
+     << format_fixed(p.domain_imbalance, 2) << "\n";
+  if (p.lpi) {
+    // Eq. 1's three factors.
+    os << "lpi decomposition (Eq. 1): " << format_fixed(p.avg_remote_latency, 1)
+       << " cyc/remote x " << format_percent(p.remote_access_fraction)
+       << " remote x " << format_percent(p.memory_fraction)
+       << " memory/insn\n";
+  }
+  os << "lpi_NUMA: " << lpi_cell(p.lpi);
+  if (p.lpi) {
+    os << " cycles/insn (threshold " << format_fixed(kLpiThreshold, 1)
+       << ") -> "
+       << (p.warrants_optimization ? "WARRANTS NUMA optimization"
+                                   : "NUMA optimization NOT worthwhile");
+  } else {
+    os << " (mechanism reports no latency) -> "
+       << (p.warrants_optimization
+               ? "high M_r share suggests NUMA problems"
+               : "M_r share low; likely no NUMA problem");
+  }
+  os << "\n";
+  return os.str();
+}
+
+support::Table Viewer::data_centric_table(std::size_t top_n) const {
+  const SessionData& d = analyzer_->data();
+  std::vector<std::string> header = {"variable",  "kind",    "samples",
+                                     "M_l",       "M_r",     "rem.lat%",
+                                     "M_r%",      "lpi",     "home"};
+  for (std::uint32_t dom = 0; dom < d.domain_count; ++dom) {
+    header.push_back("N" + std::to_string(dom));
+  }
+  support::Table table(std::move(header));
+  std::size_t emitted = 0;
+  for (const VariableReport& r : analyzer_->variables()) {
+    if (emitted++ >= top_n) break;
+    std::vector<std::string> row = {
+        r.name,
+        std::string(to_string(r.kind)),
+        format_count(r.samples),
+        format_count(r.match),
+        format_count(r.mismatch),
+        format_percent(r.remote_latency_share),
+        format_percent(r.mismatch_share),
+        lpi_cell(r.lpi),
+        r.single_home_domain ? "domain " + std::to_string(*r.single_home_domain)
+                             : "spread",
+    };
+    for (std::uint32_t dom = 0; dom < d.domain_count; ++dom) {
+      row.push_back(format_count(r.per_domain[dom]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+support::Table Viewer::code_centric_table(std::size_t top_n) const {
+  const SessionData& d = analyzer_->data();
+  const MetricStore& merged = analyzer_->merged();
+
+  struct Row {
+    NodeId node;
+    double remote_latency;
+    double mismatch;
+    double samples;
+  };
+  std::vector<Row> rows;
+  const auto access = d.cct.find_child(kRootNode, NodeKind::kAccess, 0);
+  if (access) {
+    d.cct.visit(*access, [&](NodeId id) {
+      if (d.cct.node(id).kind != NodeKind::kFrame) return;
+      const double samples = merged.get(id, kMemorySamples);
+      if (samples <= 0) return;
+      rows.push_back(Row{.node = id,
+                         .remote_latency = merged.get(id, kRemoteLatency),
+                         .mismatch = merged.get(id, kNumaMismatch),
+                         .samples = samples});
+    });
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.remote_latency != b.remote_latency)
+      return a.remote_latency > b.remote_latency;
+    return a.mismatch > b.mismatch;
+  });
+
+  support::Table table({"call path", "samples", "M_l", "M_r", "rem.latency",
+                        "lpi"});
+  for (std::size_t i = 0; i < rows.size() && i < top_n; ++i) {
+    const Row& r = rows[i];
+    const double match = merged.get(r.node, kNumaMatch);
+    const double sampled = merged.get(r.node, kSamples);
+    table.add_row({
+        d.path_string(r.node),
+        format_count(static_cast<std::uint64_t>(r.samples)),
+        format_count(static_cast<std::uint64_t>(match)),
+        format_count(static_cast<std::uint64_t>(r.mismatch)),
+        format_fixed(r.remote_latency, 0),
+        sampled > 0 ? format_fixed(r.remote_latency / sampled, 3) : "n/a",
+    });
+  }
+  return table;
+}
+
+support::Table Viewer::address_centric_table(VariableId variable,
+                                             simrt::FrameId context) const {
+  const SessionData& d = analyzer_->data();
+  const Variable& var = d.variables.at(variable);
+  support::Table table({"thread", "lo", "hi", "samples", "latency"});
+  for (const ThreadRange& range :
+       d.address_centric.thread_ranges(var, context)) {
+    table.add_row({std::to_string(range.tid), format_fixed(range.lo, 4),
+                   format_fixed(range.hi, 4), format_count(range.count),
+                   format_fixed(range.latency, 0)});
+  }
+  return table;
+}
+
+std::string Viewer::address_centric_plot(VariableId variable,
+                                         simrt::FrameId context,
+                                         std::uint32_t width) const {
+  const SessionData& d = analyzer_->data();
+  const Variable& var = d.variables.at(variable);
+  const auto ranges = d.address_centric.thread_ranges(var, context);
+
+  std::ostringstream os;
+  os << "address-centric view: " << var.name << " ("
+     << to_string(var.kind) << ", " << var.page_count << " pages)"
+     << "  context: " << d.frame_name(context) << "\n"
+     << "normalized address range [0,1], one row per thread\n";
+  for (const ThreadRange& r : ranges) {
+    auto lo_col = static_cast<std::uint32_t>(r.lo * (width - 1));
+    auto hi_col = static_cast<std::uint32_t>(r.hi * (width - 1));
+    lo_col = std::min(lo_col, width - 1);
+    hi_col = std::min(std::max(hi_col, lo_col), width - 1);
+    std::string bar(width, '.');
+    for (std::uint32_t c = lo_col; c <= hi_col; ++c) bar[c] = '#';
+    os << "t" << (r.tid < 10 ? "  " : r.tid < 100 ? " " : "") << r.tid << " |"
+       << bar << "| [" << format_fixed(r.lo, 2) << ","
+       << format_fixed(r.hi, 2) << "] n=" << r.count << "\n";
+  }
+  return os.str();
+}
+
+support::Table Viewer::first_touch_table(VariableId variable) const {
+  const SessionData& d = analyzer_->data();
+  support::Table table({"first-touch call path", "pages", "threads",
+                        "domains"});
+  for (const FirstTouchSite& site : d.first_touch_sites(variable)) {
+    std::string threads;
+    for (const auto tid : site.threads) {
+      if (!threads.empty()) threads += ",";
+      threads += std::to_string(tid);
+      if (threads.size() > 24) {
+        threads += ",...";
+        break;
+      }
+    }
+    std::string domains;
+    for (const auto dom : site.domains) {
+      if (!domains.empty()) domains += ",";
+      domains += std::to_string(dom);
+    }
+    table.add_row({d.path_string(site.node), format_count(site.pages),
+                   threads, domains});
+  }
+  return table;
+}
+
+support::Table Viewer::domain_balance_table() const {
+  const ProgramSummary& p = analyzer_->program();
+  support::Table table({"domain", "sampled requests", "share"});
+  std::uint64_t total = 0;
+  for (const auto v : p.per_domain) total += v;
+  for (std::size_t dom = 0; dom < p.per_domain.size(); ++dom) {
+    table.add_row({std::to_string(dom), format_count(p.per_domain[dom]),
+                   total ? format_percent(static_cast<double>(p.per_domain[dom]) /
+                                          static_cast<double>(total))
+                         : "0%"});
+  }
+  return table;
+}
+
+support::Table Viewer::data_source_table(VariableId variable) const {
+  const SessionData& d = analyzer_->data();
+  const MetricStore& merged = analyzer_->merged();
+  const NodeId node = d.variables.at(variable).variable_node;
+
+  support::Table table({"data source", "sampled accesses", "share"});
+  double total = 0.0;
+  for (int s = 0; s < 6; ++s) {
+    total += merged.get(node, kSourceL1 + s);
+  }
+  for (int s = 0; s < 6; ++s) {
+    const auto source = static_cast<numasim::DataSource>(s);
+    const double count = merged.get(node, source_metric(source));
+    table.add_row({std::string(numasim::to_string(source)),
+                   format_count(static_cast<std::uint64_t>(count)),
+                   total > 0 ? format_percent(count / total) : "n/a"});
+  }
+  return table;
+}
+
+std::string Viewer::cct_tree(std::uint32_t metric, NodeId root,
+                             std::size_t max_depth, double min_share) const {
+  const SessionData& d = analyzer_->data();
+  const MetricStore& merged = analyzer_->merged();
+  const auto names = metric_names(d.domain_count);
+  std::ostringstream os;
+  os << "CCT (inclusive " << names.at(metric) << ")\n";
+  const double total = inclusive(d.cct, merged, root, metric);
+  if (total <= 0.0) {
+    os << "  (no samples)\n";
+    return os.str();
+  }
+
+  struct Entry {
+    NodeId node;
+    std::size_t depth;
+  };
+  // Explicit stack for pre-order traversal with sorted children.
+  std::vector<Entry> stack = {{root, 0}};
+  while (!stack.empty()) {
+    const Entry entry = stack.back();
+    stack.pop_back();
+    const double value = inclusive(d.cct, merged, entry.node, metric);
+    if (value < min_share * total) continue;
+    os << std::string(entry.depth * 2, ' ') << d.node_label(entry.node)
+       << "  " << format_fixed(value, 0) << " ("
+       << format_percent(value / total) << ")\n";
+    if (entry.depth + 1 > max_depth) continue;
+    auto children = d.cct.children(entry.node);
+    std::sort(children.begin(), children.end(),
+              [&](NodeId a, NodeId b) {
+                return inclusive(d.cct, merged, a, metric) <
+                       inclusive(d.cct, merged, b, metric);
+              });  // ascending: stack pops largest first
+    for (const NodeId child : children) {
+      stack.push_back({child, entry.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+std::string Viewer::trace_timeline(std::uint32_t windows) const {
+  const SessionData& d = analyzer_->data();
+  if (d.trace.empty()) return {};
+  const TraceAnalysis analysis(d.trace);
+  std::ostringstream os;
+  os << "trace timeline (" << windows
+     << " windows, char = M_r share: ' '<none '.'<25% '-'<50% '+'<75% "
+        "'#'>=75%)\n|"
+     << analysis.timeline(windows) << "|\n";
+  return os.str();
+}
+
+}  // namespace numaprof::core

@@ -1,0 +1,70 @@
+// The presentation layer (hpcviewer analogue, §7.2).
+//
+// Renders the three views as text tables / ASCII plots / CSV:
+//  - program summary with lpi_NUMA and the 0.1 rule-of-thumb verdict,
+//  - code-centric: call paths ranked by NUMA cost,
+//  - data-centric: variables ranked by remote-latency (or M_r) share,
+//  - address-centric: the novel per-thread normalized [min,max] range plot
+//    of Fig. 3 (top right), per calling context,
+//  - first-touch report: where each variable's pages were first touched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "support/table.hpp"
+
+namespace numaprof::core {
+
+class Viewer {
+ public:
+  explicit Viewer(const Analyzer& analyzer) : analyzer_(&analyzer) {}
+
+  /// Whole-program metrics + severity verdict.
+  std::string program_summary() const;
+
+  /// Variables ranked by NUMA cost. Columns mirror the paper's metric pane
+  /// (NUMA_MATCH, NUMA_MISMATCH, NUMA_NODE<k>, latency shares, lpi).
+  support::Table data_centric_table(std::size_t top_n = 20) const;
+
+  /// Call-path contexts under [ACCESS] ranked by NUMA cost.
+  support::Table code_centric_table(std::size_t top_n = 20) const;
+
+  /// Per-thread address-range rows for (variable, context).
+  support::Table address_centric_table(
+      VariableId variable, simrt::FrameId context = kWholeProgram) const;
+
+  /// ASCII rendition of the Fig. 3 plot: one bar per thread spanning the
+  /// normalized [min,max] of its accesses to the variable.
+  std::string address_centric_plot(VariableId variable,
+                                   simrt::FrameId context = kWholeProgram,
+                                   std::uint32_t width = 64) const;
+
+  /// First-touch sites for a variable (merged call paths, §6).
+  support::Table first_touch_table(VariableId variable) const;
+
+  /// Memory request balance: sampled accesses per NUMA domain (§4.1).
+  support::Table domain_balance_table() const;
+
+  /// Data-source breakdown for a variable (IBS/PEBS-LL only): where its
+  /// sampled accesses were satisfied (§8.3's "data source metrics").
+  support::Table data_source_table(VariableId variable) const;
+
+  /// ASCII timeline of the run's mismatch fraction over virtual time
+  /// (requires a recorded trace; empty string otherwise).
+  std::string trace_timeline(std::uint32_t windows = 64) const;
+
+  /// The hpcviewer "program structure" pane (Fig. 3 bottom left): the
+  /// augmented CCT as an indented tree annotated with INCLUSIVE metric
+  /// values. Children are sorted by metric, subtrees below `min_share` of
+  /// the root's inclusive value are pruned, depth is capped.
+  std::string cct_tree(std::uint32_t metric = kMemorySamples,
+                       NodeId root = kRootNode, std::size_t max_depth = 10,
+                       double min_share = 0.01) const;
+
+ private:
+  const Analyzer* analyzer_;
+};
+
+}  // namespace numaprof::core

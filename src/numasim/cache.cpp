@@ -1,0 +1,64 @@
+#include "numasim/cache.hpp"
+
+#include <bit>
+
+namespace numaprof::numasim {
+
+namespace {
+
+std::uint32_t round_up_pow2(std::uint32_t v) noexcept {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+}  // namespace
+
+SetAssocCache::SetAssocCache(const CacheGeometry& geometry)
+    : set_mask_(round_up_pow2(geometry.sets) - 1),
+      set_bits_(std::bit_width(static_cast<std::uint64_t>(set_mask_))),
+      hash_index_(geometry.hash_index),
+      ways_(geometry.ways == 0 ? 1 : geometry.ways),
+      hit_latency_(geometry.hit_latency),
+      lines_(static_cast<std::size_t>(set_mask_ + 1) * ways_) {}
+
+bool SetAssocCache::access(LineAddr line) {
+  ++tick_;
+  Way* set = &lines_[static_cast<std::size_t>(set_index(line)) * ways_];
+  Way* victim = set;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].last_use != 0 && set[w].tag == line) {
+      set[w].last_use = tick_;
+      ++hits_;
+      return true;
+    }
+    if (set[w].last_use < victim->last_use) victim = &set[w];
+  }
+  ++misses_;
+  victim->tag = line;
+  victim->last_use = tick_;
+  return false;
+}
+
+bool SetAssocCache::contains(LineAddr line) const noexcept {
+  const Way* set = &lines_[static_cast<std::size_t>(set_index(line)) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].last_use != 0 && set[w].tag == line) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate(LineAddr line) noexcept {
+  Way* set = &lines_[static_cast<std::size_t>(set_index(line)) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].last_use != 0 && set[w].tag == line) {
+      set[w].last_use = 0;
+      return;
+    }
+  }
+}
+
+void SetAssocCache::clear() noexcept {
+  for (auto& way : lines_) way.last_use = 0;
+  tick_ = 0;
+}
+
+}  // namespace numaprof::numasim

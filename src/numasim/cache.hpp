@@ -1,0 +1,76 @@
+// Set-associative LRU cache model.
+//
+// The profiler never inspects cache internals; the caches exist so that the
+// simulated machine produces realistic event streams: L3 misses (the event
+// MRK samples on POWER7), data-source classification for IBS/PEBS-LL
+// samples, and the private-cache-reuse effect §4.1 warns about (a variable
+// resident in a private cache keeps counting as "remote" under move_pages-
+// based classification even though no remote traffic occurs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numasim/topology.hpp"
+#include "numasim/types.hpp"
+
+namespace numaprof::numasim {
+
+/// One physical cache: `sets` x `ways`, true-LRU replacement, line-grain.
+/// Write-allocate, and (for model simplicity) writes never generate
+/// write-back traffic — the tool under study only measures read/write
+/// *access* latency, not eviction traffic.
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheGeometry& geometry);
+
+  /// Looks up `line`; on miss, allocates it (evicting LRU). Returns true on
+  /// hit. Lookup and fill are combined because the simulator always fills
+  /// on the miss path.
+  bool access(LineAddr line);
+
+  /// Lookup without allocation (used by tests and by snooping probes).
+  bool contains(LineAddr line) const noexcept;
+
+  /// Invalidate a single line if present (used when a page's placement is
+  /// changed by migration-style APIs).
+  void invalidate(LineAddr line) noexcept;
+
+  /// Drop all contents (workload phase boundaries in tests).
+  void clear() noexcept;
+
+  Cycles hit_latency() const noexcept { return hit_latency_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Way {
+    LineAddr tag = 0;
+    std::uint64_t last_use = 0;  // LRU stamp; 0 means invalid
+  };
+
+  std::uint32_t set_index(LineAddr line) const noexcept {
+    if (hash_index_) {
+      // Fibonacci (multiplicative) hashing: spreads ANY stride pattern
+      // near-uniformly across sets, which is what hardware index hashing
+      // accomplishes. A plain XOR fold only permutes within aligned
+      // windows and leaves power-of-two strides aliased.
+      const std::uint64_t hashed = line * 0x9E3779B97F4A7C15ULL;
+      return static_cast<std::uint32_t>(hashed >> (64 - set_bits_)) &
+             set_mask_;
+    }
+    return static_cast<std::uint32_t>(line) & set_mask_;
+  }
+
+  std::uint32_t set_mask_;
+  std::uint32_t set_bits_;
+  bool hash_index_;
+  std::uint32_t ways_;
+  Cycles hit_latency_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Way> lines_;  // sets * ways, row-major by set
+};
+
+}  // namespace numaprof::numasim

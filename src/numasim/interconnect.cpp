@@ -1,0 +1,44 @@
+#include "numasim/interconnect.hpp"
+
+namespace numaprof::numasim {
+
+Interconnect::Interconnect(std::uint32_t domain_count, Cycles hop_latency,
+                           Cycles service)
+    : domain_count_(domain_count), hop_latency_(hop_latency) {
+  links_.reserve(static_cast<std::size_t>(domain_count) * domain_count);
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(domain_count) * domain_count; ++i) {
+    links_.emplace_back(service);
+  }
+}
+
+Cycles Interconnect::round_trip(DomainId from, DomainId to, Cycles now,
+                                std::uint32_t hops) noexcept {
+  if (from == to) return 0;
+  QueueModel& request_link = links_[index(from, to)];
+  // The data-carrying request link models occupancy; the response path adds
+  // propagation latency only (small control/ack messages). Multi-hop pairs
+  // (partially connected fabrics) pay the propagation per traversal.
+  const Cycles queue_delay = request_link.enqueue(now);
+  return queue_delay + request_link.service() +
+         2 * hop_latency_ * (hops == 0 ? 1 : hops);
+}
+
+std::uint64_t Interconnect::transfers(DomainId from,
+                                      DomainId to) const noexcept {
+  return links_[index(from, to)].requests();
+}
+
+std::uint64_t Interconnect::inbound_transfers(DomainId to) const noexcept {
+  std::uint64_t total = 0;
+  for (DomainId from = 0; from < domain_count_; ++from) {
+    if (from != to) total += links_[index(from, to)].requests();
+  }
+  return total;
+}
+
+void Interconnect::reset_stats() noexcept {
+  for (auto& link : links_) link.reset_stats();
+}
+
+}  // namespace numaprof::numasim

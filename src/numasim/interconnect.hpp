@@ -1,0 +1,49 @@
+// Inter-domain interconnect with per-directed-link bandwidth.
+//
+// Remote accesses traverse the link (requester domain -> home domain) and
+// pay a fixed hop latency each way plus queueing when the link is
+// saturated. This models the "contention for limited bandwidth between
+// NUMA domains" bottleneck of §1-§2: when one domain hosts all the data,
+// its inbound links and controller saturate together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numasim/queue_model.hpp"
+#include "numasim/types.hpp"
+
+namespace numaprof::numasim {
+
+class Interconnect {
+ public:
+  /// `hop_latency` is the one-way propagation cost; `service` the per-
+  /// transfer occupancy of a directed link (1/bandwidth).
+  Interconnect(std::uint32_t domain_count, Cycles hop_latency, Cycles service);
+
+  /// Performs a round trip from `from` to `to` at time `now`; returns total
+  /// added cycles (propagation for `hops` traversals each way + any
+  /// queueing on the request link). Local round trips (from == to) cost
+  /// nothing. `hops` defaults to 1 (fully connected fabric).
+  Cycles round_trip(DomainId from, DomainId to, Cycles now,
+                    std::uint32_t hops = 1) noexcept;
+
+  /// Total transfers that crossed the directed link from->to.
+  std::uint64_t transfers(DomainId from, DomainId to) const noexcept;
+
+  /// Aggregate transfers into `to` from every other domain (inbound load).
+  std::uint64_t inbound_transfers(DomainId to) const noexcept;
+
+  void reset_stats() noexcept;
+
+ private:
+  std::size_t index(DomainId from, DomainId to) const noexcept {
+    return static_cast<std::size_t>(from) * domain_count_ + to;
+  }
+
+  std::uint32_t domain_count_;
+  Cycles hop_latency_;
+  std::vector<QueueModel> links_;
+};
+
+}  // namespace numaprof::numasim

@@ -1,0 +1,138 @@
+#include "numasim/topology.hpp"
+
+namespace numaprof::numasim {
+
+std::string_view to_string(DataSource s) noexcept {
+  switch (s) {
+    case DataSource::kL1: return "L1";
+    case DataSource::kL2: return "L2";
+    case DataSource::kLocalL3: return "local-L3";
+    case DataSource::kRemoteL3: return "remote-L3";
+    case DataSource::kLocalDram: return "local-DRAM";
+    case DataSource::kRemoteDram: return "remote-DRAM";
+  }
+  return "unknown";
+}
+
+Topology amd_magny_cours() {
+  Topology t;
+  t.name = "AMD Magny-Cours (4 sockets, 8 NUMA domains, 48 cores)";
+  t.domain_count = 8;
+  t.cores_per_domain = 6;
+  t.l1 = {.sets = 64, .ways = 2, .hit_latency = 3};     // 8 KiB
+  t.l2 = {.sets = 64, .ways = 8, .hit_latency = 12};    // 32 KiB
+  t.l3 = {.sets = 1024, .ways = 8, .hit_latency = 40};  // 512 KiB/domain
+  t.local_dram_latency = 120;
+  t.remote_hop_latency = 70;  // ~2.2x remote/local uncontended round trip
+  // 64B per 12 cycles ~ 10 GB/s per controller at the nominal 2 GHz: low
+  // enough that funneling all 48 threads into ONE controller saturates it
+  // (the Figure-1 "bandwidth problem"), high enough that 6 local threads
+  // per controller do not.
+  t.controller_service = 12;
+  t.link_service = 2;
+  return t;
+}
+
+Topology amd_magny_cours_ht() {
+  Topology t = amd_magny_cours();
+  t.name = "AMD Magny-Cours (partially-connected HT fabric)";
+  t.domain_distance.assign(static_cast<std::size_t>(t.domain_count) *
+                               t.domain_count,
+                           0);
+  for (DomainId a = 0; a < t.domain_count; ++a) {
+    for (DomainId b = 0; b < t.domain_count; ++b) {
+      if (a == b) continue;
+      // Dies 2k and 2k+1 share a socket: 1 hop. Other sockets: 2 hops.
+      const bool same_socket = (a / 2) == (b / 2);
+      t.domain_distance[static_cast<std::size_t>(a) * t.domain_count + b] =
+          same_socket ? 1 : 2;
+    }
+  }
+  return t;
+}
+
+Topology power7() {
+  Topology t;
+  t.name = "IBM POWER7 (4 sockets, 4 NUMA domains, 128 SMT threads)";
+  t.domain_count = 4;
+  t.cores_per_domain = 32;
+  t.l1 = {.sets = 64, .ways = 2, .hit_latency = 2};
+  t.l2 = {.sets = 128, .ways = 4, .hit_latency = 8};
+  t.l3 = {.sets = 2048, .ways = 8, .hit_latency = 30};  // large eDRAM L3
+  t.local_dram_latency = 100;
+  // POWER7 sockets are tightly coupled: a smaller remote penalty than the
+  // 8-domain AMD box, which is why interleaving (which sacrifices locality
+  // for balance) can *hurt* there (§8.1: -16.4%). The narrow inter-socket
+  // links make remote traffic expensive under load.
+  t.remote_hop_latency = 45;
+  t.controller_service = 8;
+  t.link_service = 5;
+  return t;
+}
+
+Topology xeon_harpertown() {
+  Topology t;
+  t.name = "Intel Xeon Harpertown (2 sockets, 8 cores)";
+  t.domain_count = 2;
+  t.cores_per_domain = 4;
+  t.l1 = {.sets = 64, .ways = 4, .hit_latency = 3};
+  t.l2 = {.sets = 512, .ways = 8, .hit_latency = 14};
+  t.l3 = {.sets = 2048, .ways = 8, .hit_latency = 45};
+  t.local_dram_latency = 140;
+  t.remote_hop_latency = 55;
+  t.controller_service = 5;
+  t.link_service = 3;
+  return t;
+}
+
+Topology itanium2() {
+  Topology t;
+  t.name = "Intel Itanium 2 (2 domains, 8 cores)";
+  t.domain_count = 2;
+  t.cores_per_domain = 4;
+  t.l1 = {.sets = 32, .ways = 4, .hit_latency = 1};
+  t.l2 = {.sets = 256, .ways = 8, .hit_latency = 6};
+  t.l3 = {.sets = 4096, .ways = 12, .hit_latency = 25};
+  t.local_dram_latency = 150;
+  t.remote_hop_latency = 60;
+  t.controller_service = 5;
+  t.link_service = 3;
+  return t;
+}
+
+Topology ivy_bridge() {
+  Topology t;
+  t.name = "Intel Ivy Bridge (2 sockets, 8 cores)";
+  t.domain_count = 2;
+  t.cores_per_domain = 4;
+  t.l1 = {.sets = 64, .ways = 8, .hit_latency = 4};
+  t.l2 = {.sets = 512, .ways = 8, .hit_latency = 12};
+  t.l3 = {.sets = 4096, .ways = 16, .hit_latency = 35};
+  t.local_dram_latency = 110;
+  t.remote_hop_latency = 50;
+  t.controller_service = 3;
+  t.link_service = 2;
+  return t;
+}
+
+Topology test_machine(std::uint32_t domains, std::uint32_t cores) {
+  Topology t;
+  t.name = "test machine";
+  t.domain_count = domains;
+  t.cores_per_domain = cores;
+  t.l1 = {.sets = 4, .ways = 2, .hit_latency = 3, .hash_index = false};
+  t.l2 = {.sets = 8, .ways = 2, .hit_latency = 10, .hash_index = false};
+  t.l3 = {.sets = 16, .ways = 4, .hit_latency = 30, .hash_index = false};
+  t.local_dram_latency = 100;
+  t.remote_hop_latency = 50;
+  t.controller_service = 4;
+  t.link_service = 2;
+  return t;
+}
+
+std::vector<Topology> evaluation_presets() {
+  return {amd_magny_cours(), power7(), xeon_harpertown(), itanium2(),
+          ivy_bridge()};
+}
+
+}  // namespace numaprof::numasim

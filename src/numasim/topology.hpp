@@ -1,0 +1,108 @@
+// Machine topology description and presets for the five evaluation systems.
+//
+// The paper evaluates on five machines (Table 1): a 4-socket AMD
+// Magny-Cours (48 cores, 8 NUMA domains), a 4-socket IBM POWER7 (128 SMT
+// threads, 4 domains), an Intel Xeon Harpertown, an Itanium 2, and an Ivy
+// Bridge box. Each preset reproduces the core/domain layout and a latency/
+// bandwidth profile with the qualitative properties the paper relies on:
+// remote accesses cost >30% more than local (§2) and saturated controllers
+// inflate latency several-fold (§2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numasim/types.hpp"
+
+namespace numaprof::numasim {
+
+/// Cache geometry for one level. Sizes are per cache instance.
+struct CacheGeometry {
+  std::uint32_t sets = 64;
+  std::uint32_t ways = 8;
+  Cycles hit_latency = 3;
+  /// XOR-fold high address bits into the set index, as real caches hash
+  /// their index function: without it, power-of-two strided placements
+  /// (e.g. per-domain page blocks) alias into a few sets and thrash a
+  /// cache they fit in by capacity. Test geometries disable it to keep
+  /// set mapping predictable.
+  bool hash_index = true;
+
+  std::uint64_t capacity_bytes() const noexcept {
+    return static_cast<std::uint64_t>(sets) * ways * kLineBytes;
+  }
+};
+
+/// Full machine description. Immutable once built; System instantiates it.
+struct Topology {
+  std::string name;
+  std::uint32_t domain_count = 1;
+  std::uint32_t cores_per_domain = 1;
+
+  CacheGeometry l1;  // private per core
+  CacheGeometry l2;  // private per core
+  CacheGeometry l3;  // shared per domain
+
+  Cycles local_dram_latency = 120;   // controller pipe latency, uncontended
+  Cycles remote_hop_latency = 60;    // one interconnect traversal, each way
+  Cycles controller_service = 4;     // occupancy per request (1/bandwidth)
+  Cycles link_service = 2;           // occupancy per remote transfer
+
+  /// Optional inter-domain hop counts (row-major D x D), like the distance
+  /// table `numactl --hardware` prints: real multi-socket fabrics are often
+  /// partially connected, so some remote domains cost two traversals.
+  /// Empty = uniform (every remote pair is 1 hop). Diagonal entries are 0.
+  std::vector<std::uint8_t> domain_distance;
+
+  /// Hops between two domains (0 for a == b, >= 1 otherwise).
+  std::uint32_t distance(DomainId a, DomainId b) const noexcept {
+    if (a == b) return 0;
+    if (domain_distance.size() ==
+        static_cast<std::size_t>(domain_count) * domain_count) {
+      return domain_distance[static_cast<std::size_t>(a) * domain_count + b];
+    }
+    return 1;
+  }
+
+  std::uint32_t core_count() const noexcept {
+    return domain_count * cores_per_domain;
+  }
+  DomainId domain_of_core(CoreId core) const noexcept {
+    return core / cores_per_domain;
+  }
+  CoreId first_core_of(DomainId domain) const noexcept {
+    return domain * cores_per_domain;
+  }
+};
+
+/// 4-socket AMD Magny-Cours: 48 cores in 8 NUMA domains (each socket holds
+/// two 6-core dies with their own memory controllers). IBS host (Table 1).
+Topology amd_magny_cours();
+
+/// Same machine with its REAL partially-connected HyperTransport fabric:
+/// the two dies of a socket are 1 hop apart, dies on different sockets are
+/// 2 hops. (The flat preset above treats all remote pairs as 1 hop.)
+Topology amd_magny_cours_ht();
+
+/// 4-socket IBM POWER7: 128 SMT hardware threads, one NUMA domain per
+/// socket (§8: "we consider each socket a NUMA domain"). MRK host.
+Topology power7();
+
+/// Intel Xeon Harpertown: 8 cores, 2 front-side-bus domains. PEBS host.
+Topology xeon_harpertown();
+
+/// Intel Itanium 2: 8 cores, 2 domains. DEAR host.
+Topology itanium2();
+
+/// Intel Ivy Bridge: 8 cores, 2 sockets/domains. PEBS-LL host.
+Topology ivy_bridge();
+
+/// Small machine for unit tests: `domains` domains x `cores` cores with tiny
+/// caches so tests can force misses cheaply.
+Topology test_machine(std::uint32_t domains, std::uint32_t cores);
+
+/// All five evaluation presets (Table 1 order).
+std::vector<Topology> evaluation_presets();
+
+}  // namespace numaprof::numasim

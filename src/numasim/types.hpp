@@ -1,0 +1,54 @@
+// Core identifier and unit types for the NUMA machine model.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace numaprof::numasim {
+
+/// Virtual time in CPU cycles. One global clock domain: the simulator runs
+/// every core at the same nominal frequency, as the paper's metrics (cycles
+/// per instruction) assume.
+using Cycles = std::uint64_t;
+
+/// Identifies a hardware thread (logical CPU) in the machine. Dense, 0-based.
+using CoreId = std::uint32_t;
+
+/// Identifies a NUMA domain (socket or on-chip domain, §1). Dense, 0-based.
+using DomainId = std::uint32_t;
+
+/// Cache line addresses: byte address >> kLineBits.
+using LineAddr = std::uint64_t;
+
+inline constexpr std::uint32_t kLineBits = 6;   // 64-byte cache lines
+inline constexpr std::uint64_t kLineBytes = 1ULL << kLineBits;
+
+constexpr LineAddr line_of(std::uint64_t byte_addr) noexcept {
+  return byte_addr >> kLineBits;
+}
+
+/// Where a memory access was satisfied. This mirrors the "data source"
+/// field PMU address sampling reports (IBS and PEBS-LL expose it; §3, §4.2).
+enum class DataSource : std::uint8_t {
+  kL1,          // requester's private L1
+  kL2,          // requester's private L2
+  kLocalL3,     // shared L3 of the requester's own domain
+  kRemoteL3,    // shared L3 of another domain
+  kLocalDram,   // memory attached to the requester's domain
+  kRemoteDram,  // memory attached to another domain
+};
+
+/// True when the access left the requester's NUMA domain (counts toward
+/// remote-access metrics such as M_r and l_NUMA).
+constexpr bool is_remote(DataSource s) noexcept {
+  return s == DataSource::kRemoteL3 || s == DataSource::kRemoteDram;
+}
+
+/// True when the access missed every cache and reached DRAM.
+constexpr bool is_dram(DataSource s) noexcept {
+  return s == DataSource::kLocalDram || s == DataSource::kRemoteDram;
+}
+
+std::string_view to_string(DataSource s) noexcept;
+
+}  // namespace numaprof::numasim

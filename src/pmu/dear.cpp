@@ -1,0 +1,23 @@
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+void DearSampler::on_access(const simrt::SimThread& thread,
+                            const simrt::AccessEvent& event) {
+  if (event.is_write) return;  // DEAR captures loads
+  if (event.latency < config_.latency_threshold) return;
+
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = jittered_period();
+    st.primed = true;
+  }
+  if (st.countdown <= 1) {
+    st.countdown = jittered_period();
+    emit(make_memory_sample(event));
+  } else {
+    --st.countdown;
+  }
+}
+
+}  // namespace numaprof::pmu

@@ -1,0 +1,42 @@
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+std::uint64_t busy_work(std::uint32_t iterations) noexcept {
+  volatile std::uint64_t acc = 0;
+  for (std::uint32_t i = 0; i < iterations; ++i) acc = acc + i;
+  return acc;
+}
+
+void IbsSampler::on_exec(const simrt::SimThread& thread, std::uint64_t count) {
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = jittered_period();
+    st.primed = true;
+  }
+  // A batch of `count` non-memory instructions may straddle several tag
+  // points; each tagged op yields an instruction sample (I^s in Eq. 2).
+  while (count >= st.countdown) {
+    count -= st.countdown;
+    emit(make_instruction_sample(thread));
+    st.countdown = jittered_period();
+  }
+  st.countdown -= count;
+}
+
+void IbsSampler::on_access(const simrt::SimThread& thread,
+                           const simrt::AccessEvent& event) {
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = jittered_period();
+    st.primed = true;
+  }
+  if (st.countdown <= 1) {
+    emit(make_memory_sample(event));
+    st.countdown = jittered_period();
+  } else {
+    --st.countdown;
+  }
+}
+
+}  // namespace numaprof::pmu

@@ -1,0 +1,108 @@
+// The six address-sampling mechanisms (§3).
+//
+// Each class reproduces the trigger logic and capability profile of one
+// hardware (or software) mechanism. See pmu/config.cpp for the capability
+// matrix and Table 1 configurations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pmu/sampler.hpp"
+
+namespace numaprof::pmu {
+
+/// AMD instruction-based sampling: tags every N-th *instruction* of any
+/// kind; tagged memory ops report effective address, latency, data source,
+/// and a precise IP. Sampling all instruction kinds is what makes the
+/// load/store fraction of the instruction stream measurable (§10) — and is
+/// also why IBS has the third-highest overhead in Table 2 (high sample
+/// rate, software must filter non-memory samples).
+class IbsSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_exec(const simrt::SimThread& thread, std::uint64_t count) override;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+};
+
+/// IBM POWER7 marked-event sampling: marks instructions causing a specific
+/// event (PM_MRK_FROM_L3MISS here) and samples those; hardware limits the
+/// marking rate (under 100 samples/s/thread at the fastest user-visible
+/// setting, §8 footnote 2). No latency reported in this analysis mode.
+class MrkSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+};
+
+/// Intel PEBS on INST_RETIRED:ANY_P: samples every N-th retired
+/// instruction; the hardware-reported IP is the *next* instruction
+/// (off-by-1 skid). With skid correction enabled (the paper's choice) the
+/// profiler performs costly online previous-instruction analysis per
+/// sample; disabled, samples attribute to the following instruction's
+/// context, which can mis-attribute across frame boundaries.
+class PebsSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_exec(const simrt::SimThread& thread, std::uint64_t count) override;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+  void on_thread_finish(const simrt::SimThread& thread) override;
+
+ private:
+  /// Emits or defers a ready sample according to the skid policy.
+  void deliver(const simrt::SimThread& thread, Sample sample);
+  /// Emits the deferred sample using the *current* context (the skid).
+  void flush_pending(const simrt::SimThread& thread);
+
+  std::vector<std::optional<Sample>> pending_;  // per thread
+};
+
+/// Itanium DEAR: data event address registers capture loads whose latency
+/// meets a threshold (DATA_EAR_CACHE_LAT4); every N-th qualifying load is
+/// sampled with address + latency + precise IP, but there are no NUMA
+/// data-source events (§10).
+class DearSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+};
+
+/// Intel PEBS-LL: samples every N-th load with latency above threshold,
+/// reporting address, latency, data source, and precise IP. The hardware
+/// also counts qualifying events continuously, giving the absolute event
+/// number E_NUMA that Eq. 3 scales by.
+class PebsLlSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+
+  /// Absolute count of qualifying (latency >= threshold) load events, the
+  /// "conventional counter" reading used by Eq. 3.
+  std::uint64_t events_counted() const noexcept { return events_counted_; }
+
+ private:
+  std::uint64_t events_counted_ = 0;
+};
+
+/// Soft-IBS: the paper's software fallback. An instrumentation stub runs on
+/// EVERY memory access (reproduced as real host work per access — the
+/// +180-200% overhead rows of Table 2); every N-th access is recorded with
+/// effective address and IP. Thread->CPU binding is static, so the thread's
+/// domain is known without PMU support (§4.1).
+class SoftIbsSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+};
+
+/// Deterministic host busy-work used to model instrumentation/analysis
+/// cost. Returns a value so the loop cannot be optimized away.
+std::uint64_t busy_work(std::uint32_t iterations) noexcept;
+
+}  // namespace numaprof::pmu

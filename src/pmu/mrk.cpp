@@ -1,0 +1,27 @@
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+void MrkSampler::on_access(const simrt::SimThread& thread,
+                           const simrt::AccessEvent& event) {
+  if (!event.l3_miss) return;  // only the marked event qualifies
+
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = config_.period == 0 ? 1 : config_.period;
+    st.primed = true;
+  }
+  if (--st.countdown != 0) return;
+  st.countdown = config_.period == 0 ? 1 : config_.period;
+
+  // Hardware rate limiting: POWER7 will not mark again until the gap has
+  // elapsed, which is what caps MRK below 100 samples/s/thread.
+  if (config_.min_sample_gap != 0 && st.last_sample_time != 0 &&
+      event.time - st.last_sample_time < config_.min_sample_gap) {
+    return;
+  }
+  st.last_sample_time = event.time;
+  emit(make_memory_sample(event));
+}
+
+}  // namespace numaprof::pmu

@@ -1,0 +1,78 @@
+#include "pmu/sampler.hpp"
+
+#include <stdexcept>
+
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+Sampler::ThreadState& Sampler::state_of(simrt::ThreadId tid) {
+  if (tid >= states_.size()) states_.resize(tid + 1);
+  return states_[tid];
+}
+
+std::uint64_t Sampler::jittered_period() {
+  if (!jitter_seeded_) {
+    jitter_ = support::Rng(config_.seed);
+    jitter_seeded_ = true;
+  }
+  const std::uint64_t base = config_.period == 0 ? 1 : config_.period;
+  const std::uint64_t spread = base / 8;
+  if (spread == 0) return base;
+  return base - spread + jitter_.next_below(2 * spread + 1);
+}
+
+Sample Sampler::make_memory_sample(const simrt::AccessEvent& event) const {
+  const Capabilities caps = capabilities();
+  Sample s;
+  s.mechanism = config_.mechanism;
+  s.tid = event.tid;
+  s.core = event.core;
+  s.is_memory = true;
+  s.addr = event.addr;
+  s.is_write = event.is_write;
+  if (caps.reports_latency) s.latency = event.latency;
+  if (caps.reports_data_source) s.data_source = event.source;
+  s.l3_miss = event.l3_miss;
+  s.time = event.time;
+  s.op_index = event.op_index;
+  s.leaf_frame = event.leaf_frame;
+  s.stack.assign(event.stack.begin(), event.stack.end());
+  s.ip_precise = caps.precise_ip;
+  return s;
+}
+
+Sample Sampler::make_instruction_sample(const simrt::SimThread& thread) const {
+  Sample s;
+  s.mechanism = config_.mechanism;
+  s.tid = thread.tid();
+  s.core = thread.core();
+  s.is_memory = false;
+  s.time = thread.now();
+  s.op_index = thread.instructions();
+  s.leaf_frame = thread.leaf_frame();
+  const auto stack = thread.call_stack();
+  s.stack.assign(stack.begin(), stack.end());
+  s.ip_precise = capabilities().precise_ip;
+  return s;
+}
+
+void Sampler::emit(Sample sample) {
+  ++emitted_;
+  if (sample.is_memory) ++memory_samples_;
+  if (sink_) sink_(sample);
+}
+
+std::unique_ptr<Sampler> make_sampler(EventConfig config) {
+  switch (config.mechanism) {
+    case Mechanism::kIbs: return std::make_unique<IbsSampler>(config);
+    case Mechanism::kMrk: return std::make_unique<MrkSampler>(config);
+    case Mechanism::kPebs: return std::make_unique<PebsSampler>(config);
+    case Mechanism::kDear: return std::make_unique<DearSampler>(config);
+    case Mechanism::kPebsLl: return std::make_unique<PebsLlSampler>(config);
+    case Mechanism::kSoftIbs: return std::make_unique<SoftIbsSampler>(config);
+  }
+  throw std::invalid_argument("unknown sampling mechanism");
+}
+
+}  // namespace numaprof::pmu

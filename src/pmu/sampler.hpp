@@ -1,0 +1,78 @@
+// Sampler: common machinery for the six address-sampling mechanisms.
+//
+// A sampler observes the machine's instruction/access stream and delivers
+// Samples to a sink (the profiler). Each concrete mechanism implements the
+// trigger logic of its hardware; the base class provides per-thread state,
+// period jitter (hardware randomizes low period bits to keep sampling of
+// regular loops unbiased — §3 requires "uniformly sampled" accesses), and
+// sample construction/emission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pmu/config.hpp"
+#include "pmu/sample.hpp"
+#include "simrt/events.hpp"
+#include "simrt/thread.hpp"
+#include "support/rng.hpp"
+
+namespace numaprof::pmu {
+
+using SampleSink = std::function<void(const Sample&)>;
+
+class Sampler : public simrt::MachineObserver {
+ public:
+  explicit Sampler(EventConfig config) : config_(std::move(config)) {}
+
+  Mechanism mechanism() const noexcept { return config_.mechanism; }
+  const EventConfig& config() const noexcept { return config_; }
+  Capabilities capabilities() const noexcept {
+    return capabilities_of(config_.mechanism);
+  }
+
+  void set_sink(SampleSink sink) { sink_ = std::move(sink); }
+
+  std::uint64_t samples_emitted() const noexcept { return emitted_; }
+  /// Memory samples only (excludes sampled non-memory instructions).
+  std::uint64_t memory_samples() const noexcept { return memory_samples_; }
+
+ protected:
+  /// Per-thread sampling state, grown on demand.
+  struct ThreadState {
+    std::uint64_t countdown = 0;
+    numasim::Cycles last_sample_time = 0;
+    bool primed = false;
+  };
+  ThreadState& state_of(simrt::ThreadId tid);
+
+  /// Next period with +/-12.5% deterministic jitter.
+  std::uint64_t jittered_period();
+
+  /// Builds the mechanism-appropriate Sample for a memory access, honoring
+  /// this mechanism's capability mask (latency/data-source stripping).
+  Sample make_memory_sample(const simrt::AccessEvent& event) const;
+
+  /// Builds a sample of a non-memory instruction (IBS/PEBS sample those
+  /// too; they count toward I^s in Eq. 2).
+  Sample make_instruction_sample(const simrt::SimThread& thread) const;
+
+  void emit(Sample sample);
+
+  EventConfig config_;
+
+ private:
+  SampleSink sink_;
+  std::vector<ThreadState> states_;
+  support::Rng jitter_{0};
+  bool jitter_seeded_ = false;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t memory_samples_ = 0;
+};
+
+/// Constructs the sampler for `config.mechanism`.
+std::unique_ptr<Sampler> make_sampler(EventConfig config);
+
+}  // namespace numaprof::pmu

@@ -1,0 +1,24 @@
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+void SoftIbsSampler::on_access(const simrt::SimThread& thread,
+                               const simrt::AccessEvent& event) {
+  // The instrumentation stub runs on EVERY memory access (the engine
+  // "instruments every memory access instruction", §3); its cost is real
+  // host work and dominates Soft-IBS's Table 2 overhead.
+  busy_work(config_.instrumentation_work);
+
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = config_.period == 0 ? 1 : config_.period;
+    st.primed = true;
+  }
+  if (--st.countdown != 0) return;
+  st.countdown = config_.period == 0 ? 1 : config_.period;
+
+  // Software sampling sees the address and IP; no latency or data source.
+  emit(make_memory_sample(event));
+}
+
+}  // namespace numaprof::pmu

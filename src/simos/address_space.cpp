@@ -1,0 +1,53 @@
+#include "simos/address_space.hpp"
+
+namespace numaprof::simos {
+
+AddressSpace::AddressSpace(std::uint32_t domain_count)
+    : page_table_(domain_count),
+      heap_(kHeapBase, kHeapCapacity),
+      statics_(kStaticBase) {}
+
+HeapBlock AddressSpace::heap_alloc(std::uint64_t size, PolicySpec policy) {
+  const HeapBlock block = heap_.allocate(size);
+  page_table_.register_region(page_of(block.start), block.page_count, policy);
+  return block;
+}
+
+std::optional<HeapBlock> AddressSpace::heap_free(VAddr start) {
+  const auto block = heap_.free(start);
+  if (block) page_table_.unregister_region(page_of(block->start));
+  return block;
+}
+
+StaticSymbol AddressSpace::define_static(std::string name,
+                                         std::uint64_t size,
+                                         PolicySpec policy) {
+  const StaticSymbol symbol = statics_.define(std::move(name), size);
+  page_table_.register_region(page_of(symbol.start), symbol.page_count,
+                              policy);
+  return symbol;
+}
+
+VAddr AddressSpace::stack_base(std::uint32_t tid) {
+  const VAddr base = kStackBase + static_cast<VAddr>(tid) * kStackBytesPerThread;
+  if (tid >= stacks_reserved_) {
+    for (std::uint32_t t = stacks_reserved_; t <= tid; ++t) {
+      page_table_.register_region(
+          page_of(kStackBase + static_cast<VAddr>(t) * kStackBytesPerThread),
+          kStackBytesPerThread / kPageBytes, PolicySpec::first_touch());
+    }
+    stacks_reserved_ = tid + 1;
+  }
+  return base;
+}
+
+Segment AddressSpace::segment_of(VAddr addr) const noexcept {
+  if (addr >= kStackBase) return Segment::kStack;
+  if (addr >= kHeapBase && addr < kHeapBase + kHeapCapacity) {
+    return Segment::kHeap;
+  }
+  if (addr >= kStaticBase && addr < kHeapBase) return Segment::kStatic;
+  return Segment::kUnknown;
+}
+
+}  // namespace numaprof::simos

@@ -1,0 +1,69 @@
+// The simulated process address space: statics + heap + per-thread stacks,
+// all backed by one PageTable that decides NUMA page placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "simos/heap.hpp"
+#include "simos/page_table.hpp"
+#include "simos/symbols.hpp"
+#include "simos/types.hpp"
+
+namespace numaprof::simos {
+
+/// Segment layout (bases chosen to be visibly distinct in dumps).
+inline constexpr VAddr kStaticBase = 0x0000'0000'1000'0000ULL;
+inline constexpr VAddr kHeapBase   = 0x0000'0001'0000'0000ULL;
+inline constexpr VAddr kStackBase  = 0x0000'7f00'0000'0000ULL;
+inline constexpr std::uint64_t kHeapCapacity = 8ULL << 30;  // 8 GiB
+inline constexpr std::uint64_t kStackBytesPerThread = 1ULL << 20;  // 1 MiB
+
+enum class Segment : std::uint8_t { kStatic, kHeap, kStack, kUnknown };
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(std::uint32_t domain_count);
+
+  PageTable& page_table() noexcept { return page_table_; }
+  const PageTable& page_table() const noexcept { return page_table_; }
+
+  // --- Heap ---
+  /// Allocates and registers the block's pages as one policy region.
+  HeapBlock heap_alloc(std::uint64_t size,
+                       PolicySpec policy = PolicySpec::first_touch());
+  /// Frees and unregisters. Returns the block for observer notification.
+  std::optional<HeapBlock> heap_free(VAddr start);
+  std::optional<HeapBlock> find_heap_block(VAddr addr) const {
+    return heap_.find(addr);
+  }
+  const Heap& heap() const noexcept { return heap_; }
+
+  // --- Statics ---
+  StaticSymbol define_static(std::string name, std::uint64_t size,
+                             PolicySpec policy = PolicySpec::first_touch());
+  const StaticSymbol* find_static(VAddr addr) const {
+    return statics_.find(addr);
+  }
+  const SymbolTable& statics() const noexcept { return statics_; }
+
+  // --- Stacks ---
+  /// Reserves thread `tid`'s stack; idempotent. Stack pages are first-touch
+  /// (their owner thread usually touches them first, hence local — but a
+  /// master-initialized shared stack array still lands in the master's
+  /// domain, the LULESH `nodelist` pathology).
+  VAddr stack_base(std::uint32_t tid);
+
+  /// Classifies an address by segment.
+  Segment segment_of(VAddr addr) const noexcept;
+
+ private:
+  PageTable page_table_;
+  Heap heap_;
+  SymbolTable statics_;
+  std::uint32_t stacks_reserved_ = 0;
+};
+
+}  // namespace numaprof::simos

@@ -1,0 +1,75 @@
+#include "simos/heap.hpp"
+
+#include <new>
+#include <stdexcept>
+
+namespace numaprof::simos {
+
+Heap::Heap(VAddr base, std::uint64_t capacity)
+    : base_(base), capacity_(capacity) {
+  if (base % kPageBytes != 0 || capacity % kPageBytes != 0) {
+    throw std::invalid_argument("heap base/capacity must be page aligned");
+  }
+  free_[base_] = capacity_;
+}
+
+HeapBlock Heap::allocate(std::uint64_t size) {
+  const std::uint64_t pages = size == 0 ? 1 : pages_covering(0, size);
+  const std::uint64_t bytes = pages * kPageBytes;
+
+  // First fit over the (address-ordered, coalesced) free list.
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < bytes) continue;
+    const VAddr start = it->first;
+    const std::uint64_t remaining = it->second - bytes;
+    free_.erase(it);
+    if (remaining != 0) free_[start + bytes] = remaining;
+
+    HeapBlock block{.id = next_id_++,
+                    .start = start,
+                    .size = size == 0 ? 1 : size,
+                    .page_count = pages};
+    live_[start] = block;
+    bytes_in_use_ += bytes;
+    return block;
+  }
+  throw std::bad_alloc();
+}
+
+std::optional<HeapBlock> Heap::free(VAddr start) {
+  const auto it = live_.find(start);
+  if (it == live_.end()) return std::nullopt;
+  const HeapBlock block = it->second;
+  live_.erase(it);
+
+  const std::uint64_t bytes = block.page_count * kPageBytes;
+  bytes_in_use_ -= bytes;
+
+  // Insert into the free list and coalesce with neighbours.
+  auto [pos, inserted] = free_.emplace(start, bytes);
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+      pos = prev;
+    }
+  }
+  const auto next = std::next(pos);
+  if (next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  return block;
+}
+
+std::optional<HeapBlock> Heap::find(VAddr addr) const {
+  auto it = live_.upper_bound(addr);
+  if (it == live_.begin()) return std::nullopt;
+  --it;
+  const HeapBlock& block = it->second;
+  if (addr >= block.start + block.page_count * kPageBytes) return std::nullopt;
+  return block;
+}
+
+}  // namespace numaprof::simos

@@ -1,0 +1,68 @@
+// Simulated heap allocator with block lookup.
+//
+// The paper's tool interposes on allocation functions (malloc wrappers, §6)
+// to learn every heap variable's extent and allocation context. This heap
+// provides the substrate: page-aligned first-fit allocation inside a heap
+// segment (large allocations on real systems are mmap-backed and page
+// aligned too, which is what makes per-variable page placement meaningful),
+// plus reverse lookup from an address to its containing live block.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "simos/types.hpp"
+
+namespace numaprof::simos {
+
+/// Identifies one live heap block; stable for the block's lifetime and
+/// never reused, so profilers can key metadata on it.
+using BlockId = std::uint64_t;
+
+struct HeapBlock {
+  BlockId id = 0;
+  VAddr start = 0;
+  std::uint64_t size = 0;        // requested size in bytes
+  std::uint64_t page_count = 0;  // pages reserved (size rounded up)
+};
+
+class Heap {
+ public:
+  /// Manages [base, base+capacity). Both must be page aligned.
+  Heap(VAddr base, std::uint64_t capacity);
+
+  /// Allocates `size` bytes (rounded up to whole pages). Throws
+  /// std::bad_alloc when the segment is exhausted. size == 0 allocates one
+  /// page, like glibc malloc(0) returning a unique pointer.
+  HeapBlock allocate(std::uint64_t size);
+
+  /// Frees the block starting at `start`. Returns the freed block, or
+  /// nullopt when `start` is not a live block start (double free / bogus
+  /// pointer — the simulated program gets a diagnosable error, not UB).
+  std::optional<HeapBlock> free(VAddr start);
+
+  /// Live block containing `addr`, if any.
+  std::optional<HeapBlock> find(VAddr addr) const;
+
+  /// Visits every live block in address order.
+  void for_each_live(const std::function<void(const HeapBlock&)>& fn) const {
+    for (const auto& [start, block] : live_) fn(block);
+  }
+
+  std::uint64_t live_blocks() const noexcept { return live_.size(); }
+  std::uint64_t bytes_in_use() const noexcept { return bytes_in_use_; }
+  VAddr base() const noexcept { return base_; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
+ private:
+  VAddr base_;
+  std::uint64_t capacity_;
+  BlockId next_id_ = 1;
+  std::uint64_t bytes_in_use_ = 0;
+  std::map<VAddr, HeapBlock> live_;        // keyed by start address
+  std::map<VAddr, std::uint64_t> free_;    // start -> byte length, coalesced
+};
+
+}  // namespace numaprof::simos

@@ -1,0 +1,25 @@
+#include "simos/numa_api.hpp"
+
+namespace numaprof::simos {
+
+std::vector<std::optional<numasim::DomainId>> move_pages_query(
+    const PageTable& table, std::span<const VAddr> addrs) {
+  std::vector<std::optional<numasim::DomainId>> result;
+  result.reserve(addrs.size());
+  for (const VAddr addr : addrs) {
+    result.push_back(table.query_home(page_of(addr)));
+  }
+  return result;
+}
+
+std::optional<numasim::DomainId> domain_of_addr(const PageTable& table,
+                                                VAddr addr) {
+  return table.query_home(page_of(addr));
+}
+
+numasim::DomainId numa_node_of_cpu(const numasim::Topology& topology,
+                                   numasim::CoreId core) {
+  return topology.domain_of_core(core);
+}
+
+}  // namespace numaprof::simos

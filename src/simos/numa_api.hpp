@@ -1,0 +1,34 @@
+// libnuma-equivalent query API (§4.1).
+//
+// The paper's profiler uses two libnuma entry points:
+//   - move_pages(2) in query mode, to ask which NUMA domain owns the page
+//     behind a sampled effective address, and
+//   - numa_node_of_cpu(3), to map the sampling CPU to its domain.
+// These free functions reproduce those semantics over the simulated OS.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numasim/topology.hpp"
+#include "simos/page_table.hpp"
+#include "simos/types.hpp"
+
+namespace numaprof::simos {
+
+/// move_pages(..., nodes=nullptr) query: for each address, the domain of
+/// its page, or nullopt when the page has never been touched (-ENOENT on
+/// Linux). Does not assign homes — queries must not perturb placement.
+std::vector<std::optional<numasim::DomainId>> move_pages_query(
+    const PageTable& table, std::span<const VAddr> addrs);
+
+/// Single-address convenience form.
+std::optional<numasim::DomainId> domain_of_addr(const PageTable& table,
+                                                VAddr addr);
+
+/// numa_node_of_cpu(3): the NUMA domain containing `core`.
+numasim::DomainId numa_node_of_cpu(const numasim::Topology& topology,
+                                   numasim::CoreId core);
+
+}  // namespace numaprof::simos

@@ -1,0 +1,40 @@
+#include "simos/page_policy.hpp"
+
+namespace numaprof::simos {
+
+std::string to_string(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicyKind::kFirstTouch: return "first-touch";
+    case PolicyKind::kInterleave: return "interleave";
+    case PolicyKind::kBind:
+      return "bind(domain " + std::to_string(spec.bind_domain) + ")";
+    case PolicyKind::kBlockwise: return "blockwise";
+  }
+  return "unknown";
+}
+
+numasim::DomainId resolve_home(const PolicySpec& spec,
+                               std::uint64_t index_in_region,
+                               std::uint64_t region_pages,
+                               std::uint32_t domain_count,
+                               numasim::DomainId toucher) noexcept {
+  if (domain_count == 0) return 0;
+  switch (spec.kind) {
+    case PolicyKind::kFirstTouch:
+      return toucher;
+    case PolicyKind::kInterleave:
+      return static_cast<numasim::DomainId>(index_in_region % domain_count);
+    case PolicyKind::kBind:
+      return spec.bind_domain % domain_count;
+    case PolicyKind::kBlockwise: {
+      if (region_pages == 0) return toucher;
+      // floor(i * D / N): contiguous equal-sized blocks, one per domain.
+      const auto domain = (index_in_region * domain_count) / region_pages;
+      return static_cast<numasim::DomainId>(
+          domain >= domain_count ? domain_count - 1 : domain);
+    }
+  }
+  return toucher;
+}
+
+}  // namespace numaprof::simos

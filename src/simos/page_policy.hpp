@@ -1,0 +1,52 @@
+// NUMA page-placement policies.
+//
+// Linux decides the home domain of a freshly allocated page at first touch;
+// libnuma/numactl can override with interleaved or bound placement (§2).
+// The paper's optimizations also use *block-wise* placement, where each
+// contiguous chunk of a variable lands in the domain of the threads that
+// use it (§8.1-§8.2). PolicySpec captures all four.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "numasim/types.hpp"
+#include "simos/types.hpp"
+
+namespace numaprof::simos {
+
+enum class PolicyKind : std::uint8_t {
+  kFirstTouch,  // default Linux behaviour: toucher's domain wins
+  kInterleave,  // page i of the region -> domain (i mod domain_count)
+  kBind,        // every page -> a fixed domain
+  kBlockwise,   // page i of an N-page region -> domain floor(i*D/N)
+};
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kFirstTouch;
+  numasim::DomainId bind_domain = 0;  // used by kBind only
+
+  static PolicySpec first_touch() noexcept { return {}; }
+  static PolicySpec interleave() noexcept {
+    return {.kind = PolicyKind::kInterleave, .bind_domain = 0};
+  }
+  static PolicySpec bind(numasim::DomainId d) noexcept {
+    return {.kind = PolicyKind::kBind, .bind_domain = d};
+  }
+  static PolicySpec blockwise() noexcept {
+    return {.kind = PolicyKind::kBlockwise, .bind_domain = 0};
+  }
+};
+
+std::string to_string(const PolicySpec& spec);
+
+/// Computes the home domain for page `index_in_region` of a
+/// `region_pages`-page region under `spec`. `toucher` is the domain of the
+/// thread performing the first touch (used by kFirstTouch).
+numasim::DomainId resolve_home(const PolicySpec& spec,
+                               std::uint64_t index_in_region,
+                               std::uint64_t region_pages,
+                               std::uint32_t domain_count,
+                               numasim::DomainId toucher) noexcept;
+
+}  // namespace numaprof::simos

@@ -1,0 +1,45 @@
+#include "simos/symbols.hpp"
+
+#include <stdexcept>
+
+namespace numaprof::simos {
+
+SymbolTable::SymbolTable(VAddr base) : next_(base) {
+  if (base % kPageBytes != 0) {
+    throw std::invalid_argument("symbol table base must be page aligned");
+  }
+}
+
+StaticSymbol SymbolTable::define(std::string name, std::uint64_t size) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate static symbol: " + name);
+  }
+  const std::uint64_t pages = size == 0 ? 1 : pages_covering(0, size);
+  StaticSymbol symbol{.name = std::move(name),
+                      .start = next_,
+                      .size = size,
+                      .page_count = pages};
+  next_ += pages * kPageBytes;
+
+  symbols_.push_back(symbol);
+  const std::size_t index = symbols_.size() - 1;
+  by_start_[symbol.start] = index;
+  by_name_[symbols_.back().name] = index;
+  return symbols_.back();
+}
+
+const StaticSymbol* SymbolTable::find(VAddr addr) const {
+  auto it = by_start_.upper_bound(addr);
+  if (it == by_start_.begin()) return nullptr;
+  --it;
+  const StaticSymbol& symbol = symbols_[it->second];
+  if (addr >= symbol.start + symbol.page_count * kPageBytes) return nullptr;
+  return &symbol;
+}
+
+const StaticSymbol* SymbolTable::lookup(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &symbols_[it->second];
+}
+
+}  // namespace numaprof::simos

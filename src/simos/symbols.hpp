@@ -1,0 +1,53 @@
+// Static-variable symbol table.
+//
+// The paper's tool "identifies address ranges associated with static
+// variables by reading symbols in the executable and dynamically loaded
+// libraries" (§5.1). Simulated programs register their static (and
+// promoted-from-stack, cf. the LULESH `nodelist` study) variables here; the
+// data-centric attributor resolves sampled addresses against these ranges.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simos/types.hpp"
+
+namespace numaprof::simos {
+
+struct StaticSymbol {
+  std::string name;
+  VAddr start = 0;
+  std::uint64_t size = 0;        // declared size in bytes
+  std::uint64_t page_count = 0;  // pages reserved
+};
+
+class SymbolTable {
+ public:
+  /// Lays symbols out sequentially from `base` (page aligned, each symbol
+  /// starting on its own page so per-variable placement is well defined).
+  explicit SymbolTable(VAddr base);
+
+  /// Defines a new symbol; names must be unique. Returns a copy of its
+  /// descriptor (internal storage may reallocate on later definitions).
+  StaticSymbol define(std::string name, std::uint64_t size);
+
+  /// Symbol containing `addr`, or nullptr.
+  const StaticSymbol* find(VAddr addr) const;
+
+  /// Symbol by name, or nullptr.
+  const StaticSymbol* lookup(const std::string& name) const;
+
+  const std::vector<StaticSymbol>& all() const noexcept { return symbols_; }
+  VAddr next_free() const noexcept { return next_; }
+
+ private:
+  VAddr next_;
+  std::vector<StaticSymbol> symbols_;
+  std::map<VAddr, std::size_t> by_start_;        // start addr -> index
+  std::map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace numaprof::simos

@@ -1,0 +1,26 @@
+// Virtual-memory unit types for the simulated OS layer.
+#pragma once
+
+#include <cstdint>
+
+namespace numaprof::simos {
+
+/// Simulated virtual byte address.
+using VAddr = std::uint64_t;
+
+/// Virtual page number: VAddr >> kPageBits.
+using PageId = std::uint64_t;
+
+inline constexpr std::uint32_t kPageBits = 12;  // 4 KiB pages, as on Linux
+inline constexpr std::uint64_t kPageBytes = 1ULL << kPageBits;
+
+constexpr PageId page_of(VAddr addr) noexcept { return addr >> kPageBits; }
+constexpr VAddr page_base(PageId page) noexcept { return page << kPageBits; }
+
+/// Number of whole-or-partial pages covering [addr, addr+size).
+constexpr std::uint64_t pages_covering(VAddr addr, std::uint64_t size) noexcept {
+  if (size == 0) return 0;
+  return page_of(addr + size - 1) - page_of(addr) + 1;
+}
+
+}  // namespace numaprof::simos

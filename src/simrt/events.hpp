@@ -1,0 +1,84 @@
+// Events the machine publishes to observers (PMUs, the profiler's
+// allocation wrappers, and the first-touch trap handler).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "numasim/types.hpp"
+#include "simos/heap.hpp"
+#include "simos/page_policy.hpp"
+#include "simos/types.hpp"
+#include "simrt/frame.hpp"
+
+namespace numaprof::simrt {
+
+using ThreadId = std::uint32_t;
+
+/// One resolved memory access — the raw material of address sampling (§3):
+/// effective address, "instruction pointer" (synthetic op index + leaf
+/// frame), latency, and data source. Spans are valid only for the duration
+/// of the callback.
+struct AccessEvent {
+  ThreadId tid = 0;
+  numasim::CoreId core = 0;
+  numasim::DomainId thread_domain = 0;  // domain executing the access
+  numasim::DomainId home_domain = 0;    // domain owning the page
+  simos::VAddr addr = 0;
+  std::uint32_t size = 8;
+  bool is_write = false;
+  numasim::Cycles latency = 0;
+  numasim::DataSource source = numasim::DataSource::kL1;
+  bool l3_miss = false;
+  numasim::Cycles time = 0;       // thread virtual time at completion
+  std::uint64_t op_index = 0;     // thread-local retired-op number ("IP")
+  FrameId leaf_frame = kInvalidFrame;
+  std::span<const FrameId> stack;  // full call path, root..leaf
+};
+
+/// A heap allocation performed through the simulated malloc wrapper.
+struct AllocEvent {
+  ThreadId tid = 0;
+  simos::HeapBlock block;
+  std::string name;  // source-level variable name, may be empty
+  simos::PolicySpec policy;
+  std::span<const FrameId> stack;  // allocation call path
+};
+
+struct FreeEvent {
+  ThreadId tid = 0;
+  simos::HeapBlock block;
+};
+
+/// Delivered when an access hits a protected page (the simulated SIGSEGV of
+/// §6). The handler must unprotect the page or the access faults fatally.
+struct FaultEvent {
+  ThreadId tid = 0;
+  numasim::CoreId core = 0;
+  simos::VAddr addr = 0;
+  bool is_write = false;
+  std::span<const FrameId> stack;
+};
+
+class SimThread;
+
+/// Observer interface for everything that watches execution. Default
+/// implementations are no-ops so observers override only what they need.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+  /// `count` non-memory instructions retired in one batch.
+  virtual void on_exec(const SimThread& /*thread*/, std::uint64_t /*count*/) {}
+  virtual void on_access(const SimThread& /*thread*/,
+                         const AccessEvent& /*event*/) {}
+  virtual void on_alloc(const AllocEvent& /*event*/) {}
+  virtual void on_free(const FreeEvent& /*event*/) {}
+  virtual void on_thread_start(const SimThread& /*thread*/) {}
+  virtual void on_thread_finish(const SimThread& /*thread*/) {}
+};
+
+using FaultHandler = std::function<void(const FaultEvent&)>;
+
+}  // namespace numaprof::simrt

@@ -1,0 +1,33 @@
+#include "simrt/frame.hpp"
+
+namespace numaprof::simrt {
+
+FrameId FrameRegistry::intern(std::string_view name, std::string_view file,
+                              std::uint32_t line, FrameKind kind) {
+  std::string key;
+  key.reserve(name.size() + file.size() + 16);
+  key.append(name).push_back('\x1f');
+  key.append(file).push_back('\x1f');
+  key += std::to_string(line);
+  key.push_back('\x1f');
+  key += std::to_string(static_cast<int>(kind));
+
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+
+  const FrameId id = static_cast<FrameId>(frames_.size());
+  frames_.push_back(FrameInfo{.name = std::string(name),
+                              .file = std::string(file),
+                              .line = line,
+                              .kind = kind});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::string FrameRegistry::describe(FrameId id) const {
+  const FrameInfo& f = frames_.at(id);
+  if (f.file.empty()) return f.name;
+  return f.name + " (" + f.file + ":" + std::to_string(f.line) + ")";
+}
+
+}  // namespace numaprof::simrt

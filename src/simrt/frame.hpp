@@ -1,0 +1,55 @@
+// Frame registry: interned (function, file, line) triples.
+//
+// Simulated programs maintain explicit call stacks of FrameIds; the
+// profiler "unwinds" a thread by reading that stack — the same information
+// HPCToolkit's unwinder recovers from a real stack walk (§5.1). Frames also
+// represent loops and parallel regions (HPCToolkit attributes to those
+// program-structure elements as well).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace numaprof::simrt {
+
+using FrameId = std::uint32_t;
+
+/// Reserved id meaning "no frame".
+inline constexpr FrameId kInvalidFrame = 0xffffffffu;
+
+enum class FrameKind : std::uint8_t {
+  kFunction,
+  kLoop,
+  kParallelRegion,  // an OpenMP-style parallel region (AMG Figs. 5/7 group
+                    // address-centric patterns by these)
+};
+
+struct FrameInfo {
+  std::string name;
+  std::string file;
+  std::uint32_t line = 0;
+  FrameKind kind = FrameKind::kFunction;
+};
+
+class FrameRegistry {
+ public:
+  /// Interns a frame; identical (name,file,line,kind) yields the same id.
+  FrameId intern(std::string_view name, std::string_view file = "",
+                 std::uint32_t line = 0,
+                 FrameKind kind = FrameKind::kFunction);
+
+  const FrameInfo& info(FrameId id) const { return frames_.at(id); }
+  std::size_t size() const noexcept { return frames_.size(); }
+
+  /// "name" or "name (file:line)" for display.
+  std::string describe(FrameId id) const;
+
+ private:
+  std::vector<FrameInfo> frames_;
+  std::unordered_map<std::string, FrameId> index_;  // serialized key
+};
+
+}  // namespace numaprof::simrt

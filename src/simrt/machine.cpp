@@ -1,0 +1,247 @@
+#include "simrt/machine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace numaprof::simrt {
+
+Machine::Machine(numasim::Topology topology, MachineConfig config)
+    : system_(std::move(topology)),
+      space_(system_.topology().domain_count),
+      config_(config) {}
+
+ThreadId Machine::spawn(Kernel kernel, std::optional<numasim::CoreId> core,
+                        std::vector<FrameId> initial_stack) {
+  const auto tid = static_cast<ThreadId>(threads_.size());
+  const numasim::CoreId bound =
+      core.value_or(tid % system_.topology().core_count());
+  if (bound >= system_.topology().core_count()) {
+    throw std::out_of_range("spawn: core id out of range");
+  }
+
+  auto thread = std::make_unique<SimThread>(*this, tid, bound);
+  thread->clock_ = elapsed_;  // serial-phase semantics: start "now"
+  thread->quantum_ = config_.quantum;
+  thread->fuel_ = config_.quantum;
+  thread->stack_ = std::move(initial_stack);
+  space_.stack_base(tid);  // reserve its stack segment
+
+  SimThread& ref = *thread;
+  threads_.push_back(std::move(thread));
+  runnable_.push_back(tid);
+
+  // Trampoline: a capture-less coroutine taking the kernel BY VALUE, so the
+  // callable (and its captures) live inside the coroutine frame itself and
+  // stay valid across suspensions regardless of what the caller does with
+  // its copy.
+  constexpr auto trampoline = [](Kernel owned, SimThread& t) -> Task {
+    Task inner = owned(t);
+    while (!inner.done()) {
+      inner.resume();
+      if (!inner.done()) co_await t.tick();
+    }
+  };
+  ref.task_ = trampoline(std::move(kernel), ref);
+
+  for (auto* obs : observers_) obs->on_thread_start(ref);
+  return tid;
+}
+
+void Machine::run() {
+  using Entry = std::pair<numasim::Cycles, ThreadId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (const ThreadId tid : runnable_) {
+    queue.emplace(threads_[tid]->clock_, tid);
+  }
+  runnable_.clear();
+
+  while (!queue.empty()) {
+    const auto [time, tid] = queue.top();
+    queue.pop();
+    SimThread& thread = *threads_[tid];
+    if (thread.finished()) continue;
+    thread.fuel_ = thread.quantum_;
+    thread.task_.resume();
+    if (thread.finished()) {
+      elapsed_ = std::max(elapsed_, thread.clock_);
+      for (auto* obs : observers_) obs->on_thread_finish(thread);
+    } else {
+      queue.emplace(thread.clock_, tid);
+    }
+  }
+  for (const auto& thread : threads_) {
+    elapsed_ = std::max(elapsed_, thread->clock_);
+  }
+}
+
+void Machine::add_observer(MachineObserver& observer) {
+  observers_.push_back(&observer);
+}
+
+void Machine::remove_observer(MachineObserver& observer) noexcept {
+  std::erase(observers_, &observer);
+}
+
+numasim::Cycles Machine::migrate_page(simos::VAddr addr,
+                                      numasim::DomainId target,
+                                      ThreadId tid) {
+  const simos::PageId page = simos::page_of(addr);
+  space_.page_table().migrate(page, target);
+  // The page's lines move: every cached copy is stale.
+  const numasim::LineAddr first = numasim::line_of(simos::page_base(page));
+  const auto lines_per_page = simos::kPageBytes / numasim::kLineBytes;
+  for (numasim::LineAddr line = first; line < first + lines_per_page;
+       ++line) {
+    system_.invalidate_line(line);
+  }
+  // Copy cost: one page of lines through two controllers, flat-rated.
+  const numasim::Cycles cost =
+      lines_per_page * system_.topology().controller_service * 2;
+  charge(tid, cost);
+  return cost;
+}
+
+void Machine::charge(ThreadId tid, numasim::Cycles cycles) {
+  threads_.at(tid)->clock_ += cycles;
+}
+
+simos::StaticSymbol Machine::define_static(std::string name,
+                                           std::uint64_t size,
+                                           simos::PolicySpec policy) {
+  return space_.define_static(std::move(name), size, policy);
+}
+
+std::uint64_t Machine::total_instructions() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& thread : threads_) total += thread->instructions();
+  return total;
+}
+
+std::uint64_t Machine::total_accesses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& thread : threads_) total += thread->memory_accesses();
+  return total;
+}
+
+numasim::Cycles Machine::access_path(SimThread& thread, simos::VAddr addr,
+                                     std::uint32_t size, bool is_write) {
+  auto& page_table = space_.page_table();
+  const simos::PageId page = simos::page_of(addr);
+
+  // First-touch trap (§6): a protected page delivers a synchronous fault to
+  // the installed handler, which must unprotect before the access retries.
+  if (page_table.any_protected() && page_table.is_protected(page)) {
+    if (!fault_handler_) {
+      throw std::runtime_error("segfault: access to protected page with no handler");
+    }
+    fault_handler_(FaultEvent{.tid = thread.tid_,
+                              .core = thread.core_,
+                              .addr = addr,
+                              .is_write = is_write,
+                              .stack = thread.stack_});
+    if (page_table.is_protected(page)) {
+      throw std::runtime_error("segfault: fault handler left page protected");
+    }
+  }
+
+  const numasim::DomainId home = page_table.home_of(page, thread.domain_);
+  const numasim::MemoryResult result =
+      system_.access(thread.core_, home, addr, is_write, thread.clock_);
+
+  thread.clock_ += result.latency + 1;  // +1 issue cycle
+  ++thread.instructions_;
+  ++thread.memory_accesses_;
+  thread.charge_fuel(1);
+
+  if (!observers_.empty()) {
+    const AccessEvent event{.tid = thread.tid_,
+                            .core = thread.core_,
+                            .thread_domain = thread.domain_,
+                            .home_domain = home,
+                            .addr = addr,
+                            .size = size,
+                            .is_write = is_write,
+                            .latency = result.latency,
+                            .source = result.source,
+                            .l3_miss = result.l3_miss,
+                            .time = thread.clock_,
+                            .op_index = thread.instructions_,
+                            .leaf_frame = thread.leaf_frame(),
+                            .stack = thread.stack_};
+    for (auto* obs : observers_) obs->on_access(thread, event);
+  }
+  return result.latency;
+}
+
+void Machine::notify_exec(SimThread& thread, std::uint64_t count) {
+  for (auto* obs : observers_) obs->on_exec(thread, count);
+}
+
+simos::VAddr Machine::wrapped_malloc(SimThread& thread, std::uint64_t size,
+                                     std::string_view name,
+                                     simos::PolicySpec policy) {
+  const simos::HeapBlock block = space_.heap_alloc(size, policy);
+  // Allocator bookkeeping cost: a small constant, like a real malloc.
+  thread.clock_ += 50;
+  ++thread.instructions_;
+
+  if (protect_on_alloc_) {
+    space_.page_table().protect_range(simos::page_of(block.start),
+                                      block.page_count);
+  }
+  if (!observers_.empty()) {
+    const AllocEvent event{.tid = thread.tid_,
+                           .block = block,
+                           .name = std::string(name),
+                           .policy = policy,
+                           .stack = thread.stack_};
+    for (auto* obs : observers_) obs->on_alloc(event);
+  }
+  return block.start;
+}
+
+void Machine::wrapped_free(SimThread& thread, simos::VAddr addr) {
+  const auto block = space_.heap_free(addr);
+  if (!block) {
+    throw std::invalid_argument("free: not a live heap block start");
+  }
+  thread.clock_ += 50;
+  ++thread.instructions_;
+  if (!observers_.empty()) {
+    const FreeEvent event{.tid = thread.tid_, .block = *block};
+    for (auto* obs : observers_) obs->on_free(event);
+  }
+}
+
+void parallel_region(Machine& machine, std::uint32_t count,
+                     std::string_view region, std::vector<FrameId> base_stack,
+                     std::function<Task(SimThread&, std::uint32_t)> body) {
+  const FrameId region_frame = machine.frames().intern(
+      region, "", 0, FrameKind::kParallelRegion);
+  // Scatter binding: worker i lands in domain (i mod D), like
+  // OMP_PLACES=scatter / the paper's thread-per-core binding. A compact
+  // binding would put a small team entirely inside domain 0 and hide every
+  // NUMA effect.
+  const auto& topo = machine.topology();
+  const auto scatter_core = [&topo](std::uint32_t i) -> numasim::CoreId {
+    const std::uint32_t domain = i % topo.domain_count;
+    const std::uint32_t slot = (i / topo.domain_count) % topo.cores_per_domain;
+    return domain * topo.cores_per_domain + slot;
+  };
+  for (std::uint32_t i = 0; i < count; ++i) {
+    machine.spawn(
+        [body, region_frame, i](SimThread& t) -> Task {
+          ScopedFrame frame(t, region_frame);
+          Task inner = body(t, i);
+          while (!inner.done()) {
+            inner.resume();
+            if (!inner.done()) co_await t.tick();
+          }
+        },
+        scatter_core(i), base_stack);
+  }
+  machine.run();
+}
+
+}  // namespace numaprof::simrt

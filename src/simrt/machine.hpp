@@ -1,0 +1,148 @@
+// Machine: the facade tying together the NUMA hardware model (numasim),
+// the OS memory layer (simos), and simulated threads (simrt).
+//
+// A workload is a set of thread kernels spawned on the machine and run to
+// completion by a least-virtual-time scheduler. Observers (the PMU samplers
+// and the profiler's wrappers) watch the instruction/access/allocation
+// stream — the machine is the "hardware + OS" the paper's tool monitors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numasim/system.hpp"
+#include "numasim/topology.hpp"
+#include "simos/address_space.hpp"
+#include "simrt/events.hpp"
+#include "simrt/frame.hpp"
+#include "simrt/thread.hpp"
+
+namespace numaprof::simrt {
+
+struct MachineConfig {
+  /// Instructions per scheduling quantum. Small values interleave threads
+  /// finely (accurate contention, slower); large values batch. The default
+  /// keeps worst-case per-quantum virtual-time spans (quantum x worst
+  /// access latency) well inside the queue model's epoch ring, so
+  /// concurrent demand is observed concurrently.
+  std::uint64_t quantum = 200;
+};
+
+class Machine {
+ public:
+  using Kernel = std::function<Task(SimThread&)>;
+
+  explicit Machine(numasim::Topology topology, MachineConfig config = {});
+
+  // Non-movable: threads hold stable references to the machine.
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const numasim::Topology& topology() const noexcept {
+    return system_.topology();
+  }
+  numasim::System& system() noexcept { return system_; }
+  const numasim::System& system() const noexcept { return system_; }
+  simos::AddressSpace& memory() noexcept { return space_; }
+  const simos::AddressSpace& memory() const noexcept { return space_; }
+  FrameRegistry& frames() noexcept { return frames_; }
+  const FrameRegistry& frames() const noexcept { return frames_; }
+
+  /// Spawns a thread running `kernel`, bound to `core` (default: tid modulo
+  /// core count, the paper's thread-per-core binding). The thread starts at
+  /// the machine's current elapsed time, so spawn-after-run sequences model
+  /// serial program phases. `initial_stack` seeds the call path (e.g.
+  /// main -> solver -> parallel-region) so worker CCTs root correctly.
+  ThreadId spawn(Kernel kernel,
+                 std::optional<numasim::CoreId> core = std::nullopt,
+                 std::vector<FrameId> initial_stack = {});
+
+  /// Runs every unfinished thread to completion (deterministic least-clock
+  /// order). May be called repeatedly as phases spawn more threads.
+  void run();
+
+  /// Max virtual time reached by any thread: the program's execution time.
+  numasim::Cycles elapsed() const noexcept { return elapsed_; }
+
+  SimThread& thread(ThreadId tid) { return *threads_.at(tid); }
+  std::size_t thread_count() const noexcept { return threads_.size(); }
+
+  // --- Monitoring hookup ---
+  void add_observer(MachineObserver& observer);
+  void remove_observer(MachineObserver& observer) noexcept;
+  /// Installs the simulated-SIGSEGV handler (§6). Replaces any previous.
+  void set_fault_handler(FaultHandler handler) {
+    fault_handler_ = std::move(handler);
+  }
+  bool has_fault_handler() const noexcept {
+    return static_cast<bool>(fault_handler_);
+  }
+
+  /// When true, SimThread::malloc protects the interior pages of each new
+  /// block so the first access traps (enabled by the profiler's
+  /// first-touch module).
+  void set_protect_on_alloc(bool enabled) noexcept {
+    protect_on_alloc_ = enabled;
+  }
+
+  /// Migrates one page to `target`, invalidating its cached lines and
+  /// charging the page-copy cost to thread `tid` (the OS-migration model:
+  /// the faulting thread pays, as with Linux NUMA hint faults). Returns
+  /// the charged cycles.
+  numasim::Cycles migrate_page(simos::VAddr addr, numasim::DomainId target,
+                               ThreadId tid);
+
+  /// Adds `cycles` to a thread's virtual clock (synchronous OS work
+  /// performed on the thread's behalf, e.g. inside a fault handler).
+  void charge(ThreadId tid, numasim::Cycles cycles);
+
+  // --- Static variables (read from "the executable's symbols", §5.1) ---
+  simos::StaticSymbol define_static(
+      std::string name, std::uint64_t size,
+      simos::PolicySpec policy = simos::PolicySpec::first_touch());
+
+  // --- Aggregate counters ---
+  std::uint64_t total_instructions() const noexcept;
+  std::uint64_t total_accesses() const noexcept;
+
+ private:
+  friend class SimThread;
+
+  /// The full memory-access path: protection check (fault delivery), page
+  /// home resolution (first-touch assignment), hardware access, observer
+  /// notification. Returns the latency charged to the thread.
+  numasim::Cycles access_path(SimThread& thread, simos::VAddr addr,
+                              std::uint32_t size, bool is_write);
+  void notify_exec(SimThread& thread, std::uint64_t count);
+  simos::VAddr wrapped_malloc(SimThread& thread, std::uint64_t size,
+                              std::string_view name,
+                              simos::PolicySpec policy);
+  void wrapped_free(SimThread& thread, simos::VAddr addr);
+
+  numasim::System system_;
+  simos::AddressSpace space_;
+  FrameRegistry frames_;
+  MachineConfig config_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::vector<ThreadId> runnable_;
+  std::vector<MachineObserver*> observers_;
+  FaultHandler fault_handler_;
+  bool protect_on_alloc_ = false;
+  numasim::Cycles elapsed_ = 0;
+};
+
+/// Runs `body(thread, index)` on `count` freshly spawned threads (bound to
+/// cores 0..count-1) and waits for all — an OpenMP `parallel` analogue.
+/// `region` names the parallel-region frame pushed on every worker;
+/// `base_stack` is the enclosing call path.
+void parallel_region(Machine& machine, std::uint32_t count,
+                     std::string_view region,
+                     std::vector<FrameId> base_stack,
+                     std::function<Task(SimThread&, std::uint32_t)> body);
+
+}  // namespace numaprof::simrt

@@ -1,0 +1,68 @@
+#include "simrt/omp.hpp"
+
+#include <memory>
+
+namespace numaprof::simrt {
+
+std::string_view to_string(Schedule schedule) noexcept {
+  switch (schedule) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kCyclic: return "cyclic";
+    case Schedule::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+void parallel_for(Machine& machine, std::uint32_t count,
+                  std::string_view region, std::vector<FrameId> base_stack,
+                  std::uint64_t total, Schedule schedule, std::uint64_t chunk,
+                  ForBody body) {
+  if (chunk == 0) chunk = 1;
+  // The dynamic schedule's shared work counter. Execution is cooperative
+  // (one host thread), so a plain integer is race-free; the DES scheduler
+  // interleaves chunk grabs by virtual time, exactly like a contended
+  // OpenMP dynamic loop.
+  auto next = std::make_shared<std::uint64_t>(0);
+
+  parallel_region(
+      machine, count, region, std::move(base_stack),
+      [total, schedule, chunk, next, body = std::move(body),
+       count](SimThread& t, std::uint32_t index) -> Task {
+        switch (schedule) {
+          case Schedule::kStatic: {
+            const std::uint64_t begin = total * index / count;
+            const std::uint64_t end = total * (index + 1) / count;
+            for (std::uint64_t i = begin; i < end; ++i) {
+              body(t, i);
+              if ((i - begin + 1) % chunk == 0) co_await t.tick();
+            }
+            break;
+          }
+          case Schedule::kCyclic: {
+            std::uint64_t done = 0;
+            for (std::uint64_t i = index; i < total; i += count) {
+              body(t, i);
+              if (++done % chunk == 0) co_await t.tick();
+            }
+            break;
+          }
+          case Schedule::kDynamic: {
+            for (;;) {
+              // Grab the next chunk. The grab itself costs a couple of
+              // instructions (the real atomic fetch-add).
+              t.exec(2);
+              const std::uint64_t begin = *next;
+              if (begin >= total) break;
+              const std::uint64_t end = std::min(total, begin + chunk);
+              *next = end;
+              for (std::uint64_t i = begin; i < end; ++i) body(t, i);
+              co_await t.yield();  // fairness: let others grab
+            }
+            break;
+          }
+        }
+        co_return;
+      });
+}
+
+}  // namespace numaprof::simrt

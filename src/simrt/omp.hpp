@@ -1,0 +1,42 @@
+// OpenMP-style worksharing over simulated threads.
+//
+// §2 observes that the right data distribution depends on the iteration
+// schedule: with a FIXED thread<->data binding (static scheduling),
+// co-locating each thread's block wins; "in cases where there is not a
+// fixed binding between threads and data" (dynamic scheduling), block-wise
+// placement cannot help and interleaving to balance requests may be the
+// best available. This header provides the three schedules so workloads
+// and ablations can exercise both regimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "simrt/machine.hpp"
+
+namespace numaprof::simrt {
+
+enum class Schedule : std::uint8_t {
+  kStatic,   // contiguous block per thread (OpenMP schedule(static))
+  kCyclic,   // iteration i -> thread i % T (schedule(static,1))
+  kDynamic,  // first-come chunk grabbing (schedule(dynamic,chunk))
+};
+
+std::string_view to_string(Schedule schedule) noexcept;
+
+/// The per-iteration body: performs loads/stores/exec on the thread. It
+/// must NOT suspend (the driver inserts tick() suspension points between
+/// chunks of `chunk` iterations).
+using ForBody = std::function<void(SimThread&, std::uint64_t iteration)>;
+
+/// Runs `body` for every iteration in [0, total) across `count` freshly
+/// spawned threads under the given schedule, then joins. `chunk` is the
+/// dynamic-grab size (and the suspension granularity for all schedules).
+void parallel_for(Machine& machine, std::uint32_t count,
+                  std::string_view region, std::vector<FrameId> base_stack,
+                  std::uint64_t total, Schedule schedule, std::uint64_t chunk,
+                  ForBody body);
+
+}  // namespace numaprof::simrt

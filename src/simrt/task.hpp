@@ -1,0 +1,82 @@
+// Minimal coroutine task for simulated threads.
+//
+// A simulated thread's kernel is a C++20 coroutine returning Task. The
+// discrete-event scheduler resumes it; the kernel suspends at explicit
+// tick()/yield() points. Coroutines give deterministic cooperative
+// interleaving on a single host core — every run of a workload replays the
+// exact same event order, which the tests rely on.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace numaprof::simrt {
+
+class Task {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) noexcept
+      : handle_(handle) {}
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return !handle_ || handle_.done(); }
+
+  /// Resumes until the next suspension point (or completion). Rethrows any
+  /// exception the kernel let escape — a simulated crash surfaces as a real
+  /// C++ exception in the scheduler.
+  void resume() {
+    handle_.resume();
+    if (handle_.done() && handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable returned by SimThread::tick()/yield(): suspends (returning
+/// control to the scheduler) only when `should_suspend` is true.
+struct SuspendIf {
+  bool should_suspend = false;
+  bool await_ready() const noexcept { return !should_suspend; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+}  // namespace numaprof::simrt

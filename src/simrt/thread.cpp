@@ -1,0 +1,62 @@
+#include "simrt/thread.hpp"
+
+#include "simrt/machine.hpp"
+
+namespace numaprof::simrt {
+
+SimThread::SimThread(Machine& machine, ThreadId tid, numasim::CoreId core)
+    : machine_(machine),
+      tid_(tid),
+      core_(core),
+      domain_(machine.topology().domain_of_core(core)) {
+  stack_.reserve(16);
+}
+
+numasim::Cycles SimThread::load(simos::VAddr addr, std::uint32_t size) {
+  return machine_.access_path(*this, addr, size, /*is_write=*/false);
+}
+
+numasim::Cycles SimThread::store(simos::VAddr addr, std::uint32_t size) {
+  return machine_.access_path(*this, addr, size, /*is_write=*/true);
+}
+
+void SimThread::exec(std::uint64_t count) {
+  if (count == 0) return;
+  clock_ += count;
+  instructions_ += count;
+  charge_fuel(count);
+  machine_.notify_exec(*this, count);
+}
+
+simos::VAddr SimThread::malloc(std::uint64_t size, std::string_view name,
+                               simos::PolicySpec policy) {
+  return machine_.wrapped_malloc(*this, size, name, policy);
+}
+
+void SimThread::free(simos::VAddr addr) {
+  machine_.wrapped_free(*this, addr);
+}
+
+SuspendIf SimThread::tick() noexcept {
+  return SuspendIf{fuel_ == 0};
+}
+
+SuspendIf SimThread::yield() noexcept {
+  fuel_ = 0;
+  return SuspendIf{true};
+}
+
+void SimThread::push_frame(FrameId frame) { stack_.push_back(frame); }
+
+void SimThread::pop_frame() noexcept {
+  if (!stack_.empty()) stack_.pop_back();
+}
+
+ScopedFrame::ScopedFrame(SimThread& thread, std::string_view name,
+                         std::string_view file, std::uint32_t line,
+                         FrameKind kind)
+    : thread_(thread) {
+  thread_.push_frame(thread_.machine().frames().intern(name, file, line, kind));
+}
+
+}  // namespace numaprof::simrt

@@ -1,0 +1,31 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace numaprof::support {
+
+std::optional<std::string> env_string(std::string_view name) {
+  const std::string key(name);
+  const char* value = std::getenv(key.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::int64_t> env_int(std::string_view name) {
+  const auto raw = env_string(name);
+  if (!raw) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || (end != nullptr && *end != '\0')) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(parsed);
+}
+
+std::int64_t env_int_or(std::string_view name, std::int64_t fallback,
+                        std::int64_t min) {
+  return std::max(min, env_int(name).value_or(fallback));
+}
+
+}  // namespace numaprof::support

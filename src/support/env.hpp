@@ -1,0 +1,25 @@
+// Environment-variable configuration helpers.
+//
+// The paper configures the address-centric bin count "via an environment
+// variable" (§5.2); this reproduction keeps the same interface so tool
+// options can be set without code changes (e.g. NUMAPROF_BINS=20).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace numaprof::support {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> env_string(std::string_view name);
+
+/// Integer lookup; nullopt when unset or unparsable.
+std::optional<std::int64_t> env_int(std::string_view name);
+
+/// Integer lookup with default and lower bound (values below `min` clamp).
+std::int64_t env_int_or(std::string_view name, std::int64_t fallback,
+                        std::int64_t min = 1);
+
+}  // namespace numaprof::support

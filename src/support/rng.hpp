@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for simulator components.
+//
+// All stochastic choices in the simulator and workloads flow through this
+// generator so that every test and benchmark is reproducible bit-for-bit.
+// The implementation is xoshiro256** 1.0 (Blackman & Vigna), chosen for its
+// speed on the simulator's hot paths and its well-studied statistical
+// quality; <random> engines are avoided because their outputs are not
+// guaranteed identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace numaprof::support {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Cheap to copy; a copy replays
+/// the same stream, which tests use to express "same seed, same behaviour".
+class Rng {
+ public:
+  /// Seeds the four-word state from a single seed via splitmix64, as the
+  /// xoshiro authors recommend. Any seed (including 0) is valid.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next uniformly distributed 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform value in [0, bound) using Lemire's multiply-shift reduction.
+  /// bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0, 1]).
+  bool next_bool(double p) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace numaprof::support

@@ -1,0 +1,85 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace numaprof::support {
+
+void Accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const noexcept {
+  return count_ ? mean_ : 0.0;
+}
+
+double Accumulator::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) *
+                          static_cast<double>(other.count_) / total);
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double percentile(std::span<const double> sorted_values, double p) noexcept {
+  if (sorted_values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: rank = ceil(p/100 * N), 1-based.
+  const auto n = sorted_values.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted_values[std::min(index, n - 1)];
+}
+
+double percentile_of(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile(values, p);
+}
+
+double imbalance(std::span<const std::uint64_t> per_bucket) noexcept {
+  if (per_bucket.empty()) return 1.0;
+  std::uint64_t max = 0;
+  std::uint64_t total = 0;
+  for (const auto v : per_bucket) {
+    max = std::max(max, v);
+    total += v;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(per_bucket.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace numaprof::support

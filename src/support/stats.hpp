@@ -1,0 +1,51 @@
+// Small statistics helpers used by the analyzer, viewer, and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace numaprof::support {
+
+/// Streaming accumulator for count / sum / min / max / mean / variance.
+/// Welford's algorithm keeps the variance numerically stable for the long
+/// latency streams the simulator produces.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  /// min()/max() are 0 when empty; check count() first when that matters.
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept;
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Pointwise merge of two accumulators (parallel-merge identity holds).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact percentile of a sample set (nearest-rank). p in [0, 100].
+/// Returns 0 for an empty sample.
+double percentile(std::span<const double> sorted_values, double p) noexcept;
+
+/// Sorts a copy and returns the nearest-rank percentile.
+double percentile_of(std::vector<double> values, double p);
+
+/// Coefficient-of-imbalance for per-bucket request counts: max/mean.
+/// Used to quantify "uneven distribution of requests to NUMA domains" (§2).
+/// Returns 1.0 for an empty or all-zero input.
+double imbalance(std::span<const std::uint64_t> per_bucket) noexcept;
+
+}  // namespace numaprof::support

@@ -1,0 +1,125 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace numaprof::support {
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_count(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+bool looks_numeric(std::string_view cell) noexcept {
+  if (cell.empty()) return false;
+  bool digit_seen = false;
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+               c != 'e' && c != 'E' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::write_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        os << std::string(pad, ' ') << row[c];
+      } else {
+        os << row[c] << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::to_text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+namespace {
+
+void write_csv_cell(std::ostream& os, std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) os << ',';
+    write_csv_cell(os, row[c]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  write_csv_row(os, header_);
+  for (const auto& row : rows_) write_csv_row(os, row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+}  // namespace numaprof::support

@@ -1,0 +1,49 @@
+// Text-table and CSV rendering for the viewer and benchmark harnesses.
+//
+// The paper's hpcviewer is a GUI; this reproduction renders the same three
+// views (code-centric, data-centric, address-centric) as aligned text tables
+// and machine-readable CSV. Table collects rows of strings and renders with
+// column alignment; numeric helpers format values the way the paper reports
+// them (percentages, cycles-per-instruction with 3 decimals, etc).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace numaprof::support {
+
+/// Fixed-precision formatting helpers shared across views and benches.
+std::string format_fixed(double value, int decimals);
+std::string format_percent(double fraction, int decimals = 1);
+std::string format_count(std::uint64_t value);  // thousands separators
+
+/// An aligned monospace table: header row plus data rows, rendered with
+/// per-column width computed from content. Right-aligns cells that parse as
+/// numbers, left-aligns everything else, matching typical profiler output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).
+  std::string to_csv() const;
+
+  void write_text(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// True when the cell looks numeric (used for alignment decisions).
+bool looks_numeric(std::string_view cell) noexcept;
+
+}  // namespace numaprof::support

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/addrcentric.hpp"
+
+namespace numaprof::core {
+namespace {
+
+Variable make_var(VariableId id, std::uint64_t pages,
+                  simos::VAddr start = 0x100000) {
+  Variable v;
+  v.id = id;
+  v.name = "v" + std::to_string(id);
+  v.start = start;
+  v.size = pages * simos::kPageBytes;
+  v.page_count = pages;
+  return v;
+}
+
+TEST(AddressCentric, SmallVariablesGetOneBin) {
+  AddressCentric ac(5);
+  EXPECT_EQ(ac.bins_for(make_var(0, 5)), 1u);   // at threshold: single bin
+  EXPECT_EQ(ac.bins_for(make_var(0, 6)), 5u);   // above: default bins (§5.2)
+}
+
+TEST(AddressCentric, CustomBinCount) {
+  AddressCentric ac(20);
+  EXPECT_EQ(ac.bins_for(make_var(0, 100)), 20u);
+}
+
+TEST(AddressCentric, BinOfPartitionsExtentEvenly) {
+  AddressCentric ac(5);
+  const Variable v = make_var(0, 10);
+  const std::uint64_t extent = v.extent_bytes();
+  EXPECT_EQ(ac.bin_of(v, v.start), 0u);
+  EXPECT_EQ(ac.bin_of(v, v.start + extent / 5), 1u);
+  EXPECT_EQ(ac.bin_of(v, v.start + extent - 1), 4u);
+  // Out-of-range addresses clamp.
+  EXPECT_EQ(ac.bin_of(v, v.start + extent + 100), 4u);
+  EXPECT_EQ(ac.bin_of(v, 0), 0u);
+}
+
+TEST(AddressCentric, RecordUpdatesWholeProgramAndFrames) {
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  const simrt::FrameId stack[] = {7, 8};
+  ac.record(stack, v, /*tid=*/2, v.start + 100, 50.0);
+
+  const auto whole = ac.thread_ranges(v, kWholeProgram);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].tid, 2u);
+  EXPECT_EQ(whole[0].count, 1u);
+  // Every frame on the path has its own bounds (§5.2).
+  EXPECT_EQ(ac.thread_ranges(v, 7).size(), 1u);
+  EXPECT_EQ(ac.thread_ranges(v, 8).size(), 1u);
+  EXPECT_TRUE(ac.thread_ranges(v, 99).empty());
+}
+
+TEST(AddressCentric, RangesNormalizedToExtent) {
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  const std::uint64_t extent = v.extent_bytes();
+  ac.record({}, v, 0, v.start, 1.0);
+  ac.record({}, v, 0, v.start + extent / 2, 1.0);
+  const auto ranges = ac.thread_ranges(v, kWholeProgram);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_NEAR(ranges[0].lo, 0.0, 0.01);
+  EXPECT_NEAR(ranges[0].hi, 0.5, 0.01);
+}
+
+TEST(AddressCentric, HotBinsSuppressColdOutliers) {
+  // 90 accesses in the first fifth, 1 stray at the end: the reported range
+  // must cover only the hot bin — the refinement §5.2 motivates.
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  const std::uint64_t extent = v.extent_bytes();
+  for (int i = 0; i < 90; ++i) {
+    ac.record({}, v, 0, v.start + i % (extent / 5), 1.0);
+  }
+  ac.record({}, v, 0, v.start + extent - 8, 1.0);
+  const auto ranges = ac.thread_ranges(v, kWholeProgram, 0.9);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_LT(ranges[0].hi, 0.3);
+  EXPECT_EQ(ranges[0].count, 91u);  // count still reflects everything
+  // With hot_fraction = 1.0 the stray access re-enters the range.
+  const auto full = ac.thread_ranges(v, kWholeProgram, 1.0);
+  EXPECT_GT(full[0].hi, 0.9);
+}
+
+TEST(AddressCentric, PerThreadRangesAreIndependent) {
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 20);
+  const std::uint64_t extent = v.extent_bytes();
+  for (std::uint32_t tid = 0; tid < 4; ++tid) {
+    const auto lo = extent * tid / 4;
+    const auto hi = extent * (tid + 1) / 4;
+    for (std::uint64_t off = lo; off < hi; off += simos::kPageBytes) {
+      ac.record({}, v, tid, v.start + off, 1.0);
+    }
+  }
+  const auto ranges = ac.thread_ranges(v, kWholeProgram);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (std::uint32_t tid = 0; tid < 4; ++tid) {
+    EXPECT_EQ(ranges[tid].tid, tid);
+    EXPECT_NEAR(ranges[tid].lo, tid / 4.0, 0.26);  // bin granularity
+    EXPECT_LT(ranges[tid].lo, ranges[tid].hi + 0.01);
+  }
+  // Ascending blocks.
+  EXPECT_LT(ranges[0].hi, ranges[3].lo + 0.5);
+}
+
+TEST(AddressCentric, MergedRangeIsMinMaxAcrossThreads) {
+  // The custom [min,max] reduction of §7.2.
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  ac.record({}, v, 0, v.start + 100, 2.0);
+  ac.record({}, v, 3, v.start + 9000, 5.0);
+  const auto merged = ac.merged_range(v, kWholeProgram);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->lo, v.start + 100);
+  EXPECT_EQ(merged->hi, v.start + 9000);
+  EXPECT_EQ(merged->count, 2u);
+  EXPECT_DOUBLE_EQ(merged->latency, 7.0);
+  EXPECT_FALSE(ac.merged_range(make_var(9, 1), kWholeProgram).has_value());
+}
+
+TEST(AddressCentric, ContextLatencyAndRanking) {
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  const simrt::FrameId hot[] = {100};
+  const simrt::FrameId cold[] = {200};
+  for (int i = 0; i < 10; ++i) ac.record(hot, v, 0, v.start, 30.0);
+  ac.record(cold, v, 0, v.start, 5.0);
+  EXPECT_DOUBLE_EQ(ac.context_latency(v, 100), 300.0);
+  EXPECT_DOUBLE_EQ(ac.context_latency(v, 200), 5.0);
+  const auto contexts = ac.contexts_of(v);
+  ASSERT_EQ(contexts.size(), 2u);
+  EXPECT_EQ(contexts[0].first, 100u);  // hottest first
+}
+
+TEST(AddressCentric, RecursionDoesNotDoubleCount) {
+  AddressCentric ac(5);
+  const Variable v = make_var(1, 10);
+  const simrt::FrameId stack[] = {7, 7, 7};  // recursive frame
+  ac.record(stack, v, 0, v.start, 1.0);
+  const auto ranges = ac.thread_ranges(v, 7);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].count, 1u);
+}
+
+TEST(AddressCentric, InsertAndForEachRoundTrip) {
+  AddressCentric ac(5);
+  BinKey key{.context = 1, .variable = 2, .bin = 3, .tid = 4};
+  BinStats stats;
+  stats.update(500, 10.0);
+  ac.insert(key, stats);
+  int seen = 0;
+  ac.for_each([&](const BinKey& k, const BinStats& s) {
+    ++seen;
+    EXPECT_EQ(k, key);
+    EXPECT_EQ(s.lo, 500u);
+    EXPECT_EQ(s.count, 1u);
+  });
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(ac.entry_count(), 1u);
+}
+
+TEST(BinStats, UpdateAndMerge) {
+  BinStats a;
+  a.update(10, 1.0);
+  a.update(30, 2.0);
+  EXPECT_EQ(a.lo, 10u);
+  EXPECT_EQ(a.hi, 30u);
+  BinStats b;
+  b.update(5, 4.0);
+  a.merge(b);
+  EXPECT_EQ(a.lo, 5u);
+  EXPECT_EQ(a.hi, 30u);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.latency, 7.0);
+}
+
+// Parameterized: bin partitioning is exhaustive and ordered for any count.
+class BinSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BinSweep, EveryAddressLandsInNondecreasingBins) {
+  AddressCentric ac(GetParam());
+  const Variable v = make_var(0, 16);
+  std::uint32_t last = 0;
+  for (std::uint64_t off = 0; off < v.extent_bytes(); off += 512) {
+    const std::uint32_t bin = ac.bin_of(v, v.start + off);
+    EXPECT_GE(bin, last);
+    EXPECT_LT(bin, ac.bins_for(v));
+    last = bin;
+  }
+  EXPECT_EQ(last, ac.bins_for(v) - 1);  // last bin reached
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinSweep, ::testing::Values(1u, 2u, 5u, 20u));
+
+}  // namespace
+}  // namespace numaprof::core

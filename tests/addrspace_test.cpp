@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "simos/address_space.hpp"
+#include "simos/numa_api.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::simos {
+namespace {
+
+TEST(SymbolTable, DefineAndFind) {
+  SymbolTable table(kStaticBase);
+  const StaticSymbol& a = table.define("alpha", 100);
+  const StaticSymbol& b = table.define("beta", 2 * kPageBytes);
+  EXPECT_EQ(a.start, kStaticBase);
+  EXPECT_EQ(b.start, kStaticBase + kPageBytes);  // own page per symbol
+  EXPECT_EQ(table.find(a.start)->name, "alpha");
+  EXPECT_EQ(table.find(b.start + 100)->name, "beta");
+  EXPECT_EQ(table.find(b.start + 2 * kPageBytes), nullptr);
+  EXPECT_EQ(table.lookup("beta")->start, b.start);
+  EXPECT_EQ(table.lookup("gamma"), nullptr);
+}
+
+TEST(SymbolTable, DuplicateNameThrows) {
+  SymbolTable table(kStaticBase);
+  table.define("x", 8);
+  EXPECT_THROW(table.define("x", 8), std::invalid_argument);
+}
+
+TEST(AddressSpace, SegmentClassification) {
+  AddressSpace space(4);
+  EXPECT_EQ(space.segment_of(kStaticBase), Segment::kStatic);
+  EXPECT_EQ(space.segment_of(kHeapBase), Segment::kHeap);
+  EXPECT_EQ(space.segment_of(kStackBase + 100), Segment::kStack);
+  EXPECT_EQ(space.segment_of(0x10), Segment::kUnknown);
+}
+
+TEST(AddressSpace, HeapAllocRegistersPolicyRegion) {
+  AddressSpace space(4);
+  const HeapBlock block =
+      space.heap_alloc(8 * kPageBytes, PolicySpec::interleave());
+  auto& pt = space.page_table();
+  EXPECT_EQ(pt.home_of(page_of(block.start), 3), 0u);
+  EXPECT_EQ(pt.home_of(page_of(block.start) + 1, 3), 1u);
+}
+
+TEST(AddressSpace, HeapFreeUnregistersRegion) {
+  AddressSpace space(4);
+  const HeapBlock block = space.heap_alloc(kPageBytes, PolicySpec::bind(2));
+  space.page_table().home_of(page_of(block.start), 0);
+  ASSERT_TRUE(space.heap_free(block.start).has_value());
+  EXPECT_FALSE(space.page_table().query_home(page_of(block.start)).has_value());
+  EXPECT_FALSE(space.heap_free(block.start).has_value());
+}
+
+TEST(AddressSpace, DefineStaticRegistersRegion) {
+  AddressSpace space(4);
+  const StaticSymbol& s =
+      space.define_static("table", 4 * kPageBytes, PolicySpec::bind(1));
+  EXPECT_EQ(space.page_table().home_of(page_of(s.start), 0), 1u);
+  EXPECT_EQ(space.find_static(s.start + 5)->name, "table");
+}
+
+TEST(AddressSpace, StackBasesAreDisjointPerThread) {
+  AddressSpace space(2);
+  const VAddr s0 = space.stack_base(0);
+  const VAddr s3 = space.stack_base(3);
+  EXPECT_EQ(s0, kStackBase);
+  EXPECT_EQ(s3, kStackBase + 3 * kStackBytesPerThread);
+  // Stacks are first-touch: each thread's stack lands in its domain.
+  EXPECT_EQ(space.page_table().home_of(page_of(s3), 1), 1u);
+}
+
+TEST(NumaApi, MovePagesQuerySemantics) {
+  AddressSpace space(4);
+  const HeapBlock block = space.heap_alloc(2 * kPageBytes);
+  auto& pt = space.page_table();
+  pt.home_of(page_of(block.start), 2);  // touch first page only
+  const std::vector<VAddr> addrs = {block.start, block.start + kPageBytes};
+  const auto result = move_pages_query(pt, addrs);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].value(), 2u);
+  EXPECT_FALSE(result[1].has_value());  // untouched: -ENOENT analogue
+  EXPECT_EQ(domain_of_addr(pt, block.start).value(), 2u);
+}
+
+TEST(NumaApi, NodeOfCpu) {
+  const auto topo = numasim::amd_magny_cours();
+  EXPECT_EQ(numa_node_of_cpu(topo, 0), 0u);
+  EXPECT_EQ(numa_node_of_cpu(topo, 6), 1u);
+  EXPECT_EQ(numa_node_of_cpu(topo, 47), 7u);
+}
+
+}  // namespace
+}  // namespace numaprof::simos

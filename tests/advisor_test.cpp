@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+
+namespace numaprof::core {
+namespace {
+
+/// Builds a synthetic SessionData with one variable and hand-crafted
+/// address-centric entries, so pattern classification is tested in
+/// isolation from the simulator.
+struct SyntheticSession {
+  SyntheticSession(std::uint64_t pages = 50) {
+    data.domain_count = 4;
+    data.core_count = 8;
+    data.mechanism = pmu::Mechanism::kIbs;
+
+    Variable v;
+    v.id = 0;
+    v.name = "target";
+    v.kind = VariableKind::kHeap;
+    v.start = 0x100000;
+    v.size = pages * simos::kPageBytes;
+    v.page_count = pages;
+    v.variable_node = data.cct.child(kRootNode, NodeKind::kVariable, 0);
+    data.variables.push_back(v);
+
+    data.stores.emplace_back(4);
+    data.totals.emplace_back();
+    data.totals[0].per_domain.assign(4, 0);
+    // Make the program "warrant optimization".
+    data.totals[0].samples = 1000;
+    data.totals[0].memory_samples = 800;
+    data.totals[0].mismatch = 700;
+    data.totals[0].match = 100;
+    data.totals[0].remote_latency = 200000;
+    data.totals[0].total_latency = 210000;
+    data.totals[0].instructions = 100000;
+  }
+
+  /// Adds accesses for thread `tid` covering [lo, hi) of the variable's
+  /// normalized extent in `context`, spread over every bin touched.
+  void add_range(simrt::ThreadId tid, double lo, double hi,
+                 simrt::FrameId context = kWholeProgram,
+                 std::uint64_t weight = 100) {
+    const Variable& v = data.variables[0];
+    const auto extent = static_cast<double>(v.extent_bytes());
+    const auto begin = static_cast<std::uint64_t>(lo * extent);
+    const auto end = static_cast<std::uint64_t>(hi * extent);
+    const std::uint64_t step =
+        std::max<std::uint64_t>(1, (end - begin) / 16);
+    for (std::uint64_t off = begin; off < end; off += step) {
+      const std::uint32_t bin = data.address_centric.bin_of(v, v.start + off);
+      BinKey key{.context = context, .variable = 0, .bin = bin, .tid = tid};
+      BinStats stats;
+      for (std::uint64_t w = 0; w < weight / 16 + 1; ++w) {
+        stats.update(v.start + off, 10.0);
+      }
+      data.address_centric.insert(key, stats);
+      if (context != kWholeProgram) {
+        // Whole-program view accumulates everything too.
+        data.address_centric.insert(
+            BinKey{.context = kWholeProgram, .variable = 0, .bin = bin,
+                   .tid = tid},
+            stats);
+      }
+    }
+  }
+
+  Advisor advisor() {
+    analyzer = std::make_unique<Analyzer>(data);
+    return Advisor(*analyzer);
+  }
+
+  SessionData data;
+  std::unique_ptr<Analyzer> analyzer;
+};
+
+TEST(Advisor, BlockedPatternRecommendsBlockwise) {
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  const Advisor advisor = s.advisor();
+  const PatternAnalysis p = advisor.classify(0);
+  EXPECT_EQ(p.kind, PatternKind::kBlocked);
+  EXPECT_GE(p.monotonic_fraction, 0.99);
+  const Recommendation rec = advisor.recommend(0);
+  EXPECT_EQ(rec.action, Action::kBlockwiseFirstTouch);
+  EXPECT_TRUE(rec.severity_warrants);
+}
+
+TEST(Advisor, StaggeredOverlapRecommendsAosRegroup) {
+  // Blackscholes-style: ascending staggered ranges with heavy overlap
+  // (each thread spans ~60% of the variable).
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    const double lo = tid / 8.0 * 0.4;
+    s.add_range(tid, lo, lo + 0.6);
+  }
+  const Advisor advisor = s.advisor();
+  const PatternAnalysis p = advisor.classify(0);
+  EXPECT_EQ(p.kind, PatternKind::kStaggeredOverlap);
+  EXPECT_EQ(advisor.recommend(0).action, Action::kRegroupAos);
+}
+
+TEST(Advisor, FullRangeRecommendsInterleave) {
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, 0.0, 1.0);
+  }
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.classify(0).kind, PatternKind::kFullRange);
+  EXPECT_EQ(advisor.recommend(0).action, Action::kInterleave);
+}
+
+TEST(Advisor, SingleThreadRecommendsColocation) {
+  SyntheticSession s;
+  s.add_range(3, 0.0, 0.5);
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.classify(0).kind, PatternKind::kSingleThread);
+  EXPECT_EQ(advisor.recommend(0).action, Action::kColocate);
+}
+
+TEST(Advisor, UnsampledVariableGetsNoAction) {
+  SyntheticSession s;
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.classify(0).kind, PatternKind::kUnsampled);
+  EXPECT_EQ(advisor.recommend(0).action, Action::kNone);
+}
+
+TEST(Advisor, NegligibleThreadsAreIgnored) {
+  // A master thread that touched one element must not distort a clean
+  // blocked pattern into "irregular".
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0, kWholeProgram, 1000);
+  }
+  s.add_range(9, 0.0, 1.0, kWholeProgram, 1);  // negligible full sweep
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.classify(0).kind, PatternKind::kBlocked);
+}
+
+TEST(Advisor, DrillsIntoDominantContextWhenWholeProgramIrregular) {
+  // The §8.2 AMG scenario: whole-program pattern smeared (every thread
+  // full-range), but the dominant region shows clean blocks.
+  SyntheticSession s;
+  const simrt::FrameId relax = 500;
+  const simrt::FrameId matvec = 600;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    // Relax (dominant, blocked): high weight.
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0, relax, 800);
+    // Matvec (cheaper, full-range): enough weight to smear the
+    // whole-program view, far from enough to dominate.
+    s.add_range(tid, 0.0, 1.0, matvec, 300);
+  }
+  const Advisor advisor = s.advisor();
+  // Whole program looks full-range/irregular...
+  const PatternAnalysis whole = advisor.classify(0);
+  EXPECT_NE(whole.kind, PatternKind::kBlocked);
+  // ...but the guiding context is the relax region and its blocked shape.
+  const auto [context, share] = advisor.guiding_context(0);
+  EXPECT_EQ(context, relax);
+  EXPECT_GT(share, 0.5);
+  const Recommendation rec = advisor.recommend(0);
+  EXPECT_EQ(rec.guiding.kind, PatternKind::kBlocked);
+  EXPECT_EQ(rec.action, Action::kBlockwiseFirstTouch);
+  EXPECT_NE(rec.rationale.find("context"), std::string::npos);
+}
+
+TEST(Advisor, LowSeverityIsFlagged) {
+  SyntheticSession s;
+  s.data.totals[0].remote_latency = 100;  // lpi far below 0.1
+  s.data.totals[0].total_latency = 50000;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  const Advisor advisor = s.advisor();
+  const Recommendation rec = advisor.recommend(0);
+  EXPECT_FALSE(rec.severity_warrants);
+  EXPECT_NE(rec.rationale.find("below the 0.1 threshold"),
+            std::string::npos);
+}
+
+TEST(Advisor, RecommendAllFollowsVariableRanking) {
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  // Analyzer needs metrics on the variable node to rank it.
+  s.data.stores[0].add(s.data.variables[0].variable_node, kMemorySamples,
+                       100);
+  s.data.stores[0].add(s.data.variables[0].variable_node, kNumaMismatch,
+                       90);
+  s.data.stores[0].add(s.data.variables[0].variable_node, kRemoteLatency,
+                       9000);
+  const Advisor advisor = s.advisor();
+  const auto recs = advisor.recommend_all(5);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].variable_name, "target");
+}
+
+TEST(Advisor, SparseSamplingStillDetectsBlocked) {
+  // Each thread's observed range is a tiny sliver of its true block
+  // (coverage << 0.5), but the slivers ascend across the variable —
+  // exactly what sparse sampling of a blocked pattern produces.
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    const double lo = tid / 8.0 + 0.05;
+    s.add_range(tid, lo, lo + 0.01);
+  }
+  const Advisor advisor = s.advisor();
+  const PatternAnalysis p = advisor.classify(0);
+  EXPECT_LT(p.coverage, 0.5);
+  EXPECT_EQ(p.kind, PatternKind::kBlocked);
+}
+
+TEST(Advisor, IdenticalNarrowRangesAreNotStaggered) {
+  // Every thread hammering the same small region must not classify as
+  // staggered (which would imply an SoA layout to regroup).
+  SyntheticSession s;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, 0.40, 0.44);
+  }
+  const Advisor advisor = s.advisor();
+  EXPECT_NE(advisor.classify(0).kind, PatternKind::kStaggeredOverlap);
+}
+
+TEST(PatternNames, Strings) {
+  EXPECT_EQ(to_string(PatternKind::kBlocked), "blocked");
+  EXPECT_EQ(to_string(PatternKind::kStaggeredOverlap), "staggered-overlap");
+  EXPECT_EQ(to_string(Action::kRegroupAos), "regroup-AoS+parallel-init");
+  EXPECT_EQ(to_string(Action::kBlockwiseFirstTouch),
+            "blockwise-first-touch");
+}
+
+}  // namespace
+}  // namespace numaprof::core

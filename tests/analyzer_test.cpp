@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+/// Runs the first-touch pathology and returns the analyzed session.
+SessionData run_session(pmu::Mechanism mechanism, std::uint32_t threads = 8,
+                        std::uint32_t pages_per_thread = 6) {
+  Machine m(numasim::test_machine(4, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(mechanism);
+  cfg.event.period = 20;
+  cfg.event.min_sample_gap = 0;
+  cfg.event.instrumentation_work = 0;
+  cfg.event.skid_correction_work = 0;
+  Profiler profiler(m, cfg);
+
+  simos::VAddr data = 0;
+  const std::uint64_t elems =
+      threads * pages_per_thread * (simos::kPageBytes / 8);
+  const auto main_f = m.frames().intern("main");
+  parallel_region(m, 1, "init", {main_f},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(elems * 8, "data");
+                    for (std::uint64_t i = 0; i < elems; i += 8) {
+                      t.store(data + i * 8);
+                    }
+                    co_return;
+                  });
+  parallel_region(m, threads, "work._omp", {main_f},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const std::uint64_t begin = elems * index / threads;
+                    const std::uint64_t end = elems * (index + 1) / threads;
+                    for (int sweep = 0; sweep < 4; ++sweep) {
+                      for (std::uint64_t i = begin; i < end; i += 8) {
+                        t.load(data + i * 8);
+                        co_await t.tick();
+                      }
+                      co_await t.yield();
+                    }
+                  });
+  return profiler.snapshot();
+}
+
+TEST(Analyzer, ProgramSummaryAggregatesThreads) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  const ProgramSummary& p = analyzer.program();
+  EXPECT_GT(p.samples, 100u);
+  EXPECT_EQ(p.match + p.mismatch, p.memory_samples);
+  EXPECT_GT(p.instructions, 0u);
+  EXPECT_GT(p.memory_instructions, 0u);
+  std::uint64_t domain_sum = 0;
+  for (const auto v : p.per_domain) domain_sum += v;
+  EXPECT_EQ(domain_sum, p.memory_samples);
+}
+
+TEST(Analyzer, IbsLpiComputedViaEq2) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  const ProgramSummary& p = analyzer.program();
+  ASSERT_TRUE(p.lpi.has_value());
+  EXPECT_NEAR(*p.lpi, p.remote_latency / static_cast<double>(p.samples),
+              1e-9);
+  // The pathology is remote-dominated: well above the 0.1 threshold.
+  EXPECT_TRUE(p.warrants_optimization);
+  EXPECT_GT(p.remote_latency_fraction, 0.5);
+}
+
+TEST(Analyzer, MrkHasNoLpiButFlagsViaMr) {
+  const SessionData data = run_session(pmu::Mechanism::kMrk);
+  const Analyzer analyzer(data);
+  const ProgramSummary& p = analyzer.program();
+  EXPECT_FALSE(p.lpi.has_value());  // MRK reports no latency
+  EXPECT_GT(p.remote_l3_fraction, 0.5);  // the §8.1 POWER7-style readout
+  EXPECT_TRUE(p.warrants_optimization);  // via the M_r fallback
+}
+
+TEST(Analyzer, PebsLlUsesEq3WithAbsoluteEvents) {
+  const SessionData data = run_session(pmu::Mechanism::kPebsLl);
+  ASSERT_GT(data.pebs_ll_events, 0u);
+  const Analyzer analyzer(data);
+  const ProgramSummary& p = analyzer.program();
+  ASSERT_TRUE(p.lpi.has_value());
+  EXPECT_GT(*p.lpi, 0.0);
+}
+
+TEST(Analyzer, VariableReportRanksDataByCost) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  ASSERT_FALSE(analyzer.variables().empty());
+  const VariableReport& top = analyzer.variables().front();
+  EXPECT_EQ(top.name, "data");
+  EXPECT_GT(top.remote_latency_share, 0.5);
+  EXPECT_GT(top.mismatch, top.match);
+  ASSERT_TRUE(top.lpi.has_value());
+  EXPECT_GT(*top.lpi, 0.0);
+  EXPECT_GT(top.first_touch_pages, 0u);
+}
+
+TEST(Analyzer, SingleHomeDomainDetected) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  const VariableReport& top = analyzer.variables().front();
+  // All pages were first-touched by the master in domain 0: the "all
+  // accesses come from NUMA domain 0" diagnosis of §8.1.
+  ASSERT_TRUE(top.single_home_domain.has_value());
+  EXPECT_EQ(*top.single_home_domain, 0u);
+  EXPECT_EQ(top.per_domain[0], top.match + top.mismatch);
+}
+
+TEST(Analyzer, KindSharesSumBelowOne) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  const double heap = analyzer.kind_remote_share(VariableKind::kHeap);
+  EXPECT_GT(heap, 0.5);  // the workload's only hot data is heap
+  double total = 0.0;
+  for (const auto kind :
+       {VariableKind::kHeap, VariableKind::kStatic, VariableKind::kStack,
+        VariableKind::kStackVar, VariableKind::kUnknown}) {
+    total += analyzer.kind_remote_share(kind);
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(Analyzer, MergedStoreSumsThreadStores) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const Analyzer analyzer(data);
+  double per_thread_sum = 0.0;
+  for (const MetricStore& store : data.stores) {
+    for (const NodeId node : store.nodes()) {
+      per_thread_sum += store.get(node, kMemorySamples);
+    }
+  }
+  double merged_sum = 0.0;
+  for (const NodeId node : analyzer.merged().nodes()) {
+    merged_sum += analyzer.merged().get(node, kMemorySamples);
+  }
+  EXPECT_DOUBLE_EQ(merged_sum, per_thread_sum);
+}
+
+TEST(Analyzer, ReportForUnsampledVariableIsZeroed) {
+  SessionData data = run_session(pmu::Mechanism::kIbs);
+  // Invent a variable that was never sampled.
+  Variable ghost;
+  ghost.id = static_cast<VariableId>(data.variables.size());
+  ghost.name = "ghost";
+  ghost.page_count = 1;
+  ghost.variable_node = kRootNode;
+  data.variables.push_back(ghost);
+  const Analyzer analyzer(data);
+  const VariableReport r = analyzer.report(ghost.id);
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_FALSE(r.single_home_domain.has_value());
+  for (const VariableReport& listed : analyzer.variables()) {
+    EXPECT_NE(listed.name, "ghost");  // unsampled: not listed
+  }
+}
+
+TEST(SessionData, FirstTouchSitesMergeThreads) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const auto id = [&]() {
+    for (const Variable& v : data.variables) {
+      if (v.name == "data") return v.id;
+    }
+    return VariableId{0};
+  }();
+  const auto sites = data.first_touch_sites(id);
+  ASSERT_EQ(sites.size(), 1u);  // one init site
+  EXPECT_EQ(sites[0].threads.size(), 1u);  // master only
+  EXPECT_EQ(sites[0].pages, 48u);          // 8 threads * 6 pages
+}
+
+TEST(SessionData, PathStringsAreReadable) {
+  const SessionData data = run_session(pmu::Mechanism::kIbs);
+  const auto id = [&]() {
+    for (const Variable& v : data.variables) {
+      if (v.name == "data") return v.id;
+    }
+    return VariableId{0};
+  }();
+  const std::string path = data.path_string(data.variables[id].variable_node);
+  EXPECT_NE(path.find("[ALLOCATION]"), std::string::npos);
+  EXPECT_NE(path.find("main"), std::string::npos);
+  EXPECT_NE(path.find("VAR data"), std::string::npos);
+  EXPECT_EQ(data.frame_name(kWholeProgram), "<whole program>");
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "apps/common.hpp"
+#include "apps/minilulesh.hpp"
+#include "numasim/topology.hpp"
+#include "osopt/autonuma.hpp"
+#include "simos/numa_api.hpp"
+
+namespace numaprof::osopt {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+TEST(MachineMigration, MigratePageMovesHomeInvalidatesAndCharges) {
+  Machine m(numasim::test_machine(2, 2));
+  simos::VAddr addr = 0;
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        addr = t.malloc(simos::kPageBytes, "page");
+        t.store(addr);  // first touch: domain 0, line cached
+        const auto before = t.now();
+        const auto cost = t.machine().migrate_page(addr, 1, t.tid());
+        EXPECT_GT(cost, 0u);
+        EXPECT_EQ(t.now(), before + cost);  // charged synchronously
+        // Home moved; the cached line is stale so the next access misses.
+        const auto latency = t.load(addr);
+        EXPECT_GT(latency, t.machine().topology().l1.hit_latency);
+        co_return;
+      },
+      0);
+  m.run();
+  EXPECT_EQ(simos::domain_of_addr(m.memory().page_table(), addr).value(), 1u);
+}
+
+TEST(AutoNuma, MigratesConsistentlyRemotePagesToTheirUser) {
+  Machine m(numasim::test_machine(4, 2));
+  AutoNumaConfig cfg;
+  cfg.scan_interval = 20'000;
+  cfg.fault_threshold = 2;
+  AutoNumaBalancer balancer(m, cfg);
+
+  constexpr std::uint64_t kPages = 16;
+  constexpr std::uint64_t kElems = kPages * apps::kElemsPerPage;
+  simos::VAddr data = 0;
+  // Master (domain 0) first-touches everything...
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(kElems * 8, "grid");
+                    apps::store_lines(t, data, 0, kElems);
+                    co_return;
+                  });
+  // ...then ONE thread in domain 2 hammers it for a long time.
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        for (int sweep = 0; sweep < 40; ++sweep) {
+          apps::load_lines(t, data, 0, kElems);
+          co_await t.yield();
+        }
+      },
+      /*core=*/4);  // domain 2
+  m.run();
+
+  EXPECT_GT(balancer.scans(), 0u);
+  EXPECT_GT(balancer.hint_faults(), 0u);
+  EXPECT_GT(balancer.migrations(), kPages / 2);
+  // Most pages now live with their user.
+  auto& table = m.memory().page_table();
+  std::uint64_t in_domain2 = 0;
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    if (table.query_home(simos::page_of(data) + p).value() == 2u) {
+      ++in_domain2;
+    }
+  }
+  EXPECT_GT(in_domain2, kPages / 2);
+}
+
+TEST(AutoNuma, LeavesLocalOnlyPagesAlone) {
+  Machine m(numasim::test_machine(4, 2));
+  AutoNumaConfig cfg;
+  cfg.scan_interval = 10'000;
+  AutoNumaBalancer balancer(m, cfg);
+  simos::VAddr data = 0;
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        data = t.malloc(8 * simos::kPageBytes, "local");
+        for (int sweep = 0; sweep < 30; ++sweep) {
+          apps::store_lines(t, data, 0, 8 * apps::kElemsPerPage);
+          co_await t.yield();
+        }
+      },
+      0);
+  m.run();
+  EXPECT_GT(balancer.hint_faults(), 0u);  // hints fire...
+  EXPECT_EQ(balancer.migrations(), 0u);   // ...but nothing moves
+}
+
+TEST(AutoNuma, DestructorUnprotectsSweptPages) {
+  Machine m(numasim::test_machine(2, 2));
+  simos::VAddr data = 0;
+  {
+    AutoNumaConfig cfg;
+    cfg.scan_interval = 1'000;
+    AutoNumaBalancer balancer(m, cfg);
+    m.spawn(
+        [&](SimThread& t) -> Task {
+          data = t.malloc(4 * simos::kPageBytes, "x");
+          apps::store_lines(t, data, 0, 4 * apps::kElemsPerPage);
+          t.exec(50'000);  // trigger a scan, leaving pages protected
+          co_return;
+        },
+        0);
+    m.run();
+  }  // balancer destroyed: must clean up
+  EXPECT_FALSE(m.memory().page_table().any_protected());
+  // Accesses proceed without a handler.
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        t.load(data);
+        co_return;
+      },
+      0);
+  EXPECT_NO_THROW(m.run());
+}
+
+TEST(AutoNuma, HelpsButLessThanTheSourceFix) {
+  // The §9 claim, measured on LULESH: OS migration recovers part of the
+  // loss; the tool-guided source fix (block-wise first touch) beats it.
+  const apps::LuleshConfig cfg{.threads = 16,
+                               .pages_per_thread = 3,
+                               .timesteps = 10,
+                               .variant = apps::Variant::kBaseline};
+  const auto compute = [&](bool autonuma, apps::Variant variant) {
+    simrt::Machine m(numasim::amd_magny_cours());
+    std::optional<AutoNumaBalancer> balancer;
+    if (autonuma) balancer.emplace(m);
+    apps::LuleshConfig c = cfg;
+    c.variant = variant;
+    return run_minilulesh(m, c).compute_cycles;
+  };
+  const auto baseline = compute(false, apps::Variant::kBaseline);
+  const auto migrated = compute(true, apps::Variant::kBaseline);
+  const auto fixed = compute(false, apps::Variant::kBlockwise);
+  EXPECT_LT(migrated, baseline);  // the OS route helps...
+  EXPECT_LT(fixed, migrated);     // ...the source route wins (§9)
+}
+
+}  // namespace
+}  // namespace numaprof::osopt

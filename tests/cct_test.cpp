@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cct.hpp"
+
+namespace numaprof::core {
+namespace {
+
+TEST(Cct, RootExists) {
+  Cct cct;
+  EXPECT_EQ(cct.size(), 1u);
+  EXPECT_EQ(cct.node(kRootNode).kind, NodeKind::kRoot);
+  EXPECT_EQ(cct.node(kRootNode).depth, 0u);
+}
+
+TEST(Cct, ChildCreationAndDedup) {
+  Cct cct;
+  const NodeId a = cct.child(kRootNode, NodeKind::kFrame, 7);
+  const NodeId b = cct.child(kRootNode, NodeKind::kFrame, 7);
+  const NodeId c = cct.child(kRootNode, NodeKind::kFrame, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cct.node(a).parent, kRootNode);
+  EXPECT_EQ(cct.node(a).key, 7u);
+  EXPECT_EQ(cct.node(a).depth, 1u);
+}
+
+TEST(Cct, SameKeyDifferentKindAreDistinct) {
+  Cct cct;
+  const NodeId frame = cct.child(kRootNode, NodeKind::kFrame, 1);
+  const NodeId var = cct.child(kRootNode, NodeKind::kVariable, 1);
+  const NodeId bin = cct.child(kRootNode, NodeKind::kBin, 1);
+  EXPECT_NE(frame, var);
+  EXPECT_NE(var, bin);
+}
+
+TEST(Cct, DummySeparatorsPartitionSubtrees) {
+  // §7.1: allocation, access, and first-touch segments coexist under
+  // separate dummy nodes even when call paths share frames.
+  Cct cct;
+  const simrt::FrameId path[] = {1, 2, 3};
+  const NodeId alloc = cct.child(kRootNode, NodeKind::kAllocation, 0);
+  const NodeId access = cct.child(kRootNode, NodeKind::kAccess, 0);
+  const NodeId in_alloc = cct.extend(alloc, path);
+  const NodeId in_access = cct.extend(access, path);
+  EXPECT_NE(in_alloc, in_access);
+  EXPECT_TRUE(cct.is_ancestor(alloc, in_alloc));
+  EXPECT_FALSE(cct.is_ancestor(alloc, in_access));
+}
+
+TEST(Cct, ExtendBuildsAndReusesPaths) {
+  Cct cct;
+  const simrt::FrameId path1[] = {10, 20, 30};
+  const simrt::FrameId path2[] = {10, 20, 40};
+  const NodeId leaf1 = cct.extend(kRootNode, path1);
+  const std::size_t after_first = cct.size();
+  const NodeId leaf1_again = cct.extend(kRootNode, path1);
+  EXPECT_EQ(leaf1, leaf1_again);
+  EXPECT_EQ(cct.size(), after_first);  // nothing new
+  const NodeId leaf2 = cct.extend(kRootNode, path2);
+  EXPECT_EQ(cct.size(), after_first + 1);  // shares the 10>20 prefix
+  EXPECT_EQ(cct.node(leaf1).parent, cct.node(leaf2).parent);
+}
+
+TEST(Cct, PathToRootOrder) {
+  Cct cct;
+  const simrt::FrameId frames[] = {5, 6};
+  const NodeId leaf = cct.extend(kRootNode, frames);
+  const auto path = cct.path_to(leaf);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(cct.node(path[0]).key, 5u);
+  EXPECT_EQ(cct.node(path[1]).key, 6u);
+  EXPECT_TRUE(cct.path_to(kRootNode).empty());
+}
+
+TEST(Cct, VisitCoversSubtree) {
+  Cct cct;
+  const simrt::FrameId a[] = {1, 2};
+  const simrt::FrameId b[] = {1, 3};
+  cct.extend(kRootNode, a);
+  cct.extend(kRootNode, b);
+  std::set<NodeId> visited;
+  cct.visit(kRootNode, [&](NodeId id) { visited.insert(id); });
+  EXPECT_EQ(visited.size(), cct.size());
+  // Subtree visit from frame 1 sees 3 nodes (1, 2, 3).
+  const NodeId one = *cct.find_child(kRootNode, NodeKind::kFrame, 1);
+  visited.clear();
+  cct.visit(one, [&](NodeId id) { visited.insert(id); });
+  EXPECT_EQ(visited.size(), 3u);
+}
+
+TEST(Cct, FindChildDoesNotCreate) {
+  Cct cct;
+  EXPECT_FALSE(cct.find_child(kRootNode, NodeKind::kFrame, 9).has_value());
+  EXPECT_EQ(cct.size(), 1u);
+  const NodeId a = cct.child(kRootNode, NodeKind::kFrame, 9);
+  EXPECT_EQ(cct.find_child(kRootNode, NodeKind::kFrame, 9).value(), a);
+}
+
+TEST(Cct, ChildrenSorted) {
+  Cct cct;
+  cct.child(kRootNode, NodeKind::kFrame, 3);
+  cct.child(kRootNode, NodeKind::kFrame, 1);
+  cct.child(kRootNode, NodeKind::kFrame, 2);
+  const auto kids = cct.children(kRootNode);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_LT(kids[0], kids[1]);
+  EXPECT_LT(kids[1], kids[2]);
+}
+
+TEST(Cct, IsAncestorReflexiveAndRooted) {
+  Cct cct;
+  const simrt::FrameId frames[] = {1, 2, 3};
+  const NodeId leaf = cct.extend(kRootNode, frames);
+  EXPECT_TRUE(cct.is_ancestor(leaf, leaf));
+  EXPECT_TRUE(cct.is_ancestor(kRootNode, leaf));
+  EXPECT_FALSE(cct.is_ancestor(leaf, kRootNode));
+}
+
+TEST(Cct, DeepPathDepths) {
+  Cct cct;
+  std::vector<simrt::FrameId> frames;
+  for (simrt::FrameId f = 0; f < 100; ++f) frames.push_back(f);
+  const NodeId leaf = cct.extend(kRootNode, frames);
+  EXPECT_EQ(cct.node(leaf).depth, 100u);
+}
+
+}  // namespace
+}  // namespace numaprof::core

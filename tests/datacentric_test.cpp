@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/datacentric.hpp"
+#include "simos/address_space.hpp"
+
+namespace numaprof::core {
+namespace {
+
+struct Fixture : ::testing::Test {
+  Fixture() : space(4), registry(cct, space) {}
+
+  simrt::AllocEvent alloc_event(const simos::HeapBlock& block,
+                                std::string name,
+                                std::span<const simrt::FrameId> stack) {
+    simrt::AllocEvent e;
+    e.tid = 1;
+    e.block = block;
+    e.name = std::move(name);
+    e.stack = stack;
+    return e;
+  }
+
+  Cct cct;
+  simos::AddressSpace space;
+  VariableRegistry registry;
+};
+
+TEST_F(Fixture, HeapAllocationCreatesVariableWithAllocPath) {
+  const auto block = space.heap_alloc(3 * simos::kPageBytes);
+  const simrt::FrameId stack[] = {10, 11};
+  const VariableId id = registry.on_alloc(alloc_event(block, "z", stack));
+  const Variable& var = registry.variable(id);
+  EXPECT_EQ(var.name, "z");
+  EXPECT_EQ(var.kind, VariableKind::kHeap);
+  EXPECT_EQ(var.page_count, 3u);
+  EXPECT_TRUE(var.live);
+  // The variable node hangs under [ALLOCATION] > 10 > 11.
+  const auto path = cct.path_to(var.variable_node);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(cct.node(path[0]).kind, NodeKind::kAllocation);
+  EXPECT_EQ(cct.node(path[1]).key, 10u);
+  EXPECT_EQ(cct.node(path[2]).key, 11u);
+  EXPECT_EQ(cct.node(path[3]).kind, NodeKind::kVariable);
+  EXPECT_EQ(registry.allocation_site(id), path[2]);
+}
+
+TEST_F(Fixture, UnnamedAllocationGetsSyntheticName) {
+  const auto block = space.heap_alloc(8);
+  const VariableId id = registry.on_alloc(alloc_event(block, "", {}));
+  EXPECT_NE(registry.variable(id).name.find("heap#"), std::string::npos);
+}
+
+TEST_F(Fixture, ResolveFindsHeapVariable) {
+  const auto block = space.heap_alloc(2 * simos::kPageBytes);
+  const VariableId id = registry.on_alloc(alloc_event(block, "arr", {}));
+  EXPECT_EQ(registry.resolve(block.start), id);
+  EXPECT_EQ(registry.resolve(block.start + 2 * simos::kPageBytes - 1), id);
+}
+
+TEST_F(Fixture, FreeMakesRangeUnresolvableButKeepsVariable) {
+  const auto block = space.heap_alloc(simos::kPageBytes);
+  const VariableId id = registry.on_alloc(alloc_event(block, "tmp", {}));
+  simrt::FreeEvent fe;
+  fe.block = block;
+  registry.on_free(fe);
+  EXPECT_FALSE(registry.variable(id).live);
+  // Address now resolves to unknown, not the dead variable.
+  const VariableId resolved = registry.resolve(block.start);
+  EXPECT_EQ(registry.variable(resolved).kind, VariableKind::kUnknown);
+  // But the dead variable's metadata survives for postmortem reports.
+  EXPECT_EQ(registry.variable(id).name, "tmp");
+}
+
+TEST_F(Fixture, ReusedSpaceResolvesToNewVariable) {
+  const auto block = space.heap_alloc(simos::kPageBytes);
+  const VariableId id1 = registry.on_alloc(alloc_event(block, "first", {}));
+  simrt::FreeEvent fe;
+  fe.block = block;
+  registry.on_free(fe);
+  space.heap_free(block.start);
+  const auto block2 = space.heap_alloc(simos::kPageBytes);
+  ASSERT_EQ(block2.start, block.start);  // reused
+  const VariableId id2 = registry.on_alloc(alloc_event(block2, "second", {}));
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(registry.resolve(block.start), id2);
+}
+
+TEST_F(Fixture, StaticSymbolsResolveByName) {
+  const auto& sym = space.define_static("counters", 64);
+  const VariableId id = registry.resolve(sym.start + 8);
+  const Variable& var = registry.variable(id);
+  EXPECT_EQ(var.kind, VariableKind::kStatic);
+  EXPECT_EQ(var.name, "counters");
+  // Resolving again yields the same variable.
+  EXPECT_EQ(registry.resolve(sym.start), id);
+}
+
+TEST_F(Fixture, StackAddressesResolvePerThread) {
+  const simos::VAddr t3 = space.stack_base(3);
+  const simos::VAddr t5 = space.stack_base(5);
+  const VariableId v3 = registry.resolve(t3 + 100);
+  const VariableId v5 = registry.resolve(t5 + 100);
+  EXPECT_NE(v3, v5);
+  EXPECT_EQ(registry.variable(v3).kind, VariableKind::kStack);
+  EXPECT_NE(registry.variable(v3).name.find("thread 3"), std::string::npos);
+  EXPECT_EQ(registry.resolve(t3 + 5000), v3);
+}
+
+TEST_F(Fixture, NamedStackVariableTakesPrecedence) {
+  // The §10 future-work extension: explicitly registered stack variables.
+  const simos::VAddr base = space.stack_base(0);
+  const VariableId named =
+      registry.register_stack_variable("nodelist", 0, base + 256, 1024);
+  EXPECT_EQ(registry.resolve(base + 256), named);
+  EXPECT_EQ(registry.resolve(base + 256 + 1023), named);
+  EXPECT_EQ(registry.variable(named).kind, VariableKind::kStackVar);
+  // Outside the named range: the anonymous stack variable.
+  const VariableId anon = registry.resolve(base + 8000);
+  EXPECT_NE(anon, named);
+  EXPECT_EQ(registry.variable(anon).kind, VariableKind::kStack);
+}
+
+TEST_F(Fixture, UnknownAddressesShareOneVariable) {
+  const VariableId a = registry.resolve(0x10);
+  const VariableId b = registry.resolve(0x20);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.variable(a).kind, VariableKind::kUnknown);
+}
+
+TEST_F(Fixture, FindByName) {
+  const auto block = space.heap_alloc(8);
+  registry.on_alloc(alloc_event(block, "needle", {}));
+  EXPECT_TRUE(registry.find_by_name("needle").has_value());
+  EXPECT_FALSE(registry.find_by_name("missing").has_value());
+}
+
+TEST(VariableKindNames, Strings) {
+  EXPECT_EQ(to_string(VariableKind::kHeap), "heap");
+  EXPECT_EQ(to_string(VariableKind::kStatic), "static");
+  EXPECT_EQ(to_string(VariableKind::kStack), "stack");
+  EXPECT_EQ(to_string(VariableKind::kStackVar), "stack-var");
+  EXPECT_EQ(to_string(VariableKind::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace numaprof::core

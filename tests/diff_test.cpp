@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "apps/minilulesh.hpp"
+#include "core/diff.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+SessionData profiled_lulesh(apps::Variant variant) {
+  simrt::Machine machine(numasim::amd_magny_cours());
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 200;
+  Profiler profiler(machine, cfg);
+  apps::run_minilulesh(machine, {.threads = 16,
+                                 .pages_per_thread = 3,
+                                 .timesteps = 6,
+                                 .variant = variant});
+  return profiler.snapshot();
+}
+
+TEST(Diff, FixResolvesTheHotVariables) {
+  const SessionData base_data = profiled_lulesh(apps::Variant::kBaseline);
+  const SessionData fixed_data = profiled_lulesh(apps::Variant::kBlockwise);
+  const Analyzer before(base_data);
+  const Analyzer after(fixed_data);
+  const DiffReport report = diff_profiles(before, after);
+
+  // Program level: lpi and M_r share both collapse.
+  ASSERT_TRUE(report.lpi_before.has_value());
+  ASSERT_TRUE(report.lpi_after.has_value());
+  EXPECT_LT(*report.lpi_after, *report.lpi_before * 0.5);
+  EXPECT_LT(report.mismatch_fraction_after,
+            report.mismatch_fraction_before);
+
+  // The master-inited arrays are resolved by the block-wise first touch.
+  const auto resolved = report.resolved_variables();
+  for (const char* name : {"x", "y", "z", "nodelist"}) {
+    EXPECT_NE(std::find(resolved.begin(), resolved.end(), name),
+              resolved.end())
+        << name << " should be resolved";
+  }
+
+  // Rendering mentions the verdicts.
+  const std::string text = render_diff(report);
+  EXPECT_NE(text.find("RESOLVED"), std::string::npos);
+  EXPECT_NE(text.find("lpi_NUMA"), std::string::npos);
+  EXPECT_NE(text.find("resolved variables:"), std::string::npos);
+}
+
+TEST(Diff, IdenticalProfilesShowNoChange) {
+  const SessionData data = profiled_lulesh(apps::Variant::kBaseline);
+  const Analyzer analyzer(data);
+  const DiffReport report = diff_profiles(analyzer, analyzer);
+  EXPECT_EQ(report.mismatch_fraction_before,
+            report.mismatch_fraction_after);
+  EXPECT_TRUE(report.resolved_variables().empty());
+  for (const VariableDelta& d : report.variables) {
+    EXPECT_FALSE(d.only_before);
+    EXPECT_FALSE(d.only_after);
+    EXPECT_EQ(d.mismatch_fraction_before, d.mismatch_fraction_after);
+  }
+}
+
+TEST(Diff, DisjointVariableSetsFlagged) {
+  // Synthetic: one report has a variable the other lacks.
+  SessionData a;
+  a.domain_count = 2;
+  a.totals.emplace_back();
+  a.totals[0].per_domain.assign(2, 0);
+  a.stores.emplace_back(2);
+  Variable va;
+  va.id = 0;
+  va.name = "only_in_a";
+  va.page_count = 1;
+  va.variable_node = a.cct.child(kRootNode, NodeKind::kVariable, 0);
+  a.variables.push_back(va);
+  a.stores[0].add(va.variable_node, kMemorySamples, 5);
+  a.stores[0].add(va.variable_node, kNumaMismatch, 5);
+
+  SessionData b;
+  b.domain_count = 2;
+  b.totals.emplace_back();
+  b.totals[0].per_domain.assign(2, 0);
+  b.stores.emplace_back(2);
+  Variable vb;
+  vb.id = 0;
+  vb.name = "only_in_b";
+  vb.page_count = 1;
+  vb.variable_node = b.cct.child(kRootNode, NodeKind::kVariable, 0);
+  b.variables.push_back(vb);
+  b.stores[0].add(vb.variable_node, kMemorySamples, 5);
+  b.stores[0].add(vb.variable_node, kNumaMatch, 5);
+
+  const Analyzer before(a);
+  const Analyzer after(b);
+  const DiffReport report = diff_profiles(before, after);
+  ASSERT_EQ(report.variables.size(), 2u);
+  bool saw_gone = false, saw_new = false;
+  for (const VariableDelta& d : report.variables) {
+    saw_gone |= d.only_before && d.name == "only_in_a";
+    saw_new |= d.only_after && d.name == "only_in_b";
+  }
+  EXPECT_TRUE(saw_gone);
+  EXPECT_TRUE(saw_new);
+  const std::string text = render_diff(report);
+  EXPECT_NE(text.find("gone"), std::string::npos);
+  EXPECT_NE(text.find("new"), std::string::npos);
+}
+
+TEST(Diff, SortedByMismatchDelta) {
+  const SessionData base_data = profiled_lulesh(apps::Variant::kBaseline);
+  const SessionData fixed_data = profiled_lulesh(apps::Variant::kBlockwise);
+  const Analyzer before(base_data);
+  const Analyzer after(fixed_data);
+  const DiffReport report = diff_profiles(before, after);
+  for (std::size_t i = 0; i + 1 < report.variables.size(); ++i) {
+    const auto delta = [](const VariableDelta& d) {
+      return std::abs(d.mismatch_fraction_before -
+                      d.mismatch_fraction_after);
+    };
+    EXPECT_GE(delta(report.variables[i]), delta(report.variables[i + 1]));
+  }
+}
+
+}  // namespace
+}  // namespace numaprof::core

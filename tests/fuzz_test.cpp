@@ -1,0 +1,172 @@
+// Randomized (seeded, reproducible) property tests: allocator soundness
+// under chaotic workloads, page-table/policy invariants, and profile
+// parser robustness against corrupted input.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "apps/common.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+#include "simos/heap.hpp"
+#include "support/rng.hpp"
+
+namespace numaprof {
+namespace {
+
+TEST(HeapFuzz, RandomAllocFreeKeepsInvariants) {
+  simos::Heap heap(simos::kHeapBase, 512 * simos::kPageBytes);
+  support::Rng rng(0xF00D);
+  std::map<simos::VAddr, simos::HeapBlock> live;
+  std::uint64_t expected_bytes = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool do_alloc = live.empty() || rng.next_bool(0.55);
+    if (do_alloc) {
+      const std::uint64_t size = rng.next_in(1, 6 * simos::kPageBytes);
+      simos::HeapBlock block;
+      try {
+        block = heap.allocate(size);
+      } catch (const std::bad_alloc&) {
+        continue;  // fragmentation/full: fine
+      }
+      // No overlap with any live block.
+      for (const auto& [start, other] : live) {
+        const bool disjoint =
+            block.start + block.page_count * simos::kPageBytes <= start ||
+            other.start + other.page_count * simos::kPageBytes <= block.start;
+        ASSERT_TRUE(disjoint) << "overlap at step " << step;
+      }
+      live[block.start] = block;
+      expected_bytes += block.page_count * simos::kPageBytes;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      const auto block = heap.free(it->first);
+      ASSERT_TRUE(block.has_value());
+      expected_bytes -= block->page_count * simos::kPageBytes;
+      live.erase(it);
+    }
+    ASSERT_EQ(heap.bytes_in_use(), expected_bytes);
+    ASSERT_EQ(heap.live_blocks(), live.size());
+
+    // Random interior lookups resolve to the right block.
+    if (!live.empty() && step % 7 == 0) {
+      auto it = live.begin();
+      std::advance(it, rng.next_below(live.size()));
+      const auto offset =
+          rng.next_below(it->second.page_count * simos::kPageBytes);
+      const auto found = heap.find(it->first + offset);
+      ASSERT_TRUE(found.has_value());
+      EXPECT_EQ(found->id, it->second.id);
+    }
+  }
+  // Drain and confirm the whole segment is reusable.
+  for (const auto& [start, block] : live) heap.free(start);
+  EXPECT_NO_THROW(heap.allocate(512 * simos::kPageBytes));
+}
+
+TEST(PageTableFuzz, PolicyHomesAreStableAndInRange) {
+  support::Rng rng(0xBEEF);
+  simos::PageTable table(8);
+  struct Region {
+    simos::PageId start;
+    std::uint64_t pages;
+  };
+  std::vector<Region> regions;
+  simos::PageId cursor = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t pages = rng.next_in(1, 64);
+    simos::PolicySpec policy;
+    switch (rng.next_below(4)) {
+      case 0: policy = simos::PolicySpec::first_touch(); break;
+      case 1: policy = simos::PolicySpec::interleave(); break;
+      case 2:
+        policy = simos::PolicySpec::bind(
+            static_cast<numasim::DomainId>(rng.next_below(8)));
+        break;
+      default: policy = simos::PolicySpec::blockwise(); break;
+    }
+    table.register_region(cursor, pages, policy);
+    regions.push_back({cursor, pages});
+    cursor += pages + rng.next_below(4);  // gaps allowed
+  }
+
+  // Touch every page twice from random domains: homes are in range and
+  // sticky.
+  std::map<simos::PageId, numasim::DomainId> homes;
+  for (const Region& region : regions) {
+    for (simos::PageId p = region.start; p < region.start + region.pages;
+         ++p) {
+      const auto toucher =
+          static_cast<numasim::DomainId>(rng.next_below(8));
+      const auto home = table.home_of(p, toucher);
+      ASSERT_LT(home, 8u);
+      homes[p] = home;
+    }
+  }
+  for (const auto& [page, home] : homes) {
+    const auto again = table.home_of(
+        page, static_cast<numasim::DomainId>(rng.next_below(8)));
+    EXPECT_EQ(again, home) << "page " << page << " moved";
+  }
+}
+
+/// Corrupt a serialized profile at many positions; the loader must throw
+/// or return, never crash or hang.
+TEST(ProfileIoFuzz, CorruptedInputNeverCrashes) {
+  // Build a small real profile first.
+  simrt::Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 25;
+  core::Profiler profiler(m, cfg);
+  parallel_region(m, 2, "w", {},
+                  [&](simrt::SimThread& t, std::uint32_t i) -> simrt::Task {
+                    const simos::VAddr v = t.malloc(4096, "x");
+                    for (int k = 0; k < 200; ++k) {
+                      t.load(v + ((i + k) % 512) * 8);
+                    }
+                    co_return;
+                  });
+  std::stringstream out;
+  core::save_profile(profiler.snapshot(), out);
+  const std::string good = out.str();
+
+  support::Rng rng(0xC0FFEE);
+  int threw = 0, loaded = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bad = good;
+    switch (trial % 3) {
+      case 0:  // truncate
+        bad.resize(rng.next_below(bad.size()));
+        break;
+      case 1: {  // flip a byte
+        const auto pos = rng.next_below(bad.size());
+        bad[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      }
+      default: {  // splice a random chunk out
+        const auto pos = rng.next_below(bad.size());
+        const auto len = rng.next_below(bad.size() - pos);
+        bad.erase(pos, len);
+        break;
+      }
+    }
+    std::stringstream in(bad);
+    try {
+      const core::SessionData data = core::load_profile(in);
+      ++loaded;  // corruption happened to keep the grammar valid
+      (void)data;
+    } catch (const std::exception&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + loaded, 300);
+  EXPECT_GT(threw, 100);  // most corruptions are detected
+}
+
+}  // namespace
+}  // namespace numaprof

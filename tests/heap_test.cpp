@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "simos/heap.hpp"
+
+namespace numaprof::simos {
+namespace {
+
+constexpr VAddr kBase = 0x1000000;
+constexpr std::uint64_t kCap = 64 * kPageBytes;
+
+TEST(Heap, AllocationsArePageAligned) {
+  Heap heap(kBase, kCap);
+  const HeapBlock a = heap.allocate(100);
+  const HeapBlock b = heap.allocate(5000);
+  EXPECT_EQ(a.start % kPageBytes, 0u);
+  EXPECT_EQ(b.start % kPageBytes, 0u);
+  EXPECT_EQ(a.page_count, 1u);
+  EXPECT_EQ(b.page_count, 2u);
+}
+
+TEST(Heap, BlockIdsAreUniqueAndStable) {
+  Heap heap(kBase, kCap);
+  const HeapBlock a = heap.allocate(10);
+  heap.free(a.start);
+  const HeapBlock b = heap.allocate(10);
+  EXPECT_NE(a.id, b.id);     // never reused
+  EXPECT_EQ(a.start, b.start);  // but the space is
+}
+
+TEST(Heap, ZeroByteAllocationGetsAPage) {
+  Heap heap(kBase, kCap);
+  const HeapBlock a = heap.allocate(0);
+  EXPECT_EQ(a.page_count, 1u);
+}
+
+TEST(Heap, FindLocatesContainingBlock) {
+  Heap heap(kBase, kCap);
+  const HeapBlock a = heap.allocate(3 * kPageBytes);
+  EXPECT_EQ(heap.find(a.start)->id, a.id);
+  EXPECT_EQ(heap.find(a.start + 3 * kPageBytes - 1)->id, a.id);
+  EXPECT_FALSE(heap.find(a.start + 3 * kPageBytes).has_value());
+  EXPECT_FALSE(heap.find(kBase - 1).has_value());
+}
+
+TEST(Heap, DoubleFreeIsDetected) {
+  Heap heap(kBase, kCap);
+  const HeapBlock a = heap.allocate(10);
+  EXPECT_TRUE(heap.free(a.start).has_value());
+  EXPECT_FALSE(heap.free(a.start).has_value());
+  EXPECT_FALSE(heap.free(a.start + 8).has_value());  // interior pointer
+}
+
+TEST(Heap, ExhaustionThrowsBadAlloc) {
+  Heap heap(kBase, 4 * kPageBytes);
+  heap.allocate(3 * kPageBytes);
+  EXPECT_THROW(heap.allocate(2 * kPageBytes), std::bad_alloc);
+  EXPECT_NO_THROW(heap.allocate(kPageBytes));
+}
+
+TEST(Heap, FreeCoalescesNeighbours) {
+  Heap heap(kBase, 8 * kPageBytes);
+  const HeapBlock a = heap.allocate(2 * kPageBytes);
+  const HeapBlock b = heap.allocate(2 * kPageBytes);
+  const HeapBlock c = heap.allocate(2 * kPageBytes);
+  const HeapBlock d = heap.allocate(2 * kPageBytes);
+  heap.free(a.start);
+  heap.free(c.start);
+  heap.free(b.start);  // merges a+b+c into one 6-page hole
+  heap.free(d.start);  // and with d: the whole heap
+  EXPECT_NO_THROW(heap.allocate(8 * kPageBytes));
+}
+
+TEST(Heap, FirstFitReusesEarliestHole) {
+  Heap heap(kBase, 8 * kPageBytes);
+  const HeapBlock a = heap.allocate(2 * kPageBytes);
+  heap.allocate(2 * kPageBytes);  // keeps the middle occupied
+  heap.free(a.start);
+  const HeapBlock c = heap.allocate(kPageBytes);
+  EXPECT_EQ(c.start, a.start);
+}
+
+TEST(Heap, BytesInUseTracksLifecycle) {
+  Heap heap(kBase, kCap);
+  EXPECT_EQ(heap.bytes_in_use(), 0u);
+  const HeapBlock a = heap.allocate(kPageBytes + 1);
+  EXPECT_EQ(heap.bytes_in_use(), 2 * kPageBytes);
+  heap.free(a.start);
+  EXPECT_EQ(heap.bytes_in_use(), 0u);
+  EXPECT_EQ(heap.live_blocks(), 0u);
+}
+
+TEST(Heap, MisalignedConstructionThrows) {
+  EXPECT_THROW(Heap(kBase + 1, kCap), std::invalid_argument);
+  EXPECT_THROW(Heap(kBase, kCap + 1), std::invalid_argument);
+}
+
+TEST(PagesCovering, Math) {
+  EXPECT_EQ(pages_covering(0, 0), 0u);
+  EXPECT_EQ(pages_covering(0, 1), 1u);
+  EXPECT_EQ(pages_covering(0, kPageBytes), 1u);
+  EXPECT_EQ(pages_covering(0, kPageBytes + 1), 2u);
+  EXPECT_EQ(pages_covering(kPageBytes - 1, 2), 2u);  // straddles
+}
+
+}  // namespace
+}  // namespace numaprof::simos

@@ -1,0 +1,172 @@
+// End-to-end pipeline tests: the full paper workflow — run monitored,
+// analyze, get advice, apply the fix, verify the fix — plus cross-mechanism
+// agreement checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/minilulesh.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof {
+namespace {
+
+using apps::LuleshConfig;
+using apps::Variant;
+using core::Analyzer;
+using core::Profiler;
+using core::ProfilerConfig;
+using core::SessionData;
+
+LuleshConfig cfg(Variant v) {
+  // pages_per_thread sized so the four master-initialized arrays (4 x 16 x
+  // 12 pages = 3 MiB) exceed one POWER7-preset L3 (1 MiB): MRK needs real
+  // L3 misses to sample.
+  return LuleshConfig{.threads = 16,
+                      .pages_per_thread = 12,
+                      .timesteps = 6,
+                      .variant = v};
+}
+
+core::VariableId find_var(const SessionData& data, std::string_view name) {
+  for (const core::Variable& v : data.variables) {
+    if (v.name == name) return v.id;
+  }
+  ADD_FAILURE() << "no variable " << name;
+  return 0;
+}
+
+TEST(Pipeline, DiagnoseAdviseFixVerify) {
+  // 1. Measure the baseline (hpcrun).
+  simrt::Machine machine(numasim::amd_magny_cours());
+  ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  pc.event.period = 200;
+  Profiler profiler(machine, pc);
+  const apps::LuleshRun baseline = run_minilulesh(machine, cfg(Variant::kBaseline));
+
+  // 2. Write + re-read the profile (hpcrun -> hpcprof handoff).
+  SessionData live = profiler.snapshot();
+  std::stringstream file;
+  core::save_profile(live, file);
+  const SessionData data = core::load_profile(file);
+
+  // 3. Analyze: the program warrants optimization; z is a top offender.
+  const Analyzer analyzer(data);
+  ASSERT_TRUE(analyzer.program().lpi.has_value());
+  EXPECT_TRUE(analyzer.program().warrants_optimization);
+  const auto z = find_var(data, "z");
+
+  // 4. Advise: blocked pattern -> block-wise first touch at the init site.
+  const core::Advisor advisor(analyzer);
+  const auto rec = advisor.recommend(z);
+  EXPECT_EQ(rec.action, core::Action::kBlockwiseFirstTouch);
+  ASSERT_FALSE(rec.first_touch_sites.empty());
+
+  // 5. Apply the fix (the blockwise variant IS the recommended edit) and
+  //    verify the speedup and the restored locality.
+  simrt::Machine fixed_machine(numasim::amd_magny_cours());
+  Profiler fixed_profiler(fixed_machine, pc);
+  const apps::LuleshRun fixed =
+      run_minilulesh(fixed_machine, cfg(Variant::kBlockwise));
+  EXPECT_LT(fixed.compute_cycles, baseline.compute_cycles);
+
+  const SessionData fixed_data = fixed_profiler.snapshot();
+  const Analyzer fixed_analyzer(fixed_data);
+  const auto z_after = fixed_analyzer.report(find_var(fixed_data, "z"));
+  EXPECT_GT(z_after.match, z_after.mismatch);
+  ASSERT_TRUE(fixed_analyzer.program().lpi.has_value());
+  EXPECT_LT(*fixed_analyzer.program().lpi, *analyzer.program().lpi);
+}
+
+TEST(Pipeline, ViewerRendersLoadedProfile) {
+  simrt::Machine machine(numasim::amd_magny_cours());
+  ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  pc.event.period = 300;
+  Profiler profiler(machine, pc);
+  run_minilulesh(machine, cfg(Variant::kBaseline));
+  SessionData live = profiler.snapshot();
+  std::stringstream file;
+  core::save_profile(live, file);
+  const SessionData data = core::load_profile(file);
+
+  const Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+  EXPECT_NE(viewer.program_summary().find("lpi_NUMA"), std::string::npos);
+  EXPECT_GT(viewer.data_centric_table(10).row_count(), 3u);
+  const auto z = find_var(data, "z");
+  EXPECT_NE(viewer.address_centric_plot(z).find('#'), std::string::npos);
+  EXPECT_GE(viewer.first_touch_table(z).row_count(), 1u);
+}
+
+TEST(Pipeline, MechanismsAgreeOnMismatchRatio) {
+  // M_l/M_r derive from move_pages + thread domain (§4.1), so every
+  // mechanism — hardware or software — should report a similar M_r share
+  // on the same workload.
+  const auto mismatch_fraction = [](pmu::Mechanism mech) {
+    simrt::Machine machine(numasim::amd_magny_cours());
+    ProfilerConfig pc;
+    pc.event = pmu::EventConfig::mini(mech);
+    pc.event.period = mech == pmu::Mechanism::kSoftIbs ? 100 : 200;
+    pc.event.min_sample_gap = 0;
+    pc.event.instrumentation_work = 0;
+    pc.event.skid_correction_work = 0;
+    Profiler profiler(machine, pc);
+    run_minilulesh(machine, cfg(Variant::kBaseline));
+    const SessionData data = profiler.snapshot();
+    const Analyzer analyzer(data);
+    const auto& p = analyzer.program();
+    return static_cast<double>(p.mismatch) /
+           static_cast<double>(p.match + p.mismatch);
+  };
+
+  const double ibs = mismatch_fraction(pmu::Mechanism::kIbs);
+  const double soft = mismatch_fraction(pmu::Mechanism::kSoftIbs);
+  const double pebs = mismatch_fraction(pmu::Mechanism::kPebs);
+  EXPECT_NEAR(ibs, soft, 0.15);
+  EXPECT_NEAR(ibs, pebs, 0.15);
+  EXPECT_GT(ibs, 0.3);  // the pathology is visible through all of them
+}
+
+TEST(Pipeline, MrkSeesOnlyL3MissesButSameDiagnosis) {
+  simrt::Machine machine(numasim::power7());
+  ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kMrk);
+  pc.event.min_sample_gap = 0;
+  Profiler profiler(machine, pc);
+  run_minilulesh(machine, cfg(Variant::kBaseline));
+  const SessionData data = profiler.snapshot();
+  const Analyzer analyzer(data);
+  // Every MRK sample is an L3 miss.
+  EXPECT_EQ(analyzer.program().l3_miss_samples,
+            analyzer.program().memory_samples);
+  // And the z diagnosis still holds without latency support.
+  const auto z = analyzer.report(find_var(data, "z"));
+  EXPECT_GT(z.mismatch, z.match);
+  EXPECT_FALSE(z.lpi.has_value());
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto run_once = []() {
+    simrt::Machine machine(numasim::amd_magny_cours());
+    ProfilerConfig pc;
+    pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+    pc.event.period = 250;
+    Profiler profiler(machine, pc);
+    run_minilulesh(machine, cfg(Variant::kBaseline));
+    SessionData data = profiler.snapshot();
+    std::stringstream out;
+    core::save_profile(data, out);
+    return out.str();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace numaprof

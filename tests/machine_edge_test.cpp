@@ -1,0 +1,207 @@
+// Edge cases and failure injection for the simulated runtime + OS layers.
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "numasim/topology.hpp"
+#include "simrt/machine.hpp"
+
+namespace numaprof::simrt {
+namespace {
+
+using numasim::test_machine;
+
+TEST(MachineEdge, HeapExhaustionSurfacesAsBadAlloc) {
+  Machine m(test_machine(2, 2));
+  m.spawn([](SimThread& t) -> Task {
+    // The heap segment is 8 GiB; ask for more.
+    t.malloc(9ULL << 30, "too-big");
+    co_return;
+  });
+  EXPECT_THROW(m.run(), std::bad_alloc);
+}
+
+TEST(MachineEdge, ManySmallAllocationsAndFrees) {
+  Machine m(test_machine(2, 2));
+  m.spawn([](SimThread& t) -> Task {
+    std::vector<simos::VAddr> blocks;
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 50; ++i) {
+        blocks.push_back(t.malloc(100 + i, "tmp"));
+      }
+      // Free in a scrambled order to exercise coalescing.
+      for (std::size_t i = 0; i < blocks.size(); i += 2) t.free(blocks[i]);
+      for (std::size_t i = 1; i < blocks.size(); i += 2) t.free(blocks[i]);
+      blocks.clear();
+      co_await t.tick();
+    }
+  });
+  m.run();
+  EXPECT_EQ(m.memory().heap().live_blocks(), 0u);
+  EXPECT_EQ(m.memory().heap().bytes_in_use(), 0u);
+}
+
+TEST(MachineEdge, FaultInsideParallelRegionAttributesFaultingThread) {
+  Machine m(test_machine(4, 2));
+  m.set_protect_on_alloc(true);
+  std::vector<ThreadId> fault_tids;
+  m.set_fault_handler([&](const FaultEvent& f) {
+    fault_tids.push_back(f.tid);
+    m.memory().page_table().unprotect(simos::page_of(f.addr));
+  });
+  simos::VAddr block = 0;
+  parallel_region(m, 1, "alloc", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    block = t.malloc(8 * simos::kPageBytes, "shared");
+                    co_return;
+                  });
+  parallel_region(m, 8, "touch._omp", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    t.store(block + index * simos::kPageBytes);
+                    co_return;
+                  });
+  ASSERT_EQ(fault_tids.size(), 8u);
+  std::sort(fault_tids.begin(), fault_tids.end());
+  EXPECT_EQ(fault_tids.front(), 1u);  // workers are tids 1..8
+  EXPECT_EQ(fault_tids.back(), 8u);
+}
+
+TEST(MachineEdge, ScopedFramesSurviveSuspension) {
+  Machine m(test_machine(1, 2), MachineConfig{.quantum = 5});
+  const FrameId outer = m.frames().intern("outer");
+  bool checked = false;
+  m.spawn([&](SimThread& t) -> Task {
+    ScopedFrame frame(t, outer);
+    for (int i = 0; i < 20; ++i) {
+      t.exec(10);           // forces several quantum expiries
+      co_await t.tick();    // suspension with the frame on the stack
+    }
+    checked = t.leaf_frame() == outer;
+  });
+  // A second thread to force real interleaving.
+  m.spawn([](SimThread& t) -> Task {
+    for (int i = 0; i < 20; ++i) {
+      t.exec(10);
+      co_await t.tick();
+    }
+  });
+  m.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(MachineEdge, SpawnAfterRunStartsAtCurrentTime) {
+  Machine m(test_machine(1, 1));
+  m.spawn([](SimThread& t) -> Task {
+    t.exec(500);
+    co_return;
+  });
+  m.run();
+  const auto phase1 = m.elapsed();
+  ASSERT_GE(phase1, 500u);
+  numasim::Cycles start_time = 0;
+  m.spawn([&](SimThread& t) -> Task {
+    start_time = t.now();
+    co_return;
+  });
+  m.run();
+  EXPECT_EQ(start_time, phase1);  // serial-phase semantics
+}
+
+TEST(MachineEdge, EmptyRunIsHarmless) {
+  Machine m(test_machine(1, 1));
+  m.run();
+  EXPECT_EQ(m.elapsed(), 0u);
+  m.run();  // idempotent
+}
+
+TEST(MachineEdge, ZeroThreadParallelRegionCompletes) {
+  Machine m(test_machine(2, 2));
+  parallel_region(m, 0, "empty", {},
+                  [](SimThread&, std::uint32_t) -> Task { co_return; });
+  EXPECT_EQ(m.thread_count(), 0u);
+}
+
+TEST(MachineEdge, ObserverAddedMidRunSeesOnlyLaterPhases) {
+  struct Counter : MachineObserver {
+    std::uint64_t accesses = 0;
+    void on_access(const SimThread&, const AccessEvent&) override {
+      ++accesses;
+    }
+  } counter;
+
+  Machine m(test_machine(2, 2));
+  m.spawn([](SimThread& t) -> Task {
+    for (int i = 0; i < 10; ++i) t.load(simos::kStaticBase + i * 64);
+    co_return;
+  });
+  m.run();
+  m.add_observer(counter);
+  m.spawn([](SimThread& t) -> Task {
+    for (int i = 0; i < 7; ++i) t.load(simos::kStaticBase + i * 64);
+    co_return;
+  });
+  m.run();
+  EXPECT_EQ(counter.accesses, 7u);
+}
+
+TEST(MachineEdge, AccessSpanningPagesUsesFirstByteHome) {
+  // A multi-byte access whose address sits at a page boundary resolves by
+  // its first byte (documented simplification).
+  Machine m(test_machine(2, 2));
+  m.set_protect_on_alloc(false);
+  simos::VAddr block = 0;
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        block = t.malloc(2 * simos::kPageBytes, "two-pages");
+        t.store(block + simos::kPageBytes - 4, 8);  // straddles
+        co_return;
+      },
+      0);
+  m.run();
+  // Only the first page was touched/homed.
+  const auto& pt = m.memory().page_table();
+  EXPECT_TRUE(pt.query_home(simos::page_of(block)).has_value());
+  EXPECT_FALSE(pt.query_home(simos::page_of(block) + 1).has_value());
+}
+
+TEST(MachineEdge, DeterministicUnderDifferentQuanta) {
+  // Quantum changes interleaving granularity, not the work performed:
+  // instruction totals are invariant even though timing shifts.
+  const auto instructions = [](std::uint64_t quantum) {
+    Machine m(test_machine(2, 4), MachineConfig{.quantum = quantum});
+    parallel_region(m, 8, "work", {},
+                    [](SimThread& t, std::uint32_t index) -> Task {
+                      for (int i = 0; i < 100; ++i) {
+                        t.load(simos::kStaticBase + (index * 100 + i) * 64);
+                        t.exec(2);
+                        co_await t.tick();
+                      }
+                    });
+    return m.total_instructions();
+  };
+  EXPECT_EQ(instructions(10), instructions(1000));
+}
+
+TEST(MachineEdge, StaticDefinitionWithPolicyHonored) {
+  Machine m(test_machine(4, 2));
+  const auto symbol =
+      m.define_static("interleaved_table", 8 * simos::kPageBytes,
+                      simos::PolicySpec::interleave());
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        for (std::uint64_t p = 0; p < 8; ++p) {
+          t.load(symbol.start + p * simos::kPageBytes);
+        }
+        co_return;
+      },
+      0);
+  m.run();
+  const auto& pt = m.memory().page_table();
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(pt.query_home(simos::page_of(symbol.start) + p).value(),
+              p % 4);
+  }
+}
+
+}  // namespace
+}  // namespace numaprof::simrt

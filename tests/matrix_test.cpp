@@ -1,0 +1,169 @@
+// Cross-product smoke-and-invariants sweep: every case-study app under
+// every sampling mechanism. Whatever the mechanism, a profile must be
+// internally consistent (classification totals, domain attribution,
+// capability-gated fields).
+#include <gtest/gtest.h>
+
+#include "apps/miniamg.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/miniumt.hpp"
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof {
+namespace {
+
+enum class App { kLulesh, kAmg, kBlackscholes, kUmt };
+
+std::string app_name(App app) {
+  switch (app) {
+    case App::kLulesh: return "lulesh";
+    case App::kAmg: return "amg";
+    case App::kBlackscholes: return "blackscholes";
+    case App::kUmt: return "umt";
+  }
+  return "?";
+}
+
+using Param = std::tuple<App, pmu::Mechanism>;
+
+class AppMechanismMatrix : public ::testing::TestWithParam<Param> {
+ protected:
+  core::SessionData run() {
+    const auto [app, mechanism] = GetParam();
+    simrt::Machine machine(numasim::amd_magny_cours());
+    core::ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(mechanism);
+    // Dense enough that every mechanism collects samples on small runs.
+    // PRIME period: Soft-IBS decimates deterministically, and a period
+    // sharing a factor with the workload's per-iteration access count
+    // aliases onto one instruction (the §3 uniformity hazard — see
+    // SoftIbs.FixedPeriodAliasesOnRegularLoops in pmu_test).
+    cfg.event.period = std::min<std::uint64_t>(cfg.event.period, 293);
+    cfg.event.min_sample_gap = 0;
+    cfg.event.instrumentation_work = 0;
+    cfg.event.skid_correction_work = 0;
+    core::Profiler profiler(machine, cfg);
+
+    switch (app) {
+      case App::kLulesh:
+        apps::run_minilulesh(machine, {.threads = 12,
+                                       .pages_per_thread = 3,
+                                       .timesteps = 3,
+                                       .variant = apps::Variant::kBaseline});
+        break;
+      case App::kAmg:
+        // Sized so RAP_diag_data (12*2048*4*8 = 768 KiB) exceeds the home
+        // domain's L3: MRK needs steady-state misses to observe workers.
+        apps::run_miniamg(machine, {.threads = 12,
+                                    .rows_per_thread = 2048,
+                                    .nnz_per_row = 4,
+                                    .relax_sweeps = 3,
+                                    .matvec_sweeps = 1,
+                                    .variant = apps::Variant::kBaseline});
+        break;
+      case App::kBlackscholes: {
+        apps::BlackscholesConfig bs;
+        bs.threads = 12;
+        bs.options_per_thread = 1536;  // buffer 720 KiB > domain-0 L3
+        bs.iterations = 12;
+        apps::run_miniblackscholes(machine, bs);
+        break;
+      }
+      case App::kUmt:
+        // STime 64*32*48*8 = 768 KiB > the home domain's L3.
+        apps::run_miniumt(machine, {.threads = 12,
+                                    .groups = 64,
+                                    .corners = 32,
+                                    .angles = 48,
+                                    .sweeps = 3,
+                                    .variant = apps::Variant::kBaseline});
+        break;
+    }
+    return profiler.snapshot();
+  }
+};
+
+TEST_P(AppMechanismMatrix, ProfileIsInternallyConsistent) {
+  const core::SessionData data = run();
+  const core::Analyzer analyzer(data);
+  const core::ProgramSummary& p = analyzer.program();
+  const auto caps = pmu::capabilities_of(std::get<1>(GetParam()));
+
+  // Samples were collected and classified exhaustively. (Latency-
+  // threshold mechanisms legitimately sample little on cache-friendly
+  // workloads, so the floor is small.)
+  ASSERT_GT(p.memory_samples, 0u);
+  EXPECT_EQ(p.match + p.mismatch, p.memory_samples);
+  std::uint64_t per_domain = 0;
+  for (const auto v : p.per_domain) per_domain += v;
+  EXPECT_EQ(per_domain, p.memory_samples);
+
+  // Capability gating.
+  EXPECT_EQ(p.lpi.has_value(), caps.reports_latency);
+  if (!caps.reports_latency) {
+    EXPECT_EQ(p.total_latency, 0.0);
+  } else {
+    EXPECT_GE(p.total_latency, p.remote_latency);
+  }
+
+  // Conventional counters are always present.
+  EXPECT_GT(p.instructions, 0u);
+  EXPECT_GE(p.instructions, p.memory_instructions);
+
+  // Variable ranking exists and shares are sane.
+  ASSERT_FALSE(analyzer.variables().empty());
+  double share = 0.0;
+  for (const auto& r : analyzer.variables()) {
+    EXPECT_LE(r.mismatch_share, 1.0 + 1e-9);
+    share += r.mismatch_share;
+  }
+  EXPECT_LE(share, 1.0 + 1e-9);
+}
+
+TEST_P(AppMechanismMatrix, MasterInitedDataIsMismatchHeavy) {
+  const auto [app, mechanism] = GetParam();
+  const core::SessionData data = run();
+  const core::Analyzer analyzer(data);
+  // Each app has one canonical master-initialized hot variable.
+  const char* hot = nullptr;
+  switch (app) {
+    case App::kLulesh: hot = "z"; break;
+    case App::kAmg: hot = "RAP_diag_data"; break;
+    case App::kBlackscholes: hot = "buffer"; break;
+    case App::kUmt: hot = "STime"; break;
+  }
+  for (const core::Variable& v : data.variables) {
+    if (v.name != hot) continue;
+    const auto report = analyzer.report(v.id);
+    if (report.samples < 10) return;  // too sparse to judge (rate-limited MRK)
+    EXPECT_GT(report.mismatch, report.match)
+        << app_name(app) << "/" << to_string(mechanism) << " on " << hot;
+    ASSERT_TRUE(report.single_home_domain.has_value());
+    EXPECT_EQ(*report.single_home_domain, 0u);
+    return;
+  }
+  FAIL() << "hot variable not found: " << hot;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AppMechanismMatrix,
+    ::testing::Combine(
+        ::testing::Values(App::kLulesh, App::kAmg, App::kBlackscholes,
+                          App::kUmt),
+        ::testing::Values(pmu::Mechanism::kIbs, pmu::Mechanism::kMrk,
+                          pmu::Mechanism::kPebs, pmu::Mechanism::kDear,
+                          pmu::Mechanism::kPebsLl,
+                          pmu::Mechanism::kSoftIbs)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = app_name(std::get<0>(info.param)) + "_";
+      for (const char c : to_string(std::get<1>(info.param))) {
+        if (std::isalnum(static_cast<unsigned char>(c))) name.push_back(c);
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace numaprof

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+SessionData small_session() {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 10;
+  Profiler profiler(m, cfg);
+  simos::VAddr data = 0;
+  const auto main_f = m.frames().intern("main", "x c.c", 1);  // space in file
+  parallel_region(m, 1, "init", {main_f},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(8 * simos::kPageBytes, "weird name%");
+                    for (std::uint64_t i = 0; i < 8 * simos::kPageBytes;
+                         i += 64) {
+                      t.store(data + i);
+                    }
+                    co_return;
+                  });
+  parallel_region(m, 4, "work", {main_f},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    for (std::uint64_t i = 0; i < 2048; ++i) {
+                      t.load(data + ((index * 2048 + i) * 64) %
+                                        (8 * simos::kPageBytes));
+                      co_await t.tick();
+                    }
+                  });
+  return profiler.snapshot();
+}
+
+TEST(EscapeField, RoundTripsSpecials) {
+  for (const std::string raw :
+       {"plain", "with space", "tab\there", "new\nline", "percent%sign",
+        "", "%20", "\x01control"}) {
+    EXPECT_EQ(unescape_field(escape_field(raw)), raw) << raw;
+  }
+}
+
+TEST(EscapeField, EscapedFormIsOneToken) {
+  const std::string escaped = escape_field("two words\nand lines");
+  EXPECT_EQ(escaped.find(' '), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+}
+
+TEST(ProfileIo, SaveLoadRoundTrip) {
+  const SessionData original = small_session();
+  std::stringstream stream;
+  save_profile(original, stream);
+  const SessionData loaded = load_profile(stream);
+
+  EXPECT_EQ(loaded.machine_name, original.machine_name);
+  EXPECT_EQ(loaded.domain_count, original.domain_count);
+  EXPECT_EQ(loaded.core_count, original.core_count);
+  EXPECT_EQ(loaded.mechanism, original.mechanism);
+  EXPECT_EQ(loaded.sampling_period, original.sampling_period);
+  EXPECT_EQ(loaded.frames.size(), original.frames.size());
+  EXPECT_EQ(loaded.cct.size(), original.cct.size());
+  EXPECT_EQ(loaded.variables.size(), original.variables.size());
+  EXPECT_EQ(loaded.totals.size(), original.totals.size());
+  EXPECT_EQ(loaded.first_touches.size(), original.first_touches.size());
+  EXPECT_EQ(loaded.address_centric.entry_count(),
+            original.address_centric.entry_count());
+
+  // Variable metadata round-trips exactly (including the awkward name).
+  for (std::size_t i = 0; i < original.variables.size(); ++i) {
+    EXPECT_EQ(loaded.variables[i].name, original.variables[i].name);
+    EXPECT_EQ(loaded.variables[i].start, original.variables[i].start);
+    EXPECT_EQ(loaded.variables[i].variable_node,
+              original.variables[i].variable_node);
+  }
+}
+
+TEST(ProfileIo, AnalysisOfLoadedProfileMatchesLive) {
+  const SessionData original = small_session();
+  std::stringstream stream;
+  save_profile(original, stream);
+  const SessionData loaded = load_profile(stream);
+
+  const Analyzer live(original);
+  const Analyzer offline(loaded);
+  EXPECT_EQ(live.program().samples, offline.program().samples);
+  EXPECT_EQ(live.program().mismatch, offline.program().mismatch);
+  EXPECT_DOUBLE_EQ(live.program().remote_latency,
+                   offline.program().remote_latency);
+  ASSERT_EQ(live.variables().size(), offline.variables().size());
+  for (std::size_t i = 0; i < live.variables().size(); ++i) {
+    EXPECT_EQ(live.variables()[i].name, offline.variables()[i].name);
+    EXPECT_EQ(live.variables()[i].mismatch, offline.variables()[i].mismatch);
+  }
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const SessionData original = small_session();
+  const std::string path = ::testing::TempDir() + "/numaprof_test_profile.txt";
+  save_profile_file(original, path);
+  const SessionData loaded = load_profile_file(path);
+  EXPECT_EQ(loaded.cct.size(), original.cct.size());
+}
+
+TEST(ProfileIo, RejectsWrongMagicAndVersion) {
+  std::stringstream bad1("not-a-profile 1\n");
+  EXPECT_THROW(load_profile(bad1), std::runtime_error);
+  std::stringstream bad2("numaprof-profile 999\n");
+  EXPECT_THROW(load_profile(bad2), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsTruncatedInput) {
+  const SessionData original = small_session();
+  std::stringstream stream;
+  save_profile(original, stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_profile(truncated), std::runtime_error);
+}
+
+TEST(ProfileIo, MissingFileThrows) {
+  EXPECT_THROW(load_profile_file("/nonexistent/profile.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+ProfilerConfig dense_ibs() {
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 20;
+  cfg.address_bins = 5;
+  return cfg;
+}
+
+/// Master init (domain 0) + block-partitioned workers: the canonical
+/// first-touch pathology.
+simos::VAddr run_pathology(Machine& m, std::uint32_t threads,
+                           std::uint32_t pages_per_thread) {
+  simos::VAddr data = 0;
+  const std::uint64_t elems =
+      threads * pages_per_thread * (simos::kPageBytes / 8);
+  const auto main_f = m.frames().intern("main");
+  parallel_region(m, 1, "init", {main_f},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(elems * 8, "data");
+                    for (std::uint64_t i = 0; i < elems; i += 8) {
+                      t.store(data + i * 8);
+                    }
+                    co_return;
+                  });
+  parallel_region(m, threads, "work._omp", {main_f},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const std::uint64_t begin = elems * index / threads;
+                    const std::uint64_t end = elems * (index + 1) / threads;
+                    for (int sweep = 0; sweep < 4; ++sweep) {
+                      for (std::uint64_t i = begin; i < end; i += 8) {
+                        t.load(data + i * 8);
+                        co_await t.tick();
+                      }
+                      co_await t.yield();
+                    }
+                  });
+  return data;
+}
+
+TEST(Profiler, TotalsAreConsistent) {
+  Machine m(numasim::test_machine(4, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 8, 4);
+  profiler.stop();
+
+  std::uint64_t match = 0, mismatch = 0, memory = 0, samples = 0;
+  std::uint64_t per_domain = 0;
+  for (std::size_t tid = 0; tid < profiler.thread_count(); ++tid) {
+    const ThreadTotals& t = profiler.totals(tid);
+    match += t.match;
+    mismatch += t.mismatch;
+    memory += t.memory_samples;
+    samples += t.samples;
+    for (const auto v : t.per_domain) per_domain += v;
+  }
+  EXPECT_GT(memory, 50u);
+  EXPECT_EQ(match + mismatch, memory);   // every memory sample classified
+  EXPECT_EQ(per_domain, memory);         // ... and attributed to a domain
+  EXPECT_GE(samples, memory);
+  EXPECT_GT(mismatch, match);            // the pathology: mostly remote
+}
+
+TEST(Profiler, InstructionCountersFilledAtStop) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 2, 2);
+  profiler.stop();
+  std::uint64_t instructions = 0;
+  for (std::size_t tid = 0; tid < profiler.thread_count(); ++tid) {
+    instructions += profiler.totals(tid).instructions;
+  }
+  EXPECT_EQ(instructions, m.total_instructions());
+}
+
+TEST(Profiler, HeapVariableDiscoveredWithAllocationPath) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 2, 2);
+  profiler.stop();
+  const auto id = profiler.variables().find_by_name("data");
+  ASSERT_TRUE(id.has_value());
+  const Variable& var = profiler.variables().variable(*id);
+  EXPECT_EQ(var.kind, VariableKind::kHeap);
+  // Allocation path: [ALLOCATION] > main > init > VAR.
+  const auto path = profiler.cct().path_to(var.variable_node);
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(profiler.cct().node(path[0]).kind, NodeKind::kAllocation);
+}
+
+TEST(Profiler, FirstTouchRecordsCoverAllPages) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 2, 3);  // 2*3 = 6 pages
+  profiler.stop();
+  EXPECT_EQ(profiler.first_touches().size(), 6u);
+  for (const FirstTouchRecord& r : profiler.first_touches()) {
+    EXPECT_EQ(r.tid, 0u);     // master touched everything
+    EXPECT_EQ(r.domain, 0u);
+  }
+}
+
+TEST(Profiler, FirstTouchDisabledMeansNoRecords) {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg = dense_ibs();
+  cfg.track_first_touch = false;
+  Profiler profiler(m, cfg);
+  run_pathology(m, 2, 2);
+  profiler.stop();
+  EXPECT_TRUE(profiler.first_touches().empty());
+}
+
+TEST(Profiler, ParallelFirstTouchRecordsEveryToucher) {
+  Machine m(numasim::test_machine(4, 2));
+  Profiler profiler(m, dense_ibs());
+  simos::VAddr data = 0;
+  const std::uint64_t pages = 8;
+  parallel_region(m, 1, "alloc", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(pages * simos::kPageBytes, "shared");
+                    co_return;
+                  });
+  parallel_region(m, 8, "init._omp", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    t.store(data + index * simos::kPageBytes);
+                    co_return;
+                  });
+  profiler.stop();
+  EXPECT_EQ(profiler.first_touches().size(), pages);
+  std::set<simrt::ThreadId> touchers;
+  for (const auto& r : profiler.first_touches()) touchers.insert(r.tid);
+  EXPECT_EQ(touchers.size(), 8u);  // §6: concurrent first touches merge
+}
+
+// The §4.1 bias: a remote-homed page resident in the private cache keeps
+// counting toward M_r (move_pages classification), but contributes no
+// remote latency (data-source classification) — which is exactly why the
+// latency metrics are needed to avoid over-reporting.
+TEST(Profiler, CachedRemoteVariableHasMismatchButNoRemoteLatency) {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg = dense_ibs();
+  cfg.event.period = 1;
+  cfg.track_first_touch = false;
+  Profiler profiler(m, cfg);
+
+  simos::VAddr addr = 0;
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        addr = t.malloc(64, "hotword");
+        t.store(addr);
+        co_return;
+      },
+      /*core=*/0);
+  m.run();
+  m.spawn(
+      [&](SimThread& t) -> Task {
+        for (int i = 0; i < 100; ++i) t.load(addr);
+        co_return;
+      },
+      /*core=*/2);  // domain 1
+  m.run();
+  profiler.stop();
+
+  const auto id = profiler.variables().find_by_name("hotword");
+  ASSERT_TRUE(id.has_value());
+  const Variable& var = profiler.variables().variable(*id);
+  const auto& cct = profiler.cct();
+  double mismatch = 0, remote_latency = 0, total_latency = 0;
+  for (std::size_t tid = 0; tid < profiler.thread_count(); ++tid) {
+    // (store access has no store; use totals)
+    const ThreadTotals& t = profiler.totals(tid);
+    mismatch += static_cast<double>(t.mismatch);
+    remote_latency += t.remote_latency;
+    total_latency += t.total_latency;
+  }
+  (void)cct;
+  (void)var;
+  EXPECT_GT(mismatch, 90.0);  // M_r high: page lives in domain 0
+  // But only the first load actually crossed domains: the remote latency
+  // is one access's worth, not a hundred.
+  EXPECT_LT(remote_latency, 300.0);
+  EXPECT_GT(total_latency, remote_latency);
+}
+
+TEST(Profiler, SnapshotMatchesLiveState) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 4, 2);
+  const SessionData data = profiler.snapshot();
+  EXPECT_FALSE(profiler.running());  // snapshot stops
+  EXPECT_EQ(data.domain_count, 2u);
+  EXPECT_EQ(data.mechanism, pmu::Mechanism::kIbs);
+  EXPECT_EQ(data.thread_count(), profiler.thread_count());
+  EXPECT_EQ(data.first_touches.size(), profiler.first_touches().size());
+  EXPECT_EQ(data.cct.size(), profiler.cct().size());
+  EXPECT_EQ(data.variables.size(), profiler.variables().size());
+  EXPECT_GT(data.total_instructions(), 0u);
+  EXPECT_EQ(data.frames.size(), m.frames().size());
+}
+
+TEST(Profiler, StopDetachesFromMachine) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 2, 2);
+  profiler.stop();
+  const std::uint64_t samples_after_stop = profiler.sampler().samples_emitted();
+  run_pathology(m, 2, 2);  // unmonitored
+  EXPECT_EQ(profiler.sampler().samples_emitted(), samples_after_stop);
+}
+
+TEST(Profiler, BinNodesCreatedForLargeVariables) {
+  Machine m(numasim::test_machine(2, 2));
+  Profiler profiler(m, dense_ibs());
+  run_pathology(m, 2, 8);  // 16 pages > 5-page threshold
+  profiler.stop();
+  const auto id = profiler.variables().find_by_name("data");
+  ASSERT_TRUE(id.has_value());
+  const Variable& var = profiler.variables().variable(*id);
+  std::size_t bins = 0;
+  for (const NodeId child : profiler.cct().children(var.variable_node)) {
+    bins += profiler.cct().node(child).kind == NodeKind::kBin;
+  }
+  EXPECT_GT(bins, 1u);   // synthetic bin variables (§5.2)
+  EXPECT_LE(bins, 5u);
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -1,0 +1,189 @@
+// Region-scoped analysis (§4.2: lpi "can be computed for the whole program
+// or any code region") and multi-profiler coexistence.
+#include <gtest/gtest.h>
+
+#include "apps/common.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+/// Workload with a NUMA-sick region and a NUMA-healthy region.
+SessionData two_region_session() {
+  Machine m(numasim::test_machine(4, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 20;
+  Profiler profiler(m, cfg);
+
+  const std::uint64_t elems = 8 * 6 * apps::kElemsPerPage;
+  simos::VAddr shared = 0;
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    shared = t.malloc(elems * 8, "shared");
+                    apps::store_lines(t, shared, 0, elems);
+                    co_return;
+                  });
+  // Sick region: every worker reads the master-homed array.
+  parallel_region(m, 8, "sick._omp", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const apps::Slice s = apps::block_slice(elems, index, 8);
+                    for (int sweep = 0; sweep < 2; ++sweep) {
+                      apps::load_lines(t, shared, s.begin, s.end);
+                      co_await t.yield();
+                    }
+                    co_return;
+                  });
+  // Healthy region: workers touch their own freshly-allocated blocks.
+  parallel_region(m, 8, "healthy._omp", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    const simos::VAddr local =
+                        t.malloc(6 * simos::kPageBytes, "local");
+                    for (int sweep = 0; sweep < 3; ++sweep) {
+                      apps::store_lines(t, local, 0,
+                                        6 * apps::kElemsPerPage);
+                      apps::load_lines(t, local, 0, 6 * apps::kElemsPerPage);
+                      co_await t.yield();
+                    }
+                    co_return;
+                  });
+  return profiler.snapshot();
+}
+
+TEST(RegionLpi, SickRegionFarAboveHealthyRegion) {
+  const SessionData data = two_region_session();
+  const Analyzer analyzer(data);
+  const auto sick = analyzer.find_region("sick._omp");
+  const auto healthy = analyzer.find_region("healthy._omp");
+  ASSERT_TRUE(sick.has_value());
+  ASSERT_TRUE(healthy.has_value());
+  const auto sick_lpi = analyzer.region_lpi(*sick);
+  const auto healthy_lpi = analyzer.region_lpi(*healthy);
+  ASSERT_TRUE(sick_lpi.has_value());
+  ASSERT_TRUE(healthy_lpi.has_value());
+  EXPECT_GT(*sick_lpi, kLpiThreshold);
+  EXPECT_GT(*sick_lpi, 10 * (*healthy_lpi + 1e-9));
+  // Program lpi sits between the two regions' values.
+  ASSERT_TRUE(analyzer.program().lpi.has_value());
+  EXPECT_LT(*healthy_lpi, *analyzer.program().lpi);
+}
+
+TEST(RegionLpi, UnknownRegionAndUnsampledNode) {
+  const SessionData data = two_region_session();
+  const Analyzer analyzer(data);
+  EXPECT_FALSE(analyzer.find_region("no_such_region").has_value());
+  // The root of an unsampled subtree: first-touch dummy has no kSamples.
+  const auto ft = data.cct.find_child(kRootNode, NodeKind::kFirstTouch, 0);
+  ASSERT_TRUE(ft.has_value());
+  EXPECT_FALSE(analyzer.region_lpi(*ft).has_value());
+}
+
+TEST(RegionLpi, NoLatencyMechanismYieldsNothing) {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kMrk);
+  cfg.event.min_sample_gap = 0;
+  Profiler profiler(m, cfg);
+  parallel_region(m, 2, "r._omp", {},
+                  [&](SimThread& t, std::uint32_t i) -> Task {
+                    const simos::VAddr v = t.malloc(4 * simos::kPageBytes, "v");
+                    apps::store_lines(t, v, 0, 4 * apps::kElemsPerPage);
+                    (void)i;
+                    co_return;
+                  });
+  const SessionData data = profiler.snapshot();
+  const Analyzer analyzer(data);
+  const auto region = analyzer.find_region("r._omp");
+  ASSERT_TRUE(region.has_value());
+  EXPECT_FALSE(analyzer.region_lpi(*region).has_value());
+}
+
+TEST(MultiProfiler, TwoMechanismsObserveOneRun) {
+  // HPCToolkit can monitor with several event sets at once; here an
+  // IBS-like profiler (with first-touch tracking) and an MRK-like one
+  // (metrics only) attach to the same machine and both collect.
+  Machine m(numasim::test_machine(4, 2));
+  ProfilerConfig ibs_cfg;
+  ibs_cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  ibs_cfg.event.period = 25;
+  Profiler ibs(m, ibs_cfg);
+
+  ProfilerConfig mrk_cfg;
+  mrk_cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kMrk);
+  mrk_cfg.event.min_sample_gap = 0;
+  mrk_cfg.track_first_touch = false;  // only one fault handler may own §6
+  Profiler mrk(m, mrk_cfg);
+
+  const std::uint64_t elems = 8 * 4 * apps::kElemsPerPage;
+  simos::VAddr data_addr = 0;
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data_addr = t.malloc(elems * 8, "grid");
+                    apps::store_lines(t, data_addr, 0, elems);
+                    co_return;
+                  });
+  parallel_region(m, 8, "work._omp", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const apps::Slice s = apps::block_slice(elems, index, 8);
+                    apps::load_lines(t, data_addr, s.begin, s.end);
+                    co_return;
+                  });
+
+  const SessionData ibs_data = ibs.snapshot();
+  const SessionData mrk_data = mrk.snapshot();
+  const Analyzer ibs_an(ibs_data);
+  const Analyzer mrk_an(mrk_data);
+  EXPECT_GT(ibs_an.program().memory_samples, 50u);
+  EXPECT_GT(mrk_an.program().memory_samples, 50u);
+  EXPECT_TRUE(ibs_an.program().lpi.has_value());
+  EXPECT_FALSE(mrk_an.program().lpi.has_value());
+  // First-touch records belong to the tracking profiler only.
+  EXPECT_GT(ibs_data.first_touches.size(), 0u);
+  EXPECT_TRUE(mrk_data.first_touches.empty());
+  // Both agree on the move_pages-based classification direction.
+  EXPECT_GT(ibs_an.program().mismatch, ibs_an.program().match / 2);
+  EXPECT_GT(mrk_an.program().mismatch, 0u);
+}
+
+TEST(Eq3Verdict, PebsLlSeparatesTheWorkloadsLikeThePaper) {
+  // Eq. 3 scales by the absolute qualifying-event counter and the
+  // conventional instruction counter, so its lpi magnitudes are directly
+  // comparable to the paper's; the verdicts must match §8: LULESH far
+  // above the 0.1 threshold, Blackscholes below it.
+  const auto lpi_of = [](auto&& workload) {
+    Machine m(numasim::amd_magny_cours());
+    ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kPebsLl);
+    cfg.event.period = 50;
+    Profiler profiler(m, cfg);
+    workload(m);
+    const SessionData data = profiler.snapshot();
+    return Analyzer(data).program().lpi;
+  };
+  const auto lulesh_lpi = lpi_of([](Machine& m) {
+    apps::run_minilulesh(m, {.threads = 24,
+                             .pages_per_thread = 3,
+                             .timesteps = 8,
+                             .variant = apps::Variant::kBaseline});
+  });
+  const auto bs_lpi = lpi_of([](Machine& m) {
+    apps::BlackscholesConfig cfg;
+    cfg.threads = 24;
+    apps::run_miniblackscholes(m, cfg);
+  });
+  ASSERT_TRUE(lulesh_lpi.has_value());
+  ASSERT_TRUE(bs_lpi.has_value());
+  EXPECT_GT(*lulesh_lpi, kLpiThreshold);
+  EXPECT_LT(*bs_lpi, kLpiThreshold);
+}
+
+}  // namespace
+}  // namespace numaprof::core

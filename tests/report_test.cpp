@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "apps/common.hpp"
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+namespace fs = std::filesystem;
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+SessionData make_session(bool with_trace) {
+  Machine m(numasim::test_machine(4, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 15;
+  cfg.record_trace = with_trace;
+  Profiler profiler(m, cfg);
+  simos::VAddr data = 0;
+  const std::uint64_t elems = 8 * 6 * apps::kElemsPerPage;
+  parallel_region(m, 1, "init", {m.frames().intern("main")},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(elems * 8, "grid");
+                    apps::store_lines(t, data, 0, elems);
+                    co_return;
+                  });
+  parallel_region(m, 8, "work._omp", {m.frames().intern("main")},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const apps::Slice s = apps::block_slice(elems, index, 8);
+                    apps::load_lines(t, data, s.begin, s.end);
+                    co_return;
+                  });
+  return profiler.snapshot();
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(Report, WritesFullDirectoryTree) {
+  const SessionData data = make_session(true);
+  const Analyzer analyzer(data);
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "numaprof_report_test";
+  fs::remove_all(dir);
+
+  const std::string main_file = write_report(analyzer, dir.string());
+  EXPECT_TRUE(fs::exists(main_file));
+  EXPECT_TRUE(fs::exists(dir / "data_centric.csv"));
+  EXPECT_TRUE(fs::exists(dir / "code_centric.csv"));
+  EXPECT_TRUE(fs::exists(dir / "domains.csv"));
+  EXPECT_TRUE(fs::exists(dir / "timeline.txt"));  // trace recorded
+  EXPECT_TRUE(fs::exists(dir / "var_grid" / "ranges.csv"));
+  EXPECT_TRUE(fs::exists(dir / "var_grid" / "ranges.txt"));
+  EXPECT_TRUE(fs::exists(dir / "var_grid" / "first_touch.txt"));
+  EXPECT_TRUE(fs::exists(dir / "var_grid" / "data_sources.txt"));
+
+  const std::string report = slurp(main_file);
+  EXPECT_NE(report.find("lpi_NUMA"), std::string::npos);
+  EXPECT_NE(report.find("recommendations"), std::string::npos);
+  EXPECT_NE(report.find("grid"), std::string::npos);
+  EXPECT_NE(report.find("first touch"), std::string::npos);
+
+  const std::string csv = slurp(dir / "data_centric.csv");
+  EXPECT_NE(csv.find("variable,kind"), std::string::npos);
+  EXPECT_NE(csv.find("grid"), std::string::npos);
+}
+
+TEST(Report, NoTimelineWithoutTrace) {
+  const SessionData data = make_session(false);
+  const Analyzer analyzer(data);
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "numaprof_report_notrace";
+  fs::remove_all(dir);
+  write_report(analyzer, dir.string());
+  EXPECT_FALSE(fs::exists(dir / "timeline.txt"));
+  EXPECT_TRUE(fs::exists(dir / "report.txt"));
+}
+
+TEST(Report, OverwritesExistingReport) {
+  const SessionData data = make_session(false);
+  const Analyzer analyzer(data);
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "numaprof_report_twice";
+  fs::remove_all(dir);
+  write_report(analyzer, dir.string());
+  EXPECT_NO_THROW(write_report(analyzer, dir.string()));
+}
+
+TEST(Report, UnwritableDirectoryThrows) {
+  const SessionData data = make_session(false);
+  const Analyzer analyzer(data);
+  EXPECT_THROW(write_report(analyzer, "/proc/definitely/not/writable"),
+               std::exception);
+}
+
+TEST(Report, VariableNamesSanitizedForFilesystem) {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 5;
+  Profiler profiler(m, cfg);
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    const simos::VAddr v =
+                        t.malloc(8 * simos::kPageBytes, "weird/name with *");
+                    apps::store_lines(t, v, 0, 8 * apps::kElemsPerPage);
+                    apps::load_lines(t, v, 0, 8 * apps::kElemsPerPage);
+                    co_return;
+                  });
+  const SessionData data = profiler.snapshot();
+  const Analyzer analyzer(data);
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "numaprof_report_sanitize";
+  fs::remove_all(dir);
+  EXPECT_NO_THROW(write_report(analyzer, dir.string()));
+  EXPECT_TRUE(fs::exists(dir / "var_weird_name_with__" / "ranges.csv"));
+}
+
+}  // namespace
+}  // namespace numaprof::core

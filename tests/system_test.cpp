@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "numasim/system.hpp"
+
+namespace numaprof::numasim {
+namespace {
+
+System make_system() { return System(test_machine(2, 2)); }  // 2 dom x 2 cores
+
+TEST(System, ColdLocalAccessReachesLocalDram) {
+  System sys = make_system();
+  const MemoryResult r = sys.access(/*core=*/0, /*home=*/0, 0x1000, false, 0);
+  EXPECT_EQ(r.source, DataSource::kLocalDram);
+  EXPECT_TRUE(r.l3_miss);
+  // l2 miss detect + l3 miss detect + controller pipe, no interconnect.
+  const Topology& t = sys.topology();
+  EXPECT_GE(r.latency, t.local_dram_latency);
+}
+
+TEST(System, ColdRemoteAccessPaysInterconnect) {
+  System sys = make_system();
+  const MemoryResult local = sys.access(0, 0, 0x1000, false, 0);
+  System sys2 = make_system();
+  const MemoryResult remote = sys2.access(0, 1, 0x1000, false, 0);
+  EXPECT_EQ(remote.source, DataSource::kRemoteDram);
+  EXPECT_GT(remote.latency, local.latency);
+  // §2: remote at least 30% slower.
+  EXPECT_GT(static_cast<double>(remote.latency),
+            1.3 * static_cast<double>(local.latency));
+}
+
+TEST(System, RepeatAccessHitsL1) {
+  System sys = make_system();
+  sys.access(0, 1, 0x1000, false, 0);
+  const MemoryResult r = sys.access(0, 1, 0x1000, false, 100);
+  EXPECT_EQ(r.source, DataSource::kL1);
+  EXPECT_EQ(r.latency, sys.topology().l1.hit_latency);
+  EXPECT_FALSE(r.l3_miss);
+  // The §4.1 bias: the page is remote by move_pages, but no remote traffic
+  // occurs — the data source says L1.
+  EXPECT_FALSE(is_remote(r.source));
+}
+
+TEST(System, EvictedFromL1HitsL2) {
+  System sys = make_system();
+  // Lines 0, 4, 12 share L1 set 0 (4 sets) but lines 4/12 land in L2 set 4
+  // (8 sets), so line 0 is evicted from the 2-way L1 yet survives in L2.
+  sys.access(0, 0, 0, false, 0);
+  sys.access(0, 0, 4 * kLineBytes, false, 1);
+  sys.access(0, 0, 12 * kLineBytes, false, 2);
+  const MemoryResult r = sys.access(0, 0, 0, false, 1000);
+  EXPECT_EQ(r.source, DataSource::kL2);
+}
+
+TEST(System, SecondCoreHitsHomeL3) {
+  System sys = make_system();
+  sys.access(0, 0, 0x2000, false, 0);  // core 0 fills L3 of domain 0
+  const MemoryResult r = sys.access(1, 0, 0x2000, false, 10);
+  EXPECT_EQ(r.source, DataSource::kLocalL3);  // core 1 is also domain 0
+}
+
+TEST(System, RemoteCoreHitsRemoteL3) {
+  System sys = make_system();
+  sys.access(0, 0, 0x2000, false, 0);
+  const MemoryResult r = sys.access(2, 0, 0x2000, false, 10);  // domain 1
+  EXPECT_EQ(r.source, DataSource::kRemoteL3);
+  EXPECT_TRUE(is_remote(r.source));
+}
+
+TEST(System, ControllerRequestCountsPerDomain) {
+  System sys = make_system();
+  sys.access(0, 0, 0x10000, false, 0);
+  sys.access(0, 0, 0x20000, false, 10);
+  sys.access(0, 1, 0x30000, false, 20);
+  const auto counts = sys.controller_requests();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(System, InvalidateLineForcesRefetch) {
+  System sys = make_system();
+  sys.access(0, 0, 0x4000, false, 0);
+  sys.invalidate_line(line_of(0x4000));
+  const MemoryResult r = sys.access(0, 0, 0x4000, false, 10);
+  EXPECT_TRUE(is_dram(r.source));
+}
+
+TEST(System, ClearCachesKeepsStats) {
+  System sys = make_system();
+  sys.access(0, 0, 0x4000, false, 0);
+  sys.clear_caches();
+  EXPECT_EQ(sys.controller_requests()[0], 1u);
+  const MemoryResult r = sys.access(0, 0, 0x4000, false, 10);
+  EXPECT_TRUE(is_dram(r.source));
+}
+
+TEST(System, ResetStatsClearsCounters) {
+  System sys = make_system();
+  sys.access(0, 0, 0x4000, false, 0);
+  sys.reset_stats();
+  EXPECT_EQ(sys.controller_requests()[0], 0u);
+}
+
+TEST(System, ContentionInflatesLatency) {
+  System sys = make_system();
+  // Uncontended remote access.
+  const Cycles base = sys.access(2, 0, 0x100000, false, 0).latency;
+  // Burst of same-epoch requests into domain 0 from the other domain.
+  Cycles last = 0;
+  for (int i = 0; i < 64; ++i) {
+    last = sys.access(2, 0, 0x200000 + i * 64 * kLineBytes, false, 10).latency;
+  }
+  EXPECT_GT(last, base);  // queueing showed up
+}
+
+TEST(System, MultiHopRemotePaysMorePropagation) {
+  // On the HT-fabric preset, a 2-hop access costs more than a 1-hop one.
+  System sys(numasim::amd_magny_cours_ht());
+  // Requester core 0 (domain 0): domain 1 is same-socket (1 hop), domain 2
+  // is cross-socket (2 hops). Cold accesses, distinct lines, same time.
+  const Cycles one_hop = sys.access(0, 1, 0x100000, false, 0).latency;
+  const Cycles two_hop = sys.access(0, 2, 0x200000, false, 0).latency;
+  const Topology& t = sys.topology();
+  EXPECT_EQ(two_hop - one_hop, 2 * t.remote_hop_latency);
+}
+
+TEST(System, WritesFillCachesLikeReads) {
+  System sys = make_system();
+  sys.access(0, 0, 0x8000, /*is_write=*/true, 0);
+  const MemoryResult r = sys.access(0, 0, 0x8000, false, 10);
+  EXPECT_EQ(r.source, DataSource::kL1);  // write-allocate
+}
+
+}  // namespace
+}  // namespace numaprof::numasim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "numasim/topology.hpp"
+
+namespace numaprof::numasim {
+namespace {
+
+TEST(Topology, AmdMagnyCoursLayout) {
+  const Topology t = amd_magny_cours();
+  EXPECT_EQ(t.domain_count, 8u);
+  EXPECT_EQ(t.cores_per_domain, 6u);
+  EXPECT_EQ(t.core_count(), 48u);  // Table 1: 48 threads
+}
+
+TEST(Topology, Power7Layout) {
+  const Topology t = power7();
+  EXPECT_EQ(t.domain_count, 4u);  // each socket one domain (§8)
+  EXPECT_EQ(t.core_count(), 128u);  // Table 1: 128 SMT threads
+}
+
+TEST(Topology, IntelPresetsHaveEightCores) {
+  EXPECT_EQ(xeon_harpertown().core_count(), 8u);
+  EXPECT_EQ(itanium2().core_count(), 8u);
+  EXPECT_EQ(ivy_bridge().core_count(), 8u);
+}
+
+TEST(Topology, DomainOfCoreMapping) {
+  const Topology t = amd_magny_cours();
+  EXPECT_EQ(t.domain_of_core(0), 0u);
+  EXPECT_EQ(t.domain_of_core(5), 0u);
+  EXPECT_EQ(t.domain_of_core(6), 1u);
+  EXPECT_EQ(t.domain_of_core(47), 7u);
+  EXPECT_EQ(t.first_core_of(3), 18u);
+}
+
+TEST(Topology, RemoteCostsExceedLocalByThirtyPercent) {
+  // §2: "remote accesses have more than 30% higher latency than local".
+  for (const Topology& t : evaluation_presets()) {
+    const double local = static_cast<double>(t.local_dram_latency);
+    const double remote = local + 2.0 * t.remote_hop_latency;
+    EXPECT_GT(remote, 1.3 * local) << t.name;
+  }
+}
+
+TEST(Topology, EvaluationPresetsMatchTable1Order) {
+  const auto presets = evaluation_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_NE(presets[0].name.find("AMD"), std::string::npos);
+  EXPECT_NE(presets[1].name.find("POWER7"), std::string::npos);
+  EXPECT_NE(presets[2].name.find("Harpertown"), std::string::npos);
+  EXPECT_NE(presets[3].name.find("Itanium"), std::string::npos);
+  EXPECT_NE(presets[4].name.find("Ivy Bridge"), std::string::npos);
+}
+
+TEST(Topology, DefaultDistanceIsUniform) {
+  const Topology t = amd_magny_cours();
+  EXPECT_EQ(t.distance(0, 0), 0u);
+  EXPECT_EQ(t.distance(0, 1), 1u);
+  EXPECT_EQ(t.distance(0, 7), 1u);
+}
+
+TEST(Topology, HtFabricDistances) {
+  // The partially-connected preset: same-socket dies 1 hop, cross-socket
+  // 2 hops — the structure `numactl --hardware` reports on this machine.
+  const Topology t = amd_magny_cours_ht();
+  EXPECT_EQ(t.distance(0, 0), 0u);
+  EXPECT_EQ(t.distance(0, 1), 1u);  // same socket
+  EXPECT_EQ(t.distance(2, 3), 1u);
+  EXPECT_EQ(t.distance(0, 2), 2u);  // different sockets
+  EXPECT_EQ(t.distance(1, 7), 2u);
+  // Symmetric.
+  for (numasim::DomainId a = 0; a < t.domain_count; ++a) {
+    for (numasim::DomainId b = 0; b < t.domain_count; ++b) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+    }
+  }
+}
+
+TEST(Topology, TestMachineIsConfigurable) {
+  const Topology t = test_machine(3, 2);
+  EXPECT_EQ(t.domain_count, 3u);
+  EXPECT_EQ(t.core_count(), 6u);
+}
+
+TEST(DataSource, RemoteClassification) {
+  EXPECT_FALSE(is_remote(DataSource::kL1));
+  EXPECT_FALSE(is_remote(DataSource::kL2));
+  EXPECT_FALSE(is_remote(DataSource::kLocalL3));
+  EXPECT_FALSE(is_remote(DataSource::kLocalDram));
+  EXPECT_TRUE(is_remote(DataSource::kRemoteL3));
+  EXPECT_TRUE(is_remote(DataSource::kRemoteDram));
+}
+
+TEST(DataSource, DramClassification) {
+  EXPECT_TRUE(is_dram(DataSource::kLocalDram));
+  EXPECT_TRUE(is_dram(DataSource::kRemoteDram));
+  EXPECT_FALSE(is_dram(DataSource::kRemoteL3));
+}
+
+TEST(DataSource, Names) {
+  EXPECT_EQ(to_string(DataSource::kL1), "L1");
+  EXPECT_EQ(to_string(DataSource::kRemoteDram), "remote-DRAM");
+}
+
+TEST(LineAddr, LineOfComputesSixtyFourByteLines) {
+  EXPECT_EQ(line_of(0), 0u);
+  EXPECT_EQ(line_of(63), 0u);
+  EXPECT_EQ(line_of(64), 1u);
+  EXPECT_EQ(line_of(128), 2u);
+}
+
+}  // namespace
+}  // namespace numaprof::numasim

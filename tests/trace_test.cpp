@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/common.hpp"
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/trace.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+/// Two-phase workload: local serial init, then remote-heavy parallel work.
+SessionData run_two_phase(bool record_trace, std::size_t capacity = 1 << 20) {
+  Machine m(numasim::test_machine(4, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 10;
+  cfg.record_trace = record_trace;
+  cfg.trace_capacity = capacity;
+  Profiler profiler(m, cfg);
+
+  simos::VAddr data = 0;
+  const std::uint64_t elems = 8 * 6 * (simos::kPageBytes / 8);
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(elems * 8, "grid");
+                    for (std::uint64_t i = 0; i < elems; i += 8) {
+                      t.store(data + i * 8);  // local phase
+                    }
+                    co_return;
+                  });
+  parallel_region(m, 8, "work._omp", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const std::uint64_t b = elems * index / 8;
+                    const std::uint64_t e = elems * (index + 1) / 8;
+                    for (int sweep = 0; sweep < 3; ++sweep) {
+                      for (std::uint64_t i = b; i < e; i += 8) {
+                        t.load(data + i * 8);  // mostly remote phase
+                        co_await t.tick();
+                      }
+                      co_await t.yield();
+                    }
+                  });
+  return profiler.snapshot();
+}
+
+TEST(Trace, DisabledByDefault) {
+  const SessionData data = run_two_phase(false);
+  EXPECT_TRUE(data.trace.empty());
+}
+
+TEST(Trace, RecordsOneEventPerMemorySample) {
+  const SessionData data = run_two_phase(true);
+  std::uint64_t memory_samples = 0;
+  for (const ThreadTotals& t : data.totals) memory_samples += t.memory_samples;
+  EXPECT_EQ(data.trace.size(), memory_samples);
+  // Timestamps are populated and bounded by the run.
+  for (const TraceEvent& e : data.trace) {
+    EXPECT_GT(e.time, 0u);
+  }
+}
+
+TEST(Trace, CapacityBoundsRecording) {
+  const SessionData data = run_two_phase(true, /*capacity=*/10);
+  EXPECT_EQ(data.trace.size(), 10u);
+}
+
+TEST(Trace, WindowsPartitionTheRun) {
+  const SessionData data = run_two_phase(true);
+  const TraceAnalysis analysis(data.trace);
+  ASSERT_FALSE(analysis.empty());
+  const auto windows = analysis.windows(16);
+  ASSERT_EQ(windows.size(), 16u);
+  std::uint64_t total = 0;
+  for (const TraceWindow& w : windows) {
+    EXPECT_LE(w.begin, w.end);
+    total += w.samples;
+  }
+  EXPECT_EQ(total, data.trace.size());
+  EXPECT_EQ(windows.front().begin, analysis.begin());
+}
+
+TEST(Trace, TwoPhaseStructureVisible) {
+  const SessionData data = run_two_phase(true);
+  const TraceAnalysis analysis(data.trace);
+  const auto windows = analysis.windows(16);
+  // Early windows (serial init): all local. Late windows: mostly remote
+  // (6 of 8 worker threads run outside domain 0).
+  EXPECT_LT(windows.front().mismatch_fraction(), 0.1);
+  EXPECT_GT(windows.back().mismatch_fraction(), 0.5);
+}
+
+TEST(Trace, PhasesSegmentLocalThenRemote) {
+  const SessionData data = run_two_phase(true);
+  const TraceAnalysis analysis(data.trace);
+  const auto phases = analysis.phases(32, 0.5);
+  ASSERT_GE(phases.size(), 2u);
+  EXPECT_FALSE(phases.front().remote_heavy);  // init
+  EXPECT_TRUE(phases.back().remote_heavy);    // parallel work
+  // Phases tile the run without overlap.
+  for (std::size_t i = 0; i + 1 < phases.size(); ++i) {
+    EXPECT_EQ(phases[i].end, phases[i + 1].begin);
+  }
+}
+
+TEST(Trace, WindowsForVariableFilter) {
+  SessionData data = run_two_phase(true);
+  const TraceAnalysis analysis(data.trace);
+  const auto grid = [&] {
+    for (const Variable& v : data.variables) {
+      if (v.name == "grid") return v.id;
+    }
+    return VariableId{9999};
+  }();
+  const auto all = analysis.windows(8);
+  const auto grid_only = analysis.windows_for(grid, 8);
+  std::uint64_t all_count = 0, grid_count = 0;
+  for (const auto& w : all) all_count += w.samples;
+  for (const auto& w : grid_only) grid_count += w.samples;
+  EXPECT_GT(grid_count, 0u);
+  EXPECT_LE(grid_count, all_count);
+}
+
+TEST(Trace, TimelineRendersPhases) {
+  const SessionData data = run_two_phase(true);
+  const TraceAnalysis analysis(data.trace);
+  const std::string line = analysis.timeline(32);
+  ASSERT_EQ(line.size(), 32u);
+  // Starts local ('.'), ends remote-heavy ('#' or '+').
+  EXPECT_EQ(line.front(), '.');
+  EXPECT_TRUE(line.back() == '#' || line.back() == '+') << line;
+}
+
+TEST(Trace, ViewerTimelineWrapsAnalysis) {
+  const SessionData with = run_two_phase(true);
+  const Analyzer analyzer(with);
+  const Viewer viewer(analyzer);
+  const std::string timeline = viewer.trace_timeline(24);
+  EXPECT_NE(timeline.find("trace timeline"), std::string::npos);
+
+  const SessionData without = run_two_phase(false);
+  const Analyzer analyzer2(without);
+  EXPECT_TRUE(Viewer(analyzer2).trace_timeline().empty());
+}
+
+TEST(Trace, SerializationRoundTrip) {
+  const SessionData original = run_two_phase(true);
+  std::stringstream stream;
+  save_profile(original, stream);
+  const SessionData loaded = load_profile(stream);
+  ASSERT_EQ(loaded.trace.size(), original.trace.size());
+  for (std::size_t i = 0; i < loaded.trace.size(); i += 97) {
+    EXPECT_EQ(loaded.trace[i].time, original.trace[i].time);
+    EXPECT_EQ(loaded.trace[i].tid, original.trace[i].tid);
+    EXPECT_EQ(loaded.trace[i].mismatch, original.trace[i].mismatch);
+    EXPECT_EQ(loaded.trace[i].latency, original.trace[i].latency);
+  }
+}
+
+TEST(Trace, EmptyAnalysisIsSane) {
+  const std::vector<TraceEvent> none;
+  const TraceAnalysis analysis(none);
+  EXPECT_TRUE(analysis.empty());
+  EXPECT_TRUE(analysis.phases(8).empty());
+  const auto windows = analysis.windows(4);
+  EXPECT_EQ(windows.size(), 4u);
+  for (const auto& w : windows) EXPECT_EQ(w.samples, 0u);
+}
+
+TEST(DataSources, RecordedPerVariableUnderIbs) {
+  const SessionData data = run_two_phase(false);
+  const Analyzer analyzer(data);
+  const Viewer viewer(analyzer);
+  const auto grid = [&] {
+    for (const Variable& v : data.variables) {
+      if (v.name == "grid") return v.id;
+    }
+    return VariableId{0};
+  }();
+  // Source counters sum to the variable's memory samples (IBS reports a
+  // source for every sampled access).
+  const auto& merged = analyzer.merged();
+  const NodeId node = data.variables[grid].variable_node;
+  double sources = 0;
+  for (std::uint32_t m = kSourceL1; m <= kSourceRemoteDram; ++m) {
+    sources += merged.get(node, m);
+  }
+  EXPECT_DOUBLE_EQ(sources, merged.get(node, kMemorySamples));
+  // And the remote-DRAM row dominates for this thrash-everything workload.
+  const std::string table = viewer.data_source_table(grid).to_text();
+  EXPECT_NE(table.find("remote-DRAM"), std::string::npos);
+}
+
+TEST(Eq1Decomposition, FactorsMultiplyToLpi) {
+  const SessionData data = run_two_phase(false);
+  const Analyzer analyzer(data);
+  const ProgramSummary& p = analyzer.program();
+  ASSERT_TRUE(p.lpi.has_value());
+  // lpi (Eq. 2) ~= avg_remote_latency * remote_fraction * memory_fraction
+  // * (I / I^s scaling): with IBS, sampled instructions are a uniform
+  // subset, so the product of the three factors approximates lpi when the
+  // sample population mirrors the instruction stream.
+  const double product = p.avg_remote_latency * p.remote_access_fraction *
+                         static_cast<double>(p.memory_samples) /
+                         static_cast<double>(p.samples);
+  EXPECT_NEAR(product, *p.lpi, *p.lpi * 0.05);
+  EXPECT_GT(p.memory_fraction, 0.0);
+  EXPECT_LE(p.memory_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+struct ViewerFixture : ::testing::Test {
+  ViewerFixture() {
+    Machine m(numasim::test_machine(4, 2));
+    ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+    cfg.event.period = 15;
+    Profiler profiler(m, cfg);
+
+    simos::VAddr data = 0;
+    const std::uint64_t elems = 8 * 6 * (simos::kPageBytes / 8);
+    const auto main_f = m.frames().intern("main");
+    parallel_region(m, 1, "init", {main_f},
+                    [&](SimThread& t, std::uint32_t) -> Task {
+                      data = t.malloc(elems * 8, "grid");
+                      for (std::uint64_t i = 0; i < elems; i += 8) {
+                        t.store(data + i * 8);
+                      }
+                      co_return;
+                    });
+    parallel_region(m, 8, "work._omp", {main_f},
+                    [&](SimThread& t, std::uint32_t index) -> Task {
+                      const std::uint64_t b = elems * index / 8;
+                      const std::uint64_t e = elems * (index + 1) / 8;
+                      for (std::uint64_t i = b; i < e; i += 8) {
+                        t.load(data + i * 8);
+                        co_await t.tick();
+                      }
+                    });
+    data_ = profiler.snapshot();
+    analyzer_ = std::make_unique<Analyzer>(data_);
+    viewer_ = std::make_unique<Viewer>(*analyzer_);
+    for (const Variable& v : data_.variables) {
+      if (v.name == "grid") grid_ = v.id;
+    }
+  }
+
+  SessionData data_;
+  std::unique_ptr<Analyzer> analyzer_;
+  std::unique_ptr<Viewer> viewer_;
+  VariableId grid_ = 0;
+};
+
+TEST_F(ViewerFixture, ProgramSummaryMentionsKeyMetrics) {
+  const std::string s = viewer_->program_summary();
+  EXPECT_NE(s.find("mechanism: IBS"), std::string::npos);
+  EXPECT_NE(s.find("M_l"), std::string::npos);
+  EXPECT_NE(s.find("M_r"), std::string::npos);
+  EXPECT_NE(s.find("lpi_NUMA"), std::string::npos);
+  EXPECT_NE(s.find("WARRANTS NUMA optimization"), std::string::npos);
+}
+
+TEST_F(ViewerFixture, DataCentricTableListsGridFirst) {
+  const auto table = viewer_->data_centric_table(10);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("grid"), std::string::npos);
+  EXPECT_NE(text.find("M_l"), std::string::npos);
+  EXPECT_NE(text.find("N0"), std::string::npos);  // per-domain columns
+  EXPECT_NE(text.find("domain 0"), std::string::npos);  // single home
+}
+
+TEST_F(ViewerFixture, CodeCentricTableShowsCallPaths) {
+  const auto table = viewer_->code_centric_table(10);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("[ACCESS]"), std::string::npos);
+  EXPECT_NE(text.find("work._omp"), std::string::npos);
+  EXPECT_NE(text.find("main"), std::string::npos);
+}
+
+TEST_F(ViewerFixture, AddressCentricTableHasPerThreadRows) {
+  const auto table = viewer_->address_centric_table(grid_);
+  EXPECT_GE(table.row_count(), 8u);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("thread,lo,hi"), std::string::npos);
+}
+
+TEST_F(ViewerFixture, AddressCentricPlotDrawsBars) {
+  const std::string plot = viewer_->address_centric_plot(grid_);
+  EXPECT_NE(plot.find("grid"), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("normalized"), std::string::npos);
+  // One row per sampled thread (at least the 8 workers).
+  std::size_t rows = 0;
+  for (const char c : plot) rows += c == '\n';
+  EXPECT_GE(rows, 8u);
+}
+
+TEST_F(ViewerFixture, PlotRespectsContextFilter) {
+  const auto contexts = data_.address_centric.contexts_of(
+      data_.variables[grid_]);
+  ASSERT_FALSE(contexts.empty());
+  const std::string plot =
+      viewer_->address_centric_plot(grid_, contexts[0].first);
+  EXPECT_NE(plot.find(data_.frame_name(contexts[0].first)),
+            std::string::npos);
+}
+
+TEST_F(ViewerFixture, FirstTouchTableShowsInitSite) {
+  const auto table = viewer_->first_touch_table(grid_);
+  ASSERT_EQ(table.row_count(), 1u);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("[FIRST-TOUCH]"), std::string::npos);
+  EXPECT_NE(text.find("init"), std::string::npos);
+}
+
+TEST_F(ViewerFixture, CctTreeShowsStructureWithInclusiveValues) {
+  const std::string tree = viewer_->cct_tree(kMemorySamples);
+  EXPECT_NE(tree.find("[ACCESS]"), std::string::npos);
+  EXPECT_NE(tree.find("[ALLOCATION]"), std::string::npos);
+  EXPECT_NE(tree.find("work._omp"), std::string::npos);
+  EXPECT_NE(tree.find("VAR grid"), std::string::npos);
+  EXPECT_NE(tree.find("(100.0%)"), std::string::npos);  // the root line
+  // Indentation grows along paths.
+  EXPECT_NE(tree.find("\n  "), std::string::npos);
+  EXPECT_NE(tree.find("\n    "), std::string::npos);
+}
+
+TEST_F(ViewerFixture, CctTreePrunesByShareAndDepth) {
+  const std::string shallow = viewer_->cct_tree(kMemorySamples, kRootNode,
+                                                /*max_depth=*/1);
+  // Depth 1: dummies visible, no frames below them.
+  EXPECT_NE(shallow.find("[ACCESS]"), std::string::npos);
+  EXPECT_EQ(shallow.find("work._omp"), std::string::npos);
+  const std::string strict = viewer_->cct_tree(kMemorySamples, kRootNode, 10,
+                                               /*min_share=*/0.99);
+  // 99% share floor: only the root survives.
+  std::size_t lines = 0;
+  for (const char c : strict) lines += c == '\n';
+  EXPECT_LE(lines, 3u);
+}
+
+TEST_F(ViewerFixture, DomainBalanceTableSumsToHundredPercent) {
+  const auto table = viewer_->domain_balance_table();
+  EXPECT_EQ(table.row_count(), 4u);  // one per domain
+  EXPECT_NE(table.to_text().find("100.0%"), std::string::npos);  // domain 0
+}
+
+}  // namespace
+}  // namespace numaprof::core
