@@ -17,6 +17,7 @@
 #include "numasim/system.hpp"
 #include "pmu/mechanisms.hpp"
 #include "simos/page_table.hpp"
+#include "support/faultinject.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -130,6 +131,76 @@ void BM_ProfileSaveLoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProfileSaveLoad);
+
+/// Serialized profile for the corrupted-load benches (built once).
+const std::string& corrupted_profile_text(bool corrupted) {
+  static const std::string good = [] {
+    simrt::Machine machine(numasim::test_machine(4, 2));
+    core::ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+    cfg.event.period = 50;
+    core::Profiler profiler(machine, cfg);
+    apps::run_minilulesh(machine, {.threads = 8,
+                                   .pages_per_thread = 2,
+                                   .timesteps = 2,
+                                   .variant = apps::Variant::kBaseline});
+    std::stringstream stream;
+    core::save_profile(profiler.snapshot(), stream);
+    return stream.str();
+  }();
+  static const std::string bad = [] {
+    // Damage the body, not line 1: the bench measures recovery/diagnosis
+    // cost, not the trivial magic-check rejection.
+    auto plan = support::FaultPlan::parse("seed=1;bitflip=48");
+    const std::string header = good.substr(0, good.find('\n') + 1);
+    return header + plan.mutate_stream(good.substr(header.size()));
+  }();
+  return corrupted ? bad : good;
+}
+
+void BM_ProfileLoadStrictCorrupted(benchmark::State& state) {
+  const std::string& text = corrupted_profile_text(true);
+  std::uint64_t threw = 0, parsed = 0;
+  for (auto _ : state) {
+    std::stringstream stream(text);
+    try {
+      benchmark::DoNotOptimize(core::load_profile(stream).cct.size());
+      ++parsed;
+    } catch (const core::ProfileError&) {
+      ++threw;
+    }
+  }
+  benchmark::DoNotOptimize(threw + parsed);
+}
+BENCHMARK(BM_ProfileLoadStrictCorrupted);
+
+void BM_ProfileLoadLenientCorrupted(benchmark::State& state) {
+  const std::string& text = corrupted_profile_text(true);
+  core::LoadOptions options;
+  options.lenient = true;
+  std::size_t diagnostics = 0;
+  for (auto _ : state) {
+    std::stringstream stream(text);
+    const core::LoadResult result = core::load_profile(stream, options);
+    diagnostics += result.diagnostics.size();
+    benchmark::DoNotOptimize(result.data.cct.size());
+  }
+  benchmark::DoNotOptimize(diagnostics);
+}
+BENCHMARK(BM_ProfileLoadLenientCorrupted);
+
+void BM_ProfileLoadLenientClean(benchmark::State& state) {
+  // Baseline: what the lenient machinery costs on an undamaged stream.
+  const std::string& text = corrupted_profile_text(false);
+  core::LoadOptions options;
+  options.lenient = true;
+  for (auto _ : state) {
+    std::stringstream stream(text);
+    benchmark::DoNotOptimize(
+        core::load_profile(stream, options).data.cct.size());
+  }
+}
+BENCHMARK(BM_ProfileLoadLenientClean);
 
 void BM_AnalyzerMerge(benchmark::State& state) {
   simrt::Machine machine(numasim::test_machine(4, 2));

@@ -5,13 +5,22 @@
 // the analysis to stdout or writes a full report directory.
 //
 // Usage:
-//   analyze_profile <profile-file>                  # print to stdout
-//   analyze_profile <profile-file> <report-dir>     # write a report tree
+//   analyze_profile [--lenient] <profile-file>      # print to stdout
+//   analyze_profile [--lenient] <file> <report-dir> # write a report tree
+//   analyze_profile [--lenient] --merge <file>...   # merge per-thread
+//                                                   # measurement files
 //   analyze_profile --diff <before> <after>         # compare two profiles
 //   analyze_profile --selftest                      # generate + analyze a
 //                                                   # built-in demo profile
+//
+// --lenient: recover from damaged profiles. Malformed sections are skipped
+// and reported as diagnostics instead of aborting; in --merge mode
+// unreadable files are skipped (subject to a quorum) and the report's
+// collection health section lists them.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "apps/minilulesh.hpp"
 #include "core/advisor.hpp"
@@ -43,7 +52,12 @@ core::SessionData demo_session() {
 void print_analysis(const core::SessionData& data) {
   const core::Analyzer analyzer(data);
   const core::Viewer viewer(analyzer);
-  std::cout << viewer.program_summary() << "\n"
+  std::cout << viewer.program_summary();
+  const std::string health = viewer.collection_health();
+  if (!health.empty()) {
+    std::cout << "-- collection health --\n" << health;
+  }
+  std::cout << "\n"
             << viewer.data_centric_table(10).to_text() << "\n"
             << viewer.code_centric_table(10).to_text() << "\n"
             << viewer.domain_balance_table().to_text() << "\n";
@@ -57,36 +71,72 @@ void print_analysis(const core::SessionData& data) {
   }
 }
 
+int usage() {
+  std::cerr << "usage: analyze_profile [--lenient] <profile-file> "
+               "[report-dir]\n"
+               "       analyze_profile [--lenient] --merge <file>...\n"
+               "       analyze_profile --diff <before> <after>\n"
+               "       analyze_profile --selftest\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc >= 2 && std::string(argv[1]) == "--selftest") {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    bool lenient = false;
+    if (!args.empty() && args.front() == "--lenient") {
+      lenient = true;
+      args.erase(args.begin());
+    }
+    if (!args.empty() && args.front() == "--selftest") {
       const core::SessionData data = demo_session();
       print_analysis(data);
       return 0;
     }
-    if (argc >= 4 && std::string(argv[1]) == "--diff") {
-      const core::SessionData before = core::load_profile_file(argv[2]);
-      const core::SessionData after = core::load_profile_file(argv[3]);
+    if (args.size() >= 3 && args.front() == "--diff") {
+      const core::SessionData before = core::load_profile_file(args[1]);
+      const core::SessionData after = core::load_profile_file(args[2]);
       const core::Analyzer before_an(before);
       const core::Analyzer after_an(after);
       std::cout << core::render_diff(core::diff_profiles(before_an, after_an));
       return 0;
     }
-    if (argc < 2) {
-      std::cerr << "usage: analyze_profile <profile-file> [report-dir]\n"
-                   "       analyze_profile --diff <before> <after>\n"
-                   "       analyze_profile --selftest\n";
-      return 2;
+    if (!args.empty() && args.front() == "--merge") {
+      if (args.size() < 2) return usage();
+      const std::vector<std::string> files(args.begin() + 1, args.end());
+      core::MergeOptions options;
+      options.load.lenient = lenient;
+      const core::MergeResult merged = core::merge_profile_files(files, options);
+      std::cout << "merged " << merged.summary.files_merged << " of "
+                << merged.summary.files_total << " profile files\n";
+      for (const core::SkippedProfile& skip : merged.summary.skipped) {
+        std::cout << "  skipped " << skip.path << ": " << skip.reason << "\n";
+      }
+      for (const core::Diagnostic& d : merged.summary.diagnostics) {
+        std::cout << "  diagnostic " << d.field << " (line " << d.line
+                  << "): " << d.message << "\n";
+      }
+      print_analysis(merged.data);
+      return 0;
     }
-    const core::SessionData data = core::load_profile_file(argv[1]);
-    if (argc >= 3) {
-      const core::Analyzer analyzer(data);
-      const std::string main_file = core::write_report(analyzer, argv[2]);
+    if (args.empty()) return usage();
+
+    core::LoadOptions options;
+    options.lenient = lenient;
+    const core::LoadResult loaded =
+        core::load_profile_file(args[0], options);
+    for (const core::Diagnostic& d : loaded.diagnostics) {
+      std::cout << "diagnostic: " << d.field << " (line " << d.line
+                << "): " << d.message << "\n";
+    }
+    if (args.size() >= 2) {
+      const core::Analyzer analyzer(loaded.data);
+      const std::string main_file = core::write_report(analyzer, args[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(data);
+      print_analysis(loaded.data);
     }
     return 0;
   } catch (const std::exception& error) {

@@ -3,9 +3,16 @@
 //
 // Usage:
 //   record_app <app> <variant> <mechanism> <out-file> [--trace]
+//              [--shards <dir>]
 //     app:       lulesh | amg | blackscholes | umt | fig1
 //     variant:   baseline | blockwise | interleave | aos | parallel-init
 //     mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs
+//     --shards:  also write per-thread measurement files (hpcrun style)
+//                into <dir>, for analyze_profile --merge
+//
+// Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the run under
+// injected failures: mechanism init failures degrade along the fallback
+// chain, sample faults are counted, and the profile records it all.
 //
 // Example (the full §8.1 pipeline on the command line):
 //   record_app lulesh baseline ibs before.prof
@@ -45,11 +52,13 @@ const std::map<std::string, apps::Variant> kVariants = {
 
 int usage() {
   std::cerr
-      << "usage: record_app <app> <variant> <mechanism> <out-file> [--trace]\n"
+      << "usage: record_app <app> <variant> <mechanism> <out-file> [--trace]"
+         " [--shards <dir>]\n"
          "  app:       lulesh | amg | blackscholes | umt | fig1\n"
          "  variant:   baseline | blockwise | interleave | aos | "
          "parallel-init\n"
-         "  mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs\n";
+         "  mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs\n"
+         "  --shards:  also write per-thread measurement files into <dir>\n";
   return 2;
 }
 
@@ -64,30 +73,41 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string out = argv[4];
-  const bool trace = argc > 5 && std::string(argv[5]) == "--trace";
+  bool trace = false;
+  std::string shard_dir;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shard_dir = argv[++i];
+    } else {
+      return usage();
+    }
+  }
 
-  // MRK belongs on the POWER7 preset, everything else on the AMD box —
-  // mirroring Table 1's mechanism/host pairing.
-  const bool on_power7 = mech_it->second == pmu::Mechanism::kMrk;
-  simrt::Machine machine(on_power7 ? numasim::power7()
-                                   : numasim::amd_magny_cours());
-  core::ProfilerConfig cfg;
-  cfg.event = pmu::EventConfig::mini(mech_it->second);
-  // These runs are seconds long, not hours: sample densely enough that
-  // every mechanism populates the profile. Latency-threshold samplers
-  // (DEAR, PEBS-LL) see few qualifying events on cache-friendly apps, so
-  // they get the densest setting.
-  const bool event_filtered =
-      pmu::capabilities_of(mech_it->second).event_filtered;
-  cfg.event.period = std::min<std::uint64_t>(cfg.event.period,
-                                             event_filtered ? 50 : 500);
-  cfg.event.min_sample_gap =
-      std::min<numasim::Cycles>(cfg.event.min_sample_gap, 20'000);
-  cfg.record_trace = trace;
-  core::Profiler profiler(machine, cfg);
-
-  const apps::Variant variant = variant_it->second;
   try {
+    // MRK belongs on the POWER7 preset, everything else on the AMD box —
+    // mirroring Table 1's mechanism/host pairing.
+    const bool on_power7 = mech_it->second == pmu::Mechanism::kMrk;
+    simrt::Machine machine(on_power7 ? numasim::power7()
+                                     : numasim::amd_magny_cours());
+    core::ProfilerConfig cfg;
+    cfg.event = pmu::EventConfig::mini(mech_it->second);
+    // These runs are seconds long, not hours: sample densely enough that
+    // every mechanism populates the profile. Latency-threshold samplers
+    // (DEAR, PEBS-LL) see few qualifying events on cache-friendly apps, so
+    // they get the densest setting.
+    const bool event_filtered =
+        pmu::capabilities_of(mech_it->second).event_filtered;
+    cfg.event.period = std::min<std::uint64_t>(cfg.event.period,
+                                               event_filtered ? 50 : 500);
+    cfg.event.min_sample_gap =
+        std::min<numasim::Cycles>(cfg.event.min_sample_gap, 20'000);
+    cfg.record_trace = trace;
+    core::Profiler profiler(machine, cfg);
+
+    const apps::Variant variant = variant_it->second;
     if (app == "lulesh") {
       apps::run_minilulesh(machine, {.threads = 48,
                                      .pages_per_thread = 4,
@@ -121,9 +141,19 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
-    core::save_profile_file(profiler.snapshot(), out);
+    const core::SessionData data = profiler.snapshot();
+    core::save_profile_file(data, out);
     std::cout << "recorded " << app << "/" << argv[2] << " under "
-              << to_string(mech_it->second) << " -> " << out << "\n";
+              << to_string(data.mechanism) << " -> " << out << "\n";
+    if (data.degraded()) {
+      std::cout << "collection degraded (" << data.degradations.size()
+                << " event(s)); see the report's collection health section\n";
+    }
+    if (!shard_dir.empty()) {
+      const auto paths = core::save_thread_shards(data, shard_dir);
+      std::cout << "wrote " << paths.size() << " per-thread shards to "
+                << shard_dir << "\n";
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "record_app: " << error.what() << "\n";

@@ -33,6 +33,9 @@ enum class NodeKind : std::uint8_t {
   kBin,         // address-range bin of a variable (key = bin index), §5.2
 };
 
+/// Number of NodeKind enumerators (deserializers validate against this).
+inline constexpr int kNodeKindCount = 7;
+
 struct CctNode {
   NodeId parent = kRootNode;
   NodeKind kind = NodeKind::kRoot;

@@ -32,6 +32,9 @@ enum class VariableKind : std::uint8_t {
   kUnknown,
 };
 
+/// Number of VariableKind enumerators (deserializers validate against this).
+inline constexpr int kVariableKindCount = 5;
+
 std::string_view to_string(VariableKind k) noexcept;
 
 struct Variable {

@@ -1,8 +1,10 @@
 #include "core/profile_io.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
-#include <stdexcept>
 
 namespace numaprof::core {
 
@@ -10,31 +12,24 @@ namespace {
 
 constexpr char kHex[] = "0123456789abcdef";
 
+/// A record line in the format is at least this wide; reserve() for a
+/// claimed count is clamped to what the remaining bytes could possibly
+/// hold, so a corrupt header cannot trigger a huge allocation.
+constexpr std::uint64_t kMinBytesPerRecord = 4;
+
 bool needs_escape(char c) noexcept {
   return c == '%' || c == ' ' || c == '\t' || c == '\n' || c == '\r' ||
          static_cast<unsigned char>(c) < 0x20;
 }
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("profile parse error: " + what);
-}
-
-std::string expect_tag(std::istream& is, const char* tag) {
-  std::string token;
-  if (!(is >> token) || token != tag) {
-    fail(std::string("expected '") + tag + "', got '" + token + "'");
-  }
-  return token;
-}
-
-template <typename T>
-T read_value(std::istream& is, const char* what) {
-  T value{};
-  if (!(is >> value)) fail(std::string("bad value for ") + what);
-  return value;
-}
-
 }  // namespace
+
+ProfileError::ProfileError(std::string field, std::size_t line,
+                           const std::string& message)
+    : std::runtime_error("profile parse error: " + field + " (line " +
+                         std::to_string(line) + "): " + message),
+      field_(std::move(field)),
+      line_(line) {}
 
 std::string escape_field(std::string_view raw) {
   std::string out;
@@ -57,11 +52,13 @@ std::string unescape_field(std::string_view escaped) {
   out.reserve(escaped.size());
   for (std::size_t i = 0; i < escaped.size(); ++i) {
     if (escaped[i] == '%') {
-      if (i + 2 >= escaped.size()) fail("truncated escape");
+      if (i + 2 >= escaped.size()) {
+        throw ProfileError("string", 0, "truncated escape");
+      }
       const auto digit = [](char c) -> int {
         if (c >= '0' && c <= '9') return c - '0';
         if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-        fail("bad escape digit");
+        throw ProfileError("string", 0, "bad escape digit");
       };
       const int value = digit(escaped[i + 1]) * 16 + digit(escaped[i + 2]);
       if (value != 0) out.push_back(static_cast<char>(value));
@@ -73,12 +70,15 @@ std::string unescape_field(std::string_view escaped) {
   return out;
 }
 
+// --- writer ----------------------------------------------------------
+
 void save_profile(const SessionData& data, std::ostream& os) {
   os << "numaprof-profile " << kProfileFormatVersion << "\n";
   os << "machine " << data.domain_count << " " << data.core_count << " "
      << escape_field(data.machine_name) << "\n";
   os << "sampling " << static_cast<int>(data.mechanism) << " "
      << data.sampling_period << " " << data.pebs_ll_events << "\n";
+  os << "requested " << static_cast<int>(data.requested_mechanism) << "\n";
 
   os << "frames " << data.frames.size() << "\n";
   for (const simrt::FrameInfo& f : data.frames) {
@@ -144,146 +144,448 @@ void save_profile(const SessionData& data, std::ostream& os) {
        << e.home_domain << " " << (e.mismatch ? 1 : 0) << " "
        << (e.remote ? 1 : 0) << " " << e.latency << "\n";
   }
+
+  os << "degradations " << data.degradations.size() << "\n";
+  for (const DegradationEvent& e : data.degradations) {
+    os << static_cast<int>(e.kind) << " " << static_cast<int>(e.mechanism)
+       << " " << e.value << " " << escape_field(e.detail) << "\n";
+  }
   os << "end\n";
 }
 
-SessionData load_profile(std::istream& is) {
-  expect_tag(is, "numaprof-profile");
-  const int version = read_value<int>(is, "version");
-  if (version != kProfileFormatVersion) fail("unsupported format version");
+// --- reader ----------------------------------------------------------
 
-  SessionData data;
-  expect_tag(is, "machine");
-  data.domain_count = read_value<std::uint32_t>(is, "domain_count");
-  data.core_count = read_value<std::uint32_t>(is, "core_count");
-  data.machine_name =
-      unescape_field(read_value<std::string>(is, "machine_name"));
+namespace {
 
-  expect_tag(is, "sampling");
-  data.mechanism =
-      static_cast<pmu::Mechanism>(read_value<int>(is, "mechanism"));
-  data.sampling_period = read_value<std::uint64_t>(is, "period");
-  data.pebs_ll_events = read_value<std::uint64_t>(is, "pebs_ll_events");
-
-  expect_tag(is, "frames");
-  const auto frame_count = read_value<std::size_t>(is, "frame count");
-  data.frames.reserve(frame_count);
-  for (std::size_t i = 0; i < frame_count; ++i) {
-    simrt::FrameInfo f;
-    f.kind = static_cast<simrt::FrameKind>(read_value<int>(is, "frame kind"));
-    f.line = read_value<std::uint32_t>(is, "frame line");
-    f.name = unescape_field(read_value<std::string>(is, "frame name"));
-    f.file = unescape_field(read_value<std::string>(is, "frame file"));
-    data.frames.push_back(std::move(f));
-  }
-
-  expect_tag(is, "cct");
-  const auto node_count = read_value<std::size_t>(is, "cct size");
-  for (std::size_t id = 1; id < node_count; ++id) {
-    const auto parent = read_value<NodeId>(is, "cct parent");
-    const auto kind = static_cast<NodeKind>(read_value<int>(is, "cct kind"));
-    const auto key = read_value<std::uint64_t>(is, "cct key");
-    const NodeId created = data.cct.child(parent, kind, key);
-    if (created != id) fail("cct node ids out of order");
-  }
-
-  expect_tag(is, "variables");
-  const auto var_count = read_value<std::size_t>(is, "variable count");
-  data.variables.reserve(var_count);
-  for (std::size_t i = 0; i < var_count; ++i) {
-    Variable v;
-    v.id = static_cast<VariableId>(i);
-    v.kind = static_cast<VariableKind>(read_value<int>(is, "var kind"));
-    v.start = read_value<simos::VAddr>(is, "var start");
-    v.size = read_value<std::uint64_t>(is, "var size");
-    v.page_count = read_value<std::uint64_t>(is, "var pages");
-    v.variable_node = read_value<NodeId>(is, "var node");
-    if (v.variable_node >= data.cct.size()) fail("variable node out of range");
-    v.alloc_tid = read_value<simrt::ThreadId>(is, "var tid");
-    v.live = read_value<int>(is, "var live") != 0;
-    v.name = unescape_field(read_value<std::string>(is, "var name"));
-    data.variables.push_back(std::move(v));
-  }
-
-  expect_tag(is, "threads");
-  const auto thread_count = read_value<std::size_t>(is, "thread count");
-  for (std::size_t tid = 0; tid < thread_count; ++tid) {
-    ThreadTotals t;
-    t.samples = read_value<std::uint64_t>(is, "samples");
-    t.memory_samples = read_value<std::uint64_t>(is, "memory samples");
-    t.match = read_value<std::uint64_t>(is, "match");
-    t.mismatch = read_value<std::uint64_t>(is, "mismatch");
-    t.remote_latency = read_value<double>(is, "remote latency");
-    t.total_latency = read_value<double>(is, "total latency");
-    t.l3_miss_samples = read_value<std::uint64_t>(is, "l3 misses");
-    t.remote_l3_miss_samples = read_value<std::uint64_t>(is, "remote l3");
-    t.instructions = read_value<std::uint64_t>(is, "instructions");
-    t.memory_instructions = read_value<std::uint64_t>(is, "mem instructions");
-    t.per_domain.resize(data.domain_count);
-    for (auto& v : t.per_domain) v = read_value<std::uint64_t>(is, "domain");
-    data.totals.push_back(std::move(t));
-
-    expect_tag(is, "metrics");
-    const auto metric_nodes = read_value<std::size_t>(is, "metric nodes");
-    const auto width = read_value<std::uint32_t>(is, "metric width");
-    MetricStore store(data.domain_count);
-    if (width != store.width()) fail("metric width mismatch");
-    for (std::size_t n = 0; n < metric_nodes; ++n) {
-      const auto node = read_value<NodeId>(is, "metric node");
-      if (node >= data.cct.size()) fail("metric node out of range");
-      for (std::uint32_t m = 0; m < width; ++m) {
-        const auto value = read_value<double>(is, "metric value");
-        if (value != 0.0) store.add(node, m, value);
+/// Line-oriented tokenizer over the profile stream. Tracks the 1-based
+/// line number (for ProfileError context) and the bytes consumed (to bound
+/// reserve() calls against what the stream could actually contain).
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {
+    const std::streampos pos = is.tellg();
+    if (pos != std::streampos(-1)) {
+      is.seekg(0, std::ios::end);
+      const std::streampos end = is.tellg();
+      is.clear();
+      is.seekg(pos);
+      if (end != std::streampos(-1) && end >= pos) {
+        total_bytes_ = static_cast<std::uint64_t>(end - pos);
       }
     }
-    data.stores.push_back(std::move(store));
+    is_.clear();
   }
 
-  expect_tag(is, "addrcentric");
-  const auto entry_count = read_value<std::size_t>(is, "addr entries");
-  for (std::size_t i = 0; i < entry_count; ++i) {
-    BinKey key;
-    key.context = read_value<simrt::FrameId>(is, "ctx");
-    key.variable = read_value<VariableId>(is, "var");
-    key.bin = read_value<std::uint32_t>(is, "bin");
-    key.tid = read_value<simrt::ThreadId>(is, "tid");
-    BinStats stats;
-    stats.lo = read_value<simos::VAddr>(is, "lo");
-    stats.hi = read_value<simos::VAddr>(is, "hi");
-    stats.count = read_value<std::uint64_t>(is, "count");
-    stats.latency = read_value<double>(is, "latency");
-    data.address_centric.insert(key, stats);
+  /// Advances to the next non-blank line; false at EOF.
+  bool next_line() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_;
+      consumed_ += line.size() + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      tokens_.clear();
+      tokens_.str(line);
+      return true;
+    }
+    return false;
   }
 
-  expect_tag(is, "firsttouch");
-  const auto ft_count = read_value<std::size_t>(is, "firsttouch count");
-  for (std::size_t i = 0; i < ft_count; ++i) {
-    FirstTouchRecord r;
-    r.variable = read_value<VariableId>(is, "ft var");
-    r.tid = read_value<simrt::ThreadId>(is, "ft tid");
-    r.domain = read_value<std::uint32_t>(is, "ft domain");
-    r.node = read_value<NodeId>(is, "ft node");
-    if (r.node >= data.cct.size()) fail("first-touch node out of range");
-    r.page = read_value<std::uint64_t>(is, "ft page");
-    data.first_touches.push_back(r);
+  std::size_t line() const noexcept { return line_; }
+
+  template <typename T>
+  T value(const char* field) {
+    T v{};
+    if (!(tokens_ >> v)) fail_at(field, "bad or missing value");
+    return v;
   }
 
-  expect_tag(is, "trace");
-  const auto trace_count = read_value<std::size_t>(is, "trace count");
-  data.trace.reserve(trace_count);
-  for (std::size_t i = 0; i < trace_count; ++i) {
-    TraceEvent e;
-    e.time = read_value<numasim::Cycles>(is, "trace time");
-    e.tid = read_value<simrt::ThreadId>(is, "trace tid");
-    e.variable = read_value<VariableId>(is, "trace var");
-    e.home_domain = read_value<std::uint32_t>(is, "trace home");
-    e.mismatch = read_value<int>(is, "trace mismatch") != 0;
-    e.remote = read_value<int>(is, "trace remote") != 0;
-    e.latency = read_value<std::uint32_t>(is, "trace latency");
-    data.trace.push_back(e);
+  std::string token(const char* field) { return value<std::string>(field); }
+
+  std::string unescaped(const char* field) {
+    const std::string raw = token(field);
+    try {
+      return unescape_field(raw);
+    } catch (const ProfileError& e) {
+      fail_at(field, e.what());
+    }
   }
-  expect_tag(is, "end");
-  return data;
+
+  /// Upper bound on how many records could still follow, for reserve().
+  std::size_t reserve_bound(std::size_t count) const {
+    if (!total_bytes_) return std::min<std::size_t>(count, 4096);
+    const std::uint64_t remaining =
+        *total_bytes_ > consumed_ ? *total_bytes_ - consumed_ : 0;
+    return static_cast<std::size_t>(std::min<std::uint64_t>(
+        count, remaining / kMinBytesPerRecord + 1));
+  }
+
+  [[noreturn]] void fail_at(const char* field,
+                            const std::string& message) const {
+    throw ProfileError(field, line_, message);
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::optional<std::uint64_t> total_bytes_;
+  std::istringstream tokens_;
+};
+
+template <typename E>
+E read_enum(Reader& r, const char* field, int enumerators) {
+  const long long raw = r.value<long long>(field);
+  if (raw < 0 || raw >= enumerators) {
+    r.fail_at(field, "enum value " + std::to_string(raw) +
+                         " out of range [0, " +
+                         std::to_string(enumerators - 1) + "]");
+  }
+  return static_cast<E>(raw);
+}
+
+std::size_t read_count(Reader& r, const char* field,
+                       const LoadOptions& options) {
+  const auto raw = r.value<std::uint64_t>(field);
+  if (raw > options.max_count) {
+    r.fail_at(field, "count " + std::to_string(raw) + " exceeds limit " +
+                         std::to_string(options.max_count));
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+class Loader {
+ public:
+  Loader(std::istream& is, const LoadOptions& options)
+      : r_(is), options_(options) {}
+
+  LoadResult run() {
+    parse_header();
+    bool saw_end = false;
+    bool skipping = false;
+    while (r_.next_line()) {
+      const std::string tag = r_.token("section tag");
+      if (tag == "end") {
+        saw_end = true;
+        break;
+      }
+      if (!is_section(tag)) {
+        if (!options_.lenient) {
+          r_.fail_at("section tag", "unknown section '" + tag + "'");
+        }
+        if (!skipping) {
+          diagnose(r_.line(), "section tag",
+                   "unrecognized content skipped starting at '" + tag + "'");
+          skipping = true;
+        }
+        continue;
+      }
+      try {
+        parse_section(tag);
+        skipping = false;
+      } catch (const ProfileError& e) {
+        if (!options_.lenient) throw;
+        diagnose(e.line(), e.field(), e.what());
+        skipping = true;
+      }
+    }
+    if (!saw_end) {
+      if (!options_.lenient) {
+        r_.fail_at("end", "truncated profile: missing end marker");
+      }
+      diagnose(r_.line(), "end", "truncated profile: missing end marker");
+    }
+    finalize();
+    result_.complete = saw_end && result_.diagnostics.empty();
+    return std::move(result_);
+  }
+
+ private:
+  SessionData& data() noexcept { return result_.data; }
+
+  void diagnose(std::size_t line, std::string field, std::string message) {
+    result_.diagnostics.push_back(
+        Diagnostic{line, std::move(field), std::move(message)});
+  }
+
+  static bool is_section(const std::string& tag) {
+    static const char* kTags[] = {"machine",    "sampling",  "requested",
+                                  "frames",     "cct",       "variables",
+                                  "threads",    "addrcentric",
+                                  "firsttouch", "trace",     "degradations"};
+    return std::find_if(std::begin(kTags), std::end(kTags),
+                        [&](const char* t) { return tag == t; }) !=
+           std::end(kTags);
+  }
+
+  void parse_header() {
+    if (!r_.next_line()) r_.fail_at("magic", "empty stream");
+    if (r_.token("magic") != "numaprof-profile") {
+      r_.fail_at("magic", "not a numaprof profile");
+    }
+    const int version = r_.value<int>("version");
+    if (version < kMinProfileFormatVersion ||
+        version > kProfileFormatVersion) {
+      r_.fail_at("version",
+                 "unsupported format version " + std::to_string(version));
+    }
+  }
+
+  void parse_section(const std::string& tag) {
+    if (tag == "machine") parse_machine();
+    else if (tag == "sampling") parse_sampling();
+    else if (tag == "requested") parse_requested();
+    else if (tag == "frames") parse_frames();
+    else if (tag == "cct") parse_cct();
+    else if (tag == "variables") parse_variables();
+    else if (tag == "threads") parse_threads();
+    else if (tag == "addrcentric") parse_addrcentric();
+    else if (tag == "firsttouch") parse_firsttouch();
+    else if (tag == "trace") parse_trace();
+    else if (tag == "degradations") parse_degradations();
+  }
+
+  void parse_machine() {
+    if (!data().totals.empty() || !data().stores.empty()) {
+      // Per-thread stores are sized by domain_count; redefining the
+      // machine after thread data would silently misalign every metric.
+      r_.fail_at("machine", "machine section after thread data");
+    }
+    data().domain_count = r_.value<std::uint32_t>("domain_count");
+    if (data().domain_count == 0 ||
+        data().domain_count > options_.max_count) {
+      r_.fail_at("domain_count", "domain count out of range");
+    }
+    data().core_count = r_.value<std::uint32_t>("core_count");
+    data().machine_name = r_.unescaped("machine_name");
+  }
+
+  void parse_sampling() {
+    data().mechanism =
+        read_enum<pmu::Mechanism>(r_, "mechanism", pmu::kMechanismCount);
+    if (!saw_requested_) data().requested_mechanism = data().mechanism;
+    data().sampling_period = r_.value<std::uint64_t>("period");
+    data().pebs_ll_events = r_.value<std::uint64_t>("pebs_ll_events");
+  }
+
+  void parse_requested() {
+    data().requested_mechanism = read_enum<pmu::Mechanism>(
+        r_, "requested mechanism", pmu::kMechanismCount);
+    saw_requested_ = true;
+  }
+
+  void parse_frames() {
+    const std::size_t count = read_count(r_, "frame count", options_);
+    data().frames.reserve(r_.reserve_bound(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) r_.fail_at("frame", "truncated frames section");
+      simrt::FrameInfo f;
+      f.kind =
+          read_enum<simrt::FrameKind>(r_, "frame kind", simrt::kFrameKindCount);
+      f.line = r_.value<std::uint32_t>("frame line");
+      f.name = r_.unescaped("frame name");
+      f.file = r_.unescaped("frame file");
+      data().frames.push_back(std::move(f));
+    }
+  }
+
+  void parse_cct() {
+    const std::size_t count = read_count(r_, "cct size", options_);
+    for (std::size_t id = 1; id < count; ++id) {
+      if (!r_.next_line()) r_.fail_at("cct node", "truncated cct section");
+      const auto parent = r_.value<NodeId>("cct parent");
+      if (parent >= data().cct.size()) {
+        r_.fail_at("cct parent", "parent id out of range");
+      }
+      const auto kind = read_enum<NodeKind>(r_, "cct kind", kNodeKindCount);
+      const auto key = r_.value<std::uint64_t>("cct key");
+      const NodeId created = data().cct.child(parent, kind, key);
+      if (created != id) r_.fail_at("cct node", "node ids out of order");
+    }
+  }
+
+  void parse_variables() {
+    const std::size_t count = read_count(r_, "variable count", options_);
+    data().variables.reserve(r_.reserve_bound(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) {
+        r_.fail_at("variable", "truncated variables section");
+      }
+      Variable v;
+      v.id = static_cast<VariableId>(data().variables.size());
+      v.kind = read_enum<VariableKind>(r_, "var kind", kVariableKindCount);
+      v.start = r_.value<simos::VAddr>("var start");
+      v.size = r_.value<std::uint64_t>("var size");
+      v.page_count = r_.value<std::uint64_t>("var pages");
+      v.variable_node = r_.value<NodeId>("var node");
+      if (v.variable_node >= data().cct.size()) {
+        r_.fail_at("var node", "variable node out of range");
+      }
+      v.alloc_tid = r_.value<simrt::ThreadId>("var tid");
+      v.live = r_.value<int>("var live") != 0;
+      v.name = r_.unescaped("var name");
+      data().variables.push_back(std::move(v));
+    }
+  }
+
+  void parse_threads() {
+    const std::size_t count = read_count(r_, "thread count", options_);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) {
+        r_.fail_at("thread totals", "truncated threads section");
+      }
+      ThreadTotals t;
+      t.samples = r_.value<std::uint64_t>("samples");
+      t.memory_samples = r_.value<std::uint64_t>("memory samples");
+      t.match = r_.value<std::uint64_t>("match");
+      t.mismatch = r_.value<std::uint64_t>("mismatch");
+      t.remote_latency = r_.value<double>("remote latency");
+      t.total_latency = r_.value<double>("total latency");
+      t.l3_miss_samples = r_.value<std::uint64_t>("l3 misses");
+      t.remote_l3_miss_samples = r_.value<std::uint64_t>("remote l3");
+      t.instructions = r_.value<std::uint64_t>("instructions");
+      t.memory_instructions = r_.value<std::uint64_t>("mem instructions");
+      t.per_domain.resize(data().domain_count);
+      for (auto& v : t.per_domain) v = r_.value<std::uint64_t>("domain");
+
+      if (!r_.next_line() || r_.token("metrics tag") != "metrics") {
+        r_.fail_at("metrics tag", "expected 'metrics' after thread totals");
+      }
+      const std::size_t metric_nodes =
+          read_count(r_, "metric nodes", options_);
+      const auto width = r_.value<std::uint32_t>("metric width");
+      MetricStore store(data().domain_count);
+      if (width != store.width()) {
+        r_.fail_at("metric width", "width " + std::to_string(width) +
+                                       " does not match machine (" +
+                                       std::to_string(store.width()) + ")");
+      }
+      for (std::size_t n = 0; n < metric_nodes; ++n) {
+        if (!r_.next_line()) {
+          r_.fail_at("metric node", "truncated metrics block");
+        }
+        const auto node = r_.value<NodeId>("metric node");
+        if (node >= data().cct.size()) {
+          r_.fail_at("metric node", "node out of range");
+        }
+        for (std::uint32_t m = 0; m < width; ++m) {
+          const auto value = r_.value<double>("metric value");
+          if (value != 0.0) store.add(node, m, value);
+        }
+      }
+      // Commit totals and store together so the two stay aligned even if
+      // a later thread record is damaged.
+      data().totals.push_back(std::move(t));
+      data().stores.push_back(std::move(store));
+    }
+  }
+
+  void parse_addrcentric() {
+    const std::size_t count = read_count(r_, "addr entries", options_);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) {
+        r_.fail_at("addr entry", "truncated addrcentric section");
+      }
+      BinKey key;
+      key.context = r_.value<simrt::FrameId>("ctx");
+      key.variable = r_.value<VariableId>("var");
+      key.bin = r_.value<std::uint32_t>("bin");
+      key.tid = r_.value<simrt::ThreadId>("tid");
+      BinStats stats;
+      stats.lo = r_.value<simos::VAddr>("lo");
+      stats.hi = r_.value<simos::VAddr>("hi");
+      stats.count = r_.value<std::uint64_t>("count");
+      stats.latency = r_.value<double>("latency");
+      data().address_centric.insert(key, stats);
+    }
+  }
+
+  void parse_firsttouch() {
+    const std::size_t count = read_count(r_, "firsttouch count", options_);
+    data().first_touches.reserve(r_.reserve_bound(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) {
+        r_.fail_at("firsttouch", "truncated firsttouch section");
+      }
+      FirstTouchRecord rec;
+      rec.variable = r_.value<VariableId>("ft var");
+      rec.tid = r_.value<simrt::ThreadId>("ft tid");
+      rec.domain = r_.value<std::uint32_t>("ft domain");
+      rec.node = r_.value<NodeId>("ft node");
+      if (rec.node >= data().cct.size()) {
+        r_.fail_at("ft node", "first-touch node out of range");
+      }
+      rec.page = r_.value<std::uint64_t>("ft page");
+      data().first_touches.push_back(rec);
+    }
+  }
+
+  void parse_trace() {
+    const std::size_t count = read_count(r_, "trace count", options_);
+    data().trace.reserve(r_.reserve_bound(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) r_.fail_at("trace event", "truncated trace");
+      TraceEvent e;
+      e.time = r_.value<numasim::Cycles>("trace time");
+      e.tid = r_.value<simrt::ThreadId>("trace tid");
+      e.variable = r_.value<VariableId>("trace var");
+      e.home_domain = r_.value<std::uint32_t>("trace home");
+      e.mismatch = r_.value<int>("trace mismatch") != 0;
+      e.remote = r_.value<int>("trace remote") != 0;
+      e.latency = r_.value<std::uint32_t>("trace latency");
+      data().trace.push_back(e);
+    }
+  }
+
+  void parse_degradations() {
+    const std::size_t count = read_count(r_, "degradation count", options_);
+    data().degradations.reserve(r_.reserve_bound(count));
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!r_.next_line()) {
+        r_.fail_at("degradation", "truncated degradations section");
+      }
+      DegradationEvent e;
+      e.kind = read_enum<DegradationKind>(r_, "degradation kind",
+                                          kDegradationKindCount);
+      e.mechanism = read_enum<pmu::Mechanism>(r_, "degradation mechanism",
+                                              pmu::kMechanismCount);
+      e.value = r_.value<std::uint64_t>("degradation value");
+      e.detail = r_.unescaped("degradation detail");
+      data().degradations.push_back(std::move(e));
+    }
+  }
+
+  /// Lenient loads can lose whole sections; restore the invariants the
+  /// analyzer relies on (totals and stores the same length, per-domain
+  /// vectors sized to the machine).
+  void finalize() {
+    while (data().stores.size() < data().totals.size()) {
+      data().stores.emplace_back(data().domain_count);
+    }
+    while (data().totals.size() < data().stores.size()) {
+      ThreadTotals t;
+      t.per_domain.assign(data().domain_count, 0);
+      data().totals.push_back(std::move(t));
+    }
+    for (ThreadTotals& t : data().totals) {
+      t.per_domain.resize(data().domain_count, 0);
+    }
+  }
+
+  Reader r_;
+  LoadOptions options_;
+  LoadResult result_;
+  bool saw_requested_ = false;
+};
+
+}  // namespace
+
+LoadResult load_profile(std::istream& is, const LoadOptions& options) {
+  return Loader(is, options).run();
+}
+
+SessionData load_profile(std::istream& is) {
+  return load_profile(is, LoadOptions{}).data;
 }
 
 void save_profile_file(const SessionData& data, const std::string& path) {
@@ -292,10 +594,219 @@ void save_profile_file(const SessionData& data, const std::string& path) {
   save_profile(data, os);
 }
 
-SessionData load_profile_file(const std::string& path) {
+LoadResult load_profile_file(const std::string& path,
+                             const LoadOptions& options) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
-  return load_profile(is);
+  return load_profile(is, options);
+}
+
+SessionData load_profile_file(const std::string& path) {
+  return load_profile_file(path, LoadOptions{}).data;
+}
+
+// --- per-thread shards and the analyzer merge ------------------------
+
+std::vector<std::string> save_thread_shards(const SessionData& data,
+                                            const std::string& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const std::size_t threads = std::max<std::size_t>(data.totals.size(), 1);
+  std::vector<std::string> paths;
+  paths.reserve(threads);
+  for (std::size_t tid = 0; tid < threads; ++tid) {
+    SessionData shard = data;
+    // Blank out every other thread's measurements; the zeroed slots keep
+    // thread ids aligned so the merge is a plain element-wise sum.
+    while (shard.stores.size() < shard.totals.size()) {
+      shard.stores.emplace_back(shard.domain_count);
+    }
+    for (std::size_t t = 0; t < shard.totals.size(); ++t) {
+      if (t == tid) continue;
+      ThreadTotals zero;
+      zero.per_domain.assign(shard.domain_count, 0);
+      shard.totals[t] = std::move(zero);
+      shard.stores[t] = MetricStore(shard.domain_count);
+    }
+    AddressCentric filtered;
+    data.address_centric.for_each([&](const BinKey& key, const BinStats& s) {
+      if (key.tid == tid) filtered.insert(key, s);
+    });
+    shard.address_centric = std::move(filtered);
+    std::erase_if(shard.first_touches, [&](const FirstTouchRecord& r) {
+      return r.tid != tid;
+    });
+    std::erase_if(shard.trace,
+                  [&](const TraceEvent& e) { return e.tid != tid; });
+    if (tid != 0) {
+      // Run-level absolutes and collection history live in shard 0 only,
+      // so the merge neither double-counts nor duplicates them.
+      shard.pebs_ll_events = 0;
+      shard.degradations.clear();
+    }
+    const std::string path =
+        (fs::path(directory) / ("thread_" + std::to_string(tid) + ".prof"))
+            .string();
+    save_profile_file(shard, path);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+namespace {
+
+/// Non-empty reason when `other` cannot be merged into `base`.
+std::string incompatibility(const SessionData& base,
+                            const SessionData& other) {
+  const auto mismatch = [](const char* what, auto a, auto b) {
+    return std::string(what) + " mismatch (" + std::to_string(a) + " vs " +
+           std::to_string(b) + ")";
+  };
+  if (other.domain_count != base.domain_count) {
+    return mismatch("domain count", base.domain_count, other.domain_count);
+  }
+  if (other.frames.size() != base.frames.size()) {
+    return mismatch("frame count", base.frames.size(), other.frames.size());
+  }
+  if (other.cct.size() != base.cct.size()) {
+    return mismatch("cct size", base.cct.size(), other.cct.size());
+  }
+  if (other.variables.size() != base.variables.size()) {
+    return mismatch("variable count", base.variables.size(),
+                    other.variables.size());
+  }
+  if (other.mechanism != base.mechanism) {
+    return "mechanism mismatch (" + std::string(to_string(base.mechanism)) +
+           " vs " + std::string(to_string(other.mechanism)) + ")";
+  }
+  return {};
+}
+
+void merge_totals(ThreadTotals& into, const ThreadTotals& from,
+                  std::uint32_t domain_count) {
+  into.samples += from.samples;
+  into.memory_samples += from.memory_samples;
+  into.match += from.match;
+  into.mismatch += from.mismatch;
+  into.remote_latency += from.remote_latency;
+  into.total_latency += from.total_latency;
+  into.l3_miss_samples += from.l3_miss_samples;
+  into.remote_l3_miss_samples += from.remote_l3_miss_samples;
+  into.instructions += from.instructions;
+  into.memory_instructions += from.memory_instructions;
+  into.per_domain.resize(domain_count, 0);
+  for (std::size_t d = 0; d < from.per_domain.size() && d < domain_count;
+       ++d) {
+    into.per_domain[d] += from.per_domain[d];
+  }
+}
+
+void merge_session(SessionData& base, SessionData&& other) {
+  const std::size_t threads =
+      std::max(base.totals.size(), other.totals.size());
+  {
+    ThreadTotals zero;
+    zero.per_domain.assign(base.domain_count, 0);
+    base.totals.resize(threads, zero);
+  }
+  while (base.stores.size() < threads) {
+    base.stores.emplace_back(base.domain_count);
+  }
+  for (std::size_t tid = 0; tid < other.totals.size(); ++tid) {
+    merge_totals(base.totals[tid], other.totals[tid], base.domain_count);
+  }
+  for (std::size_t tid = 0;
+       tid < other.stores.size() && tid < base.stores.size(); ++tid) {
+    base.stores[tid].merge(other.stores[tid]);
+  }
+  other.address_centric.for_each([&](const BinKey& key, const BinStats& s) {
+    base.address_centric.insert(key, s);
+  });
+  base.first_touches.insert(base.first_touches.end(),
+                            other.first_touches.begin(),
+                            other.first_touches.end());
+  base.trace.insert(base.trace.end(), other.trace.begin(),
+                    other.trace.end());
+  base.pebs_ll_events += other.pebs_ll_events;
+  // Collection history is carried by the first shard only (shards of one
+  // run replicate it); incompatible histories were already screened out.
+}
+
+}  // namespace
+
+MergeResult merge_profile_files(const std::vector<std::string>& paths,
+                                const MergeOptions& options) {
+  MergeResult result;
+  MergeSummary& summary = result.summary;
+  summary.files_total = paths.size();
+  if (paths.empty()) {
+    throw ProfileError("merge", 0, "no input profiles");
+  }
+
+  bool have_base = false;
+  for (const std::string& path : paths) {
+    LoadResult loaded;
+    try {
+      loaded = load_profile_file(path, options.load);
+    } catch (const ProfileError& e) {
+      if (!options.load.lenient) {
+        throw ProfileError(e.field(), e.line(), path + ": " + e.what());
+      }
+      summary.skipped.push_back(SkippedProfile{path, e.what()});
+      continue;
+    } catch (const std::exception& e) {
+      if (!options.load.lenient) {
+        throw ProfileError("file", 0, path + ": " + e.what());
+      }
+      summary.skipped.push_back(SkippedProfile{path, e.what()});
+      continue;
+    }
+    for (Diagnostic& d : loaded.diagnostics) {
+      summary.diagnostics.push_back(
+          Diagnostic{d.line, path + ": " + d.field, std::move(d.message)});
+    }
+    if (!have_base) {
+      result.data = std::move(loaded.data);
+      have_base = true;
+      ++summary.files_merged;
+      continue;
+    }
+    const std::string reason = incompatibility(result.data, loaded.data);
+    if (!reason.empty()) {
+      if (!options.load.lenient) {
+        throw ProfileError("merge", 0, path + ": " + reason);
+      }
+      summary.skipped.push_back(SkippedProfile{path, reason});
+      continue;
+    }
+    merge_session(result.data, std::move(loaded.data));
+    ++summary.files_merged;
+  }
+
+  if (!have_base) {
+    throw ProfileError(
+        "merge", 0,
+        "no loadable profile among " + std::to_string(paths.size()) +
+            " input files");
+  }
+  const double fraction = static_cast<double>(summary.files_merged) /
+                          static_cast<double>(summary.files_total);
+  if (fraction < options.min_quorum) {
+    throw ProfileError(
+        "quorum", 0,
+        "only " + std::to_string(summary.files_merged) + " of " +
+            std::to_string(summary.files_total) +
+            " profiles merged, below the required quorum");
+  }
+
+  for (const SkippedProfile& skip : summary.skipped) {
+    result.data.degradations.push_back(
+        DegradationEvent{.kind = DegradationKind::kProfileFileSkipped,
+                         .mechanism = result.data.mechanism,
+                         .value = 0,
+                         .detail = skip.path + ": " + skip.reason});
+  }
+  return result;
 }
 
 }  // namespace numaprof::core

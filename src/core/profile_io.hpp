@@ -2,24 +2,127 @@
 // (hpcrun writes per-thread measurement files) and the offline analyzer
 // (hpcprof reads and merges them), §7. A SessionData round-trips through a
 // line-oriented text format; strings are percent-escaped.
+//
+// The loader treats its input as UNTRUSTED: every enum is range-checked,
+// every count is bounded before memory is reserved, and every cross-section
+// reference (CCT nodes, frames) is validated. Two load modes exist:
+//   strict  — the default: any malformed field throws a ProfileError
+//             naming the field and line;
+//   lenient — damage is recorded as Diagnostics, the damaged section is
+//             skipped, and a consistent partial SessionData is returned
+//             (§7.2 merges thousands of per-thread files; one bad file
+//             must not kill the run).
+// merge_profile_files() is the analyzer-side multi-file merge with a
+// per-file quorum summary; save_thread_shards() writes the per-thread
+// measurement files it consumes.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/session.hpp"
 
 namespace numaprof::core {
 
-/// Current format version; load_profile rejects others.
-inline constexpr int kProfileFormatVersion = 2;
+/// Current format version; load_profile also accepts the previous version
+/// (which simply lacks the collection-health sections).
+inline constexpr int kProfileFormatVersion = 3;
+inline constexpr int kMinProfileFormatVersion = 2;
+
+/// A typed parse error carrying the offending field and 1-based line.
+class ProfileError : public std::runtime_error {
+ public:
+  ProfileError(std::string field, std::size_t line,
+               const std::string& message);
+
+  const std::string& field() const noexcept { return field_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string field_;
+  std::size_t line_;
+};
+
+struct LoadOptions {
+  /// false: throw ProfileError at the first malformed field. true: record
+  /// a Diagnostic, skip to the next section, return partial data.
+  bool lenient = false;
+  /// Hard ceiling on any one section's element count. A corrupt header
+  /// claiming a gigantic count is rejected before any reserve() happens.
+  std::size_t max_count = std::size_t(1) << 22;
+};
+
+/// One recorded problem from a lenient load.
+struct Diagnostic {
+  std::size_t line = 0;
+  std::string field;
+  std::string message;
+};
+
+struct LoadResult {
+  SessionData data;
+  std::vector<Diagnostic> diagnostics;
+  /// True when the stream parsed to its "end" marker with no diagnostics.
+  bool complete = true;
+};
 
 void save_profile(const SessionData& data, std::ostream& os);
 void save_profile_file(const SessionData& data, const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Writes one measurement file per thread into `directory`
+/// (thread_<tid>.prof): each shard carries the shared program structure
+/// plus only that thread's measurements, so merge_profile_files() can
+/// reassemble the session by summation. Returns the paths written.
+std::vector<std::string> save_thread_shards(const SessionData& data,
+                                            const std::string& directory);
+
+/// Strict load; throws ProfileError on malformed input.
 SessionData load_profile(std::istream& is);
 SessionData load_profile_file(const std::string& path);
+
+/// Load with explicit strict/lenient policy.
+LoadResult load_profile(std::istream& is, const LoadOptions& options);
+LoadResult load_profile_file(const std::string& path,
+                             const LoadOptions& options);
+
+struct MergeOptions {
+  LoadOptions load;
+  /// Minimum fraction of input files that must merge successfully; below
+  /// this quorum the merge throws even in lenient mode (a run built from
+  /// too few shards would silently misrepresent the program).
+  double min_quorum = 0.5;
+};
+
+struct SkippedProfile {
+  std::string path;
+  std::string reason;
+};
+
+/// Per-file accounting of an analyzer merge.
+struct MergeSummary {
+  std::size_t files_total = 0;
+  std::size_t files_merged = 0;
+  std::vector<SkippedProfile> skipped;
+  /// Lenient per-file diagnostics; `field` is prefixed with the file path.
+  std::vector<Diagnostic> diagnostics;
+};
+
+struct MergeResult {
+  SessionData data;
+  MergeSummary summary;
+};
+
+/// Loads and merges per-thread measurement files (§7.2). In strict mode
+/// the first unreadable file throws a ProfileError naming the field/line;
+/// in lenient mode unreadable or structurally incompatible files are
+/// skipped, recorded in the summary, AND surfaced as kProfileFileSkipped
+/// degradation events in the merged SessionData so reports show them.
+MergeResult merge_profile_files(const std::vector<std::string>& paths,
+                                const MergeOptions& options = {});
 
 /// Percent-escaping for strings embedded in the profile format (escapes
 /// '%', whitespace, and control characters).

@@ -2,20 +2,53 @@
 
 #include "pmu/mechanisms.hpp"
 #include "simos/numa_api.hpp"
+#include "support/faultinject.hpp"
 
 namespace numaprof::core {
 
 Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
     : machine_(machine),
       config_(config),
-      sampler_(pmu::make_sampler(config.event)),
+      requested_mechanism_(config.event.mechanism),
       registry_(cct_, machine.memory()),
       addr_(ProfilerConfig::resolve_bins(config.address_bins)) {
   access_dummy_ = cct_.child(kRootNode, NodeKind::kAccess, 0);
   first_touch_dummy_ = cct_.child(kRootNode, NodeKind::kFirstTouch, 0);
 
+  support::FaultPlan& plan =
+      config_.faults ? *config_.faults : support::global_fault_plan();
+  if (config_.enable_fallback) {
+    pmu::MechanismFallback fb =
+        pmu::make_sampler_with_fallback(config_.event, plan);
+    sampler_ = std::move(fb.sampler);
+    for (const pmu::Mechanism m : fb.unavailable) {
+      degradations_.push_back(DegradationEvent{
+          .kind = DegradationKind::kMechanismUnavailable,
+          .mechanism = m,
+          .value = 0,
+          .detail = std::string(pmu::to_string(m)) +
+                    " failed its availability probe"});
+    }
+    if (fb.degraded()) {
+      degradations_.push_back(DegradationEvent{
+          .kind = DegradationKind::kMechanismFallback,
+          .mechanism = fb.used,
+          .value = 0,
+          .detail = "requested " + std::string(pmu::to_string(fb.requested)) +
+                    ", collecting with " + std::string(pmu::to_string(fb.used))});
+    }
+  } else {
+    sampler_ = pmu::make_sampler(config_.event);
+    if (plan.enabled()) sampler_->set_fault_plan(&plan);
+  }
+
   sampler_->set_sink([this](const pmu::Sample& s) { on_sample(s); });
   machine_.add_observer(*sampler_);
+  if (config_.enable_watchdog) {
+    watchdog_ = std::make_unique<pmu::SamplingWatchdog>(*sampler_,
+                                                        config_.watchdog);
+    machine_.add_observer(*watchdog_);
+  }
   machine_.add_observer(*this);
   if (config_.track_first_touch) {
     machine_.set_protect_on_alloc(true);
@@ -32,6 +65,7 @@ Profiler::~Profiler() {
 void Profiler::stop() {
   if (!running_) return;
   machine_.remove_observer(*sampler_);
+  if (watchdog_) machine_.remove_observer(*watchdog_);
   machine_.remove_observer(*this);
   if (config_.track_first_touch) {
     machine_.set_protect_on_alloc(false);
@@ -195,8 +229,32 @@ SessionData Profiler::snapshot() {
   data.machine_name = machine_.topology().name;
   data.domain_count = machine_.topology().domain_count;
   data.core_count = machine_.topology().core_count();
-  data.mechanism = config_.event.mechanism;
-  data.sampling_period = config_.event.period;
+  data.mechanism = sampler_->mechanism();
+  data.requested_mechanism = requested_mechanism_;
+  data.sampling_period = sampler_->config().period;
+  data.degradations = degradations_;
+  if (watchdog_) {
+    for (const pmu::WatchdogEvent& e : watchdog_->events()) {
+      data.degradations.push_back(DegradationEvent{
+          .kind = e.starvation ? DegradationKind::kPeriodRetuneStarvation
+                               : DegradationKind::kPeriodRetuneOverhead,
+          .mechanism = sampler_->mechanism(),
+          .value = e.new_period,
+          .detail = "period " + std::to_string(e.old_period) + " -> " +
+                    std::to_string(e.new_period) + " after " +
+                    std::to_string(e.instructions) + " instructions"});
+    }
+  }
+  if (sampler_->dropped_samples() + sampler_->corrupted_samples() > 0) {
+    data.degradations.push_back(DegradationEvent{
+        .kind = DegradationKind::kSampleFaults,
+        .mechanism = sampler_->mechanism(),
+        .value = sampler_->dropped_samples() + sampler_->corrupted_samples(),
+        .detail = std::to_string(sampler_->dropped_samples()) +
+                  " samples dropped, " +
+                  std::to_string(sampler_->corrupted_samples()) +
+                  " corrupted by fault injection"});
+  }
 
   const auto& frames = machine_.frames();
   data.frames.reserve(frames.size());

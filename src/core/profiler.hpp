@@ -15,8 +15,13 @@
 
 #include "core/session.hpp"
 #include "pmu/sampler.hpp"
+#include "pmu/watchdog.hpp"
 #include "simrt/machine.hpp"
 #include "support/env.hpp"
+
+namespace numaprof::support {
+class FaultPlan;
+}
 
 namespace numaprof::core {
 
@@ -32,6 +37,18 @@ struct ProfilerConfig {
   /// simply stops at the cap, which keeps memory bounded like hpcrun's
   /// trace buffers).
   std::size_t trace_capacity = 1 << 20;
+  /// Probe mechanism availability and degrade along the fallback chain
+  /// instead of failing outright; every substitution is recorded as a
+  /// DegradationEvent. A no-op unless the fault plan injects init failures.
+  bool enable_fallback = true;
+  /// Attach the sampling watchdog (period retuning on starvation/runaway
+  /// overhead). Off by default: retunes change sample counts, which would
+  /// perturb runs that expect an exact configured period.
+  bool enable_watchdog = false;
+  pmu::WatchdogConfig watchdog;
+  /// Fault plan consulted for init failures and per-sample faults.
+  /// nullptr = the process-global plan (configured via NUMAPROF_FAULTS).
+  support::FaultPlan* faults = nullptr;
 
   static std::uint32_t resolve_bins(std::uint32_t requested) {
     if (requested != 0) return requested;
@@ -60,6 +77,14 @@ class Profiler final : public simrt::MachineObserver {
   const VariableRegistry& variables() const noexcept { return registry_; }
   const AddressCentric& address_centric() const noexcept { return addr_; }
   const pmu::Sampler& sampler() const noexcept { return *sampler_; }
+  /// How collection degraded so far (fallbacks at construction; watchdog
+  /// retunes and sample-fault counts are appended at snapshot()).
+  const std::vector<DegradationEvent>& degradations() const noexcept {
+    return degradations_;
+  }
+  pmu::Mechanism requested_mechanism() const noexcept {
+    return requested_mechanism_;
+  }
   const std::vector<FirstTouchRecord>& first_touches() const noexcept {
     return first_touches_;
   }
@@ -89,6 +114,9 @@ class Profiler final : public simrt::MachineObserver {
   simrt::Machine& machine_;
   ProfilerConfig config_;
   std::unique_ptr<pmu::Sampler> sampler_;
+  std::unique_ptr<pmu::SamplingWatchdog> watchdog_;
+  pmu::Mechanism requested_mechanism_;
+  std::vector<DegradationEvent> degradations_;
   Cct cct_;
   VariableRegistry registry_;
   AddressCentric addr_;

@@ -43,6 +43,10 @@ std::string write_report(const Analyzer& analyzer,
 
   // Main report.
   std::string report = viewer.program_summary();
+  const std::string health = viewer.collection_health();
+  if (!health.empty()) {
+    report += "\n== collection health ==\n" + health;
+  }
   report += "\n== data-centric ranking ==\n";
   report += viewer.data_centric_table(options.table_rows).to_text();
   report += "\n== code-centric ranking ==\n";

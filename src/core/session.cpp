@@ -5,6 +5,20 @@
 
 namespace numaprof::core {
 
+std::string_view to_string(DegradationKind k) noexcept {
+  switch (k) {
+    case DegradationKind::kMechanismUnavailable: return "mechanism-unavailable";
+    case DegradationKind::kMechanismFallback: return "mechanism-fallback";
+    case DegradationKind::kPeriodRetuneStarvation:
+      return "period-retune-starvation";
+    case DegradationKind::kPeriodRetuneOverhead:
+      return "period-retune-overhead";
+    case DegradationKind::kSampleFaults: return "sample-faults";
+    case DegradationKind::kProfileFileSkipped: return "profile-file-skipped";
+  }
+  return "unknown";
+}
+
 std::vector<FirstTouchSite> SessionData::first_touch_sites(
     VariableId variable) const {
   // Merge records by CCT context: multiple threads initializing a variable

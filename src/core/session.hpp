@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/addrcentric.hpp"
@@ -35,6 +36,30 @@ struct ThreadTotals {
   std::uint64_t memory_instructions = 0;  // absolute I_MEM (counter)
 };
 
+/// How a run's data collection degraded from the ideal configuration.
+/// Reports surface these so a reader knows HOW the data was collected
+/// before trusting it (NUMAscope/LIKWID-style graceful degradation).
+enum class DegradationKind : std::uint8_t {
+  kMechanismUnavailable,     // an availability probe failed
+  kMechanismFallback,        // a substitute mechanism was used
+  kPeriodRetuneStarvation,   // watchdog halved the period (no samples)
+  kPeriodRetuneOverhead,     // watchdog doubled the period (runaway rate)
+  kSampleFaults,             // injected sample drops/corruption occurred
+  kProfileFileSkipped,       // analyzer merge skipped an unreadable file
+};
+
+/// Number of DegradationKind enumerators (deserializers validate this).
+inline constexpr int kDegradationKindCount = 6;
+
+std::string_view to_string(DegradationKind k) noexcept;
+
+struct DegradationEvent {
+  DegradationKind kind = DegradationKind::kMechanismFallback;
+  pmu::Mechanism mechanism = pmu::Mechanism::kIbs;  // mechanism involved
+  std::uint64_t value = 0;  // kind-specific (new period, dropped count, ...)
+  std::string detail;       // human-readable context
+};
+
 /// One trapped first touch (§6).
 struct FirstTouchRecord {
   VariableId variable = 0;
@@ -60,9 +85,15 @@ struct SessionData {
   std::uint32_t domain_count = 1;
   std::uint32_t core_count = 1;
 
-  // Monitoring configuration.
+  // Monitoring configuration. `mechanism` is what actually collected the
+  // data; `requested_mechanism` is what the user asked for (they differ
+  // after a fallback).
   pmu::Mechanism mechanism = pmu::Mechanism::kIbs;
+  pmu::Mechanism requested_mechanism = pmu::Mechanism::kIbs;
   std::uint64_t sampling_period = 1;
+
+  // Everything that went wrong (or was adapted) while collecting.
+  std::vector<DegradationEvent> degradations;
 
   // Program structure.
   std::vector<simrt::FrameInfo> frames;
@@ -85,6 +116,11 @@ struct SessionData {
   std::vector<TraceEvent> trace;
 
   std::uint64_t thread_count() const noexcept { return totals.size(); }
+
+  /// True when the data was NOT collected exactly as requested.
+  bool degraded() const noexcept {
+    return !degradations.empty() || requested_mechanism != mechanism;
+  }
 
   std::uint64_t total_instructions() const noexcept {
     std::uint64_t total = 0;

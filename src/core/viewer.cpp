@@ -24,8 +24,14 @@ std::string Viewer::program_summary() const {
   const SessionData& d = analyzer_->data();
   std::ostringstream os;
   os << "=== NUMA profile: " << d.machine_name << " ===\n"
-     << "mechanism: " << pmu::to_string(d.mechanism)
-     << "  period: " << d.sampling_period
+     << "mechanism: " << pmu::to_string(d.mechanism);
+  if (d.requested_mechanism != d.mechanism) {
+    // Label the data with how it was ACTUALLY collected, not how the run
+    // was configured — a fallback changes what the metrics mean.
+    os << " (requested " << pmu::to_string(d.requested_mechanism)
+       << ", degraded)";
+  }
+  os << "  period: " << d.sampling_period
      << "  threads: " << d.thread_count() << "\n"
      << "instructions (I): " << format_count(p.instructions)
      << "  memory (I_MEM): " << format_count(p.memory_instructions)
@@ -63,6 +69,29 @@ std::string Viewer::program_summary() const {
                : "M_r share low; likely no NUMA problem");
   }
   os << "\n";
+  return os.str();
+}
+
+std::string Viewer::collection_health() const {
+  const SessionData& d = analyzer_->data();
+  if (!d.degraded()) return {};
+  std::ostringstream os;
+  if (d.requested_mechanism != d.mechanism) {
+    os << "requested " << pmu::to_string(d.requested_mechanism)
+       << ", collected with " << pmu::to_string(d.mechanism) << "\n";
+  }
+  std::size_t skipped_files = 0;
+  for (const DegradationEvent& e : d.degradations) {
+    if (e.kind == DegradationKind::kProfileFileSkipped) ++skipped_files;
+    os << "[" << to_string(e.kind) << "] " << pmu::to_string(e.mechanism);
+    if (e.value != 0) os << " (" << e.value << ")";
+    os << ": " << e.detail << "\n";
+  }
+  if (skipped_files > 0) {
+    os << skipped_files
+       << " per-thread profile file(s) skipped during the merge; metrics "
+          "are computed from the remaining files\n";
+  }
   return os.str();
 }
 

@@ -24,6 +24,12 @@ class Viewer {
   /// Whole-program metrics + severity verdict.
   std::string program_summary() const;
 
+  /// How the data was collected when that differs from how it was meant to
+  /// be collected: mechanism fallbacks, watchdog period retunes, injected
+  /// sample faults, and profile files skipped by the analyzer merge. Empty
+  /// when the run was not degraded (the common case).
+  std::string collection_health() const;
+
   /// Variables ranked by NUMA cost. Columns mirror the paper's metric pane
   /// (NUMA_MATCH, NUMA_MISMATCH, NUMA_NODE<k>, latency shares, lpi).
   support::Table data_centric_table(std::size_t top_n = 20) const;

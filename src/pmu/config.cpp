@@ -1,5 +1,10 @@
 #include "pmu/config.hpp"
 
+#include <algorithm>
+#include <cctype>
+
+#include "support/faultinject.hpp"
+
 namespace numaprof::pmu {
 
 std::string_view to_string(Mechanism m) noexcept {
@@ -103,6 +108,32 @@ EventConfig EventConfig::mini(Mechanism m) {
     case Mechanism::kSoftIbs: c.period = 5'000; break;
   }
   return c;
+}
+
+std::string spec_name(Mechanism m) {
+  std::string name(to_string(m));
+  std::transform(name.begin(), name.end(), name.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return name;
+}
+
+std::vector<Mechanism> fallback_chain(Mechanism requested) {
+  static constexpr Mechanism kOrder[] = {
+      Mechanism::kIbs,  Mechanism::kPebsLl, Mechanism::kPebs,
+      Mechanism::kMrk,  Mechanism::kDear,   Mechanism::kSoftIbs};
+  std::vector<Mechanism> chain{requested};
+  for (const Mechanism m : kOrder) {
+    if (m != requested) chain.push_back(m);
+  }
+  return chain;
+}
+
+bool mechanism_available(Mechanism m, const support::FaultPlan& plan) {
+  // Soft-IBS is pure software instrumentation: no PMU, no permissions, no
+  // model-specific registers — it cannot fail to initialize.
+  if (m == Mechanism::kSoftIbs) return true;
+  return !plan.fails_init(spec_name(m));
 }
 
 }  // namespace numaprof::pmu

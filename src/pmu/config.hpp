@@ -10,9 +10,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "numasim/types.hpp"
 #include "pmu/sample.hpp"
+
+namespace numaprof::support {
+class FaultPlan;
+}
 
 namespace numaprof::pmu {
 
@@ -43,5 +48,20 @@ struct EventConfig {
   /// Periods scaled for this reproduction's mini workloads.
   static EventConfig mini(Mechanism m);
 };
+
+/// Degradation order when `requested` cannot be initialized: the requested
+/// mechanism first, then IBS → PEBS-LL → PEBS → MRK → DEAR → Soft-IBS
+/// (richest capabilities first; Soft-IBS is the always-available software
+/// fallback the paper built for exactly this case, §3).
+std::vector<Mechanism> fallback_chain(Mechanism requested);
+
+/// Availability probe: does mechanism `m` initialize on this "machine"?
+/// Missing hardware / misconfiguration is simulated by the fault plan;
+/// Soft-IBS needs no hardware and always probes available.
+bool mechanism_available(Mechanism m, const support::FaultPlan& plan);
+
+/// Lower-case mechanism name as used by CLIs and NUMAPROF_FAULTS
+/// (ibs, mrk, pebs, dear, pebs-ll, soft-ibs).
+std::string spec_name(Mechanism m);
 
 }  // namespace numaprof::pmu

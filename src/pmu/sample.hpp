@@ -29,6 +29,9 @@ enum class Mechanism : std::uint8_t {
   kSoftIbs,  // software instrumentation (the paper's LLVM-based fallback)
 };
 
+/// Number of Mechanism enumerators (deserializers validate against this).
+inline constexpr int kMechanismCount = 6;
+
 std::string_view to_string(Mechanism m) noexcept;
 
 /// What a mechanism can report. Mirrors the taxonomy of §3 and §10.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "pmu/mechanisms.hpp"
+#include "support/faultinject.hpp"
 
 namespace numaprof::pmu {
 
@@ -58,6 +59,21 @@ Sample Sampler::make_instruction_sample(const simrt::SimThread& thread) const {
 }
 
 void Sampler::emit(Sample sample) {
+  if (faults_ != nullptr && faults_->enabled()) {
+    if (faults_->drop_sample()) {
+      ++dropped_;
+      return;
+    }
+    if (sample.is_memory && faults_->corrupt_sample()) {
+      sample.addr = faults_->scramble(sample.addr);
+      ++corrupted_;
+    }
+    if (sample.latency) {
+      if (const auto spike = faults_->latency_outlier()) {
+        *sample.latency += static_cast<numasim::Cycles>(*spike);
+      }
+    }
+  }
   ++emitted_;
   if (sample.is_memory) ++memory_samples_;
   if (sink_) sink_(sample);
@@ -73,6 +89,34 @@ std::unique_ptr<Sampler> make_sampler(EventConfig config) {
     case Mechanism::kSoftIbs: return std::make_unique<SoftIbsSampler>(config);
   }
   throw std::invalid_argument("unknown sampling mechanism");
+}
+
+MechanismFallback make_sampler_with_fallback(const EventConfig& config,
+                                             support::FaultPlan& plan) {
+  MechanismFallback result;
+  result.requested = config.mechanism;
+  result.used = config.mechanism;
+  for (const Mechanism m : fallback_chain(config.mechanism)) {
+    if (!mechanism_available(m, plan)) {
+      result.unavailable.push_back(m);
+      continue;
+    }
+    EventConfig chosen = config;
+    if (m != config.mechanism) {
+      // The requested event/period pairing is meaningless on a different
+      // mechanism; fall back to that mechanism's mini() preset but keep
+      // the caller's jitter seed for reproducibility.
+      chosen = EventConfig::mini(m);
+      chosen.seed = config.seed;
+    }
+    result.used = m;
+    result.sampler = make_sampler(chosen);
+    result.sampler->set_fault_plan(plan.enabled() ? &plan : nullptr);
+    return result;
+  }
+  // Unreachable: Soft-IBS always probes available. Guard anyway so a
+  // future chain edit cannot return a null sampler.
+  throw std::runtime_error("no sampling mechanism available");
 }
 
 }  // namespace numaprof::pmu

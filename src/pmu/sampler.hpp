@@ -19,6 +19,10 @@
 #include "simrt/thread.hpp"
 #include "support/rng.hpp"
 
+namespace numaprof::support {
+class FaultPlan;
+}
+
 namespace numaprof::pmu {
 
 using SampleSink = std::function<void(const Sample&)>;
@@ -35,9 +39,22 @@ class Sampler : public simrt::MachineObserver {
 
   void set_sink(SampleSink sink) { sink_ = std::move(sink); }
 
+  /// Routes emitted samples through `plan` (drop / corrupt / latency
+  /// spike). Pass nullptr to disable. The plan must outlive the sampler.
+  void set_fault_plan(support::FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Live period retune (the sampling watchdog's knob). Takes effect at
+  /// each thread's next countdown reload.
+  void set_period(std::uint64_t period) noexcept {
+    config_.period = period == 0 ? 1 : period;
+  }
+
   std::uint64_t samples_emitted() const noexcept { return emitted_; }
   /// Memory samples only (excludes sampled non-memory instructions).
   std::uint64_t memory_samples() const noexcept { return memory_samples_; }
+  /// Samples suppressed / mangled by the fault plan.
+  std::uint64_t dropped_samples() const noexcept { return dropped_; }
+  std::uint64_t corrupted_samples() const noexcept { return corrupted_; }
 
  protected:
   /// Per-thread sampling state, grown on demand.
@@ -70,9 +87,31 @@ class Sampler : public simrt::MachineObserver {
   bool jitter_seeded_ = false;
   std::uint64_t emitted_ = 0;
   std::uint64_t memory_samples_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+  support::FaultPlan* faults_ = nullptr;
 };
 
 /// Constructs the sampler for `config.mechanism`.
 std::unique_ptr<Sampler> make_sampler(EventConfig config);
+
+/// Outcome of probing the fallback chain for a usable mechanism.
+struct MechanismFallback {
+  std::unique_ptr<Sampler> sampler;  // never null
+  Mechanism requested;
+  Mechanism used;
+  /// Mechanisms whose availability probe failed, in the order tried.
+  std::vector<Mechanism> unavailable;
+  bool degraded() const noexcept { return requested != used; }
+};
+
+/// Walks fallback_chain(config.mechanism) against `plan`'s init-failure
+/// faults and constructs the first mechanism that probes available. When a
+/// fallback mechanism is chosen its mini() event configuration is used
+/// (the requested config's event/period pairing is mechanism-specific),
+/// preserving the caller's jitter seed. Soft-IBS terminates the chain, so
+/// this always yields a sampler.
+MechanismFallback make_sampler_with_fallback(const EventConfig& config,
+                                             support::FaultPlan& plan);
 
 }  // namespace numaprof::pmu

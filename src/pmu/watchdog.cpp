@@ -1,0 +1,78 @@
+#include "pmu/watchdog.hpp"
+
+#include <algorithm>
+
+#include "simrt/thread.hpp"
+
+namespace numaprof::pmu {
+
+SamplingWatchdog::SamplingWatchdog(Sampler& sampler, WatchdogConfig config)
+    : sampler_(&sampler), config_(config) {
+  next_check_ = config_.check_interval;
+}
+
+void SamplingWatchdog::on_exec(const simrt::SimThread& thread,
+                               std::uint64_t count) {
+  advance(thread.now(), count);
+}
+
+void SamplingWatchdog::on_access(const simrt::SimThread& thread,
+                                 const simrt::AccessEvent& event) {
+  (void)event;
+  advance(thread.now(), 1);
+}
+
+void SamplingWatchdog::advance(numasim::Cycles now, std::uint64_t count) {
+  instructions_ += count;
+  if (instructions_ >= next_check_) {
+    check(now);
+    next_check_ = instructions_ + config_.check_interval;
+  }
+}
+
+void SamplingWatchdog::check(numasim::Cycles now) {
+  const std::uint64_t samples = sampler_->samples_emitted();
+  if (samples > samples_at_check_) {
+    instr_at_last_sample_ = instructions_;
+  }
+
+  const std::uint64_t period = sampler_->config().period;
+  if (instructions_ - instr_at_last_sample_ >= config_.starvation_window) {
+    // Starvation: the mechanism (or the faults eating its output) is not
+    // producing data. Sample more aggressively.
+    const std::uint64_t retuned =
+        std::max(config_.min_period, period / 2);
+    if (retuned != period) {
+      sampler_->set_period(retuned);
+      events_.push_back(WatchdogEvent{.time = now,
+                                      .instructions = instructions_,
+                                      .old_period = period,
+                                      .new_period = retuned,
+                                      .starvation = true});
+    }
+    instr_at_last_sample_ = instructions_;  // restart the window
+  } else if (instructions_ > instr_at_check_) {
+    const double rate =
+        static_cast<double>(samples - samples_at_check_) /
+        static_cast<double>(instructions_ - instr_at_check_);
+    if (rate > config_.max_sample_rate) {
+      // Runaway overhead: back off before the profiler becomes the
+      // workload (the Table 2 failure mode).
+      const std::uint64_t retuned =
+          std::min(config_.max_period, std::max<std::uint64_t>(period, 1) * 2);
+      if (retuned != period) {
+        sampler_->set_period(retuned);
+        events_.push_back(WatchdogEvent{.time = now,
+                                        .instructions = instructions_,
+                                        .old_period = period,
+                                        .new_period = retuned,
+                                        .starvation = false});
+      }
+    }
+  }
+
+  samples_at_check_ = samples;
+  instr_at_check_ = instructions_;
+}
+
+}  // namespace numaprof::pmu

@@ -27,6 +27,9 @@ enum class FrameKind : std::uint8_t {
                     // address-centric patterns by these)
 };
 
+/// Number of FrameKind enumerators (deserializers validate against this).
+inline constexpr int kFrameKindCount = 3;
+
 struct FrameInfo {
   std::string name;
   std::string file;

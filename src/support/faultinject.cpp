@@ -1,0 +1,206 @@
+#include "support/faultinject.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "support/env.hpp"
+
+namespace numaprof::support {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void bad_spec(std::string_view key, std::string_view value,
+                           const char* why) {
+  throw FaultSpecError("NUMAPROF_FAULTS: bad value '" + std::string(value) +
+                       "' for '" + std::string(key) + "': " + why);
+}
+
+std::uint64_t parse_uint(std::string_view key, std::string_view value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    bad_spec(key, value, "expected a non-negative integer");
+  }
+  return out;
+}
+
+double parse_probability(std::string_view key, std::string_view value) {
+  try {
+    std::size_t consumed = 0;
+    const double p = std::stod(std::string(value), &consumed);
+    if (consumed != value.size() || p < 0.0 || p > 1.0) {
+      bad_spec(key, value, "expected a probability in [0, 1]");
+    }
+    return p;
+  } catch (const FaultSpecError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad_spec(key, value, "expected a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  spec = trim(spec);
+  if (spec.empty()) return plan;
+  plan.enabled_ = true;
+
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::string_view item =
+        trim(spec.substr(start, semi == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : semi - start));
+    start = semi == std::string_view::npos ? spec.size() + 1 : semi + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw FaultSpecError("NUMAPROF_FAULTS: expected key=value, got '" +
+                           std::string(item) + "'");
+    }
+    const std::string_view key = trim(item.substr(0, eq));
+    const std::string_view value = trim(item.substr(eq + 1));
+
+    if (key == "seed") {
+      plan.seed_ = parse_uint(key, value);
+    } else if (key == "init-fail") {
+      std::size_t pos = 0;
+      while (pos <= value.size()) {
+        const std::size_t comma = value.find(',', pos);
+        std::string name(trim(value.substr(
+            pos, comma == std::string_view::npos ? std::string_view::npos
+                                                 : comma - pos)));
+        pos = comma == std::string_view::npos ? value.size() + 1 : comma + 1;
+        if (name.empty()) continue;
+        std::transform(name.begin(), name.end(), name.begin(), [](char c) {
+          return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        });
+        plan.init_fail_.push_back(std::move(name));
+      }
+      if (plan.init_fail_.empty()) {
+        bad_spec(key, value, "expected mechanism names");
+      }
+    } else if (key == "drop") {
+      plan.drop_p_ = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      plan.corrupt_p_ = parse_probability(key, value);
+    } else if (key == "spike") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        bad_spec(key, value, "expected P:CYCLES");
+      }
+      plan.spike_p_ = parse_probability(key, trim(value.substr(0, colon)));
+      plan.spike_cycles_ = parse_uint(key, trim(value.substr(colon + 1)));
+    } else if (key == "truncate") {
+      plan.truncate_at_ = parse_uint(key, value);
+    } else if (key == "bitflip") {
+      plan.bitflips_ = parse_uint(key, value);
+    } else {
+      throw FaultSpecError("NUMAPROF_FAULTS: unknown key '" +
+                           std::string(key) + "'");
+    }
+  }
+  plan.rng_ = Rng(plan.seed_);
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const auto spec = env_string("NUMAPROF_FAULTS");
+  if (!spec) return FaultPlan{};
+  return parse(*spec);
+}
+
+bool FaultPlan::fails_init(std::string_view mechanism) const {
+  if (!enabled_) return false;
+  for (const std::string& name : init_fail_) {
+    if (name == "*" || name == mechanism) {
+      ++counters_.init_failures;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::drop_sample() {
+  if (!enabled_ || drop_p_ <= 0.0) return false;
+  if (!rng_.next_bool(drop_p_)) return false;
+  ++counters_.dropped_samples;
+  return true;
+}
+
+bool FaultPlan::corrupt_sample() {
+  if (!enabled_ || corrupt_p_ <= 0.0) return false;
+  if (!rng_.next_bool(corrupt_p_)) return false;
+  ++counters_.corrupted_samples;
+  return true;
+}
+
+std::optional<std::uint64_t> FaultPlan::latency_outlier() {
+  if (!enabled_ || spike_p_ <= 0.0) return std::nullopt;
+  if (!rng_.next_bool(spike_p_)) return std::nullopt;
+  ++counters_.latency_spikes;
+  return spike_cycles_;
+}
+
+std::uint64_t FaultPlan::scramble(std::uint64_t value) {
+  return value ^ rng_.next();
+}
+
+std::string FaultPlan::mutate_stream(std::string bytes) {
+  if (!enabled_) return bytes;
+  if (truncate_at_ && *truncate_at_ < bytes.size()) {
+    bytes.resize(*truncate_at_);
+    ++counters_.stream_truncations;
+  }
+  if (!bytes.empty()) {
+    for (std::uint64_t i = 0; i < bitflips_; ++i) {
+      const std::uint64_t pos = rng_.next_below(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^
+                                     (1u << rng_.next_below(8)));
+      ++counters_.stream_bitflips;
+    }
+  }
+  return bytes;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled_) return "no faults";
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  if (!init_fail_.empty()) {
+    os << " init-fail=";
+    for (std::size_t i = 0; i < init_fail_.size(); ++i) {
+      os << (i ? "," : "") << init_fail_[i];
+    }
+  }
+  if (drop_p_ > 0.0) os << " drop=" << drop_p_;
+  if (corrupt_p_ > 0.0) os << " corrupt=" << corrupt_p_;
+  if (spike_p_ > 0.0) os << " spike=" << spike_p_ << ":" << spike_cycles_;
+  if (truncate_at_) os << " truncate=" << *truncate_at_;
+  if (bitflips_ > 0) os << " bitflip=" << bitflips_;
+  return os.str();
+}
+
+FaultPlan& global_fault_plan() {
+  static FaultPlan plan = FaultPlan::from_env();
+  return plan;
+}
+
+}  // namespace numaprof::support

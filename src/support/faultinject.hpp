@@ -1,0 +1,112 @@
+// Deterministic fault injection for the measurement pipeline.
+//
+// Production NUMA profilers must survive hostile realities: sampling
+// hardware that is absent or misconfigured, samples that are dropped or
+// corrupted in flight, and per-thread measurement files that arrive
+// truncated or bit-flipped at the offline analyzer. A FaultPlan is a
+// seedable, env-configurable (NUMAPROF_FAULTS=...) description of exactly
+// which of those faults to inject, so tests, benches, and the example
+// tools can exercise every degradation path reproducibly.
+//
+// Spec grammar (semicolon-separated key=value pairs):
+//   seed=N            RNG seed for all probabilistic faults (default 0x5eed)
+//   init-fail=LIST    comma-separated mechanism names whose initialization
+//                     fails (ibs, mrk, pebs, dear, pebs-ll, soft-ibs, or *)
+//   drop=P            drop each emitted sample with probability P
+//   corrupt=P         scramble a sample's effective address with prob. P
+//   spike=P:CYCLES    inflate a sample's latency by CYCLES with prob. P
+//   truncate=OFFSET   cut profile streams at byte OFFSET
+//   bitflip=N         flip N pseudo-randomly chosen bits in profile streams
+//
+// Example: NUMAPROF_FAULTS="seed=7;init-fail=ibs,pebs-ll;drop=0.01"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace numaprof::support {
+
+/// Thrown by FaultPlan::parse on a malformed spec.
+class FaultSpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Running tally of faults actually injected (for reports and tests).
+struct FaultCounters {
+  std::uint64_t init_failures = 0;
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t corrupted_samples = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t stream_truncations = 0;
+  std::uint64_t stream_bitflips = 0;
+};
+
+class FaultPlan {
+ public:
+  /// A disabled plan: every query reports "no fault".
+  FaultPlan() = default;
+
+  /// Parses a spec string (see grammar above). Throws FaultSpecError on
+  /// unknown keys or unparsable values. An empty spec yields a disabled
+  /// plan.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Parses NUMAPROF_FAULTS; unset/empty yields a disabled plan. A
+  /// malformed value throws FaultSpecError (better loud than silently
+  /// running the wrong experiment).
+  static FaultPlan from_env();
+
+  bool enabled() const noexcept { return enabled_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  // --- mechanism initialization -------------------------------------
+  /// True when `mechanism` (lower-case name, e.g. "pebs-ll") is on the
+  /// init-fail list ("*" fails every mechanism asked about).
+  bool fails_init(std::string_view mechanism) const;
+
+  // --- sample-level faults (advance the deterministic RNG) ----------
+  bool drop_sample();
+  bool corrupt_sample();
+  /// Extra latency cycles to add, when the spike fault fires.
+  std::optional<std::uint64_t> latency_outlier();
+  /// Deterministic scrambling of a corrupted field value.
+  std::uint64_t scramble(std::uint64_t value);
+
+  // --- stream-level faults ------------------------------------------
+  /// Applies the plan's truncation and bit flips to a serialized profile.
+  /// Deterministic given the plan's RNG state; successive calls mutate at
+  /// different (but reproducible) positions.
+  std::string mutate_stream(std::string bytes);
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+  /// One-line human-readable summary of the configured faults.
+  std::string describe() const;
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t seed_ = 0x5eed;
+  std::vector<std::string> init_fail_;  // lower-case names, may contain "*"
+  double drop_p_ = 0.0;
+  double corrupt_p_ = 0.0;
+  double spike_p_ = 0.0;
+  std::uint64_t spike_cycles_ = 0;
+  std::optional<std::uint64_t> truncate_at_;
+  std::uint64_t bitflips_ = 0;
+  Rng rng_{0x5eed};
+  mutable FaultCounters counters_;
+};
+
+/// Process-wide plan parsed once from NUMAPROF_FAULTS. The profiler and
+/// CLI tools consult this when no explicit plan is supplied, so faults can
+/// be injected into any run without code changes.
+FaultPlan& global_fault_plan();
+
+}  // namespace numaprof::support

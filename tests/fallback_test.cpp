@@ -1,0 +1,249 @@
+// Mechanism fallback chain, availability probing, the sampling watchdog,
+// and how degradation events flow into SessionData and the viewer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+#include "pmu/watchdog.hpp"
+#include "support/faultinject.hpp"
+
+namespace numaprof {
+namespace {
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+void run_small_workload(Machine& m, std::uint32_t threads = 2,
+                        int iterations = 1500) {
+  parallel_region(m, threads, "work", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    const simos::VAddr v = t.malloc(4 * simos::kPageBytes, "a");
+                    for (int i = 0; i < iterations; ++i) {
+                      t.load(v + ((index + i) % 2048) * 8);
+                      if (i % 64 == 0) co_await t.tick();
+                    }
+                    co_return;
+                  });
+}
+
+TEST(FallbackChain, RequestedFirstSoftIbsLastAllUnique) {
+  for (int m = 0; m < pmu::kMechanismCount; ++m) {
+    const auto requested = static_cast<pmu::Mechanism>(m);
+    const auto chain = pmu::fallback_chain(requested);
+    ASSERT_EQ(chain.size(), static_cast<std::size_t>(pmu::kMechanismCount));
+    EXPECT_EQ(chain.front(), requested);
+    EXPECT_EQ(chain.back() == pmu::Mechanism::kSoftIbs ||
+                  requested == pmu::Mechanism::kSoftIbs,
+              true);
+    auto sorted = chain;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(FallbackChain, AvailabilityProbeHonorsFaultPlan) {
+  support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs,mrk");
+  EXPECT_FALSE(pmu::mechanism_available(pmu::Mechanism::kIbs, plan));
+  EXPECT_FALSE(pmu::mechanism_available(pmu::Mechanism::kMrk, plan));
+  EXPECT_TRUE(pmu::mechanism_available(pmu::Mechanism::kPebs, plan));
+  // Soft-IBS needs no hardware: available even under init-fail=*.
+  support::FaultPlan all = support::FaultPlan::parse("init-fail=*");
+  EXPECT_TRUE(pmu::mechanism_available(pmu::Mechanism::kSoftIbs, all));
+}
+
+TEST(FallbackChain, SpecNamesMatchCliNames) {
+  EXPECT_EQ(pmu::spec_name(pmu::Mechanism::kIbs), "ibs");
+  EXPECT_EQ(pmu::spec_name(pmu::Mechanism::kPebsLl), "pebs-ll");
+  EXPECT_EQ(pmu::spec_name(pmu::Mechanism::kSoftIbs), "soft-ibs");
+}
+
+TEST(FallbackChain, IbsInitFailureDegradesToPebsLl) {
+  support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs");
+  const auto fb = pmu::make_sampler_with_fallback(
+      pmu::EventConfig::mini(pmu::Mechanism::kIbs), plan);
+  ASSERT_NE(fb.sampler, nullptr);
+  EXPECT_EQ(fb.requested, pmu::Mechanism::kIbs);
+  EXPECT_EQ(fb.used, pmu::Mechanism::kPebsLl);
+  EXPECT_TRUE(fb.degraded());
+  ASSERT_EQ(fb.unavailable.size(), 1u);
+  EXPECT_EQ(fb.unavailable.front(), pmu::Mechanism::kIbs);
+}
+
+TEST(FallbackChain, EverythingFailingEndsAtSoftIbs) {
+  support::FaultPlan plan =
+      support::FaultPlan::parse("init-fail=ibs,mrk,pebs,dear,pebs-ll");
+  const auto fb = pmu::make_sampler_with_fallback(
+      pmu::EventConfig::mini(pmu::Mechanism::kIbs), plan);
+  EXPECT_EQ(fb.used, pmu::Mechanism::kSoftIbs);
+  EXPECT_EQ(fb.unavailable.size(), 5u);
+}
+
+TEST(FallbackChain, NoFaultPlanMeansNoDegradation) {
+  support::FaultPlan plan;  // disabled
+  const auto fb = pmu::make_sampler_with_fallback(
+      pmu::EventConfig::mini(pmu::Mechanism::kMrk), plan);
+  EXPECT_FALSE(fb.degraded());
+  EXPECT_EQ(fb.used, pmu::Mechanism::kMrk);
+  EXPECT_TRUE(fb.unavailable.empty());
+}
+
+TEST(ProfilerFallback, RecordsDegradationEventsAndActualMechanism) {
+  support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs");
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.faults = &plan;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m);
+  const core::SessionData data = profiler.snapshot();
+
+  EXPECT_EQ(data.requested_mechanism, pmu::Mechanism::kIbs);
+  EXPECT_EQ(data.mechanism, pmu::Mechanism::kPebsLl);
+  EXPECT_TRUE(data.degraded());
+  const auto has_kind = [&](core::DegradationKind kind) {
+    return std::any_of(data.degradations.begin(), data.degradations.end(),
+                       [&](const core::DegradationEvent& e) {
+                         return e.kind == kind;
+                       });
+  };
+  EXPECT_TRUE(has_kind(core::DegradationKind::kMechanismUnavailable));
+  EXPECT_TRUE(has_kind(core::DegradationKind::kMechanismFallback));
+}
+
+TEST(ProfilerFallback, ViewerLabelsActualMechanism) {
+  support::FaultPlan plan =
+      support::FaultPlan::parse("init-fail=ibs,mrk,pebs,dear,pebs-ll");
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.faults = &plan;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m);
+  const core::SessionData data = profiler.snapshot();
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+
+  const std::string summary = viewer.program_summary();
+  EXPECT_NE(summary.find("Soft-IBS"), std::string::npos);
+  EXPECT_NE(summary.find("requested IBS"), std::string::npos);
+  EXPECT_NE(summary.find("degraded"), std::string::npos);
+
+  const std::string health = viewer.collection_health();
+  EXPECT_NE(health.find("mechanism-fallback"), std::string::npos);
+  EXPECT_NE(health.find("mechanism-unavailable"), std::string::npos);
+}
+
+TEST(ProfilerFallback, DegradationsRoundTripThroughProfileFormat) {
+  support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs");
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.faults = &plan;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m);
+  const core::SessionData original = profiler.snapshot();
+
+  std::stringstream stream;
+  core::save_profile(original, stream);
+  const core::SessionData loaded = core::load_profile(stream);
+  EXPECT_EQ(loaded.requested_mechanism, original.requested_mechanism);
+  EXPECT_EQ(loaded.mechanism, original.mechanism);
+  ASSERT_EQ(loaded.degradations.size(), original.degradations.size());
+  for (std::size_t i = 0; i < original.degradations.size(); ++i) {
+    EXPECT_EQ(loaded.degradations[i].kind, original.degradations[i].kind);
+    EXPECT_EQ(loaded.degradations[i].mechanism,
+              original.degradations[i].mechanism);
+    EXPECT_EQ(loaded.degradations[i].value, original.degradations[i].value);
+    EXPECT_EQ(loaded.degradations[i].detail, original.degradations[i].detail);
+  }
+}
+
+TEST(ProfilerFaults, DroppedSamplesAreCountedAndReported) {
+  support::FaultPlan plan = support::FaultPlan::parse("drop=1.0");
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 10;
+  cfg.faults = &plan;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m);
+  EXPECT_GT(profiler.sampler().dropped_samples(), 0u);
+  const core::SessionData data = profiler.snapshot();
+  // Every sample was eaten before attribution.
+  for (const core::ThreadTotals& t : data.totals) {
+    EXPECT_EQ(t.samples, 0u);
+  }
+  const bool reported = std::any_of(
+      data.degradations.begin(), data.degradations.end(),
+      [](const core::DegradationEvent& e) {
+        return e.kind == core::DegradationKind::kSampleFaults && e.value > 0;
+      });
+  EXPECT_TRUE(reported);
+}
+
+TEST(Watchdog, StarvationHalvesPeriod) {
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 1 << 20;  // will never fire in a small run
+  cfg.enable_watchdog = true;
+  cfg.watchdog.check_interval = 200;
+  cfg.watchdog.starvation_window = 500;
+  cfg.watchdog.min_period = 8;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m, 2, 3000);
+  const core::SessionData data = profiler.snapshot();
+
+  const auto retunes = std::count_if(
+      data.degradations.begin(), data.degradations.end(),
+      [](const core::DegradationEvent& e) {
+        return e.kind == core::DegradationKind::kPeriodRetuneStarvation;
+      });
+  EXPECT_GT(retunes, 0);
+  // The live sampler period actually moved down.
+  EXPECT_LT(data.sampling_period, std::uint64_t{1} << 20);
+}
+
+TEST(Watchdog, RunawayRateDoublesPeriod) {
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 1;  // every instruction: pathological overhead
+  cfg.enable_watchdog = true;
+  cfg.watchdog.check_interval = 200;
+  cfg.watchdog.max_sample_rate = 0.05;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m, 2, 3000);
+  const core::SessionData data = profiler.snapshot();
+
+  const auto retunes = std::count_if(
+      data.degradations.begin(), data.degradations.end(),
+      [](const core::DegradationEvent& e) {
+        return e.kind == core::DegradationKind::kPeriodRetuneOverhead;
+      });
+  EXPECT_GT(retunes, 0);
+  EXPECT_GT(data.sampling_period, 1u);
+}
+
+TEST(Watchdog, QuietRunRecordsNoEvents) {
+  Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 50;  // healthy rate for this workload size
+  cfg.enable_watchdog = true;
+  core::Profiler profiler(m, cfg);
+  run_small_workload(m);
+  const core::SessionData data = profiler.snapshot();
+  EXPECT_TRUE(data.degradations.empty());
+  EXPECT_FALSE(data.degraded());
+}
+
+}  // namespace
+}  // namespace numaprof

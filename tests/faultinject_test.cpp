@@ -1,0 +1,130 @@
+// FaultPlan: spec parsing, determinism, and the sample/stream fault hooks.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "support/faultinject.hpp"
+
+namespace numaprof::support {
+namespace {
+
+TEST(FaultSpec, EmptySpecIsDisabled) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.fails_init("ibs"));
+}
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  FaultPlan plan = FaultPlan::parse(
+      "seed=42;init-fail=ibs,pebs-ll;drop=0.5;corrupt=0.25;"
+      "spike=0.1:900;truncate=128;bitflip=3");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_TRUE(plan.fails_init("ibs"));
+  EXPECT_TRUE(plan.fails_init("pebs-ll"));
+  EXPECT_FALSE(plan.fails_init("mrk"));
+  EXPECT_FALSE(plan.fails_init("soft-ibs"));
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultSpec, WildcardFailsEveryMechanism) {
+  FaultPlan plan = FaultPlan::parse("init-fail=*");
+  for (const char* name :
+       {"ibs", "mrk", "pebs", "dear", "pebs-ll", "soft-ibs"}) {
+    EXPECT_TRUE(plan.fails_init(name)) << name;
+  }
+}
+
+TEST(FaultSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(FaultPlan::parse("unknown-key=1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop=nope"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop=1.5"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop=-0.1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("spike=0.5"), FaultSpecError);  // no cycles
+  EXPECT_THROW(FaultPlan::parse("seed="), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("justnoise"), FaultSpecError);
+}
+
+TEST(FaultSpec, FromEnvReadsAndValidates) {
+  ::unsetenv("NUMAPROF_FAULTS");
+  EXPECT_FALSE(FaultPlan::from_env().enabled());
+  ::setenv("NUMAPROF_FAULTS", "seed=9;drop=0.5", 1);
+  const FaultPlan plan = FaultPlan::from_env();
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed(), 9u);
+  ::setenv("NUMAPROF_FAULTS", "bogus=1", 1);
+  EXPECT_THROW(FaultPlan::from_env(), FaultSpecError);
+  ::unsetenv("NUMAPROF_FAULTS");
+}
+
+TEST(FaultPlanDeterminism, SameSeedSameDecisions) {
+  FaultPlan a = FaultPlan::parse("seed=7;drop=0.5");
+  FaultPlan b = FaultPlan::parse("seed=7;drop=0.5");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.drop_sample(), b.drop_sample()) << "decision " << i;
+  }
+  EXPECT_EQ(a.counters().dropped_samples, b.counters().dropped_samples);
+}
+
+TEST(FaultPlanDeterminism, ProbabilityExtremes) {
+  FaultPlan always = FaultPlan::parse("drop=1.0;corrupt=1.0;spike=1.0:500");
+  FaultPlan never = FaultPlan::parse("drop=0.0");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(always.drop_sample());
+    EXPECT_TRUE(always.corrupt_sample());
+    const auto spike = always.latency_outlier();
+    ASSERT_TRUE(spike.has_value());
+    EXPECT_EQ(*spike, 500u);
+    EXPECT_FALSE(never.drop_sample());
+    EXPECT_FALSE(never.latency_outlier().has_value());
+  }
+  EXPECT_EQ(always.counters().dropped_samples, 50u);
+  EXPECT_EQ(always.counters().latency_spikes, 50u);
+  EXPECT_EQ(never.counters().dropped_samples, 0u);
+}
+
+TEST(FaultPlanStreams, TruncateCutsAtOffset) {
+  FaultPlan plan = FaultPlan::parse("truncate=10");
+  const std::string out = plan.mutate_stream("0123456789ABCDEF");
+  EXPECT_EQ(out, "0123456789");
+  EXPECT_EQ(plan.counters().stream_truncations, 1u);
+  // Truncation beyond the end is a no-op.
+  FaultPlan big = FaultPlan::parse("truncate=1000");
+  EXPECT_EQ(big.mutate_stream("short"), "short");
+}
+
+TEST(FaultPlanStreams, BitflipChangesAtMostNBits) {
+  FaultPlan plan = FaultPlan::parse("seed=3;bitflip=4");
+  const std::string original(64, 'a');
+  const std::string mutated = plan.mutate_stream(original);
+  ASSERT_EQ(mutated.size(), original.size());
+  int bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(original[i]) ^
+                         static_cast<unsigned char>(mutated[i]);
+    while (diff) {
+      bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_GT(bits, 0);
+  EXPECT_LE(bits, 4);
+  EXPECT_EQ(plan.counters().stream_bitflips, 4u);
+}
+
+TEST(FaultPlanStreams, MutationIsDeterministicPerSeed) {
+  FaultPlan a = FaultPlan::parse("seed=11;bitflip=8");
+  FaultPlan b = FaultPlan::parse("seed=11;bitflip=8");
+  const std::string payload(256, 'x');
+  EXPECT_EQ(a.mutate_stream(payload), b.mutate_stream(payload));
+}
+
+TEST(FaultPlanCounters, ScrambleChangesValue) {
+  FaultPlan plan = FaultPlan::parse("corrupt=1.0");
+  const std::uint64_t scrambled = plan.scramble(0x1234u);
+  EXPECT_NE(scrambled, 0x1234u);
+}
+
+}  // namespace
+}  // namespace numaprof::support

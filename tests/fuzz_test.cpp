@@ -7,10 +7,12 @@
 #include <sstream>
 
 #include "apps/common.hpp"
+#include "core/analyzer.hpp"
 #include "core/profile_io.hpp"
 #include "core/profiler.hpp"
 #include "numasim/topology.hpp"
 #include "simos/heap.hpp"
+#include "support/faultinject.hpp"
 #include "support/rng.hpp"
 
 namespace numaprof {
@@ -166,6 +168,76 @@ TEST(ProfileIoFuzz, CorruptedInputNeverCrashes) {
   }
   EXPECT_EQ(threw + loaded, 300);
   EXPECT_GT(threw, 100);  // most corruptions are detected
+}
+
+/// The fault injector's stream faults (truncation + bit flips) drive both
+/// load modes over the same corrupted bytes. Strict must throw a typed
+/// ProfileError or load; lenient must (almost) always return, and any
+/// partial SessionData it returns must uphold the analyzer's invariants.
+TEST(ProfileIoFuzz, FaultInjectedStreamsStrictAndLenient) {
+  simrt::Machine m(numasim::test_machine(2, 2));
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 25;
+  core::Profiler profiler(m, cfg);
+  parallel_region(m, 2, "w", {},
+                  [&](simrt::SimThread& t, std::uint32_t i) -> simrt::Task {
+                    const simos::VAddr v = t.malloc(4096, "x");
+                    for (int k = 0; k < 200; ++k) {
+                      t.load(v + ((i + k) % 512) * 8);
+                    }
+                    co_return;
+                  });
+  std::stringstream out;
+  core::save_profile(profiler.snapshot(), out);
+  const std::string good = out.str();
+
+  int lenient_returned = 0, lenient_threw = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Alternate truncation and bit flips, all seeded through the plan.
+    const std::string spec =
+        trial % 2 == 0
+            ? "seed=" + std::to_string(trial) + ";bitflip=8"
+            : "seed=" + std::to_string(trial) + ";truncate=" +
+                  std::to_string((trial * 977) % good.size());
+    support::FaultPlan plan = support::FaultPlan::parse(spec);
+    const std::string bad = plan.mutate_stream(good);
+
+    // Strict: a typed error naming field and line, or a clean load.
+    std::stringstream strict_in(bad);
+    try {
+      (void)core::load_profile(strict_in);
+    } catch (const core::ProfileError& e) {
+      EXPECT_FALSE(e.field().empty()) << spec;
+    }
+
+    // Lenient: returns partial data unless the header itself is destroyed.
+    std::stringstream lenient_in(bad);
+    try {
+      const core::LoadResult result =
+          core::load_profile(lenient_in, core::LoadOptions{.lenient = true});
+      ++lenient_returned;
+      const core::SessionData& d = result.data;
+      ASSERT_EQ(d.stores.size(), d.totals.size()) << spec;
+      for (const core::ThreadTotals& t : d.totals) {
+        ASSERT_EQ(t.per_domain.size(), d.domain_count) << spec;
+      }
+      for (const core::Variable& v : d.variables) {
+        ASSERT_LT(v.variable_node, d.cct.size()) << spec;
+      }
+      for (const core::FirstTouchRecord& r : d.first_touches) {
+        ASSERT_LT(r.node, d.cct.size()) << spec;
+      }
+      // The partial data must be analyzable end-to-end.
+      const core::Analyzer analyzer(d);
+      (void)analyzer.program();
+    } catch (const core::ProfileError&) {
+      ++lenient_threw;  // header (magic/version) was hit: not a profile
+    }
+  }
+  EXPECT_EQ(lenient_returned + lenient_threw, 200);
+  // Damage rarely lands on the first line; lenient mode recovers the rest.
+  EXPECT_GT(lenient_returned, 150);
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// Per-thread measurement shards and the analyzer-side multi-file merge:
+// shard round-trip equivalence, lenient skipping of damaged files (with
+// the skip surfaced in reports), strict typed errors, and the quorum.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/report.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+#include "support/faultinject.hpp"
+
+namespace numaprof::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+using simrt::Machine;
+using simrt::SimThread;
+using simrt::Task;
+
+SessionData shard_session() {
+  Machine m(numasim::test_machine(2, 2));
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 10;
+  Profiler profiler(m, cfg);
+  simos::VAddr data = 0;
+  parallel_region(m, 1, "init", {},
+                  [&](SimThread& t, std::uint32_t) -> Task {
+                    data = t.malloc(8 * simos::kPageBytes, "shared");
+                    for (std::uint64_t i = 0; i < 8 * simos::kPageBytes;
+                         i += 64) {
+                      t.store(data + i);
+                    }
+                    co_return;
+                  });
+  parallel_region(m, 4, "work", {},
+                  [&](SimThread& t, std::uint32_t index) -> Task {
+                    for (std::uint64_t i = 0; i < 1024; ++i) {
+                      t.load(data + ((index * 1024 + i) * 64) %
+                                        (8 * simos::kPageBytes));
+                      co_await t.tick();
+                    }
+                  });
+  return profiler.snapshot();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Damages `path` with the fault injector's stream faults.
+void damage_file(const std::string& path, const std::string& fault_spec) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  support::FaultPlan plan = support::FaultPlan::parse(fault_spec);
+  std::ofstream out(path, std::ios::trunc);
+  out << plan.mutate_stream(buffer.str());
+}
+
+TEST(ThreadShards, MergeReassemblesTheSession) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_roundtrip");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  ASSERT_EQ(paths.size(), original.totals.size());
+
+  const MergeResult merged = merge_profile_files(paths);
+  EXPECT_EQ(merged.summary.files_total, paths.size());
+  EXPECT_EQ(merged.summary.files_merged, paths.size());
+  EXPECT_TRUE(merged.summary.skipped.empty());
+
+  // The merged session analyzes identically to the live one.
+  const Analyzer live(original);
+  const Analyzer rebuilt(merged.data);
+  EXPECT_EQ(live.program().samples, rebuilt.program().samples);
+  EXPECT_EQ(live.program().match, rebuilt.program().match);
+  EXPECT_EQ(live.program().mismatch, rebuilt.program().mismatch);
+  EXPECT_DOUBLE_EQ(live.program().remote_latency,
+                   rebuilt.program().remote_latency);
+  EXPECT_EQ(live.program().instructions, rebuilt.program().instructions);
+  EXPECT_EQ(merged.data.address_centric.entry_count(),
+            original.address_centric.entry_count());
+  EXPECT_EQ(merged.data.first_touches.size(), original.first_touches.size());
+  EXPECT_EQ(merged.data.trace.size(), original.trace.size());
+  ASSERT_EQ(live.variables().size(), rebuilt.variables().size());
+  for (std::size_t i = 0; i < live.variables().size(); ++i) {
+    EXPECT_EQ(live.variables()[i].name, rebuilt.variables()[i].name);
+    EXPECT_EQ(live.variables()[i].samples, rebuilt.variables()[i].samples);
+    EXPECT_EQ(live.variables()[i].mismatch, rebuilt.variables()[i].mismatch);
+  }
+}
+
+TEST(ThreadShards, LenientMergeSkipsOneDamagedShard) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_lenient");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  ASSERT_GE(paths.size(), 3u);
+  // Truncate one per-thread file mid-stream via the fault injector.
+  damage_file(paths[1], "truncate=100");
+
+  MergeOptions options;
+  options.load.lenient = true;
+  const MergeResult merged = merge_profile_files(paths, options);
+  EXPECT_EQ(merged.summary.files_total, paths.size());
+  // The damaged shard still loads partially in lenient mode (its header
+  // survives truncation at byte 100 or it is skipped outright); either
+  // way the merge completes and accounts for every file.
+  EXPECT_EQ(merged.summary.files_merged + merged.summary.skipped.size(),
+            paths.size());
+  EXPECT_GE(merged.summary.files_merged, paths.size() - 1);
+
+  // The run completes end-to-end: the merged data analyzes and reports.
+  const Analyzer analyzer(merged.data);
+  const Viewer viewer(analyzer);
+  EXPECT_FALSE(viewer.program_summary().empty());
+}
+
+TEST(ThreadShards, LenientMergeSkipsUnreadableShardAndReportsIt) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_skip");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  ASSERT_GE(paths.size(), 3u);
+  // Destroy the header so even the lenient loader must give up on it.
+  damage_file(paths[1], "truncate=4");
+
+  MergeOptions options;
+  options.load.lenient = true;
+  const MergeResult merged = merge_profile_files(paths, options);
+  EXPECT_EQ(merged.summary.files_merged, paths.size() - 1);
+  ASSERT_EQ(merged.summary.skipped.size(), 1u);
+  EXPECT_EQ(merged.summary.skipped.front().path, paths[1]);
+
+  // The skip is carried into the merged data as a degradation event...
+  const bool flagged = std::any_of(
+      merged.data.degradations.begin(), merged.data.degradations.end(),
+      [&](const DegradationEvent& e) {
+        return e.kind == DegradationKind::kProfileFileSkipped &&
+               e.detail.find(paths[1]) != std::string::npos;
+      });
+  EXPECT_TRUE(flagged);
+
+  // ...and surfaces in the viewer and the written report.
+  const Analyzer analyzer(merged.data);
+  const Viewer viewer(analyzer);
+  const std::string health = viewer.collection_health();
+  EXPECT_NE(health.find("profile-file-skipped"), std::string::npos);
+  EXPECT_NE(health.find("skipped during the merge"), std::string::npos);
+
+  const std::string report_dir = fresh_dir("numaprof_shards_skip_report");
+  const std::string main_file = write_report(analyzer, report_dir);
+  std::ifstream report(main_file);
+  std::stringstream contents;
+  contents << report.rdbuf();
+  EXPECT_NE(contents.str().find("collection health"), std::string::npos);
+  EXPECT_NE(contents.str().find("profile-file-skipped"), std::string::npos);
+}
+
+TEST(ThreadShards, StrictMergeThrowsTypedErrorNamingTheField) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_strict");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  damage_file(paths[0], "truncate=100");
+
+  try {
+    merge_profile_files(paths);
+    FAIL() << "strict merge must throw on a damaged shard";
+  } catch (const ProfileError& e) {
+    EXPECT_FALSE(e.field().empty());
+    EXPECT_NE(std::string(e.what()).find(paths[0]), std::string::npos);
+  }
+}
+
+TEST(ThreadShards, QuorumFailureThrowsEvenInLenientMode) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_quorum");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  ASSERT_GE(paths.size(), 3u);
+  // Destroy all but the first file's headers.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    damage_file(paths[i], "truncate=4");
+  }
+  MergeOptions options;
+  options.load.lenient = true;
+  options.min_quorum = 0.5;
+  EXPECT_THROW(merge_profile_files(paths, options), ProfileError);
+}
+
+TEST(ThreadShards, EmptyInputListThrows) {
+  EXPECT_THROW(merge_profile_files({}), ProfileError);
+}
+
+TEST(ThreadShards, MissingFileIsSkippedLeniently) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_missing");
+  std::vector<std::string> paths = save_thread_shards(original, dir);
+  paths.push_back(dir + "/does_not_exist.prof");
+
+  MergeOptions options;
+  options.load.lenient = true;
+  const MergeResult merged = merge_profile_files(paths, options);
+  EXPECT_EQ(merged.summary.files_merged, paths.size() - 1);
+  EXPECT_EQ(merged.summary.skipped.size(), 1u);
+}
+
+TEST(ThreadShards, IncompatibleProfileIsSkippedWithReason) {
+  const SessionData original = shard_session();
+  const std::string dir = fresh_dir("numaprof_shards_incompat");
+  std::vector<std::string> paths = save_thread_shards(original, dir);
+
+  // A structurally different profile (different machine) cannot be summed.
+  SessionData other = original;
+  other.domain_count += 2;
+  for (auto& t : other.totals) t.per_domain.resize(other.domain_count, 0);
+  other.stores.assign(other.totals.size(), MetricStore(other.domain_count));
+  const std::string alien = dir + "/alien.prof";
+  save_profile_file(other, alien);
+  paths.push_back(alien);
+
+  MergeOptions options;
+  options.load.lenient = true;
+  const MergeResult merged = merge_profile_files(paths, options);
+  ASSERT_EQ(merged.summary.skipped.size(), 1u);
+  EXPECT_EQ(merged.summary.skipped.front().path, alien);
+  EXPECT_NE(merged.summary.skipped.front().reason.find("domain count"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -132,5 +132,171 @@ TEST(ProfileIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(ProfileIo, RejectsOutOfRangeMechanismEnum) {
+  std::stringstream in(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "sampling 99 100 0\n"
+      "end\n");
+  try {
+    load_profile(in);
+    FAIL() << "enum out of range must not be cast blindly";
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "mechanism");
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(ProfileIo, RejectsOutOfRangeFrameKind) {
+  std::stringstream in(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "frames 1\n"
+      "7 10 f file.c\n"
+      "end\n");
+  try {
+    load_profile(in);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "frame kind");
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
+TEST(ProfileIo, RejectsOutOfRangeCctAndVariableKinds) {
+  std::stringstream cct_in(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "cct 2\n"
+      "0 42 0\n"
+      "end\n");
+  try {
+    load_profile(cct_in);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "cct kind");
+  }
+  std::stringstream var_in(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "variables 1\n"
+      "200 0 8 1 0 0 1 name\n"
+      "end\n");
+  try {
+    load_profile(var_in);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "var kind");
+  }
+}
+
+TEST(ProfileIo, RejectsDanglingCrossReferences) {
+  // A CCT parent that does not exist yet.
+  std::stringstream bad_parent(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "cct 2\n"
+      "900 1 0\n"
+      "end\n");
+  try {
+    load_profile(bad_parent);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "cct parent");
+  }
+  // A variable anchored at a CCT node that was never created.
+  std::stringstream bad_node(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "variables 1\n"
+      "0 0 8 1 500 0 1 name\n"
+      "end\n");
+  try {
+    load_profile(bad_node);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "var node");
+  }
+}
+
+TEST(ProfileIo, BoundsHostileCountsBeforeReserving) {
+  // A counts field far beyond both the limit and the stream size must be
+  // rejected up front, not fed to reserve().
+  std::stringstream in(
+      "numaprof-profile 3\n"
+      "machine 2 4 box\n"
+      "frames 1099511627776\n"
+      "end\n");
+  try {
+    load_profile(in);
+    FAIL();
+  } catch (const ProfileError& e) {
+    EXPECT_EQ(e.field(), "frame count");
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"), std::string::npos);
+  }
+}
+
+TEST(ProfileIo, LenientLoadReturnsPartialDataWithDiagnostics) {
+  const SessionData original = small_session();
+  std::stringstream out;
+  save_profile(original, out);
+  std::string text = out.str();
+  // Sabotage the variables section header; everything else stays intact.
+  const std::size_t pos = text.find("\nvariables ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 11, "\nvariables X");
+
+  std::stringstream in(text);
+  const LoadResult result = load_profile(in, LoadOptions{.lenient = true});
+  EXPECT_FALSE(result.complete);
+  EXPECT_FALSE(result.diagnostics.empty());
+  // Sections before and after the damage survived.
+  EXPECT_EQ(result.data.frames.size(), original.frames.size());
+  EXPECT_EQ(result.data.cct.size(), original.cct.size());
+  EXPECT_EQ(result.data.totals.size(), original.totals.size());
+  EXPECT_EQ(result.data.stores.size(), result.data.totals.size());
+  // The sabotaged section is what was lost.
+  EXPECT_TRUE(result.data.variables.empty());
+
+  // Strict mode refuses the same stream.
+  std::stringstream strict_in(text);
+  EXPECT_THROW(load_profile(strict_in), ProfileError);
+}
+
+TEST(ProfileIo, LenientLoadOfCleanStreamIsComplete) {
+  const SessionData original = small_session();
+  std::stringstream stream;
+  save_profile(original, stream);
+  const LoadResult result =
+      load_profile(stream, LoadOptions{.lenient = true});
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.data.cct.size(), original.cct.size());
+}
+
+TEST(ProfileIo, ProfileErrorCarriesFieldAndLine) {
+  const ProfileError error("widget", 17, "looks wrong");
+  EXPECT_EQ(error.field(), "widget");
+  EXPECT_EQ(error.line(), 17u);
+  const std::string what = error.what();
+  EXPECT_NE(what.find("widget"), std::string::npos);
+  EXPECT_NE(what.find("17"), std::string::npos);
+  EXPECT_NE(what.find("looks wrong"), std::string::npos);
+}
+
+TEST(ProfileIo, AcceptsVersion2StreamsWithoutHealthSections) {
+  // A v2 header (the previous format) with no requested/degradations
+  // sections still loads; requested defaults to the collecting mechanism.
+  std::stringstream in(
+      "numaprof-profile 2\n"
+      "machine 2 4 box\n"
+      "sampling 5 100 0\n"
+      "end\n");
+  const SessionData data = load_profile(in);
+  EXPECT_EQ(data.mechanism, pmu::Mechanism::kSoftIbs);
+  EXPECT_EQ(data.requested_mechanism, pmu::Mechanism::kSoftIbs);
+  EXPECT_TRUE(data.degradations.empty());
+}
+
 }  // namespace
 }  // namespace numaprof::core
