@@ -31,3 +31,8 @@ add_executable(micro_tool_paths ${CMAKE_SOURCE_DIR}/bench/micro_tool_paths.cpp)
 target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core benchmark::benchmark benchmark::benchmark_main)
 set_target_properties(micro_tool_paths PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
+
+add_executable(micro_lint ${CMAKE_SOURCE_DIR}/bench/micro_lint.cpp)
+target_link_libraries(micro_lint PRIVATE numaprof_lint benchmark::benchmark benchmark::benchmark_main)
+set_target_properties(micro_lint PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})

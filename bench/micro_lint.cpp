@@ -1,0 +1,115 @@
+// Microbenchmarks of the numalint static pass (google-benchmark).
+//
+// numalint is meant to run casually over whole source trees (pre-commit,
+// CI), so lexing and recognition throughput matter. These benchmarks
+// synthesize translation units of scaling size from realistic fragments
+// (both recognized idioms) and report tokens/lines processed per second.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "lint/lexer.hpp"
+#include "lint/numalint.hpp"
+
+namespace {
+
+using namespace numaprof;
+
+/// Synthesizes a translation unit with `blocks` repetitions of a
+/// realistic workload fragment: a serially-initialized array, a parallel
+/// consumer region, and a per-thread counter (exercises L1/L2 paths).
+std::string synthesize(int blocks) {
+  std::string src =
+      "#include <omp.h>\n"
+      "struct Slot { const char* name; double* addr; bool master; };\n";
+  for (int b = 0; b < blocks; ++b) {
+    const std::string id = std::to_string(b);
+    src += "static double grid" + id + "[1 << 16];\n"
+           "static int hits" + id + "[64];\n"
+           "void init" + id + "(long n) {\n"
+           "  for (long i = 0; i < n; ++i) grid" + id + "[i] = 0.0;\n"
+           "}\n"
+           "void work" + id + "(long n) {\n"
+           "  #pragma omp parallel for\n"
+           "  for (long i = 0; i < n; ++i) {\n"
+           "    int tid = omp_get_thread_num();\n"
+           "    grid" + id + "[i] += 1.0;\n"
+           "    hits" + id + "[tid] += 1;\n"
+           "  }\n"
+           "}\n";
+  }
+  return src;
+}
+
+/// DSL-idiom fragment: simulator workloads with policies and regions
+/// (exercises the table/lambda/policy recognizer paths).
+std::string synthesize_dsl(int blocks) {
+  std::string src;
+  for (int b = 0; b < blocks; ++b) {
+    const std::string id = std::to_string(b);
+    src += "void workload" + id +
+           "(simrt::Machine& m, const Config& cfg) {\n"
+           "  simos::PolicySpec policy" + id +
+           " = simos::PolicySpec::interleave();\n"
+           "  simos::VAddr data" + id + " = 0;\n"
+           "  parallel_region(m, 1, \"init\", 0, [&](SimThread& t, "
+           "uint32_t index) {\n"
+           "    data" + id + " = t.malloc(cfg.elements * 8, \"data" + id +
+           "\", policy" + id + ");\n"
+           "    store_lines(t, data" + id + ", 0, cfg.elements);\n"
+           "  });\n"
+           "  parallel_region(m, cfg.threads, \"compute\", 0,\n"
+           "                  [&](SimThread& t, uint32_t index) {\n"
+           "    auto [lo, hi] = block_slice(cfg.elements, index, "
+           "cfg.threads);\n"
+           "    load_lines(t, data" + id + ", lo, hi);\n"
+           "  });\n"
+           "}\n";
+  }
+  return src;
+}
+
+void BM_LexThroughput(benchmark::State& state) {
+  const std::string src = synthesize(static_cast<int>(state.range(0)));
+  std::uint64_t tokens = 0;
+  for (auto _ : state) {
+    const lint::LexResult r = lint::lex(src);
+    tokens = r.tokens.size();
+    benchmark::DoNotOptimize(r.tokens.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.counters["tokens"] = static_cast<double>(tokens);
+}
+BENCHMARK(BM_LexThroughput)->Arg(8)->Arg(64);
+
+void BM_LintOmpIdiom(benchmark::State& state) {
+  const std::string src = synthesize(static_cast<int>(state.range(0)));
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const lint::LintResult r = lint::lint_source(src, "bench.cpp");
+    findings = r.findings.size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_LintOmpIdiom)->Arg(8)->Arg(64);
+
+void BM_LintDslIdiom(benchmark::State& state) {
+  const std::string src = synthesize_dsl(static_cast<int>(state.range(0)));
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const lint::LintResult r = lint::lint_source(src, "bench.cpp");
+    findings = r.findings.size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_LintDslIdiom)->Arg(8)->Arg(64);
+
+}  // namespace

@@ -17,6 +17,11 @@
 // and reported as diagnostics instead of aborting; in --merge mode
 // unreadable files are skipped (subject to a quorum) and the report's
 // collection health section lists them.
+//
+// --lint <src>: additionally run the numalint static analyzer over the
+// given source file/directory and append a fused-findings pane joining
+// static antipatterns with the profile's dynamic evidence (docs/lint.md).
+// Everything printed WITHOUT --lint is unchanged by this flag.
 
 #include <iostream>
 #include <string>
@@ -30,6 +35,7 @@
 #include "core/profiler.hpp"
 #include "core/report.hpp"
 #include "core/viewer.hpp"
+#include "lint/numalint.hpp"
 #include "numasim/topology.hpp"
 
 using namespace numaprof;
@@ -49,7 +55,8 @@ core::SessionData demo_session() {
   return profiler.snapshot();
 }
 
-void print_analysis(const core::SessionData& data) {
+void print_analysis(const core::SessionData& data,
+                    const std::vector<std::string>& lint_paths = {}) {
   const core::Analyzer analyzer(data);
   const core::Viewer viewer(analyzer);
   std::cout << viewer.program_summary();
@@ -69,14 +76,21 @@ void print_analysis(const core::SessionData& data) {
     std::cout << rec.variable_name << ": " << to_string(rec.action) << "\n  "
               << rec.rationale << "\n";
   }
+  if (!lint_paths.empty()) {
+    const lint::LintResult linted = lint::lint_paths(lint_paths);
+    std::cout << "\n"
+              << core::render_fused_findings(
+                     core::fuse_findings(advisor, linted.findings));
+  }
 }
 
 int usage() {
-  std::cerr << "usage: analyze_profile [--lenient] <profile-file> "
-               "[report-dir]\n"
-               "       analyze_profile [--lenient] --merge <file>...\n"
+  std::cerr << "usage: analyze_profile [--lenient] [--lint <src>] "
+               "<profile-file> [report-dir]\n"
+               "       analyze_profile [--lenient] [--lint <src>] --merge "
+               "<file>...\n"
                "       analyze_profile --diff <before> <after>\n"
-               "       analyze_profile --selftest\n";
+               "       analyze_profile [--lint <src>] --selftest\n";
   return 2;
 }
 
@@ -86,13 +100,23 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
     bool lenient = false;
-    if (!args.empty() && args.front() == "--lenient") {
-      lenient = true;
-      args.erase(args.begin());
+    std::vector<std::string> lint_sources;
+    for (bool matched = true; matched && !args.empty();) {
+      matched = false;
+      if (args.front() == "--lenient") {
+        lenient = true;
+        args.erase(args.begin());
+        matched = true;
+      } else if (args.front() == "--lint") {
+        if (args.size() < 2) return usage();
+        lint_sources.push_back(args[1]);
+        args.erase(args.begin(), args.begin() + 2);
+        matched = true;
+      }
     }
     if (!args.empty() && args.front() == "--selftest") {
       const core::SessionData data = demo_session();
-      print_analysis(data);
+      print_analysis(data, lint_sources);
       return 0;
     }
     if (args.size() >= 3 && args.front() == "--diff") {
@@ -118,7 +142,7 @@ int main(int argc, char** argv) {
         std::cout << "  diagnostic " << d.field << " (line " << d.line
                   << "): " << d.message << "\n";
       }
-      print_analysis(merged.data);
+      print_analysis(merged.data, lint_sources);
       return 0;
     }
     if (args.empty()) return usage();
@@ -136,7 +160,7 @@ int main(int argc, char** argv) {
       const std::string main_file = core::write_report(analyzer, args[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(loaded.data);
+      print_analysis(loaded.data, lint_sources);
     }
     return 0;
   } catch (const std::exception& error) {

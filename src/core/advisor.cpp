@@ -26,6 +26,26 @@ std::string_view to_string(Action a) noexcept {
     case Action::kInterleave: return "interleave";
     case Action::kRegroupAos: return "regroup-AoS+parallel-init";
     case Action::kColocate: return "colocate-single-domain";
+    case Action::kPadAlign: return "pad-align-to-cache-line";
+  }
+  return "?";
+}
+
+std::string_view to_string(LintKind k) noexcept {
+  switch (k) {
+    case LintKind::kSerialFirstTouch: return "serial-first-touch";
+    case LintKind::kFalseSharing: return "false-sharing-layout";
+    case LintKind::kStackEscape: return "stack-escape";
+    case LintKind::kInterleaveMisuse: return "interleave-misuse";
+  }
+  return "?";
+}
+
+std::string_view to_string(FusionConfidence c) noexcept {
+  switch (c) {
+    case FusionConfidence::kConfirmed: return "confirmed";
+    case FusionConfidence::kStaticOnly: return "static-only";
+    case FusionConfidence::kDynamicOnly: return "dynamic-only";
   }
   return "?";
 }
@@ -252,6 +272,155 @@ std::vector<Recommendation> Advisor::recommend_all(std::size_t top_n) const {
     recs.push_back(recommend(report.id));
   }
   return recs;
+}
+
+namespace {
+
+/// AMG decorates per-level variables "x_vec_L2"; they join their base
+/// name's static finding (same source line, another coarsening level).
+std::string strip_level_suffix(std::string_view name) {
+  const std::size_t pos = name.rfind("_L");
+  if (pos == std::string_view::npos || pos + 2 >= name.size()) {
+    return std::string(name);
+  }
+  for (std::size_t i = pos + 2; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::string(name);
+  }
+  return std::string(name.substr(0, pos));
+}
+
+/// Kind priority when several static findings name one variable: the
+/// first-touch bug class carries the actionable fix, layout issues next.
+int lint_kind_rank(LintKind k) noexcept {
+  switch (k) {
+    case LintKind::kSerialFirstTouch: return 0;
+    case LintKind::kStackEscape: return 1;
+    case LintKind::kInterleaveMisuse: return 2;
+    case LintKind::kFalseSharing: return 3;
+  }
+  return 4;
+}
+
+const StaticFinding& representative(const std::vector<StaticFinding>& group) {
+  const StaticFinding* best = &group.front();
+  for (const StaticFinding& f : group) {
+    if (lint_kind_rank(f.kind) < lint_kind_rank(best->kind)) best = &f;
+  }
+  return *best;
+}
+
+}  // namespace
+
+std::vector<FusedFinding> fuse_findings(const Advisor& advisor,
+                                        const std::vector<StaticFinding>& statics,
+                                        const FusionOptions& options) {
+  // Group static findings by variable, preserving source order.
+  std::vector<std::string> static_order;
+  std::map<std::string, std::vector<StaticFinding>> by_name;
+  for (const StaticFinding& f : statics) {
+    auto [it, inserted] = by_name.try_emplace(f.variable);
+    if (inserted) static_order.push_back(f.variable);
+    it->second.push_back(f);
+  }
+
+  std::vector<FusedFinding> fused;
+  std::map<std::string, bool> static_used;
+
+  for (const Recommendation& rec : advisor.recommend_all(options.top_n)) {
+    FusedFinding f;
+    f.variable = rec.variable_name;
+    f.dynamic_evidence = rec;
+    f.severity_warrants = rec.severity_warrants;
+
+    auto it = by_name.find(rec.variable_name);
+    if (it == by_name.end()) it = by_name.find(strip_level_suffix(rec.variable_name));
+
+    std::ostringstream why;
+    if (it != by_name.end()) {
+      // Static + dynamic witnesses for the same variable.
+      static_used[it->first] = true;
+      f.confidence = FusionConfidence::kConfirmed;
+      f.static_evidence = it->second;
+      const StaticFinding& rep = representative(it->second);
+      f.patterns_agree = rep.suggested == rec.action ||
+                         rep.expected == rec.guiding.kind;
+      // The run's observed pattern is ground truth for WHERE the data
+      // should live; the source is ground truth for WHERE to apply the
+      // edit — except when the run only ever saw one thread (or nothing
+      // actionable), where the static structure fills the gap.
+      const bool dynamic_actionable =
+          rec.action != Action::kNone &&
+          rec.guiding.kind != PatternKind::kSingleThread;
+      f.action = dynamic_actionable ? rec.action : rep.suggested;
+      why << to_string(rep.kind) << " at " << rep.file << ":" << rep.line
+          << " corroborated by the profile (observed "
+          << to_string(rec.guiding.kind) << ")";
+      if (f.patterns_agree) {
+        why << "; static and dynamic evidence agree on "
+            << to_string(f.action);
+      } else if (dynamic_actionable) {
+        why << "; dynamic evidence prefers " << to_string(rec.action)
+            << " over the static suggestion " << to_string(rep.suggested);
+      } else {
+        why << "; run saw too little to act on, using the static suggestion "
+            << to_string(rep.suggested);
+      }
+    } else {
+      f.confidence = FusionConfidence::kDynamicOnly;
+      if (rec.guiding.kind == PatternKind::kSingleThread) {
+        // A single observed thread with no static evidence of sharing is
+        // not worth a placement fix: first touch already homed the pages
+        // with their only user.
+        f.action = Action::kNone;
+        why << "only one thread observed and no static finding names this "
+               "variable; no fix recommended";
+      } else {
+        f.action = rec.action;
+        why << "profile-only evidence (observed "
+            << to_string(rec.guiding.kind)
+            << "); no static finding names this variable";
+      }
+    }
+    if (!f.severity_warrants) {
+      why << "; program lpi_NUMA is below the " << kLpiThreshold
+          << " threshold, fix unlikely to pay off";
+    }
+    f.rationale = why.str();
+    fused.push_back(std::move(f));
+  }
+
+  // Static findings the profile never corroborated, in source order.
+  for (const std::string& name : static_order) {
+    if (static_used[name]) continue;
+    const std::vector<StaticFinding>& group = by_name[name];
+    FusedFinding f;
+    f.variable = name;
+    f.confidence = FusionConfidence::kStaticOnly;
+    f.static_evidence = group;
+    const StaticFinding& rep = representative(group);
+    f.action = rep.suggested;
+    std::ostringstream why;
+    why << to_string(rep.kind) << " at " << rep.file << ":" << rep.line
+        << " not corroborated by the profile (variable unsampled or below "
+           "the top-" << options.top_n << " NUMA cost cut)";
+    f.rationale = why.str();
+    fused.push_back(std::move(f));
+  }
+  // Confidence-rank: confirmed, then dynamic-only, then static-only; the
+  // stable sort preserves dynamic rank / source order within each band.
+  const auto band = [](const FusedFinding& f) {
+    switch (f.confidence) {
+      case FusionConfidence::kConfirmed: return 0;
+      case FusionConfidence::kDynamicOnly: return 1;
+      case FusionConfidence::kStaticOnly: return 2;
+    }
+    return 3;
+  };
+  std::stable_sort(fused.begin(), fused.end(),
+                   [&](const FusedFinding& a, const FusedFinding& b) {
+                     return band(a) < band(b);
+                   });
+  return fused;
 }
 
 }  // namespace numaprof::core

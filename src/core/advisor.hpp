@@ -44,6 +44,8 @@ enum class Action : std::uint8_t {
   kRegroupAos,           // regroup sections into an array-of-structures,
                          // then parallel first touch
   kColocate,             // bind the variable to its single user's domain
+  kPadAlign,             // pad/align per-thread data to cache-line size
+                         // (false-sharing layouts; static-analysis only)
 };
 
 std::string_view to_string(Action a) noexcept;
@@ -97,5 +99,84 @@ class Advisor {
 
   const Analyzer* analyzer_;
 };
+
+// --- Static findings + fusion with dynamic evidence (numalint) ----------
+//
+// The numalint static pass (src/lint) discovers NUMA antipatterns in the
+// source before any profiling run; the fusion layer below joins those
+// findings with the data-centric dynamic evidence by variable name so the
+// advisor can rank a recommendation by how many independent witnesses
+// support it. Static findings reuse the Action/PatternKind vocabulary so
+// that "what the source says should happen" and "what the run observed"
+// are directly comparable.
+
+/// The static antipattern catalog (see docs/lint.md).
+enum class LintKind : std::uint8_t {
+  kSerialFirstTouch,  // L1: serial init, parallel consumption (§6, §8.1/8.2)
+  kFalseSharing,      // L2: per-thread-written fields packed in one line
+  kStackEscape,       // L3: stack array escapes into a parallel region (§6)
+  kInterleaveMisuse,  // L4: interleaving an array with natural block
+                      //     locality (the §8.1 POWER7 regression)
+};
+
+/// Number of LintKind enumerators.
+inline constexpr int kLintKindCount = 4;
+
+std::string_view to_string(LintKind k) noexcept;
+
+/// One statically-discovered antipattern instance.
+struct StaticFinding {
+  std::string file;
+  std::uint32_t line = 0;       // anchor: the serial first-touch site (L1),
+                                // the escaping access (L3), else the decl
+  std::uint32_t decl_line = 0;  // where the variable is declared/bound
+  std::string variable;         // source-level name ("x", "RAP_diag_i")
+  LintKind kind = LintKind::kSerialFirstTouch;
+  /// The per-thread access pattern the source structure predicts a
+  /// profiling run would observe for this variable.
+  PatternKind expected = PatternKind::kIrregular;
+  Action suggested = Action::kNone;
+  std::string message;
+};
+
+/// How strongly a fused recommendation is supported.
+enum class FusionConfidence : std::uint8_t {
+  kConfirmed,    // static finding + dynamic evidence agree on the variable
+  kStaticOnly,   // in the source, but the profile never sampled it
+  kDynamicOnly,  // in the profile, but no static finding names it
+};
+
+/// Number of FusionConfidence enumerators.
+inline constexpr int kFusionConfidenceCount = 3;
+
+std::string_view to_string(FusionConfidence c) noexcept;
+
+/// One confidence-ranked, fused recommendation.
+struct FusedFinding {
+  std::string variable;
+  FusionConfidence confidence = FusionConfidence::kStaticOnly;
+  Action action = Action::kNone;
+  /// Program lpi_NUMA over the 0.1 threshold (§4.2); always false for
+  /// static-only findings (no run to judge severity from).
+  bool severity_warrants = false;
+  /// Static expected pattern/action matches what the run observed.
+  bool patterns_agree = false;
+  std::vector<StaticFinding> static_evidence;
+  std::optional<Recommendation> dynamic_evidence;
+  std::string rationale;
+};
+
+struct FusionOptions {
+  std::size_t top_n = 10;  // dynamic recommendations considered
+};
+
+/// Joins static findings with the advisor's dynamic recommendations by
+/// variable name (AMG level-decorated names like "x_vec_L2" join their
+/// base name). Confirmed findings come first in dynamic rank order, then
+/// dynamic-only, then static-only in source order. Strictly additive: the
+/// plain Advisor output is not consulted differently than recommend_all.
+std::vector<FusedFinding> fuse_findings(const Advisor& advisor,
+                                        const std::vector<StaticFinding>& statics,
+                                        const FusionOptions& options = {});
 
 }  // namespace numaprof::core

@@ -326,4 +326,33 @@ std::string Viewer::trace_timeline(std::uint32_t windows) const {
   return os.str();
 }
 
+std::string render_fused_findings(const std::vector<FusedFinding>& fused) {
+  std::ostringstream os;
+  os << "-- fused findings (static lint x dynamic profile) --\n";
+  if (fused.empty()) {
+    os << "none\n";
+    return os.str();
+  }
+  for (const FusedFinding& f : fused) {
+    os << "[" << to_string(f.confidence) << "] " << f.variable << ": "
+       << to_string(f.action);
+    if (f.confidence == FusionConfidence::kConfirmed) {
+      os << (f.patterns_agree ? " (patterns agree)" : " (patterns disagree)");
+    }
+    os << "\n  " << f.rationale << "\n";
+    for (const StaticFinding& s : f.static_evidence) {
+      os << "  static: " << s.file << ":" << s.line << " ["
+         << to_string(s.kind) << "] expects " << to_string(s.expected)
+         << ", suggests " << to_string(s.suggested) << "\n";
+    }
+    if (f.dynamic_evidence.has_value()) {
+      os << "  dynamic: observed " << to_string(f.dynamic_evidence->guiding.kind)
+         << " across " << f.dynamic_evidence->guiding.threads << " thread"
+         << (f.dynamic_evidence->guiding.threads == 1 ? "" : "s")
+         << (f.severity_warrants ? "" : ", below severity threshold") << "\n";
+    }
+  }
+  return os.str();
+}
+
 }  // namespace numaprof::core

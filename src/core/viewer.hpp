@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/advisor.hpp"
 #include "core/analyzer.hpp"
 #include "support/table.hpp"
 
@@ -72,5 +73,10 @@ class Viewer {
  private:
   const Analyzer* analyzer_;
 };
+
+/// Renders confidence-ranked fused findings (core::fuse_findings) as the
+/// "-- fused findings --" pane: one block per finding with the confidence
+/// tag, the chosen action, and both evidence trails.
+std::string render_fused_findings(const std::vector<FusedFinding>& fused);
 
 }  // namespace numaprof::core

@@ -1,0 +1,172 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace numaprof::lint {
+
+std::string_view to_string(TokKind k) noexcept {
+  switch (k) {
+    case TokKind::kIdent: return "ident";
+    case TokKind::kNumber: return "number";
+    case TokKind::kString: return "string";
+    case TokKind::kChar: return "char";
+    case TokKind::kPunct: return "punct";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Multi-char punctuation, longest first within each leading char.
+constexpr std::array<std::string_view, 24> kMultiPunct = {
+    "<<=", ">>=", "->*", "...", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--"};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::uint32_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokKind kind, std::string text, std::uint32_t at) {
+    out.tokens.push_back(Token{kind, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(' && src[p] != '\n' && delim.size() < 16) {
+        delim += src[p++];
+      }
+      if (p < n && src[p] == '(') {
+        const std::string close = ")" + delim + "\"";
+        const std::size_t start = p + 1;
+        const std::size_t end = src.find(close, start);
+        const std::size_t stop = end == std::string_view::npos ? n : end;
+        std::string body(src.substr(start, stop - start));
+        const std::uint32_t at = line;
+        for (char b : body) {
+          if (b == '\n') ++line;
+        }
+        push(TokKind::kString, std::move(body), at);
+        i = stop == n ? n : stop + close.size();
+        continue;
+      }
+      // 'R' not starting a raw string: fall through as identifier below.
+    }
+    if (ident_start(c)) {
+      std::size_t p = i + 1;
+      while (p < n && ident_char(src[p])) ++p;
+      push(TokKind::kIdent, std::string(src.substr(i, p - i)), line);
+      i = p;
+      continue;
+    }
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t p = i;
+      bool hex = false;
+      if (c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        hex = true;
+        p += 2;
+      }
+      while (p < n) {
+        const char d = src[p];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          ++p;
+          continue;
+        }
+        // Exponent signs: 1e-5, 0x1p+3.
+        if ((d == '+' || d == '-') && p > i) {
+          const char prev = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(src[p - 1])));
+          if ((!hex && prev == 'e') || (hex && prev == 'p')) {
+            ++p;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, p - i)), line);
+      i = p;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string body;
+      std::size_t p = i + 1;
+      const std::uint32_t at = line;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) {
+          body += src[p + 1];
+          p += 2;
+          continue;
+        }
+        if (src[p] == '\n') ++line;  // unterminated; keep going defensively
+        body += src[p++];
+      }
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(body),
+           at);
+      i = p < n ? p + 1 : n;
+      continue;
+    }
+    // Punctuation: merge multi-char operators.
+    std::string_view matched;
+    for (std::string_view m : kMultiPunct) {
+      if (src.substr(i, m.size()) == m) {
+        matched = m;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      push(TokKind::kPunct, std::string(matched), line);
+      i += matched.size();
+    } else {
+      push(TokKind::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  out.lines = line;
+  return out;
+}
+
+}  // namespace numaprof::lint

@@ -1,0 +1,67 @@
+// numalint: a static NUMA-antipattern analyzer.
+//
+// Scans translation units with a lightweight lexer + declaration/loop/
+// parallel-region recognizer (no libclang) for the antipattern catalog of
+// docs/lint.md:
+//   L1 serial-first-touch   arrays initialized by serial code but consumed
+//                           inside parallel regions (the LULESH/AMG bug
+//                           class of §8.1/§8.2)
+//   L2 false-sharing-layout per-thread-written elements packed within one
+//                           cache line
+//   L3 stack-escape         stack arrays escaping into parallel regions
+//                           (the §6 nodelist insight)
+//   L4 interleave-misuse    interleaved allocation of arrays whose every
+//                           parallel access is block-local (the §8.1
+//                           POWER7 regression)
+//
+// Two source idioms are recognized: real OpenMP-style C/C++ (`#pragma omp
+// parallel`, local arrays, malloc/new) and this repository's simulator
+// workload DSL (`parallel_region`, `t.malloc(size, "name", policy)`,
+// `store_lines`/`t.load`/`t.store`). Findings reuse the advisor's
+// Action/PatternKind vocabulary so they fuse with dynamic profiles
+// (core::fuse_findings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/advisor.hpp"
+
+namespace numaprof::lint {
+
+struct LintStats {
+  std::uint64_t files = 0;
+  std::uint64_t lines = 0;
+  std::uint64_t tokens = 0;
+};
+
+struct LintResult {
+  std::vector<core::StaticFinding> findings;
+  LintStats stats;
+};
+
+/// Lints one in-memory translation unit. `file` is used for reporting.
+/// Never throws on malformed input.
+LintResult lint_source(std::string_view source, std::string file);
+
+/// True if `path` names a file numalint knows how to scan (.c/.cc/.cpp/
+/// .cxx/.h/.hh/.hpp).
+bool lintable_file(const std::string& path);
+
+/// Lints files and directories (recursive, deterministic order). Paths
+/// that cannot be read are skipped. Findings are sorted by
+/// (file, line, variable, kind).
+LintResult lint_paths(const std::vector<std::string>& paths);
+
+/// Short L1..L4 code for a finding kind.
+std::string_view kind_code(core::LintKind kind) noexcept;
+
+/// Human-readable rendering of findings, one block per finding:
+///   file:line [L1 serial-first-touch] variable
+///       expected <pattern>, suggest <action> (declared at line N)
+///       <message>
+std::string render_findings(const std::vector<core::StaticFinding>& findings);
+
+}  // namespace numaprof::lint

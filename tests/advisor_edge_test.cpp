@@ -1,0 +1,158 @@
+// Advisor edge cases around the §4.2 severity gate and degenerate inputs:
+// lpi_NUMA exactly at the 0.1 threshold, empty/unsampled variables, and
+// the single-thread-never-gets-a-fix rule (enforced at the fusion layer,
+// where static evidence can overrule it).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/advisor.hpp"
+#include "core/metrics.hpp"
+
+namespace numaprof::core {
+namespace {
+
+/// One-variable synthetic session (the advisor_test.cpp harness).
+struct EdgeSession {
+  explicit EdgeSession(std::uint64_t pages = 50) {
+    data.domain_count = 4;
+    data.core_count = 8;
+    data.mechanism = pmu::Mechanism::kIbs;
+
+    Variable v;
+    v.id = 0;
+    v.name = "target";
+    v.kind = VariableKind::kHeap;
+    v.start = 0x100000;
+    v.size = pages * simos::kPageBytes;
+    v.page_count = pages;
+    v.variable_node = data.cct.child(kRootNode, NodeKind::kVariable, 0);
+    data.variables.push_back(v);
+
+    data.stores.emplace_back(4);
+    data.totals.emplace_back();
+    data.totals[0].per_domain.assign(4, 0);
+    data.totals[0].samples = 1000;
+    data.totals[0].memory_samples = 800;
+    data.totals[0].mismatch = 700;
+    data.totals[0].match = 100;
+    data.totals[0].remote_latency = 200000;
+    data.totals[0].total_latency = 210000;
+    data.totals[0].instructions = 100000;
+  }
+
+  void add_range(simrt::ThreadId tid, double lo, double hi,
+                 std::uint64_t weight = 100) {
+    const Variable& v = data.variables[0];
+    const auto extent = static_cast<double>(v.extent_bytes());
+    const auto begin = static_cast<std::uint64_t>(lo * extent);
+    const auto end = static_cast<std::uint64_t>(hi * extent);
+    const std::uint64_t step = std::max<std::uint64_t>(1, (end - begin) / 16);
+    for (std::uint64_t off = begin; off < end; off += step) {
+      const std::uint32_t bin = data.address_centric.bin_of(v, v.start + off);
+      BinStats stats;
+      for (std::uint64_t w = 0; w < weight / 16 + 1; ++w) {
+        stats.update(v.start + off, 10.0);
+      }
+      data.address_centric.insert(
+          BinKey{.context = kWholeProgram, .variable = 0, .bin = bin,
+                 .tid = tid},
+          stats);
+    }
+  }
+
+  Advisor advisor() {
+    analyzer = std::make_unique<Analyzer>(data);
+    return Advisor(*analyzer);
+  }
+
+  SessionData data;
+  std::unique_ptr<Analyzer> analyzer;
+};
+
+TEST(AdvisorEdge, LpiExactlyAtThresholdDoesNotWarrant) {
+  // The §4.2 rule is a strict inequality: lpi_NUMA must EXCEED 0.1.
+  EdgeSession s;
+  s.data.totals[0].remote_latency = 100;  // lpi = 100/1000 = 0.1 exactly
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  const Advisor advisor = s.advisor();
+  ASSERT_TRUE(s.analyzer->program().lpi.has_value());
+  EXPECT_DOUBLE_EQ(*s.analyzer->program().lpi, kLpiThreshold);
+  EXPECT_FALSE(s.analyzer->program().warrants_optimization);
+  const Recommendation rec = advisor.recommend(0);
+  EXPECT_FALSE(rec.severity_warrants);
+}
+
+TEST(AdvisorEdge, LpiJustAboveThresholdWarrants) {
+  EdgeSession s;
+  s.data.totals[0].remote_latency = 101;  // lpi = 0.101
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  const Advisor advisor = s.advisor();
+  EXPECT_TRUE(s.analyzer->program().warrants_optimization);
+  EXPECT_TRUE(advisor.recommend(0).severity_warrants);
+}
+
+TEST(AdvisorEdge, UnsampledVariableGetsUnsampledPatternAndNoAction) {
+  EdgeSession s;  // no address-centric entries at all
+  const Advisor advisor = s.advisor();
+  const Recommendation rec = advisor.recommend(0);
+  EXPECT_EQ(rec.guiding.kind, PatternKind::kUnsampled);
+  EXPECT_EQ(rec.action, Action::kNone);
+  EXPECT_EQ(rec.guiding.threads, 0u);
+}
+
+TEST(AdvisorEdge, RecommendAllSkipsCostlessVariables) {
+  // A variable with no metric weight never enters the top-N ranking, so
+  // recommend_all stays empty even though the variable exists.
+  EdgeSession s;
+  const Advisor advisor = s.advisor();
+  EXPECT_TRUE(advisor.recommend_all(5).empty());
+}
+
+TEST(AdvisorEdge, EmptySessionIsHarmless) {
+  EdgeSession s;
+  s.data.variables.clear();
+  const Advisor advisor = s.advisor();
+  EXPECT_TRUE(advisor.recommend_all(5).empty());
+  EXPECT_TRUE(fuse_findings(advisor, {}).empty());
+}
+
+TEST(AdvisorEdge, SingleThreadPatternClassifiesButFusionWithholdsFix) {
+  // The plain advisor still reports colocation for a single-thread
+  // pattern (the §6 stack-variable insight: binding to the one user's
+  // domain is the right manual move). The fusion layer is where "one
+  // thread + no static evidence" must yield NO fix.
+  EdgeSession s;
+  s.add_range(3, 0.0, 0.5);
+  s.data.stores[0].add(s.data.variables[0].variable_node, kMemorySamples, 100);
+  s.data.stores[0].add(s.data.variables[0].variable_node, kNumaMismatch, 90);
+  s.data.stores[0].add(s.data.variables[0].variable_node, kRemoteLatency,
+                       9000);
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.recommend(0).action, Action::kColocate);
+
+  const auto fused = fuse_findings(advisor, {});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kDynamicOnly);
+  EXPECT_EQ(fused[0].action, Action::kNone);
+}
+
+TEST(AdvisorEdge, ZeroLatencyProfileStillClassifiesPatterns) {
+  // TLB-mechanism-style data (no latency): severity falls back to the
+  // M_r rule inside the analyzer; pattern classification is unaffected.
+  EdgeSession s;
+  s.data.totals[0].remote_latency = 0;
+  s.data.totals[0].total_latency = 0;
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(tid, tid / 8.0, (tid + 1) / 8.0);
+  }
+  const Advisor advisor = s.advisor();
+  EXPECT_EQ(advisor.classify(0).kind, PatternKind::kBlocked);
+}
+
+}  // namespace
+}  // namespace numaprof::core

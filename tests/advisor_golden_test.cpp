@@ -1,0 +1,109 @@
+// Golden-file lock on the advisor's recommendations for the four paper
+// case studies (baseline variants, §8.1-8.4). Any change to the profiler,
+// analyzer, or advisor that shifts what the tool tells the user about
+// these workloads must be deliberate: regenerate with
+// NUMAPROF_REGEN_GOLDEN=1 and review the diff.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/miniamg.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/miniumt.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof {
+namespace {
+
+core::ProfilerConfig profiler_config() {
+  core::ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  pc.event.period = 200;
+  return pc;
+}
+
+/// Renders one app's recommendations as stable text: severity verdict +
+/// "variable: action [pattern]" lines in rank order.
+std::string advise(const std::string& title, const core::SessionData& data) {
+  const core::Analyzer analyzer(data);
+  const core::Advisor advisor(analyzer);
+  std::ostringstream os;
+  os << "== " << title << " ==\n"
+     << "warrants_optimization: "
+     << (analyzer.program().warrants_optimization ? "yes" : "no") << "\n";
+  for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+    os << rec.variable_name << ": " << to_string(rec.action) << " ["
+       << to_string(rec.guiding.kind) << "]\n";
+  }
+  return os.str();
+}
+
+std::string run_all_case_studies() {
+  std::ostringstream os;
+  {
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, profiler_config());
+    apps::run_minilulesh(m, {.threads = 16,
+                             .pages_per_thread = 12,
+                             .timesteps = 6,
+                             .variant = apps::Variant::kBaseline});
+    os << advise("minilulesh baseline", p.snapshot());
+  }
+  {
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, profiler_config());
+    apps::run_miniamg(m, {.threads = 16,
+                          .rows_per_thread = 1024,
+                          .relax_sweeps = 5,
+                          .variant = apps::Variant::kBaseline});
+    os << advise("miniamg baseline", p.snapshot());
+  }
+  {
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, profiler_config());
+    apps::run_miniblackscholes(m, {.threads = 16,
+                                   .options_per_thread = 480,
+                                   .iterations = 96,
+                                   .variant = apps::Variant::kBaseline});
+    os << advise("miniblackscholes baseline", p.snapshot());
+  }
+  {
+    simrt::Machine m(numasim::amd_magny_cours());
+    core::Profiler p(m, profiler_config());
+    apps::run_miniumt(m, {.threads = 16,
+                          .angles = 32,
+                          .sweeps = 4,
+                          .variant = apps::Variant::kBaseline});
+    os << advise("miniumt baseline", p.snapshot());
+  }
+  return os.str();
+}
+
+TEST(AdvisorGolden, CaseStudyRecommendationsAreLocked) {
+  const std::string golden_path =
+      NUMAPROF_SOURCE_DIR "/tests/golden/advisor_apps.txt";
+  const std::string rendered = run_all_case_studies();
+  if (std::getenv("NUMAPROF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(rendered, buffer.str())
+      << "advisor recommendations drifted; if intentional, rerun with "
+         "NUMAPROF_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace numaprof

@@ -1,0 +1,272 @@
+// Tests for core::fuse_findings: joining numalint's static antipatterns
+// with the advisor's dynamic recommendations into confidence-ranked fused
+// findings (confirmed / dynamic-only / static-only).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/viewer.hpp"
+
+namespace numaprof::core {
+namespace {
+
+/// Synthetic SessionData with hand-crafted variables and address-centric
+/// entries (same approach as advisor_test.cpp, generalized to several
+/// variables so fusion ordering is observable).
+struct FusionSession {
+  FusionSession() {
+    data.domain_count = 4;
+    data.core_count = 8;
+    data.mechanism = pmu::Mechanism::kIbs;
+    data.stores.emplace_back(4);
+    data.totals.emplace_back();
+    data.totals[0].per_domain.assign(4, 0);
+    data.totals[0].samples = 1000;
+    data.totals[0].memory_samples = 800;
+    data.totals[0].mismatch = 700;
+    data.totals[0].match = 100;
+    data.totals[0].remote_latency = 200000;  // lpi = 200 >> 0.1
+    data.totals[0].total_latency = 210000;
+    data.totals[0].instructions = 100000;
+  }
+
+  VariableId add_variable(const std::string& name, std::uint64_t pages = 50) {
+    Variable v;
+    v.id = static_cast<VariableId>(data.variables.size());
+    v.name = name;
+    v.kind = VariableKind::kHeap;
+    v.start = 0x100000 + v.id * 0x1000000;
+    v.size = pages * simos::kPageBytes;
+    v.page_count = pages;
+    v.variable_node = data.cct.child(kRootNode, NodeKind::kVariable, v.id);
+    data.variables.push_back(v);
+    return v.id;
+  }
+
+  void add_range(VariableId var, simrt::ThreadId tid, double lo, double hi,
+                 std::uint64_t weight = 100) {
+    const Variable& v = data.variables[var];
+    const auto extent = static_cast<double>(v.extent_bytes());
+    const auto begin = static_cast<std::uint64_t>(lo * extent);
+    const auto end = static_cast<std::uint64_t>(hi * extent);
+    const std::uint64_t step = std::max<std::uint64_t>(1, (end - begin) / 16);
+    for (std::uint64_t off = begin; off < end; off += step) {
+      const std::uint32_t bin = data.address_centric.bin_of(v, v.start + off);
+      BinStats stats;
+      for (std::uint64_t w = 0; w < weight / 16 + 1; ++w) {
+        stats.update(v.start + off, 10.0);
+      }
+      data.address_centric.insert(
+          BinKey{.context = kWholeProgram, .variable = var, .bin = bin,
+                 .tid = tid},
+          stats);
+    }
+  }
+
+  /// Gives the variable NUMA cost so recommend_all ranks it; higher
+  /// weight ranks earlier.
+  void rank(VariableId var, std::uint64_t weight) {
+    const NodeId node = data.variables[var].variable_node;
+    data.stores[0].add(node, kMemorySamples, weight);
+    data.stores[0].add(node, kNumaMismatch, weight * 9 / 10);
+    data.stores[0].add(node, kRemoteLatency, weight * 90);
+  }
+
+  /// A blocked 8-thread access pattern (the advisor recommends blockwise).
+  void blocked(VariableId var) {
+    for (std::uint32_t tid = 0; tid < 8; ++tid) {
+      add_range(var, tid, tid / 8.0, (tid + 1) / 8.0);
+    }
+  }
+
+  std::vector<FusedFinding> fuse(const std::vector<StaticFinding>& statics,
+                                 const FusionOptions& options = {}) {
+    analyzer = std::make_unique<Analyzer>(data);
+    advisor = std::make_unique<Advisor>(*analyzer);
+    return fuse_findings(*advisor, statics, options);
+  }
+
+  SessionData data;
+  std::unique_ptr<Analyzer> analyzer;
+  std::unique_ptr<Advisor> advisor;
+};
+
+StaticFinding l1(const std::string& variable,
+                 Action suggested = Action::kBlockwiseFirstTouch,
+                 PatternKind expected = PatternKind::kBlocked) {
+  StaticFinding f;
+  f.file = "app.cpp";
+  f.line = 42;
+  f.decl_line = 10;
+  f.variable = variable;
+  f.kind = LintKind::kSerialFirstTouch;
+  f.expected = expected;
+  f.suggested = suggested;
+  f.message = "serially initialized";
+  return f;
+}
+
+TEST(Fusion, StaticPlusDynamicIsConfirmed) {
+  FusionSession s;
+  const VariableId target = s.add_variable("target");
+  s.blocked(target);
+  s.rank(target, 100);
+  const auto fused = s.fuse({l1("target")});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kConfirmed);
+  EXPECT_EQ(fused[0].action, Action::kBlockwiseFirstTouch);
+  EXPECT_TRUE(fused[0].patterns_agree);
+  EXPECT_TRUE(fused[0].severity_warrants);
+  ASSERT_EQ(fused[0].static_evidence.size(), 1u);
+  ASSERT_TRUE(fused[0].dynamic_evidence.has_value());
+  EXPECT_NE(fused[0].rationale.find("corroborated"), std::string::npos);
+}
+
+TEST(Fusion, DynamicActionWinsOnDisagreement) {
+  // Static pass predicted blocked/blockwise, but the run observed every
+  // thread spanning the whole range: the observed pattern decides.
+  FusionSession s;
+  const VariableId target = s.add_variable("target");
+  for (std::uint32_t tid = 0; tid < 8; ++tid) {
+    s.add_range(target, tid, 0.0, 1.0);
+  }
+  s.rank(target, 100);
+  const auto fused = s.fuse({l1("target")});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kConfirmed);
+  EXPECT_FALSE(fused[0].patterns_agree);
+  EXPECT_EQ(fused[0].action, Action::kInterleave);
+  EXPECT_NE(fused[0].rationale.find("dynamic evidence prefers"),
+            std::string::npos);
+}
+
+TEST(Fusion, StaticSuggestionFillsInWhenRunSawOneThread) {
+  // Only one thread sampled (e.g. a short run): the dynamic colocation
+  // advice is moot when the source proves multi-thread consumption, so
+  // the static suggestion carries the finding.
+  FusionSession s;
+  const VariableId target = s.add_variable("target");
+  s.add_range(target, 3, 0.0, 0.5);
+  s.rank(target, 100);
+  const auto fused = s.fuse({l1("target")});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kConfirmed);
+  EXPECT_EQ(fused[0].action, Action::kBlockwiseFirstTouch);
+  EXPECT_NE(fused[0].rationale.find("static suggestion"), std::string::npos);
+}
+
+TEST(Fusion, SingleThreadDynamicOnlyNeverRecommendsFix) {
+  // The satellite rule: a single-thread pattern with no static evidence
+  // must not produce a placement fix (first touch already co-located it).
+  FusionSession s;
+  const VariableId target = s.add_variable("target");
+  s.add_range(target, 3, 0.0, 0.5);
+  s.rank(target, 100);
+  const auto fused = s.fuse({});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kDynamicOnly);
+  EXPECT_EQ(fused[0].action, Action::kNone);
+  EXPECT_NE(fused[0].rationale.find("no fix recommended"), std::string::npos);
+}
+
+TEST(Fusion, UncorroboratedStaticFindingSurvivesAsStaticOnly) {
+  FusionSession s;  // no sampled variables at all
+  const auto fused = s.fuse({l1("cold_array", Action::kRegroupAos,
+                                PatternKind::kStaggeredOverlap)});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kStaticOnly);
+  EXPECT_EQ(fused[0].action, Action::kRegroupAos);
+  EXPECT_FALSE(fused[0].severity_warrants);
+  EXPECT_FALSE(fused[0].dynamic_evidence.has_value());
+  EXPECT_NE(fused[0].rationale.find("not corroborated"), std::string::npos);
+}
+
+TEST(Fusion, LevelDecoratedNamesJoinTheirBase) {
+  // AMG names per-level instances "x_vec_L2"; the static finding for the
+  // base declaration must still confirm them.
+  FusionSession s;
+  const VariableId v = s.add_variable("x_vec_L2");
+  s.blocked(v);
+  s.rank(v, 100);
+  const auto fused =
+      s.fuse({l1("x_vec", Action::kInterleave, PatternKind::kFullRange)});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kConfirmed);
+  EXPECT_EQ(fused[0].variable, "x_vec_L2");
+}
+
+TEST(Fusion, PlainLevelFreeNamesDoNotFalselyJoin) {
+  // "value_L" (no digits) and "x_vecL2" (no underscore) must NOT strip.
+  FusionSession s;
+  const VariableId v = s.add_variable("value_L");
+  s.blocked(v);
+  s.rank(v, 100);
+  const auto fused = s.fuse({l1("value")});
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kDynamicOnly);
+  EXPECT_EQ(fused[1].confidence, FusionConfidence::kStaticOnly);
+}
+
+TEST(Fusion, SeverityGateAnnotatesLowLpiFindings) {
+  FusionSession s;
+  s.data.totals[0].remote_latency = 100;  // lpi = 0.1 / 1000 -> below gate
+  const VariableId target = s.add_variable("target");
+  s.blocked(target);
+  s.rank(target, 100);
+  const auto fused = s.fuse({l1("target")});
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_FALSE(fused[0].severity_warrants);
+  EXPECT_NE(fused[0].rationale.find("below the 0.1 threshold"),
+            std::string::npos);
+}
+
+TEST(Fusion, ConfidenceBandsOrderTheOutput) {
+  // confirmed < dynamic-only < static-only, stable within bands.
+  FusionSession s;
+  const VariableId hot = s.add_variable("hot");
+  const VariableId warm = s.add_variable("warm");
+  s.blocked(hot);
+  s.blocked(warm);
+  s.rank(hot, 200);
+  s.rank(warm, 100);
+  const auto fused = s.fuse({l1("warm"), l1("cold")});
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused[0].variable, "warm");
+  EXPECT_EQ(fused[0].confidence, FusionConfidence::kConfirmed);
+  EXPECT_EQ(fused[1].variable, "hot");
+  EXPECT_EQ(fused[1].confidence, FusionConfidence::kDynamicOnly);
+  EXPECT_EQ(fused[2].variable, "cold");
+  EXPECT_EQ(fused[2].confidence, FusionConfidence::kStaticOnly);
+}
+
+TEST(Fusion, RenderedPaneListsEvidenceTrails) {
+  FusionSession s;
+  const VariableId target = s.add_variable("target");
+  s.blocked(target);
+  s.rank(target, 100);
+  const auto fused = s.fuse({l1("target")});
+  const std::string text = render_fused_findings(fused);
+  EXPECT_NE(text.find("-- fused findings"), std::string::npos);
+  EXPECT_NE(text.find("[confirmed] target"), std::string::npos);
+  EXPECT_NE(text.find("static: app.cpp:42"), std::string::npos);
+  EXPECT_NE(text.find("dynamic: observed blocked"), std::string::npos);
+  EXPECT_EQ(render_fused_findings({}),
+            "-- fused findings (static lint x dynamic profile) --\nnone\n");
+}
+
+TEST(Fusion, ToStringCoversEveryConfidence) {
+  EXPECT_EQ(to_string(FusionConfidence::kConfirmed), "confirmed");
+  EXPECT_EQ(to_string(FusionConfidence::kStaticOnly), "static-only");
+  EXPECT_EQ(to_string(FusionConfidence::kDynamicOnly), "dynamic-only");
+  EXPECT_EQ(to_string(LintKind::kSerialFirstTouch), "serial-first-touch");
+  EXPECT_EQ(to_string(LintKind::kFalseSharing), "false-sharing-layout");
+  EXPECT_EQ(to_string(LintKind::kStackEscape), "stack-escape");
+  EXPECT_EQ(to_string(LintKind::kInterleaveMisuse), "interleave-misuse");
+  EXPECT_EQ(to_string(Action::kPadAlign), "pad-align-to-cache-line");
+}
+
+}  // namespace
+}  // namespace numaprof::core

@@ -1,0 +1,141 @@
+// numalint over the real case-study workloads (src/apps): the static pass
+// must rediscover — with correct file/line/variable — the serial
+// first-touch antipatterns the paper found dynamically (§8), and must NOT
+// flag the worker-first-touched arrays. A golden file locks the complete
+// finding set; regenerate with NUMAPROF_REGEN_GOLDEN=1 after intentional
+// changes to the apps or the analyzer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lint/numalint.hpp"
+
+namespace numaprof::lint {
+namespace {
+
+using core::Action;
+using core::LintKind;
+using core::PatternKind;
+using core::StaticFinding;
+
+const LintResult& apps_lint() {
+  static const LintResult result =
+      lint_paths({NUMAPROF_SOURCE_DIR "/src/apps"});
+  return result;
+}
+
+const StaticFinding* find(std::string_view variable, LintKind kind) {
+  for (const StaticFinding& f : apps_lint().findings) {
+    if (f.variable == variable && f.kind == kind) return &f;
+  }
+  return nullptr;
+}
+
+TEST(LintApps, LuleshMasterInitializedMeshArraysAreL1) {
+  // §8.1: x/y/z and nodelist are initialized by the master thread and
+  // consumed blockwise by all workers. The findings must anchor at the
+  // actual serial store_lines sites in minilulesh.cpp.
+  for (const char* name : {"x", "y", "z"}) {
+    const StaticFinding* f = find(name, LintKind::kSerialFirstTouch);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->file, "minilulesh.cpp") << name;
+    EXPECT_EQ(f->line, 105u) << name;
+    EXPECT_EQ(f->expected, PatternKind::kBlocked) << name;
+    EXPECT_EQ(f->suggested, Action::kBlockwiseFirstTouch) << name;
+  }
+  EXPECT_EQ(find("x", LintKind::kSerialFirstTouch)->decl_line, 81u);
+  EXPECT_EQ(find("y", LintKind::kSerialFirstTouch)->decl_line, 82u);
+  EXPECT_EQ(find("z", LintKind::kSerialFirstTouch)->decl_line, 83u);
+
+  const StaticFinding* nodelist = find("nodelist", LintKind::kSerialFirstTouch);
+  ASSERT_NE(nodelist, nullptr);
+  EXPECT_EQ(nodelist->file, "minilulesh.cpp");
+  EXPECT_EQ(nodelist->line, 109u);
+  EXPECT_EQ(nodelist->suggested, Action::kBlockwiseFirstTouch);
+}
+
+TEST(LintApps, LuleshWriteFirstVelocityArraysAreClean) {
+  // xd/yd/zd are first-written by the workers themselves (their
+  // master_initialized slot column is false): no antipattern of any kind.
+  for (const char* name : {"xd", "yd", "zd"}) {
+    for (const StaticFinding& f : apps_lint().findings) {
+      EXPECT_NE(f.variable, name)
+          << "write-first array flagged: " << f.message;
+    }
+  }
+}
+
+TEST(LintApps, AmgCsrArraysAreL1Blockwise) {
+  // §8.2: the CSR operator arrays are master-initialized but accessed
+  // block-locally in the relax region -> blockwise first touch.
+  struct Expected {
+    const char* name;
+    std::uint32_t line;
+  };
+  for (const Expected e : {Expected{"RAP_diag_i", 131},
+                           Expected{"RAP_diag_j", 133},
+                           Expected{"RAP_diag_data", 135}}) {
+    const StaticFinding* f = find(e.name, LintKind::kSerialFirstTouch);
+    ASSERT_NE(f, nullptr) << e.name;
+    EXPECT_EQ(f->file, "miniamg.cpp") << e.name;
+    EXPECT_EQ(f->line, e.line) << e.name;
+    EXPECT_EQ(f->suggested, Action::kBlockwiseFirstTouch) << e.name;
+  }
+}
+
+TEST(LintApps, AmgIndirectVectorsSuggestInterleaveNotBlockwise) {
+  // x_vec/z_aux are read through column indirection by every thread:
+  // the paper's fix interleaves them (§8.2), and interleave-misuse must
+  // NOT fire for them.
+  for (const char* name : {"x_vec", "z_aux"}) {
+    const StaticFinding* f = find(name, LintKind::kSerialFirstTouch);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->expected, PatternKind::kFullRange) << name;
+    EXPECT_EQ(f->suggested, Action::kInterleave) << name;
+    EXPECT_EQ(find(name, LintKind::kInterleaveMisuse), nullptr) << name;
+  }
+}
+
+TEST(LintApps, BlackscholesBufferIsSoaRegroup) {
+  // §8.3: buffer's five sections are indexed field*options+option — the
+  // SoA stride the paper fixes by regrouping into an AoS.
+  const StaticFinding* f = find("buffer", LintKind::kSerialFirstTouch);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->file, "miniblackscholes.cpp");
+  EXPECT_EQ(f->expected, PatternKind::kStaggeredOverlap);
+  EXPECT_EQ(f->suggested, Action::kRegroupAos);
+}
+
+TEST(LintApps, UmtMasterInitializedArraysAreL1) {
+  // §8.4: STime/STotal/psi are allocated and zeroed by the master.
+  for (const char* name : {"STime", "STotal", "psi"}) {
+    const StaticFinding* f = find(name, LintKind::kSerialFirstTouch);
+    ASSERT_NE(f, nullptr) << name;
+    EXPECT_EQ(f->file, "miniumt.cpp") << name;
+  }
+}
+
+TEST(LintApps, GoldenFindings) {
+  const std::string golden_path =
+      NUMAPROF_SOURCE_DIR "/tests/golden/lint_apps.txt";
+  const std::string rendered = render_findings(apps_lint().findings);
+  if (std::getenv("NUMAPROF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(rendered, buffer.str())
+      << "lint findings drifted; if intentional, rerun with "
+         "NUMAPROF_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace numaprof::lint
