@@ -13,6 +13,11 @@
 //   analyze_profile --selftest                      # generate + analyze a
 //                                                   # built-in demo profile
 //
+// --jobs N: parallelism of the offline pipeline (shard parsing and the
+// per-thread profile merge). Defaults to the hardware concurrency
+// (NUMAPROF_JOBS overrides); --jobs 1 selects the serial reference path.
+// Output is byte-identical for every N (docs/analyzer.md).
+//
 // --lenient: recover from damaged profiles. Malformed sections are skipped
 // and reported as diagnostics instead of aborting; in --merge mode
 // unreadable files are skipped (subject to a quorum) and the report's
@@ -23,6 +28,7 @@
 // static antipatterns with the profile's dynamic evidence (docs/lint.md).
 // Everything printed WITHOUT --lint is unchanged by this flag.
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,6 +43,7 @@
 #include "core/viewer.hpp"
 #include "lint/numalint.hpp"
 #include "numasim/topology.hpp"
+#include "support/threadpool.hpp"
 
 using namespace numaprof;
 
@@ -55,9 +62,9 @@ core::SessionData demo_session() {
   return profiler.snapshot();
 }
 
-void print_analysis(const core::SessionData& data,
+void print_analysis(const core::SessionData& data, unsigned jobs,
                     const std::vector<std::string>& lint_paths = {}) {
-  const core::Analyzer analyzer(data);
+  const core::Analyzer analyzer(data, {.jobs = jobs});
   const core::Viewer viewer(analyzer);
   std::cout << viewer.program_summary();
   const std::string health = viewer.collection_health();
@@ -85,11 +92,11 @@ void print_analysis(const core::SessionData& data,
 }
 
 int usage() {
-  std::cerr << "usage: analyze_profile [--lenient] [--lint <src>] "
+  std::cerr << "usage: analyze_profile [--lenient] [--jobs N] [--lint <src>] "
                "<profile-file> [report-dir]\n"
-               "       analyze_profile [--lenient] [--lint <src>] --merge "
-               "<file>...\n"
-               "       analyze_profile --diff <before> <after>\n"
+               "       analyze_profile [--lenient] [--jobs N] [--lint <src>] "
+               "--merge <file>...\n"
+               "       analyze_profile [--jobs N] --diff <before> <after>\n"
                "       analyze_profile [--lint <src>] --selftest\n";
   return 2;
 }
@@ -100,12 +107,24 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
     bool lenient = false;
+    unsigned jobs = support::default_jobs();
     std::vector<std::string> lint_sources;
     for (bool matched = true; matched && !args.empty();) {
       matched = false;
       if (args.front() == "--lenient") {
         lenient = true;
         args.erase(args.begin());
+        matched = true;
+      } else if (args.front() == "--jobs") {
+        if (args.size() < 2) return usage();
+        try {
+          const unsigned long parsed = std::stoul(args[1]);
+          jobs = static_cast<unsigned>(
+              std::clamp<unsigned long>(parsed, 1, 256));
+        } catch (const std::exception&) {
+          return usage();
+        }
+        args.erase(args.begin(), args.begin() + 2);
         matched = true;
       } else if (args.front() == "--lint") {
         if (args.size() < 2) return usage();
@@ -116,14 +135,14 @@ int main(int argc, char** argv) {
     }
     if (!args.empty() && args.front() == "--selftest") {
       const core::SessionData data = demo_session();
-      print_analysis(data, lint_sources);
+      print_analysis(data, jobs, lint_sources);
       return 0;
     }
     if (args.size() >= 3 && args.front() == "--diff") {
       const core::SessionData before = core::load_profile_file(args[1]);
       const core::SessionData after = core::load_profile_file(args[2]);
-      const core::Analyzer before_an(before);
-      const core::Analyzer after_an(after);
+      const core::Analyzer before_an(before, {.jobs = jobs});
+      const core::Analyzer after_an(after, {.jobs = jobs});
       std::cout << core::render_diff(core::diff_profiles(before_an, after_an));
       return 0;
     }
@@ -132,6 +151,7 @@ int main(int argc, char** argv) {
       const std::vector<std::string> files(args.begin() + 1, args.end());
       core::MergeOptions options;
       options.load.lenient = lenient;
+      options.jobs = jobs;
       const core::MergeResult merged = core::merge_profile_files(files, options);
       std::cout << "merged " << merged.summary.files_merged << " of "
                 << merged.summary.files_total << " profile files\n";
@@ -142,7 +162,7 @@ int main(int argc, char** argv) {
         std::cout << "  diagnostic " << d.field << " (line " << d.line
                   << "): " << d.message << "\n";
       }
-      print_analysis(merged.data, lint_sources);
+      print_analysis(merged.data, jobs, lint_sources);
       return 0;
     }
     if (args.empty()) return usage();
@@ -156,11 +176,11 @@ int main(int argc, char** argv) {
                 << "): " << d.message << "\n";
     }
     if (args.size() >= 2) {
-      const core::Analyzer analyzer(loaded.data);
+      const core::Analyzer analyzer(loaded.data, {.jobs = jobs});
       const std::string main_file = core::write_report(analyzer, args[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(loaded.data, lint_sources);
+      print_analysis(loaded.data, jobs, lint_sources);
     }
     return 0;
   } catch (const std::exception& error) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
+#include <utility>
 
 namespace numaprof::core {
 
@@ -147,8 +149,27 @@ void AddressCentric::for_each(
   for (const auto& [key, stats] : entries_) fn(key, stats);
 }
 
+std::vector<std::pair<BinKey, BinStats>> AddressCentric::sorted_entries()
+    const {
+  std::vector<std::pair<BinKey, BinStats>> result(entries_.begin(),
+                                                  entries_.end());
+  std::sort(result.begin(), result.end(),
+            [](const auto& a, const auto& b) {
+              const BinKey& x = a.first;
+              const BinKey& y = b.first;
+              return std::tie(x.context, x.variable, x.bin, x.tid) <
+                     std::tie(y.context, y.variable, y.bin, y.tid);
+            });
+  return result;
+}
+
 void AddressCentric::insert(const BinKey& key, const BinStats& stats) {
   entries_[key].merge(stats);
+}
+
+void AddressCentric::merge_from(const AddressCentric& other) {
+  entries_.reserve(entries_.size() + other.entries_.size());
+  for (const auto& [key, stats] : other.entries_) entries_[key].merge(stats);
 }
 
 }  // namespace numaprof::core

@@ -130,8 +130,19 @@ class AddressCentric {
   void for_each(
       const std::function<void(const BinKey&, const BinStats&)>& fn) const;
 
+  /// Every entry in deterministic (context, variable, bin, tid) order. The
+  /// serializer writes this order so a saved profile is byte-stable
+  /// regardless of the hash map's insertion history (e.g. serial vs
+  /// parallel merges producing the same entries).
+  std::vector<std::pair<BinKey, BinStats>> sorted_entries() const;
+
   /// Inserts a raw entry (deserialization support).
   void insert(const BinKey& key, const BinStats& stats);
+
+  /// Folds every entry of `other` into this tracker — the cross-thread
+  /// half of the §7.2 reduction ([min,max] on bounds, sum on counts and
+  /// latency, per key).
+  void merge_from(const AddressCentric& other);
 
   std::size_t entry_count() const noexcept { return entries_.size(); }
 

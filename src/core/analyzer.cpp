@@ -2,16 +2,48 @@
 
 #include <algorithm>
 
+#include "core/profile_io.hpp"
 #include "pmu/config.hpp"
 #include "support/stats.hpp"
 
 namespace numaprof::core {
 
-Analyzer::Analyzer(const SessionData& data)
+Analyzer::Analyzer(const SessionData& data, const AnalyzerOptions& options)
     : data_(&data), merged_(data.domain_count) {
-  for (const MetricStore& store : data.stores) merged_.merge(store);
+  validate_stores();
+  merge_stores(options);
   build_program_summary();
   build_variable_reports();
+}
+
+void Analyzer::validate_stores() const {
+  for (std::size_t tid = 0; tid < data_->stores.size(); ++tid) {
+    const std::uint32_t domains = data_->stores[tid].domain_count();
+    if (domains != data_->domain_count) {
+      throw ProfileError(
+          "stores", 0,
+          "thread " + std::to_string(tid) + " metric store covers " +
+              std::to_string(domains) + " domains but the session has " +
+              std::to_string(data_->domain_count));
+    }
+  }
+}
+
+void Analyzer::merge_stores(const AnalyzerOptions& options) {
+  const unsigned jobs = options.pool ? options.pool->jobs() : options.jobs;
+  if (jobs <= 1 || data_->stores.size() <= 1) {
+    for (const MetricStore& store : data_->stores) merged_.merge(store);
+    return;
+  }
+  std::vector<const MetricStore*> parts;
+  parts.reserve(data_->stores.size());
+  for (const MetricStore& store : data_->stores) parts.push_back(&store);
+  if (options.pool) {
+    merged_.merge_all(parts, options.pool);
+  } else {
+    support::ThreadPool pool(jobs);
+    merged_.merge_all(parts, &pool);
+  }
 }
 
 void Analyzer::build_program_summary() {

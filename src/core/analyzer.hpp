@@ -14,8 +14,21 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "support/threadpool.hpp"
 
 namespace numaprof::core {
+
+/// Parallelism knobs for the offline analyzer.
+struct AnalyzerOptions {
+  /// Participants in the per-thread profile merge. 1 = the serial
+  /// reference path. Any value produces bitwise-identical results: the
+  /// merge parallelizes across metric ROWS and folds each row's values in
+  /// thread-index order, never in completion order.
+  unsigned jobs = 1;
+  /// Reuse an existing pool instead of spawning one per Analyzer. When
+  /// set, `jobs` is ignored in favor of the pool's size.
+  support::ThreadPool* pool = nullptr;
+};
 
 struct ProgramSummary {
   std::uint64_t samples = 0;          // I^s
@@ -83,7 +96,12 @@ struct VariableReport {
 
 class Analyzer {
  public:
-  explicit Analyzer(const SessionData& data);
+  /// Merges the session's per-thread stores (§7.2) and derives the §4
+  /// metrics. Throws ProfileError if any store's domain count disagrees
+  /// with the session's machine — merging mismatched widths would silently
+  /// misattribute every per-domain column.
+  explicit Analyzer(const SessionData& data,
+                    const AnalyzerOptions& options = {});
 
   const ProgramSummary& program() const noexcept { return program_; }
 
@@ -117,6 +135,8 @@ class Analyzer {
   const SessionData& data() const noexcept { return *data_; }
 
  private:
+  void validate_stores() const;
+  void merge_stores(const AnalyzerOptions& options);
   void build_program_summary();
   void build_variable_reports();
 

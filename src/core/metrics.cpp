@@ -1,5 +1,7 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
+
 namespace numaprof::core {
 
 std::vector<std::string> metric_names(std::uint32_t domain_count) {
@@ -51,6 +53,31 @@ void MetricStore::merge(const MetricStore& other) {
       row[m] += other.values_[id][m];
     }
   }
+}
+
+void MetricStore::merge_all(const std::vector<const MetricStore*>& parts,
+                            support::ThreadPool* pool) {
+  std::size_t rows = values_.size();
+  for (const MetricStore* part : parts) {
+    rows = std::max(rows, part->values_.size());
+  }
+  if (rows == 0) return;
+  values_.resize(rows);
+  support::parallel_for(
+      pool, rows, 256, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t id = begin; id < end; ++id) {
+          auto& row = values_[id];
+          for (const MetricStore* part : parts) {
+            if (id >= part->values_.size() || part->values_[id].empty()) {
+              continue;
+            }
+            if (row.empty()) row.resize(width_, 0.0);
+            const auto& source = part->values_[id];
+            const std::uint32_t width = std::min(width_, part->width_);
+            for (std::uint32_t m = 0; m < width; ++m) row[m] += source[m];
+          }
+        }
+      });
 }
 
 double inclusive(const Cct& cct, const MetricStore& store, NodeId node,

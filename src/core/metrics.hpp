@@ -14,6 +14,7 @@
 
 #include "core/cct.hpp"
 #include "numasim/types.hpp"
+#include "support/threadpool.hpp"
 
 namespace numaprof::core {
 
@@ -62,15 +63,31 @@ class MetricStore {
 
   std::uint32_t width() const noexcept { return width_; }
 
+  /// NUMA domains this store was sized for (width minus the fixed slots).
+  std::uint32_t domain_count() const noexcept {
+    return width_ - kFixedMetricCount;
+  }
+
   void add(NodeId node, std::uint32_t metric, double value);
   double get(NodeId node, std::uint32_t metric) const;
   bool has(NodeId node) const { return node < values_.size() && !values_[node].empty(); }
+
+  /// One past the highest node slot allocated (rows may be empty).
+  std::size_t node_capacity() const noexcept { return values_.size(); }
 
   /// Nodes with any recorded metric.
   std::vector<NodeId> nodes() const;
 
   /// Accumulates `other` into this store (the sum half of the §7.2 merge).
   void merge(const MetricStore& other);
+
+  /// Folds every store in `parts` into this one, parallelized across node
+  /// ROWS: each row's metric values are summed over `parts` in vector
+  /// order, exactly the per-element addition order of calling merge() on
+  /// each part sequentially — so the result is bitwise identical to the
+  /// serial fold for ANY pool size (including null = serial).
+  void merge_all(const std::vector<const MetricStore*>& parts,
+                 support::ThreadPool* pool);
 
  private:
   std::uint32_t width_;

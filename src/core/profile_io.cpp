@@ -6,6 +6,8 @@
 #include <optional>
 #include <sstream>
 
+#include "support/threadpool.hpp"
+
 namespace numaprof::core {
 
 namespace {
@@ -126,11 +128,13 @@ void save_profile(const SessionData& data, std::ostream& os) {
   }
 
   os << "addrcentric " << data.address_centric.entry_count() << "\n";
-  data.address_centric.for_each([&](const BinKey& key, const BinStats& s) {
+  // Deterministic key order: the same entries always serialize to the same
+  // bytes, independent of the hash map's insertion history.
+  for (const auto& [key, s] : data.address_centric.sorted_entries()) {
     os << key.context << " " << key.variable << " " << key.bin << " "
        << key.tid << " " << s.lo << " " << s.hi << " " << s.count << " "
        << s.latency << "\n";
-  });
+  }
 
   os << "firsttouch " << data.first_touches.size() << "\n";
   for (const FirstTouchRecord& r : data.first_touches) {
@@ -719,9 +723,7 @@ void merge_session(SessionData& base, SessionData&& other) {
        tid < other.stores.size() && tid < base.stores.size(); ++tid) {
     base.stores[tid].merge(other.stores[tid]);
   }
-  other.address_centric.for_each([&](const BinKey& key, const BinStats& s) {
-    base.address_centric.insert(key, s);
-  });
+  base.address_centric.merge_from(other.address_centric);
   base.first_touches.insert(base.first_touches.end(),
                             other.first_touches.begin(),
                             other.first_touches.end());
@@ -732,16 +734,37 @@ void merge_session(SessionData& base, SessionData&& other) {
   // run replicate it); incompatible histories were already screened out.
 }
 
-}  // namespace
+/// Fails the merge on a quorum shortfall (checked in both modes).
+void check_quorum(const MergeSummary& summary, const MergeOptions& options) {
+  const double fraction = static_cast<double>(summary.files_merged) /
+                          static_cast<double>(summary.files_total);
+  if (fraction < options.min_quorum) {
+    throw ProfileError(
+        "quorum", 0,
+        "only " + std::to_string(summary.files_merged) + " of " +
+            std::to_string(summary.files_total) +
+            " profiles merged, below the required quorum");
+  }
+}
 
-MergeResult merge_profile_files(const std::vector<std::string>& paths,
-                                const MergeOptions& options) {
+/// Surfaces skipped inputs as degradation events in the merged data.
+void record_skips(MergeResult& result) {
+  for (const SkippedProfile& skip : result.summary.skipped) {
+    result.data.degradations.push_back(
+        DegradationEvent{.kind = DegradationKind::kProfileFileSkipped,
+                         .mechanism = result.data.mechanism,
+                         .value = 0,
+                         .detail = skip.path + ": " + skip.reason});
+  }
+}
+
+/// The `jobs == 1` reference path: load and fold one file at a time, in
+/// input order. Parallel merges are defined by equivalence to this.
+MergeResult merge_files_serial(const std::vector<std::string>& paths,
+                               const MergeOptions& options) {
   MergeResult result;
   MergeSummary& summary = result.summary;
   summary.files_total = paths.size();
-  if (paths.empty()) {
-    throw ProfileError("merge", 0, "no input profiles");
-  }
 
   bool have_base = false;
   for (const std::string& path : paths) {
@@ -789,24 +812,149 @@ MergeResult merge_profile_files(const std::vector<std::string>& paths,
         "no loadable profile among " + std::to_string(paths.size()) +
             " input files");
   }
-  const double fraction = static_cast<double>(summary.files_merged) /
-                          static_cast<double>(summary.files_total);
-  if (fraction < options.min_quorum) {
-    throw ProfileError(
-        "quorum", 0,
-        "only " + std::to_string(summary.files_merged) + " of " +
-            std::to_string(summary.files_total) +
-            " profiles merged, below the required quorum");
+  check_quorum(summary, options);
+  record_skips(result);
+  return result;
+}
+
+/// The parallel pipeline (§7.2 at scale): every input file parses as its
+/// own task; screening (skips, diagnostics, base selection, compatibility)
+/// then runs serially in input order so the bookkeeping matches the serial
+/// path exactly; finally the surviving sessions fold into the base with
+/// per-thread measurement columns parallelized — each column sums its
+/// sessions in index order, so every scalar sees the identical addition
+/// sequence as merge_files_serial and the result is bitwise identical.
+MergeResult merge_files_parallel(const std::vector<std::string>& paths,
+                                 const MergeOptions& options) {
+  MergeResult result;
+  MergeSummary& summary = result.summary;
+  summary.files_total = paths.size();
+
+  struct LoadSlot {
+    LoadResult loaded;
+    std::exception_ptr error;
+  };
+  std::vector<LoadSlot> slots(paths.size());
+  support::ThreadPool pool(options.jobs);
+  pool.for_each_index(paths.size(), [&](std::size_t i) {
+    try {
+      slots[i].loaded = load_profile_file(paths[i], options.load);
+    } catch (...) {
+      slots[i].error = std::current_exception();
+    }
+  });
+
+  // In-order screening, identical bookkeeping to the serial loop. In
+  // strict mode the FIRST failing input (by position, not by completion
+  // time) throws, exactly as the lazy serial loop would.
+  bool have_base = false;
+  std::vector<SessionData> sessions;
+  sessions.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string& path = paths[i];
+    LoadSlot& slot = slots[i];
+    if (slot.error) {
+      try {
+        std::rethrow_exception(slot.error);
+      } catch (const ProfileError& e) {
+        if (!options.load.lenient) {
+          throw ProfileError(e.field(), e.line(), path + ": " + e.what());
+        }
+        summary.skipped.push_back(SkippedProfile{path, e.what()});
+      } catch (const std::exception& e) {
+        if (!options.load.lenient) {
+          throw ProfileError("file", 0, path + ": " + e.what());
+        }
+        summary.skipped.push_back(SkippedProfile{path, e.what()});
+      }
+      continue;
+    }
+    for (Diagnostic& d : slot.loaded.diagnostics) {
+      summary.diagnostics.push_back(
+          Diagnostic{d.line, path + ": " + d.field, std::move(d.message)});
+    }
+    if (!have_base) {
+      result.data = std::move(slot.loaded.data);
+      have_base = true;
+      ++summary.files_merged;
+      continue;
+    }
+    const std::string reason = incompatibility(result.data, slot.loaded.data);
+    if (!reason.empty()) {
+      if (!options.load.lenient) {
+        throw ProfileError("merge", 0, path + ": " + reason);
+      }
+      summary.skipped.push_back(SkippedProfile{path, reason});
+      continue;
+    }
+    sessions.push_back(std::move(slot.loaded.data));
+    ++summary.files_merged;
   }
 
-  for (const SkippedProfile& skip : summary.skipped) {
-    result.data.degradations.push_back(
-        DegradationEvent{.kind = DegradationKind::kProfileFileSkipped,
-                         .mechanism = result.data.mechanism,
-                         .value = 0,
-                         .detail = skip.path + ": " + skip.reason});
+  if (!have_base) {
+    throw ProfileError(
+        "merge", 0,
+        "no loadable profile among " + std::to_string(paths.size()) +
+            " input files");
   }
+  check_quorum(summary, options);
+
+  // Fold. Per-thread totals and metric stores are independent columns:
+  // parallelize across thread index, folding sessions in order within
+  // each column (the same per-element addition order as the serial path).
+  SessionData& base = result.data;
+  std::size_t threads = base.totals.size();
+  for (const SessionData& s : sessions) {
+    threads = std::max(threads, s.totals.size());
+  }
+  {
+    ThreadTotals zero;
+    zero.per_domain.assign(base.domain_count, 0);
+    base.totals.resize(threads, zero);
+  }
+  while (base.stores.size() < threads) {
+    base.stores.emplace_back(base.domain_count);
+  }
+  support::parallel_for(
+      &pool, threads, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t tid = begin; tid < end; ++tid) {
+          for (const SessionData& s : sessions) {
+            if (tid < s.totals.size()) {
+              merge_totals(base.totals[tid], s.totals[tid],
+                           base.domain_count);
+            }
+            if (tid < s.stores.size()) {
+              base.stores[tid].merge(s.stores[tid]);
+            }
+          }
+        }
+      });
+  // The remaining sections are cheap appends/map-folds; keep them serial
+  // and in input order so even hash-map iteration history matches the
+  // serial path.
+  for (SessionData& s : sessions) {
+    base.address_centric.merge_from(s.address_centric);
+    base.first_touches.insert(base.first_touches.end(),
+                              s.first_touches.begin(), s.first_touches.end());
+    base.trace.insert(base.trace.end(), s.trace.begin(), s.trace.end());
+    base.pebs_ll_events += s.pebs_ll_events;
+  }
+
+  record_skips(result);
   return result;
+}
+
+}  // namespace
+
+MergeResult merge_profile_files(const std::vector<std::string>& paths,
+                                const MergeOptions& options) {
+  if (paths.empty()) {
+    throw ProfileError("merge", 0, "no input profiles");
+  }
+  if (options.jobs <= 1 || paths.size() == 1) {
+    return merge_files_serial(paths, options);
+  }
+  return merge_files_parallel(paths, options);
 }
 
 }  // namespace numaprof::core

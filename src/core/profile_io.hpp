@@ -95,6 +95,12 @@ struct MergeOptions {
   /// this quorum the merge throws even in lenient mode (a run built from
   /// too few shards would silently misrepresent the program).
   double min_quorum = 0.5;
+  /// Parallelism of the merge: 1 (the default) is the serial reference
+  /// path; N > 1 parses the input files on N participants and folds
+  /// per-thread measurement columns in thread-index order — never in
+  /// completion order — so the merged session (skips, diagnostics, quorum
+  /// behavior included) is bitwise identical to the serial result.
+  unsigned jobs = 1;
 };
 
 struct SkippedProfile {

@@ -1,0 +1,115 @@
+// Fixed-size work-stealing thread pool plus chunked parallel_for /
+// parallel_reduce, built for the offline analysis pipeline (§7.2): the
+// analyzer merges one measurement shard per thread, so the natural unit of
+// parallelism is "one task per shard" or "one chunk of metric rows".
+//
+// Determinism contract: the pool decides WHICH thread runs an index, never
+// the ORDER results are combined in. for_each_index runs each index exactly
+// once with no ordering guarantee, so bodies must only write state owned by
+// their index; parallel_reduce combines chunk accumulators serially in
+// ascending chunk order, so for a fixed grain the reduction is reproducible
+// run-to-run and independent of the worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace numaprof::support {
+
+/// Default parallelism: NUMAPROF_JOBS when set (clamped to [1, 256]),
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+unsigned default_jobs() noexcept;
+
+class ThreadPool {
+ public:
+  /// A pool with `jobs` participants total: the calling thread plus
+  /// jobs - 1 workers. jobs <= 1 spawns no threads and runs inline.
+  explicit ThreadPool(unsigned jobs = default_jobs());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants (workers + the calling thread).
+  unsigned jobs() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs body(0) ... body(count - 1) across all participants and returns
+  /// when every index has completed. The index space is pre-partitioned
+  /// into one contiguous shard per participant; a participant that drains
+  /// its own shard steals indices from the others, so uneven per-index
+  /// costs do not serialize the batch. If bodies throw, the batch still
+  /// completes and the exception thrown by the SMALLEST index is rethrown
+  /// (matching what a serial in-order loop would surface first).
+  /// Nested or concurrent calls fall back to an inline serial loop.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Shard {
+    alignas(64) std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+  };
+  struct Batch {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::vector<Shard> shards;
+    std::atomic<std::size_t> done{0};
+    std::size_t error_index = ~std::size_t{0};  // guarded by pool mutex
+    std::exception_ptr error;                   // guarded by pool mutex
+    unsigned active_workers = 0;                // guarded by pool mutex
+  };
+
+  void worker_loop();
+  void work_on(Batch& batch, unsigned participant);
+  bool claim(Batch& batch, unsigned participant, std::size_t& index) noexcept;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Batch* batch_ = nullptr;   // guarded by mutex_
+  std::uint64_t epoch_ = 0;  // guarded by mutex_
+  bool stop_ = false;        // guarded by mutex_
+  std::atomic<bool> busy_{false};
+  std::vector<std::thread> workers_;
+};
+
+/// Chunked parallel for: splits [0, count) into chunks of at most `grain`
+/// indices and runs chunk(begin, end) for each. Serial (in ascending chunk
+/// order) when `pool` is null, has one participant, or there is only one
+/// chunk; otherwise chunks run concurrently in unspecified order.
+void parallel_for(ThreadPool* pool, std::size_t count, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& chunk);
+
+/// Chunked parallel reduce. Each chunk folds into its own accumulator
+/// (initialized from `identity`) via chunk(acc, begin, end); the chunk
+/// accumulators are then combined SERIALLY in ascending chunk order via
+/// combine(result, std::move(acc)). For a fixed grain the chunk boundaries
+/// — and therefore the combine order — do not depend on the pool size, so
+/// the result is identical for any worker count whenever the fold is
+/// deterministic per chunk.
+template <typename Acc, typename ChunkFn, typename CombineFn>
+Acc parallel_reduce(ThreadPool* pool, std::size_t count, std::size_t grain,
+                    Acc identity, ChunkFn&& chunk, CombineFn&& combine) {
+  if (count == 0) return identity;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  std::vector<Acc> partial(chunks, identity);
+  parallel_for(pool, count, grain,
+               [&](std::size_t begin, std::size_t end) {
+                 chunk(partial[begin / grain], begin, end);
+               });
+  Acc result = std::move(identity);
+  for (Acc& p : partial) combine(result, std::move(p));
+  return result;
+}
+
+}  // namespace numaprof::support

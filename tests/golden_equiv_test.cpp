@@ -1,0 +1,210 @@
+// Golden-equivalence lock on the parallel analysis pipeline (ISSUE: the
+// --jobs N output must be byte-identical to the serial reference). For
+// each of the four paper case studies (§8.1-8.4) this test:
+//
+//  1. renders the full viewer + advisor analysis with jobs=1 and jobs=4
+//     and requires the TEXT to be byte-identical;
+//  2. shards the session into per-thread measurement files, merges them
+//     back with jobs=1 and jobs=4, and requires the re-serialized PROFILE
+//     BYTES to be identical;
+//  3. re-renders the advisor golden text through jobs=4 Analyzers and
+//     compares it against the checked-in tests/golden/advisor_apps.txt —
+//     the same golden the serial advisor test locks, so no new golden
+//     files are introduced and serial/parallel cannot drift apart.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/miniamg.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/miniumt.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/viewer.hpp"
+#include "numasim/topology.hpp"
+
+namespace numaprof {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ProfilerConfig profiler_config() {
+  core::ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  pc.event.period = 200;
+  return pc;
+}
+
+struct CaseStudy {
+  std::string name;
+  std::function<core::SessionData()> run;
+};
+
+/// The four case-study apps with the same configurations the advisor
+/// golden test profiles (baseline variants on amd_magny_cours).
+std::vector<CaseStudy> case_studies() {
+  return {
+      {"minilulesh",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_minilulesh(m, {.threads = 16,
+                                  .pages_per_thread = 12,
+                                  .timesteps = 6,
+                                  .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniamg",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniamg(m, {.threads = 16,
+                               .rows_per_thread = 1024,
+                               .relax_sweeps = 5,
+                               .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniblackscholes",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniblackscholes(
+             m, {.threads = 16,
+                 .options_per_thread = 480,
+                 .iterations = 96,
+                 .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniumt",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniumt(m, {.threads = 16,
+                               .angles = 32,
+                               .sweeps = 4,
+                               .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+  };
+}
+
+/// Everything analyze_profile prints for a session: program summary,
+/// health, the three tables, timeline, and advisor recommendations.
+std::string render_full_analysis(const core::SessionData& data,
+                                 unsigned jobs) {
+  const core::Analyzer analyzer(data, {.jobs = jobs});
+  const core::Viewer viewer(analyzer);
+  std::ostringstream os;
+  os << viewer.program_summary();
+  const std::string health = viewer.collection_health();
+  if (!health.empty()) os << "-- collection health --\n" << health;
+  os << "\n"
+     << viewer.data_centric_table(10).to_text() << "\n"
+     << viewer.code_centric_table(10).to_text() << "\n"
+     << viewer.domain_balance_table().to_text() << "\n";
+  const std::string timeline = viewer.trace_timeline();
+  if (!timeline.empty()) os << timeline << "\n";
+  const core::Advisor advisor(analyzer);
+  for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+    os << rec.variable_name << ": " << to_string(rec.action) << "\n  "
+       << rec.rationale << "\n";
+  }
+  return os.str();
+}
+
+std::string profile_bytes(const core::SessionData& data) {
+  std::ostringstream os;
+  core::save_profile(data, os);
+  return os.str();
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// One advisor golden entry rendered through an Analyzer built with
+/// `jobs` participants — the format of tests/golden/advisor_apps.txt.
+std::string advise(const std::string& title, const core::SessionData& data,
+                   unsigned jobs) {
+  const core::Analyzer analyzer(data, {.jobs = jobs});
+  const core::Advisor advisor(analyzer);
+  std::ostringstream os;
+  os << "== " << title << " ==\n"
+     << "warrants_optimization: "
+     << (analyzer.program().warrants_optimization ? "yes" : "no") << "\n";
+  for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+    os << rec.variable_name << ": " << to_string(rec.action) << " ["
+       << to_string(rec.guiding.kind) << "]\n";
+  }
+  return os.str();
+}
+
+TEST(GoldenEquiv, ParallelAnalysisTextMatchesSerialForAllCaseStudies) {
+  for (const CaseStudy& app : case_studies()) {
+    SCOPED_TRACE(app.name);
+    const core::SessionData data = app.run();
+    const std::string serial = render_full_analysis(data, 1);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(render_full_analysis(data, 4), serial)
+        << app.name << ": --jobs 4 output diverged from --jobs 1";
+  }
+}
+
+TEST(GoldenEquiv, ParallelShardMergeBytesMatchSerialForAllCaseStudies) {
+  for (const CaseStudy& app : case_studies()) {
+    SCOPED_TRACE(app.name);
+    const core::SessionData data = app.run();
+    const std::string dir = fresh_dir("numaprof_equiv_" + app.name);
+    const std::vector<std::string> paths =
+        core::save_thread_shards(data, dir);
+    ASSERT_FALSE(paths.empty());
+
+    core::MergeOptions serial_options;
+    serial_options.jobs = 1;
+    const core::MergeResult serial =
+        core::merge_profile_files(paths, serial_options);
+    core::MergeOptions parallel_options;
+    parallel_options.jobs = 4;
+    const core::MergeResult parallel =
+        core::merge_profile_files(paths, parallel_options);
+
+    EXPECT_EQ(parallel.summary.files_merged, serial.summary.files_merged);
+    EXPECT_EQ(profile_bytes(parallel.data), profile_bytes(serial.data))
+        << app.name << ": merged profile bytes differ between jobs";
+  }
+}
+
+TEST(GoldenEquiv, ParallelAdvisorMatchesCheckedInGolden) {
+  // Renders the SAME text the serial advisor golden test locks, but with
+  // every Analyzer running the jobs=4 merge path. Comparing against the
+  // checked-in golden (not a fresh serial render) means a regeneration
+  // that only "works" in parallel cannot slip through.
+  const std::string golden_path =
+      NUMAPROF_SOURCE_DIR "/tests/golden/advisor_apps.txt";
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::ostringstream rendered;
+  for (const CaseStudy& app : case_studies()) {
+    rendered << advise(app.name + " baseline", app.run(), 4);
+  }
+  EXPECT_EQ(rendered.str(), buffer.str())
+      << "jobs=4 advisor output drifted from the serial golden";
+}
+
+}  // namespace
+}  // namespace numaprof

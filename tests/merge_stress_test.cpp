@@ -1,0 +1,313 @@
+// Concurrency stress tests for the parallel analysis pipeline. Suites are
+// named PipelineStress* so the CI thread-sanitizer matrix entry (which runs
+// ctest -R '...|Pipeline|...') exercises them under TSan: the interesting
+// failure mode here is not a wrong sum but a data race in the pool's batch
+// hand-off or the merge's row partitioning.
+//
+// Everything is deterministic: adversarial inputs come from seeded
+// support::Rng streams, and every parallel result is compared bitwise
+// against the serial reference path — repeatedly, so rare interleavings
+// get more chances to go wrong under TSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/profile_io.hpp"
+#include "core/session.hpp"
+#include "core/viewer.hpp"
+#include "support/rng.hpp"
+#include "support/threadpool.hpp"
+
+namespace numaprof::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string profile_bytes(const SessionData& data) {
+  std::ostringstream os;
+  save_profile(data, os);
+  return os.str();
+}
+
+/// A session whose per-thread shards have ADVERSARIAL sizes: completely
+/// empty threads, single-sample threads, and one huge thread — the worst
+/// case for a pre-partitioned index space, where stealing must rebalance.
+SessionData adversarial_session(std::uint64_t seed) {
+  // Thread t records touch_counts[t] metric touches (0 = empty shard).
+  const std::vector<std::size_t> touch_counts = {0,    1, 5000, 0,
+                                                 237, 1, 1024, 13};
+  support::Rng rng(seed);
+  SessionData data;
+  data.machine_name = "stress-machine";
+  data.domain_count = 4;
+  data.core_count = 8;
+  data.mechanism = pmu::Mechanism::kIbs;
+  data.requested_mechanism = pmu::Mechanism::kIbs;
+  data.sampling_period = 64;
+
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    data.frames.push_back(simrt::FrameInfo{
+        .name = "stress_fn" + std::to_string(f),
+        .file = "stress.cpp",
+        .line = 7 * f,
+        .kind = simrt::FrameKind::kFunction});
+  }
+  const NodeId alloc = data.cct.child(kRootNode, NodeKind::kAllocation, 0);
+  std::vector<NodeId> leaves;
+  for (std::uint32_t f = 0; f < 4; ++f) {
+    const NodeId frame = data.cct.child(alloc, NodeKind::kFrame, f);
+    leaves.push_back(data.cct.child(frame, NodeKind::kVariable, f));
+  }
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    Variable var;
+    var.id = v;
+    var.kind = VariableKind::kHeap;
+    var.name = "stress_var" + std::to_string(v);
+    var.start = 0x40000 + 0x80000ull * v;
+    var.page_count = 16;
+    var.size = var.page_count * simos::kPageBytes;
+    var.variable_node = leaves[v];
+    data.variables.push_back(var);
+  }
+
+  for (std::uint32_t tid = 0; tid < touch_counts.size(); ++tid) {
+    const std::size_t touches = touch_counts[tid];
+    ThreadTotals t;
+    t.per_domain.resize(data.domain_count);
+    MetricStore store(data.domain_count);
+    for (std::size_t i = 0; i < touches; ++i) {
+      const NodeId node =
+          static_cast<NodeId>(rng.next_below(data.cct.size()));
+      const auto metric = static_cast<std::uint32_t>(
+          rng.next_below(kFixedMetricCount + data.domain_count));
+      store.add(node, metric, rng.next_double() * 131.0);
+      t.samples += 1;
+      t.memory_samples += rng.next_below(2);
+      t.total_latency += rng.next_double() * 300.0;
+      t.remote_latency += rng.next_double() * 150.0;
+      t.per_domain[rng.next_below(data.domain_count)] += 1;
+      if (i < 40) {  // bound addrcentric size; still adversarial mix
+        BinKey key{
+            .context = static_cast<simrt::FrameId>(rng.next_below(4)),
+            .variable = static_cast<VariableId>(
+                rng.next_below(data.variables.size())),
+            .bin = static_cast<std::uint32_t>(rng.next_below(3)),
+            .tid = tid};
+        BinStats stats;
+        stats.update(0x40000 + rng.next_below(1 << 18),
+                     rng.next_double() * 100.0);
+        data.address_centric.insert(key, stats);
+      }
+    }
+    data.totals.push_back(std::move(t));
+    data.stores.push_back(std::move(store));
+  }
+  return data;
+}
+
+std::string render_analysis(const SessionData& data, unsigned jobs) {
+  const Analyzer analyzer(data, {.jobs = jobs});
+  const Viewer viewer(analyzer);
+  std::ostringstream os;
+  os << viewer.program_summary() << viewer.data_centric_table(10).to_text()
+     << viewer.code_centric_table(10).to_text()
+     << viewer.domain_balance_table().to_text();
+  return os.str();
+}
+
+// --- ThreadPool primitives under contention --------------------------
+
+TEST(PipelineStressPool, ForEachIndexRunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t count = 1 + 977 * static_cast<std::size_t>(round);
+    std::vector<std::atomic<int>> hits(count);
+    pool.for_each_index(count,
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " round " << round;
+    }
+  }
+}
+
+TEST(PipelineStressPool, SmallestIndexExceptionWins) {
+  support::ThreadPool pool(8);
+  const std::set<std::size_t> throwers = {3, 500, 1999};
+  std::atomic<int> executed{0};
+  try {
+    pool.for_each_index(2000, [&](std::size_t i) {
+      executed.fetch_add(1);
+      if (throwers.count(i) != 0) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "exception must propagate";
+  } catch (const std::runtime_error& e) {
+    // The batch still completes every index, and the error surfaced is
+    // the one a serial in-order loop would have hit first.
+    EXPECT_STREQ(e.what(), "3");
+    EXPECT_EQ(executed.load(), 2000);
+  }
+}
+
+TEST(PipelineStressPool, ParallelForCoversIndexSpaceInGrainChunks) {
+  support::ThreadPool pool(8);
+  const std::size_t count = 4099;  // deliberately not a grain multiple
+  const std::size_t grain = 64;
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  support::parallel_for(&pool, count, grain,
+                        [&](std::size_t begin, std::size_t end) {
+                          const std::lock_guard<std::mutex> lock(mutex);
+                          chunks.emplace_back(begin, end);
+                        });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LE(end - begin, grain);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, count);
+}
+
+TEST(PipelineStressPool, ParallelReduceIsBitwiseStableAcrossPoolSizes) {
+  support::Rng rng(0x57285501);
+  std::vector<double> values(10'000);
+  for (double& v : values) v = rng.next_double() * 997.0;
+
+  const auto reduce_with = [&](support::ThreadPool* pool) {
+    return support::parallel_reduce(
+        pool, values.size(), 64, 0.0,
+        [&](double& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        },
+        [](double& result, double partial) { result += partial; });
+  };
+
+  const double serial = reduce_with(nullptr);
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    support::ThreadPool pool(jobs);
+    for (int round = 0; round < 10; ++round) {
+      // Bitwise ==: chunk boundaries (and thus the combine order) depend
+      // only on the grain, never on the pool size or schedule.
+      ASSERT_EQ(reduce_with(&pool), serial)
+          << "jobs=" << jobs << " round " << round;
+    }
+  }
+}
+
+// --- adversarial shard merges ----------------------------------------
+
+TEST(PipelineStressMerge, AdversarialShardsMergeIdenticallyAcrossJobs) {
+  const SessionData original = adversarial_session(0x57285502);
+  const std::string dir = fresh_dir("numaprof_stress_shards");
+  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  ASSERT_EQ(paths.size(), 8u);
+
+  MergeOptions serial_options;
+  serial_options.jobs = 1;
+  const std::string reference =
+      profile_bytes(merge_profile_files(paths, serial_options).data);
+  ASSERT_FALSE(reference.empty());
+
+  // Repeat the parallel merge: each run re-races shard loading and the
+  // per-thread column fold; every run must reproduce the serial bytes.
+  for (int round = 0; round < 8; ++round) {
+    MergeOptions options;
+    options.jobs = 8;
+    const MergeResult merged = merge_profile_files(paths, options);
+    ASSERT_EQ(merged.summary.files_merged, paths.size());
+    ASSERT_EQ(profile_bytes(merged.data), reference) << "round " << round;
+  }
+}
+
+TEST(PipelineStressMerge, LenientParallelMergeSkipsDamageLikeSerial) {
+  const SessionData original = adversarial_session(0x57285503);
+  const std::string dir = fresh_dir("numaprof_stress_damaged");
+  std::vector<std::string> paths = save_thread_shards(original, dir);
+  // Truncate one shard mid-file: lenient merges must skip or diagnose it
+  // identically whether the load happened serially or on a worker.
+  {
+    std::ifstream in(paths[2], std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(paths[2], std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 3));
+  }
+
+  MergeOptions serial_options;
+  serial_options.load.lenient = true;
+  serial_options.jobs = 1;
+  const MergeResult serial = merge_profile_files(paths, serial_options);
+  const std::string reference = profile_bytes(serial.data);
+
+  for (int round = 0; round < 4; ++round) {
+    MergeOptions options;
+    options.load.lenient = true;
+    options.jobs = 8;
+    const MergeResult merged = merge_profile_files(paths, options);
+    ASSERT_EQ(merged.summary.files_merged, serial.summary.files_merged);
+    ASSERT_EQ(merged.summary.skipped.size(),
+              serial.summary.skipped.size());
+    ASSERT_EQ(merged.summary.diagnostics.size(),
+              serial.summary.diagnostics.size());
+    ASSERT_EQ(profile_bytes(merged.data), reference) << "round " << round;
+  }
+}
+
+// --- parallel analyzer under repetition ------------------------------
+
+TEST(PipelineStressAnalyzer, RepeatedParallelAnalysisMatchesSerialText) {
+  const SessionData data = adversarial_session(0x57285504);
+  const std::string serial = render_analysis(data, 1);
+  ASSERT_FALSE(serial.empty());
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_EQ(render_analysis(data, 8), serial) << "round " << round;
+  }
+}
+
+TEST(PipelineStressAnalyzer, SharedPoolServesConcurrentMerges) {
+  // One pool reused across many Analyzer constructions: concurrent reuse
+  // falls back to inline serial merging (the pool is busy), which must
+  // still be bitwise identical.
+  const SessionData data = adversarial_session(0x57285505);
+  support::ThreadPool pool(4);
+  const Analyzer serial(data);
+  for (int round = 0; round < 10; ++round) {
+    const Analyzer pooled(data, {.pool = &pool});
+    const MetricStore& a = pooled.merged();
+    const MetricStore& b = serial.merged();
+    ASSERT_EQ(a.width(), b.width());
+    const std::size_t rows = std::max(a.node_capacity(), b.node_capacity());
+    for (NodeId node = 0; node < rows; ++node) {
+      for (std::uint32_t m = 0; m < a.width(); ++m) {
+        ASSERT_EQ(a.get(node, m), b.get(node, m));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace numaprof::core
