@@ -145,7 +145,7 @@ int main() {
 
   bench::subheading("merge wall-clock by jobs");
   for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
-    core::MergeOptions options;
+    numaprof::PipelineOptions options;
     options.jobs = jobs;
     core::MergeResult merged;
     double best = 1e100;

@@ -1,48 +1,39 @@
 // CLI: the hpcprof/hpcviewer analogue as a command-line tool.
 //
-// Loads a profile written by save_profile_file (e.g. by the
-// lulesh_analysis example or your own instrumented run) and either prints
-// the analysis to stdout or writes a full report directory.
+// Loads a profile written by save_profile_file (e.g. by record_app or the
+// lulesh_analysis example) and either prints the analysis to stdout or
+// writes a full report directory. All flag parsing goes through
+// support::CliParser — unknown flags are rejected with the usage string,
+// and every failure is reported through numaprof::format_error.
 //
 // Usage:
-//   analyze_profile [--lenient] <profile-file>      # print to stdout
-//   analyze_profile [--lenient] <file> <report-dir> # write a report tree
-//   analyze_profile [--lenient] --merge <file>...   # merge per-thread
-//                                                   # measurement files
-//   analyze_profile --diff <before> <after>         # compare two profiles
-//   analyze_profile --selftest                      # generate + analyze a
-//                                                   # built-in demo profile
+//   analyze_profile [flags] <profile-file> [report-dir]
+//   analyze_profile [flags] --merge <file>...
+//   analyze_profile [flags] --diff <before> <after>
+//   analyze_profile [flags] --selftest
 //
-// --jobs N: parallelism of the offline pipeline (shard parsing and the
-// per-thread profile merge). Defaults to the hardware concurrency
-// (NUMAPROF_JOBS overrides); --jobs 1 selects the serial reference path.
-// Output is byte-identical for every N (docs/analyzer.md).
-//
-// --lenient: recover from damaged profiles. Malformed sections are skipped
-// and reported as diagnostics instead of aborting; in --merge mode
-// unreadable files are skipped (subject to a quorum) and the report's
-// collection health section lists them.
-//
-// --lint <src>: additionally run the numalint static analyzer over the
-// given source file/directory and append a fused-findings pane joining
-// static antipatterns with the profile's dynamic evidence (docs/lint.md).
-// Everything printed WITHOUT --lint is unchanged by this flag.
-
+// Flags (shared spelling with numa_lint):
+//   --jobs N        parallelism of the offline pipeline; output is
+//                   byte-identical for every N (docs/analyzer.md)
+//   --format FMT    text (default) or json (machine-readable summary)
+//   --profile PATH  the profile to analyze (same as the positional)
+//   --telemetry T   JSONL trace from a --telemetry-interval run; renders
+//                   the measurement-health pane cross-checked against the
+//                   profile's degradation record (docs/api.md)
+//   --lenient       recover from damaged profiles / skip unreadable shards
+//   --lint SRC      fuse numalint static findings into the report
 #include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "apps/minilulesh.hpp"
-#include "core/advisor.hpp"
-#include "core/analyzer.hpp"
-#include "core/profile_io.hpp"
 #include "core/diff.hpp"
-#include "core/profiler.hpp"
+#include "core/numaprof.hpp"
 #include "core/report.hpp"
-#include "core/viewer.hpp"
 #include "lint/numalint.hpp"
 #include "numasim/topology.hpp"
+#include "support/cliflags.hpp"
 #include "support/threadpool.hpp"
 
 using namespace numaprof;
@@ -62,14 +53,61 @@ core::SessionData demo_session() {
   return profiler.snapshot();
 }
 
-void print_analysis(const core::SessionData& data, unsigned jobs,
-                    const std::vector<std::string>& lint_paths = {}) {
-  const core::Analyzer analyzer(data, {.jobs = jobs});
+std::string json_escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `--format json`: the program summary + ranked variables as one JSON
+/// object (stable keys; docs/api.md).
+void print_analysis_json(const core::Analyzer& analyzer) {
+  const core::ProgramSummary& p = analyzer.program();
+  std::cout << "{\"samples\":" << p.samples
+            << ",\"memory-samples\":" << p.memory_samples
+            << ",\"match\":" << p.match << ",\"mismatch\":" << p.mismatch
+            << ",\"remote-latency\":" << p.remote_latency
+            << ",\"remote-latency-fraction\":" << p.remote_latency_fraction
+            << ",\"domain-imbalance\":" << p.domain_imbalance
+            << ",\"warrants-optimization\":"
+            << (p.warrants_optimization ? "true" : "false");
+  if (p.lpi) std::cout << ",\"lpi\":" << *p.lpi;
+  std::cout << ",\"variables\":[";
+  bool first = true;
+  for (const core::VariableReport& r : analyzer.variables()) {
+    if (!first) std::cout << ',';
+    first = false;
+    std::cout << "{\"name\":\"" << json_escape(r.name) << "\",\"samples\":"
+              << r.samples << ",\"match\":" << r.match
+              << ",\"mismatch\":" << r.mismatch
+              << ",\"remote-latency-share\":" << r.remote_latency_share
+              << "}";
+  }
+  std::cout << "]}\n";
+}
+
+void print_analysis(const core::SessionData& data,
+                    const PipelineOptions& options, bool json,
+                    const std::string& telemetry_trace) {
+  const core::Analyzer analyzer(data, options);
+  if (json) {
+    print_analysis_json(analyzer);
+    return;
+  }
   const core::Viewer viewer(analyzer);
   std::cout << viewer.program_summary();
   const std::string health = viewer.collection_health();
   if (!health.empty()) {
     std::cout << "-- collection health --\n" << health;
+  }
+  if (!telemetry_trace.empty()) {
+    const core::TelemetryTrace trace =
+        core::load_telemetry_trace_file(telemetry_trace);
+    std::cout << core::render_health_pane(trace, &data);
   }
   std::cout << "\n"
             << viewer.data_centric_table(10).to_text() << "\n"
@@ -83,76 +121,87 @@ void print_analysis(const core::SessionData& data, unsigned jobs,
     std::cout << rec.variable_name << ": " << to_string(rec.action) << "\n  "
               << rec.rationale << "\n";
   }
-  if (!lint_paths.empty()) {
-    const lint::LintResult linted = lint::lint_paths(lint_paths);
+  if (!options.lint_paths.empty()) {
+    const lint::LintResult linted =
+        lint::lint_paths(options.lint_paths, options);
     std::cout << "\n"
               << core::render_fused_findings(
                      core::fuse_findings(advisor, linted.findings));
   }
 }
 
-int usage() {
-  std::cerr << "usage: analyze_profile [--lenient] [--jobs N] [--lint <src>] "
-               "<profile-file> [report-dir]\n"
-               "       analyze_profile [--lenient] [--jobs N] [--lint <src>] "
-               "--merge <file>...\n"
-               "       analyze_profile [--jobs N] --diff <before> <after>\n"
-               "       analyze_profile [--lint <src>] --selftest\n";
-  return 2;
+support::CliParser make_parser() {
+  support::CliParser cli(
+      "analyze_profile",
+      "offline analyzer/viewer for numaprof measurement files");
+  cli.add_flag("--jobs", true, "pipeline parallelism (byte-identical output)",
+               "N");
+  cli.add_flag("--format", true, "output format: text (default) or json",
+               "FMT");
+  cli.add_flag("--profile", true, "profile file to analyze", "PATH");
+  cli.add_flag("--telemetry", true,
+               "JSONL telemetry trace: render the measurement-health pane",
+               "PATH");
+  cli.add_flag("--lenient", false, "recover from damaged profiles");
+  cli.add_flag("--lint", true, "fuse numalint findings from this source",
+               "SRC");
+  cli.add_flag("--merge", false, "merge per-thread measurement files");
+  cli.add_flag("--diff", false, "compare two profiles (before after)");
+  cli.add_flag("--selftest", false, "generate and analyze a demo profile");
+  cli.add_flag("--help", false, "show this message");
+  return cli;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  support::CliParser cli = make_parser();
   try {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    bool lenient = false;
-    unsigned jobs = support::default_jobs();
-    std::vector<std::string> lint_sources;
-    for (bool matched = true; matched && !args.empty();) {
-      matched = false;
-      if (args.front() == "--lenient") {
-        lenient = true;
-        args.erase(args.begin());
-        matched = true;
-      } else if (args.front() == "--jobs") {
-        if (args.size() < 2) return usage();
-        try {
-          const unsigned long parsed = std::stoul(args[1]);
-          jobs = static_cast<unsigned>(
-              std::clamp<unsigned long>(parsed, 1, 256));
-        } catch (const std::exception&) {
-          return usage();
-        }
-        args.erase(args.begin(), args.begin() + 2);
-        matched = true;
-      } else if (args.front() == "--lint") {
-        if (args.size() < 2) return usage();
-        lint_sources.push_back(args[1]);
-        args.erase(args.begin(), args.begin() + 2);
-        matched = true;
-      }
-    }
-    if (!args.empty() && args.front() == "--selftest") {
-      const core::SessionData data = demo_session();
-      print_analysis(data, jobs, lint_sources);
+    cli.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (cli.has("--help")) {
+      std::cout << cli.usage();
       return 0;
     }
-    if (args.size() >= 3 && args.front() == "--diff") {
-      const core::SessionData before = core::load_profile_file(args[1]);
-      const core::SessionData after = core::load_profile_file(args[2]);
-      const core::Analyzer before_an(before, {.jobs = jobs});
-      const core::Analyzer after_an(after, {.jobs = jobs});
+    PipelineOptions options;
+    options.jobs = std::clamp(
+        cli.unsigned_value("--jobs", support::default_jobs()), 1u, 256u);
+    options.lenient = cli.has("--lenient");
+    options.lint_paths = cli.values("--lint");
+    const bool json = cli.value("--format").value_or("text") == "json";
+    if (cli.has("--format") && !json &&
+        cli.value("--format").value_or("") != "text") {
+      throw Error(ErrorKind::kUsage, {}, "--format", 0,
+                  "--format expects text or json\n" + cli.usage());
+    }
+    const std::string telemetry = cli.value("--telemetry").value_or("");
+
+    std::vector<std::string> inputs = cli.positional();
+    if (const auto profile = cli.value("--profile")) {
+      inputs.insert(inputs.begin(), *profile);
+    }
+
+    if (cli.has("--selftest")) {
+      print_analysis(demo_session(), options, json, telemetry);
+      return 0;
+    }
+    if (cli.has("--diff")) {
+      if (inputs.size() != 2) {
+        throw Error(ErrorKind::kUsage, {}, "--diff", 0,
+                    "--diff expects <before> <after>\n" + cli.usage());
+      }
+      const core::SessionData before = core::load_profile_file(inputs[0]);
+      const core::SessionData after = core::load_profile_file(inputs[1]);
+      const core::Analyzer before_an(before, options);
+      const core::Analyzer after_an(after, options);
       std::cout << core::render_diff(core::diff_profiles(before_an, after_an));
       return 0;
     }
-    if (!args.empty() && args.front() == "--merge") {
-      if (args.size() < 2) return usage();
-      const std::vector<std::string> files(args.begin() + 1, args.end());
-      core::MergeOptions options;
-      options.load.lenient = lenient;
-      options.jobs = jobs;
-      const core::MergeResult merged = core::merge_profile_files(files, options);
+    if (cli.has("--merge")) {
+      if (inputs.empty()) {
+        throw Error(ErrorKind::kUsage, {}, "--merge", 0,
+                    "--merge expects measurement files\n" + cli.usage());
+      }
+      const core::MergeResult merged = merge_profile_files(inputs, options);
       std::cout << "merged " << merged.summary.files_merged << " of "
                 << merged.summary.files_total << " profile files\n";
       for (const core::SkippedProfile& skip : merged.summary.skipped) {
@@ -162,29 +211,42 @@ int main(int argc, char** argv) {
         std::cout << "  diagnostic " << d.field << " (line " << d.line
                   << "): " << d.message << "\n";
       }
-      print_analysis(merged.data, jobs, lint_sources);
+      print_analysis(merged.data, options, json, telemetry);
       return 0;
     }
-    if (args.empty()) return usage();
+    if (inputs.empty() && !telemetry.empty()) {
+      // Telemetry-only mode: render the health pane with no profile to
+      // cross-check against.
+      std::cout << core::render_health_pane(
+          core::load_telemetry_trace_file(telemetry));
+      return 0;
+    }
+    if (inputs.empty()) {
+      throw Error(ErrorKind::kUsage, {}, "analyze_profile", 0,
+                  "expected a profile file\n" + cli.usage());
+    }
 
-    core::LoadOptions options;
-    options.lenient = lenient;
+    core::LoadOptions load_options;
+    load_options.lenient = options.lenient;
     const core::LoadResult loaded =
-        core::load_profile_file(args[0], options);
+        core::load_profile_file(inputs[0], load_options);
     for (const core::Diagnostic& d : loaded.diagnostics) {
       std::cout << "diagnostic: " << d.field << " (line " << d.line
                 << "): " << d.message << "\n";
     }
-    if (args.size() >= 2) {
-      const core::Analyzer analyzer(loaded.data, {.jobs = jobs});
-      const std::string main_file = core::write_report(analyzer, args[1]);
+    if (inputs.size() >= 2) {
+      const core::Analyzer analyzer(loaded.data, options);
+      const std::string main_file = core::write_report(analyzer, inputs[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(loaded.data, jobs, lint_sources);
+      print_analysis(loaded.data, options, json, telemetry);
     }
     return 0;
+  } catch (const Error& error) {
+    std::cerr << "analyze_profile: " << format_error(error) << "\n";
+    return error.kind() == ErrorKind::kUsage ? 2 : 1;
   } catch (const std::exception& error) {
-    std::cerr << "analyze_profile: " << error.what() << "\n";
+    std::cerr << "analyze_profile: " << format_error(error) << "\n";
     return 1;
   }
 }

@@ -15,10 +15,7 @@
 
 #include "apps/minilulesh.hpp"
 #include "core/advisor.hpp"
-#include "core/analyzer.hpp"
-#include "core/profile_io.hpp"
-#include "core/profiler.hpp"
-#include "core/viewer.hpp"
+#include "core/numaprof.hpp"
 #include "numasim/topology.hpp"
 
 using namespace numaprof;

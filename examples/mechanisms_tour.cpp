@@ -11,8 +11,7 @@
 #include <iostream>
 
 #include "apps/common.hpp"
-#include "core/analyzer.hpp"
-#include "core/profiler.hpp"
+#include "core/numaprof.hpp"
 #include "numasim/topology.hpp"
 #include "support/table.hpp"
 

@@ -1,19 +1,34 @@
 // numa_lint: command-line front end for the static NUMA-antipattern
 // analyzer (src/lint/). Scans C/C++ sources for the L1..L4 catalog and
 // prints findings with file/line/variable and a suggested fix drawn from
-// the advisor's action vocabulary.
+// the advisor's action vocabulary. Flags share their spelling with
+// analyze_profile and go through support::CliParser — unknown flags are
+// rejected with the usage string.
 //
-//   numa_lint <file-or-dir>...          lint sources, print findings
-//   numa_lint --stats <file-or-dir>...  also print scan statistics
-//   numa_lint --selftest                lint a built-in antipattern sample
+//   numa_lint [flags] <file-or-dir>...
+//   numa_lint --selftest
+//
+// Flags:
+//   --jobs N        lint files in parallel; output is identical for every N
+//   --format FMT    text (default) or json (one JSON object per finding)
+//   --profile PATH  fuse findings with this profile's dynamic evidence
+//   --telemetry T   also render the measurement-health pane from a JSONL
+//                   trace (cross-checked against --profile when given)
+//   --stats         print scan statistics
 //
 // Exit status: 0 = clean, 1 = findings reported, 2 = usage error.
-#include <cstring>
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/numaprof.hpp"
 #include "lint/numalint.hpp"
+#include "support/cliflags.hpp"
+#include "support/threadpool.hpp"
+
+using namespace numaprof;
 
 namespace {
 
@@ -50,14 +65,9 @@ void dsl_workload(SimThread& t, SimMachine& m, uint32_t threads) {
 }
 )lint";
 
-int usage() {
-  std::cerr << "usage: numa_lint [--stats] <file-or-dir>...\n"
-               "       numa_lint --selftest\n";
-  return 2;
-}
-
-int report(const numaprof::lint::LintResult& result, bool stats) {
-  std::cout << numaprof::lint::render_findings(result.findings);
+int report(const lint::LintResult& result, bool stats, bool json) {
+  std::cout << (json ? lint::render_findings_json(result.findings)
+                     : lint::render_findings(result.findings));
   if (stats) {
     std::cout << "scanned " << result.stats.files << " file"
               << (result.stats.files == 1 ? "" : "s") << ", "
@@ -68,18 +78,43 @@ int report(const numaprof::lint::LintResult& result, bool stats) {
   return result.findings.empty() ? 0 : 1;
 }
 
+support::CliParser make_parser() {
+  support::CliParser cli("numa_lint",
+                         "static NUMA-antipattern analyzer (L1..L4)");
+  cli.add_flag("--jobs", true, "lint files in parallel (identical output)",
+               "N");
+  cli.add_flag("--format", true, "output format: text (default) or json",
+               "FMT");
+  cli.add_flag("--profile", true,
+               "fuse findings with this profile's dynamic evidence", "PATH");
+  cli.add_flag("--telemetry", true,
+               "JSONL telemetry trace: render the measurement-health pane",
+               "PATH");
+  cli.add_flag("--stats", false, "print scan statistics");
+  cli.add_flag("--selftest", false, "lint a built-in antipattern sample");
+  cli.add_flag("--help", false, "show this message");
+  return cli;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool stats = false;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--stats") == 0) {
-      stats = true;
-    } else if (std::strcmp(argv[i], "--selftest") == 0) {
-      const auto result =
-          numaprof::lint::lint_source(kSelftestSource, "selftest.cpp");
-      const int rc = report(result, true);
+  support::CliParser cli = make_parser();
+  try {
+    cli.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (cli.has("--help")) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    const bool json = cli.value("--format").value_or("text") == "json";
+    if (cli.has("--format") && !json &&
+        cli.value("--format").value_or("") != "text") {
+      throw Error(ErrorKind::kUsage, {}, "--format", 0,
+                  "--format expects text or json\n" + cli.usage());
+    }
+    if (cli.has("--selftest")) {
+      const auto result = lint::lint_source(kSelftestSource, "selftest.cpp");
+      const int rc = report(result, true, json);
       // The sample plants all four antipatterns; finding none means the
       // analyzer is broken, so invert the exit convention here.
       if (rc != 1) {
@@ -88,12 +123,40 @@ int main(int argc, char** argv) {
       }
       std::cout << "selftest OK\n";
       return 0;
-    } else if (argv[i][0] == '-') {
-      return usage();
-    } else {
-      paths.emplace_back(argv[i]);
     }
+    if (cli.positional().empty()) {
+      throw Error(ErrorKind::kUsage, {}, "numa_lint", 0,
+                  "expected files or directories to lint\n" + cli.usage());
+    }
+    PipelineOptions options;
+    options.jobs = std::clamp(
+        cli.unsigned_value("--jobs", support::default_jobs()), 1u, 256u);
+    options.lint_paths = cli.positional();
+    const lint::LintResult result =
+        lint::lint_paths(options.lint_paths, options);
+    const int rc = report(result, cli.has("--stats"), json);
+
+    if (const auto profile = cli.value("--profile")) {
+      const Session data = core::load_profile_file(*profile);
+      const Analyzer analyzer(data, options);
+      const core::Advisor advisor(analyzer);
+      std::cout << "\n"
+                << core::render_fused_findings(
+                       core::fuse_findings(advisor, result.findings));
+      if (const auto trace_path = cli.value("--telemetry")) {
+        std::cout << render_health_pane(
+            load_telemetry_trace_file(*trace_path), &data);
+      }
+    } else if (const auto trace_path = cli.value("--telemetry")) {
+      std::cout << render_health_pane(
+          load_telemetry_trace_file(*trace_path));
+    }
+    return rc;
+  } catch (const Error& error) {
+    std::cerr << "numa_lint: " << format_error(error) << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "numa_lint: " << format_error(error) << "\n";
+    return 2;
   }
-  if (paths.empty()) return usage();
-  return report(numaprof::lint::lint_paths(paths), stats);
 }

@@ -10,9 +10,7 @@
 #include <iostream>
 
 #include "core/advisor.hpp"
-#include "core/analyzer.hpp"
-#include "core/profiler.hpp"
-#include "core/viewer.hpp"
+#include "core/numaprof.hpp"
 #include "numasim/topology.hpp"
 #include "simrt/machine.hpp"
 

@@ -2,24 +2,31 @@
 // sampling mechanism and write the measurement file for analyze_profile.
 //
 // Usage:
-//   record_app <app> <variant> <mechanism> <out-file> [--trace]
-//              [--shards <dir>]
+//   record_app [flags] <app> <variant> <mechanism> <out-file>
 //     app:       lulesh | amg | blackscholes | umt | fig1
 //     variant:   baseline | blockwise | interleave | aos | parallel-init
 //     mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs
-//     --shards:  also write per-thread measurement files (hpcrun style)
-//                into <dir>, for analyze_profile --merge
+//
+// Flags:
+//   --trace                   record the per-sample trace
+//   --shards DIR              also write per-thread measurement files
+//                             (hpcrun style) for analyze_profile --merge
+//   --telemetry-interval N    stream a live measurement-health status line
+//                             every N retired instructions while the
+//                             workload runs (per-mechanism sample/drop
+//                             counters, running M_l/M_r)
+//   --telemetry PATH          write the telemetry stream as a JSONL trace;
+//                             analyze_profile --telemetry PATH renders it
 //
 // Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the run under
 // injected failures: mechanism init failures degrade along the fallback
-// chain, sample faults are counted, and the profile records it all.
+// chain, sample faults are counted, and both the profile and the live
+// telemetry stream record it all.
 //
 // Example (the full §8.1 pipeline on the command line):
-//   record_app lulesh baseline ibs before.prof
-//   record_app lulesh blockwise ibs after.prof
-//   analyze_profile before.prof            # diagnosis
-//   analyze_profile --diff before.prof after.prof   # verify the fix
-
+//   record_app --telemetry before.jsonl lulesh baseline ibs before.prof
+//   analyze_profile --telemetry before.jsonl before.prof   # diagnosis
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -29,9 +36,9 @@
 #include "apps/miniblackscholes.hpp"
 #include "apps/minilulesh.hpp"
 #include "apps/miniumt.hpp"
-#include "core/profile_io.hpp"
-#include "core/profiler.hpp"
+#include "core/numaprof.hpp"
 #include "numasim/topology.hpp"
+#include "support/cliflags.hpp"
 
 using namespace numaprof;
 
@@ -50,48 +57,119 @@ const std::map<std::string, apps::Variant> kVariants = {
     {"aos", apps::Variant::kAosRegroup},
     {"parallel-init", apps::Variant::kParallelInit}};
 
-int usage() {
-  std::cerr
-      << "usage: record_app <app> <variant> <mechanism> <out-file> [--trace]"
-         " [--shards <dir>]\n"
-         "  app:       lulesh | amg | blackscholes | umt | fig1\n"
-         "  variant:   baseline | blockwise | interleave | aos | "
-         "parallel-init\n"
-         "  mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs\n"
-         "  --shards:  also write per-thread measurement files into <dir>\n";
-  return 2;
+support::CliParser make_parser() {
+  support::CliParser cli(
+      "record_app",
+      "run a case-study workload under a sampling mechanism; "
+      "operands: <app> <variant> <mechanism> <out-file>");
+  cli.add_flag("--trace", false, "record the per-sample trace");
+  cli.add_flag("--shards", true, "also write per-thread shards into DIR",
+               "DIR");
+  cli.add_flag("--telemetry-interval", true,
+               "stream a live health status line every N instructions", "N");
+  cli.add_flag("--telemetry", true, "write the telemetry JSONL trace here",
+               "PATH");
+  cli.add_flag("--help", false, "show this message");
+  return cli;
+}
+
+[[noreturn]] void bad_usage(const support::CliParser& cli,
+                            const std::string& message) {
+  throw Error(ErrorKind::kUsage, {}, "record_app", 0,
+              message + "\n" + cli.usage() +
+                  "  app:       lulesh | amg | blackscholes | umt | fig1\n"
+                  "  variant:   baseline | blockwise | interleave | aos | "
+                  "parallel-init\n"
+                  "  mechanism: ibs | mrk | pebs | dear | pebs-ll | "
+                  "soft-ibs\n");
+}
+
+void run_workload(simrt::Machine& machine, const std::string& app,
+                  apps::Variant variant) {
+  if (app == "lulesh") {
+    apps::run_minilulesh(machine, {.threads = 48,
+                                   .pages_per_thread = 4,
+                                   .timesteps = 12,
+                                   .variant = variant});
+  } else if (app == "amg") {
+    apps::run_miniamg(machine, {.threads = 48,
+                                .rows_per_thread = 1024,
+                                .nnz_per_row = 4,
+                                .relax_sweeps = 5,
+                                .matvec_sweeps = 1,
+                                .variant = variant});
+  } else if (app == "blackscholes") {
+    apps::BlackscholesConfig bs;
+    bs.threads = 48;
+    bs.variant = variant;
+    apps::run_miniblackscholes(machine, bs);
+  } else if (app == "umt") {
+    apps::run_miniumt(machine, {.threads = 32,
+                                .groups = 64,
+                                .corners = 32,
+                                .angles = 128,
+                                .sweeps = 8,
+                                .variant = variant});
+  } else {
+    apps::run_distribution(
+        machine, {.threads = 48,
+                  .pages_per_thread = 4,
+                  .sweeps = 4,
+                  .distribution = apps::Distribution::kCentralized});
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 5) return usage();
-  const std::string app = argv[1];
-  const auto variant_it = kVariants.find(argv[2]);
-  const auto mech_it = kMechanisms.find(argv[3]);
-  if (variant_it == kVariants.end() || mech_it == kMechanisms.end()) {
-    return usage();
-  }
-  const std::string out = argv[4];
-  bool trace = false;
-  std::string shard_dir;
-  for (int i = 5; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--trace") {
-      trace = true;
-    } else if (arg == "--shards" && i + 1 < argc) {
-      shard_dir = argv[++i];
-    } else {
-      return usage();
-    }
-  }
-
+  support::CliParser cli = make_parser();
   try {
+    cli.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (cli.has("--help")) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    const std::vector<std::string>& operands = cli.positional();
+    if (operands.size() != 4) {
+      bad_usage(cli, "expected <app> <variant> <mechanism> <out-file>");
+    }
+    const std::string& app = operands[0];
+    const auto variant_it = kVariants.find(operands[1]);
+    const auto mech_it = kMechanisms.find(operands[2]);
+    if (variant_it == kVariants.end()) {
+      bad_usage(cli, "unknown variant: " + operands[1]);
+    }
+    if (mech_it == kMechanisms.end()) {
+      bad_usage(cli, "unknown mechanism: " + operands[2]);
+    }
+    if (app != "lulesh" && app != "amg" && app != "blackscholes" &&
+        app != "umt" && app != "fig1") {
+      bad_usage(cli, "unknown app: " + app);
+    }
+    const std::string& out = operands[3];
+
     // MRK belongs on the POWER7 preset, everything else on the AMD box —
     // mirroring Table 1's mechanism/host pairing.
     const bool on_power7 = mech_it->second == pmu::Mechanism::kMrk;
     simrt::Machine machine(on_power7 ? numasim::power7()
                                      : numasim::amd_magny_cours());
+
+    // Live telemetry: the hub every measurement component publishes into,
+    // and the streamer that periodically folds it into status lines and/or
+    // the JSONL trace.
+    Telemetry hub;
+    machine.set_telemetry(&hub);
+    std::ofstream jsonl;
+    const auto trace_path = cli.value("--telemetry");
+    if (trace_path) {
+      jsonl.open(*trace_path);
+      if (!jsonl) {
+        throw Error(ErrorKind::kTelemetry, *trace_path, "telemetry", 0,
+                    "cannot open telemetry trace for writing: " +
+                        *trace_path);
+      }
+    }
+
     core::ProfilerConfig cfg;
     cfg.event = pmu::EventConfig::mini(mech_it->second);
     // These runs are seconds long, not hours: sample densely enough that
@@ -104,59 +182,51 @@ int main(int argc, char** argv) {
                                                event_filtered ? 50 : 500);
     cfg.event.min_sample_gap =
         std::min<numasim::Cycles>(cfg.event.min_sample_gap, 20'000);
-    cfg.record_trace = trace;
+    cfg.record_trace = cli.has("--trace");
+    cfg.telemetry = &hub;
     core::Profiler profiler(machine, cfg);
 
-    const apps::Variant variant = variant_it->second;
-    if (app == "lulesh") {
-      apps::run_minilulesh(machine, {.threads = 48,
-                                     .pages_per_thread = 4,
-                                     .timesteps = 12,
-                                     .variant = variant});
-    } else if (app == "amg") {
-      apps::run_miniamg(machine, {.threads = 48,
-                                  .rows_per_thread = 1024,
-                                  .nnz_per_row = 4,
-                                  .relax_sweeps = 5,
-                                  .matvec_sweeps = 1,
-                                  .variant = variant});
-    } else if (app == "blackscholes") {
-      apps::BlackscholesConfig bs;
-      bs.threads = 48;
-      bs.variant = variant;
-      apps::run_miniblackscholes(machine, bs);
-    } else if (app == "umt") {
-      apps::run_miniumt(machine, {.threads = 32,
-                                  .groups = 64,
-                                  .corners = 32,
-                                  .angles = 128,
-                                  .sweeps = 8,
-                                  .variant = variant});
-    } else if (app == "fig1") {
-      apps::run_distribution(
-          machine, {.threads = 48,
-                    .pages_per_thread = 4,
-                    .sweeps = 4,
-                    .distribution = apps::Distribution::kCentralized});
-    } else {
-      return usage();
+    TelemetryStreamer::Config stream_cfg;
+    stream_cfg.interval_instructions =
+        cli.unsigned_value("--telemetry-interval", 0);
+    stream_cfg.status =
+        cli.has("--telemetry-interval") ? &std::cerr : nullptr;
+    stream_cfg.jsonl = trace_path ? &jsonl : nullptr;
+    stream_cfg.mechanism = profiler.sampler().mechanism();
+    TelemetryStreamer streamer(hub, stream_cfg);
+    const bool streaming = stream_cfg.status != nullptr ||
+                           stream_cfg.jsonl != nullptr;
+    if (streaming) machine.add_observer(streamer);
+
+    run_workload(machine, app, variant_it->second);
+
+    if (streaming) {
+      streamer.flush(machine.elapsed());
+      machine.remove_observer(streamer);
     }
     const core::SessionData data = profiler.snapshot();
     core::save_profile_file(data, out);
-    std::cout << "recorded " << app << "/" << argv[2] << " under "
+    std::cout << "recorded " << app << "/" << operands[1] << " under "
               << to_string(data.mechanism) << " -> " << out << "\n";
     if (data.degraded()) {
       std::cout << "collection degraded (" << data.degradations.size()
                 << " event(s)); see the report's collection health section\n";
     }
-    if (!shard_dir.empty()) {
-      const auto paths = core::save_thread_shards(data, shard_dir);
+    if (const auto shard_dir = cli.value("--shards")) {
+      const auto paths = core::save_thread_shards(data, *shard_dir);
       std::cout << "wrote " << paths.size() << " per-thread shards to "
-                << shard_dir << "\n";
+                << *shard_dir << "\n";
+    }
+    if (trace_path) {
+      std::cout << "wrote telemetry trace (" << streamer.snapshots_emitted()
+                << " snapshot(s)) to " << *trace_path << "\n";
     }
     return 0;
+  } catch (const Error& error) {
+    std::cerr << "record_app: " << format_error(error) << "\n";
+    return error.kind() == ErrorKind::kUsage ? 2 : 1;
   } catch (const std::exception& error) {
-    std::cerr << "record_app: " << error.what() << "\n";
+    std::cerr << "record_app: " << format_error(error) << "\n";
     return 1;
   }
 }

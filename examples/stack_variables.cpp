@@ -11,9 +11,7 @@
 
 #include "apps/common.hpp"
 #include "core/advisor.hpp"
-#include "core/analyzer.hpp"
-#include "core/profiler.hpp"
-#include "core/viewer.hpp"
+#include "core/numaprof.hpp"
 #include "numasim/topology.hpp"
 
 using namespace numaprof;

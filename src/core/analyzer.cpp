@@ -8,13 +8,19 @@
 
 namespace numaprof::core {
 
-Analyzer::Analyzer(const SessionData& data, const AnalyzerOptions& options)
+Analyzer::Analyzer(const SessionData& data, const PipelineOptions& options)
     : data_(&data), merged_(data.domain_count) {
   validate_stores();
   merge_stores(options);
   build_program_summary();
   build_variable_reports();
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Analyzer::Analyzer(const SessionData& data, const AnalyzerOptions& options)
+    : Analyzer(data, options.pipeline()) {}
+#pragma GCC diagnostic pop
 
 void Analyzer::validate_stores() const {
   for (std::size_t tid = 0; tid < data_->stores.size(); ++tid) {
@@ -29,7 +35,7 @@ void Analyzer::validate_stores() const {
   }
 }
 
-void Analyzer::merge_stores(const AnalyzerOptions& options) {
+void Analyzer::merge_stores(const PipelineOptions& options) {
   const unsigned jobs = options.pool ? options.pool->jobs() : options.jobs;
   if (jobs <= 1 || data_->stores.size() <= 1) {
     for (const MetricStore& store : data_->stores) merged_.merge(store);

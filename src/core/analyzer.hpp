@@ -13,13 +13,16 @@
 #include <string_view>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/session.hpp"
 #include "support/threadpool.hpp"
 
 namespace numaprof::core {
 
-/// Parallelism knobs for the offline analyzer.
-struct AnalyzerOptions {
+/// DEPRECATED shim kept so pre-PipelineOptions call sites still compile;
+/// new code passes numaprof::PipelineOptions (core/options.hpp) instead.
+struct [[deprecated(
+    "use numaprof::PipelineOptions instead")]] AnalyzerOptions {
   /// Participants in the per-thread profile merge. 1 = the serial
   /// reference path. Any value produces bitwise-identical results: the
   /// merge parallelizes across metric ROWS and folds each row's values in
@@ -28,6 +31,13 @@ struct AnalyzerOptions {
   /// Reuse an existing pool instead of spawning one per Analyzer. When
   /// set, `jobs` is ignored in favor of the pool's size.
   support::ThreadPool* pool = nullptr;
+
+  PipelineOptions pipeline() const {
+    PipelineOptions options;
+    options.jobs = jobs;
+    options.pool = pool;
+    return options;
+  }
 };
 
 struct ProgramSummary {
@@ -99,9 +109,17 @@ class Analyzer {
   /// Merges the session's per-thread stores (§7.2) and derives the §4
   /// metrics. Throws ProfileError if any store's domain count disagrees
   /// with the session's machine — merging mismatched widths would silently
-  /// misattribute every per-domain column.
+  /// misattribute every per-domain column. Only the parallelism knobs of
+  /// `options` (jobs, pool) are consumed at this stage.
   explicit Analyzer(const SessionData& data,
-                    const AnalyzerOptions& options = {});
+                    const PipelineOptions& options = {});
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  /// DEPRECATED compat overload; forwards to the PipelineOptions form.
+  [[deprecated("use the numaprof::PipelineOptions overload instead")]]
+  Analyzer(const SessionData& data, const AnalyzerOptions& options);
+#pragma GCC diagnostic pop
 
   const ProgramSummary& program() const noexcept { return program_; }
 
@@ -136,7 +154,7 @@ class Analyzer {
 
  private:
   void validate_stores() const;
-  void merge_stores(const AnalyzerOptions& options);
+  void merge_stores(const PipelineOptions& options);
   void build_program_summary();
   void build_variable_reports();
 

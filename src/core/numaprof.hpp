@@ -1,0 +1,87 @@
+// numaprof.hpp — the supported public surface of the numaprof toolkit.
+//
+// External consumers include THIS header and nothing else; everything it
+// exports lives in namespace numaprof (directly or via the aliases below).
+// Any symbol reachable only through other headers is an internal detail
+// and may change without notice. CI compiles a minimal consumer TU against
+// this header alone (tests/api_surface_check.cpp) so the surface cannot
+// silently regress.
+//
+// Stability notes (see docs/api.md for the full policy):
+//   [stable]     covered by the deprecation policy — breaking changes ship
+//                a deprecated shim for at least one release first;
+//   [evolving]   may gain members/overloads in any release; existing
+//                spellings keep compiling;
+//   [deprecated] already shimmed; slated for removal.
+#pragma once
+
+#include "core/analyzer.hpp"
+#include "core/options.hpp"
+#include "core/profile_io.hpp"
+#include "core/profiler.hpp"
+#include "core/session.hpp"
+#include "core/telemetry_stream.hpp"
+#include "core/viewer.hpp"
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+namespace numaprof {
+
+// --- Options & errors ------------------------------------------------
+// PipelineOptions [stable]: the one option block consumed by both the
+// shard merge and the analyzer fold (declared in core/options.hpp).
+// Error / ErrorKind / format_error [stable]: the one exception base and
+// the one CLI formatter (declared in support/error.hpp).
+
+// --- Measurement (online, §7.1) --------------------------------------
+/// Session [stable]: everything one profiled run produced — machine
+/// shape, CCT, per-thread metric stores, degradation record. The profile
+/// serialization round-trips this type.
+using Session = core::SessionData;
+/// Profiler [evolving]: the online collector; attach to a simulated
+/// machine, run the workload, snapshot() a Session.
+using Profiler = core::Profiler;
+/// ProfilerConfig [evolving]: mechanism/first-touch/watchdog/telemetry
+/// knobs for Profiler.
+using ProfilerConfig = core::ProfilerConfig;
+
+// --- Analysis (offline, §7.2) ----------------------------------------
+/// Analyzer [stable]: merges a Session's per-thread stores and derives
+/// the §4 metrics. Construct with PipelineOptions.
+using Analyzer = core::Analyzer;
+/// Viewer [evolving]: renders an Analyzer as the paper's report panes.
+using Viewer = core::Viewer;
+/// MergeResult [stable]: merged Session plus per-file accounting.
+using MergeResult = core::MergeResult;
+
+/// merge_profile_files [stable]: loads and merges per-thread measurement
+/// files under a PipelineOptions policy (jobs, lenient, quorum).
+using core::merge_profile_files;
+
+// --- Live telemetry --------------------------------------------------
+/// TelemetryHub / TelemetryRing / TelemetrySnapshot [evolving]: the
+/// lock-free self-observability layer every measurement component
+/// publishes into (support/telemetry.hpp).
+using Telemetry = support::TelemetryHub;
+using TelemetryConfig = support::TelemetryConfig;
+using TelemetrySnapshot = support::TelemetrySnapshot;
+using TelemetryCounter = support::TelemetryCounter;
+using TelemetryEvent = support::TelemetryEvent;
+using TelemetryEventKind = support::TelemetryEventKind;
+/// TelemetryStreamer [evolving]: machine observer emitting periodic
+/// snapshots as live status lines and/or a JSONL trace.
+using TelemetryStreamer = core::TelemetryStreamer;
+/// TelemetryTrace [evolving]: a reloaded JSONL trace; render_health_pane
+/// cross-checks it against a Session's degradation record.
+using TelemetryTrace = core::TelemetryTrace;
+using core::format_status_line;
+using core::load_telemetry_trace;
+using core::load_telemetry_trace_file;
+using core::render_health_pane;
+using core::write_snapshot_jsonl;
+
+// --- Deprecated shims ------------------------------------------------
+// core::MergeOptions / core::AnalyzerOptions [deprecated]: superseded by
+// PipelineOptions; they forward via .pipeline() and warn at compile time.
+
+}  // namespace numaprof

@@ -1,0 +1,43 @@
+// numaprof::PipelineOptions — the one option block for the offline
+// pipeline.
+//
+// The analyzer surface accreted piecemeal: core::MergeOptions configured
+// the shard merge, core::AnalyzerOptions the per-thread store fold, and
+// the CLIs grew ad-hoc flags on top. Both stages now consume this single
+// struct; the old types survive only as thin deprecated shims
+// (docs/api.md describes the deprecation policy).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace numaprof::support {
+class ThreadPool;
+}
+
+namespace numaprof {
+
+struct PipelineOptions {
+  /// Participants in every parallel stage (shard parsing, per-thread
+  /// column folds, metric-row merges). 1 = the serial reference path; any
+  /// value produces bitwise-identical results (docs/analyzer.md).
+  unsigned jobs = 1;
+  /// Reuse an existing pool instead of spawning one per stage. When set,
+  /// `jobs` is ignored in favor of the pool's size.
+  support::ThreadPool* pool = nullptr;
+  /// Recover from damaged inputs: malformed sections become diagnostics,
+  /// unreadable shard files are skipped (subject to `quorum`).
+  bool lenient = false;
+  /// Minimum fraction of input files that must merge successfully; below
+  /// this the merge throws even in lenient mode.
+  double quorum = 0.5;
+  /// Hard ceiling on any one profile section's element count; corrupt
+  /// headers claiming gigantic counts are rejected before any reserve().
+  std::size_t max_count = std::size_t(1) << 22;
+  /// Sources for the static NUMA-antipattern analyzer; when non-empty the
+  /// CLIs append a fused-findings pane to their reports (docs/lint.md).
+  std::vector<std::string> lint_paths;
+};
+
+}  // namespace numaprof

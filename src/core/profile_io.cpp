@@ -28,10 +28,9 @@ bool needs_escape(char c) noexcept {
 
 ProfileError::ProfileError(std::string field, std::size_t line,
                            const std::string& message)
-    : std::runtime_error("profile parse error: " + field + " (line " +
-                         std::to_string(line) + "): " + message),
-      field_(std::move(field)),
-      line_(line) {}
+    : Error(ErrorKind::kProfile, /*file=*/{}, field, line,
+            "profile parse error: " + field + " (line " +
+                std::to_string(line) + "): " + message) {}
 
 std::string escape_field(std::string_view raw) {
   std::string out;
@@ -734,11 +733,20 @@ void merge_session(SessionData& base, SessionData&& other) {
   // run replicate it); incompatible histories were already screened out.
 }
 
+/// The load policy implied by the pipeline-level knobs.
+LoadOptions load_options_of(const PipelineOptions& options) {
+  LoadOptions load;
+  load.lenient = options.lenient;
+  load.max_count = options.max_count;
+  return load;
+}
+
 /// Fails the merge on a quorum shortfall (checked in both modes).
-void check_quorum(const MergeSummary& summary, const MergeOptions& options) {
+void check_quorum(const MergeSummary& summary,
+                  const PipelineOptions& options) {
   const double fraction = static_cast<double>(summary.files_merged) /
                           static_cast<double>(summary.files_total);
-  if (fraction < options.min_quorum) {
+  if (fraction < options.quorum) {
     throw ProfileError(
         "quorum", 0,
         "only " + std::to_string(summary.files_merged) + " of " +
@@ -761,24 +769,25 @@ void record_skips(MergeResult& result) {
 /// The `jobs == 1` reference path: load and fold one file at a time, in
 /// input order. Parallel merges are defined by equivalence to this.
 MergeResult merge_files_serial(const std::vector<std::string>& paths,
-                               const MergeOptions& options) {
+                               const PipelineOptions& options) {
   MergeResult result;
   MergeSummary& summary = result.summary;
   summary.files_total = paths.size();
+  const LoadOptions load = load_options_of(options);
 
   bool have_base = false;
   for (const std::string& path : paths) {
     LoadResult loaded;
     try {
-      loaded = load_profile_file(path, options.load);
+      loaded = load_profile_file(path, load);
     } catch (const ProfileError& e) {
-      if (!options.load.lenient) {
+      if (!options.lenient) {
         throw ProfileError(e.field(), e.line(), path + ": " + e.what());
       }
       summary.skipped.push_back(SkippedProfile{path, e.what()});
       continue;
     } catch (const std::exception& e) {
-      if (!options.load.lenient) {
+      if (!options.lenient) {
         throw ProfileError("file", 0, path + ": " + e.what());
       }
       summary.skipped.push_back(SkippedProfile{path, e.what()});
@@ -796,7 +805,7 @@ MergeResult merge_files_serial(const std::vector<std::string>& paths,
     }
     const std::string reason = incompatibility(result.data, loaded.data);
     if (!reason.empty()) {
-      if (!options.load.lenient) {
+      if (!options.lenient) {
         throw ProfileError("merge", 0, path + ": " + reason);
       }
       summary.skipped.push_back(SkippedProfile{path, reason});
@@ -825,20 +834,23 @@ MergeResult merge_files_serial(const std::vector<std::string>& paths,
 /// sessions in index order, so every scalar sees the identical addition
 /// sequence as merge_files_serial and the result is bitwise identical.
 MergeResult merge_files_parallel(const std::vector<std::string>& paths,
-                                 const MergeOptions& options) {
+                                 const PipelineOptions& options) {
   MergeResult result;
   MergeSummary& summary = result.summary;
   summary.files_total = paths.size();
+  const LoadOptions load = load_options_of(options);
 
   struct LoadSlot {
     LoadResult loaded;
     std::exception_ptr error;
   };
   std::vector<LoadSlot> slots(paths.size());
-  support::ThreadPool pool(options.jobs);
-  pool.for_each_index(paths.size(), [&](std::size_t i) {
+  std::optional<support::ThreadPool> owned;
+  support::ThreadPool* pool = options.pool;
+  if (pool == nullptr) pool = &owned.emplace(options.jobs);
+  pool->for_each_index(paths.size(), [&](std::size_t i) {
     try {
-      slots[i].loaded = load_profile_file(paths[i], options.load);
+      slots[i].loaded = load_profile_file(paths[i], load);
     } catch (...) {
       slots[i].error = std::current_exception();
     }
@@ -857,12 +869,12 @@ MergeResult merge_files_parallel(const std::vector<std::string>& paths,
       try {
         std::rethrow_exception(slot.error);
       } catch (const ProfileError& e) {
-        if (!options.load.lenient) {
+        if (!options.lenient) {
           throw ProfileError(e.field(), e.line(), path + ": " + e.what());
         }
         summary.skipped.push_back(SkippedProfile{path, e.what()});
       } catch (const std::exception& e) {
-        if (!options.load.lenient) {
+        if (!options.lenient) {
           throw ProfileError("file", 0, path + ": " + e.what());
         }
         summary.skipped.push_back(SkippedProfile{path, e.what()});
@@ -881,7 +893,7 @@ MergeResult merge_files_parallel(const std::vector<std::string>& paths,
     }
     const std::string reason = incompatibility(result.data, slot.loaded.data);
     if (!reason.empty()) {
-      if (!options.load.lenient) {
+      if (!options.lenient) {
         throw ProfileError("merge", 0, path + ": " + reason);
       }
       summary.skipped.push_back(SkippedProfile{path, reason});
@@ -916,7 +928,7 @@ MergeResult merge_files_parallel(const std::vector<std::string>& paths,
     base.stores.emplace_back(base.domain_count);
   }
   support::parallel_for(
-      &pool, threads, 1, [&](std::size_t begin, std::size_t end) {
+      pool, threads, 1, [&](std::size_t begin, std::size_t end) {
         for (std::size_t tid = begin; tid < end; ++tid) {
           for (const SessionData& s : sessions) {
             if (tid < s.totals.size()) {
@@ -947,14 +959,23 @@ MergeResult merge_files_parallel(const std::vector<std::string>& paths,
 }  // namespace
 
 MergeResult merge_profile_files(const std::vector<std::string>& paths,
-                                const MergeOptions& options) {
+                                const PipelineOptions& options) {
   if (paths.empty()) {
     throw ProfileError("merge", 0, "no input profiles");
   }
-  if (options.jobs <= 1 || paths.size() == 1) {
+  const unsigned jobs = options.pool ? options.pool->jobs() : options.jobs;
+  if (jobs <= 1 || paths.size() == 1) {
     return merge_files_serial(paths, options);
   }
   return merge_files_parallel(paths, options);
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+MergeResult merge_profile_files(const std::vector<std::string>& paths,
+                                const MergeOptions& options) {
+  return merge_profile_files(paths, options.pipeline());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace numaprof::core

@@ -20,11 +20,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/options.hpp"
 #include "core/session.hpp"
+#include "support/error.hpp"
 
 namespace numaprof::core {
 
@@ -33,18 +34,12 @@ namespace numaprof::core {
 inline constexpr int kProfileFormatVersion = 3;
 inline constexpr int kMinProfileFormatVersion = 2;
 
-/// A typed parse error carrying the offending field and 1-based line.
-class ProfileError : public std::runtime_error {
+/// A typed parse error carrying the offending field and 1-based line
+/// (numaprof::Error with kind ErrorKind::kProfile).
+class ProfileError : public numaprof::Error {
  public:
   ProfileError(std::string field, std::size_t line,
                const std::string& message);
-
-  const std::string& field() const noexcept { return field_; }
-  std::size_t line() const noexcept { return line_; }
-
- private:
-  std::string field_;
-  std::size_t line_;
 };
 
 struct LoadOptions {
@@ -89,7 +84,10 @@ LoadResult load_profile(std::istream& is, const LoadOptions& options);
 LoadResult load_profile_file(const std::string& path,
                              const LoadOptions& options);
 
-struct MergeOptions {
+/// DEPRECATED shim kept so pre-PipelineOptions call sites still compile;
+/// new code passes numaprof::PipelineOptions (core/options.hpp) instead.
+struct [[deprecated(
+    "use numaprof::PipelineOptions instead")]] MergeOptions {
   LoadOptions load;
   /// Minimum fraction of input files that must merge successfully; below
   /// this quorum the merge throws even in lenient mode (a run built from
@@ -101,6 +99,15 @@ struct MergeOptions {
   /// completion order — so the merged session (skips, diagnostics, quorum
   /// behavior included) is bitwise identical to the serial result.
   unsigned jobs = 1;
+
+  PipelineOptions pipeline() const {
+    PipelineOptions options;
+    options.jobs = jobs;
+    options.lenient = load.lenient;
+    options.quorum = min_quorum;
+    options.max_count = load.max_count;
+    return options;
+  }
 };
 
 struct SkippedProfile {
@@ -127,8 +134,18 @@ struct MergeResult {
 /// in lenient mode unreadable or structurally incompatible files are
 /// skipped, recorded in the summary, AND surfaced as kProfileFileSkipped
 /// degradation events in the merged SessionData so reports show them.
+/// `options.lint_paths` is not consumed here (the merge has no source
+/// view); CLIs act on it after merging.
 MergeResult merge_profile_files(const std::vector<std::string>& paths,
-                                const MergeOptions& options = {});
+                                const PipelineOptions& options = {});
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// DEPRECATED compat overload; forwards to the PipelineOptions form.
+[[deprecated("use the numaprof::PipelineOptions overload instead")]]
+MergeResult merge_profile_files(const std::vector<std::string>& paths,
+                                const MergeOptions& options);
+#pragma GCC diagnostic pop
 
 /// Percent-escaping for strings embedded in the profile format (escapes
 /// '%', whitespace, and control characters).

@@ -3,6 +3,7 @@
 #include "pmu/mechanisms.hpp"
 #include "simos/numa_api.hpp"
 #include "support/faultinject.hpp"
+#include "support/telemetry.hpp"
 
 namespace numaprof::core {
 
@@ -14,6 +15,9 @@ Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
       addr_(ProfilerConfig::resolve_bins(config.address_bins)) {
   access_dummy_ = cct_.child(kRootNode, NodeKind::kAccess, 0);
   first_touch_dummy_ = cct_.child(kRootNode, NodeKind::kFirstTouch, 0);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->set_domain_count(machine.topology().domain_count);
+  }
 
   support::FaultPlan& plan =
       config_.faults ? *config_.faults : support::global_fault_plan();
@@ -28,6 +32,9 @@ Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
           .value = 0,
           .detail = std::string(pmu::to_string(m)) +
                     " failed its availability probe"});
+      publish_telemetry_event(support::TelemetryEventKind::kMechanismUnavailable,
+                              static_cast<std::uint64_t>(m),
+                              degradations_.back().detail);
     }
     if (fb.degraded()) {
       degradations_.push_back(DegradationEvent{
@@ -36,6 +43,9 @@ Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
           .value = 0,
           .detail = "requested " + std::string(pmu::to_string(fb.requested)) +
                     ", collecting with " + std::string(pmu::to_string(fb.used))});
+      publish_telemetry_event(support::TelemetryEventKind::kMechanismFallback,
+                              static_cast<std::uint64_t>(fb.used),
+                              degradations_.back().detail);
     }
   } else {
     sampler_ = pmu::make_sampler(config_.event);
@@ -43,10 +53,12 @@ Profiler::Profiler(simrt::Machine& machine, ProfilerConfig config)
   }
 
   sampler_->set_sink([this](const pmu::Sample& s) { on_sample(s); });
+  sampler_->set_telemetry(config_.telemetry);
   machine_.add_observer(*sampler_);
   if (config_.enable_watchdog) {
     watchdog_ = std::make_unique<pmu::SamplingWatchdog>(*sampler_,
                                                         config_.watchdog);
+    watchdog_->set_telemetry(config_.telemetry);
     machine_.add_observer(*watchdog_);
   }
   machine_.add_observer(*this);
@@ -100,10 +112,31 @@ ThreadTotals& Profiler::totals_of(simrt::ThreadId tid) {
 
 void Profiler::on_alloc(const simrt::AllocEvent& event) {
   registry_.on_alloc(event);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->ring(event.tid).add(
+        support::TelemetryCounter::kHeapRegistrations);
+  }
 }
 
 void Profiler::on_free(const simrt::FreeEvent& event) {
   registry_.on_free(event);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->ring(event.tid).add(
+        support::TelemetryCounter::kHeapFrees);
+  }
+}
+
+void Profiler::publish_telemetry_event(support::TelemetryEventKind kind,
+                                       std::uint64_t value,
+                                       std::string_view detail) {
+  if (config_.telemetry == nullptr) return;
+  support::TelemetryEvent event;
+  event.kind = kind;
+  event.tid = 0;
+  event.time = machine_.elapsed();
+  event.value = value;
+  event.set_detail(detail);
+  config_.telemetry->ring(0).publish(event);
 }
 
 void Profiler::record_at(MetricStore& store, NodeId node, bool mismatch,
@@ -172,6 +205,12 @@ void Profiler::on_sample(const pmu::Sample& sample) {
   // Whole-program totals.
   mismatch ? ++totals.mismatch : ++totals.match;
   totals.per_domain[home_domain] += 1;
+  if (config_.telemetry != nullptr) {
+    support::TelemetryRing& ring = config_.telemetry->ring(sample.tid);
+    ring.add(mismatch ? support::TelemetryCounter::kMismatchSamples
+                      : support::TelemetryCounter::kMatchSamples);
+    ring.add_domain_sample(home_domain, mismatch);
+  }
   if (sample.latency) {
     const auto latency = static_cast<double>(*sample.latency);
     totals.total_latency += latency;
@@ -221,6 +260,10 @@ void Profiler::on_fault(const simrt::FaultEvent& fault) {
       .domain = simos::numa_node_of_cpu(machine_.topology(), fault.core),
       .node = node,
       .page = page});
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->ring(fault.tid).add(
+        support::TelemetryCounter::kFirstTouchTraps);
+  }
 }
 
 SessionData Profiler::snapshot() {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/session.hpp"
@@ -21,6 +22,8 @@
 
 namespace numaprof::support {
 class FaultPlan;
+class TelemetryHub;
+enum class TelemetryEventKind : std::uint8_t;
 }
 
 namespace numaprof::core {
@@ -49,6 +52,11 @@ struct ProfilerConfig {
   /// Fault plan consulted for init failures and per-sample faults.
   /// nullptr = the process-global plan (configured via NUMAPROF_FAULTS).
   support::FaultPlan* faults = nullptr;
+  /// Live telemetry hub (support/telemetry.hpp): the sampler, watchdog,
+  /// first-touch trapper, and heap tracker publish their health counters
+  /// and events into it as they happen. nullptr = no telemetry. The hub
+  /// must outlive the profiler.
+  support::TelemetryHub* telemetry = nullptr;
 
   static std::uint32_t resolve_bins(std::uint32_t requested) {
     if (requested != 0) return requested;
@@ -106,6 +114,8 @@ class Profiler final : public simrt::MachineObserver {
  private:
   void on_sample(const pmu::Sample& sample);
   void on_fault(const simrt::FaultEvent& fault);
+  void publish_telemetry_event(support::TelemetryEventKind kind,
+                               std::uint64_t value, std::string_view detail);
   MetricStore& store_of(simrt::ThreadId tid);
   ThreadTotals& totals_of(simrt::ThreadId tid);
   void record_at(MetricStore& store, NodeId node, bool mismatch, bool remote,

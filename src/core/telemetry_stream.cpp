@@ -1,0 +1,703 @@
+#include "core/telemetry_stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "simrt/thread.hpp"
+#include "support/error.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using support::TelemetryCounter;
+using support::TelemetryEvent;
+using support::TelemetryEventKind;
+using support::TelemetrySnapshot;
+using support::ThreadTelemetry;
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_counters(std::ostream& os,
+                    const std::array<std::uint64_t,
+                                     support::kTelemetryCounterCount>& c) {
+  os << '{';
+  for (std::size_t i = 0; i < support::kTelemetryCounterCount; ++i) {
+    if (i) os << ',';
+    write_json_string(os, to_string(static_cast<TelemetryCounter>(i)));
+    os << ':' << c[i];
+  }
+  os << '}';
+}
+
+void write_u64_array(std::ostream& os, const std::vector<std::uint64_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader for the trace schema. Each JSONL line is parsed
+// independently; errors carry the 1-based line number.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string file, std::size_t line)
+      : text_(text), file_(std::move(file)), line_(line) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(ErrorKind::kTelemetry, file_, "telemetry", line_,
+                "telemetry trace parse error (line " + std::to_string(line_) +
+                    "): " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of line");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', found '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return parse_number();
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("malformed literal");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("malformed \\u escape");
+          }
+          // The writer only emits \u00xx for control bytes.
+          out.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::string file_;
+  std::size_t line_ = 0;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void trace_error(const std::string& file, std::size_t line,
+                              const std::string& message) {
+  throw Error(ErrorKind::kTelemetry, file, "telemetry", line,
+              "telemetry trace parse error (line " + std::to_string(line) +
+                  "): " + message);
+}
+
+std::uint64_t as_u64(const JsonValue& v, const std::string& file,
+                     std::size_t line, const char* what) {
+  if (v.kind != JsonValue::Kind::kNumber || v.number < 0) {
+    trace_error(file, line, std::string(what) + " must be a non-negative number");
+  }
+  return static_cast<std::uint64_t>(v.number);
+}
+
+std::vector<std::uint64_t> as_u64_array(const JsonValue& v,
+                                        const std::string& file,
+                                        std::size_t line, const char* what) {
+  if (v.kind != JsonValue::Kind::kArray) {
+    trace_error(file, line, std::string(what) + " must be an array");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(v.array.size());
+  for (const JsonValue& e : v.array) out.push_back(as_u64(e, file, line, what));
+  return out;
+}
+
+bool counter_from_string(std::string_view name, TelemetryCounter& out) {
+  for (std::size_t i = 0; i < support::kTelemetryCounterCount; ++i) {
+    const auto c = static_cast<TelemetryCounter>(i);
+    if (to_string(c) == name) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool event_kind_from_string(std::string_view name, TelemetryEventKind& out) {
+  for (std::size_t i = 0; i < support::kTelemetryEventKindCount; ++i) {
+    const auto k = static_cast<TelemetryEventKind>(i);
+    if (to_string(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool mechanism_from_string(std::string_view name, pmu::Mechanism& out) {
+  for (int i = 0; i < pmu::kMechanismCount; ++i) {
+    const auto m = static_cast<pmu::Mechanism>(i);
+    if (pmu::to_string(m) == name) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+void fold_counters(
+    const JsonValue& object,
+    std::array<std::uint64_t, support::kTelemetryCounterCount>& out,
+    const std::string& file, std::size_t line) {
+  if (object.kind != JsonValue::Kind::kObject) {
+    trace_error(file, line, "counter block must be an object");
+  }
+  for (const auto& [key, value] : object.object) {
+    TelemetryCounter c{};
+    // Unknown counters are skipped so newer traces load in older readers.
+    if (!counter_from_string(key, c)) continue;
+    out[static_cast<std::size_t>(c)] = as_u64(value, file, line, key.c_str());
+  }
+}
+
+TelemetrySnapshot parse_snapshot_line(const JsonValue& root,
+                                      const std::string& file,
+                                      std::size_t line) {
+  TelemetrySnapshot snap;
+  if (const JsonValue* seq = root.find("seq")) {
+    snap.sequence = as_u64(*seq, file, line, "seq");
+  }
+  if (const JsonValue* t = root.find("t")) {
+    snap.time = as_u64(*t, file, line, "t");
+  }
+  if (const JsonValue* totals = root.find("totals")) {
+    fold_counters(*totals, snap.totals, file, line);
+  }
+  if (const JsonValue* match = root.find("domain-match")) {
+    snap.domain_match = as_u64_array(*match, file, line, "domain-match");
+  }
+  if (const JsonValue* mismatch = root.find("domain-mismatch")) {
+    snap.domain_mismatch =
+        as_u64_array(*mismatch, file, line, "domain-mismatch");
+  }
+  if (const JsonValue* threads = root.find("threads")) {
+    if (threads->kind != JsonValue::Kind::kArray) {
+      trace_error(file, line, "threads must be an array");
+    }
+    for (const JsonValue& row : threads->array) {
+      if (row.kind != JsonValue::Kind::kObject) {
+        trace_error(file, line, "thread rows must be objects");
+      }
+      ThreadTelemetry thread;
+      if (const JsonValue* tid = row.find("tid")) {
+        thread.tid =
+            static_cast<std::uint32_t>(as_u64(*tid, file, line, "tid"));
+      }
+      if (const JsonValue* counters = row.find("counters")) {
+        fold_counters(*counters, thread.counters, file, line);
+      }
+      if (const JsonValue* match = row.find("domain-match")) {
+        thread.domain_match = as_u64_array(*match, file, line, "domain-match");
+      }
+      if (const JsonValue* mismatch = row.find("domain-mismatch")) {
+        thread.domain_mismatch =
+            as_u64_array(*mismatch, file, line, "domain-mismatch");
+      }
+      snap.threads.push_back(std::move(thread));
+    }
+  }
+  return snap;
+}
+
+TelemetryEvent parse_event_line(const JsonValue& root, const std::string& file,
+                                std::size_t line) {
+  TelemetryEvent event;
+  const JsonValue* kind = root.find("kind");
+  if (kind == nullptr || kind->kind != JsonValue::Kind::kString) {
+    trace_error(file, line, "event lines require a string \"kind\"");
+  }
+  if (!event_kind_from_string(kind->string, event.kind)) {
+    trace_error(file, line, "unknown event kind \"" + kind->string + "\"");
+  }
+  if (const JsonValue* t = root.find("t")) {
+    event.time = as_u64(*t, file, line, "t");
+  }
+  if (const JsonValue* tid = root.find("tid")) {
+    event.tid = static_cast<std::uint32_t>(as_u64(*tid, file, line, "tid"));
+  }
+  if (const JsonValue* value = root.find("value")) {
+    event.value = as_u64(*value, file, line, "value");
+  }
+  if (const JsonValue* detail = root.find("detail")) {
+    if (detail->kind != JsonValue::Kind::kString) {
+      trace_error(file, line, "detail must be a string");
+    }
+    event.set_detail(detail->string);
+  }
+  return event;
+}
+
+}  // namespace
+
+const support::TelemetrySnapshot& TelemetryTrace::final_snapshot() const {
+  static const TelemetrySnapshot kEmpty{};
+  return snapshots.empty() ? kEmpty : snapshots.back();
+}
+
+std::string format_status_line(const TelemetrySnapshot& snapshot,
+                               pmu::Mechanism mechanism) {
+  std::ostringstream os;
+  os << "[telemetry #" << snapshot.sequence << " t=" << snapshot.time << "] "
+     << pmu::to_string(mechanism)
+     << " threads=" << snapshot.threads.size()
+     << " samples=" << snapshot.total(TelemetryCounter::kSamples)
+     << " mem=" << snapshot.total(TelemetryCounter::kMemorySamples)
+     << " drop=" << percent(snapshot.drop_fraction())
+     << " traps=" << snapshot.total(TelemetryCounter::kFirstTouchTraps)
+     << " heap=" << snapshot.total(TelemetryCounter::kHeapRegistrations);
+  const std::uint64_t match = snapshot.total(TelemetryCounter::kMatchSamples);
+  const std::uint64_t mismatch =
+      snapshot.total(TelemetryCounter::kMismatchSamples);
+  os << " M_l/M_r=" << match << "/" << mismatch;
+  if (!snapshot.events.empty()) os << " events=" << snapshot.events.size();
+  return os.str();
+}
+
+void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
+                          pmu::Mechanism mechanism, std::ostream& os) {
+  os << "{\"type\":\"snapshot\",\"seq\":" << snapshot.sequence
+     << ",\"t\":" << snapshot.time << ",\"mechanism\":";
+  write_json_string(os, pmu::to_string(mechanism));
+  os << ",\"totals\":";
+  write_counters(os, snapshot.totals);
+  os << ",\"domain-match\":";
+  write_u64_array(os, snapshot.domain_match);
+  os << ",\"domain-mismatch\":";
+  write_u64_array(os, snapshot.domain_mismatch);
+  os << ",\"threads\":[";
+  for (std::size_t i = 0; i < snapshot.threads.size(); ++i) {
+    const ThreadTelemetry& thread = snapshot.threads[i];
+    if (i) os << ',';
+    os << "{\"tid\":" << thread.tid << ",\"counters\":";
+    write_counters(os, thread.counters);
+    os << ",\"domain-match\":";
+    write_u64_array(os, thread.domain_match);
+    os << ",\"domain-mismatch\":";
+    write_u64_array(os, thread.domain_mismatch);
+    os << '}';
+  }
+  os << "]}\n";
+  for (const TelemetryEvent& event : snapshot.events) {
+    os << "{\"type\":\"event\",\"t\":" << event.time
+       << ",\"tid\":" << event.tid << ",\"kind\":";
+    write_json_string(os, to_string(event.kind));
+    os << ",\"value\":" << event.value << ",\"detail\":";
+    write_json_string(os, event.detail_view());
+    os << "}\n";
+  }
+}
+
+TelemetryTrace load_telemetry_trace(std::istream& is) {
+  return [&is]() {
+    TelemetryTrace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    const std::string file;
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      JsonParser parser(line, file, lineno);
+      const JsonValue root = parser.parse();
+      if (root.kind != JsonValue::Kind::kObject) {
+        trace_error(file, lineno, "every trace line must be a JSON object");
+      }
+      const JsonValue* type = root.find("type");
+      if (type == nullptr || type->kind != JsonValue::Kind::kString) {
+        trace_error(file, lineno, "trace lines require a string \"type\"");
+      }
+      if (type->string == "snapshot") {
+        if (const JsonValue* mech = root.find("mechanism")) {
+          if (mech->kind != JsonValue::Kind::kString ||
+              !mechanism_from_string(mech->string, trace.mechanism)) {
+            trace_error(file, lineno, "unknown mechanism");
+          }
+          trace.has_mechanism = true;
+        }
+        trace.snapshots.push_back(parse_snapshot_line(root, file, lineno));
+      } else if (type->string == "event") {
+        trace.events.push_back(parse_event_line(root, file, lineno));
+      } else {
+        // Unknown line types are skipped (forward compatibility).
+      }
+    }
+    return trace;
+  }();
+}
+
+TelemetryTrace load_telemetry_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw Error(ErrorKind::kTelemetry, path, "telemetry", 0,
+                "cannot open telemetry trace: " + path);
+  }
+  try {
+    return load_telemetry_trace(is);
+  } catch (const Error& e) {
+    if (!e.file().empty()) throw;
+    throw Error(e.kind(), path, e.field(), e.line(),
+                std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+namespace {
+
+/// DegradationKinds that the live telemetry layer also observes, paired
+/// with the TelemetryEventKind(s) that report them. kSampleFaults and
+/// kProfileFileSkipped have no event-kind counterpart (the former is a
+/// counter, the latter happens offline) and are cross-checked separately.
+struct CrossCheckRow {
+  const char* label;
+  TelemetryEventKind event_kind;
+  std::vector<DegradationKind> profile_kinds;
+};
+
+const std::vector<CrossCheckRow>& cross_check_rows() {
+  static const std::vector<CrossCheckRow> rows = {
+      {"mechanism-unavailable", TelemetryEventKind::kMechanismUnavailable,
+       {DegradationKind::kMechanismUnavailable}},
+      {"mechanism-fallback", TelemetryEventKind::kMechanismFallback,
+       {DegradationKind::kMechanismFallback}},
+      {"period-retune", TelemetryEventKind::kPeriodRetune,
+       {DegradationKind::kPeriodRetuneStarvation,
+        DegradationKind::kPeriodRetuneOverhead}},
+  };
+  return rows;
+}
+
+}  // namespace
+
+std::string render_health_pane(const TelemetryTrace& trace,
+                               const SessionData* profile) {
+  std::ostringstream os;
+  const TelemetrySnapshot& last = trace.final_snapshot();
+  os << "-- measurement health --\n";
+  if (trace.has_mechanism) {
+    os << "mechanism: " << pmu::to_string(trace.mechanism) << "\n";
+  }
+  os << "snapshots: " << trace.snapshots.size() << " (final t=" << last.time
+     << ")\n";
+  os << "threads observed: " << last.threads.size() << "\n";
+  os << "samples: " << last.total(TelemetryCounter::kSamples) << " (memory "
+     << last.total(TelemetryCounter::kMemorySamples) << ", dropped "
+     << last.total(TelemetryCounter::kDroppedSamples) << " ["
+     << percent(last.drop_fraction()) << "], corrupted "
+     << last.total(TelemetryCounter::kCorruptedSamples) << ")\n";
+  os << "first-touch traps: "
+     << last.total(TelemetryCounter::kFirstTouchTraps) << "\n";
+  os << "heap tracker: " << last.total(TelemetryCounter::kHeapRegistrations)
+     << " registered, " << last.total(TelemetryCounter::kHeapFrees)
+     << " freed\n";
+  os << "instructions: " << last.total(TelemetryCounter::kInstructions)
+     << "\n";
+  const std::uint64_t match = last.total(TelemetryCounter::kMatchSamples);
+  const std::uint64_t mismatch =
+      last.total(TelemetryCounter::kMismatchSamples);
+  os << "sampled accesses: M_l " << match << ", M_r " << mismatch;
+  if (match + mismatch > 0) {
+    os << " (remote "
+       << percent(static_cast<double>(mismatch) /
+                  static_cast<double>(match + mismatch))
+       << ")";
+  }
+  os << "\n";
+  const std::size_t domains =
+      std::max(last.domain_match.size(), last.domain_mismatch.size());
+  for (std::size_t d = 0; d < domains; ++d) {
+    const std::uint64_t dm =
+        d < last.domain_match.size() ? last.domain_match[d] : 0;
+    const std::uint64_t dr =
+        d < last.domain_mismatch.size() ? last.domain_mismatch[d] : 0;
+    os << "  domain " << d << ": M_l " << dm << ", M_r " << dr << "\n";
+  }
+  os << "telemetry events dropped: "
+     << last.total(TelemetryCounter::kEventsDropped) << "\n";
+
+  os << "events (" << trace.events.size() << "):\n";
+  for (const TelemetryEvent& event : trace.events) {
+    os << "  [" << to_string(event.kind) << "] t=" << event.time
+       << " tid=" << event.tid;
+    if (event.value != 0) os << " (" << event.value << ")";
+    if (!event.detail_view().empty()) os << ": " << event.detail_view();
+    os << "\n";
+  }
+
+  if (profile != nullptr) {
+    os << "degradation cross-check:\n";
+    std::array<std::size_t, support::kTelemetryEventKindCount> streamed{};
+    for (const TelemetryEvent& event : trace.events) {
+      ++streamed[static_cast<std::size_t>(event.kind)];
+    }
+    std::array<std::size_t, static_cast<std::size_t>(kDegradationKindCount)>
+        recorded{};
+    for (const DegradationEvent& event : profile->degradations) {
+      ++recorded[static_cast<std::size_t>(event.kind)];
+    }
+    bool all_ok = true;
+    for (const CrossCheckRow& row : cross_check_rows()) {
+      const std::size_t from_stream =
+          streamed[static_cast<std::size_t>(row.event_kind)];
+      std::size_t from_profile = 0;
+      for (const DegradationKind kind : row.profile_kinds) {
+        from_profile += recorded[static_cast<std::size_t>(kind)];
+      }
+      const bool ok = from_stream == from_profile;
+      all_ok = all_ok && ok;
+      os << "  " << row.label << ": telemetry " << from_stream
+         << ", profile " << from_profile << (ok ? " [ok]" : " [!]") << "\n";
+    }
+    const std::uint64_t faulted =
+        last.total(TelemetryCounter::kDroppedSamples) +
+        last.total(TelemetryCounter::kCorruptedSamples);
+    const std::size_t fault_events = recorded[static_cast<std::size_t>(
+        DegradationKind::kSampleFaults)];
+    const bool faults_ok = (faulted > 0) == (fault_events > 0);
+    all_ok = all_ok && faults_ok;
+    os << "  sample-faults: telemetry counters " << faulted
+       << ", profile events " << fault_events
+       << (faults_ok ? " [ok]" : " [!]") << "\n";
+    os << "  verdict: "
+       << (all_ok ? "telemetry stream and profile degradations agree"
+                  : "MISMATCH between telemetry stream and profile (see [!])")
+       << "\n";
+  }
+  return os.str();
+}
+
+void TelemetryStreamer::on_exec(const simrt::SimThread& thread,
+                                std::uint64_t count) {
+  since_emit_ += count;
+  last_time_ = std::max(last_time_, static_cast<std::uint64_t>(thread.now()));
+  if (config_.interval_instructions > 0 &&
+      since_emit_ >= config_.interval_instructions) {
+    emit(last_time_);
+  }
+}
+
+void TelemetryStreamer::on_access(const simrt::SimThread& thread,
+                                  const simrt::AccessEvent& /*event*/) {
+  since_emit_ += 1;
+  last_time_ = std::max(last_time_, static_cast<std::uint64_t>(thread.now()));
+  if (config_.interval_instructions > 0 &&
+      since_emit_ >= config_.interval_instructions) {
+    emit(last_time_);
+  }
+}
+
+void TelemetryStreamer::flush(std::uint64_t time) {
+  emit(std::max(time, last_time_));
+}
+
+void TelemetryStreamer::emit(std::uint64_t time) {
+  since_emit_ = 0;
+  const TelemetrySnapshot snapshot = hub_->snapshot(time);
+  ++emitted_;
+  if (config_.status != nullptr) {
+    *config_.status << format_status_line(snapshot, config_.mechanism)
+                    << "\n";
+  }
+  if (config_.jsonl != nullptr) {
+    write_snapshot_jsonl(snapshot, config_.mechanism, *config_.jsonl);
+  }
+}
+
+}  // namespace numaprof::core

@@ -1,0 +1,102 @@
+// Sinks for the live telemetry layer (support/telemetry.hpp).
+//
+// Two renderings of the same TelemetrySnapshot stream:
+//   - a human-readable status line (`--telemetry-interval` on the profiler
+//     examples prints one per interval while the workload runs);
+//   - a machine-readable JSONL trace: one `snapshot` object per interval
+//     plus one `event` object per discrete occurrence, in publication
+//     order. `analyze_profile --telemetry <trace>` reloads the trace and
+//     renders the "measurement health" pane, cross-checking the streamed
+//     events against the DegradationEvents recorded in the merged profile.
+// The JSONL schema is documented in docs/api.md; keys reuse the stable
+// kebab-case names of support::to_string(TelemetryCounter/EventKind).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "pmu/sample.hpp"
+#include "simrt/events.hpp"
+#include "support/telemetry.hpp"
+
+namespace numaprof::core {
+
+/// One reloaded `--telemetry` trace: every snapshot and every event in
+/// file order, plus the mechanism named by the stream.
+struct TelemetryTrace {
+  pmu::Mechanism mechanism = pmu::Mechanism::kIbs;
+  bool has_mechanism = false;
+  std::vector<support::TelemetrySnapshot> snapshots;
+  std::vector<support::TelemetryEvent> events;
+
+  /// The cumulative state at end of run (zero snapshot if the trace is
+  /// empty).
+  const support::TelemetrySnapshot& final_snapshot() const;
+};
+
+/// One-line live health summary:
+///   `[telemetry #3 t=24000] ibs samples=1204 (+402/s.mem 881) drop=0.0% ...`
+std::string format_status_line(const support::TelemetrySnapshot& snapshot,
+                               pmu::Mechanism mechanism);
+
+/// Appends one `snapshot` JSONL object, then one `event` object per event
+/// drained into this snapshot.
+void write_snapshot_jsonl(const support::TelemetrySnapshot& snapshot,
+                          pmu::Mechanism mechanism, std::ostream& os);
+
+/// Parses a JSONL trace written by write_snapshot_jsonl. Unknown keys are
+/// ignored (forward compatibility); malformed lines throw numaprof::Error
+/// with kind kTelemetry naming the line.
+TelemetryTrace load_telemetry_trace(std::istream& is);
+TelemetryTrace load_telemetry_trace_file(const std::string& path);
+
+/// The "-- measurement health --" pane: end-of-run totals, drop fractions,
+/// per-domain M_l/M_r, the event log, and — when `profile` is non-null —
+/// a cross-check of streamed events against the profile's recorded
+/// DegradationEvents. Deterministic: byte-identical output for identical
+/// inputs.
+std::string render_health_pane(const TelemetryTrace& trace,
+                               const SessionData* profile = nullptr);
+
+/// Machine observer that emits a telemetry snapshot every
+/// `interval_instructions` retired instructions (virtual time advances
+/// only inside the simulator, so instruction count is the natural
+/// interval unit). Attach alongside the profiler; call flush() after
+/// run() for the final partial interval.
+class TelemetryStreamer final : public simrt::MachineObserver {
+ public:
+  struct Config {
+    std::uint64_t interval_instructions = 100000;
+    /// Live status lines (nullptr: none).
+    std::ostream* status = nullptr;
+    /// JSONL trace (nullptr: none).
+    std::ostream* jsonl = nullptr;
+    pmu::Mechanism mechanism = pmu::Mechanism::kIbs;
+  };
+
+  TelemetryStreamer(support::TelemetryHub& hub, Config config)
+      : hub_(&hub), config_(config) {}
+
+  void on_exec(const simrt::SimThread& thread, std::uint64_t count) override;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+
+  /// Emits the final snapshot (even if the interval has not elapsed).
+  void flush(std::uint64_t time);
+
+  std::uint64_t snapshots_emitted() const noexcept { return emitted_; }
+
+ private:
+  void emit(std::uint64_t time);
+
+  support::TelemetryHub* hub_;
+  Config config_;
+  std::uint64_t since_emit_ = 0;
+  std::uint64_t last_time_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace numaprof::core

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "lint/lexer.hpp"
+#include "support/threadpool.hpp"
 
 namespace numaprof::lint {
 
@@ -1609,6 +1610,11 @@ bool lintable_file(const std::string& path) {
 }
 
 LintResult lint_paths(const std::vector<std::string>& paths) {
+  return lint_paths(paths, numaprof::PipelineOptions{});
+}
+
+LintResult lint_paths(const std::vector<std::string>& paths,
+                      const numaprof::PipelineOptions& options) {
   std::vector<std::string> files;
   for (const std::string& path : paths) {
     std::error_code ec;
@@ -1624,20 +1630,39 @@ LintResult lint_paths(const std::vector<std::string>& paths) {
       }
     } else if (std::filesystem::is_regular_file(path, ec)) {
       files.push_back(path);
+    } else {
+      throw LintError(path);
     }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  LintResult out;
-  for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) continue;
+  // Lint every file into its slot, then fold in path order — the fold
+  // order (not completion order) defines the output, so any jobs value
+  // yields the serial result.
+  std::vector<LintResult> parts(files.size());
+  const auto lint_one = [&files, &parts](std::size_t i) {
+    std::ifstream in(files[i], std::ios::binary);
+    if (!in) return;
     std::ostringstream buffer;
     buffer << in.rdbuf();
     // Report paths by filename to keep findings stable across checkouts.
-    LintResult one = lint_source(
-        buffer.str(), std::filesystem::path(file).filename().string());
+    parts[i] = lint_source(
+        buffer.str(), std::filesystem::path(files[i]).filename().string());
+  };
+  const unsigned jobs =
+      options.pool != nullptr ? options.pool->jobs() : options.jobs;
+  if (jobs <= 1 || files.size() <= 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) lint_one(i);
+  } else if (options.pool != nullptr) {
+    options.pool->for_each_index(files.size(), lint_one);
+  } else {
+    support::ThreadPool pool(jobs);
+    pool.for_each_index(files.size(), lint_one);
+  }
+
+  LintResult out;
+  for (LintResult& one : parts) {
     out.stats.files += one.stats.files;
     out.stats.lines += one.stats.lines;
     out.stats.tokens += one.stats.tokens;
@@ -1676,6 +1701,49 @@ std::string render_findings(const std::vector<StaticFinding>& findings) {
        << "    " << f.message << "\n";
   }
   if (findings.empty()) os << "no findings\n";
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string render_findings_json(const std::vector<StaticFinding>& findings) {
+  std::ostringstream os;
+  for (const StaticFinding& f : findings) {
+    os << "{\"file\":";
+    append_json_string(os, f.file);
+    os << ",\"line\":" << f.line << ",\"decl-line\":" << f.decl_line
+       << ",\"variable\":";
+    append_json_string(os, f.variable);
+    os << ",\"code\":";
+    append_json_string(os, kind_code(f.kind));
+    os << ",\"kind\":";
+    append_json_string(os, to_string(f.kind));
+    os << ",\"expected\":";
+    append_json_string(os, to_string(f.expected));
+    os << ",\"suggested\":";
+    append_json_string(os, to_string(f.suggested));
+    os << ",\"message\":";
+    append_json_string(os, f.message);
+    os << "}\n";
+  }
   return os.str();
 }
 

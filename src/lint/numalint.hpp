@@ -28,8 +28,21 @@
 #include <vector>
 
 #include "core/advisor.hpp"
+#include "core/options.hpp"
+#include "support/error.hpp"
 
 namespace numaprof::lint {
+
+/// A lint input failure (numaprof::Error with kind ErrorKind::kLint):
+/// a named top-level path that does not exist or cannot be read. Files
+/// discovered inside directories are still skipped silently — a partially
+/// readable tree should not kill a lint sweep.
+class LintError : public numaprof::Error {
+ public:
+  explicit LintError(const std::string& path)
+      : Error(ErrorKind::kLint, path, "path", 0,
+              "lint input error: cannot read " + path) {}
+};
 
 struct LintStats {
   std::uint64_t files = 0;
@@ -50,10 +63,18 @@ LintResult lint_source(std::string_view source, std::string file);
 /// .cxx/.h/.hh/.hpp).
 bool lintable_file(const std::string& path);
 
-/// Lints files and directories (recursive, deterministic order). Paths
-/// that cannot be read are skipped. Findings are sorted by
+/// Lints files and directories (recursive, deterministic order). A named
+/// top-level path that does not exist throws LintError; unreadable files
+/// discovered inside directories are skipped. Findings are sorted by
 /// (file, line, variable, kind).
 LintResult lint_paths(const std::vector<std::string>& paths);
+
+/// As above with the consolidated pipeline policy: files are linted on
+/// `options.jobs` participants (or `options.pool`) and folded in path
+/// order, so the result is identical to the serial one for every jobs
+/// value. Only the parallelism knobs of `options` are consumed.
+LintResult lint_paths(const std::vector<std::string>& paths,
+                      const numaprof::PipelineOptions& options);
 
 /// Short L1..L4 code for a finding kind.
 std::string_view kind_code(core::LintKind kind) noexcept;
@@ -63,5 +84,10 @@ std::string_view kind_code(core::LintKind kind) noexcept;
 ///       expected <pattern>, suggest <action> (declared at line N)
 ///       <message>
 std::string render_findings(const std::vector<core::StaticFinding>& findings);
+
+/// Machine-readable rendering (`--format json`): one JSON object per line
+/// with file/line/decl-line/variable/kind/code/expected/suggested/message.
+std::string render_findings_json(
+    const std::vector<core::StaticFinding>& findings);
 
 }  // namespace numaprof::lint

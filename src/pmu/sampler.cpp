@@ -4,6 +4,7 @@
 
 #include "pmu/mechanisms.hpp"
 #include "support/faultinject.hpp"
+#include "support/telemetry.hpp"
 
 namespace numaprof::pmu {
 
@@ -59,14 +60,22 @@ Sample Sampler::make_instruction_sample(const simrt::SimThread& thread) const {
 }
 
 void Sampler::emit(Sample sample) {
+  support::TelemetryRing* ring =
+      telemetry_ != nullptr ? &telemetry_->ring(sample.tid) : nullptr;
   if (faults_ != nullptr && faults_->enabled()) {
     if (faults_->drop_sample()) {
       ++dropped_;
+      if (ring != nullptr) {
+        ring->add(support::TelemetryCounter::kDroppedSamples);
+      }
       return;
     }
     if (sample.is_memory && faults_->corrupt_sample()) {
       sample.addr = faults_->scramble(sample.addr);
       ++corrupted_;
+      if (ring != nullptr) {
+        ring->add(support::TelemetryCounter::kCorruptedSamples);
+      }
     }
     if (sample.latency) {
       if (const auto spike = faults_->latency_outlier()) {
@@ -76,6 +85,12 @@ void Sampler::emit(Sample sample) {
   }
   ++emitted_;
   if (sample.is_memory) ++memory_samples_;
+  if (ring != nullptr) {
+    ring->add(support::TelemetryCounter::kSamples);
+    if (sample.is_memory) {
+      ring->add(support::TelemetryCounter::kMemorySamples);
+    }
+  }
   if (sink_) sink_(sample);
 }
 

@@ -21,6 +21,7 @@
 
 namespace numaprof::support {
 class FaultPlan;
+class TelemetryHub;
 }
 
 namespace numaprof::pmu {
@@ -42,6 +43,13 @@ class Sampler : public simrt::MachineObserver {
   /// Routes emitted samples through `plan` (drop / corrupt / latency
   /// spike). Pass nullptr to disable. The plan must outlive the sampler.
   void set_fault_plan(support::FaultPlan* plan) noexcept { faults_ = plan; }
+
+  /// Publishes per-thread sample/drop/corruption counters into `hub` as
+  /// they happen (support/telemetry.hpp). Pass nullptr to disable. The hub
+  /// must outlive the sampler.
+  void set_telemetry(support::TelemetryHub* hub) noexcept {
+    telemetry_ = hub;
+  }
 
   /// Live period retune (the sampling watchdog's knob). Takes effect at
   /// each thread's next countdown reload.
@@ -90,6 +98,7 @@ class Sampler : public simrt::MachineObserver {
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
   support::FaultPlan* faults_ = nullptr;
+  support::TelemetryHub* telemetry_ = nullptr;
 };
 
 /// Constructs the sampler for `config.mechanism`.

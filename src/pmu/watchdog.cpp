@@ -1,8 +1,10 @@
 #include "pmu/watchdog.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "simrt/thread.hpp"
+#include "support/telemetry.hpp"
 
 namespace numaprof::pmu {
 
@@ -13,12 +15,14 @@ SamplingWatchdog::SamplingWatchdog(Sampler& sampler, WatchdogConfig config)
 
 void SamplingWatchdog::on_exec(const simrt::SimThread& thread,
                                std::uint64_t count) {
+  last_tid_ = thread.tid();
   advance(thread.now(), count);
 }
 
 void SamplingWatchdog::on_access(const simrt::SimThread& thread,
                                  const simrt::AccessEvent& event) {
   (void)event;
+  last_tid_ = thread.tid();
   advance(thread.now(), 1);
 }
 
@@ -49,6 +53,7 @@ void SamplingWatchdog::check(numasim::Cycles now) {
                                       .old_period = period,
                                       .new_period = retuned,
                                       .starvation = true});
+      publish_retune(now, period, retuned, true);
     }
     instr_at_last_sample_ = instructions_;  // restart the window
   } else if (instructions_ > instr_at_check_) {
@@ -67,12 +72,29 @@ void SamplingWatchdog::check(numasim::Cycles now) {
                                         .old_period = period,
                                         .new_period = retuned,
                                         .starvation = false});
+        publish_retune(now, period, retuned, false);
       }
     }
   }
 
   samples_at_check_ = samples;
   instr_at_check_ = instructions_;
+}
+
+void SamplingWatchdog::publish_retune(numasim::Cycles now,
+                                      std::uint64_t old_period,
+                                      std::uint64_t new_period,
+                                      bool starvation) {
+  if (telemetry_ == nullptr) return;
+  support::TelemetryEvent event;
+  event.kind = support::TelemetryEventKind::kPeriodRetune;
+  event.tid = last_tid_;
+  event.time = now;
+  event.value = new_period;
+  event.set_detail("period " + std::to_string(old_period) + " -> " +
+                   std::to_string(new_period) +
+                   (starvation ? " (starvation)" : " (overhead)"));
+  telemetry_->ring(last_tid_).publish(event);
 }
 
 }  // namespace numaprof::pmu

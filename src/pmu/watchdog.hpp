@@ -54,9 +54,17 @@ class SamplingWatchdog final : public simrt::MachineObserver {
   }
   std::uint64_t instructions_seen() const noexcept { return instructions_; }
 
+  /// Streams every retune as a kPeriodRetune telemetry event (published to
+  /// the ring of the thread whose instruction crossed the check boundary).
+  void set_telemetry(support::TelemetryHub* hub) noexcept {
+    telemetry_ = hub;
+  }
+
  private:
   void advance(numasim::Cycles now, std::uint64_t count);
   void check(numasim::Cycles now);
+  void publish_retune(numasim::Cycles now, std::uint64_t old_period,
+                      std::uint64_t new_period, bool starvation);
 
   Sampler* sampler_;
   WatchdogConfig config_;
@@ -66,6 +74,8 @@ class SamplingWatchdog final : public simrt::MachineObserver {
   std::uint64_t instr_at_check_ = 0;
   std::uint64_t instr_at_last_sample_ = 0;
   std::vector<WatchdogEvent> events_;
+  support::TelemetryHub* telemetry_ = nullptr;
+  std::uint32_t last_tid_ = 0;
 };
 
 }  // namespace numaprof::pmu

@@ -45,6 +45,13 @@ ThreadId Machine::spawn(Kernel kernel, std::optional<numasim::CoreId> core,
   ref.task_ = trampoline(std::move(kernel), ref);
 
   for (auto* obs : observers_) obs->on_thread_start(ref);
+  if (telemetry_ != nullptr) {
+    support::TelemetryEvent event;
+    event.kind = support::TelemetryEventKind::kThreadStart;
+    event.tid = tid;
+    event.time = ref.clock_;
+    telemetry_->ring(tid).publish(event);
+  }
   return tid;
 }
 
@@ -66,6 +73,13 @@ void Machine::run() {
     if (thread.finished()) {
       elapsed_ = std::max(elapsed_, thread.clock_);
       for (auto* obs : observers_) obs->on_thread_finish(thread);
+      if (telemetry_ != nullptr) {
+        support::TelemetryEvent event;
+        event.kind = support::TelemetryEventKind::kThreadFinish;
+        event.tid = thread.tid_;
+        event.time = thread.clock_;
+        telemetry_->ring(thread.tid_).publish(event);
+      }
     } else {
       queue.emplace(thread.clock_, tid);
     }
@@ -171,11 +185,19 @@ numasim::Cycles Machine::access_path(SimThread& thread, simos::VAddr addr,
                             .stack = thread.stack_};
     for (auto* obs : observers_) obs->on_access(thread, event);
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->ring(thread.tid_).add(
+        support::TelemetryCounter::kInstructions);
+  }
   return result.latency;
 }
 
 void Machine::notify_exec(SimThread& thread, std::uint64_t count) {
   for (auto* obs : observers_) obs->on_exec(thread, count);
+  if (telemetry_ != nullptr) {
+    telemetry_->ring(thread.tid_).add(
+        support::TelemetryCounter::kInstructions, count);
+  }
 }
 
 simos::VAddr Machine::wrapped_malloc(SimThread& thread, std::uint64_t size,

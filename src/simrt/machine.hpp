@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "numasim/system.hpp"
+#include "support/telemetry.hpp"
 #include "numasim/topology.hpp"
 #include "simos/address_space.hpp"
 #include "simrt/events.hpp"
@@ -90,6 +91,13 @@ class Machine {
     protect_on_alloc_ = enabled;
   }
 
+  /// Streams runtime self-observability into `hub`: per-thread retired
+  /// instruction counts plus thread start/finish events. nullptr = off.
+  /// The hub must outlive the machine.
+  void set_telemetry(support::TelemetryHub* hub) noexcept {
+    telemetry_ = hub;
+  }
+
   /// Migrates one page to `target`, invalidating its cached lines and
   /// charging the page-copy cost to thread `tid` (the OS-migration model:
   /// the faulting thread pays, as with Linux NUMA hint faults). Returns
@@ -132,6 +140,7 @@ class Machine {
   std::vector<ThreadId> runnable_;
   std::vector<MachineObserver*> observers_;
   FaultHandler fault_handler_;
+  support::TelemetryHub* telemetry_ = nullptr;
   bool protect_on_alloc_ = false;
   numasim::Cycles elapsed_ = 0;
 };

@@ -1,0 +1,120 @@
+#include "support/cliflags.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace numaprof::support {
+
+void CliParser::add_flag(std::string name, bool takes_value, std::string help,
+                         std::string placeholder) {
+  Flag flag;
+  flag.name = std::move(name);
+  flag.takes_value = takes_value;
+  flag.help = std::move(help);
+  flag.placeholder = std::move(placeholder);
+  flags_.push_back(std::move(flag));
+}
+
+CliParser::Flag* CliParser::find(std::string_view name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+const CliParser::Flag* CliParser::find(std::string_view name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void CliParser::usage_error(const std::string& message) const {
+  throw Error(ErrorKind::kUsage, {}, program_, 0,
+              message + "\n" + usage());
+}
+
+void CliParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.size() < 2 || arg[0] != '-' || arg[1] != '-') {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    Flag* flag = find(name);
+    if (flag == nullptr) usage_error("unknown flag: " + name);
+    ++flag->seen_count;
+    if (!flag->takes_value) {
+      if (inline_value) {
+        usage_error(name + " does not take a value");
+      }
+      continue;
+    }
+    if (inline_value) {
+      flag->seen_values.push_back(std::move(*inline_value));
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      usage_error(name + " requires a " + flag->placeholder + " argument");
+    }
+    flag->seen_values.push_back(args[++i]);
+  }
+}
+
+bool CliParser::has(std::string_view name) const {
+  const Flag* flag = find(name);
+  return flag != nullptr && flag->seen_count > 0;
+}
+
+std::optional<std::string> CliParser::value(std::string_view name) const {
+  const Flag* flag = find(name);
+  if (flag == nullptr || flag->seen_values.empty()) return std::nullopt;
+  return flag->seen_values.back();
+}
+
+std::vector<std::string> CliParser::values(std::string_view name) const {
+  const Flag* flag = find(name);
+  return flag != nullptr ? flag->seen_values : std::vector<std::string>{};
+}
+
+unsigned CliParser::unsigned_value(std::string_view name,
+                                   unsigned fallback) const {
+  const std::optional<std::string> raw = value(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const unsigned long parsed = std::stoul(*raw, &consumed);
+    if (consumed != raw->size()) throw std::invalid_argument(*raw);
+    return static_cast<unsigned>(parsed);
+  } catch (const std::exception&) {
+    usage_error(std::string(name) + " expects a non-negative integer, got '" +
+                *raw + "'");
+  }
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags] ...\n  " << summary_ << "\n";
+  std::size_t width = 0;
+  for (const Flag& flag : flags_) {
+    std::size_t w = flag.name.size();
+    if (flag.takes_value) w += 1 + flag.placeholder.size();
+    width = std::max(width, w);
+  }
+  for (const Flag& flag : flags_) {
+    std::string left = flag.name;
+    if (flag.takes_value) left += " " + flag.placeholder;
+    os << "  " << left << std::string(width - left.size() + 2, ' ')
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace numaprof::support

@@ -1,0 +1,77 @@
+// Shared CLI flag parsing for the numaprof executables.
+//
+// Every CLI used to hand-roll its own argv loop, so the same concept was
+// spelled differently across tools (--jobs N vs --jobs=N, silently
+// ignored typos). This parser gives them one grammar:
+//   --flag            boolean flags
+//   --flag value      valued flags (also --flag=value)
+//   everything else   positional operands
+// Unknown flags and missing values throw numaprof::Error with kind
+// kUsage; the CLIs print usage() and exit non-zero through the shared
+// format_error() path.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace numaprof::support {
+
+class CliParser {
+ public:
+  /// `program` is the executable name for the usage header; `summary` is
+  /// the one-line description under it.
+  CliParser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  /// Registers a flag. `takes_value` flags consume the next argument (or
+  /// the `=`-suffix); they may repeat — values accumulate in order.
+  /// `placeholder` names the value in the usage string (e.g. "N", "PATH").
+  void add_flag(std::string name, bool takes_value, std::string help,
+                std::string placeholder = "VALUE");
+
+  /// Parses argv (excluding argv[0]). Throws Error(kUsage) on an unknown
+  /// flag, a missing value, or a value supplied to a boolean flag.
+  void parse(const std::vector<std::string>& args);
+
+  bool has(std::string_view name) const;
+  /// Last value of a repeatable valued flag; nullopt when absent.
+  std::optional<std::string> value(std::string_view name) const;
+  /// All values of a repeatable valued flag, in command-line order.
+  std::vector<std::string> values(std::string_view name) const;
+  /// Last value parsed as a non-negative integer; `fallback` when absent.
+  /// Throws Error(kUsage) when present but not a number.
+  unsigned unsigned_value(std::string_view name, unsigned fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// The rendered usage block (header, flag table, one flag per line).
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    bool takes_value = false;
+    std::string help;
+    std::string placeholder;
+    std::vector<std::string> seen_values;
+    std::size_t seen_count = 0;
+  };
+
+  Flag* find(std::string_view name);
+  const Flag* find(std::string_view name) const;
+  [[noreturn]] void usage_error(const std::string& message) const;
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace numaprof::support

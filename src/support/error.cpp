@@ -1,0 +1,27 @@
+#include "support/error.hpp"
+
+namespace numaprof {
+
+std::string_view to_string(ErrorKind k) noexcept {
+  switch (k) {
+    case ErrorKind::kProfile: return "profile";
+    case ErrorKind::kFaultSpec: return "fault-spec";
+    case ErrorKind::kLint: return "lint";
+    case ErrorKind::kTelemetry: return "telemetry";
+    case ErrorKind::kUsage: return "usage";
+  }
+  return "unknown";
+}
+
+std::string format_error(const Error& error) {
+  return "[" + std::string(to_string(error.kind())) + "] " + error.what();
+}
+
+std::string format_error(const std::exception& error) {
+  if (const auto* typed = dynamic_cast<const Error*>(&error)) {
+    return format_error(*typed);
+  }
+  return error.what();
+}
+
+}  // namespace numaprof

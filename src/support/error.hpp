@@ -1,0 +1,65 @@
+// numaprof::Error — the one exception base for the tool's typed failures.
+//
+// The public surface used to expose disjoint error types (ProfileError for
+// profile I/O, FaultSpecError for fault-plan specs, nothing for lint), so
+// every CLI grew its own catch ladder. All typed errors now share this
+// base, which carries a machine-checkable kind plus the standard location
+// triple (file, field, line); format_error() is the single formatter every
+// CLI reports through.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace numaprof {
+
+enum class ErrorKind : std::uint8_t {
+  kProfile,    // profile parse/merge/I-O failures (core/profile_io.hpp)
+  kFaultSpec,  // malformed NUMAPROF_FAULTS spec (support/faultinject.hpp)
+  kLint,       // static-analyzer input failures (lint/numalint.hpp)
+  kTelemetry,  // telemetry JSONL trace failures (core/telemetry_stream.hpp)
+  kUsage,      // CLI misuse (bad flag values)
+};
+
+/// Number of ErrorKind enumerators (kept for switch-exhaustiveness tests).
+inline constexpr int kErrorKindCount = 5;
+
+std::string_view to_string(ErrorKind k) noexcept;
+
+class Error : public std::runtime_error {
+ public:
+  /// `what_text` is the complete human-readable message; derived types
+  /// keep their traditional formats so existing output stays stable.
+  /// `file`, `field`, and `line` locate the failure when known (empty /
+  /// zero otherwise).
+  Error(ErrorKind kind, std::string file, std::string field,
+        std::size_t line, const std::string& what_text)
+      : std::runtime_error(what_text),
+        kind_(kind),
+        file_(std::move(file)),
+        field_(std::move(field)),
+        line_(line) {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  const std::string& file() const noexcept { return file_; }
+  const std::string& field() const noexcept { return field_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  ErrorKind kind_;
+  std::string file_;
+  std::string field_;
+  std::size_t line_;
+};
+
+/// The one CLI formatter: "[<kind>] <what>". Location details are already
+/// part of what() by construction, so nothing is duplicated.
+std::string format_error(const Error& error);
+
+/// Fallback for exceptions outside the hierarchy; dispatches to the typed
+/// formatter when `error` is actually a numaprof::Error.
+std::string format_error(const std::exception& error);
+
+}  // namespace numaprof

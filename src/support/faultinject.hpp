@@ -23,19 +23,22 @@
 
 #include <cstdint>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "support/error.hpp"
 #include "support/rng.hpp"
 
 namespace numaprof::support {
 
-/// Thrown by FaultPlan::parse on a malformed spec.
-class FaultSpecError : public std::runtime_error {
+/// Thrown by FaultPlan::parse on a malformed spec (numaprof::Error with
+/// kind ErrorKind::kFaultSpec).
+class FaultSpecError : public numaprof::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit FaultSpecError(const std::string& message)
+      : Error(ErrorKind::kFaultSpec, /*file=*/{}, /*field=*/"NUMAPROF_FAULTS",
+              /*line=*/0, message) {}
 };
 
 /// Running tally of faults actually injected (for reports and tests).

@@ -1,0 +1,160 @@
+#include "support/telemetry.hpp"
+
+#include <algorithm>
+
+namespace numaprof::support {
+
+std::string_view to_string(TelemetryCounter c) noexcept {
+  switch (c) {
+    case TelemetryCounter::kSamples: return "samples";
+    case TelemetryCounter::kMemorySamples: return "memory-samples";
+    case TelemetryCounter::kDroppedSamples: return "dropped-samples";
+    case TelemetryCounter::kCorruptedSamples: return "corrupted-samples";
+    case TelemetryCounter::kFirstTouchTraps: return "first-touch-traps";
+    case TelemetryCounter::kHeapRegistrations: return "heap-registrations";
+    case TelemetryCounter::kHeapFrees: return "heap-frees";
+    case TelemetryCounter::kMatchSamples: return "match-samples";
+    case TelemetryCounter::kMismatchSamples: return "mismatch-samples";
+    case TelemetryCounter::kInstructions: return "instructions";
+    case TelemetryCounter::kEventsDropped: return "events-dropped";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TelemetryEventKind k) noexcept {
+  switch (k) {
+    case TelemetryEventKind::kMechanismUnavailable:
+      return "mechanism-unavailable";
+    case TelemetryEventKind::kMechanismFallback: return "mechanism-fallback";
+    case TelemetryEventKind::kPeriodRetune: return "period-retune";
+    case TelemetryEventKind::kThreadStart: return "thread-start";
+    case TelemetryEventKind::kThreadFinish: return "thread-finish";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TelemetryRing::TelemetryRing(std::uint32_t tid, std::uint32_t domain_count,
+                             std::size_t event_capacity)
+    : tid_(tid),
+      domain_match_(domain_count == 0 ? 1 : domain_count),
+      domain_mismatch_(domain_count == 0 ? 1 : domain_count),
+      slots_(round_up_pow2(event_capacity)),
+      mask_(slots_.size() - 1) {
+  for (auto& c : domain_match_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : domain_mismatch_) c.store(0, std::memory_order_relaxed);
+}
+
+bool TelemetryRing::publish(const TelemetryEvent& event) noexcept {
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= slots_.size()) {
+    // Newest-loses: dropping here keeps already-queued history intact and
+    // never blocks the measurement path.
+    add(TelemetryCounter::kEventsDropped);
+    return false;
+  }
+  slots_[head & mask_] = event;
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+void TelemetryRing::drain(std::vector<TelemetryEvent>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  for (; tail != head; ++tail) {
+    out.push_back(slots_[tail & mask_]);
+  }
+  tail_.store(tail, std::memory_order_release);
+}
+
+TelemetryHub::TelemetryHub(TelemetryConfig config) : config_(config) {
+  if (config_.domain_count == 0) config_.domain_count = 1;
+}
+
+TelemetryHub::~TelemetryHub() {
+  for (auto& slot : rings_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+TelemetryRing& TelemetryHub::ring(std::uint32_t tid) {
+  // Out-of-range publishers share the last slot rather than being lost:
+  // an overflow ring mislabels the thread but keeps the totals honest.
+  const std::uint32_t slot_index = tid < kMaxThreads ? tid : kMaxThreads - 1;
+  std::atomic<TelemetryRing*>& slot = rings_[slot_index];
+  if (TelemetryRing* existing = slot.load(std::memory_order_acquire)) {
+    return *existing;
+  }
+  std::lock_guard<std::mutex> lock(growth_);
+  if (TelemetryRing* existing = slot.load(std::memory_order_acquire)) {
+    return *existing;
+  }
+  auto* created = new TelemetryRing(slot_index, config_.domain_count,
+                                    config_.event_capacity);
+  slot.store(created, std::memory_order_release);
+  return *created;
+}
+
+std::size_t TelemetryHub::ring_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& slot : rings_) {
+    if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+  }
+  return count;
+}
+
+TelemetrySnapshot TelemetryHub::snapshot(std::uint64_t time) {
+  TelemetrySnapshot snap;
+  snap.sequence = ++sequence_;
+  snap.time = time;
+  snap.domain_match.assign(config_.domain_count, 0);
+  snap.domain_mismatch.assign(config_.domain_count, 0);
+
+  for (std::uint32_t tid = 0; tid < kMaxThreads; ++tid) {
+    TelemetryRing* ring = rings_[tid].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+
+    ThreadTelemetry row;
+    row.tid = ring->tid();
+    for (std::size_t c = 0; c < kTelemetryCounterCount; ++c) {
+      row.counters[c] = ring->counter(static_cast<TelemetryCounter>(c));
+      snap.totals[c] += row.counters[c];
+    }
+    const std::uint32_t domains = ring->domain_count();
+    row.domain_match.resize(domains);
+    row.domain_mismatch.resize(domains);
+    for (std::uint32_t d = 0; d < domains; ++d) {
+      row.domain_match[d] = ring->domain_match(d);
+      row.domain_mismatch[d] = ring->domain_mismatch(d);
+      if (d < snap.domain_match.size()) {
+        snap.domain_match[d] += row.domain_match[d];
+        snap.domain_mismatch[d] += row.domain_mismatch[d];
+      }
+    }
+    snap.threads.push_back(std::move(row));
+    ring->drain(snap.events);
+  }
+
+  // Per-ring drains are FIFO; the cross-ring order is made deterministic
+  // by (time, tid, kind) — stable so same-key events keep queue order.
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const TelemetryEvent& a, const TelemetryEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  return snap;
+}
+
+}  // namespace numaprof::support

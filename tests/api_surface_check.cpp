@@ -1,0 +1,56 @@
+// The API-surface guard: a minimal external consumer that includes ONLY
+// the umbrella header and touches every [stable]/[evolving] symbol it
+// promises. Compiled as its own object-library target (no gtest, no other
+// numaprof headers) so a symbol falling out of numaprof.hpp is a build
+// break, not a silent doc drift. CI runs the `api_surface_check` target in
+// isolation (the api-surface job).
+#include "core/numaprof.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Exercise each exported name in an ordinary-consumer way. The function is
+// never called — compiling and linking against the umbrella alone is the
+// assertion.
+[[maybe_unused]] std::string consume_public_surface() {
+  numaprof::PipelineOptions options;
+  options.jobs = 2;
+  options.lenient = true;
+  options.quorum = 0.25;
+  options.lint_paths.push_back("src");
+
+  numaprof::Session session;
+  session.domain_count = 2;
+  const numaprof::Analyzer analyzer(session, options);
+  const numaprof::Viewer viewer(analyzer);
+
+  numaprof::Telemetry hub(numaprof::TelemetryConfig{.domain_count = 2});
+  hub.ring(0).add(numaprof::TelemetryCounter::kSamples);
+  numaprof::TelemetryEvent event;
+  event.kind = numaprof::TelemetryEventKind::kThreadStart;
+  hub.ring(0).publish(event);
+  const numaprof::TelemetrySnapshot snapshot = hub.snapshot(1);
+
+  std::ostringstream jsonl;
+  numaprof::write_snapshot_jsonl(snapshot, session.mechanism, jsonl);
+  std::istringstream replay(jsonl.str());
+  const numaprof::TelemetryTrace trace =
+      numaprof::load_telemetry_trace(replay);
+
+  std::string out = viewer.program_summary();
+  out += numaprof::format_status_line(snapshot, session.mechanism);
+  out += numaprof::render_health_pane(trace, &session);
+  try {
+    const numaprof::MergeResult merged =
+        numaprof::merge_profile_files({"missing.prof"}, options);
+    out += std::to_string(merged.summary.files_total);
+  } catch (const numaprof::Error& error) {
+    out += numaprof::format_error(error);
+  }
+  return out;
+}
+
+}  // namespace

@@ -100,7 +100,9 @@ std::vector<CaseStudy> case_studies() {
 /// health, the three tables, timeline, and advisor recommendations.
 std::string render_full_analysis(const core::SessionData& data,
                                  unsigned jobs) {
-  const core::Analyzer analyzer(data, {.jobs = jobs});
+  numaprof::PipelineOptions analyzer_options;
+  analyzer_options.jobs = jobs;
+  const core::Analyzer analyzer(data, analyzer_options);
   const core::Viewer viewer(analyzer);
   std::ostringstream os;
   os << viewer.program_summary();
@@ -137,7 +139,9 @@ std::string fresh_dir(const std::string& name) {
 /// `jobs` participants — the format of tests/golden/advisor_apps.txt.
 std::string advise(const std::string& title, const core::SessionData& data,
                    unsigned jobs) {
-  const core::Analyzer analyzer(data, {.jobs = jobs});
+  numaprof::PipelineOptions analyzer_options;
+  analyzer_options.jobs = jobs;
+  const core::Analyzer analyzer(data, analyzer_options);
   const core::Advisor advisor(analyzer);
   std::ostringstream os;
   os << "== " << title << " ==\n"
@@ -170,11 +174,11 @@ TEST(GoldenEquiv, ParallelShardMergeBytesMatchSerialForAllCaseStudies) {
         core::save_thread_shards(data, dir);
     ASSERT_FALSE(paths.empty());
 
-    core::MergeOptions serial_options;
+    numaprof::PipelineOptions serial_options;
     serial_options.jobs = 1;
     const core::MergeResult serial =
         core::merge_profile_files(paths, serial_options);
-    core::MergeOptions parallel_options;
+    numaprof::PipelineOptions parallel_options;
     parallel_options.jobs = 4;
     const core::MergeResult parallel =
         core::merge_profile_files(paths, parallel_options);

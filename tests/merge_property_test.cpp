@@ -303,12 +303,12 @@ TEST(MergeProperty, ShardFileMergeIsBitwiseIdenticalAcrossJobs) {
   const std::vector<std::string> paths = save_thread_shards(original, dir);
   ASSERT_EQ(paths.size(), 9u);
 
-  MergeOptions serial_options;
+  PipelineOptions serial_options;
   serial_options.jobs = 1;
   const std::string reference =
       profile_bytes(merge_profile_files(paths, serial_options).data);
   for (const unsigned jobs : {2u, 8u}) {
-    MergeOptions options;
+    PipelineOptions options;
     options.jobs = jobs;
     const MergeResult merged = merge_profile_files(paths, options);
     EXPECT_EQ(merged.summary.files_merged, paths.size());
@@ -321,7 +321,9 @@ TEST(MergeProperty, AnalyzerParallelMergeIsBitwiseIdenticalAcrossJobs) {
   const SessionData data = random_session(0x57040006, 9);
   const Analyzer serial(data);
   for (const unsigned jobs : {1u, 2u, 8u}) {
-    const Analyzer parallel(data, {.jobs = jobs});
+    PipelineOptions parallel_options;
+    parallel_options.jobs = jobs;
+    const Analyzer parallel(data, parallel_options);
     expect_stores_identical(parallel.merged(), serial.merged());
     EXPECT_EQ(parallel.program().samples, serial.program().samples);
     EXPECT_EQ(parallel.program().remote_latency,

@@ -126,7 +126,9 @@ SessionData adversarial_session(std::uint64_t seed) {
 }
 
 std::string render_analysis(const SessionData& data, unsigned jobs) {
-  const Analyzer analyzer(data, {.jobs = jobs});
+  PipelineOptions analyzer_options;
+  analyzer_options.jobs = jobs;
+  const Analyzer analyzer(data, analyzer_options);
   const Viewer viewer(analyzer);
   std::ostringstream os;
   os << viewer.program_summary() << viewer.data_centric_table(10).to_text()
@@ -225,7 +227,7 @@ TEST(PipelineStressMerge, AdversarialShardsMergeIdenticallyAcrossJobs) {
   const std::vector<std::string> paths = save_thread_shards(original, dir);
   ASSERT_EQ(paths.size(), 8u);
 
-  MergeOptions serial_options;
+  PipelineOptions serial_options;
   serial_options.jobs = 1;
   const std::string reference =
       profile_bytes(merge_profile_files(paths, serial_options).data);
@@ -234,7 +236,7 @@ TEST(PipelineStressMerge, AdversarialShardsMergeIdenticallyAcrossJobs) {
   // Repeat the parallel merge: each run re-races shard loading and the
   // per-thread column fold; every run must reproduce the serial bytes.
   for (int round = 0; round < 8; ++round) {
-    MergeOptions options;
+    PipelineOptions options;
     options.jobs = 8;
     const MergeResult merged = merge_profile_files(paths, options);
     ASSERT_EQ(merged.summary.files_merged, paths.size());
@@ -257,15 +259,15 @@ TEST(PipelineStressMerge, LenientParallelMergeSkipsDamageLikeSerial) {
               static_cast<std::streamsize>(bytes.size() / 3));
   }
 
-  MergeOptions serial_options;
-  serial_options.load.lenient = true;
+  PipelineOptions serial_options;
+  serial_options.lenient = true;
   serial_options.jobs = 1;
   const MergeResult serial = merge_profile_files(paths, serial_options);
   const std::string reference = profile_bytes(serial.data);
 
   for (int round = 0; round < 4; ++round) {
-    MergeOptions options;
-    options.load.lenient = true;
+    PipelineOptions options;
+    options.lenient = true;
     options.jobs = 8;
     const MergeResult merged = merge_profile_files(paths, options);
     ASSERT_EQ(merged.summary.files_merged, serial.summary.files_merged);
@@ -296,7 +298,9 @@ TEST(PipelineStressAnalyzer, SharedPoolServesConcurrentMerges) {
   support::ThreadPool pool(4);
   const Analyzer serial(data);
   for (int round = 0; round < 10; ++round) {
-    const Analyzer pooled(data, {.pool = &pool});
+    PipelineOptions pooled_options;
+    pooled_options.pool = &pool;
+    const Analyzer pooled(data, pooled_options);
     const MetricStore& a = pooled.merged();
     const MetricStore& b = serial.merged();
     ASSERT_EQ(a.width(), b.width());

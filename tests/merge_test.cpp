@@ -109,8 +109,8 @@ TEST(ThreadShards, LenientMergeSkipsOneDamagedShard) {
   // Truncate one per-thread file mid-stream via the fault injector.
   damage_file(paths[1], "truncate=100");
 
-  MergeOptions options;
-  options.load.lenient = true;
+  PipelineOptions options;
+  options.lenient = true;
   const MergeResult merged = merge_profile_files(paths, options);
   EXPECT_EQ(merged.summary.files_total, paths.size());
   // The damaged shard still loads partially in lenient mode (its header
@@ -134,8 +134,8 @@ TEST(ThreadShards, LenientMergeSkipsUnreadableShardAndReportsIt) {
   // Destroy the header so even the lenient loader must give up on it.
   damage_file(paths[1], "truncate=4");
 
-  MergeOptions options;
-  options.load.lenient = true;
+  PipelineOptions options;
+  options.lenient = true;
   const MergeResult merged = merge_profile_files(paths, options);
   EXPECT_EQ(merged.summary.files_merged, paths.size() - 1);
   ASSERT_EQ(merged.summary.skipped.size(), 1u);
@@ -190,9 +190,9 @@ TEST(ThreadShards, QuorumFailureThrowsEvenInLenientMode) {
   for (std::size_t i = 1; i < paths.size(); ++i) {
     damage_file(paths[i], "truncate=4");
   }
-  MergeOptions options;
-  options.load.lenient = true;
-  options.min_quorum = 0.5;
+  PipelineOptions options;
+  options.lenient = true;
+  options.quorum = 0.5;
   EXPECT_THROW(merge_profile_files(paths, options), ProfileError);
 }
 
@@ -206,8 +206,8 @@ TEST(ThreadShards, MissingFileIsSkippedLeniently) {
   std::vector<std::string> paths = save_thread_shards(original, dir);
   paths.push_back(dir + "/does_not_exist.prof");
 
-  MergeOptions options;
-  options.load.lenient = true;
+  PipelineOptions options;
+  options.lenient = true;
   const MergeResult merged = merge_profile_files(paths, options);
   EXPECT_EQ(merged.summary.files_merged, paths.size() - 1);
   EXPECT_EQ(merged.summary.skipped.size(), 1u);
@@ -227,8 +227,8 @@ TEST(ThreadShards, IncompatibleProfileIsSkippedWithReason) {
   save_profile_file(other, alien);
   paths.push_back(alien);
 
-  MergeOptions options;
-  options.load.lenient = true;
+  PipelineOptions options;
+  options.lenient = true;
   const MergeResult merged = merge_profile_files(paths, options);
   ASSERT_EQ(merged.summary.skipped.size(), 1u);
   EXPECT_EQ(merged.summary.skipped.front().path, alien);

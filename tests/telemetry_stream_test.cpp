@@ -1,0 +1,297 @@
+// The telemetry sinks (core/telemetry_stream.hpp): JSONL round-trip
+// fidelity, strict parse errors (numaprof::Error, kind kTelemetry, line
+// numbers), the golden byte-identical "measurement health" pane, the
+// degradation cross-check, and the TelemetryStreamer end to end against a
+// live profiler run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/profiler.hpp"
+#include "core/telemetry_stream.hpp"
+#include "numasim/topology.hpp"
+#include "support/error.hpp"
+#include "support/telemetry.hpp"
+
+namespace numaprof::core {
+namespace {
+
+using support::TelemetryCounter;
+using support::TelemetryEvent;
+using support::TelemetryEventKind;
+using support::TelemetryHub;
+using support::TelemetrySnapshot;
+
+TelemetrySnapshot sample_snapshot() {
+  TelemetryHub hub;
+  hub.set_domain_count(2);
+  support::TelemetryRing& r0 = hub.ring(0);
+  r0.add(TelemetryCounter::kSamples, 100);
+  r0.add(TelemetryCounter::kMemorySamples, 80);
+  r0.add(TelemetryCounter::kDroppedSamples, 5);
+  r0.add(TelemetryCounter::kMatchSamples, 60);
+  r0.add(TelemetryCounter::kMismatchSamples, 20);
+  r0.add_domain_sample(0, false);
+  r0.add_domain_sample(1, true);
+  support::TelemetryRing& r2 = hub.ring(2);
+  r2.add(TelemetryCounter::kInstructions, 5000);
+  TelemetryEvent event;
+  event.kind = TelemetryEventKind::kMechanismFallback;
+  event.tid = 0;
+  event.time = 7;
+  event.value = 5;
+  event.set_detail("ibs -> soft-ibs \"quoted\"\n");
+  r0.publish(event);
+  return hub.snapshot(1234);
+}
+
+TEST(TelemetryJsonl, RoundTripsSnapshotAndEvents) {
+  const TelemetrySnapshot snap = sample_snapshot();
+  std::ostringstream os;
+  write_snapshot_jsonl(snap, pmu::Mechanism::kSoftIbs, os);
+
+  std::istringstream is(os.str());
+  const TelemetryTrace trace = load_telemetry_trace(is);
+  EXPECT_TRUE(trace.has_mechanism);
+  EXPECT_EQ(trace.mechanism, pmu::Mechanism::kSoftIbs);
+  ASSERT_EQ(trace.snapshots.size(), 1u);
+  const TelemetrySnapshot& loaded = trace.snapshots[0];
+  EXPECT_EQ(loaded.sequence, snap.sequence);
+  EXPECT_EQ(loaded.time, 1234u);
+  EXPECT_EQ(loaded.totals, snap.totals);
+  EXPECT_EQ(loaded.domain_match, snap.domain_match);
+  EXPECT_EQ(loaded.domain_mismatch, snap.domain_mismatch);
+  ASSERT_EQ(loaded.threads.size(), 2u);
+  EXPECT_EQ(loaded.threads[0].tid, 0u);
+  EXPECT_EQ(loaded.threads[0].counters, snap.threads[0].counters);
+  EXPECT_EQ(loaded.threads[1].tid, 2u);
+  EXPECT_EQ(loaded.threads[1].counter(TelemetryCounter::kInstructions),
+            5000u);
+
+  // Events ride as separate lines; escaping survives the round trip.
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].kind, TelemetryEventKind::kMechanismFallback);
+  EXPECT_EQ(trace.events[0].time, 7u);
+  EXPECT_EQ(trace.events[0].value, 5u);
+  EXPECT_EQ(trace.events[0].detail_view(), "ibs -> soft-ibs \"quoted\"\n");
+}
+
+TEST(TelemetryJsonl, StatusLineSummarizesSnapshot) {
+  const std::string line =
+      format_status_line(sample_snapshot(), pmu::Mechanism::kIbs);
+  EXPECT_NE(line.find("[telemetry #1 t=1234] IBS"), std::string::npos) << line;
+  EXPECT_NE(line.find("samples=100"), std::string::npos) << line;
+  EXPECT_NE(line.find("drop=4.8%"), std::string::npos) << line;
+  EXPECT_NE(line.find("M_l/M_r=60/20"), std::string::npos) << line;
+  EXPECT_NE(line.find("events=1"), std::string::npos) << line;
+}
+
+TEST(TelemetryJsonl, MalformedLinesThrowTelemetryErrors) {
+  const auto expect_parse_error = [](const std::string& text,
+                                     const std::string& needle) {
+    std::istringstream is(text);
+    try {
+      load_telemetry_trace(is);
+      FAIL() << "expected a parse error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTelemetry);
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_parse_error("{\"type\":\"snapshot\"", "line 1");
+  expect_parse_error("\n{broken", "line 2");
+  expect_parse_error("[1,2,3]", "must be a JSON object");
+  expect_parse_error("{\"t\":1}", "require a string \"type\"");
+  expect_parse_error("{\"type\":\"event\",\"t\":1}",
+                     "require a string \"kind\"");
+  expect_parse_error("{\"type\":\"event\",\"kind\":\"bogus\"}",
+                     "unknown event kind");
+  expect_parse_error("{\"type\":\"snapshot\",\"t\":-4}", "non-negative");
+  expect_parse_error("{\"type\":\"snapshot\",\"mechanism\":\"x86\"}",
+                     "unknown mechanism");
+}
+
+TEST(TelemetryJsonl, ToleratesUnknownKeysAndLineTypes) {
+  std::istringstream is(
+      "{\"type\":\"future-record\",\"x\":1}\n"
+      "\n"
+      "{\"type\":\"snapshot\",\"seq\":3,\"t\":9,\"totals\":"
+      "{\"samples\":4,\"never-heard-of-it\":7},\"new-key\":[1,2]}\n");
+  const TelemetryTrace trace = load_telemetry_trace(is);
+  EXPECT_FALSE(trace.has_mechanism);
+  ASSERT_EQ(trace.snapshots.size(), 1u);
+  EXPECT_EQ(trace.snapshots[0].sequence, 3u);
+  EXPECT_EQ(trace.snapshots[0].total(TelemetryCounter::kSamples), 4u);
+  EXPECT_TRUE(trace.events.empty());
+}
+
+TEST(TelemetryJsonl, MissingFileThrowsWithPath) {
+  try {
+    load_telemetry_trace_file("/nonexistent/telemetry.jsonl");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTelemetry);
+    EXPECT_EQ(e.file(), "/nonexistent/telemetry.jsonl");
+  }
+}
+
+TEST(TelemetryTraceFixture, FinalSnapshotIsLastInFileOrder) {
+  const TelemetryTrace empty;
+  EXPECT_EQ(empty.final_snapshot().time, 0u);
+  EXPECT_TRUE(empty.final_snapshot().threads.empty());
+
+  const TelemetryTrace trace = load_telemetry_trace_file(
+      NUMAPROF_SOURCE_DIR "/tests/golden/telemetry_trace.jsonl");
+  ASSERT_EQ(trace.snapshots.size(), 2u);
+  EXPECT_EQ(trace.events.size(), 5u);
+  EXPECT_EQ(trace.final_snapshot().time, 240000u);
+  EXPECT_EQ(trace.final_snapshot().total(TelemetryCounter::kSamples), 1280u);
+}
+
+/// A profile whose degradation record agrees with the fixture trace:
+/// one unavailable probe, one fallback, one retune, and sample faults.
+SessionData matching_profile() {
+  SessionData data;
+  data.mechanism = pmu::Mechanism::kSoftIbs;
+  DegradationEvent event;
+  event.kind = DegradationKind::kMechanismUnavailable;
+  event.mechanism = pmu::Mechanism::kIbs;
+  data.degradations.push_back(event);
+  event.kind = DegradationKind::kMechanismFallback;
+  event.mechanism = pmu::Mechanism::kSoftIbs;
+  data.degradations.push_back(event);
+  event.kind = DegradationKind::kPeriodRetuneStarvation;
+  event.value = 4096;
+  data.degradations.push_back(event);
+  event.kind = DegradationKind::kSampleFaults;
+  event.value = 66;
+  data.degradations.push_back(event);
+  return data;
+}
+
+// The golden lock: the health pane (with and without the profile
+// cross-check) must render byte-identically from the fixed fixture
+// trace. Regenerate deliberately with NUMAPROF_REGEN_GOLDEN=1 and review
+// the diff.
+TEST(TelemetryHealthPane, GoldenRendering) {
+  const TelemetryTrace trace = load_telemetry_trace_file(
+      NUMAPROF_SOURCE_DIR "/tests/golden/telemetry_trace.jsonl");
+  const SessionData profile = matching_profile();
+  const std::string rendered = render_health_pane(trace) + "\n" +
+                               render_health_pane(trace, &profile);
+
+  const std::string golden_path =
+      NUMAPROF_SOURCE_DIR "/tests/golden/telemetry_health.txt";
+  if (std::getenv("NUMAPROF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(rendered, want.str());
+}
+
+TEST(TelemetryHealthPane, CrossCheckFlagsDisagreement) {
+  const TelemetryTrace trace = load_telemetry_trace_file(
+      NUMAPROF_SOURCE_DIR "/tests/golden/telemetry_trace.jsonl");
+  SessionData profile = matching_profile();
+  const std::string agree = render_health_pane(trace, &profile);
+  EXPECT_NE(agree.find("mechanism-fallback: telemetry 1, profile 1 [ok]"),
+            std::string::npos)
+      << agree;
+  EXPECT_NE(agree.find("verdict: telemetry stream and profile degradations "
+                       "agree"),
+            std::string::npos)
+      << agree;
+
+  // Remove the fallback record: the pane must call out the mismatch.
+  profile.degradations.erase(profile.degradations.begin() + 1);
+  const std::string disagree = render_health_pane(trace, &profile);
+  EXPECT_NE(disagree.find("mechanism-fallback: telemetry 1, profile 0 [!]"),
+            std::string::npos)
+      << disagree;
+  EXPECT_NE(disagree.find("MISMATCH"), std::string::npos) << disagree;
+}
+
+// End to end: a profiler run with a live hub attached streams status
+// lines and a JSONL trace whose reload cross-checks cleanly against the
+// profile it was recorded with.
+TEST(TelemetryStreamerTest, StreamsLiveRunAndCrossChecksCleanly) {
+  simrt::Machine machine(numasim::test_machine(2, 2));
+  TelemetryHub hub;
+  machine.set_telemetry(&hub);
+
+  ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 10;
+  cfg.telemetry = &hub;
+  Profiler profiler(machine, cfg);
+
+  std::ostringstream status;
+  std::ostringstream jsonl;
+  TelemetryStreamer::Config stream_cfg;
+  stream_cfg.interval_instructions = 500;
+  stream_cfg.status = &status;
+  stream_cfg.jsonl = &jsonl;
+  stream_cfg.mechanism = profiler.sampler().mechanism();
+  TelemetryStreamer streamer(hub, stream_cfg);
+  machine.add_observer(streamer);
+
+  simos::VAddr data = 0;
+  parallel_region(machine, 1, "init", {},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    data = t.malloc(4 * simos::kPageBytes, "shared");
+                    for (std::uint64_t i = 0; i < 4 * simos::kPageBytes;
+                         i += 64) {
+                      t.store(data + i);
+                    }
+                    co_return;
+                  });
+  parallel_region(machine, 4, "work", {},
+                  [&](simrt::SimThread& t, std::uint32_t index) -> simrt::Task {
+                    for (std::uint64_t i = 0; i < 512; ++i) {
+                      t.load(data + ((index * 512 + i) * 64) %
+                                        (4 * simos::kPageBytes));
+                      co_await t.tick();
+                    }
+                  });
+
+  streamer.flush(machine.elapsed());
+  machine.remove_observer(streamer);
+  const SessionData profile = profiler.snapshot();
+
+  EXPECT_GE(streamer.snapshots_emitted(), 2u);
+  EXPECT_NE(status.str().find("[telemetry #1"), std::string::npos);
+
+  std::istringstream is(jsonl.str());
+  const TelemetryTrace trace = load_telemetry_trace(is);
+  EXPECT_EQ(trace.snapshots.size(), streamer.snapshots_emitted());
+  const TelemetrySnapshot& last = trace.final_snapshot();
+  EXPECT_GT(last.total(TelemetryCounter::kSamples), 0u);
+  EXPECT_GT(last.total(TelemetryCounter::kInstructions), 0u);
+  EXPECT_GT(last.total(TelemetryCounter::kFirstTouchTraps), 0u);
+  EXPECT_GT(last.total(TelemetryCounter::kHeapRegistrations), 0u);
+  // The live M_l/M_r mirror the profile's program totals exactly.
+  EXPECT_EQ(last.total(TelemetryCounter::kMatchSamples) +
+                last.total(TelemetryCounter::kMismatchSamples),
+            last.total(TelemetryCounter::kMemorySamples));
+  // Five threads ran (init + 4 workers observed as tids).
+  EXPECT_GE(last.threads.size(), 4u);
+
+  const std::string pane = render_health_pane(trace, &profile);
+  EXPECT_NE(pane.find("verdict: telemetry stream and profile degradations "
+                      "agree"),
+            std::string::npos)
+      << pane;
+}
+
+}  // namespace
+}  // namespace numaprof::core
