@@ -27,6 +27,7 @@ numaprof_bench(ablation_fabric)
 numaprof_bench(ablation_schedule)
 numaprof_bench(ablation_os_migration)
 numaprof_bench(micro_merge)
+numaprof_bench(export_throughput)
 
 add_executable(micro_tool_paths ${CMAKE_SOURCE_DIR}/bench/micro_tool_paths.cpp)
 target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core benchmark::benchmark benchmark::benchmark_main)

@@ -28,8 +28,8 @@ core::SessionData traced_run(apps::Variant variant) {
   return profiler.snapshot();
 }
 
-void report(const char* title, const core::SessionData& data,
-            core::TracePhase* hottest_out) {
+void report(const char* title, const char* variant_name,
+            const core::SessionData& data, core::TracePhase* hottest_out) {
   subheading(title);
   const core::TraceAnalysis analysis(data.trace);
   std::cout << "trace events: " << data.trace.size() << "\n|"
@@ -37,17 +37,24 @@ void report(const char* title, const core::SessionData& data,
   support::Table table({"phase", "virtual span (cycles)", "samples",
                         "character"});
   std::size_t index = 0;
+  std::size_t remote_phases = 0;
   core::TracePhase hottest;
   for (const core::TracePhase& phase : analysis.phases(72, 0.5)) {
     table.add_row({std::to_string(index++),
                    support::format_count(phase.end - phase.begin),
                    support::format_count(phase.samples),
                    phase.remote_heavy ? "remote-heavy" : "local"});
+    if (phase.remote_heavy) ++remote_phases;
     if (phase.remote_heavy && phase.samples > hottest.samples) {
       hottest = phase;
     }
   }
   std::cout << table.to_text();
+  std::cout << "BENCH {\"bench\":\"trace_timeline\",\"variant\":\""
+            << variant_name << "\",\"trace_events\":" << data.trace.size()
+            << ",\"phases\":" << index
+            << ",\"remote_heavy_phases\":" << remote_phases
+            << ",\"hottest_remote_samples\":" << hottest.samples << "}\n";
   if (hottest_out != nullptr) *hottest_out = hottest;
 }
 
@@ -58,13 +65,13 @@ int main() {
 
   const core::SessionData baseline = traced_run(apps::Variant::kBaseline);
   core::TracePhase baseline_hot;
-  report("baseline: local init phase, then remote-heavy compute", baseline,
-         &baseline_hot);
+  report("baseline: local init phase, then remote-heavy compute", "baseline",
+         baseline, &baseline_hot);
 
   const core::SessionData fixed = traced_run(apps::Variant::kBlockwise);
   core::TracePhase fixed_hot;
-  report("block-wise fix: the remote-heavy phase disappears", fixed,
-         &fixed_hot);
+  report("block-wise fix: the remote-heavy phase disappears", "blockwise",
+         fixed, &fixed_hot);
 
   Comparison cmp;
   const core::TraceAnalysis base_analysis(baseline.trace);

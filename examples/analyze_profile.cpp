@@ -22,6 +22,12 @@
 //                   profile's degradation record (docs/api.md)
 //   --lenient       recover from damaged profiles / skip unreadable shards
 //   --lint SRC      fuse numalint static findings into the report
+//   --export KIND   write visualization artifacts: trace (Perfetto JSON),
+//                   flamegraph (collapsed + speedscope), html (the
+//                   self-contained report), or all (docs/visualization.md)
+//   --export-dir D  directory the artifacts go to (default: exports)
+//   --flame-weight  flamegraph frame weight: mismatch, remote-latency
+//                   (default), or lpi
 #include <algorithm>
 #include <iostream>
 #include <string>
@@ -90,10 +96,32 @@ void print_analysis_json(const core::Analyzer& analyzer) {
   std::cout << "]}\n";
 }
 
+/// What --export/--export-dir/--flame-weight asked for (kind unset when no
+/// --export was given).
+struct ExportRequest {
+  std::optional<core::ExportKind> kind;
+  std::string directory = "exports";
+  core::ExportOptions options;
+};
+
+/// Writes the requested artifacts and reports where they went. Status goes
+/// to stderr so `--format json` output stays a single parseable document.
+void run_exports(const core::Analyzer& analyzer, const ExportRequest& request,
+                 bool json) {
+  if (!request.kind) return;
+  std::ostream& log = json ? std::cerr : std::cout;
+  for (const std::string& path : core::write_exports(
+           analyzer, *request.kind, request.directory, request.options)) {
+    log << "exported " << path << "\n";
+  }
+}
+
 void print_analysis(const core::SessionData& data,
                     const PipelineOptions& options, bool json,
-                    const std::string& telemetry_trace) {
+                    const std::string& telemetry_trace,
+                    const ExportRequest& exports) {
   const core::Analyzer analyzer(data, options);
+  run_exports(analyzer, exports, json);
   if (json) {
     print_analysis_json(analyzer);
     return;
@@ -145,6 +173,12 @@ support::CliParser make_parser() {
   cli.add_flag("--lenient", false, "recover from damaged profiles");
   cli.add_flag("--lint", true, "fuse numalint findings from this source",
                "SRC");
+  cli.add_flag("--export", true,
+               "write artifacts: trace | flamegraph | html | all", "KIND");
+  cli.add_flag("--export-dir", true,
+               "directory for exported artifacts (default: exports)", "DIR");
+  cli.add_flag("--flame-weight", true,
+               "flamegraph weight: mismatch | remote-latency | lpi", "W");
   cli.add_flag("--merge", false, "merge per-thread measurement files");
   cli.add_flag("--diff", false, "compare two profiles (before after)");
   cli.add_flag("--selftest", false, "generate and analyze a demo profile");
@@ -175,13 +209,34 @@ int main(int argc, char** argv) {
     }
     const std::string telemetry = cli.value("--telemetry").value_or("");
 
+    ExportRequest exports;
+    if (const auto kind_text = cli.value("--export")) {
+      exports.kind = core::parse_export_kind(*kind_text);
+      if (!exports.kind) {
+        throw Error(ErrorKind::kUsage, {}, "--export", 0,
+                    "--export expects trace, flamegraph, html, or all\n" +
+                        cli.usage());
+      }
+    }
+    exports.directory = cli.value("--export-dir").value_or("exports");
+    if (const auto weight_text = cli.value("--flame-weight")) {
+      const auto weight = core::parse_flame_weight(*weight_text);
+      if (!weight) {
+        throw Error(ErrorKind::kUsage, {}, "--flame-weight", 0,
+                    "--flame-weight expects mismatch, remote-latency, or "
+                    "lpi\n" +
+                        cli.usage());
+      }
+      exports.options.weight = *weight;
+    }
+
     std::vector<std::string> inputs = cli.positional();
     if (const auto profile = cli.value("--profile")) {
       inputs.insert(inputs.begin(), *profile);
     }
 
     if (cli.has("--selftest")) {
-      print_analysis(demo_session(), options, json, telemetry);
+      print_analysis(demo_session(), options, json, telemetry, exports);
       return 0;
     }
     if (cli.has("--diff")) {
@@ -211,7 +266,7 @@ int main(int argc, char** argv) {
         std::cout << "  diagnostic " << d.field << " (line " << d.line
                   << "): " << d.message << "\n";
       }
-      print_analysis(merged.data, options, json, telemetry);
+      print_analysis(merged.data, options, json, telemetry, exports);
       return 0;
     }
     if (inputs.empty() && !telemetry.empty()) {
@@ -236,10 +291,11 @@ int main(int argc, char** argv) {
     }
     if (inputs.size() >= 2) {
       const core::Analyzer analyzer(loaded.data, options);
+      run_exports(analyzer, exports, json);
       const std::string main_file = core::write_report(analyzer, inputs[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(loaded.data, options, json, telemetry);
+      print_analysis(loaded.data, options, json, telemetry, exports);
     }
     return 0;
   } catch (const Error& error) {

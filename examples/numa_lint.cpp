@@ -14,6 +14,8 @@
 //   --profile PATH  fuse findings with this profile's dynamic evidence
 //   --telemetry T   also render the measurement-health pane from a JSONL
 //                   trace (cross-checked against --profile when given)
+//   --export KIND   with --profile: emit the fused findings as one JSON
+//                   document instead of the text pane (KIND must be json)
 //   --stats         print scan statistics
 //
 // Exit status: 0 = clean, 1 = findings reported, 2 = usage error.
@@ -90,6 +92,9 @@ support::CliParser make_parser() {
   cli.add_flag("--telemetry", true,
                "JSONL telemetry trace: render the measurement-health pane",
                "PATH");
+  cli.add_flag("--export", true,
+               "emit fused findings as JSON (requires --profile): json",
+               "KIND");
   cli.add_flag("--stats", false, "print scan statistics");
   cli.add_flag("--selftest", false, "lint a built-in antipattern sample");
   cli.add_flag("--help", false, "show this message");
@@ -111,6 +116,22 @@ int main(int argc, char** argv) {
         cli.value("--format").value_or("") != "text") {
       throw Error(ErrorKind::kUsage, {}, "--format", 0,
                   "--format expects text or json\n" + cli.usage());
+    }
+    // --export shares the grammar of analyze_profile's flag; numa_lint's
+    // only artifact is the fused-findings JSON, so any other kind is a
+    // usage error (exit 2), like an unknown --format.
+    const bool export_fused = cli.has("--export");
+    if (export_fused) {
+      if (cli.value("--export").value_or("") != "json") {
+        throw Error(ErrorKind::kUsage, {}, "--export", 0,
+                    "--export expects json\n" + cli.usage());
+      }
+      if (!cli.has("--profile")) {
+        throw Error(ErrorKind::kUsage, {}, "--export", 0,
+                    "--export requires --profile (fused findings join "
+                    "static and dynamic evidence)\n" +
+                        cli.usage());
+      }
     }
     if (cli.has("--selftest")) {
       const auto result = lint::lint_source(kSelftestSource, "selftest.cpp");
@@ -140,9 +161,13 @@ int main(int argc, char** argv) {
       const Session data = core::load_profile_file(*profile);
       const Analyzer analyzer(data, options);
       const core::Advisor advisor(analyzer);
-      std::cout << "\n"
-                << core::render_fused_findings(
-                       core::fuse_findings(advisor, result.findings));
+      const std::vector<core::FusedFinding> fused =
+          core::fuse_findings(advisor, result.findings);
+      if (export_fused) {
+        std::cout << core::render_fused_findings_json(fused);
+      } else {
+        std::cout << "\n" << core::render_fused_findings(fused);
+      }
       if (const auto trace_path = cli.value("--telemetry")) {
         std::cout << render_health_pane(
             load_telemetry_trace_file(*trace_path), &data);

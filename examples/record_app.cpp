@@ -17,6 +17,10 @@
 //                             counters, running M_l/M_r)
 //   --telemetry PATH          write the telemetry stream as a JSONL trace;
 //                             analyze_profile --telemetry PATH renders it
+//   --export KIND             also export visualization artifacts from the
+//                             fresh run: trace | flamegraph | html | all
+//                             (the trace timeline needs --trace)
+//   --export-dir DIR          where those artifacts go (default: exports)
 //
 // Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the run under
 // injected failures: mechanism init failures degrade along the fallback
@@ -29,6 +33,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "apps/distributions.hpp"
@@ -69,6 +74,11 @@ support::CliParser make_parser() {
                "stream a live health status line every N instructions", "N");
   cli.add_flag("--telemetry", true, "write the telemetry JSONL trace here",
                "PATH");
+  cli.add_flag("--export", true,
+               "also export artifacts: trace | flamegraph | html | all",
+               "KIND");
+  cli.add_flag("--export-dir", true,
+               "directory for exported artifacts (default: exports)", "DIR");
   cli.add_flag("--help", false, "show this message");
   return cli;
 }
@@ -148,6 +158,14 @@ int main(int argc, char** argv) {
     }
     const std::string& out = operands[3];
 
+    std::optional<ExportKind> export_kind;
+    if (const auto kind_text = cli.value("--export")) {
+      export_kind = parse_export_kind(*kind_text);
+      if (!export_kind) {
+        bad_usage(cli, "--export expects trace, flamegraph, html, or all");
+      }
+    }
+
     // MRK belongs on the POWER7 preset, everything else on the AMD box —
     // mirroring Table 1's mechanism/host pairing.
     const bool on_power7 = mech_it->second == pmu::Mechanism::kMrk;
@@ -220,6 +238,14 @@ int main(int argc, char** argv) {
     if (trace_path) {
       std::cout << "wrote telemetry trace (" << streamer.snapshots_emitted()
                 << " snapshot(s)) to " << *trace_path << "\n";
+    }
+    if (export_kind) {
+      const Analyzer analyzer(data);
+      for (const std::string& path : write_exports(
+               analyzer, *export_kind,
+               cli.value("--export-dir").value_or("exports"))) {
+        std::cout << "exported " << path << "\n";
+      }
     }
     return 0;
   } catch (const Error& error) {

@@ -1,0 +1,100 @@
+#include "core/export/export.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "support/error.hpp"
+
+namespace numaprof::core {
+
+std::string_view to_string(ExportKind k) noexcept {
+  switch (k) {
+    case ExportKind::kTraceJson: return "trace";
+    case ExportKind::kFlamegraph: return "flamegraph";
+    case ExportKind::kHtml: return "html";
+    case ExportKind::kAll: return "all";
+  }
+  return "unknown";
+}
+
+std::optional<ExportKind> parse_export_kind(std::string_view text) noexcept {
+  if (text == "trace") return ExportKind::kTraceJson;
+  if (text == "flamegraph") return ExportKind::kFlamegraph;
+  if (text == "html") return ExportKind::kHtml;
+  if (text == "all") return ExportKind::kAll;
+  return std::nullopt;
+}
+
+std::string_view to_string(FlameWeight w) noexcept {
+  switch (w) {
+    case FlameWeight::kMismatch: return "mismatch";
+    case FlameWeight::kRemoteLatency: return "remote-latency";
+    case FlameWeight::kLpi: return "lpi";
+  }
+  return "unknown";
+}
+
+std::optional<FlameWeight> parse_flame_weight(std::string_view text) noexcept {
+  if (text == "mismatch") return FlameWeight::kMismatch;
+  if (text == "remote-latency") return FlameWeight::kRemoteLatency;
+  if (text == "lpi") return FlameWeight::kLpi;
+  return std::nullopt;
+}
+
+std::vector<ExportArtifact> export_artifacts(const Analyzer& analyzer,
+                                             ExportKind kind,
+                                             const ExportOptions& options) {
+  const bool all = kind == ExportKind::kAll;
+  std::vector<ExportArtifact> artifacts;
+  if (all || kind == ExportKind::kTraceJson) {
+    artifacts.push_back({ExportKind::kTraceJson,
+                         options.basename + ".trace.json",
+                         export_trace_json(analyzer, options)});
+  }
+  if (all || kind == ExportKind::kFlamegraph) {
+    artifacts.push_back({ExportKind::kFlamegraph,
+                         options.basename + ".collapsed.txt",
+                         export_collapsed_stacks(analyzer, options)});
+    artifacts.push_back({ExportKind::kFlamegraph,
+                         options.basename + ".speedscope.json",
+                         export_speedscope(analyzer, options)});
+  }
+  if (all || kind == ExportKind::kHtml) {
+    artifacts.push_back({ExportKind::kHtml,
+                         options.basename + ".report.html",
+                         export_html(analyzer, options)});
+  }
+  return artifacts;
+}
+
+std::vector<std::string> write_exports(const Analyzer& analyzer,
+                                       ExportKind kind,
+                                       const std::string& directory,
+                                       const ExportOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    throw Error(ErrorKind::kExport, directory, "", 0,
+                "cannot create export directory '" + directory +
+                    "': " + ec.message());
+  }
+  std::vector<std::string> written;
+  for (const ExportArtifact& artifact :
+       export_artifacts(analyzer, kind, options)) {
+    const std::string path =
+        (fs::path(directory) / artifact.filename).string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(artifact.bytes.data(),
+              static_cast<std::streamsize>(artifact.bytes.size()));
+    if (!out) {
+      throw Error(ErrorKind::kExport, path, "", 0,
+                  "cannot write export artifact '" + path + "'");
+    }
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace numaprof::core

@@ -1,0 +1,67 @@
+// Bundled artifact validators for the export layer.
+//
+// The exporters (core/export/export.hpp) target external consumers —
+// Perfetto, speedscope, a browser — that this repository cannot run in
+// tests. These checkers are the next best thing: a small dependency-free
+// JSON parser plus per-format structural checks (the invariants each
+// consumer documents), so every emitted artifact is validated both in the
+// test suite and by the `export_check` CLI that CI's export-smoke job
+// runs on freshly produced artifacts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace numaprof::core {
+
+/// A parsed JSON document node (object member order preserved).
+struct JsonNode {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonNode> items;  // kArray
+  std::vector<std::pair<std::string, JsonNode>> members;  // kObject
+
+  /// First member named `key` (objects only); nullptr when absent.
+  const JsonNode* find(std::string_view key) const noexcept;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, any
+/// other trailing content is an error). On failure returns nullopt and
+/// writes a human-readable message (with character offset) to `error`.
+std::optional<JsonNode> parse_json(std::string_view text, std::string* error);
+
+/// Well-formedness only: empty vector when `text` is one valid JSON
+/// document, otherwise the parse error.
+std::vector<std::string> json_well_formed(std::string_view text);
+
+/// Chrome trace-event format: root object, "traceEvents" array, every
+/// event an object with a known "ph", a string "name", numeric "pid", and
+/// the per-phase required fields ("ts" for C/X/i, "dur" for X).
+std::vector<std::string> check_trace_json(std::string_view text);
+
+/// speedscope file format: "$schema" URL, shared.frames (objects with
+/// "name"), non-empty "profiles" of type "sampled" whose samples/weights
+/// line up and whose frame indices are in range.
+std::vector<std::string> check_speedscope_json(std::string_view text);
+
+/// Brendan-Gregg collapsed format: every non-empty line is
+/// "frame(;frame)* <non-negative integer>".
+std::vector<std::string> check_collapsed_stacks(std::string_view text);
+
+/// Self-contained HTML report: doctype, matching <html> tags, all five
+/// panes present, and NO external asset references (src=/href=/url()
+/// pointing at a scheme or protocol-relative URL).
+std::vector<std::string> check_html_report(std::string_view text);
+
+/// Dispatches on the artifact's file-name suffix (.trace.json,
+/// .speedscope.json, .collapsed.txt, .html — the names write_exports
+/// produces). Unknown names fail with a one-entry error vector.
+std::vector<std::string> check_artifact(std::string_view filename,
+                                        std::string_view bytes);
+
+}  // namespace numaprof::core

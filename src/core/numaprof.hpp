@@ -16,6 +16,8 @@
 #pragma once
 
 #include "core/analyzer.hpp"
+#include "core/export/export.hpp"
+#include "core/export/schema.hpp"
 #include "core/options.hpp"
 #include "core/profile_io.hpp"
 #include "core/profiler.hpp"
@@ -79,6 +81,37 @@ using core::load_telemetry_trace;
 using core::load_telemetry_trace_file;
 using core::render_health_pane;
 using core::write_snapshot_jsonl;
+
+// --- Exporters (core/export/) ----------------------------------------
+/// ExportKind / FlameWeight / ExportOptions / ExportArtifact [evolving]:
+/// deterministic artifact exporters — Chrome trace-event / Perfetto JSON,
+/// collapsed-stack + speedscope flamegraphs, and the self-contained HTML
+/// report. All pure functions of the Analyzer (byte-identical for any
+/// --jobs value); failures throw Error with ErrorKind::kExport.
+using ExportKind = core::ExportKind;
+using FlameWeight = core::FlameWeight;
+using ExportOptions = core::ExportOptions;
+using ExportArtifact = core::ExportArtifact;
+using core::export_artifacts;
+using core::export_collapsed_stacks;
+using core::export_html;
+using core::export_speedscope;
+using core::export_trace_json;
+using core::parse_export_kind;
+using core::parse_flame_weight;
+using core::write_exports;
+
+/// JsonNode / parse_json / check_* [evolving]: the bundled artifact
+/// validators (core/export/schema.hpp) used by the tests and the
+/// export_check CLI to vet every emitted artifact.
+using JsonNode = core::JsonNode;
+using core::check_artifact;
+using core::check_collapsed_stacks;
+using core::check_html_report;
+using core::check_speedscope_json;
+using core::check_trace_json;
+using core::json_well_formed;
+using core::parse_json;
 
 // --- Deprecated shims ------------------------------------------------
 // core::MergeOptions / core::AnalyzerOptions [deprecated]: superseded by

@@ -612,12 +612,31 @@ std::string render_health_pane(const TelemetryTrace& trace,
   os << "telemetry events dropped: "
      << last.total(TelemetryCounter::kEventsDropped) << "\n";
 
+  // Identical repeated events collapse into one row with a repeat count
+  // (the raw total in the heading and the cross-check below still count
+  // every occurrence).
   os << "events (" << trace.events.size() << "):\n";
+  std::vector<std::pair<const TelemetryEvent*, std::size_t>> event_rows;
   for (const TelemetryEvent& event : trace.events) {
-    os << "  [" << to_string(event.kind) << "] t=" << event.time
-       << " tid=" << event.tid;
-    if (event.value != 0) os << " (" << event.value << ")";
-    if (!event.detail_view().empty()) os << ": " << event.detail_view();
+    const auto same = [&event](const auto& row) {
+      const TelemetryEvent& seen = *row.first;
+      return seen.kind == event.kind && seen.time == event.time &&
+             seen.tid == event.tid && seen.value == event.value &&
+             seen.detail_view() == event.detail_view();
+    };
+    if (auto it = std::find_if(event_rows.begin(), event_rows.end(), same);
+        it != event_rows.end()) {
+      ++it->second;
+    } else {
+      event_rows.emplace_back(&event, 1);
+    }
+  }
+  for (const auto& [event, repeats] : event_rows) {
+    os << "  [" << to_string(event->kind) << "] t=" << event->time
+       << " tid=" << event->tid;
+    if (event->value != 0) os << " (" << event->value << ")";
+    if (!event->detail_view().empty()) os << ": " << event->detail_view();
+    if (repeats > 1) os << " (x" << repeats << ")";
     os << "\n";
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/export/writer_util.hpp"
 #include "pmu/config.hpp"
 
 namespace numaprof::core {
@@ -80,12 +81,32 @@ std::string Viewer::collection_health() const {
     os << "requested " << pmu::to_string(d.requested_mechanism)
        << ", collected with " << pmu::to_string(d.mechanism) << "\n";
   }
+  // Identical events collapse into one row with a repeat count: a retry
+  // loop that degrades the same way 50 times is one fact about the run,
+  // not 50 rows drowning out the rest of the pane.
   std::size_t skipped_files = 0;
+  std::vector<std::pair<const DegradationEvent*, std::size_t>> rows;
   for (const DegradationEvent& e : d.degradations) {
     if (e.kind == DegradationKind::kProfileFileSkipped) ++skipped_files;
-    os << "[" << to_string(e.kind) << "] " << pmu::to_string(e.mechanism);
-    if (e.value != 0) os << " (" << e.value << ")";
-    os << ": " << e.detail << "\n";
+    const auto same = [&e](const auto& row) {
+      const DegradationEvent& seen = *row.first;
+      return seen.kind == e.kind && seen.mechanism == e.mechanism &&
+             seen.value == e.value && seen.detail == e.detail;
+    };
+    if (auto it = std::find_if(rows.begin(), rows.end(), same);
+        it != rows.end()) {
+      ++it->second;
+    } else {
+      rows.emplace_back(&e, 1);
+    }
+  }
+  for (const auto& [event, repeats] : rows) {
+    os << "[" << to_string(event->kind) << "] "
+       << pmu::to_string(event->mechanism);
+    if (event->value != 0) os << " (" << event->value << ")";
+    os << ": " << event->detail;
+    if (repeats > 1) os << " (x" << repeats << ")";
+    os << "\n";
   }
   if (skipped_files > 0) {
     os << skipped_files
@@ -352,6 +373,42 @@ std::string render_fused_findings(const std::vector<FusedFinding>& fused) {
          << (f.severity_warrants ? "" : ", below severity threshold") << "\n";
     }
   }
+  return os.str();
+}
+
+std::string render_fused_findings_json(
+    const std::vector<FusedFinding>& fused) {
+  std::ostringstream os;
+  os << "{\"fused\":[";
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    const FusedFinding& f = fused[i];
+    os << (i == 0 ? "" : ",") << "\n{\"variable\":\""
+       << export_detail::json_escape(f.variable) << "\",\"confidence\":\""
+       << to_string(f.confidence) << "\",\"action\":\"" << to_string(f.action)
+       << "\",\"severity-warrants\":" << (f.severity_warrants ? "true" : "false")
+       << ",\"patterns-agree\":" << (f.patterns_agree ? "true" : "false")
+       << ",\"rationale\":\"" << export_detail::json_escape(f.rationale)
+       << "\",\"static-evidence\":[";
+    for (std::size_t s = 0; s < f.static_evidence.size(); ++s) {
+      const StaticFinding& evidence = f.static_evidence[s];
+      os << (s == 0 ? "" : ",") << "{\"file\":\""
+         << export_detail::json_escape(evidence.file)
+         << "\",\"line\":" << evidence.line << ",\"kind\":\""
+         << to_string(evidence.kind) << "\",\"expected\":\""
+         << to_string(evidence.expected) << "\",\"suggested\":\""
+         << to_string(evidence.suggested) << "\"}";
+    }
+    os << "]";
+    if (f.dynamic_evidence.has_value()) {
+      const Recommendation& rec = *f.dynamic_evidence;
+      os << ",\"dynamic-evidence\":{\"pattern\":\""
+         << to_string(rec.guiding.kind) << "\",\"threads\":"
+         << rec.guiding.threads << ",\"context-share\":"
+         << format_fixed(rec.guiding_context_share, 4) << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
   return os.str();
 }
 

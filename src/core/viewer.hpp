@@ -79,4 +79,8 @@ class Viewer {
 /// tag, the chosen action, and both evidence trails.
 std::string render_fused_findings(const std::vector<FusedFinding>& fused);
 
+/// The same fused findings as one machine-readable JSON document (stable
+/// keys; numa_lint --export json emits this).
+std::string render_fused_findings_json(const std::vector<FusedFinding>& fused);
+
 }  // namespace numaprof::core

@@ -9,6 +9,7 @@ std::string_view to_string(ErrorKind k) noexcept {
     case ErrorKind::kLint: return "lint";
     case ErrorKind::kTelemetry: return "telemetry";
     case ErrorKind::kUsage: return "usage";
+    case ErrorKind::kExport: return "export";
   }
   return "unknown";
 }

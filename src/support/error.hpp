@@ -21,10 +21,11 @@ enum class ErrorKind : std::uint8_t {
   kLint,       // static-analyzer input failures (lint/numalint.hpp)
   kTelemetry,  // telemetry JSONL trace failures (core/telemetry_stream.hpp)
   kUsage,      // CLI misuse (bad flag values)
+  kExport,     // artifact export failures (core/export/export.hpp)
 };
 
 /// Number of ErrorKind enumerators (kept for switch-exhaustiveness tests).
-inline constexpr int kErrorKindCount = 5;
+inline constexpr int kErrorKindCount = 6;
 
 std::string_view to_string(ErrorKind k) noexcept;
 

@@ -30,6 +30,13 @@ class Table {
   void add_row(std::vector<std::string> row);
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for renderers with their own layout (e.g. the HTML report
+  /// re-renders viewer tables as <table> markup instead of monospace text).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
   /// Renders with a separator line under the header.
   std::string to_text() const;
   /// RFC-4180-ish CSV (cells containing comma/quote/newline get quoted).

@@ -43,6 +43,47 @@ namespace {
   std::string out = viewer.program_summary();
   out += numaprof::format_status_line(snapshot, session.mechanism);
   out += numaprof::render_health_pane(trace, &session);
+
+  // Exporters and the bundled artifact validators.
+  numaprof::ExportOptions export_options;
+  export_options.weight =
+      numaprof::parse_flame_weight("lpi").value_or(
+          numaprof::FlameWeight::kRemoteLatency);
+  export_options.timeline_windows = 16;
+  out += numaprof::export_trace_json(analyzer, export_options);
+  out += numaprof::export_collapsed_stacks(analyzer);
+  out += numaprof::export_speedscope(analyzer);
+  out += numaprof::export_html(analyzer);
+  const std::vector<numaprof::ExportArtifact> artifacts =
+      numaprof::export_artifacts(
+          analyzer,
+          numaprof::parse_export_kind("all").value_or(
+              numaprof::ExportKind::kAll),
+          export_options);
+  for (const numaprof::ExportArtifact& artifact : artifacts) {
+    for (const std::string& problem :
+         numaprof::check_artifact(artifact.filename, artifact.bytes)) {
+      out += problem;
+    }
+  }
+  out += numaprof::json_well_formed("{}").empty() ? "ok" : "bad";
+  std::string parse_error;
+  if (const auto doc = numaprof::parse_json("{\"k\":1}", &parse_error)) {
+    out += doc->find("k") != nullptr ? "k" : parse_error;
+  }
+  out += numaprof::check_trace_json("{}").empty() ? "" : "t";
+  out += numaprof::check_speedscope_json("{}").empty() ? "" : "s";
+  out += numaprof::check_collapsed_stacks("a 1\n").empty() ? "" : "c";
+  out += numaprof::check_html_report("<!DOCTYPE html>").empty() ? "" : "h";
+  try {
+    const std::vector<std::string> written = numaprof::write_exports(
+        analyzer, numaprof::ExportKind::kHtml, "exports", export_options);
+    out += std::to_string(written.size());
+  } catch (const numaprof::Error& error) {
+    if (error.kind() == numaprof::ErrorKind::kExport) {
+      out += numaprof::format_error(error);
+    }
+  }
   try {
     const numaprof::MergeResult merged =
         numaprof::merge_profile_files({"missing.prof"}, options);

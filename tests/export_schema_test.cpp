@@ -1,0 +1,164 @@
+// Unit tests for the bundled artifact validators (core/export/schema.hpp):
+// the JSON parser itself, then each per-format checker against minimal
+// valid documents and targeted corruptions. The export_test golden suite
+// covers real artifacts; this file covers the checker's own behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/export/schema.hpp"
+
+namespace numaprof::core {
+namespace {
+
+TEST(JsonParser, ParsesScalarsArraysAndObjects) {
+  std::string error;
+  const auto doc = parse_json(
+      R"({"a":1,"b":-2.5e3,"c":"x\ny","d":[true,false,null],"e":{}})",
+      &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->kind, JsonNode::Kind::kObject);
+  ASSERT_EQ(doc->members.size(), 5u);
+  EXPECT_DOUBLE_EQ(doc->find("a")->number, 1.0);
+  EXPECT_DOUBLE_EQ(doc->find("b")->number, -2500.0);
+  EXPECT_EQ(doc->find("c")->string, "x\ny");
+  ASSERT_EQ(doc->find("d")->items.size(), 3u);
+  EXPECT_TRUE(doc->find("d")->items[0].boolean);
+  EXPECT_EQ(doc->find("d")->items[2].kind, JsonNode::Kind::kNull);
+  EXPECT_EQ(doc->find("e")->members.size(), 0u);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonParser, PreservesMemberOrderAndUnescapes) {
+  std::string error;
+  const auto doc =
+      parse_json(R"({"z":1,"a":2,"s":"q\"\\\tA"})", &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->members[0].first, "z");
+  EXPECT_EQ(doc->members[1].first, "a");
+  EXPECT_EQ(doc->find("s")->string, "q\"\\\tA");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{\"a\":}",
+      "[1,]",
+      "{\"a\":1} trailing",
+      "\"unterminated",
+      "{\"a\" 1}",
+      "01abc",
+      "{\"a\":1,}",
+      "nul",
+      "\"bad \x01 control\"",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_json(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    EXPECT_EQ(json_well_formed(text).size(), 1u) << text;
+  }
+  EXPECT_TRUE(json_well_formed("  {\"ok\":true}\n").empty());
+}
+
+TEST(SchemaCheck, TraceJsonAcceptsMinimalValidDocument) {
+  const std::string trace = R"({"displayTimeUnit":"ns","traceEvents":[
+    {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"p"}},
+    {"ph":"C","pid":0,"tid":0,"ts":5,"name":"c","args":{"v":1}},
+    {"ph":"X","pid":0,"tid":1,"ts":5,"dur":2,"name":"slice"},
+    {"ph":"i","pid":0,"tid":1,"ts":7,"s":"t","name":"mark"}
+  ]})";
+  EXPECT_TRUE(check_trace_json(trace).empty());
+}
+
+TEST(SchemaCheck, TraceJsonFlagsStructuralProblems) {
+  EXPECT_EQ(check_trace_json("not json").size(), 1u);
+  EXPECT_EQ(check_trace_json("[1,2]").size(), 1u);  // root must be object
+  // Unknown phase, missing ts on a complete event, missing pid.
+  const std::string bad = R"({"displayTimeUnit":"ns","traceEvents":[
+    {"ph":"Q","pid":0,"name":"x"},
+    {"ph":"X","pid":0,"tid":0,"name":"slice"},
+    {"ph":"i","tid":0,"ts":1,"name":"mark"}
+  ]})";
+  const auto errors = check_trace_json(bad);
+  EXPECT_GE(errors.size(), 3u);
+}
+
+TEST(SchemaCheck, SpeedscopeAcceptsMinimalValidDocument) {
+  const std::string doc =
+      R"({"$schema":"https://www.speedscope.app/file-format-schema.json",
+          "shared":{"frames":[{"name":"a"},{"name":"b"}]},
+          "profiles":[{"type":"sampled","name":"p","unit":"none",
+                       "startValue":0,"endValue":3,
+                       "samples":[[0],[0,1]],"weights":[1,2]}]})";
+  EXPECT_TRUE(check_speedscope_json(doc).empty());
+}
+
+TEST(SchemaCheck, SpeedscopeFlagsIndexAndLengthErrors) {
+  // Frame index 9 out of range; samples/weights length mismatch; wrong
+  // profile type; empty profiles.
+  const std::string bad =
+      R"({"$schema":"https://www.speedscope.app/file-format-schema.json",
+          "shared":{"frames":[{"name":"a"}]},
+          "profiles":[{"type":"evented","name":"p","unit":"none",
+                       "startValue":0,"endValue":3,
+                       "samples":[[9],[0]],"weights":[1]}]})";
+  const auto errors = check_speedscope_json(bad);
+  EXPECT_GE(errors.size(), 3u);
+  EXPECT_EQ(
+      check_speedscope_json(
+          R"({"$schema":"x","shared":{"frames":[]},"profiles":[]})")
+          .size(),
+      2u);  // unexpected $schema + empty profiles
+}
+
+TEST(SchemaCheck, CollapsedStacksValidatesLineGrammar) {
+  EXPECT_TRUE(check_collapsed_stacks("").empty());
+  EXPECT_TRUE(check_collapsed_stacks("a;b;c 10\nroot 5\n").empty());
+  EXPECT_EQ(check_collapsed_stacks("no-weight\n").size(), 1u);
+  EXPECT_EQ(check_collapsed_stacks("a;b -3\n").size(), 1u);
+  EXPECT_EQ(check_collapsed_stacks("a;;b 3\n").size(), 1u);
+  EXPECT_EQ(check_collapsed_stacks(";a 3\n").size(), 1u);
+  EXPECT_EQ(check_collapsed_stacks("a;b 1.5\n").size(), 1u);
+}
+
+TEST(SchemaCheck, HtmlReportRequiresPanesAndSelfContainment) {
+  const std::string minimal =
+      "<!DOCTYPE html>\n<html><head><style>b{}</style></head><body>"
+      "<section id=\"summary\"></section>"
+      "<section id=\"code-centric\"></section>"
+      "<section id=\"data-centric\"></section>"
+      "<section id=\"address-centric\"><svg></svg></section>"
+      "<section id=\"timeline\"></section>"
+      "<section id=\"health\"></section>"
+      "</body></html>";
+  EXPECT_TRUE(check_html_report(minimal).empty());
+
+  // Missing a pane.
+  std::string missing = minimal;
+  const auto pos = missing.find("id=\"health\"");
+  missing.replace(pos, 11, "id=\"h\"");
+  EXPECT_EQ(check_html_report(missing).size(), 1u);
+
+  // External references are forbidden.
+  const std::string external =
+      minimal + "<script src=\"https://cdn.example/x.js\"></script>";
+  EXPECT_FALSE(check_html_report(external).empty());
+  EXPECT_FALSE(
+      check_html_report(minimal + "<img src=\"http://e/x.png\">").empty());
+  EXPECT_EQ(check_html_report("no doctype").size(), 10u);
+}
+
+TEST(SchemaCheck, ArtifactDispatchUsesFilenameSuffix) {
+  EXPECT_EQ(check_artifact("run.trace.json", "{}").size(), 2u);
+  EXPECT_TRUE(check_artifact("run.collapsed.txt", "a 1\n").empty());
+  EXPECT_FALSE(check_artifact("run.speedscope.json", "{}").empty());
+  EXPECT_FALSE(check_artifact("run.report.html", "x").empty());
+  const auto unknown = check_artifact("run.csv", "a,b");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_NE(unknown[0].find("unknown artifact kind"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace numaprof::core

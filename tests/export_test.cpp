@@ -1,0 +1,287 @@
+// Lock on the exporters (core/export/): golden artifacts for the four
+// paper case studies, schema validation of every artifact, the --jobs
+// byte-identity contract, and the Error(kExport) failure paths.
+//
+// Golden files live in tests/golden/export/<app>.<artifact suffix>;
+// regenerate with NUMAPROF_REGEN_GOLDEN=1 and review the diff. The test
+// configs are smaller than the advisor goldens (8 threads, traces on) to
+// keep the checked-in artifacts compact while still exercising every pane.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/miniamg.hpp"
+#include "apps/miniblackscholes.hpp"
+#include "apps/minilulesh.hpp"
+#include "apps/miniumt.hpp"
+#include "core/export/export.hpp"
+#include "core/export/schema.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+#include "support/error.hpp"
+
+namespace numaprof {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ProfilerConfig profiler_config() {
+  core::ProfilerConfig pc;
+  pc.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  pc.event.period = 200;
+  pc.record_trace = true;  // the trace timeline is part of the artifacts
+  return pc;
+}
+
+struct CaseStudy {
+  std::string name;
+  std::function<core::SessionData()> run;
+};
+
+std::vector<CaseStudy> case_studies() {
+  return {
+      {"minilulesh",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_minilulesh(m, {.threads = 8,
+                                  .pages_per_thread = 6,
+                                  .timesteps = 4,
+                                  .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniamg",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniamg(m, {.threads = 8,
+                               .rows_per_thread = 512,
+                               .relax_sweeps = 3,
+                               .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniblackscholes",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniblackscholes(
+             m, {.threads = 8,
+                 .options_per_thread = 240,
+                 .iterations = 48,
+                 .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+      {"miniumt",
+       [] {
+         simrt::Machine m(numasim::amd_magny_cours());
+         core::Profiler p(m, profiler_config());
+         apps::run_miniumt(m, {.threads = 8,
+                               .angles = 16,
+                               .sweeps = 2,
+                               .variant = apps::Variant::kBaseline});
+         return p.snapshot();
+       }},
+  };
+}
+
+/// Golden options: fewer windows/rows than the CLI defaults to keep the
+/// checked-in artifacts small.
+core::ExportOptions golden_options(const std::string& name) {
+  core::ExportOptions options;
+  options.timeline_windows = 24;
+  options.table_rows = 10;
+  options.top_variables = 2;
+  options.basename = name;
+  return options;
+}
+
+std::vector<core::ExportArtifact> artifacts_for(
+    const core::SessionData& data, const std::string& name, unsigned jobs) {
+  PipelineOptions pipeline;
+  pipeline.jobs = jobs;
+  const core::Analyzer analyzer(data, pipeline);
+  return core::export_artifacts(analyzer, core::ExportKind::kAll,
+                                golden_options(name));
+}
+
+TEST(ExportGolden, CaseStudyArtifactsAreLocked) {
+  const fs::path golden_dir = NUMAPROF_SOURCE_DIR "/tests/golden/export";
+  const bool regen = std::getenv("NUMAPROF_REGEN_GOLDEN") != nullptr;
+  if (regen) fs::create_directories(golden_dir);
+  for (const CaseStudy& app : case_studies()) {
+    SCOPED_TRACE(app.name);
+    const core::SessionData data = app.run();
+    for (const core::ExportArtifact& artifact :
+         artifacts_for(data, app.name, 1)) {
+      const fs::path path = golden_dir / artifact.filename;
+      SCOPED_TRACE(artifact.filename);
+      if (regen) {
+        std::ofstream out(path, std::ios::binary);
+        out << artifact.bytes;
+        continue;
+      }
+      std::ifstream in(path, std::ios::binary);
+      ASSERT_TRUE(in) << "missing golden file " << path
+                      << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      EXPECT_EQ(artifact.bytes, buffer.str())
+          << artifact.filename
+          << " drifted; if intentional, rerun with NUMAPROF_REGEN_GOLDEN=1";
+    }
+  }
+  if (regen) GTEST_SKIP() << "regenerated export goldens in " << golden_dir;
+}
+
+TEST(ExportGolden, EveryArtifactPassesItsSchemaCheck) {
+  for (const CaseStudy& app : case_studies()) {
+    SCOPED_TRACE(app.name);
+    const core::SessionData data = app.run();
+    for (const core::ExportArtifact& artifact :
+         artifacts_for(data, app.name, 1)) {
+      const std::vector<std::string> errors =
+          core::check_artifact(artifact.filename, artifact.bytes);
+      EXPECT_TRUE(errors.empty())
+          << artifact.filename << ": "
+          << (errors.empty() ? "" : errors.front());
+    }
+  }
+}
+
+TEST(ExportGolden, ArtifactsAreByteIdenticalAcrossJobs) {
+  for (const CaseStudy& app : case_studies()) {
+    SCOPED_TRACE(app.name);
+    const core::SessionData data = app.run();
+    const auto serial = artifacts_for(data, app.name, 1);
+    const auto parallel = artifacts_for(data, app.name, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].filename, parallel[i].filename);
+      EXPECT_EQ(serial[i].bytes, parallel[i].bytes)
+          << serial[i].filename << ": --jobs 8 bytes diverged from --jobs 1";
+    }
+  }
+}
+
+TEST(ExportGolden, RepeatedRunsAreByteIdentical) {
+  // Two *independent* simulated runs of the same workload must export the
+  // same bytes — no wall-clock, no address-space randomness may leak in.
+  const CaseStudy app = case_studies().front();
+  const auto first = artifacts_for(app.run(), app.name, 1);
+  const auto second = artifacts_for(app.run(), app.name, 1);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].bytes, second[i].bytes) << first[i].filename;
+  }
+}
+
+TEST(Export, KindParsingRoundTripsAndRejectsUnknown) {
+  for (int i = 0; i < core::kExportKindCount; ++i) {
+    const auto kind = static_cast<core::ExportKind>(i);
+    const auto parsed = core::parse_export_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(core::parse_export_kind("svg").has_value());
+  EXPECT_FALSE(core::parse_export_kind("").has_value());
+  for (int i = 0; i < core::kFlameWeightCount; ++i) {
+    const auto weight = static_cast<core::FlameWeight>(i);
+    const auto parsed = core::parse_flame_weight(to_string(weight));
+    ASSERT_TRUE(parsed.has_value()) << to_string(weight);
+    EXPECT_EQ(*parsed, weight);
+  }
+  EXPECT_FALSE(core::parse_flame_weight("latency").has_value());
+}
+
+TEST(Export, AllExpandsToEveryArtifactInStableOrder) {
+  const core::SessionData data = case_studies().front().run();
+  const core::Analyzer analyzer(data);
+  const auto artifacts =
+      core::export_artifacts(analyzer, core::ExportKind::kAll);
+  ASSERT_EQ(artifacts.size(), 4u);
+  EXPECT_EQ(artifacts[0].filename, "numaprof.trace.json");
+  EXPECT_EQ(artifacts[1].filename, "numaprof.collapsed.txt");
+  EXPECT_EQ(artifacts[2].filename, "numaprof.speedscope.json");
+  EXPECT_EQ(artifacts[3].filename, "numaprof.report.html");
+}
+
+TEST(Export, FlameWeightsProduceDifferentButValidStacks) {
+  const core::SessionData data = case_studies().front().run();
+  const core::Analyzer analyzer(data);
+  std::vector<std::string> outputs;
+  for (int i = 0; i < core::kFlameWeightCount; ++i) {
+    core::ExportOptions options;
+    options.weight = static_cast<core::FlameWeight>(i);
+    const std::string collapsed =
+        core::export_collapsed_stacks(analyzer, options);
+    EXPECT_FALSE(collapsed.empty());
+    EXPECT_TRUE(core::check_collapsed_stacks(collapsed).empty());
+    outputs.push_back(collapsed);
+  }
+  EXPECT_NE(outputs[0], outputs[1]);  // mismatch counts vs latency cycles
+}
+
+TEST(Export, WriteExportsCreatesDirectoryAndFiles) {
+  const core::SessionData data = case_studies().front().run();
+  const core::Analyzer analyzer(data);
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "numaprof_export_out" / "nested";
+  fs::remove_all(dir.parent_path());
+  const std::vector<std::string> written = core::write_exports(
+      analyzer, core::ExportKind::kHtml, dir.string());
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_TRUE(fs::exists(written[0]));
+  std::ifstream in(written[0], std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  EXPECT_TRUE(core::check_html_report(bytes.str()).empty());
+}
+
+TEST(Export, WriteExportsThrowsTypedErrorOnUnwritableTarget) {
+  const core::SessionData data = case_studies().front().run();
+  const core::Analyzer analyzer(data);
+  // A regular file where the directory should go makes create_directories
+  // fail on every platform.
+  const fs::path blocker =
+      fs::path(::testing::TempDir()) / "numaprof_export_blocker";
+  std::ofstream(blocker.string()) << "not a directory";
+  try {
+    core::write_exports(analyzer, core::ExportKind::kAll,
+                        (blocker / "sub").string());
+    FAIL() << "expected Error(kExport)";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kExport);
+    EXPECT_NE(std::string(error.what()).find("export"),
+              std::string::npos);
+  }
+}
+
+TEST(Export, EmptySessionStillProducesValidArtifacts) {
+  // No workload at all: every pane must degrade gracefully and every
+  // artifact still validate (the HTML keeps its placeholder SVG).
+  simrt::Machine m(numasim::amd_magny_cours());
+  core::Profiler p(m, profiler_config());
+  const core::SessionData data = p.snapshot();
+  const core::Analyzer analyzer(data);
+  for (const core::ExportArtifact& artifact :
+       core::export_artifacts(analyzer, core::ExportKind::kAll)) {
+    if (artifact.filename == "numaprof.collapsed.txt") {
+      EXPECT_TRUE(artifact.bytes.empty());
+      continue;  // empty collapsed output trivially validates
+    }
+    const std::vector<std::string> errors =
+        core::check_artifact(artifact.filename, artifact.bytes);
+    EXPECT_TRUE(errors.empty())
+        << artifact.filename << ": "
+        << (errors.empty() ? "" : errors.front());
+  }
+}
+
+}  // namespace
+}  // namespace numaprof

@@ -140,6 +140,39 @@ TEST(ProfilerFallback, ViewerLabelsActualMechanism) {
   EXPECT_NE(health.find("mechanism-unavailable"), std::string::npos);
 }
 
+TEST(ProfilerFallback, CollectionHealthDeduplicatesRepeatedEvents) {
+  // A retry loop that degrades the same way N times is one fact about the
+  // run: identical events collapse into one row with an "(xN)" suffix,
+  // distinct events keep their own rows.
+  core::SessionData data;
+  core::DegradationEvent starvation;
+  starvation.kind = core::DegradationKind::kPeriodRetuneStarvation;
+  starvation.mechanism = pmu::Mechanism::kIbs;
+  starvation.value = 4096;
+  starvation.detail = "period halved";
+  data.degradations.push_back(starvation);
+  data.degradations.push_back(starvation);
+  data.degradations.push_back(starvation);
+  core::DegradationEvent fallback;
+  fallback.kind = core::DegradationKind::kMechanismFallback;
+  fallback.mechanism = pmu::Mechanism::kSoftIbs;
+  fallback.detail = "substituted soft-ibs";
+  data.degradations.push_back(fallback);
+
+  const core::Analyzer analyzer(data);
+  const core::Viewer viewer(analyzer);
+  const std::string health = viewer.collection_health();
+
+  // One aggregated row for the triple, tagged with the repeat count.
+  EXPECT_EQ(health.find("period halved"), health.rfind("period halved"))
+      << health;
+  EXPECT_NE(health.find("period halved (x3)"), std::string::npos) << health;
+  // The distinct event stays its own row, with no repeat suffix.
+  EXPECT_NE(health.find("substituted soft-ibs"), std::string::npos) << health;
+  EXPECT_EQ(health.find("substituted soft-ibs (x"), std::string::npos)
+      << health;
+}
+
 TEST(ProfilerFallback, DegradationsRoundTripThroughProfileFormat) {
   support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs");
   Machine m(numasim::test_machine(2, 2));

@@ -199,6 +199,43 @@ TEST(TelemetryHealthPane, GoldenRendering) {
   EXPECT_EQ(rendered, want.str());
 }
 
+TEST(TelemetryHealthPane, DeduplicatesRepeatedIdenticalEvents) {
+  // A watchdog that retunes the same way N times renders one row with an
+  // "(xN)" suffix; the heading still reports the raw event count.
+  TelemetryTrace trace;
+  TelemetryEvent retune;
+  retune.kind = TelemetryEventKind::kPeriodRetune;
+  retune.tid = 1;
+  retune.time = 500;
+  retune.value = 2048;
+  retune.set_detail("period 4096 -> 2048");
+  trace.events.push_back(retune);
+  trace.events.push_back(retune);
+  trace.events.push_back(retune);
+  TelemetryEvent start;
+  start.kind = TelemetryEventKind::kThreadStart;
+  start.tid = 3;
+  start.time = 90;
+  trace.events.push_back(start);
+
+  const std::string pane = render_health_pane(trace);
+  EXPECT_NE(pane.find("events (4):"), std::string::npos) << pane;
+  EXPECT_EQ(pane.find("period 4096 -> 2048"),
+            pane.rfind("period 4096 -> 2048"))
+      << pane;
+  EXPECT_NE(pane.find("period 4096 -> 2048 (x3)"), std::string::npos) << pane;
+  EXPECT_NE(pane.find("[thread-start] t=90 tid=3"), std::string::npos) << pane;
+  EXPECT_EQ(pane.find("tid=3 (x"), std::string::npos) << pane;
+
+  // Events differing in any field (here: time) stay separate rows.
+  TelemetryEvent later = retune;
+  later.time = 900;
+  trace.events.push_back(later);
+  const std::string split = render_health_pane(trace);
+  EXPECT_NE(split.find("t=900"), std::string::npos) << split;
+  EXPECT_NE(split.find("(x3)"), std::string::npos) << split;
+}
+
 TEST(TelemetryHealthPane, CrossCheckFlagsDisagreement) {
   const TelemetryTrace trace = load_telemetry_trace_file(
       NUMAPROF_SOURCE_DIR "/tests/golden/telemetry_trace.jsonl");
