@@ -28,6 +28,8 @@ numaprof_bench(ablation_schedule)
 numaprof_bench(ablation_os_migration)
 numaprof_bench(micro_merge)
 numaprof_bench(export_throughput)
+numaprof_bench(ingest_throughput)
+target_link_libraries(ingest_throughput PRIVATE numaprof_ingest)
 
 add_executable(micro_tool_paths ${CMAKE_SOURCE_DIR}/bench/micro_tool_paths.cpp)
 target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core benchmark::benchmark benchmark::benchmark_main)

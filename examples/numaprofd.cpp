@@ -1,0 +1,186 @@
+// CLI: numaprofd — the crash-safe ingestion daemon.
+//
+// Recorder clients (record_app --daemon-spool) stream their per-thread
+// measurement shards as framed, checksummed transport bytes; numaprofd
+// replays those streams, journals every accepted shard to a write-ahead
+// log BEFORE acknowledging it, folds everything through the analyzer's
+// quorum-checked merge, and writes the merged profile and/or the text
+// analysis report. Kill it at any instant — including halfway through a
+// WAL write — and a restart recovers the log (truncating the torn tail),
+// re-ingests the streams (duplicates are absorbed idempotently), and
+// produces byte-identical outputs.
+//
+// Usage:
+//   numaprofd [flags] <stream-file>...
+//
+// Flags:
+//   --wal PATH        write-ahead log (default: numaprofd.wal); an
+//                     existing log is recovered, not overwritten
+//   --out PATH        write the merged profile here
+//   --report PATH     write the text analysis report here
+//   --spool DIR       spool directory for the analyzer merge
+//                     (default: <wal>.spool)
+//   --jobs N          merge parallelism (byte-identical output)
+//   --quorum F        minimum fraction of shards that must merge (0..1)
+//   --strict          fail on the first damaged shard (default: lenient)
+//   --crash-after N   fault injection: die mid-write after N WAL appends
+//
+// Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the daemon
+// side under injected failures (disk-full WAL appends).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/numaprof.hpp"
+#include "ingest/server.hpp"
+#include "support/cliflags.hpp"
+
+using namespace numaprof;
+
+namespace {
+
+support::CliParser make_parser() {
+  support::CliParser cli(
+      "numaprofd",
+      "crash-safe ingestion daemon: WAL-backed shard ingest and merge; "
+      "operands: <stream-file>...");
+  cli.add_flag("--wal", true, "write-ahead log path (recovered if present)",
+               "PATH");
+  cli.add_flag("--out", true, "write the merged profile here", "PATH");
+  cli.add_flag("--report", true, "write the text analysis report here",
+               "PATH");
+  cli.add_flag("--spool", true, "merge spool directory (default <wal>.spool)",
+               "DIR");
+  cli.add_flag("--jobs", true, "merge parallelism (byte-identical output)",
+               "N");
+  cli.add_flag("--quorum", true, "minimum merge quorum fraction (0..1)", "F");
+  cli.add_flag("--strict", false, "fail on the first damaged shard");
+  cli.add_flag("--crash-after", true,
+               "fault injection: die mid-write after N WAL appends", "N");
+  cli.add_flag("--help", false, "show this message");
+  return cli;
+}
+
+std::string read_stream_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error(ErrorKind::kIngest, path, "stream", 0,
+                "cannot open client stream: " + path);
+  }
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  return std::move(bytes).str();
+}
+
+/// The same report panes analyze_profile prints, written to a file so a
+/// recovered run can be diffed byte-for-byte against an uninterrupted one.
+void write_report(const core::SessionData& data,
+                  const PipelineOptions& options, const std::string& path) {
+  const core::Analyzer analyzer(data, options);
+  const core::Viewer viewer(analyzer);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw Error(ErrorKind::kIngest, path, "report", 0,
+                "cannot open report for writing: " + path);
+  }
+  os << viewer.program_summary();
+  const std::string health = viewer.collection_health();
+  if (!health.empty()) os << "-- collection health --\n" << health;
+  os << "\n"
+     << viewer.data_centric_table(10).to_text() << "\n"
+     << viewer.code_centric_table(10).to_text() << "\n"
+     << viewer.domain_balance_table().to_text() << "\n";
+  const core::Advisor advisor(analyzer);
+  for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+    os << rec.variable_name << ": " << to_string(rec.action) << "\n  "
+       << rec.rationale << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli = make_parser();
+  try {
+    cli.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (cli.has("--help")) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    if (cli.positional().empty()) {
+      throw Error(ErrorKind::kUsage, {}, "numaprofd", 0,
+                  "expected at least one <stream-file>\n" + cli.usage());
+    }
+
+    support::FaultPlan& faults = support::global_fault_plan();
+    ingest::ServerOptions options;
+    options.wal_path = cli.value("--wal").value_or("numaprofd.wal");
+    if (faults.enabled()) options.faults = &faults;
+    options.crash_after_appends = cli.unsigned_value("--crash-after", 0);
+    ingest::IngestServer server(options);
+
+    const ingest::ServerStats recovered = server.stats();
+    if (recovered.wal_records_replayed > 0 || recovered.wal_torn_bytes > 0) {
+      std::cerr << "numaprofd: recovered " << recovered.wal_records_replayed
+                << " record(s) from " << options.wal_path;
+      if (recovered.wal_torn_bytes > 0) {
+        std::cerr << ", truncated " << recovered.wal_torn_bytes
+                  << " torn byte(s) (" << server.wal_stop_reason() << ")";
+      }
+      std::cerr << "\n";
+    }
+
+    for (const std::string& path : cli.positional()) {
+      server.ingest_stream(read_stream_file(path));
+    }
+
+    PipelineOptions pipeline;
+    pipeline.jobs = std::max(1u, cli.unsigned_value("--jobs", 1));
+    pipeline.lenient = !cli.has("--strict");
+    if (const auto quorum = cli.value("--quorum")) {
+      try {
+        pipeline.quorum = std::stod(*quorum);
+      } catch (const std::exception&) {
+        throw Error(ErrorKind::kUsage, {}, "numaprofd", 0,
+                    "--quorum expects a fraction in [0, 1]");
+      }
+    }
+
+    const std::string spool =
+        cli.value("--spool").value_or(options.wal_path + ".spool");
+    const core::MergeResult merged = server.merge(spool, pipeline);
+
+    const ingest::ServerStats stats = server.stats();
+    std::cout << "ingested " << stats.frames_accepted << " shard(s) from "
+              << server.client_summaries().size() << " client(s) ("
+              << stats.frames_duplicate << " duplicate(s), "
+              << stats.corrupt_regions << " corrupt region(s), "
+              << stats.clients_evicted << " eviction(s), "
+              << stats.wal_rejections << " WAL rejection(s))\n";
+    std::cout << "merged " << merged.summary.files_merged << " of "
+              << merged.summary.files_total << " shard(s)";
+    if (!merged.summary.skipped.empty()) {
+      std::cout << "; skipped " << merged.summary.skipped.size();
+    }
+    std::cout << "\n";
+
+    if (const auto out = cli.value("--out")) {
+      core::save_profile_file(merged.data, *out);
+      std::cout << "wrote merged profile -> " << *out << "\n";
+    }
+    if (const auto report = cli.value("--report")) {
+      write_report(merged.data, pipeline, *report);
+      std::cout << "wrote analysis report -> " << *report << "\n";
+    }
+    return 0;
+  } catch (const Error& error) {
+    std::cerr << "numaprofd: " << format_error(error) << "\n";
+    return error.kind() == ErrorKind::kUsage ? 2 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "numaprofd: " << format_error(error) << "\n";
+    return 1;
+  }
+}

@@ -21,6 +21,13 @@
 //                             fresh run: trace | flamegraph | html | all
 //                             (the trace timeline needs --trace)
 //   --export-dir DIR          where those artifacts go (default: exports)
+//   --daemon WAL              stream the per-thread shards through an
+//                             in-process ingestion daemon (retry/backoff
+//                             client into a WAL-backed server journaling
+//                             to WAL) and report what was delivered
+//   --daemon-spool FILE       write the framed client stream to FILE for
+//                             a separate numaprofd process to replay
+//   --client-id N             client id stamped on every frame (default 1)
 //
 // Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the run under
 // injected failures: mechanism init failures degrade along the fallback
@@ -42,6 +49,7 @@
 #include "apps/minilulesh.hpp"
 #include "apps/miniumt.hpp"
 #include "core/numaprof.hpp"
+#include "ingest/server.hpp"
 #include "numasim/topology.hpp"
 #include "support/cliflags.hpp"
 
@@ -79,6 +87,13 @@ support::CliParser make_parser() {
                "KIND");
   cli.add_flag("--export-dir", true,
                "directory for exported artifacts (default: exports)", "DIR");
+  cli.add_flag("--daemon", true,
+               "stream shards through an in-process daemon journaling to WAL",
+               "WAL");
+  cli.add_flag("--daemon-spool", true,
+               "write the framed client stream here for numaprofd", "FILE");
+  cli.add_flag("--client-id", true,
+               "client id stamped on every frame (default 1)", "N");
   cli.add_flag("--help", false, "show this message");
   return cli;
 }
@@ -234,6 +249,47 @@ int main(int argc, char** argv) {
       const auto paths = core::save_thread_shards(data, *shard_dir);
       std::cout << "wrote " << paths.size() << " per-thread shards to "
                 << *shard_dir << "\n";
+    }
+    const unsigned client_id_raw = cli.unsigned_value("--client-id", 1);
+    const auto client_id =
+        static_cast<std::uint32_t>(client_id_raw == 0 ? 1 : client_id_raw);
+    if (const auto wal = cli.value("--daemon")) {
+      support::FaultPlan& faults = support::global_fault_plan();
+      ingest::ServerOptions server_options;
+      server_options.wal_path = *wal;
+      if (faults.enabled()) server_options.faults = &faults;
+      server_options.telemetry = &hub;
+      ingest::IngestServer server(server_options);
+      ingest::LoopbackTransport loop(server);
+      ingest::ClientOptions client_options;
+      client_options.client_id = client_id;
+      if (faults.enabled()) client_options.faults = &faults;
+      ingest::IngestClient client(loop, client_options);
+      const ingest::SendReport sent = client.send_session(data);
+      std::cout << "daemon ingest: " << sent.shards_delivered << " of "
+                << sent.shards_total << " shard(s) acknowledged in "
+                << sent.frames_sent << " frame(s) (" << sent.retries
+                << " retransmit(s), " << sent.busy_deferrals
+                << " busy deferral(s)) -> " << *wal << "\n";
+      if (!sent.complete) {
+        std::cout << "daemon ingest degraded: " << sent.give_up_reason
+                  << "\n";
+      }
+    }
+    if (const auto spool = cli.value("--daemon-spool")) {
+      support::FaultPlan& faults = support::global_fault_plan();
+      const std::vector<std::string> shards =
+          core::serialize_thread_shards(data);
+      const std::string stream = ingest::encode_client_stream(
+          shards, client_id, faults.enabled() ? &faults : nullptr);
+      std::ofstream os(*spool, std::ios::binary);
+      if (!os.write(stream.data(),
+                    static_cast<std::streamsize>(stream.size()))) {
+        throw Error(ErrorKind::kIngest, *spool, "spool", 0,
+                    "cannot write client stream: " + *spool);
+      }
+      std::cout << "spooled " << stream.size() << " stream byte(s) ("
+                << shards.size() << " shard(s)) -> " << *spool << "\n";
     }
     if (trace_path) {
       std::cout << "wrote telemetry trace (" << streamer.snapshots_emitted()

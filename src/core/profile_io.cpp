@@ -153,6 +153,12 @@ void save_profile(const SessionData& data, std::ostream& os) {
     os << static_cast<int>(e.kind) << " " << static_cast<int>(e.mechanism)
        << " " << e.value << " " << escape_field(e.detail) << "\n";
   }
+  // Optional section: written only when a fault plan was active, so
+  // fault-free profiles (and their goldens) are byte-identical to before
+  // the section existed.
+  if (!data.fault_context.empty()) {
+    os << "faultplan " << escape_field(data.fault_context) << "\n";
+  }
   os << "end\n";
 }
 
@@ -315,7 +321,8 @@ class Loader {
     static const char* kTags[] = {"machine",    "sampling",  "requested",
                                   "frames",     "cct",       "variables",
                                   "threads",    "addrcentric",
-                                  "firsttouch", "trace",     "degradations"};
+                                  "firsttouch", "trace",     "degradations",
+                                  "faultplan"};
     return std::find_if(std::begin(kTags), std::end(kTags),
                         [&](const char* t) { return tag == t; }) !=
            std::end(kTags);
@@ -346,6 +353,7 @@ class Loader {
     else if (tag == "firsttouch") parse_firsttouch();
     else if (tag == "trace") parse_trace();
     else if (tag == "degradations") parse_degradations();
+    else if (tag == "faultplan") parse_faultplan();
   }
 
   void parse_machine() {
@@ -558,6 +566,10 @@ class Loader {
     }
   }
 
+  void parse_faultplan() {
+    data().fault_context = r_.unescaped("fault context");
+  }
+
   /// Lenient loads can lose whole sections; restore the invariants the
   /// analyzer relies on (totals and stores the same length, per-domain
   /// vectors sized to the machine).
@@ -610,13 +622,10 @@ SessionData load_profile_file(const std::string& path) {
 
 // --- per-thread shards and the analyzer merge ------------------------
 
-std::vector<std::string> save_thread_shards(const SessionData& data,
-                                            const std::string& directory) {
-  namespace fs = std::filesystem;
-  fs::create_directories(directory);
+std::vector<std::string> serialize_thread_shards(const SessionData& data) {
   const std::size_t threads = std::max<std::size_t>(data.totals.size(), 1);
-  std::vector<std::string> paths;
-  paths.reserve(threads);
+  std::vector<std::string> shards;
+  shards.reserve(threads);
   for (std::size_t tid = 0; tid < threads; ++tid) {
     SessionData shard = data;
     // Blank out every other thread's measurements; the zeroed slots keep
@@ -647,10 +656,27 @@ std::vector<std::string> save_thread_shards(const SessionData& data,
       shard.pebs_ll_events = 0;
       shard.degradations.clear();
     }
+    std::ostringstream os;
+    save_profile(shard, os);
+    shards.push_back(std::move(os).str());
+  }
+  return shards;
+}
+
+std::vector<std::string> save_thread_shards(const SessionData& data,
+                                            const std::string& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  const std::vector<std::string> shards = serialize_thread_shards(data);
+  std::vector<std::string> paths;
+  paths.reserve(shards.size());
+  for (std::size_t tid = 0; tid < shards.size(); ++tid) {
     const std::string path =
         (fs::path(directory) / ("thread_" + std::to_string(tid) + ".prof"))
             .string();
-    save_profile_file(shard, path);
+    std::ofstream os(path, std::ios::binary);
+    if (!os) throw std::runtime_error("cannot open for write: " + path);
+    os << shards[tid];
     paths.push_back(path);
   }
   return paths;

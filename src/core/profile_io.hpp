@@ -68,10 +68,16 @@ struct LoadResult {
 void save_profile(const SessionData& data, std::ostream& os);
 void save_profile_file(const SessionData& data, const std::string& path);
 
+/// Serializes one measurement shard per thread WITHOUT touching the
+/// filesystem: element `tid` is the text-format profile carrying the
+/// shared program structure plus only that thread's measurements. This is
+/// what the ingestion client (ingest/client.hpp) streams to numaprofd.
+std::vector<std::string> serialize_thread_shards(const SessionData& data);
+
 /// Writes one measurement file per thread into `directory`
-/// (thread_<tid>.prof): each shard carries the shared program structure
-/// plus only that thread's measurements, so merge_profile_files() can
-/// reassemble the session by summation. Returns the paths written.
+/// (thread_<tid>.prof): exactly the serialize_thread_shards() payloads,
+/// so merge_profile_files() can reassemble the session by summation.
+/// Returns the paths written.
 std::vector<std::string> save_thread_shards(const SessionData& data,
                                             const std::string& directory);
 

@@ -315,6 +315,15 @@ SessionData Profiler::snapshot() {
           dynamic_cast<const pmu::PebsLlSampler*>(sampler_.get())) {
     data.pebs_ll_events = pebs_ll->events_counted();
   }
+  const support::FaultPlan& plan =
+      config_.faults ? *config_.faults : support::global_fault_plan();
+  if (plan.enabled()) {
+    // Stamp every degradation with the plan that provoked it: the report
+    // alone (spec + RNG seed) is enough to reproduce the failure.
+    const std::string suffix = plan.context_suffix();
+    for (DegradationEvent& e : data.degradations) e.detail += suffix;
+    data.fault_context = plan.describe();
+  }
   return data;
 }
 

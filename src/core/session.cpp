@@ -15,6 +15,11 @@ std::string_view to_string(DegradationKind k) noexcept {
       return "period-retune-overhead";
     case DegradationKind::kSampleFaults: return "sample-faults";
     case DegradationKind::kProfileFileSkipped: return "profile-file-skipped";
+    case DegradationKind::kIngestShardMissing: return "ingest-shard-missing";
+    case DegradationKind::kIngestShardCorrupt: return "ingest-shard-corrupt";
+    case DegradationKind::kIngestClientEvicted:
+      return "ingest-client-evicted";
+    case DegradationKind::kIngestWalDegraded: return "ingest-wal-degraded";
   }
   return "unknown";
 }

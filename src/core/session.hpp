@@ -46,10 +46,14 @@ enum class DegradationKind : std::uint8_t {
   kPeriodRetuneOverhead,     // watchdog doubled the period (runaway rate)
   kSampleFaults,             // injected sample drops/corruption occurred
   kProfileFileSkipped,       // analyzer merge skipped an unreadable file
+  kIngestShardMissing,       // shard(s) lost in transport to the daemon
+  kIngestShardCorrupt,       // corrupt frame region(s) skipped by ingest
+  kIngestClientEvicted,      // a stalled recorder client was evicted
+  kIngestWalDegraded,        // write-ahead log full; records not durable
 };
 
 /// Number of DegradationKind enumerators (deserializers validate this).
-inline constexpr int kDegradationKindCount = 6;
+inline constexpr int kDegradationKindCount = 10;
 
 std::string_view to_string(DegradationKind k) noexcept;
 
@@ -94,6 +98,10 @@ struct SessionData {
 
   // Everything that went wrong (or was adapted) while collecting.
   std::vector<DegradationEvent> degradations;
+  /// The fault plan active during collection (FaultPlan::describe()),
+  /// empty when none was. Serialized with the profile so any degraded run
+  /// names the exact plan — spec and RNG seed — that reproduces it.
+  std::string fault_context;
 
   // Program structure.
   std::vector<simrt::FrameInfo> frames;

@@ -81,6 +81,9 @@ std::string Viewer::collection_health() const {
     os << "requested " << pmu::to_string(d.requested_mechanism)
        << ", collected with " << pmu::to_string(d.mechanism) << "\n";
   }
+  if (!d.fault_context.empty()) {
+    os << "active fault plan: " << d.fault_context << "\n";
+  }
   // Identical events collapse into one row with a repeat count: a retry
   // loop that degrades the same way 50 times is one fact about the run,
   // not 50 rows drowning out the rest of the pane.
@@ -100,10 +103,20 @@ std::string Viewer::collection_health() const {
       rows.emplace_back(&e, 1);
     }
   }
+  // Ingest-side degradations have no PMU mechanism to name; their rows
+  // skip it instead of blaming whatever mechanism the struct defaulted to.
+  const auto from_ingest = [](DegradationKind k) {
+    return k == DegradationKind::kIngestShardMissing ||
+           k == DegradationKind::kIngestShardCorrupt ||
+           k == DegradationKind::kIngestClientEvicted ||
+           k == DegradationKind::kIngestWalDegraded;
+  };
   for (const auto& [event, repeats] : rows) {
-    os << "[" << to_string(event->kind) << "] "
-       << pmu::to_string(event->mechanism);
-    if (event->value != 0) os << " (" << event->value << ")";
+    os << "[" << to_string(event->kind) << "]";
+    if (!from_ingest(event->kind)) {
+      os << " " << pmu::to_string(event->mechanism);
+      if (event->value != 0) os << " (" << event->value << ")";
+    }
     os << ": " << event->detail;
     if (repeats > 1) os << " (x" << repeats << ")";
     os << "\n";

@@ -1,0 +1,230 @@
+#include "ingest/client.hpp"
+
+#include <algorithm>
+
+#include "core/profile_io.hpp"
+
+namespace numaprof::ingest {
+
+IngestClient::IngestClient(Transport& transport, ClientOptions options)
+    : transport_(transport),
+      options_(options),
+      schedule_(options.retry, options.retry_seed) {}
+
+std::string IngestClient::transmit(const Frame& frame) {
+  std::string bytes = encode_frame(frame);
+  support::FaultPlan* faults = options_.faults;
+  if (faults != nullptr && faults->stalls_after(report_.frames_sent)) {
+    // The sending process wedges mid-write: half a header escapes, then
+    // silence. The server's eviction sweep deals with the leftovers.
+    stalled_ = true;
+    last_write_ok_ = false;
+    transport_.exchange(
+        std::string_view(bytes).substr(0, kFrameHeaderBytes / 2));
+    return {};
+  }
+  ++report_.frames_sent;
+  if (faults != nullptr && faults->drop_frame()) {
+    ++report_.frames_dropped;
+    last_write_ok_ = false;
+    return {};
+  }
+  if (faults != nullptr && faults->corrupt_frame()) {
+    ++report_.frames_corrupted;
+    bytes = faults->corrupt_frame_bytes(std::move(bytes));
+  }
+  last_write_ok_ = true;
+  std::string responses = transport_.exchange(bytes);
+  if (faults != nullptr && faults->disconnects_after(report_.frames_sent)) {
+    // The connection died under us; whatever the server answered is gone.
+    transport_.reconnect();
+    ++report_.reconnects;
+    return {};
+  }
+  return responses;
+}
+
+IngestClient::Delivery IngestClient::deliver(const Frame& frame) {
+  schedule_.begin_operation();
+  for (;;) {
+    const std::string responses = transmit(frame);
+    if (stalled_) {
+      report_.give_up_reason = "transport stalled mid-frame";
+      return Delivery::kGaveUp;
+    }
+    if (!options_.expect_acks) return Delivery::kDelivered;
+
+    bool acked = false;
+    bool nacked = false;
+    bool busy = false;
+    std::uint64_t nack_seq = 0;
+    std::string_view rest(responses);
+    while (!rest.empty()) {
+      const DecodeResult r = decode_frame(rest);
+      if (r.status != DecodeStatus::kOk) break;  // in-process: trust ends here
+      rest.remove_prefix(r.consumed);
+      switch (r.frame.type) {
+        case FrameType::kAck:
+          acked = true;
+          last_acked_ = std::max(last_acked_, r.frame.sequence);
+          break;
+        case FrameType::kNack:
+          nacked = true;
+          nack_seq = r.frame.sequence;
+          break;
+        case FrameType::kBusy:
+          busy = true;
+          break;
+        case FrameType::kHello:
+        case FrameType::kShard:
+        case FrameType::kTelemetry:
+        case FrameType::kBye:
+          break;  // a server never sends these; ignore
+      }
+    }
+
+    if (nacked) {
+      // The server pinpointed its next expected sequence. Rewinding is
+      // progress, but it still burns retry budget: a transport mangling
+      // every frame must hit the deadline, not loop forever.
+      const auto delay = schedule_.next_delay();
+      if (!delay) {
+        report_.give_up_reason = schedule_.deadline_exhausted()
+                                     ? "retry deadline exhausted"
+                                     : "retry attempts exhausted";
+        return Delivery::kGaveUp;
+      }
+      report_.backoff_ticks += *delay;
+      ++report_.retries;
+      ++report_.rewinds;
+      rewind_to_ = nack_seq;
+      return Delivery::kRewind;
+    }
+    if (acked && (frame.type != FrameType::kShard ||
+                  last_acked_ >= frame.sequence)) {
+      return Delivery::kDelivered;
+    }
+    // Dropped outright, response lost to a disconnect, or BUSY: back off
+    // and retransmit (sequence numbers make the duplicate harmless).
+    if (busy) ++report_.busy_deferrals;
+    const auto delay = schedule_.next_delay();
+    if (!delay) {
+      report_.give_up_reason = schedule_.deadline_exhausted()
+                                   ? "retry deadline exhausted"
+                                   : "retry attempts exhausted";
+      return Delivery::kGaveUp;
+    }
+    report_.backoff_ticks += *delay;
+    ++report_.retries;
+  }
+}
+
+SendReport IngestClient::send_shards(
+    const std::vector<std::string>& shards,
+    const std::vector<std::string>& telemetry) {
+  report_ = SendReport{};
+  report_.shards_total = shards.size();
+  last_acked_ = 0;
+  rewind_to_ = 0;
+  stalled_ = false;
+
+  // frames[0] is hello; frames[s] is the shard with sequence s, so a NACK
+  // for sequence s rewinds to index s directly.
+  std::vector<Frame> frames;
+  frames.reserve(shards.size() + 1);
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.client = options_.client_id;
+  hello.payload = "shards=" + std::to_string(shards.size());
+  frames.push_back(std::move(hello));
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    Frame shard;
+    shard.type = FrameType::kShard;
+    shard.client = options_.client_id;
+    shard.sequence = i + 1;
+    shard.payload = shards[i];
+    frames.push_back(std::move(shard));
+  }
+
+  bool failed = false;
+  std::size_t i = 0;
+  while (i < frames.size()) {
+    const Frame& f = frames[i];
+    if (f.type == FrameType::kShard && f.sequence <= last_acked_) {
+      ++i;  // already acknowledged (resume / retransmit skip)
+      continue;
+    }
+    switch (deliver(f)) {
+      case Delivery::kDelivered:
+        if (!options_.expect_acks && f.type == FrameType::kShard &&
+            last_write_ok_) {
+          ++report_.shards_delivered;
+        }
+        ++i;
+        break;
+      case Delivery::kRewind:
+        i = rewind_to_ < frames.size() ? static_cast<std::size_t>(rewind_to_)
+                                       : frames.size() - 1;
+        break;
+      case Delivery::kGaveUp:
+        failed = true;
+        break;
+    }
+    if (failed) break;
+  }
+
+  if (!failed) {
+    // Telemetry is lossy by design: one try each, no retries, responses
+    // ignored. A stall here still kills the session.
+    for (const std::string& line : telemetry) {
+      Frame t;
+      t.type = FrameType::kTelemetry;
+      t.client = options_.client_id;
+      t.payload = line;
+      transmit(t);
+      if (stalled_) {
+        report_.give_up_reason = "transport stalled mid-frame";
+        failed = true;
+        break;
+      }
+    }
+  }
+  if (!failed) {
+    Frame bye;
+    bye.type = FrameType::kBye;
+    bye.client = options_.client_id;
+    bye.sequence = shards.size();
+    failed = deliver(bye) != Delivery::kDelivered;
+  }
+
+  if (options_.expect_acks) {
+    report_.shards_delivered =
+        std::min<std::uint64_t>(last_acked_, shards.size());
+  }
+  report_.complete =
+      !failed && report_.shards_delivered == report_.shards_total;
+  if (report_.complete) report_.give_up_reason.clear();
+  return report_;
+}
+
+SendReport IngestClient::send_session(
+    const core::SessionData& data,
+    const std::vector<std::string>& telemetry) {
+  return send_shards(core::serialize_thread_shards(data), telemetry);
+}
+
+std::string encode_client_stream(const std::vector<std::string>& shards,
+                                 std::uint32_t client_id,
+                                 support::FaultPlan* faults,
+                                 const std::vector<std::string>& telemetry) {
+  SpoolTransport spool;
+  ClientOptions options;
+  options.client_id = client_id;
+  options.faults = faults;
+  options.expect_acks = false;
+  IngestClient client(spool, options);
+  client.send_shards(shards, telemetry);
+  return spool.take();
+}
+
+}  // namespace numaprof::ingest

@@ -1,0 +1,433 @@
+#include "ingest/server.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace numaprof::ingest {
+
+namespace {
+
+/// Parses a hello payload "shards=N"; malformed payloads announce nothing
+/// (the server then expects whatever highest sequence it saw).
+std::uint64_t parse_hello_shards(std::string_view payload) {
+  constexpr std::string_view kKey = "shards=";
+  if (payload.substr(0, kKey.size()) != kKey) return 0;
+  std::uint64_t value = 0;
+  for (const char c : payload.substr(kKey.size())) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// "3, 5, 8" for small sets, "3, 5, 8, ... (+9 more)" beyond eight: the
+/// detail stays readable when a fault plan shreds a big run.
+std::string join_sequences(const std::vector<std::uint64_t>& seqs) {
+  constexpr std::size_t kShown = 8;
+  std::string out;
+  for (std::size_t i = 0; i < seqs.size() && i < kShown; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(seqs[i]);
+  }
+  if (seqs.size() > kShown) {
+    out += ", ... (+" + std::to_string(seqs.size() - kShown) + " more)";
+  }
+  return out;
+}
+
+}  // namespace
+
+IngestServer::IngestServer(ServerOptions options)
+    : options_(std::move(options)) {
+  if (!options_.wal_path.empty()) {
+    const WalReplay recovered = recover_wal(options_.wal_path);
+    stats_.wal_records_replayed = recovered.records.size();
+    stats_.wal_torn_bytes = recovered.torn_bytes;
+    wal_stop_reason_ = recovered.stop_reason;
+    replay(recovered);
+    WalWriter::Options wal_options;
+    wal_options.faults = options_.faults;
+    wal_options.crash_after_appends = options_.crash_after_appends;
+    wal_ = std::make_unique<WalWriter>(options_.wal_path, wal_options,
+                                       recovered.valid_bytes,
+                                       recovered.records.size());
+  }
+}
+
+void IngestServer::replay(const WalReplay& recovered) {
+  for (const WalRecord& record : recovered.records) {
+    ClientState& state = clients_[record.client];
+    switch (record.type) {
+      case WalRecordType::kHello:
+        state.announced =
+            std::max(state.announced, parse_hello_shards(record.payload));
+        state.hello_walled = true;
+        break;
+      case WalRecordType::kShard:
+        if (state.seen.insert(record.sequence).second) {
+          shards_[{record.client, record.sequence}] = record.payload;
+          while (state.seen.count(state.contiguous + 1) != 0) {
+            ++state.contiguous;
+          }
+        }
+        break;
+      case WalRecordType::kDone:
+        state.announced = std::max(state.announced, record.sequence);
+        state.done = true;
+        state.done_walled = true;
+        break;
+    }
+  }
+}
+
+IngestServer::ConnectionId IngestServer::connect() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const ConnectionId id = next_conn_++;
+  conns_[id];
+  return id;
+}
+
+void IngestServer::disconnect(ConnectionId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  conns_.erase(id);
+}
+
+void IngestServer::respond(std::string* responses, FrameType type,
+                           std::uint32_t client, std::uint64_t sequence,
+                           std::string payload) {
+  if (responses == nullptr) return;
+  Frame frame;
+  frame.type = type;
+  frame.client = client;
+  frame.sequence = sequence;
+  frame.payload = std::move(payload);
+  responses->append(encode_frame(frame));
+}
+
+void IngestServer::publish_event(std::string_view detail,
+                                 std::uint64_t value) {
+  if (options_.telemetry == nullptr) return;
+  support::TelemetryEvent event;
+  event.kind = support::TelemetryEventKind::kIngestDegraded;
+  event.tid = 0;
+  event.time = tick_;
+  event.value = value;
+  event.set_detail(detail);
+  options_.telemetry->ring(0).publish(event);
+}
+
+bool IngestServer::wal_append(WalRecordType type, std::uint32_t client,
+                              std::uint64_t sequence,
+                              const std::string& payload,
+                              ClientState& state) {
+  if (wal_ == nullptr) return true;
+  WalRecord record;
+  record.type = type;
+  record.client = client;
+  record.sequence = sequence;
+  record.payload = payload;
+  if (wal_->append(record)) return true;
+  ++stats_.wal_rejections;
+  ++state.not_durable;
+  publish_event("write-ahead log append refused (disk full)",
+                stats_.wal_rejections);
+  return false;
+}
+
+void IngestServer::drain_client(std::uint32_t id, ClientState& state,
+                                std::uint64_t limit) {
+  std::uint64_t drained = 0;
+  while (!state.pending.empty() && (limit == 0 || drained < limit)) {
+    auto& [sequence, payload] = state.pending.front();
+    shards_[{id, sequence}] = std::move(payload);
+    state.pending.pop_front();
+    ++drained;
+  }
+}
+
+void IngestServer::handle_frame(const Frame& frame,
+                                std::string* responses) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      ClientState& state = clients_[frame.client];
+      state.announced =
+          std::max(state.announced, parse_hello_shards(frame.payload));
+      if (!state.hello_walled) {
+        state.hello_walled = wal_append(WalRecordType::kHello, frame.client,
+                                        0, frame.payload, state);
+      }
+      // The ack tells a restarted client where to resume.
+      respond(responses, FrameType::kAck, frame.client, state.contiguous);
+      break;
+    }
+    case FrameType::kShard: {
+      if (frame.sequence == 0) {
+        ++stats_.protocol_errors;
+        break;
+      }
+      ClientState& state = clients_[frame.client];
+      if (state.seen.count(frame.sequence) != 0) {
+        // An idempotent retransmit: already journaled, just re-ack.
+        ++stats_.frames_duplicate;
+        respond(responses, FrameType::kAck, frame.client, state.contiguous);
+        break;
+      }
+      if (responses != nullptr &&
+          state.pending.size() >= options_.queue_capacity) {
+        // Backpressure: the bounded queue is full. Refusing (instead of
+        // buffering without limit) keeps one flooding client from
+        // starving the rest; the client backs off and retransmits.
+        ++stats_.busy_rejections;
+        respond(responses, FrameType::kBusy, frame.client, frame.sequence);
+        break;
+      }
+      state.seen.insert(frame.sequence);
+      state.pending.emplace_back(frame.sequence, frame.payload);
+      ++stats_.frames_accepted;
+      stats_.bytes_ingested += frame.payload.size();
+      wal_append(WalRecordType::kShard, frame.client, frame.sequence,
+                 frame.payload, state);
+      while (state.seen.count(state.contiguous + 1) != 0) {
+        ++state.contiguous;
+      }
+      if (state.contiguous >= frame.sequence) {
+        respond(responses, FrameType::kAck, frame.client, state.contiguous);
+      } else {
+        // Sequence gap: an earlier frame was lost. The NACK names the
+        // next expected sequence so the client rewinds precisely.
+        ++stats_.sequence_nacks;
+        respond(responses, FrameType::kNack, frame.client,
+                state.contiguous + 1, "sequence gap");
+      }
+      if (options_.drain_per_tick == 0) {
+        drain_client(frame.client, state, 0);
+      }
+      break;
+    }
+    case FrameType::kTelemetry:
+      // Lossy by design: counted, never journaled, never acked.
+      ++stats_.telemetry_lines;
+      break;
+    case FrameType::kBye: {
+      ClientState& state = clients_[frame.client];
+      state.announced = std::max(state.announced, frame.sequence);
+      state.done = true;
+      if (!state.done_walled) {
+        state.done_walled = wal_append(WalRecordType::kDone, frame.client,
+                                       frame.sequence, {}, state);
+      }
+      respond(responses, FrameType::kAck, frame.client, state.contiguous);
+      break;
+    }
+    case FrameType::kAck:
+    case FrameType::kNack:
+    case FrameType::kBusy:
+      // Server-to-client frames arriving at the server: protocol noise.
+      ++stats_.protocol_errors;
+      break;
+  }
+}
+
+void IngestServer::feed(ConnectionId id, std::string_view bytes,
+                        std::string* responses) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(id);
+  if (it == conns_.end() || !it->second.open) return;
+  ConnState& conn = it->second;
+  conn.buffer.append(bytes);
+  std::size_t consumed = 0;
+  const std::string_view view(conn.buffer);
+  while (consumed < view.size()) {
+    const DecodeResult result = decode_frame(view.substr(consumed));
+    if (result.status == DecodeStatus::kNeedMore) break;
+    consumed += result.consumed;
+    if (result.status == DecodeStatus::kOk) {
+      conn.last_client = result.frame.client;
+      conn.saw_client = true;
+      conn.last_progress_tick = tick_;
+      handle_frame(result.frame, responses);
+      continue;
+    }
+    // A damaged region: count it, skip to the next plausible frame, and
+    // (two-way) NACK so the sender retransmits what the damage ate.
+    ++stats_.corrupt_regions;
+    publish_event("corrupt frame region (" +
+                      std::string(to_string(result.status)) + ")",
+                  stats_.corrupt_regions);
+    if (responses != nullptr) {
+      const std::uint32_t client = conn.saw_client ? conn.last_client : 0;
+      const std::uint64_t expected =
+          conn.saw_client ? clients_[client].contiguous + 1 : 0;
+      respond(responses, FrameType::kNack, client, expected,
+              std::string(to_string(result.status)));
+    }
+  }
+  conn.buffer.erase(0, consumed);
+}
+
+void IngestServer::evict(ConnState& conn) {
+  conn.open = false;
+  conn.buffer.clear();
+  ++stats_.clients_evicted;
+  std::uint64_t value = 0;
+  if (conn.saw_client) {
+    clients_[conn.last_client].evicted = true;
+    value = conn.last_client;
+  }
+  publish_event("stalled client evicted mid-frame", value);
+}
+
+void IngestServer::tick() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++tick_;
+  for (auto& [id, state] : clients_) {
+    drain_client(id, state, options_.drain_per_tick);
+  }
+  for (auto& [id, conn] : conns_) {
+    if (conn.open && !conn.buffer.empty() &&
+        tick_ - conn.last_progress_tick >= options_.evict_after_ticks) {
+      evict(conn);
+    }
+  }
+}
+
+void IngestServer::ingest_stream(std::string_view bytes) {
+  const ConnectionId id = connect();
+  feed(id, bytes, nullptr);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(id);
+  if (it != conns_.end()) {
+    // Bytes left over mean the stream ended mid-frame: a stalled client.
+    if (it->second.open && !it->second.buffer.empty()) evict(it->second);
+    conns_.erase(it);
+  }
+}
+
+void IngestServer::finish_locked() {
+  for (auto& [id, conn] : conns_) {
+    if (conn.open && !conn.buffer.empty()) evict(conn);
+  }
+  for (auto& [id, state] : clients_) {
+    drain_client(id, state, 0);
+  }
+}
+
+void IngestServer::finish() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  finish_locked();
+}
+
+core::MergeResult IngestServer::merge(const std::string& spool_dir,
+                                      const PipelineOptions& options) {
+  namespace fs = std::filesystem;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  finish_locked();
+  fs::create_directories(spool_dir);
+  std::vector<std::string> paths;
+  paths.reserve(shards_.size());
+  for (const auto& [key, payload] : shards_) {
+    const std::string name = "client_" + std::to_string(key.first) +
+                             "_shard_" + std::to_string(key.second) +
+                             ".prof";
+    const std::string path = (fs::path(spool_dir) / name).string();
+    std::ofstream os(path, std::ios::binary);
+    os << payload;
+    if (!os) {
+      throw Error(ErrorKind::kIngest, path, "spool", 0,
+                  "cannot spool ingested shard for merge: " + path);
+    }
+    paths.push_back(path);
+  }
+  if (paths.empty()) {
+    throw Error(ErrorKind::kIngest, {}, "merge", 0,
+                "no shards were ingested; nothing to merge");
+  }
+  core::MergeResult result = core::merge_profile_files(paths, options);
+
+  // Ingest-level degradations, derived ONLY from the final state (never
+  // from the order events happened to arrive in), so a recovered daemon
+  // reports bit-for-bit what an uninterrupted one reports.
+  const std::string suffix =
+      options_.faults != nullptr ? options_.faults->context_suffix()
+                                 : std::string();
+  for (const auto& [id, state] : clients_) {
+    const std::uint64_t expected =
+        state.announced != 0
+            ? state.announced
+            : (state.seen.empty() ? 0 : *state.seen.rbegin());
+    std::vector<std::uint64_t> missing;
+    for (std::uint64_t seq = 1; seq <= expected; ++seq) {
+      if (state.seen.count(seq) == 0) missing.push_back(seq);
+    }
+    if (!missing.empty()) {
+      core::DegradationEvent event;
+      event.kind = core::DegradationKind::kIngestShardMissing;
+      event.value = missing.size();
+      event.detail = "client " + std::to_string(id) + ": " +
+                     std::to_string(missing.size()) + " of " +
+                     std::to_string(expected) +
+                     " shard(s) lost in transport (seq " +
+                     join_sequences(missing) + ")" + suffix;
+      result.data.degradations.push_back(std::move(event));
+    }
+    if (state.evicted && !state.done) {
+      core::DegradationEvent event;
+      event.kind = core::DegradationKind::kIngestClientEvicted;
+      event.value = id;
+      event.detail = "client " + std::to_string(id) +
+                     ": evicted after stalling mid-frame; " +
+                     std::to_string(state.seen.size()) +
+                     " shard(s) merged" + suffix;
+      result.data.degradations.push_back(std::move(event));
+    }
+  }
+  if (stats_.corrupt_regions > 0) {
+    core::DegradationEvent event;
+    event.kind = core::DegradationKind::kIngestShardCorrupt;
+    event.value = stats_.corrupt_regions;
+    event.detail = std::to_string(stats_.corrupt_regions) +
+                   " corrupt frame region(s) discarded from transport "
+                   "streams" +
+                   suffix;
+    result.data.degradations.push_back(std::move(event));
+  }
+  std::uint64_t not_durable = 0;
+  for (const auto& [id, state] : clients_) not_durable += state.not_durable;
+  if (not_durable > 0) {
+    core::DegradationEvent event;
+    event.kind = core::DegradationKind::kIngestWalDegraded;
+    event.value = not_durable;
+    event.detail = "write-ahead log full: " + std::to_string(not_durable) +
+                   " record(s) held in memory only (not crash-durable)" +
+                   suffix;
+    result.data.degradations.push_back(std::move(event));
+  }
+  return result;
+}
+
+ServerStats IngestServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<ClientSummary> IngestServer::client_summaries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ClientSummary> out;
+  out.reserve(clients_.size());
+  for (const auto& [id, state] : clients_) {
+    ClientSummary summary;
+    summary.id = id;
+    summary.announced = state.announced;
+    summary.accepted = state.seen.size();
+    summary.contiguous = state.contiguous;
+    summary.done = state.done;
+    summary.evicted = state.evicted;
+    summary.not_durable = state.not_durable;
+    out.push_back(summary);
+  }
+  return out;
+}
+
+}  // namespace numaprof::ingest

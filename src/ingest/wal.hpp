@@ -1,0 +1,114 @@
+// Write-ahead log for the ingestion daemon (crash safety).
+//
+// Every shard the server accepts is appended to an on-disk log BEFORE it
+// is acknowledged, so a daemon killed at any instant — including halfway
+// through a write — restarts, replays the log, truncates the torn tail,
+// and re-merges to a byte-identical analysis. The format is a sequence of
+// self-delimiting, checksummed records; recovery semantics are strictly
+// prefix-based: the log is valid up to the first damaged record, and
+// everything after it is torn garbage to be truncated (an append-only log
+// written by one process can only be damaged at its tail).
+//
+// Record layout (all integers little-endian):
+//   0   4  magic "NPW1"
+//   4   8  log sequence (1-based, monotonically increasing per file)
+//   12  1  record type (WalRecordType)
+//   13  4  client id
+//   17  8  client sequence number
+//   25  4  payload length N
+//   29  N  payload
+//   29+N 4 CRC32 (IEEE, over bytes [0, 29+N))
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/faultinject.hpp"
+
+namespace numaprof::ingest {
+
+inline constexpr char kWalMagic[4] = {'N', 'P', 'W', '1'};
+inline constexpr std::size_t kWalHeaderBytes = 29;
+inline constexpr std::size_t kWalTrailerBytes = 4;
+inline constexpr std::uint32_t kMaxWalPayload = 1u << 24;
+
+enum class WalRecordType : std::uint8_t {
+  kHello,  // a client announced a session; payload = its hello payload
+  kShard,  // one accepted shard payload
+  kDone,   // a client completed its session
+};
+inline constexpr int kWalRecordTypeCount = 3;
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kShard;
+  std::uint32_t client = 0;
+  std::uint64_t sequence = 0;  // the CLIENT's sequence number
+  std::string payload;
+};
+
+std::string encode_wal_record(const WalRecord& record,
+                              std::uint64_t log_sequence);
+
+/// Appends checksummed records to a log file, flushing each one so a
+/// crash can tear at most the record being written. A FaultPlan's
+/// disk-full fault makes appends fail deterministically; the server
+/// degrades (shard stays memory-only) instead of aborting.
+class WalWriter {
+ public:
+  struct Options {
+    support::FaultPlan* faults = nullptr;
+    /// Crash injection for the recovery tests: after this many successful
+    /// appends the NEXT append writes a torn half-record and _Exits the
+    /// process — the harshest possible kill point. 0 = never.
+    std::uint64_t crash_after_appends = 0;
+  };
+
+  /// Opens `path` for appending; `existing_bytes`/`existing_records` seed
+  /// the counters when the file already holds recovered records. Throws
+  /// numaprof::Error (kind kIngest) when the file cannot be opened.
+  explicit WalWriter(std::string path);
+  WalWriter(std::string path, Options options,
+            std::uint64_t existing_bytes = 0,
+            std::uint64_t existing_records = 0);
+
+  /// Appends and flushes one record. Returns false when the disk-full
+  /// fault rejects the write (nothing is appended).
+  bool append(const WalRecord& record);
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  std::uint64_t records() const noexcept { return records_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+
+ private:
+  std::string path_;
+  Options options_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;  // doubles as the log sequence
+  std::uint64_t rejected_ = 0;
+  std::uint64_t appends_until_crash_ = 0;  // 0 = disarmed
+};
+
+/// What a scan of the log found. `records` is the valid prefix;
+/// `torn_bytes` is the length of the damaged tail (0 for a clean log).
+struct WalReplay {
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t torn_bytes = 0;
+  /// Human-readable reason the scan stopped early (empty when clean).
+  std::string stop_reason;
+};
+
+/// Scans `path` without modifying it. A missing file replays empty.
+WalReplay replay_wal(const std::string& path);
+
+/// Scans `path` AND truncates it to the last valid record, so subsequent
+/// appends continue from a clean tail. This is the daemon's restart path.
+WalReplay recover_wal(const std::string& path);
+
+}  // namespace numaprof::ingest

@@ -10,6 +10,7 @@ std::string_view to_string(ErrorKind k) noexcept {
     case ErrorKind::kTelemetry: return "telemetry";
     case ErrorKind::kUsage: return "usage";
     case ErrorKind::kExport: return "export";
+    case ErrorKind::kIngest: return "ingest";
   }
   return "unknown";
 }

@@ -22,10 +22,11 @@ enum class ErrorKind : std::uint8_t {
   kTelemetry,  // telemetry JSONL trace failures (core/telemetry_stream.hpp)
   kUsage,      // CLI misuse (bad flag values)
   kExport,     // artifact export failures (core/export/export.hpp)
+  kIngest,     // ingestion service failures (ingest/frame.hpp, ingest/wal.hpp)
 };
 
 /// Number of ErrorKind enumerators (kept for switch-exhaustiveness tests).
-inline constexpr int kErrorKindCount = 6;
+inline constexpr int kErrorKindCount = 7;
 
 std::string_view to_string(ErrorKind k) noexcept;
 

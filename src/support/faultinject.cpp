@@ -112,6 +112,18 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       plan.truncate_at_ = parse_uint(key, value);
     } else if (key == "bitflip") {
       plan.bitflips_ = parse_uint(key, value);
+    } else if (key == "frame-drop") {
+      plan.frame_drop_p_ = parse_probability(key, value);
+    } else if (key == "frame-corrupt") {
+      plan.frame_corrupt_p_ = parse_probability(key, value);
+    } else if (key == "stall") {
+      plan.stall_after_ = parse_uint(key, value);
+    } else if (key == "disconnect") {
+      const std::uint64_t every = parse_uint(key, value);
+      if (every == 0) bad_spec(key, value, "expected a positive frame count");
+      plan.disconnect_every_ = every;
+    } else if (key == "disk-full") {
+      plan.disk_full_bytes_ = parse_uint(key, value);
     } else {
       throw FaultSpecError("NUMAPROF_FAULTS: unknown key '" +
                            std::string(key) + "'");
@@ -180,6 +192,53 @@ std::string FaultPlan::mutate_stream(std::string bytes) {
   return bytes;
 }
 
+bool FaultPlan::drop_frame() {
+  if (!enabled_ || frame_drop_p_ <= 0.0) return false;
+  if (!rng_.next_bool(frame_drop_p_)) return false;
+  ++counters_.dropped_frames;
+  return true;
+}
+
+bool FaultPlan::corrupt_frame() {
+  if (!enabled_ || frame_corrupt_p_ <= 0.0) return false;
+  if (!rng_.next_bool(frame_corrupt_p_)) return false;
+  ++counters_.corrupted_frames;
+  return true;
+}
+
+std::string FaultPlan::corrupt_frame_bytes(std::string bytes) {
+  if (bytes.empty()) return bytes;
+  const std::uint64_t pos = rng_.next_below(bytes.size());
+  // Flipping a bit (never zeroing) guarantees the byte actually changes,
+  // so a "corrupt" fault can never be a silent no-op.
+  bytes[pos] =
+      static_cast<char>(bytes[pos] ^ (1u << rng_.next_below(8)));
+  return bytes;
+}
+
+bool FaultPlan::stalls_after(std::uint64_t frames_sent) {
+  if (!enabled_ || !stall_after_) return false;
+  if (frames_sent < *stall_after_) return false;
+  if (frames_sent == *stall_after_) ++counters_.transport_stalls;
+  return true;
+}
+
+bool FaultPlan::disconnects_after(std::uint64_t frames_sent) {
+  if (!enabled_ || !disconnect_every_) return false;
+  if (frames_sent == 0 || frames_sent % *disconnect_every_ != 0) {
+    return false;
+  }
+  ++counters_.disconnects;
+  return true;
+}
+
+bool FaultPlan::wal_write_fails(std::uint64_t existing, std::uint64_t bytes) {
+  if (!enabled_ || !disk_full_bytes_) return false;
+  if (existing + bytes <= *disk_full_bytes_) return false;
+  ++counters_.wal_full_rejections;
+  return true;
+}
+
 std::string FaultPlan::describe() const {
   if (!enabled_) return "no faults";
   std::ostringstream os;
@@ -195,7 +254,17 @@ std::string FaultPlan::describe() const {
   if (spike_p_ > 0.0) os << " spike=" << spike_p_ << ":" << spike_cycles_;
   if (truncate_at_) os << " truncate=" << *truncate_at_;
   if (bitflips_ > 0) os << " bitflip=" << bitflips_;
+  if (frame_drop_p_ > 0.0) os << " frame-drop=" << frame_drop_p_;
+  if (frame_corrupt_p_ > 0.0) os << " frame-corrupt=" << frame_corrupt_p_;
+  if (stall_after_) os << " stall=" << *stall_after_;
+  if (disconnect_every_) os << " disconnect=" << *disconnect_every_;
+  if (disk_full_bytes_) os << " disk-full=" << *disk_full_bytes_;
   return os.str();
+}
+
+std::string FaultPlan::context_suffix() const {
+  if (!enabled_) return {};
+  return " [faults: " + describe() + "]";
 }
 
 FaultPlan& global_fault_plan() {

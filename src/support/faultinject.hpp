@@ -18,6 +18,16 @@
 //   truncate=OFFSET   cut profile streams at byte OFFSET
 //   bitflip=N         flip N pseudo-randomly chosen bits in profile streams
 //
+// Transport/WAL faults (the ingestion service, src/ingest/):
+//   frame-drop=P      drop each transport frame with probability P
+//   frame-corrupt=P   flip one byte of each transport frame with prob. P
+//   stall=N           the transport stalls after N frames: the next frame
+//                     is cut mid-header and nothing further is sent
+//   disconnect=N      the connection drops after every N frames; clients
+//                     must reconnect and resume from the last acked seq
+//   disk-full=BYTES   write-ahead-log appends fail once the log holds
+//                     BYTES bytes (ENOSPC at the worst moment)
+//
 // Example: NUMAPROF_FAULTS="seed=7;init-fail=ibs,pebs-ll;drop=0.01"
 #pragma once
 
@@ -49,6 +59,11 @@ struct FaultCounters {
   std::uint64_t latency_spikes = 0;
   std::uint64_t stream_truncations = 0;
   std::uint64_t stream_bitflips = 0;
+  std::uint64_t dropped_frames = 0;
+  std::uint64_t corrupted_frames = 0;
+  std::uint64_t transport_stalls = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t wal_full_rejections = 0;
 };
 
 class FaultPlan {
@@ -88,10 +103,36 @@ class FaultPlan {
   /// different (but reproducible) positions.
   std::string mutate_stream(std::string bytes);
 
+  // --- transport-level faults (advance the deterministic RNG) -------
+  /// True when the next transport frame should be silently dropped.
+  bool drop_frame();
+  /// True when the next transport frame should have one byte flipped
+  /// (the caller applies scramble()/corrupt_frame_bytes to the bytes).
+  bool corrupt_frame();
+  /// Flips one deterministically chosen byte of an encoded frame.
+  std::string corrupt_frame_bytes(std::string bytes);
+  /// True when the transport stalls after `frames_sent` complete frames
+  /// (the stall=N fault). Counted once, on the triggering call.
+  bool stalls_after(std::uint64_t frames_sent);
+  /// True when the connection drops after `frames_sent` frames (the
+  /// disconnect=N fault fires after every N frames).
+  bool disconnects_after(std::uint64_t frames_sent);
+
+  // --- WAL faults ---------------------------------------------------
+  /// True when appending `bytes` to a log already holding `existing`
+  /// bytes must fail with a simulated ENOSPC (the disk-full=BYTES fault).
+  bool wal_write_fails(std::uint64_t existing, std::uint64_t bytes);
+
   const FaultCounters& counters() const noexcept { return counters_; }
 
   /// One-line human-readable summary of the configured faults.
   std::string describe() const;
+
+  /// Reproducibility context for degradation records: " [faults: <spec>]"
+  /// when the plan is enabled, empty otherwise. Appended to every
+  /// DegradationEvent detail so any injected-fault failure can be
+  /// reproduced from the report alone.
+  std::string context_suffix() const;
 
  private:
   bool enabled_ = false;
@@ -103,6 +144,11 @@ class FaultPlan {
   std::uint64_t spike_cycles_ = 0;
   std::optional<std::uint64_t> truncate_at_;
   std::uint64_t bitflips_ = 0;
+  double frame_drop_p_ = 0.0;
+  double frame_corrupt_p_ = 0.0;
+  std::optional<std::uint64_t> stall_after_;
+  std::optional<std::uint64_t> disconnect_every_;
+  std::optional<std::uint64_t> disk_full_bytes_;
   Rng rng_{0x5eed};
   mutable FaultCounters counters_;
 };

@@ -1,0 +1,93 @@
+// Deterministic retry with exponential backoff and a deadline budget.
+//
+// The ingestion client (src/ingest/client.hpp) must survive dropped
+// frames, corrupted frames, busy servers, and disconnects without ever
+// retrying so aggressively that a struggling daemon is made worse — and
+// every run must be reproducible bit-for-bit. Delays are therefore
+// expressed in abstract ticks (not wall-clock time) and jittered through
+// the seedable support::Rng, so a test that injects the same faults with
+// the same seed sees the same retry schedule, the same give-up point, and
+// the same degradation record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "support/rng.hpp"
+
+namespace numaprof::support {
+
+/// Tuning for one class of retried operation.
+struct RetryPolicy {
+  /// Attempts per operation before giving up on it (>= 1). The first try
+  /// counts; max_attempts = 4 means one try plus three retries.
+  unsigned max_attempts = 5;
+  /// Backoff before retry n (1-based) is jittered from
+  /// min(base_delay * multiplier^(n-1), max_delay) ticks.
+  std::uint64_t base_delay = 16;
+  std::uint64_t max_delay = 4096;
+  double multiplier = 2.0;
+  /// Total tick budget across ALL operations of a session; once backoff
+  /// has consumed this much, every further retry is refused and the
+  /// caller must degrade. 0 = unlimited.
+  std::uint64_t deadline = 1u << 16;
+};
+
+/// The mutable side of a policy: where one session is in its budget.
+///
+/// Usage per operation:
+///   schedule.begin_operation();
+///   while (!try_it()) {
+///     const auto delay = schedule.next_delay();
+///     if (!delay) { degrade(); break; }   // attempts/deadline exhausted
+///     wait(*delay);                       // simulated: just accounting
+///   }
+class RetrySchedule {
+ public:
+  RetrySchedule(RetryPolicy policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  /// Resets the per-operation attempt counter (the deadline keeps
+  /// accruing across operations — a session-wide budget).
+  void begin_operation() noexcept { attempt_ = 0; }
+
+  /// The jittered backoff before the next retry, charged against the
+  /// deadline; nullopt when attempts or deadline are exhausted (the
+  /// caller must give up and degrade). Deterministic given the seed.
+  std::optional<std::uint64_t> next_delay() {
+    if (attempt_ + 1 >= policy_.max_attempts) return std::nullopt;
+    ++attempt_;
+    double cap = static_cast<double>(policy_.base_delay);
+    for (unsigned i = 1; i < attempt_; ++i) cap *= policy_.multiplier;
+    const double max = static_cast<double>(policy_.max_delay);
+    if (cap > max) cap = max;
+    // Full jitter over [cap/2, cap]: desynchronizes a fleet of clients
+    // hammering one daemon while keeping the delay within 2x of nominal.
+    const std::uint64_t delay = static_cast<std::uint64_t>(
+        cap * (0.5 + 0.5 * rng_.next_double()));
+    if (policy_.deadline != 0 && spent_ + delay > policy_.deadline) {
+      spent_ = policy_.deadline;  // budget is gone either way
+      return std::nullopt;
+    }
+    spent_ += delay;
+    return delay;
+  }
+
+  /// True once the session-wide deadline is exhausted: no operation may
+  /// retry again, only degrade.
+  bool deadline_exhausted() const noexcept {
+    return policy_.deadline != 0 && spent_ >= policy_.deadline;
+  }
+
+  unsigned attempts() const noexcept { return attempt_; }
+  std::uint64_t spent() const noexcept { return spent_; }
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  unsigned attempt_ = 0;       // retries consumed by the current operation
+  std::uint64_t spent_ = 0;    // ticks charged against the deadline
+};
+
+}  // namespace numaprof::support

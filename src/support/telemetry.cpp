@@ -29,6 +29,7 @@ std::string_view to_string(TelemetryEventKind k) noexcept {
     case TelemetryEventKind::kPeriodRetune: return "period-retune";
     case TelemetryEventKind::kThreadStart: return "thread-start";
     case TelemetryEventKind::kThreadFinish: return "thread-finish";
+    case TelemetryEventKind::kIngestDegraded: return "ingest-degraded";
   }
   return "unknown";
 }

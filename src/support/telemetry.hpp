@@ -59,8 +59,9 @@ enum class TelemetryEventKind : std::uint8_t {
   kPeriodRetune,          // the watchdog retuned the sampling period
   kThreadStart,           // the runtime spawned a simulated thread
   kThreadFinish,          // a simulated thread ran to completion
+  kIngestDegraded,        // the ingestion service degraded (src/ingest/)
 };
-inline constexpr std::size_t kTelemetryEventKindCount = 5;
+inline constexpr std::size_t kTelemetryEventKindCount = 6;
 
 /// Stable kebab-case name, used verbatim in the JSONL schema.
 std::string_view to_string(TelemetryEventKind k) noexcept;

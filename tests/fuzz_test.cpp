@@ -3,6 +3,8 @@
 // parser robustness against corrupted input.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 
@@ -10,6 +12,8 @@
 #include "core/analyzer.hpp"
 #include "core/profile_io.hpp"
 #include "core/profiler.hpp"
+#include "ingest/server.hpp"
+#include "ingest/wal.hpp"
 #include "numasim/topology.hpp"
 #include "simos/heap.hpp"
 #include "support/faultinject.hpp"
@@ -238,6 +242,128 @@ TEST(ProfileIoFuzz, FaultInjectedStreamsStrictAndLenient) {
   EXPECT_EQ(lenient_returned + lenient_threw, 200);
   // Damage rarely lands on the first line; lenient mode recovers the rest.
   EXPECT_GT(lenient_returned, 150);
+}
+
+namespace {
+
+/// Truncate, flip a byte, or duplicate a chunk of `bytes` — the three
+/// shapes of damage a transport stream or log file actually suffers.
+std::string mutate_bytes(std::string bytes, support::Rng& rng, int trial) {
+  switch (trial % 3) {
+    case 0:
+      bytes.resize(rng.next_below(bytes.size()));
+      break;
+    case 1: {
+      const auto pos = rng.next_below(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^
+                                     (1u << rng.next_below(8)));
+      break;
+    }
+    default: {  // duplicate a chunk (a retransmit landing twice)
+      const auto pos = rng.next_below(bytes.size());
+      const auto len = rng.next_below(bytes.size() - pos) + 1;
+      bytes.insert(pos, bytes.substr(pos, len));
+      break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+/// Frame decoder robustness: any mutation of a valid multi-frame stream
+/// must decode to a mix of frames and counted damage — always making
+/// forward progress (no hang), never crashing, and never "decoding" a
+/// frame that was not in the original stream.
+TEST(IngestFuzz, MutatedFrameStreamsNeverCrashOrStall) {
+  std::string good;
+  for (std::uint64_t seq = 1; seq <= 12; ++seq) {
+    ingest::Frame frame;
+    frame.type = seq == 1 ? ingest::FrameType::kHello
+                          : ingest::FrameType::kShard;
+    frame.client = 3;
+    frame.sequence = seq;
+    frame.payload = "shard " + std::to_string(seq) +
+                    std::string(seq * 7 % 64, '#');
+    good += ingest::encode_frame(frame);
+  }
+
+  support::Rng rng(0xF7A3E);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string bad = mutate_bytes(good, rng, trial);
+    std::size_t at = 0;
+    int ok = 0, damaged = 0;
+    while (at < bad.size()) {
+      const ingest::DecodeResult result =
+          ingest::decode_frame(std::string_view(bad).substr(at));
+      if (result.status == ingest::DecodeStatus::kNeedMore) break;
+      ASSERT_GT(result.consumed, 0u)
+          << "trial " << trial << ": decoder made no progress at " << at;
+      at += result.consumed;
+      if (result.status == ingest::DecodeStatus::kOk) {
+        ++ok;
+        EXPECT_EQ(result.frame.client, 3u);
+        EXPECT_GE(result.frame.sequence, 1u);
+        EXPECT_LE(result.frame.sequence, 12u);
+      } else {
+        ++damaged;
+      }
+    }
+    // A bit flip damages at most the frame it hits; a duplication only
+    // repeats valid frames. Something must always be classified.
+    EXPECT_GT(ok + damaged + (at < bad.size() ? 1 : 0), 0) << trial;
+
+    // The server must absorb the same bytes without throwing.
+    ingest::IngestServer server;
+    server.ingest_stream(bad);
+  }
+}
+
+/// WAL replay robustness: any mutation of a valid log must yield a clean
+/// prefix of the original records plus a quantified torn tail, and
+/// recovery must truncate to a log that then replays clean.
+TEST(IngestFuzz, MutatedWalAlwaysRecoversToValidPrefix) {
+  std::vector<ingest::WalRecord> records;
+  std::string good;
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    ingest::WalRecord record;
+    record.type = seq == 1 ? ingest::WalRecordType::kHello
+                           : ingest::WalRecordType::kShard;
+    record.client = 1;
+    record.sequence = seq;
+    record.payload = "payload " + std::to_string(seq) +
+                     std::string(seq * 11 % 48, '@');
+    records.push_back(record);
+    good += ingest::encode_wal_record(record, seq);
+  }
+
+  const auto dir = std::filesystem::temp_directory_path() / "numaprof_walfuzz";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "fuzz.wal").string();
+  support::Rng rng(0x3A11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string bad = mutate_bytes(good, rng, trial);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bad;
+    }
+    const ingest::WalReplay replay = ingest::replay_wal(path);
+    ASSERT_EQ(replay.valid_bytes + replay.torn_bytes, bad.size()) << trial;
+    ASSERT_LE(replay.records.size(), records.size()) << trial;
+    for (std::size_t i = 0; i < replay.records.size(); ++i) {
+      ASSERT_EQ(replay.records[i].sequence, records[i].sequence)
+          << "trial " << trial << ": record " << i
+          << " is not a prefix of the original log";
+      ASSERT_EQ(replay.records[i].payload, records[i].payload) << trial;
+    }
+    // Recovery truncates; the truncated log must replay clean.
+    const ingest::WalReplay recovered = ingest::recover_wal(path);
+    EXPECT_EQ(recovered.records.size(), replay.records.size()) << trial;
+    const ingest::WalReplay again = ingest::replay_wal(path);
+    EXPECT_EQ(again.torn_bytes, 0u) << trial;
+    EXPECT_EQ(again.records.size(), replay.records.size()) << trial;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// support/retry.hpp: the deterministic backoff schedule the ingestion
+// client leans on. Determinism is the contract under test — same seed,
+// same jitter sequence, same give-up point — plus the budget semantics:
+// per-operation attempt caps and the session-wide tick deadline.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "support/retry.hpp"
+
+namespace numaprof::support {
+namespace {
+
+std::vector<std::uint64_t> drain(RetrySchedule& schedule) {
+  std::vector<std::uint64_t> delays;
+  while (const auto delay = schedule.next_delay()) delays.push_back(*delay);
+  return delays;
+}
+
+TEST(RetrySchedule, SameSeedSameJitterSequence) {
+  const RetryPolicy policy{.max_attempts = 8, .deadline = 0};
+  RetrySchedule a(policy, 42);
+  RetrySchedule b(policy, 42);
+  a.begin_operation();
+  b.begin_operation();
+  EXPECT_EQ(drain(a), drain(b));
+}
+
+TEST(RetrySchedule, DifferentSeedsDesynchronize) {
+  const RetryPolicy policy{.max_attempts = 8, .deadline = 0};
+  RetrySchedule a(policy, 1);
+  RetrySchedule b(policy, 2);
+  a.begin_operation();
+  b.begin_operation();
+  EXPECT_NE(drain(a), drain(b));
+}
+
+TEST(RetrySchedule, DelaysGrowExponentiallyWithinJitterBand) {
+  const RetryPolicy policy{.max_attempts = 12,
+                           .base_delay = 16,
+                           .max_delay = 4096,
+                           .multiplier = 2.0,
+                           .deadline = 0};
+  RetrySchedule schedule(policy, 7);
+  schedule.begin_operation();
+  std::uint64_t cap = policy.base_delay;
+  for (const std::uint64_t delay : drain(schedule)) {
+    // Full jitter lands in [cap/2, cap].
+    EXPECT_GE(delay, cap / 2);
+    EXPECT_LE(delay, cap);
+    cap = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(static_cast<double>(cap) *
+                                   policy.multiplier),
+        policy.max_delay);
+  }
+}
+
+TEST(RetrySchedule, AttemptsExhaustAtMaxAttempts) {
+  const RetryPolicy policy{.max_attempts = 4, .deadline = 0};
+  RetrySchedule schedule(policy, 3);
+  schedule.begin_operation();
+  // max_attempts = 4 means the first try plus three retries.
+  EXPECT_EQ(drain(schedule).size(), 3u);
+  EXPECT_EQ(schedule.attempts(), 3u);
+  EXPECT_FALSE(schedule.deadline_exhausted());
+}
+
+TEST(RetrySchedule, BeginOperationResetsAttemptsNotDeadline) {
+  const RetryPolicy policy{.max_attempts = 3, .deadline = 0};
+  RetrySchedule schedule(policy, 9);
+  schedule.begin_operation();
+  drain(schedule);
+  const std::uint64_t spent_after_first = schedule.spent();
+  EXPECT_GT(spent_after_first, 0u);
+  schedule.begin_operation();
+  EXPECT_EQ(schedule.attempts(), 0u);
+  EXPECT_TRUE(schedule.next_delay().has_value());
+  // The deadline budget keeps accruing across operations.
+  EXPECT_GT(schedule.spent(), spent_after_first);
+}
+
+TEST(RetrySchedule, DeadlineExhaustionRefusesFurtherRetries) {
+  // A deadline smaller than one base delay: the very first retry is
+  // refused and the schedule reports exhaustion ever after.
+  const RetryPolicy policy{.max_attempts = 100,
+                           .base_delay = 64,
+                           .max_delay = 64,
+                           .deadline = 16};
+  RetrySchedule schedule(policy, 5);
+  schedule.begin_operation();
+  EXPECT_FALSE(schedule.next_delay().has_value());
+  EXPECT_TRUE(schedule.deadline_exhausted());
+  schedule.begin_operation();
+  EXPECT_FALSE(schedule.next_delay().has_value())
+      << "a fresh operation must not revive an exhausted session";
+}
+
+TEST(RetrySchedule, DeadlineTerminatesManyOperations) {
+  // Many operations against a finite session budget: total spent ticks
+  // never exceed the deadline, and once exhausted it stays exhausted.
+  const RetryPolicy policy{.max_attempts = 10,
+                           .base_delay = 32,
+                           .max_delay = 512,
+                           .deadline = 2000};
+  RetrySchedule schedule(policy, 11);
+  int refused_operations = 0;
+  for (int op = 0; op < 50; ++op) {
+    schedule.begin_operation();
+    if (drain(schedule).size() < 9u) ++refused_operations;
+    EXPECT_LE(schedule.spent(), policy.deadline);
+  }
+  EXPECT_TRUE(schedule.deadline_exhausted());
+  EXPECT_GT(refused_operations, 0);
+}
+
+TEST(RetrySchedule, ZeroDeadlineMeansUnlimited) {
+  const RetryPolicy policy{.max_attempts = 50,
+                           .base_delay = 4096,
+                           .max_delay = 4096,
+                           .deadline = 0};
+  RetrySchedule schedule(policy, 13);
+  schedule.begin_operation();
+  EXPECT_EQ(drain(schedule).size(), 49u);
+  EXPECT_FALSE(schedule.deadline_exhausted());
+}
+
+}  // namespace
+}  // namespace numaprof::support
