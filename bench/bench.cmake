@@ -36,7 +36,9 @@ target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core bench
 set_target_properties(micro_tool_paths PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
 
+# micro_lint has a custom main (BENCH lines + BENCH_lint.json aggregate,
+# validity-checked driver/cache runs), so no benchmark_main here.
 add_executable(micro_lint ${CMAKE_SOURCE_DIR}/bench/micro_lint.cpp)
-target_link_libraries(micro_lint PRIVATE numaprof_lint benchmark::benchmark benchmark::benchmark_main)
+target_link_libraries(micro_lint PRIVATE numaprof_lint)
 set_target_properties(micro_lint PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})

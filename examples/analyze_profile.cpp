@@ -38,6 +38,7 @@
 #include "core/numaprof.hpp"
 #include "core/report.hpp"
 #include "lint/numalint.hpp"
+#include "lint/sarif.hpp"
 #include "numasim/topology.hpp"
 #include "support/cliflags.hpp"
 #include "support/threadpool.hpp"
@@ -116,15 +117,38 @@ void run_exports(const core::Analyzer& analyzer, const ExportRequest& request,
   }
 }
 
-void print_analysis(const core::SessionData& data,
-                    const PipelineOptions& options, bool json,
-                    const std::string& telemetry_trace,
-                    const ExportRequest& exports) {
+/// Lints `options.lint_paths` (when any), optionally renders the fused
+/// pane, and returns the --werror gate: 1 when any finding reaches the
+/// requested severity, else 0.
+int run_lint_pane(const core::Advisor& advisor, const PipelineOptions& options,
+                  bool render, std::optional<lint::Severity> werror) {
+  if (options.lint_paths.empty()) return 0;
+  const lint::LintResult linted =
+      lint::lint_paths(options.lint_paths, options);
+  if (render) {
+    std::cout << "\n"
+              << core::render_fused_findings(
+                     core::fuse_findings(advisor, linted.findings));
+  }
+  if (!werror) return 0;
+  for (const core::StaticFinding& f : linted.findings) {
+    if (lint::severity_of(f.kind) >= *werror) return 1;
+  }
+  return 0;
+}
+
+int print_analysis(const core::SessionData& data,
+                   const PipelineOptions& options, bool json,
+                   const std::string& telemetry_trace,
+                   const ExportRequest& exports,
+                   std::optional<lint::Severity> werror) {
   const core::Analyzer analyzer(data, options);
   run_exports(analyzer, exports, json);
   if (json) {
     print_analysis_json(analyzer);
-    return;
+    // The lint pane is text-only, but the --werror contract still gates.
+    const core::Advisor advisor(analyzer);
+    return run_lint_pane(advisor, options, /*render=*/false, werror);
   }
   const core::Viewer viewer(analyzer);
   std::cout << viewer.program_summary();
@@ -149,13 +173,7 @@ void print_analysis(const core::SessionData& data,
     std::cout << rec.variable_name << ": " << to_string(rec.action) << "\n  "
               << rec.rationale << "\n";
   }
-  if (!options.lint_paths.empty()) {
-    const lint::LintResult linted =
-        lint::lint_paths(options.lint_paths, options);
-    std::cout << "\n"
-              << core::render_fused_findings(
-                     core::fuse_findings(advisor, linted.findings));
-  }
+  return run_lint_pane(advisor, options, /*render=*/true, werror);
 }
 
 support::CliParser make_parser() {
@@ -173,6 +191,11 @@ support::CliParser make_parser() {
   cli.add_flag("--lenient", false, "recover from damaged profiles");
   cli.add_flag("--lint", true, "fuse numalint findings from this source",
                "SRC");
+  cli.add_optional_value_flag(
+      "--werror",
+      "with --lint: exit 1 on findings of at least this severity "
+      "(note|warning|error; default warning)",
+      "SEV");
   cli.add_flag("--export", true,
                "write artifacts: trace | flamegraph | html | all", "KIND");
   cli.add_flag("--export-dir", true,
@@ -193,7 +216,10 @@ int main(int argc, char** argv) {
   try {
     cli.parse(std::vector<std::string>(argv + 1, argv + argc));
     if (cli.has("--help")) {
-      std::cout << cli.usage();
+      std::cout << cli.usage()
+                << "exit status: 0 = ok, 1 = analysis error (or, with "
+                   "--lint --werror, a lint finding at/above SEV), "
+                   "2 = usage error\n";
       return 0;
     }
     PipelineOptions options;
@@ -208,6 +234,21 @@ int main(int argc, char** argv) {
                   "--format expects text or json\n" + cli.usage());
     }
     const std::string telemetry = cli.value("--telemetry").value_or("");
+    std::optional<lint::Severity> werror;
+    if (cli.has("--werror")) {
+      const std::string spelled = cli.value("--werror").value_or("warning");
+      if (spelled == "note") {
+        werror = lint::Severity::kNote;
+      } else if (spelled == "warning") {
+        werror = lint::Severity::kWarning;
+      } else if (spelled == "error") {
+        werror = lint::Severity::kError;
+      } else {
+        throw Error(ErrorKind::kUsage, {}, "--werror", 0,
+                    "--werror expects note, warning, or error\n" +
+                        cli.usage());
+      }
+    }
 
     ExportRequest exports;
     if (const auto kind_text = cli.value("--export")) {
@@ -236,8 +277,8 @@ int main(int argc, char** argv) {
     }
 
     if (cli.has("--selftest")) {
-      print_analysis(demo_session(), options, json, telemetry, exports);
-      return 0;
+      return print_analysis(demo_session(), options, json, telemetry, exports,
+                            werror);
     }
     if (cli.has("--diff")) {
       if (inputs.size() != 2) {
@@ -266,8 +307,8 @@ int main(int argc, char** argv) {
         std::cout << "  diagnostic " << d.field << " (line " << d.line
                   << "): " << d.message << "\n";
       }
-      print_analysis(merged.data, options, json, telemetry, exports);
-      return 0;
+      return print_analysis(merged.data, options, json, telemetry, exports,
+                            werror);
     }
     if (inputs.empty() && !telemetry.empty()) {
       // Telemetry-only mode: render the health pane with no profile to
@@ -295,7 +336,8 @@ int main(int argc, char** argv) {
       const std::string main_file = core::write_report(analyzer, inputs[1]);
       std::cout << "report written; start at " << main_file << "\n";
     } else {
-      print_analysis(loaded.data, options, json, telemetry, exports);
+      return print_analysis(loaded.data, options, json, telemetry, exports,
+                            werror);
     }
     return 0;
   } catch (const Error& error) {

@@ -1,32 +1,45 @@
 // numa_lint: command-line front end for the static NUMA-antipattern
-// analyzer (src/lint/). Scans C/C++ sources for the L1..L4 catalog and
-// prints findings with file/line/variable and a suggested fix drawn from
-// the advisor's action vocabulary. Flags share their spelling with
-// analyze_profile and go through support::CliParser — unknown flags are
-// rejected with the usage string.
+// analyzer (src/lint/). Scans C/C++ sources for the L1..L8 catalog —
+// L1..L4 per translation unit, L5..L8 from the interprocedural dataflow
+// engine — and prints findings with file/line/variable and a suggested
+// fix drawn from the advisor's action vocabulary. Flags share their
+// spelling with analyze_profile and go through support::CliParser —
+// unknown flags are rejected with the usage string.
 //
 //   numa_lint [flags] <file-or-dir>...
 //   numa_lint --selftest
 //
 // Flags:
-//   --jobs N        lint files in parallel; output is identical for every N
-//   --format FMT    text (default) or json (one JSON object per finding)
-//   --profile PATH  fuse findings with this profile's dynamic evidence
-//   --telemetry T   also render the measurement-health pane from a JSONL
-//                   trace (cross-checked against --profile when given)
-//   --export KIND   with --profile: emit the fused findings as one JSON
-//                   document instead of the text pane (KIND must be json)
-//   --stats         print scan statistics
+//   --jobs N          lint files in parallel; output is identical for every N
+//   --format FMT      text (default) or json (one JSON object per finding)
+//   --profile PATH    fuse findings with this profile's dynamic evidence
+//   --telemetry T     also render the measurement-health pane from a JSONL
+//                     trace (cross-checked against --profile when given)
+//   --export KIND     json: fused findings as one JSON document (requires
+//                     --profile); sarif: findings as SARIF 2.1.0 (no
+//                     profile needed)
+//   --baseline PATH   suppress the findings accepted by this baseline file;
+//                     only NEW findings are reported and gate the exit code
+//   --write-baseline PATH  write the current findings as a baseline and exit
+//   --werror[=SEV]    fail (exit 1) only on findings of severity SEV or
+//                     higher (note|warning|error; bare --werror = warning)
+//   --cache DIR       incremental per-file cache keyed by content hash
+//   --stats           print scan statistics
 //
-// Exit status: 0 = clean, 1 = findings reported, 2 = usage error.
+// Exit status: 0 = clean (or all findings below the --werror threshold /
+// covered by the baseline), 1 = gating findings reported, 2 = usage or
+// input error.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/numaprof.hpp"
+#include "lint/baseline.hpp"
 #include "lint/numalint.hpp"
+#include "lint/sarif.hpp"
 #include "support/cliflags.hpp"
 #include "support/threadpool.hpp"
 
@@ -34,8 +47,8 @@ using namespace numaprof;
 
 namespace {
 
-// A deliberately buggy OpenMP-style translation unit exercising all four
-// lint kinds; --selftest checks the analyzer end to end with no input.
+// A deliberately buggy OpenMP-style translation unit exercising the lint
+// catalog; --selftest checks the analyzer end to end with no input.
 constexpr const char* kSelftestSource = R"lint(
 #include <omp.h>
 
@@ -67,22 +80,38 @@ void dsl_workload(SimThread& t, SimMachine& m, uint32_t threads) {
 }
 )lint";
 
-int report(const lint::LintResult& result, bool stats, bool json) {
-  std::cout << (json ? lint::render_findings_json(result.findings)
-                     : lint::render_findings(result.findings));
-  if (stats) {
-    std::cout << "scanned " << result.stats.files << " file"
-              << (result.stats.files == 1 ? "" : "s") << ", "
-              << result.stats.lines << " lines, " << result.stats.tokens
-              << " tokens; " << result.findings.size() << " finding"
-              << (result.findings.size() == 1 ? "" : "s") << "\n";
+int gate_exit(const std::vector<core::StaticFinding>& findings,
+              std::optional<lint::Severity> werror) {
+  if (!werror) return findings.empty() ? 0 : 1;
+  for (const core::StaticFinding& f : findings) {
+    if (lint::severity_of(f.kind) >= *werror) return 1;
   }
-  return result.findings.empty() ? 0 : 1;
+  return 0;
+}
+
+void print_stats(std::ostream& os, const lint::LintResult& result,
+                 std::size_t reported, std::size_t suppressed) {
+  os << "scanned " << result.stats.files << " file"
+     << (result.stats.files == 1 ? "" : "s") << ", " << result.stats.lines
+     << " lines, " << result.stats.tokens << " tokens; " << reported
+     << " finding" << (reported == 1 ? "" : "s");
+  if (suppressed > 0) os << " (" << suppressed << " baselined)";
+  os << "\n";
+}
+
+std::optional<lint::Severity> parse_werror(const support::CliParser& cli) {
+  if (!cli.has("--werror")) return std::nullopt;
+  const std::string spelled = cli.value("--werror").value_or("warning");
+  if (spelled == "note") return lint::Severity::kNote;
+  if (spelled == "warning") return lint::Severity::kWarning;
+  if (spelled == "error") return lint::Severity::kError;
+  throw Error(ErrorKind::kUsage, {}, "--werror", 0,
+              "--werror expects note, warning, or error\n" + cli.usage());
 }
 
 support::CliParser make_parser() {
   support::CliParser cli("numa_lint",
-                         "static NUMA-antipattern analyzer (L1..L4)");
+                         "static NUMA-antipattern analyzer (L1..L8)");
   cli.add_flag("--jobs", true, "lint files in parallel (identical output)",
                "N");
   cli.add_flag("--format", true, "output format: text (default) or json",
@@ -93,8 +122,22 @@ support::CliParser make_parser() {
                "JSONL telemetry trace: render the measurement-health pane",
                "PATH");
   cli.add_flag("--export", true,
-               "emit fused findings as JSON (requires --profile): json",
+               "json: fused findings (requires --profile); sarif: SARIF "
+               "2.1.0 findings",
                "KIND");
+  cli.add_flag("--baseline", true,
+               "suppress findings accepted by this baseline file", "PATH");
+  cli.add_flag("--write-baseline", true,
+               "write the current findings as a baseline file and exit",
+               "PATH");
+  cli.add_optional_value_flag(
+      "--werror",
+      "exit 1 only on findings of at least this severity "
+      "(note|warning|error; default warning)",
+      "SEV");
+  cli.add_flag("--cache", true,
+               "incremental per-file cache directory (content-hash keyed)",
+               "DIR");
   cli.add_flag("--stats", false, "print scan statistics");
   cli.add_flag("--selftest", false, "lint a built-in antipattern sample");
   cli.add_flag("--help", false, "show this message");
@@ -108,7 +151,9 @@ int main(int argc, char** argv) {
   try {
     cli.parse(std::vector<std::string>(argv + 1, argv + argc));
     if (cli.has("--help")) {
-      std::cout << cli.usage();
+      std::cout << cli.usage()
+                << "exit status: 0 = clean (no finding at/above the gate), "
+                   "1 = gating findings, 2 = usage/input error\n";
       return 0;
     }
     const bool json = cli.value("--format").value_or("text") == "json";
@@ -117,28 +162,30 @@ int main(int argc, char** argv) {
       throw Error(ErrorKind::kUsage, {}, "--format", 0,
                   "--format expects text or json\n" + cli.usage());
     }
-    // --export shares the grammar of analyze_profile's flag; numa_lint's
-    // only artifact is the fused-findings JSON, so any other kind is a
-    // usage error (exit 2), like an unknown --format.
-    const bool export_fused = cli.has("--export");
-    if (export_fused) {
-      if (cli.value("--export").value_or("") != "json") {
-        throw Error(ErrorKind::kUsage, {}, "--export", 0,
-                    "--export expects json\n" + cli.usage());
-      }
-      if (!cli.has("--profile")) {
-        throw Error(ErrorKind::kUsage, {}, "--export", 0,
-                    "--export requires --profile (fused findings join "
-                    "static and dynamic evidence)\n" +
-                        cli.usage());
-      }
+    const std::optional<lint::Severity> werror = parse_werror(cli);
+    // --export shares the grammar of analyze_profile's flag. json is the
+    // fused-findings document (needs dynamic evidence); sarif is the
+    // static findings alone, for code-scanning UIs and CI artifacts.
+    const std::string export_kind = cli.value("--export").value_or("");
+    const bool export_fused = cli.has("--export") && export_kind == "json";
+    const bool export_sarif = cli.has("--export") && export_kind == "sarif";
+    if (cli.has("--export") && !export_fused && !export_sarif) {
+      throw Error(ErrorKind::kUsage, {}, "--export", 0,
+                  "--export expects json or sarif\n" + cli.usage());
+    }
+    if (export_fused && !cli.has("--profile")) {
+      throw Error(ErrorKind::kUsage, {}, "--export", 0,
+                  "--export json requires --profile (fused findings join "
+                  "static and dynamic evidence)\n" +
+                      cli.usage());
     }
     if (cli.has("--selftest")) {
       const auto result = lint::lint_source(kSelftestSource, "selftest.cpp");
-      const int rc = report(result, true, json);
-      // The sample plants all four antipatterns; finding none means the
+      std::cout << lint::render_findings(result.findings);
+      print_stats(std::cout, result, result.findings.size(), 0);
+      // The sample plants the antipatterns; finding none means the
       // analyzer is broken, so invert the exit convention here.
-      if (rc != 1) {
+      if (result.findings.empty()) {
         std::cerr << "selftest FAILED: expected findings, got none\n";
         return 2;
       }
@@ -153,16 +200,58 @@ int main(int argc, char** argv) {
     options.jobs = std::clamp(
         cli.unsigned_value("--jobs", support::default_jobs()), 1u, 256u);
     options.lint_paths = cli.positional();
+    options.lint_cache_dir = cli.value("--cache").value_or("");
     const lint::LintResult result =
         lint::lint_paths(options.lint_paths, options);
-    const int rc = report(result, cli.has("--stats"), json);
+
+    if (const auto out_path = cli.value("--write-baseline")) {
+      std::ofstream out(*out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw Error(ErrorKind::kUsage, *out_path, "--write-baseline", 0,
+                    "cannot write baseline file " + *out_path);
+      }
+      out << lint::render_baseline(lint::make_baseline(result.findings));
+      std::cout << "baseline: accepted " << result.findings.size()
+                << " finding" << (result.findings.size() == 1 ? "" : "s")
+                << " into " << *out_path << "\n";
+      return 0;
+    }
+
+    std::vector<core::StaticFinding> findings = result.findings;
+    std::size_t suppressed = 0;
+    if (const auto baseline_path = cli.value("--baseline")) {
+      std::string error;
+      const auto baseline = lint::load_baseline(*baseline_path, &error);
+      if (!baseline) {
+        throw Error(ErrorKind::kUsage, *baseline_path, "--baseline", 0,
+                    error);
+      }
+      findings = lint::apply_baseline(*baseline, std::move(findings),
+                                      &suppressed);
+    }
+
+    if (export_sarif) {
+      // The SARIF document owns stdout; stats go to stderr.
+      std::cout << lint::render_sarif(findings) << "\n";
+      if (cli.has("--stats")) {
+        print_stats(std::cerr, result, findings.size(), suppressed);
+      }
+      return gate_exit(findings, werror);
+    }
+
+    std::cout << (json ? lint::render_findings_json(findings)
+                       : lint::render_findings(findings));
+    if (cli.has("--stats")) {
+      print_stats(std::cout, result, findings.size(), suppressed);
+    }
+    const int rc = gate_exit(findings, werror);
 
     if (const auto profile = cli.value("--profile")) {
       const Session data = core::load_profile_file(*profile);
       const Analyzer analyzer(data, options);
       const core::Advisor advisor(analyzer);
       const std::vector<core::FusedFinding> fused =
-          core::fuse_findings(advisor, result.findings);
+          core::fuse_findings(advisor, findings);
       if (export_fused) {
         std::cout << core::render_fused_findings_json(fused);
       } else {

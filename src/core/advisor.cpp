@@ -37,6 +37,10 @@ std::string_view to_string(LintKind k) noexcept {
     case LintKind::kFalseSharing: return "false-sharing-layout";
     case LintKind::kStackEscape: return "stack-escape";
     case LintKind::kInterleaveMisuse: return "interleave-misuse";
+    case LintKind::kCrossSerialInit: return "cross-fn-serial-first-touch";
+    case LintKind::kScheduleMismatch: return "schedule-mismatch";
+    case LintKind::kAliasHiddenInit: return "alias-hidden-first-touch";
+    case LintKind::kReadMostly: return "read-mostly-replicable";
   }
   return "?";
 }
@@ -294,11 +298,15 @@ std::string strip_level_suffix(std::string_view name) {
 int lint_kind_rank(LintKind k) noexcept {
   switch (k) {
     case LintKind::kSerialFirstTouch: return 0;
-    case LintKind::kStackEscape: return 1;
-    case LintKind::kInterleaveMisuse: return 2;
-    case LintKind::kFalseSharing: return 3;
+    case LintKind::kCrossSerialInit: return 1;
+    case LintKind::kAliasHiddenInit: return 2;
+    case LintKind::kScheduleMismatch: return 3;
+    case LintKind::kStackEscape: return 4;
+    case LintKind::kInterleaveMisuse: return 5;
+    case LintKind::kFalseSharing: return 6;
+    case LintKind::kReadMostly: return 7;
   }
-  return 4;
+  return 8;
 }
 
 const StaticFinding& representative(const std::vector<StaticFinding>& group) {

@@ -110,17 +110,30 @@ class Advisor {
 // that "what the source says should happen" and "what the run observed"
 // are directly comparable.
 
-/// The static antipattern catalog (see docs/lint.md).
+/// The static antipattern catalog (see docs/lint.md). L1-L4 come from the
+/// per-TU token-shape recognizers; L5-L8 come from the interprocedural
+/// dataflow engine (src/lint/dataflow) and can cross function and file
+/// boundaries.
 enum class LintKind : std::uint8_t {
-  kSerialFirstTouch,  // L1: serial init, parallel consumption (§6, §8.1/8.2)
-  kFalseSharing,      // L2: per-thread-written fields packed in one line
-  kStackEscape,       // L3: stack array escapes into a parallel region (§6)
-  kInterleaveMisuse,  // L4: interleaving an array with natural block
-                      //     locality (the §8.1 POWER7 regression)
+  kSerialFirstTouch,   // L1: serial init, parallel consumption (§6, §8.1/8.2)
+  kFalseSharing,       // L2: per-thread-written fields packed in one line
+  kStackEscape,        // L3: stack array escapes into a parallel region (§6)
+  kInterleaveMisuse,   // L4: interleaving an array with natural block
+                       //     locality (the §8.1 POWER7 regression)
+  kCrossSerialInit,    // L5: serial first touch reached through a call
+                       //     chain or another translation unit
+  kScheduleMismatch,   // L6: parallel init and parallel consumption
+                       //     partition iterations differently, so the
+                       //     first-touch thread != the consuming thread
+  kAliasHiddenInit,    // L7: first touch through a pointer alias/wrapper,
+                       //     invisible at the allocation site
+  kReadMostly,         // L8: written once serially, read by all threads
+                       //     across the whole extent: replication or
+                       //     interleaving candidate
 };
 
 /// Number of LintKind enumerators.
-inline constexpr int kLintKindCount = 4;
+inline constexpr int kLintKindCount = 8;
 
 std::string_view to_string(LintKind k) noexcept;
 

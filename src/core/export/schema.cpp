@@ -493,8 +493,163 @@ std::vector<std::string> check_html_report(std::string_view text) {
   return errors;
 }
 
+namespace {
+
+bool known_sarif_level(const std::string& level) {
+  return level == "none" || level == "note" || level == "warning" ||
+         level == "error";
+}
+
+void check_sarif_result(const JsonNode& result, std::size_t index,
+                        const std::vector<std::string>& rule_ids,
+                        std::vector<std::string>& errors) {
+  const std::string where = "sarif.results[" + std::to_string(index) + "]";
+  if (result.kind != JsonNode::Kind::kObject) {
+    errors.push_back(where + ": not an object");
+    return;
+  }
+  const JsonNode* rule_id =
+      require(result, "ruleId", JsonNode::Kind::kString, where, errors);
+  if (const JsonNode* rule_index = result.find("ruleIndex")) {
+    if (rule_index->kind != JsonNode::Kind::kNumber ||
+        rule_index->number < 0 ||
+        rule_index->number >= static_cast<double>(rule_ids.size())) {
+      errors.push_back(where + ": ruleIndex out of range");
+    } else if (rule_id != nullptr &&
+               rule_ids[static_cast<std::size_t>(rule_index->number)] !=
+                   rule_id->string) {
+      errors.push_back(where + ": ruleIndex does not match ruleId \"" +
+                       rule_id->string + "\"");
+    }
+  }
+  if (const JsonNode* level =
+          require(result, "level", JsonNode::Kind::kString, where, errors)) {
+    if (!known_sarif_level(level->string)) {
+      errors.push_back(where + ": unknown level \"" + level->string + "\"");
+    }
+  }
+  if (const JsonNode* message = require(result, "message",
+                                        JsonNode::Kind::kObject, where,
+                                        errors)) {
+    require(*message, "text", JsonNode::Kind::kString, where + ".message",
+            errors);
+  }
+  const JsonNode* locations =
+      require(result, "locations", JsonNode::Kind::kArray, where, errors);
+  if (locations == nullptr) return;
+  for (std::size_t l = 0; l < locations->items.size(); ++l) {
+    const std::string lwhere = where + ".locations[" + std::to_string(l) + "]";
+    const JsonNode& loc = locations->items[l];
+    if (loc.kind != JsonNode::Kind::kObject) {
+      errors.push_back(lwhere + ": not an object");
+      continue;
+    }
+    const JsonNode* phys = require(loc, "physicalLocation",
+                                   JsonNode::Kind::kObject, lwhere, errors);
+    if (phys == nullptr) continue;
+    if (const JsonNode* artifact =
+            require(*phys, "artifactLocation", JsonNode::Kind::kObject,
+                    lwhere, errors)) {
+      require(*artifact, "uri", JsonNode::Kind::kString,
+              lwhere + ".artifactLocation", errors);
+    }
+    if (const JsonNode* region = require(*phys, "region",
+                                         JsonNode::Kind::kObject, lwhere,
+                                         errors)) {
+      const JsonNode* start = require(*region, "startLine",
+                                      JsonNode::Kind::kNumber,
+                                      lwhere + ".region", errors);
+      if (start != nullptr && start->number < 1) {
+        errors.push_back(lwhere + ".region: startLine < 1");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_sarif_json(std::string_view text) {
+  std::string parse_error;
+  std::optional<JsonNode> root = parse_json(text, &parse_error);
+  if (!root) return {parse_error};
+  std::vector<std::string> errors;
+  if (root->kind != JsonNode::Kind::kObject) {
+    return {"sarif: root is not an object"};
+  }
+  if (const JsonNode* version =
+          require(*root, "version", JsonNode::Kind::kString, "sarif",
+                  errors)) {
+    if (version->string != "2.1.0") {
+      errors.push_back("sarif: version is \"" + version->string +
+                       "\", expected \"2.1.0\"");
+    }
+  }
+  const JsonNode* runs =
+      require(*root, "runs", JsonNode::Kind::kArray, "sarif", errors);
+  if (runs == nullptr) return errors;
+  if (runs->items.empty()) errors.push_back("sarif: \"runs\" is empty");
+  for (std::size_t r = 0; r < runs->items.size(); ++r) {
+    const std::string where = "sarif.runs[" + std::to_string(r) + "]";
+    const JsonNode& run = runs->items[r];
+    if (run.kind != JsonNode::Kind::kObject) {
+      errors.push_back(where + ": not an object");
+      continue;
+    }
+    std::vector<std::string> rule_ids;
+    const JsonNode* tool =
+        require(run, "tool", JsonNode::Kind::kObject, where, errors);
+    const JsonNode* driver =
+        tool == nullptr ? nullptr
+                        : require(*tool, "driver", JsonNode::Kind::kObject,
+                                  where + ".tool", errors);
+    if (driver != nullptr) {
+      require(*driver, "name", JsonNode::Kind::kString,
+              where + ".tool.driver", errors);
+      if (const JsonNode* rules =
+              require(*driver, "rules", JsonNode::Kind::kArray,
+                      where + ".tool.driver", errors)) {
+        for (std::size_t i = 0; i < rules->items.size(); ++i) {
+          const std::string rwhere =
+              where + ".tool.driver.rules[" + std::to_string(i) + "]";
+          const JsonNode& rule = rules->items[i];
+          if (rule.kind != JsonNode::Kind::kObject) {
+            errors.push_back(rwhere + ": not an object");
+            rule_ids.emplace_back();
+            continue;
+          }
+          const JsonNode* id =
+              require(rule, "id", JsonNode::Kind::kString, rwhere, errors);
+          rule_ids.push_back(id == nullptr ? std::string() : id->string);
+          if (const JsonNode* config = rule.find("defaultConfiguration")) {
+            const JsonNode* level =
+                config->kind == JsonNode::Kind::kObject ? config->find("level")
+                                                        : nullptr;
+            if (level == nullptr ||
+                level->kind != JsonNode::Kind::kString ||
+                !known_sarif_level(level->string)) {
+              errors.push_back(rwhere +
+                               ": defaultConfiguration.level is not a known "
+                               "level");
+            }
+          }
+        }
+      }
+    }
+    const JsonNode* results =
+        require(run, "results", JsonNode::Kind::kArray, where, errors);
+    if (results == nullptr) continue;
+    for (std::size_t i = 0; i < results->items.size(); ++i) {
+      check_sarif_result(results->items[i], i, rule_ids, errors);
+    }
+  }
+  return errors;
+}
+
 std::vector<std::string> check_artifact(std::string_view filename,
                                         std::string_view bytes) {
+  if (ends_with(filename, ".sarif") || ends_with(filename, ".sarif.json")) {
+    return check_sarif_json(bytes);
+  }
   if (ends_with(filename, ".trace.json")) return check_trace_json(bytes);
   if (ends_with(filename, ".speedscope.json")) {
     return check_speedscope_json(bytes);

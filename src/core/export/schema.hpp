@@ -58,9 +58,16 @@ std::vector<std::string> check_collapsed_stacks(std::string_view text);
 /// pointing at a scheme or protocol-relative URL).
 std::vector<std::string> check_html_report(std::string_view text);
 
+/// SARIF 2.1.0 (numalint --export sarif): version "2.1.0", non-empty
+/// "runs", every run a tool.driver with a name and a rule table, every
+/// result a known level, a message.text, a ruleId consistent with its
+/// ruleIndex, and physical locations with a uri and a startLine >= 1.
+std::vector<std::string> check_sarif_json(std::string_view text);
+
 /// Dispatches on the artifact's file-name suffix (.trace.json,
 /// .speedscope.json, .collapsed.txt, .html — the names write_exports
-/// produces). Unknown names fail with a one-entry error vector.
+/// produces — plus .sarif / .sarif.json from numalint). Unknown names
+/// fail with a one-entry error vector.
 std::vector<std::string> check_artifact(std::string_view filename,
                                         std::string_view bytes);
 

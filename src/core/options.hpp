@@ -38,6 +38,10 @@ struct PipelineOptions {
   /// Sources for the static NUMA-antipattern analyzer; when non-empty the
   /// CLIs append a fused-findings pane to their reports (docs/lint.md).
   std::vector<std::string> lint_paths;
+  /// Directory for numalint's incremental per-file cache; empty disables
+  /// caching. Entries are keyed by content hash, so stale files can never
+  /// poison a run (docs/lint.md).
+  std::string lint_cache_dir;
 };
 
 }  // namespace numaprof

@@ -1,0 +1,49 @@
+// Finding baselines: CI gates on NEW findings only.
+//
+// A baseline is the accepted set of pre-existing findings, keyed by
+// (file, rule code, variable) with a count — deliberately NOT by line, so
+// unrelated edits that shift a finding up or down do not break the gate,
+// while a second instance of the same antipattern on the same variable
+// does. `numa_lint --write-baseline` seeds the file from the current
+// findings; `--baseline` subtracts it from subsequent runs, leaving only
+// regressions to feed the --werror exit-code contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+
+namespace numaprof::lint {
+
+struct Baseline {
+  /// (file, code, variable) -> accepted occurrence count.
+  std::map<std::tuple<std::string, std::string, std::string>, std::uint64_t>
+      counts;
+};
+
+/// Baseline accepting exactly `findings`.
+Baseline make_baseline(const std::vector<core::StaticFinding>& findings);
+
+/// Stable JSON rendering (sorted keys, byte-identical per content).
+std::string render_baseline(const Baseline& baseline);
+
+/// Parses a baseline document; nullopt + message on malformed input.
+std::optional<Baseline> parse_baseline(std::string_view text,
+                                       std::string* error);
+
+/// Reads and parses `path`; nullopt + message when unreadable/malformed.
+std::optional<Baseline> load_baseline(const std::string& path,
+                                      std::string* error);
+
+/// Returns the findings NOT covered by the baseline, preserving order.
+/// Each key suppresses at most its accepted count (earliest findings
+/// first); `suppressed`, when non-null, receives the number removed.
+std::vector<core::StaticFinding> apply_baseline(
+    const Baseline& baseline, std::vector<core::StaticFinding> findings,
+    std::size_t* suppressed = nullptr);
+
+}  // namespace numaprof::lint

@@ -1,0 +1,35 @@
+// Incremental cache for numalint's phase-1 artifacts.
+//
+// Phase 1 (lex + L1-L4 recognizers + IR + dataflow summary) is a pure
+// function of a file's bytes, so its result is cached in a directory of
+// JSON entries keyed by fnv1a64(path + '\0' + contents). A changed file
+// changes the key, so entries can never go stale — eviction is just
+// deleting files. The cache is strictly an accelerator: every failure
+// (missing dir, corrupt entry, unwritable disk) silently degrades to
+// recomputation, and a cached sweep is byte-identical to a cold one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lint/numalint.hpp"
+
+namespace numaprof::lint {
+
+/// Cache key for one file's phase-1 artifact.
+std::uint64_t phase1_cache_key(std::string_view file,
+                               std::string_view content) noexcept;
+
+/// Loads the entry for `key` from `dir`; nullopt on miss or a corrupt /
+/// version-mismatched entry (which is then ignored, not an error).
+std::optional<FilePhase1> load_phase1_cache(const std::string& dir,
+                                            std::uint64_t key);
+
+/// Best-effort store via temp file + atomic rename (`salt` keeps
+/// concurrent writers' temp names distinct). Failures are silent.
+void store_phase1_cache(const std::string& dir, std::uint64_t key,
+                        const FilePhase1& artifact, unsigned salt = 0);
+
+}  // namespace numaprof::lint

@@ -1,0 +1,1294 @@
+#include "lint/ir.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "lint/lexer.hpp"
+
+namespace numaprof::lint::ir {
+
+std::string_view to_string(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kNone: return "none";
+    case Schedule::kStaticBlock: return "static";
+    case Schedule::kStaticChunk: return "static-chunk";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+int Function::param_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Function::is_local_alloc(std::string_view name) const noexcept {
+  for (const std::string& l : local_allocs) {
+    if (l == name) return true;
+  }
+  return false;
+}
+
+std::pair<int, std::size_t> Function::order_of(int block,
+                                               std::size_t pos) const {
+  const int rpo =
+      block >= 0 && static_cast<std::size_t>(block) < blocks.size()
+          ? blocks[static_cast<std::size_t>(block)].rpo
+          : 0;
+  return {rpo, pos};
+}
+
+namespace {
+
+bool thread_id_name(const std::string& s) {
+  return s == "tid" || s == "index" || s == "thread_id" || s == "thread_num" ||
+         s == "rank" || s == "me" || s == "worker";
+}
+
+bool known_linear_call(const std::string& s) {
+  return s == "elem_addr" || s == "block_slice" || s == "min" || s == "max" ||
+         s == "size" || s == "begin" || s == "end" || s == "data" ||
+         s == "sizeof";
+}
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",    "switch",   "catch",
+      "return",   "sizeof",   "new",      "delete",   "throw",
+      "alignof",  "decltype", "alignas",  "noexcept", "operator",
+      "case",     "goto",     "do",       "else",     "co_return",
+      "co_await", "static_assert"};
+  return kw.count(s) > 0;
+}
+
+bool is_type_name(const std::string& s) {
+  static const std::set<std::string> ty = {
+      "void",     "bool",    "char",     "short",    "int",      "long",
+      "unsigned", "signed",  "float",    "double",   "auto",     "size_t",
+      "int8_t",   "int16_t", "int32_t",  "int64_t",  "uint8_t",  "uint16_t",
+      "uint32_t", "uint64_t", "ptrdiff_t", "intptr_t", "uintptr_t",
+      "const",    "static",  "volatile", "constexpr", "extern",  "register",
+      "mutable",  "inline",  "std",      "VAddr"};
+  return ty.count(s) > 0;
+}
+
+/// Functions we never treat as user call sites: language keywords, libc
+/// memory/IO helpers, the simulator DSL's structural forms, and OpenMP
+/// runtime queries. Anything else named `f(...)` becomes a CallSite.
+bool is_blocked_callee(const std::string& s) {
+  static const std::set<std::string> blocked = {
+      "malloc",        "free",          "calloc",        "realloc",
+      "memset",        "memcpy",        "memmove",       "printf",
+      "fprintf",       "snprintf",      "sprintf",       "puts",
+      "exit",          "abort",         "assert",        "defined",
+      "static_cast",   "dynamic_cast",  "reinterpret_cast", "const_cast",
+      "parallel_region", "parallel_for", "block_slice",  "elem_addr",
+      "store_lines",   "load_lines",    "to_string",     "move",
+      "omp_get_thread_num", "omp_get_num_threads", "omp_get_max_threads",
+      "omp_set_num_threads", "omp_get_wtime"};
+  return is_keyword(s) || is_type_name(s) || known_linear_call(s) ||
+         blocked.count(s) > 0;
+}
+
+bool is_assign_op(const Token& t) {
+  if (t.kind != TokKind::kPunct) return false;
+  const std::string& s = t.text;
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+         s == ">>=";
+}
+
+int to_int(const std::string& s) {
+  return static_cast<int>(std::strtol(s.c_str(), nullptr, 0));
+}
+
+/// Parallel context at a token position, resolved from the innermost
+/// enclosing region plus any thread-guard range.
+struct Ctx {
+  bool parallel = false;
+  bool guarded = false;
+  Schedule sched = Schedule::kNone;
+  int chunk = 0;
+  bool blocked = false;
+  std::string loop_var;  // omp-for induction variable, if known
+};
+
+struct Region {
+  std::size_t begin = 0, end = 0;  // body token range
+  bool parallel = false;
+  Schedule sched = Schedule::kNone;
+  int chunk = 0;
+  bool blocked = false;
+  std::string loop_var;
+};
+
+class IrBuilder {
+ public:
+  IrBuilder(std::string_view source, std::string file) {
+    ir_.file = std::move(file);
+    LexResult lexed = lex(source);
+    toks_ = std::move(lexed.tokens);
+    build_matches();
+  }
+
+  FileIr build() {
+    collect_regions();
+    collect_guards();
+    collect_globals();
+    collect_functions();
+    return std::move(ir_);
+  }
+
+ private:
+  // -- token utilities --------------------------------------------------
+
+  std::size_t n() const { return toks_.size(); }
+  const Token& tok(std::size_t i) const { return toks_[i]; }
+  bool valid(std::size_t i) const { return i < toks_.size(); }
+
+  void build_matches() {
+    match_.assign(n(), SIZE_MAX);
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < n(); ++i) {
+      if (tok(i).kind != TokKind::kPunct) continue;
+      const std::string& t = tok(i).text;
+      if (t == "(" || t == "{" || t == "[") {
+        stack.push_back(i);
+      } else if (t == ")" || t == "}" || t == "]") {
+        const char open = t == ")" ? '(' : (t == "}" ? '{' : '[');
+        while (!stack.empty() && tok(stack.back()).text[0] != open) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          match_[stack.back()] = i;
+          match_[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  std::size_t matching(std::size_t i) const {
+    return match_[i] == SIZE_MAX ? n() : match_[i];
+  }
+
+  struct Chain {
+    std::string text;
+    std::string first;
+    std::size_t end = 0;
+  };
+
+  /// ident ('::'|'.'|'->' ident | '[...]' -> "[]")*
+  Chain read_chain(std::size_t i) const {
+    Chain c;
+    if (!valid(i) || tok(i).kind != TokKind::kIdent) {
+      c.end = i;
+      return c;
+    }
+    c.first = tok(i).text;
+    c.text = tok(i).text;
+    std::size_t p = i + 1;
+    while (valid(p)) {
+      const std::string& t = tok(p).text;
+      if (tok(p).kind == TokKind::kPunct &&
+          (t == "." || t == "->" || t == "::") && valid(p + 1) &&
+          tok(p + 1).kind == TokKind::kIdent) {
+        c.text += (t == "::") ? "::" : ".";
+        c.text += tok(p + 1).text;
+        p += 2;
+        continue;
+      }
+      if (tok(p).is_punct("[") && matching(p) < n()) {
+        c.text += "[]";
+        p = matching(p) + 1;
+        continue;
+      }
+      break;
+    }
+    c.end = p;
+    return c;
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> split_args(
+      std::size_t open) const {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    const std::size_t close = matching(open);
+    if (close >= n()) return args;
+    std::size_t start = open + 1;
+    std::size_t depth = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const std::string& t = tok(i).text;
+      if (tok(i).kind == TokKind::kPunct) {
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        if (t == ")" || t == "]" || t == "}") --depth;
+        if (t == "," && depth == 0) {
+          args.emplace_back(start, i);
+          start = i + 1;
+        }
+      }
+    }
+    if (start < close || close > open + 1) args.emplace_back(start, close);
+    return args;
+  }
+
+  std::size_t stmt_start(std::size_t i) const {
+    while (i > 0) {
+      const Token& t = tok(i - 1);
+      if (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) break;
+      --i;
+    }
+    return i;
+  }
+
+  /// Base identifier of the chain ending at token `e`, or SIZE_MAX.
+  std::size_t chain_base_before(std::size_t e) const {
+    if (!valid(e)) return SIZE_MAX;
+    std::size_t i = e;
+    int guard = 0;
+    while (guard++ < 64) {
+      const Token& t = tok(i);
+      if (t.is_punct("]") && match_[i] != SIZE_MAX && match_[i] < i) {
+        i = match_[i];
+        if (i == 0) return SIZE_MAX;
+        --i;
+        continue;
+      }
+      if (t.kind == TokKind::kIdent) {
+        if (i == 0) return 0;
+        const Token& prev = tok(i - 1);
+        if (prev.is_punct(".") || prev.is_punct("->") || prev.is_punct("::")) {
+          if (i < 2) return SIZE_MAX;
+          i -= 2;
+          continue;
+        }
+        return i;
+      }
+      return SIZE_MAX;
+    }
+    return SIZE_MAX;
+  }
+
+  /// The '=' that assigns the statement's lvalue before `i`, or SIZE_MAX.
+  std::size_t assignment_before(std::size_t i) const {
+    const std::size_t s = stmt_start(i);
+    std::size_t eq = SIZE_MAX;
+    for (std::size_t k = s; k < i; ++k) {
+      if (tok(k).is_punct("=")) eq = k;
+    }
+    return eq;
+  }
+
+  /// Token range of the construct starting at `p`: a brace block or a
+  /// single statement (used for pragma bodies and guard bodies).
+  std::pair<std::size_t, std::size_t> construct_range(std::size_t p) const {
+    if (!valid(p)) return {p, p};
+    if (tok(p).is_punct("{") && matching(p) < n()) {
+      return {p + 1, matching(p)};
+    }
+    std::size_t q = p;
+    int guard = 0;
+    while (valid(q) && !tok(q).is_punct(";") && guard++ < 4096) {
+      if ((tok(q).is_punct("(") || tok(q).is_punct("{") ||
+           tok(q).is_punct("[")) &&
+          matching(q) < n()) {
+        q = matching(q);
+      }
+      ++q;
+    }
+    return {p, q};
+  }
+
+  // -- regions ----------------------------------------------------------
+
+  /// OpenMP pragmas, with `\` line continuations honored: a pragma's
+  /// clauses extend onto the next line when the current one ends in a
+  /// backslash (the satellite lexer fix keeps the token stream intact;
+  /// this keeps the clause scan following it).
+  void collect_omp_regions() {
+    for (std::size_t i = 0; i + 2 < n(); ++i) {
+      if (!tok(i).is_punct("#") || !tok(i + 1).is_ident("pragma") ||
+          !tok(i + 2).is_ident("omp")) {
+        continue;
+      }
+      std::uint32_t cur_line = tok(i).line;
+      std::size_t p = i + 3;
+      bool parallel = false, omp_for = false, serial = false, guard = false;
+      Schedule sched = Schedule::kNone;
+      int chunk = 0;
+      while (valid(p)) {
+        if (tok(p).line != cur_line) break;
+        if (tok(p).is_punct("\\") && valid(p + 1) &&
+            tok(p + 1).line == cur_line + 1) {
+          ++cur_line;
+          ++p;
+          continue;
+        }
+        if (tok(p).kind == TokKind::kIdent) {
+          const std::string& w = tok(p).text;
+          if (w == "parallel") parallel = true;
+          if (w == "for") omp_for = true;
+          if (w == "single" || w == "master" || w == "critical") guard = true;
+          if ((w == "num_threads" || w == "schedule") && valid(p + 1) &&
+              tok(p + 1).is_punct("(") && matching(p + 1) < n()) {
+            const auto args = split_args(p + 1);
+            if (w == "num_threads" && !args.empty() &&
+                args[0].second == args[0].first + 1 &&
+                tok(args[0].first).text == "1") {
+              serial = true;
+            }
+            if (w == "schedule" && !args.empty() &&
+                tok(args[0].first).kind == TokKind::kIdent) {
+              const std::string& k = tok(args[0].first).text;
+              if (k == "static") {
+                sched = Schedule::kStaticBlock;
+              } else if (k == "dynamic" || k == "guided") {
+                sched = Schedule::kDynamic;
+              } else {
+                sched = Schedule::kRuntime;  // runtime / auto
+              }
+              if (args.size() > 1 && args[1].first < args[1].second &&
+                  tok(args[1].first).kind == TokKind::kNumber) {
+                chunk = to_int(tok(args[1].first).text);
+                if (k == "static" && chunk > 0) sched = Schedule::kStaticChunk;
+              }
+            }
+            const std::size_t m = matching(p + 1);
+            cur_line = tok(m).line;
+            p = m + 1;
+            continue;
+          }
+        }
+        ++p;
+      }
+      if (!valid(p) || serial) continue;
+      if (guard && !omp_for && !parallel) {
+        // Orphaned single/master/critical: everything under it runs on
+        // one thread — a guard range, not a region.
+        const auto [gb, ge] = construct_range(p);
+        if (gb < ge) guards_.emplace_back(gb, ge);
+        continue;
+      }
+      if (guard) {
+        const auto [gb, ge] = construct_range(p);
+        if (gb < ge) guards_.emplace_back(gb, ge);
+        continue;
+      }
+      if (!parallel && !omp_for) continue;
+      Region r;
+      r.parallel = true;
+      if (omp_for) {
+        r.blocked = true;
+        if (sched == Schedule::kNone) sched = Schedule::kStaticBlock;
+      }
+      r.sched = sched;
+      r.chunk = chunk;
+      if (tok(p).is_punct("{") && matching(p) < n()) {
+        r.begin = p + 1;
+        r.end = matching(p);
+      } else if (tok(p).is_ident("for") || tok(p).is_ident("while")) {
+        if (tok(p).is_ident("for") && valid(p + 1) && tok(p + 1).is_punct("(")) {
+          const std::size_t hclose = matching(p + 1);
+          for (std::size_t k = p + 2; k + 1 < hclose && k + 1 < n(); ++k) {
+            if (tok(k).is_punct(";")) break;
+            if (tok(k).kind == TokKind::kIdent && tok(k + 1).is_punct("=")) {
+              r.loop_var = tok(k).text;
+              break;
+            }
+          }
+        }
+        const auto [rb, re] = construct_range(p);
+        r.begin = rb;
+        r.end = re;
+      } else {
+        continue;
+      }
+      if (r.end > n() || r.begin >= r.end) continue;
+      regions_.push_back(std::move(r));
+    }
+  }
+
+  /// Simulator DSL: parallel_region(machine, COUNT, "name", base, lambda)
+  /// and parallel_for(..., sched, chunk, body).
+  void collect_dsl_regions() {
+    for (std::size_t i = 0; i + 1 < n(); ++i) {
+      if (!(tok(i).is_ident("parallel_region") ||
+            tok(i).is_ident("parallel_for")) ||
+          !tok(i + 1).is_punct("(")) {
+        continue;
+      }
+      const auto args = split_args(i + 1);
+      if (args.size() < 3) continue;
+      Region r;
+      const auto [cb, ce] = args[1];
+      r.parallel = !(ce == cb + 1 && tok(cb).kind == TokKind::kNumber &&
+                     tok(cb).text == "1");
+      std::string count_last;
+      for (std::size_t k = cb; k < ce; ++k) {
+        if (tok(k).kind == TokKind::kIdent) count_last = tok(k).text;
+      }
+      // Explicit schedule idents in the non-body arguments.
+      for (std::size_t a = 2; a + 1 < args.size(); ++a) {
+        for (std::size_t k = args[a].first; k < args[a].second; ++k) {
+          if (tok(k).kind != TokKind::kIdent) continue;
+          const std::string& w = tok(k).text;
+          if (w == "dynamic" || w == "kDynamic" || w == "guided") {
+            r.sched = Schedule::kDynamic;
+          } else if ((w == "static" || w == "kStatic" ||
+                      w == "kStaticBlock") &&
+                     r.sched == Schedule::kNone) {
+            r.sched = Schedule::kStaticBlock;
+          }
+        }
+      }
+      // Body: first '{' inside the last argument.
+      const auto [lb, le] = args.back();
+      for (std::size_t k = lb; k < le; ++k) {
+        if (tok(k).is_punct("{") && matching(k) < n()) {
+          r.begin = k + 1;
+          r.end = matching(k);
+          break;
+        }
+      }
+      if (r.begin == 0 || r.begin >= r.end) continue;
+      bool round_robin = false;
+      for (std::size_t k = r.begin; k < r.end; ++k) {
+        if (tok(k).is_ident("block_slice") || tok(k).is_ident("schedule")) {
+          r.blocked = true;
+        }
+        if (tok(k).is_punct("+=") && valid(k + 1)) {
+          Chain c = read_chain(k + 1);
+          std::string last = c.text;
+          const std::size_t dot = last.rfind('.');
+          if (dot != std::string::npos) last = last.substr(dot + 1);
+          if (!last.empty() &&
+              (last == count_last || last == "threads" || last == "nthreads" ||
+               last == "num_threads")) {
+            round_robin = true;
+          }
+        }
+      }
+      if (r.blocked && r.sched == Schedule::kNone) {
+        r.sched = Schedule::kStaticBlock;
+      } else if (round_robin && !r.blocked) {
+        r.sched = Schedule::kStaticChunk;
+        r.chunk = 1;
+        r.blocked = true;
+      }
+      regions_.push_back(std::move(r));
+    }
+  }
+
+  void collect_regions() {
+    collect_dsl_regions();
+    collect_omp_regions();
+    std::sort(regions_.begin(), regions_.end(),
+              [](const Region& a, const Region& b) { return a.begin < b.begin; });
+  }
+
+  void collect_guards() {
+    for (std::size_t i = 0; i + 1 < n(); ++i) {
+      if (!tok(i).is_ident("if") || !tok(i + 1).is_punct("(")) continue;
+      const std::size_t cond_close = matching(i + 1);
+      if (cond_close >= n()) continue;
+      bool guarded = false;
+      for (std::size_t k = i + 2; k < cond_close; ++k) {
+        if (tok(k).kind != TokKind::kIdent) continue;
+        Chain c = read_chain(k);
+        std::string last = c.text;
+        const std::size_t dot = last.find_last_of(".:");
+        if (dot != std::string::npos) last = last.substr(dot + 1);
+        // tid == 0  |  0 == tid
+        if (thread_id_name(last)) {
+          if (valid(c.end + 1) && tok(c.end).is_punct("==") &&
+              tok(c.end + 1).text == "0") {
+            guarded = true;
+          }
+          if (k >= 2 && tok(k - 1).is_punct("==") && tok(k - 2).text == "0") {
+            guarded = true;
+          }
+        }
+        k = c.end > k ? c.end - 1 : k;
+      }
+      if (!guarded) continue;
+      const auto [gb, ge] = construct_range(cond_close + 1);
+      if (gb < ge) guards_.emplace_back(gb, ge);
+    }
+  }
+
+  Ctx ctx_at(std::size_t pos) const {
+    Ctx c;
+    const Region* best = nullptr;
+    std::size_t best_span = SIZE_MAX;
+    for (const Region& r : regions_) {
+      if (r.begin <= pos && pos < r.end && r.end - r.begin < best_span) {
+        best = &r;
+        best_span = r.end - r.begin;
+      }
+    }
+    if (best != nullptr && best->parallel) {
+      c.parallel = true;
+      c.sched = best->sched;
+      c.chunk = best->chunk;
+      c.blocked = best->blocked;
+      c.loop_var = best->loop_var;
+    }
+    for (const auto& [gb, ge] : guards_) {
+      if (gb <= pos && pos < ge) c.guarded = true;
+    }
+    return c;
+  }
+
+  // -- globals ----------------------------------------------------------
+
+  char brace_kind(std::size_t open) const {
+    if (open > 0 && tok(open - 1).is_punct(")")) return 'c';
+    if (open > 0 && (tok(open - 1).is_ident("else") ||
+                     tok(open - 1).is_ident("do") ||
+                     tok(open - 1).is_ident("try"))) {
+      return 'c';
+    }
+    for (std::size_t k = stmt_start(open); k < open; ++k) {
+      if (tok(k).is_ident("namespace")) return 'n';
+      if (tok(k).is_ident("struct") || tok(k).is_ident("class") ||
+          tok(k).is_ident("union") || tok(k).is_ident("enum")) {
+        return 's';
+      }
+    }
+    return 'i';
+  }
+
+  /// Skips a '#' directive line (with `\` continuations).
+  std::size_t skip_directive(std::size_t i) const {
+    std::uint32_t line = tok(i).line;
+    ++i;
+    while (valid(i)) {
+      if (tok(i).line != line) {
+        break;
+      }
+      if (tok(i).is_punct("\\") && valid(i + 1) &&
+          tok(i + 1).line == line + 1) {
+        ++line;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  void collect_globals() {
+    std::size_t i = 0;
+    int guard = 0;
+    const int max_iter = static_cast<int>(n()) * 2 + 16;
+    while (i < n() && guard++ < max_iter) {
+      const Token& t = tok(i);
+      if (t.is_punct("#")) {
+        i = skip_directive(i);
+        continue;
+      }
+      if (t.is_punct("{")) {
+        if (brace_kind(i) == 'n') {
+          ++i;  // descend into namespaces
+        } else {
+          i = matching(i) < n() ? matching(i) + 1 : i + 1;
+        }
+        continue;
+      }
+      if (t.is_punct("}") || t.is_punct(";")) {
+        ++i;
+        continue;
+      }
+      // One file-scope statement.
+      const std::size_t s = i;
+      bool has_paren = false, has_body = false;
+      std::vector<std::size_t> flat;
+      while (valid(i)) {
+        const Token& u = tok(i);
+        if (u.is_punct(";")) {
+          ++i;
+          break;
+        }
+        if (u.is_punct("#") || u.is_punct("}")) break;
+        if (u.is_punct("(")) {
+          has_paren = true;
+          i = matching(i) < n() ? matching(i) + 1 : i + 1;
+          continue;
+        }
+        if (u.is_punct("[")) {
+          flat.push_back(i);
+          i = matching(i) < n() ? matching(i) + 1 : i + 1;
+          continue;
+        }
+        if (u.is_punct("{")) {
+          if (brace_kind(i) == 'i') {
+            i = matching(i) < n() ? matching(i) + 1 : i + 1;
+            continue;
+          }
+          has_body = true;  // function / struct definition ends the stmt
+          i = matching(i) < n() ? matching(i) + 1 : i + 1;
+          if (valid(i) && tok(i).is_punct(";")) ++i;
+          break;
+        }
+        flat.push_back(i);
+        ++i;
+      }
+      if (has_paren || has_body || flat.empty()) continue;
+      const Token& head = tok(flat.front());
+      if (head.kind == TokKind::kIdent &&
+          (head.is_ident("using") || head.is_ident("typedef") ||
+           head.is_ident("template") || head.is_ident("namespace") ||
+           head.is_ident("struct") || head.is_ident("class") ||
+           head.is_ident("enum") || head.is_ident("friend"))) {
+        continue;
+      }
+      // name = last ident before the initializer; require a second ident
+      // or a '*' so lone expressions don't register.
+      std::size_t idents = 0;
+      bool star = false, is_extern = false;
+      std::size_t name_at = SIZE_MAX;
+      for (std::size_t k : flat) {
+        if (tok(k).is_punct("=")) break;
+        if (tok(k).is_punct("*") || tok(k).is_punct("&")) star = true;
+        if (tok(k).kind == TokKind::kIdent) {
+          ++idents;
+          if (tok(k).is_ident("extern")) is_extern = true;
+          if (!is_keyword(tok(k).text)) name_at = k;
+        }
+      }
+      if (name_at == SIZE_MAX || (idents < 2 && !star)) continue;
+      const std::string& name = tok(name_at).text;
+      if (is_type_name(name)) continue;
+      bool known = false;
+      for (Global& g : ir_.globals) {
+        if (g.name == name) {
+          // The defining declaration wins over an extern one.
+          if (g.is_extern && !is_extern) {
+            g.line = tok(s).line;
+            g.is_extern = false;
+          }
+          known = true;
+        }
+      }
+      if (!known) {
+        ir_.globals.push_back(Global{name, tok(s).line, is_extern});
+        global_names_.insert(name);
+      }
+    }
+  }
+
+  // -- functions --------------------------------------------------------
+
+  void collect_functions() {
+    for (std::size_t i = 0; i + 1 < n(); ++i) {
+      if (tok(i).kind != TokKind::kIdent || !tok(i + 1).is_punct("(")) {
+        continue;
+      }
+      if (i > 0 &&
+          (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->"))) {
+        continue;
+      }
+      if (is_keyword(tok(i).text) || is_type_name(tok(i).text)) continue;
+      const std::size_t close = matching(i + 1);
+      if (close >= n()) continue;
+      // Find the body '{' past cv-qualifiers, noexcept, trailing return
+      // types, and constructor init lists.
+      std::size_t p = close + 1;
+      bool found = false, after_colon = false;
+      int guard = 0;
+      while (valid(p) && guard++ < 96) {
+        const Token& t = tok(p);
+        if (t.is_punct(";") || t.is_punct("}") || t.is_punct("=")) break;
+        if (t.is_punct("(") || t.is_punct("[")) {
+          const std::size_t m = matching(p);
+          if (m >= n()) break;
+          p = m + 1;
+          continue;
+        }
+        if (t.is_punct(":")) {
+          after_colon = true;
+          ++p;
+          continue;
+        }
+        if (t.is_punct("{")) {
+          // In an init list, `member{init}` braces follow an identifier;
+          // the body brace follows ')' or '}'.
+          if (after_colon && p > 0 && tok(p - 1).kind == TokKind::kIdent) {
+            const std::size_t m = matching(p);
+            if (m >= n()) break;
+            p = m + 1;
+            continue;
+          }
+          found = true;
+          break;
+        }
+        if (t.kind == TokKind::kIdent || t.is_punct("->") ||
+            t.is_punct("::") || t.is_punct("<") || t.is_punct(">") ||
+            t.is_punct("&") || t.is_punct("&&") || t.is_punct("*") ||
+            (after_colon && t.is_punct(","))) {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      if (!found) continue;
+      const std::size_t body_open = p;
+      const std::size_t body_close = matching(body_open);
+      if (body_close >= n()) continue;
+
+      Function fn;
+      fn.name = tok(i).text;
+      fn.file = ir_.file;
+      fn.line = tok(i).line;
+      parse_params(fn, i + 1);
+      intervals_.clear();
+      fn.blocks.push_back(BasicBlock{});  // entry
+      const int exit_block =
+          cfg_seq(fn, body_open + 1, body_close, 0, 0);
+      (void)exit_block;
+      compute_rpo(fn);
+      analyze_body(fn, body_open + 1, body_close);
+      ir_.functions.push_back(std::move(fn));
+    }
+  }
+
+  void parse_params(Function& fn, std::size_t open) {
+    for (const auto& [b, e] : split_args(open)) {
+      if (b >= e) continue;
+      if (e == b + 1 && tok(b).is_ident("void")) continue;
+      Param prm;
+      std::size_t limit = e;
+      for (std::size_t k = b; k < e; ++k) {
+        if (tok(k).is_punct("=")) {
+          limit = k;
+          break;
+        }
+      }
+      std::size_t name_at = SIZE_MAX;
+      for (std::size_t k = b; k < limit && k < n(); ++k) {
+        if (tok(k).kind == TokKind::kIdent && !is_keyword(tok(k).text)) {
+          name_at = k;
+        }
+        if (tok(k).is_punct("*") || tok(k).is_punct("&") ||
+            tok(k).is_punct("&&") || tok(k).is_punct("[") ||
+            tok(k).is_ident("VAddr")) {
+          prm.pointer_like = true;
+        }
+      }
+      if (name_at != SIZE_MAX) {
+        const std::size_t nx = name_at + 1;
+        if (nx >= limit || tok(nx).is_punct("[")) {
+          if (!is_type_name(tok(name_at).text)) prm.name = tok(name_at).text;
+        }
+      }
+      fn.params.push_back(std::move(prm));
+    }
+  }
+
+  // -- CFG --------------------------------------------------------------
+
+  struct Interval {
+    std::size_t b = 0, e = 0;
+    int block = 0;
+  };
+
+  int cfg_new_block(Function& fn) {
+    fn.blocks.push_back(BasicBlock{});
+    return static_cast<int>(fn.blocks.size()) - 1;
+  }
+
+  void cfg_edge(Function& fn, int a, int b) {
+    if (a >= 0 && static_cast<std::size_t>(a) < fn.blocks.size()) {
+      fn.blocks[static_cast<std::size_t>(a)].succ.push_back(b);
+    }
+  }
+
+  void add_interval(std::size_t b, std::size_t e, int block) {
+    if (b < e) intervals_.push_back(Interval{b, e, block});
+  }
+
+  /// One past the end of the statement starting at `p` (structured:
+  /// follows if/else, loop bodies, and brace blocks).
+  std::size_t stmt_end(std::size_t p, std::size_t limit, int depth) const {
+    if (!valid(p) || p >= limit) return limit;
+    if (depth > 48) {  // fuzz safety: flatten pathological nesting
+      return std::min(limit, p + 1);
+    }
+    if (tok(p).is_punct("{")) {
+      const std::size_t m = matching(p);
+      return m < limit ? m + 1 : limit;
+    }
+    if (tok(p).is_ident("if") || tok(p).is_ident("for") ||
+        tok(p).is_ident("while") || tok(p).is_ident("switch")) {
+      std::size_t q = p + 1;
+      if (valid(q) && tok(q).is_punct("(")) {
+        const std::size_t m = matching(q);
+        if (m >= limit) return limit;
+        q = m + 1;
+      }
+      q = stmt_end(q, limit, depth + 1);
+      if (tok(p).is_ident("if") && q < limit && tok(q).is_ident("else")) {
+        q = stmt_end(q + 1, limit, depth + 1);
+      }
+      return q;
+    }
+    if (tok(p).is_ident("do")) {
+      std::size_t q = stmt_end(p + 1, limit, depth + 1);
+      if (q < limit && tok(q).is_ident("while") && valid(q + 1) &&
+          tok(q + 1).is_punct("(")) {
+        const std::size_t m = matching(q + 1);
+        q = m < limit ? m + 1 : limit;
+        if (q < limit && tok(q).is_punct(";")) ++q;
+      }
+      return q;
+    }
+    std::size_t i = p;
+    while (i < limit) {
+      if (tok(i).is_punct(";")) return i + 1;
+      if (tok(i).is_punct("}")) return i;
+      if (tok(i).is_punct("(") || tok(i).is_punct("[") ||
+          tok(i).is_punct("{")) {
+        const std::size_t m = matching(i);
+        if (m < limit) {
+          i = m + 1;
+          continue;
+        }
+        return limit;
+      }
+      ++i;
+    }
+    return limit;
+  }
+
+  /// Lowers [b, e) into blocks starting from `cur`; returns the block
+  /// control falls out of.
+  int cfg_seq(Function& fn, std::size_t b, std::size_t e, int cur,
+              int depth) {
+    std::size_t i = b;
+    int guard = 0;
+    const int max_iter = static_cast<int>(e - b) + 16;
+    while (i < e && i < n() && guard++ < max_iter) {
+      if (depth < 48 && tok(i).is_ident("if") && valid(i + 1) &&
+          tok(i + 1).is_punct("(") && matching(i + 1) < e) {
+        const std::size_t cclose = matching(i + 1);
+        add_interval(i, cclose + 1, cur);
+        const std::size_t tb = cclose + 1;
+        const std::size_t te = stmt_end(tb, e, 0);
+        const int then_entry = cfg_new_block(fn);
+        cfg_edge(fn, cur, then_entry);
+        const int then_exit = cfg_seq(fn, tb, te, then_entry, depth + 1);
+        std::size_t after = te;
+        const int join = cfg_new_block(fn);
+        if (after < e && tok(after).is_ident("else")) {
+          const std::size_t eb = after + 1;
+          const std::size_t ee = stmt_end(eb, e, 0);
+          const int else_entry = cfg_new_block(fn);
+          cfg_edge(fn, cur, else_entry);
+          const int else_exit = cfg_seq(fn, eb, ee, else_entry, depth + 1);
+          cfg_edge(fn, else_exit, join);
+          after = ee;
+        } else {
+          cfg_edge(fn, cur, join);
+        }
+        cfg_edge(fn, then_exit, join);
+        cur = join;
+        i = std::max(after, i + 1);
+        continue;
+      }
+      if (depth < 48 &&
+          (tok(i).is_ident("for") || tok(i).is_ident("while")) &&
+          valid(i + 1) && tok(i + 1).is_punct("(") && matching(i + 1) < e) {
+        const std::size_t cclose = matching(i + 1);
+        const int header = cfg_new_block(fn);
+        cfg_edge(fn, cur, header);
+        add_interval(i, cclose + 1, header);
+        const std::size_t bb = cclose + 1;
+        const std::size_t be = stmt_end(bb, e, 0);
+        const int body_entry = cfg_new_block(fn);
+        cfg_edge(fn, header, body_entry);
+        const int body_exit = cfg_seq(fn, bb, be, body_entry, depth + 1);
+        cfg_edge(fn, body_exit, header);
+        const int exit = cfg_new_block(fn);
+        cfg_edge(fn, header, exit);
+        cur = exit;
+        i = std::max(be, i + 1);
+        continue;
+      }
+      if (tok(i).is_punct("{") && matching(i) < e) {
+        cur = cfg_seq(fn, i + 1, matching(i), cur, depth + 1);
+        i = matching(i) + 1;
+        continue;
+      }
+      std::size_t se = stmt_end(i, e, 0);
+      if (se <= i) se = i + 1;
+      add_interval(i, se, cur);
+      i = se;
+    }
+    return cur;
+  }
+
+  void compute_rpo(Function& fn) {
+    const int nb = static_cast<int>(fn.blocks.size());
+    std::vector<int> state(static_cast<std::size_t>(nb), 0);
+    std::vector<int> post;
+    post.reserve(static_cast<std::size_t>(nb));
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      const auto& succ = fn.blocks[static_cast<std::size_t>(v)].succ;
+      if (idx < succ.size()) {
+        const int w = succ[idx++];
+        if (w >= 0 && w < nb && state[static_cast<std::size_t>(w)] == 0) {
+          state[static_cast<std::size_t>(w)] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+    int rank = 0;
+    for (auto it = post.rbegin(); it != post.rend(); ++it) {
+      fn.blocks[static_cast<std::size_t>(*it)].rpo = rank++;
+    }
+    for (int v = 0; v < nb; ++v) {
+      if (state[static_cast<std::size_t>(v)] == 0) {
+        fn.blocks[static_cast<std::size_t>(v)].rpo = rank++;
+      }
+    }
+  }
+
+  int block_at(std::size_t pos) const {
+    int best = 0;
+    std::size_t best_span = SIZE_MAX;
+    for (const Interval& iv : intervals_) {
+      if (iv.b <= pos && pos < iv.e && iv.e - iv.b < best_span) {
+        best = iv.block;
+        best_span = iv.e - iv.b;
+      }
+    }
+    return best;
+  }
+
+  // -- body analysis ----------------------------------------------------
+
+  std::string resolve(const Function& fn, std::string name) const {
+    for (int hops = 0; hops < 8; ++hops) {
+      auto it = fn.aliases.find(name);
+      if (it == fn.aliases.end() || it->second == name) break;
+      name = it->second;
+    }
+    if (fn.param_index(name) >= 0) return name;
+    if (fn.is_local_alloc(name)) return name;
+    if (global_names_.count(name) > 0) return name;
+    return "";
+  }
+
+  void push_touch(Function& fn, std::string symbol, TouchKind kind,
+                  std::size_t pos, bool full_range, bool via_alias,
+                  std::string alias) {
+    const Ctx c = ctx_at(pos);
+    Touch t;
+    t.symbol = std::move(symbol);
+    t.kind = kind;
+    t.line = tok(pos).line;
+    t.parallel = c.parallel;
+    t.thread_guarded = c.guarded;
+    t.sched = c.sched;
+    t.chunk = c.chunk;
+    t.blocked = c.blocked;
+    t.full_range = full_range;
+    t.via_alias = via_alias;
+    t.alias = std::move(alias);
+    t.block = block_at(pos);
+    t.pos = pos;
+    fn.touches.push_back(std::move(t));
+  }
+
+  /// Does the index expression at `open` ('[') span the whole extent for
+  /// every thread? True for indirect (gather) indices and for indices
+  /// that ignore the partitioned loop variable.
+  bool index_full_range(const Ctx& c, std::size_t open) const {
+    if (!c.parallel) return false;
+    bool has_tid = false, has_loopvar = false, indirect = false;
+    const std::size_t close = matching(open);
+    std::size_t depth = 0;
+    for (std::size_t k = open + 1; k < close && k < n(); ++k) {
+      if (tok(k).is_punct("[")) ++depth;
+      if (tok(k).is_punct("]") && depth > 0) --depth;
+      if (tok(k).kind == TokKind::kIdent) {
+        if (thread_id_name(tok(k).text)) has_tid = true;
+        if (!c.loop_var.empty() && tok(k).text == c.loop_var) {
+          // The partitioned loop var inside a NESTED subscript means the
+          // outer index is loaded from another array: data-dependent.
+          if (depth == 0) {
+            has_loopvar = true;
+          } else {
+            indirect = true;
+          }
+        }
+        if (valid(k + 1) && tok(k + 1).is_punct("(") &&
+            !known_linear_call(tok(k).text)) {
+          indirect = true;
+        }
+      }
+    }
+    if (has_tid) return false;
+    if (indirect) return true;
+    if (!c.loop_var.empty()) return !has_loopvar;
+    return !c.blocked;
+  }
+
+  /// Do any of the argument ranges reference a thread id?
+  bool args_reference_tid(
+      const std::vector<std::pair<std::size_t, std::size_t>>& args,
+      std::size_t from) const {
+    for (std::size_t a = from; a < args.size(); ++a) {
+      for (std::size_t k = args[a].first; k < args[a].second && k < n(); ++k) {
+        if (tok(k).kind == TokKind::kIdent && thread_id_name(tok(k).text)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// First identifier in [b, e) that resolves to a tracked symbol.
+  struct Resolved {
+    std::string root;
+    std::string name;
+  };
+  Resolved first_resolvable(const Function& fn, std::size_t b,
+                            std::size_t e) const {
+    for (std::size_t k = b; k < e && k < n(); ++k) {
+      if (tok(k).kind != TokKind::kIdent) continue;
+      std::string root = resolve(fn, tok(k).text);
+      if (!root.empty()) return {std::move(root), tok(k).text};
+    }
+    return {};
+  }
+
+  void handle_alloc(Function& fn, std::size_t i) {
+    const std::size_t eq = assignment_before(i);
+    if (eq == SIZE_MAX || eq == 0) return;
+    const std::size_t base_at = chain_base_before(eq - 1);
+    if (base_at == SIZE_MAX) return;
+    const std::string& base = tok(base_at).text;
+    std::string root = resolve(fn, base);
+    if (root.empty()) {
+      if (is_keyword(base) || is_type_name(base)) return;
+      fn.local_allocs.push_back(base);
+      root = base;
+    }
+    push_touch(fn, root, TouchKind::kAlloc, i, false, root != base, base);
+  }
+
+  void maybe_alias_decl(Function& fn, std::size_t i) {
+    if (!valid(i + 1) || !tok(i + 1).is_punct("=")) return;
+    const std::size_t s = stmt_start(i);
+    bool marker = false;
+    for (std::size_t k = s; k < i; ++k) {
+      if (tok(k).is_punct("*") || tok(k).is_punct("&") ||
+          tok(k).is_ident("auto")) {
+        marker = true;
+      }
+      if (tok(k).is_punct("=") || tok(k).is_punct("(")) return;
+    }
+    if (!marker) return;
+    std::size_t k = i + 2;
+    if (valid(k) && tok(k).is_punct("&")) ++k;
+    if (!valid(k) || tok(k).kind != TokKind::kIdent) return;
+    const std::string root = resolve(fn, tok(k).text);
+    if (root.empty()) return;
+    // The remainder of the initializer must stay linear — a call hands
+    // the pointer to code we can't see from here.
+    Chain c = read_chain(k);
+    std::size_t q = c.end;
+    int guard = 0;
+    while (valid(q) && !tok(q).is_punct(";") && guard++ < 40) {
+      if (tok(q).is_punct("(")) {
+        if (!(q > 0 && tok(q - 1).kind == TokKind::kIdent &&
+              known_linear_call(tok(q - 1).text))) {
+          return;
+        }
+        const std::size_t m = matching(q);
+        if (m >= n()) return;
+        q = m + 1;
+        continue;
+      }
+      ++q;
+    }
+    fn.aliases[tok(i).text] = root;
+  }
+
+  void handle_symbol(Function& fn, std::size_t i, std::size_t body_begin) {
+    const std::string& name = tok(i).text;
+    if (is_keyword(name) || is_type_name(name)) return;
+    // Local plain-array declaration: `double scratch[64];` — a stack
+    // allocation root whose first touch is still interesting.
+    if (valid(i + 1) && tok(i + 1).is_punct("[") && i > body_begin &&
+        tok(i - 1).kind == TokKind::kIdent &&
+        !is_keyword(tok(i - 1).text) && resolve(fn, name).empty()) {
+      bool decl = true;
+      for (std::size_t k = stmt_start(i); k < i; ++k) {
+        if (tok(k).is_punct("=") || tok(k).is_punct("(")) decl = false;
+      }
+      if (decl) {
+        fn.local_allocs.push_back(name);
+        push_touch(fn, name, TouchKind::kAlloc, i, false, false, "");
+        return;
+      }
+    }
+    const std::string root = resolve(fn, name);
+    if (root.empty()) {
+      maybe_alias_decl(fn, i);
+      return;
+    }
+    Chain c = read_chain(i);
+    const bool deref =
+        i > 0 && tok(i - 1).is_punct("*") &&
+        (i - 1 == 0 || tok(i - 2).is_punct(";") || tok(i - 2).is_punct("{") ||
+         tok(i - 2).is_punct("}"));
+    const bool indexed = c.text.find("[]") != std::string::npos;
+    const bool membered = c.text.find('.') != std::string::npos;
+    if (!deref && !indexed && !membered) return;
+    bool write = false;
+    if (valid(c.end)) {
+      const Token& a = tok(c.end);
+      write = is_assign_op(a) || a.is_punct("++") || a.is_punct("--");
+    }
+    if (i > 0 && (tok(i - 1).is_punct("++") || tok(i - 1).is_punct("--"))) {
+      write = true;
+    }
+    bool full = false;
+    if (indexed) {
+      for (std::size_t k = i + 1; k < c.end && k < n(); ++k) {
+        if (tok(k).is_punct("[")) {
+          full = index_full_range(ctx_at(i), k);
+          break;
+        }
+      }
+    }
+    push_touch(fn, root, write ? TouchKind::kWrite : TouchKind::kRead, i,
+               full, root != name, root != name ? name : "");
+  }
+
+  void handle_call(Function& fn, std::size_t i) {
+    CallSite cs;
+    cs.callee = tok(i).text;
+    cs.line = tok(i).line;
+    const Ctx c = ctx_at(i);
+    cs.parallel = c.parallel;
+    cs.thread_guarded = c.guarded;
+    cs.sched = c.sched;
+    cs.chunk = c.chunk;
+    cs.blocked = c.blocked;
+    cs.block = block_at(i);
+    cs.pos = i;
+    for (const auto& [ab, ae] : split_args(i + 1)) {
+      std::string sym;
+      std::size_t k = ab;
+      if (k < ae && tok(k).is_punct("&")) ++k;
+      if (k < ae && tok(k).kind == TokKind::kIdent) {
+        sym = resolve(fn, tok(k).text);
+      }
+      cs.args.push_back(std::move(sym));
+    }
+    fn.calls.push_back(std::move(cs));
+  }
+
+  void analyze_body(Function& fn, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e && i < n(); ++i) {
+      const Token& t = tok(i);
+      if (t.kind != TokKind::kIdent) continue;
+      const bool member =
+          i > 0 && (tok(i - 1).is_punct(".") || tok(i - 1).is_punct("->"));
+      const std::string& s = t.text;
+      const bool call_shaped = valid(i + 1) && tok(i + 1).is_punct("(");
+      if (s == "malloc" && call_shaped) {
+        handle_alloc(fn, i);
+        continue;
+      }
+      if (s == "new" && !member) {
+        handle_alloc(fn, i);
+        continue;
+      }
+      if ((s == "memset" || s == "memcpy") && !member && call_shaped) {
+        const auto args = split_args(i + 1);
+        if (!args.empty()) {
+          Resolved dst = first_resolvable(fn, args[0].first, args[0].second);
+          if (!dst.root.empty()) {
+            push_touch(fn, dst.root, TouchKind::kWrite, i, ctx_at(i).parallel,
+                       dst.root != dst.name, dst.root != dst.name ? dst.name
+                                                                  : "");
+          }
+          if (s == "memcpy" && args.size() > 1) {
+            Resolved src = first_resolvable(fn, args[1].first, args[1].second);
+            if (!src.root.empty()) {
+              push_touch(fn, src.root, TouchKind::kRead, i, ctx_at(i).parallel,
+                         src.root != src.name,
+                         src.root != src.name ? src.name : "");
+            }
+          }
+        }
+        continue;
+      }
+      if ((s == "store_lines" || s == "load_lines") && !member &&
+          call_shaped) {
+        const auto args = split_args(i + 1);
+        if (args.size() >= 2) {
+          Resolved addr = first_resolvable(fn, args[1].first, args[1].second);
+          if (!addr.root.empty()) {
+            const Ctx c = ctx_at(i);
+            const bool full =
+                c.parallel && !c.blocked && !args_reference_tid(args, 2);
+            push_touch(fn, addr.root,
+                       s == "store_lines" ? TouchKind::kWrite
+                                          : TouchKind::kRead,
+                       i, full, addr.root != addr.name,
+                       addr.root != addr.name ? addr.name : "");
+          }
+        }
+        continue;
+      }
+      if ((s == "store" || s == "load") && member && call_shaped) {
+        const auto args = split_args(i + 1);
+        if (!args.empty()) {
+          Resolved addr = first_resolvable(fn, args[0].first, args[0].second);
+          if (!addr.root.empty()) {
+            push_touch(fn, addr.root,
+                       s == "store" ? TouchKind::kWrite : TouchKind::kRead, i,
+                       false, addr.root != addr.name,
+                       addr.root != addr.name ? addr.name : "");
+          }
+        }
+        continue;
+      }
+      if (!member && call_shaped && !is_blocked_callee(s) &&
+          matching(i + 1) < n()) {
+        handle_call(fn, i);
+        continue;
+      }
+      if (!member) handle_symbol(fn, i, b);
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::vector<std::size_t> match_;
+  std::vector<Region> regions_;
+  std::vector<std::pair<std::size_t, std::size_t>> guards_;
+  std::vector<Interval> intervals_;
+  std::set<std::string> global_names_;
+  FileIr ir_;
+};
+
+}  // namespace
+
+FileIr build_ir(std::string_view source, std::string file) {
+  return IrBuilder(source, std::move(file)).build();
+}
+
+}  // namespace numaprof::lint::ir

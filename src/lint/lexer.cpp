@@ -110,9 +110,15 @@ LexResult lex(std::string_view src) {
       }
       while (p < n) {
         const char d = src[p];
-        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
-            d == '\'') {
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.') {
           ++p;
+          continue;
+        }
+        // C++14 digit separator: part of the number only when a digit (or
+        // hex digit) follows; a trailing ' starts a char literal instead.
+        if (d == '\'' && p + 1 < n &&
+            std::isalnum(static_cast<unsigned char>(src[p + 1]))) {
+          p += 2;
           continue;
         }
         // Exponent signs: 1e-5, 0x1p+3.
@@ -137,6 +143,13 @@ LexResult lex(std::string_view src) {
       const std::uint32_t at = line;
       while (p < n && src[p] != quote) {
         if (src[p] == '\\' && p + 1 < n) {
+          // Backslash-newline is a line splice, not an escape: the line
+          // count must advance or every later token misreports its line.
+          if (src[p + 1] == '\n') {
+            ++line;
+            p += 2;
+            continue;
+          }
           body += src[p + 1];
           p += 2;
           continue;

@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "lint/cache.hpp"
+#include "lint/ir.hpp"
 #include "lint/lexer.hpp"
 #include "support/threadpool.hpp"
 
@@ -464,7 +466,12 @@ class FileAnalyzer {
         for (std::size_t q = stmt_begin; q < p; ++q) {
           if (tok(q).is_punct("[") && valid(q + 1) &&
               tok(q + 1).kind == TokKind::kNumber) {
-            array_mult = std::strtoull(tok(q + 1).text.c_str(), nullptr, 0);
+            // Strip C++14 digit separators: strtoull("1'024") stops at the
+            // quote and would report a 1-element extent.
+            std::string digits = tok(q + 1).text;
+            digits.erase(std::remove(digits.begin(), digits.end(), '\''),
+                         digits.end());
+            array_mult = std::strtoull(digits.c_str(), nullptr, 0);
             if (array_mult == 0) array_mult = 1;
           }
         }
@@ -713,7 +720,15 @@ class FileAnalyzer {
       bool parallel = false;
       bool serial_override = false;
       std::string name = "omp";
-      while (valid(p) && tok(p).line == line) {
+      std::uint32_t cur_line = line;
+      while (valid(p) && tok(p).line == cur_line) {
+        // Backslash continuation: the directive extends onto the next line.
+        if (tok(p).is_punct("\\") && valid(p + 1) &&
+            tok(p + 1).line == cur_line + 1) {
+          ++cur_line;
+          ++p;
+          continue;
+        }
         if (tok(p).kind == TokKind::kIdent) {
           name += " " + tok(p).text;
           if (tok(p).text == "parallel") parallel = true;
@@ -1597,9 +1612,38 @@ class FileAnalyzer {
 
 }  // namespace
 
+namespace {
+
+void sort_findings(std::vector<StaticFinding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const StaticFinding& a, const StaticFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.variable != b.variable) return a.variable < b.variable;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
+}  // namespace
+
+FilePhase1 lint_file_phase1(std::string_view source, std::string file) {
+  FilePhase1 out;
+  FileAnalyzer analyzer(source, file);
+  out.local = analyzer.run();
+  out.summary = dataflow::summarize(ir::build_ir(source, std::move(file)));
+  return out;
+}
+
 LintResult lint_source(std::string_view source, std::string file) {
-  FileAnalyzer analyzer(source, std::move(file));
-  return analyzer.run();
+  FilePhase1 p1 = lint_file_phase1(source, std::move(file));
+  LintResult out = std::move(p1.local);
+  std::vector<StaticFinding> inter =
+      dataflow::propagate_and_check({std::move(p1.summary)});
+  out.findings.insert(out.findings.end(),
+                      std::make_move_iterator(inter.begin()),
+                      std::make_move_iterator(inter.end()));
+  sort_findings(out.findings);
+  return out;
 }
 
 bool lintable_file(const std::string& path) {
@@ -1637,18 +1681,33 @@ LintResult lint_paths(const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Lint every file into its slot, then fold in path order — the fold
-  // order (not completion order) defines the output, so any jobs value
-  // yields the serial result.
-  std::vector<LintResult> parts(files.size());
-  const auto lint_one = [&files, &parts](std::size_t i) {
+  // Phase 1: lint every file into its slot, then fold in path order — the
+  // fold order (not completion order) defines the output, so any jobs
+  // value yields the serial result. The incremental cache lives entirely
+  // inside this phase: a hit restores the per-file artifact, a miss
+  // computes and stores it; either way the folded inputs are identical.
+  std::vector<FilePhase1> parts(files.size());
+  const std::string& cache_dir = options.lint_cache_dir;
+  const auto lint_one = [&files, &parts, &cache_dir](std::size_t i) {
     std::ifstream in(files[i], std::ios::binary);
     if (!in) return;
     std::ostringstream buffer;
     buffer << in.rdbuf();
     // Report paths by filename to keep findings stable across checkouts.
-    parts[i] = lint_source(
-        buffer.str(), std::filesystem::path(files[i]).filename().string());
+    const std::string name =
+        std::filesystem::path(files[i]).filename().string();
+    if (!cache_dir.empty()) {
+      const std::uint64_t key = phase1_cache_key(name, buffer.str());
+      if (auto hit = load_phase1_cache(cache_dir, key)) {
+        parts[i] = std::move(*hit);
+        return;
+      }
+      parts[i] = lint_file_phase1(buffer.str(), name);
+      store_phase1_cache(cache_dir, key, parts[i],
+                         static_cast<unsigned>(i));
+      return;
+    }
+    parts[i] = lint_file_phase1(buffer.str(), name);
   };
   const unsigned jobs =
       options.pool != nullptr ? options.pool->jobs() : options.jobs;
@@ -1662,21 +1721,25 @@ LintResult lint_paths(const std::vector<std::string>& paths,
   }
 
   LintResult out;
-  for (LintResult& one : parts) {
-    out.stats.files += one.stats.files;
-    out.stats.lines += one.stats.lines;
-    out.stats.tokens += one.stats.tokens;
+  std::vector<dataflow::FileSummary> summaries;
+  summaries.reserve(parts.size());
+  for (FilePhase1& one : parts) {
+    out.stats.files += one.local.stats.files;
+    out.stats.lines += one.local.stats.lines;
+    out.stats.tokens += one.local.stats.tokens;
     out.findings.insert(out.findings.end(),
-                        std::make_move_iterator(one.findings.begin()),
-                        std::make_move_iterator(one.findings.end()));
+                        std::make_move_iterator(one.local.findings.begin()),
+                        std::make_move_iterator(one.local.findings.end()));
+    summaries.push_back(std::move(one.summary));
   }
-  std::sort(out.findings.begin(), out.findings.end(),
-            [](const StaticFinding& a, const StaticFinding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              if (a.variable != b.variable) return a.variable < b.variable;
-              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
-            });
+  // Phase 2: whole-program propagation is serial and deterministic, so
+  // the interprocedural findings are byte-identical for every jobs value.
+  std::vector<StaticFinding> inter =
+      dataflow::propagate_and_check(std::move(summaries));
+  out.findings.insert(out.findings.end(),
+                      std::make_move_iterator(inter.begin()),
+                      std::make_move_iterator(inter.end()));
+  sort_findings(out.findings);
   return out;
 }
 
@@ -1686,6 +1749,10 @@ std::string_view kind_code(LintKind kind) noexcept {
     case LintKind::kFalseSharing: return "L2";
     case LintKind::kStackEscape: return "L3";
     case LintKind::kInterleaveMisuse: return "L4";
+    case LintKind::kCrossSerialInit: return "L5";
+    case LintKind::kScheduleMismatch: return "L6";
+    case LintKind::kAliasHiddenInit: return "L7";
+    case LintKind::kReadMostly: return "L8";
   }
   return "L?";
 }

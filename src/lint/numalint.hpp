@@ -29,6 +29,7 @@
 
 #include "core/advisor.hpp"
 #include "core/options.hpp"
+#include "lint/dataflow.hpp"
 #include "support/error.hpp"
 
 namespace numaprof::lint {
@@ -56,8 +57,21 @@ struct LintResult {
 };
 
 /// Lints one in-memory translation unit. `file` is used for reporting.
-/// Never throws on malformed input.
+/// Runs the per-TU L1-L4 recognizers AND the interprocedural engine over
+/// this one file, so a program merged into a single TU reports the same
+/// L5-L8 findings as the multi-file sweep. Never throws on malformed input.
 LintResult lint_source(std::string_view source, std::string file);
+
+/// Phase-1 artifact for one file: the local L1-L4 findings plus the
+/// dataflow summary that phase 2 propagates across the whole program.
+/// This is what the incremental cache stores per content hash.
+struct FilePhase1 {
+  LintResult local;
+  dataflow::FileSummary summary;
+};
+
+/// Phase 1 only (embarrassingly parallel, pure function of the source).
+FilePhase1 lint_file_phase1(std::string_view source, std::string file);
 
 /// True if `path` names a file numalint knows how to scan (.c/.cc/.cpp/
 /// .cxx/.h/.hh/.hpp).

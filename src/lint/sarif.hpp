@@ -1,0 +1,33 @@
+// SARIF 2.1.0 export for numalint findings.
+//
+// SARIF (Static Analysis Results Interchange Format) is what code-scanning
+// UIs ingest; emitting it lets numalint findings land in the same review
+// pane as any other analyzer. One run, one driver ("numalint"), the full
+// L1-L8 rule table (so ruleIndex is stable whether or not a rule fired),
+// one result per finding with the variable/expected/suggested triple under
+// `properties`. The emitted document is validated by the bundled
+// core/export/schema checker (`check_sarif_json`) in tests and CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+
+namespace numaprof::lint {
+
+/// Severity tiers, matching SARIF's result levels.
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+std::string_view to_string(Severity s) noexcept;
+
+/// The per-kind default severity: certain first-touch pathologies (L1,
+/// L5, L7) are errors, structural smells (L2-L4, L6) warnings, and the
+/// replication hint (L8) a note.
+Severity severity_of(core::LintKind kind) noexcept;
+
+/// Renders findings as one SARIF 2.1.0 document (stable key order and
+/// formatting: byte-identical for identical findings).
+std::string render_sarif(const std::vector<core::StaticFinding>& findings);
+
+}  // namespace numaprof::lint

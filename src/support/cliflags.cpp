@@ -15,6 +15,17 @@ void CliParser::add_flag(std::string name, bool takes_value, std::string help,
   flags_.push_back(std::move(flag));
 }
 
+void CliParser::add_optional_value_flag(std::string name, std::string help,
+                                        std::string placeholder) {
+  Flag flag;
+  flag.name = std::move(name);
+  flag.takes_value = true;
+  flag.optional_value = true;
+  flag.help = std::move(help);
+  flag.placeholder = std::move(placeholder);
+  flags_.push_back(std::move(flag));
+}
+
 CliParser::Flag* CliParser::find(std::string_view name) {
   for (Flag& flag : flags_) {
     if (flag.name == name) return &flag;
@@ -61,6 +72,7 @@ void CliParser::parse(const std::vector<std::string>& args) {
       flag->seen_values.push_back(std::move(*inline_value));
       continue;
     }
+    if (flag->optional_value) continue;  // bare occurrence is complete
     if (i + 1 >= args.size()) {
       usage_error(name + " requires a " + flag->placeholder + " argument");
     }
@@ -102,15 +114,17 @@ unsigned CliParser::unsigned_value(std::string_view name,
 std::string CliParser::usage() const {
   std::ostringstream os;
   os << "usage: " << program_ << " [flags] ...\n  " << summary_ << "\n";
+  const auto spelled = [](const Flag& flag) {
+    if (!flag.takes_value) return flag.name;
+    if (flag.optional_value) return flag.name + "[=" + flag.placeholder + "]";
+    return flag.name + " " + flag.placeholder;
+  };
   std::size_t width = 0;
   for (const Flag& flag : flags_) {
-    std::size_t w = flag.name.size();
-    if (flag.takes_value) w += 1 + flag.placeholder.size();
-    width = std::max(width, w);
+    width = std::max(width, spelled(flag).size());
   }
   for (const Flag& flag : flags_) {
-    std::string left = flag.name;
-    if (flag.takes_value) left += " " + flag.placeholder;
+    const std::string left = spelled(flag);
     os << "  " << left << std::string(width - left.size() + 2, ' ')
        << flag.help << "\n";
   }

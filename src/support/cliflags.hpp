@@ -34,6 +34,13 @@ class CliParser {
   void add_flag(std::string name, bool takes_value, std::string help,
                 std::string placeholder = "VALUE");
 
+  /// Registers a flag whose value is optional: `--flag` alone is valid
+  /// (has() true, value() nullopt), and only the `=`-suffix spelling
+  /// supplies a value (`--flag=V`) — the next argument is never consumed,
+  /// so `--flag PATH` keeps PATH positional.
+  void add_optional_value_flag(std::string name, std::string help,
+                               std::string placeholder = "VALUE");
+
   /// Parses argv (excluding argv[0]). Throws Error(kUsage) on an unknown
   /// flag, a missing value, or a value supplied to a boolean flag.
   void parse(const std::vector<std::string>& args);
@@ -58,6 +65,7 @@ class CliParser {
   struct Flag {
     std::string name;
     bool takes_value = false;
+    bool optional_value = false;
     std::string help;
     std::string placeholder;
     std::vector<std::string> seen_values;

@@ -1,0 +1,25 @@
+// FNV-1a 64-bit: the repository's content-hash primitive. Deliberately
+// boring — stable across platforms and runs, no seeding — because its
+// outputs are persisted (numalint's incremental cache keys entries by
+// fnv1a64 of path + contents) and must stay comparable between builds.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace numaprof::support {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace numaprof::support

@@ -14,6 +14,8 @@
 #include "core/profiler.hpp"
 #include "ingest/server.hpp"
 #include "ingest/wal.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/numalint.hpp"
 #include "numasim/topology.hpp"
 #include "simos/heap.hpp"
 #include "support/faultinject.hpp"
@@ -364,6 +366,61 @@ TEST(IngestFuzz, MutatedWalAlwaysRecoversToValidPrefix) {
     EXPECT_EQ(again.records.size(), replay.records.size()) << trial;
   }
   std::filesystem::remove_all(dir);
+}
+
+TEST(LintFuzz, MutatedSourcesNeverCrashTheDataflowEngine) {
+  // The lexer -> IR -> summary -> cross-TU propagation chain must accept
+  // arbitrary bytes: lint inputs are whatever the user points the tool
+  // at. Start from a real antipattern TU so mutations explore the
+  // interesting grammar neighborhood, not just noise.
+  const std::string good = R"lint(
+#include <cstdlib>
+static double* big = nullptr;
+double* make_grid(long n) { return (double*)malloc(n * 8); }
+void fill(double* p, long n) {
+  for (long i = 0; i < n; ++i) p[i] = 0.0;
+}
+void setup(long n) { big = make_grid(n); fill(big, n); }
+void consume(long n) {
+  #pragma omp parallel for schedule(static, 1'6)
+  for (long i = 0; i < n; ++i) big[i] *= 2.0;
+}
+)lint";
+  support::Rng rng(0xDA7AF70);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bad = good;
+    switch (trial % 4) {
+      case 0:  // truncate
+        bad.resize(rng.next_below(bad.size()));
+        break;
+      case 1: {  // flip a byte
+        const auto pos = rng.next_below(bad.size());
+        bad[pos] = static_cast<char>(rng.next_below(256));
+        break;
+      }
+      case 2: {  // splice a random chunk out
+        const auto pos = rng.next_below(bad.size());
+        bad.erase(pos, rng.next_below(bad.size() - pos));
+        break;
+      }
+      default: {  // duplicate a random chunk (unbalances nesting)
+        const auto pos = rng.next_below(bad.size());
+        const auto len = rng.next_below(bad.size() - pos);
+        bad.insert(pos, bad.substr(pos, len));
+        break;
+      }
+    }
+    // Per-file phase 1 (lex + IR + summary), then whole-program
+    // propagation over the mutant paired with an intact TU.
+    lint::FilePhase1 phase1 = lint::lint_file_phase1(bad, "mutant.cpp");
+    lint::FilePhase1 anchor = lint::lint_file_phase1(good, "anchor.cpp");
+    const auto findings = lint::dataflow::propagate_and_check(
+        {phase1.summary, anchor.summary});
+    for (const auto& f : findings) {
+      ASSERT_FALSE(f.variable.empty());
+      ASSERT_LT(static_cast<int>(f.kind), core::kLintKindCount);
+    }
+  }
 }
 
 }  // namespace

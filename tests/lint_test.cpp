@@ -379,6 +379,93 @@ TEST(Lint, KindCodesAreStable) {
   EXPECT_EQ(kind_code(LintKind::kFalseSharing), "L2");
   EXPECT_EQ(kind_code(LintKind::kStackEscape), "L3");
   EXPECT_EQ(kind_code(LintKind::kInterleaveMisuse), "L4");
+  EXPECT_EQ(kind_code(LintKind::kCrossSerialInit), "L5");
+  EXPECT_EQ(kind_code(LintKind::kScheduleMismatch), "L6");
+  EXPECT_EQ(kind_code(LintKind::kAliasHiddenInit), "L7");
+  EXPECT_EQ(kind_code(LintKind::kReadMostly), "L8");
+}
+
+// --- lexer regressions ---------------------------------------------------
+
+TEST(Lexer, DigitSeparatorsStayOneToken) {
+  const LexResult r = lex("long n = 1'000'000; auto c = 'x'; int h = 0x1'F;");
+  const auto num = std::find_if(r.tokens.begin(), r.tokens.end(),
+                                [](const Token& t) {
+                                  return t.kind == TokKind::kNumber;
+                                });
+  ASSERT_NE(num, r.tokens.end());
+  EXPECT_EQ(num->text, "1'000'000");
+  // The separator-hardened number scan must not swallow the following
+  // char literal's opening quote.
+  const auto chr = std::find_if(r.tokens.begin(), r.tokens.end(),
+                                [](const Token& t) {
+                                  return t.kind == TokKind::kChar;
+                                });
+  ASSERT_NE(chr, r.tokens.end());
+  EXPECT_EQ(chr->text, "x");
+  const auto hex = std::find_if(r.tokens.begin(), r.tokens.end(),
+                                [](const Token& t) {
+                                  return t.text == "0x1'F";
+                                });
+  EXPECT_NE(hex, r.tokens.end());
+}
+
+TEST(Lexer, SeparatorExtentParsesAsFullStructSize) {
+  // strtoull("1'6") used to stop at the quote (extent 1), shrinking the
+  // struct to one cache line and mis-firing L2 on a 128-byte element.
+  const char* src = R"lint(
+struct Slot { double v[1'6]; };
+static Slot slots[64];
+void tally(long n) {
+  #pragma omp parallel for
+  for (long i = 0; i < n; ++i) {
+    int tid = omp_get_thread_num();
+    slots[tid].v[0] += 1.0;
+  }
+}
+)lint";
+  const LintResult r = lint_source(src, "sep.cpp");
+  for (const StaticFinding& f : r.findings) {
+    EXPECT_NE(f.kind, LintKind::kFalseSharing) << f.message;
+  }
+}
+
+TEST(Lexer, BackslashNewlineInStringSplicesAndCountsLine) {
+  const LexResult r = lex("auto s = \"ab\\\ncd\";\nint marker = 1;\n");
+  const auto str = std::find_if(r.tokens.begin(), r.tokens.end(),
+                                [](const Token& t) {
+                                  return t.kind == TokKind::kString;
+                                });
+  ASSERT_NE(str, r.tokens.end());
+  EXPECT_EQ(str->text, "abcd");  // spliced, not "ab\ncd"
+  const auto marker = std::find_if(r.tokens.begin(), r.tokens.end(),
+                                   [](const Token& t) {
+                                     return t.is_ident("marker");
+                                   });
+  ASSERT_NE(marker, r.tokens.end());
+  EXPECT_EQ(marker->line, 3u);  // the spliced newline still counts
+}
+
+TEST(Lint, ContinuedPragmaStillOpensParallelRegion) {
+  // A backslash-continued `#pragma omp` directive spans two lines; the
+  // region scan must follow the continuation instead of stopping cold.
+  const char* src =
+      "static double table[1 << 16];\n"
+      "void setup(long n) {\n"
+      "  for (long i = 0; i < n; ++i) table[i] = 0.0;\n"
+      "}\n"
+      "void consume(long n) {\n"
+      "  #pragma omp parallel for \\\n"
+      "      schedule(static)\n"
+      "  for (long i = 0; i < n; ++i) table[i] += 1.0;\n"
+      "}\n";
+  const LintResult r = lint_source(src, "cont.cpp");
+  const auto l1 = std::find_if(r.findings.begin(), r.findings.end(),
+                               [](const StaticFinding& f) {
+                                 return f.kind == LintKind::kSerialFirstTouch;
+                               });
+  ASSERT_NE(l1, r.findings.end());
+  EXPECT_EQ(l1->variable, "table");
 }
 
 TEST(Lint, GarbageInputNeverThrows) {
