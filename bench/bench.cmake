@@ -36,6 +36,15 @@ target_link_libraries(micro_tool_paths PRIVATE numaprof_apps numaprof_core bench
 set_target_properties(micro_tool_paths PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
 
+# matrix_kernels has a custom main (BENCH lines + BENCH_matrix.json
+# aggregate, broken-vs-fixed validity gate); it shares the grid cell
+# recipe with tests/matrix_grid_test.cpp via tests/matrix_support.hpp.
+add_executable(matrix_kernels ${CMAKE_SOURCE_DIR}/bench/matrix_kernels.cpp)
+target_link_libraries(matrix_kernels PRIVATE numaprof_apps numaprof_core)
+target_include_directories(matrix_kernels PRIVATE ${CMAKE_SOURCE_DIR}/tests)
+set_target_properties(matrix_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
+
 # micro_lint has a custom main (BENCH lines + BENCH_lint.json aggregate,
 # validity-checked driver/cache runs), so no benchmark_main here.
 add_executable(micro_lint ${CMAKE_SOURCE_DIR}/bench/micro_lint.cpp)

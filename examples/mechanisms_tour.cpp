@@ -54,7 +54,7 @@ int main() {
   for (const auto mechanism :
        {pmu::Mechanism::kIbs, pmu::Mechanism::kMrk, pmu::Mechanism::kPebs,
         pmu::Mechanism::kDear, pmu::Mechanism::kPebsLl,
-        pmu::Mechanism::kSoftIbs}) {
+        pmu::Mechanism::kSoftIbs, pmu::Mechanism::kSpe}) {
     simrt::Machine machine(numasim::amd_magny_cours());
     core::ProfilerConfig cfg;
     cfg.event = pmu::EventConfig::mini(mechanism);

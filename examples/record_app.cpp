@@ -5,7 +5,7 @@
 //   record_app [flags] <app> <variant> <mechanism> <out-file>
 //     app:       lulesh | amg | blackscholes | umt | fig1
 //     variant:   baseline | blockwise | interleave | aos | parallel-init
-//     mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs
+//     mechanism: ibs | mrk | pebs | dear | pebs-ll | soft-ibs | spe
 //
 // Flags:
 //   --trace                   record the per-sample trace
@@ -61,7 +61,8 @@ const std::map<std::string, pmu::Mechanism> kMechanisms = {
     {"ibs", pmu::Mechanism::kIbs},       {"mrk", pmu::Mechanism::kMrk},
     {"pebs", pmu::Mechanism::kPebs},     {"dear", pmu::Mechanism::kDear},
     {"pebs-ll", pmu::Mechanism::kPebsLl},
-    {"soft-ibs", pmu::Mechanism::kSoftIbs}};
+    {"soft-ibs", pmu::Mechanism::kSoftIbs},
+    {"spe", pmu::Mechanism::kSpe}};
 
 const std::map<std::string, apps::Variant> kVariants = {
     {"baseline", apps::Variant::kBaseline},
@@ -106,7 +107,7 @@ support::CliParser make_parser() {
                   "  variant:   baseline | blockwise | interleave | aos | "
                   "parallel-init\n"
                   "  mechanism: ibs | mrk | pebs | dear | pebs-ll | "
-                  "soft-ibs\n");
+                  "soft-ibs | spe\n");
 }
 
 void run_workload(simrt::Machine& machine, const std::string& app,

@@ -1,0 +1,163 @@
+#include "apps/minigraph.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+/// Out-degree of every vertex: edges = vertices * kDegree, and one vertex's
+/// adjacency list spans exactly one cache line of col_index entries.
+inline constexpr std::uint64_t kDegree = kLineStride;
+
+struct Frames {
+  FrameId main;
+  FrameId alloc_col;
+  FrameId alloc_rank;
+  FrameId alloc_depth;
+  FrameId build_loop;
+  FrameId bfs_loop;
+  FrameId pagerank_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "graph.cc", 30);
+  fr.alloc_col = f.intern("malloc(col_index)", "graph.cc", 44);
+  fr.alloc_rank = f.intern("malloc(rank)", "graph.cc", 47);
+  fr.alloc_depth = f.intern("malloc(depth)", "graph.cc", 50);
+  fr.build_loop = f.intern("build_csr", "graph.cc", 66,
+                           simrt::FrameKind::kLoop);
+  fr.bfs_loop = f.intern("bfs_level", "graph.cc", 98,
+                         simrt::FrameKind::kLoop);
+  fr.pagerank_loop = f.intern("pagerank_sweep", "graph.cc", 132,
+                              simrt::FrameKind::kLoop);
+  return fr;
+}
+
+/// Deterministic neighbor id for edge `e`: scatters rank[] chasing across
+/// the whole vertex range (remote frontier chasing).
+constexpr std::uint64_t neighbor_of(std::uint64_t e,
+                                    std::uint64_t vertices) noexcept {
+  return (e * 0x9E3779B97F4A7C15ull >> 17) % vertices;
+}
+
+}  // namespace
+
+GraphRun run_minigraph(Machine& m, const GraphConfig& cfg) {
+  const Frames fr = make_frames(m);
+  GraphRun run;
+  run.edges = static_cast<std::uint64_t>(cfg.threads) * cfg.pages_per_thread *
+              kElemsPerPage;
+  run.vertices = run.edges / kDegree;
+  PhaseClock phase(m);
+
+  const PolicySpec col_policy =
+      cfg.fixed ? PolicySpec::first_touch() : cfg.hot_policy;
+  const std::vector<FrameId> base = {fr.main};
+
+  // --- Allocation + graph construction ---------------------------------
+  parallel_region(
+      m, 1, "graph_setup", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_col);
+          run.col_index = t.malloc(run.edges * 8, "col_index", col_policy);
+        }
+        {
+          ScopedFrame a(t, fr.alloc_rank);
+          run.rank = t.malloc(run.vertices * 8, "rank");
+        }
+        {
+          ScopedFrame a(t, fr.alloc_depth);
+          run.depth = t.malloc(run.vertices * 8, "depth");
+        }
+        if (!cfg.fixed) {
+          // Broken: one thread builds the whole CSR (and seeds the ranks),
+          // homing every adjacency page in the builder's domain.
+          ScopedFrame build(t, fr.build_loop);
+          store_lines(t, run.col_index, 0, run.edges);
+          store_lines(t, run.rank, 0, run.vertices);
+          co_await t.tick();
+          store_lines(t, run.depth, 0, run.vertices);
+        }
+        co_return;
+      });
+
+  if (cfg.fixed) {
+    // The fix: construct (first-touch) each worker's vertex block — and
+    // its adjacency slice — on the worker that will traverse it. rank is
+    // seeded blockwise too, though chasing keeps most rank reads remote.
+    parallel_region(
+        m, cfg.threads, "build_csr._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame build(t, fr.build_loop);
+          const Slice e = block_slice(run.edges, index, cfg.threads);
+          const Slice v = block_slice(run.vertices, index, cfg.threads);
+          store_lines(t, run.col_index, e.begin, e.end);
+          store_lines(t, run.rank, v.begin, v.end);
+          co_await t.tick();
+          store_lines(t, run.depth, v.begin, v.end);
+          co_return;
+        });
+  }
+  run.build_cycles = phase.lap();
+
+  // --- BFS levels: stream own adjacency block, mark depth --------------
+  parallel_region(
+      m, cfg.threads, "bfs._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice v = block_slice(run.vertices, index, cfg.threads);
+        for (std::uint32_t level = 0; level < cfg.bfs_levels; ++level) {
+          ScopedFrame bfs(t, fr.bfs_loop);
+          for (std::uint64_t vertex = v.begin; vertex < v.end; ++vertex) {
+            const std::uint64_t first_edge = vertex * kDegree;
+            for (std::uint64_t e = first_edge; e < first_edge + kDegree;
+                 ++e) {
+              t.load(elem_addr(run.col_index, e));
+            }
+            t.exec(2);  // visited check + frontier push
+            t.store(elem_addr(run.depth, vertex));
+            co_await t.tick();
+          }
+          co_await t.yield();  // level barrier
+        }
+        co_return;
+      });
+
+  // --- PageRank sweeps: adjacency block-local, rank[] chased remotely --
+  parallel_region(
+      m, cfg.threads, "pagerank._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice v = block_slice(run.vertices, index, cfg.threads);
+        for (std::uint32_t sweep = 0; sweep < cfg.pagerank_sweeps; ++sweep) {
+          ScopedFrame pr(t, fr.pagerank_loop);
+          for (std::uint64_t vertex = v.begin; vertex < v.end; ++vertex) {
+            const std::uint64_t first_edge = vertex * kDegree;
+            for (std::uint64_t e = first_edge; e < first_edge + kDegree;
+                 ++e) {
+              t.load(elem_addr(run.col_index, e));
+              t.load(elem_addr(run.rank, neighbor_of(e, run.vertices)));
+              t.exec(1);  // contribution accumulate
+            }
+            t.exec(3);  // damping + store of the new rank
+            t.store(elem_addr(run.rank, vertex));
+            co_await t.tick();
+          }
+          co_await t.yield();  // sweep barrier
+        }
+        co_return;
+      });
+  run.traverse_cycles = phase.lap();
+  run.total_cycles = run.build_cycles + run.traverse_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,54 @@
+// MiniGraph: a BFS + PageRank graph kernel over a CSR adjacency.
+//
+// Memory structure modeled on level-synchronous BFS followed by PageRank
+// sweeps over the same CSR graph:
+//  - col_index: the CSR adjacency (the dominant array by volume — BFS and
+//    PageRank both stream it, and BFS streams nothing else). Workers own
+//    contiguous vertex blocks, and a vertex's adjacency list is contiguous
+//    in col_index, so accesses are BLOCKED. The broken variant builds the
+//    graph on one thread (serial first touch); the expected diagnosis is
+//    blocked -> blockwise-first-touch.
+//  - rank: chased through col_index (rank[neighbor]) from every worker —
+//    full-range remote chasing that no static placement fixes (interleave
+//    merely balances it); it must not outweigh col_index.
+//  - depth: BFS output, worker-written (local either way).
+//
+// The FIXED variant initializes col_index/depth with a blockwise parallel
+// first-touch pass so each worker's share of the adjacency is local.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+#include "simos/page_policy.hpp"
+
+namespace numaprof::apps {
+
+struct GraphConfig {
+  std::uint32_t threads = 8;
+  /// col_index pages per thread (graph size scales with thread count).
+  std::uint32_t pages_per_thread = 3;
+  /// BFS levels + PageRank sweeps executed.
+  std::uint32_t bfs_levels = 2;
+  std::uint32_t pagerank_sweeps = 2;
+  /// Blockwise parallel construction (the fix) instead of serial build.
+  bool fixed = false;
+  /// Placement applied to col_index in the broken variant (the grid's
+  /// page-policy axis); the fixed variant always relies on first touch.
+  simos::PolicySpec hot_policy = simos::PolicySpec::first_touch();
+};
+
+struct GraphRun {
+  simos::VAddr col_index = 0;
+  simos::VAddr rank = 0;
+  simos::VAddr depth = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;
+  numasim::Cycles build_cycles = 0;
+  numasim::Cycles traverse_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+GraphRun run_minigraph(simrt::Machine& machine, const GraphConfig& config);
+
+}  // namespace numaprof::apps

@@ -1,0 +1,135 @@
+#include "apps/minijoin.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId alloc_table;
+  FrameId alloc_keys;
+  FrameId alloc_out;
+  FrameId build_loop;
+  FrameId probe_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "join.cc", 40);
+  fr.alloc_table = f.intern("malloc(hashtable)", "join.cc", 55);
+  fr.alloc_keys = f.intern("malloc(probe_keys)", "join.cc", 58);
+  fr.alloc_out = f.intern("malloc(join_out)", "join.cc", 61);
+  fr.build_loop = f.intern("build_table", "join.cc", 78,
+                           simrt::FrameKind::kLoop);
+  fr.probe_loop = f.intern("probe_partition", "join.cc", 120,
+                           simrt::FrameKind::kLoop);
+  return fr;
+}
+
+/// Fibonacci-style multiplicative hash: spreads sequential keys over the
+/// whole bucket space deterministically.
+constexpr std::uint64_t bucket_of(std::uint64_t key,
+                                  std::uint64_t buckets) noexcept {
+  return (key * 2654435761ull) % buckets;
+}
+
+}  // namespace
+
+JoinRun run_minijoin(Machine& m, const JoinConfig& cfg) {
+  const Frames fr = make_frames(m);
+  JoinRun run;
+  run.buckets = static_cast<std::uint64_t>(cfg.threads) *
+                cfg.pages_per_thread * kElemsPerPage;
+  const std::uint64_t keys = run.buckets;  // one probe key per bucket
+  PhaseClock phase(m);
+
+  const PolicySpec table_policy =
+      cfg.fixed ? PolicySpec::first_touch() : cfg.hot_policy;
+  const std::vector<FrameId> base = {fr.main};
+
+  // --- Allocation + build side -----------------------------------------
+  parallel_region(
+      m, 1, "join_setup", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_table);
+          run.hashtable = t.malloc(run.buckets * 8, "hashtable", table_policy);
+        }
+        {
+          ScopedFrame a(t, fr.alloc_keys);
+          run.probe_keys = t.malloc(keys * 8, "probe_keys");
+        }
+        {
+          ScopedFrame a(t, fr.alloc_out);
+          run.join_out = t.malloc(keys * 8, "join_out");
+        }
+        if (!cfg.fixed) {
+          // Broken: the single-threaded build phase inserts every tuple,
+          // first-touching the whole bucket array in the builder's domain.
+          ScopedFrame build(t, fr.build_loop);
+          store_lines(t, run.hashtable, 0, run.buckets);
+        }
+        co_return;
+      });
+
+  if (cfg.fixed) {
+    // Radix-partitioned build: worker i owns bucket partition i and
+    // first-touches exactly the buckets it will probe.
+    parallel_region(
+        m, cfg.threads, "build_partition._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame build(t, fr.build_loop);
+          const Slice s = block_slice(run.buckets, index, cfg.threads);
+          store_lines(t, run.hashtable, s.begin, s.end);
+          co_return;
+        });
+  }
+  run.build_cycles = phase.lap();
+
+  // --- Probe phase ------------------------------------------------------
+  parallel_region(
+      m, cfg.threads, "probe._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice s = block_slice(keys, index, cfg.threads);
+        const Slice part = block_slice(run.buckets, index, cfg.threads);
+        const std::uint64_t part_size = part.end - part.begin;
+        for (std::uint32_t pass = 0; pass < cfg.passes; ++pass) {
+          ScopedFrame probe(t, fr.probe_loop);
+          for (std::uint64_t k = s.begin; k < s.end; ++k) {
+            t.load(elem_addr(run.probe_keys, k));
+            // Shared build: the hash scatters the probe across the WHOLE
+            // table. Partitioned build: only within this worker's buckets.
+            const std::uint64_t h =
+                cfg.fixed ? part.begin + bucket_of(k, part_size)
+                          : bucket_of(k, run.buckets);
+            t.load(elem_addr(run.hashtable, h));
+            // Bucket chain: a second dependent lookup one slot over.
+            t.load(elem_addr(run.hashtable,
+                             h + 1 == (cfg.fixed ? part.end : run.buckets)
+                                 ? h
+                                 : h + 1));
+            t.exec(2);  // key compare + tuple materialization
+            if (k % kLineStride == 0) {
+              t.store(elem_addr(run.join_out, k));
+              co_await t.tick();
+            }
+          }
+          co_await t.yield();  // pass barrier
+        }
+        co_return;
+      });
+  run.probe_cycles = phase.lap();
+  run.total_cycles = run.build_cycles + run.probe_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

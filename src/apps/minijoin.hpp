@@ -1,0 +1,50 @@
+// MiniJoin: a hash-join / table-scan database kernel.
+//
+// Memory structure modeled on a textbook in-memory equi-join:
+//  - hashtable: the build side. The BROKEN variant builds it on one thread
+//    (the classic single-threaded build phase), so first touch homes every
+//    bucket page in the builder's domain; the probe phase then hashes keys
+//    across the WHOLE table from every worker (full-range access). The
+//    expected diagnosis is full-range -> interleave.
+//  - probe_keys: each worker scans its own key block (worker
+//    first-touched, naturally local).
+//  - join_out: per-worker match output (first-written by workers, local).
+//
+// The FIXED variant radix-partitions the join: each worker builds and
+// probes only its own hashtable partition, so the build-side pages land in
+// (and stay in) the prober's domain.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+#include "simos/page_policy.hpp"
+
+namespace numaprof::apps {
+
+struct JoinConfig {
+  std::uint32_t threads = 8;
+  /// Hashtable pages per thread (table size scales with thread count).
+  std::uint32_t pages_per_thread = 3;
+  /// Probe passes over each worker's key block.
+  std::uint32_t passes = 4;
+  /// Radix-partitioned build+probe (the fix) instead of the shared build.
+  bool fixed = false;
+  /// Placement applied to the hashtable in the broken variant (the grid's
+  /// page-policy axis); the fixed variant always relies on first touch.
+  simos::PolicySpec hot_policy = simos::PolicySpec::first_touch();
+};
+
+struct JoinRun {
+  simos::VAddr hashtable = 0;
+  simos::VAddr probe_keys = 0;
+  simos::VAddr join_out = 0;
+  std::uint64_t buckets = 0;
+  numasim::Cycles build_cycles = 0;
+  numasim::Cycles probe_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+JoinRun run_minijoin(simrt::Machine& machine, const JoinConfig& config);
+
+}  // namespace numaprof::apps

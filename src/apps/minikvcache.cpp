@@ -1,0 +1,130 @@
+#include "apps/minikvcache.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+struct Frames {
+  FrameId main;
+  FrameId alloc_values;
+  FrameId alloc_state;
+  FrameId warm_loop;
+  FrameId serve_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "kvcache.cc", 20);
+  fr.alloc_values = f.intern("malloc(values)", "kvcache.cc", 33);
+  fr.alloc_state = f.intern("malloc(client_state)", "kvcache.cc", 36);
+  fr.warm_loop = f.intern("warm_cache", "kvcache.cc", 54,
+                          simrt::FrameKind::kLoop);
+  fr.serve_loop = f.intern("serve_requests", "kvcache.cc", 88,
+                           simrt::FrameKind::kLoop);
+  return fr;
+}
+
+constexpr std::uint64_t key_of(std::uint64_t request,
+                               std::uint64_t keyspace) noexcept {
+  return (request * 0x9E3779B97F4A7C15ull >> 13) % keyspace;
+}
+
+}  // namespace
+
+KvCacheRun run_minikvcache(Machine& m, const KvCacheConfig& cfg) {
+  const Frames fr = make_frames(m);
+  KvCacheRun run;
+  run.keys = static_cast<std::uint64_t>(cfg.threads) * cfg.pages_per_thread *
+             kElemsPerPage;
+  // 16 hot keys packed into one line-aligned run in the middle of the heap
+  // (so the hot page is not also the first-touch page of anything else).
+  run.hot_key = (run.keys / 2) & ~(kLineStride - 1);
+  PhaseClock phase(m);
+
+  const PolicySpec values_policy =
+      cfg.fixed ? PolicySpec::first_touch() : cfg.hot_policy;
+  const std::vector<FrameId> base = {fr.main};
+
+  // --- Allocation + warm-up (loader) -----------------------------------
+  parallel_region(
+      m, 1, "loader", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_values);
+          run.values = t.malloc(run.keys * 8, "values", values_policy);
+        }
+        {
+          ScopedFrame a(t, fr.alloc_state);
+          run.client_state =
+              t.malloc(cfg.threads * simos::kPageBytes, "client_state");
+        }
+        if (!cfg.fixed) {
+          // Broken: one loader warms the whole cache, first-touching every
+          // value page in its own domain.
+          ScopedFrame warm(t, fr.warm_loop);
+          store_lines(t, run.values, 0, run.keys);
+        }
+        co_return;
+      });
+
+  if (cfg.fixed) {
+    // The fix: shard the cache — each client warms (first-touches) the
+    // shard it will serve.
+    parallel_region(
+        m, cfg.threads, "warm_shard._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame warm(t, fr.warm_loop);
+          const Slice s = block_slice(run.keys, index, cfg.threads);
+          store_lines(t, run.values, s.begin, s.end);
+          co_return;
+        });
+  }
+  run.warm_cycles = phase.lap();
+
+  // --- Serving: hashed gets/puts with hot-key skew ---------------------
+  parallel_region(
+      m, cfg.threads, "client._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice shard = block_slice(run.keys, index, cfg.threads);
+        const std::uint64_t shard_size = shard.end - shard.begin;
+        const std::uint64_t state_slot =
+            static_cast<std::uint64_t>(index) * kElemsPerPage;
+        for (std::uint32_t op = 0; op < cfg.ops_per_client; ++op) {
+          const std::uint64_t request =
+              static_cast<std::uint64_t>(index) * cfg.ops_per_client + op;
+          std::uint64_t key;
+          if (!cfg.fixed && op % cfg.hot_every == 0) {
+            // The skew: a handful of celebrity keys takes a fixed cut of
+            // every client's traffic (all on one page).
+            key = run.hot_key + (request % 16);
+          } else if (cfg.fixed) {
+            // Sharded: this client only serves keys in its own shard.
+            key = shard.begin + key_of(request, shard_size);
+          } else {
+            key = key_of(request, run.keys);
+          }
+          t.load(elem_addr(run.values, key));
+          t.exec(2);  // hash + bookkeeping
+          if (op % 4 == 3) {
+            t.store(elem_addr(run.values, key));  // put
+          }
+          t.store(elem_addr(run.client_state, state_slot + (op % 8)));
+          if (op % 16 == 0) co_await t.tick();
+        }
+        co_return;
+      });
+  run.serve_cycles = phase.lap();
+  run.total_cycles = run.warm_cycles + run.serve_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

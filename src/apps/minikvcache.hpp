@@ -1,0 +1,55 @@
+// MiniKvCache: a get/put key-value cache kernel.
+//
+// Memory structure modeled on an in-memory cache behind a fleet of client
+// threads:
+//  - values: the value heap, indexed by hashed key. The BROKEN variant
+//    warms the whole cache from one loader thread (serial first touch);
+//    clients then hash their requests across the WHOLE keyspace, with a
+//    deliberate hot-key skew (a fraction of every client's ops lands on a
+//    handful of keys packed into one page — the hot page the
+//    address-centric view shows). Expected diagnosis: full-range ->
+//    interleave.
+//  - client_state: per-client scratch (worker-written, local).
+//
+// The FIXED variant shards the cache by domain: client i warms and serves
+// only shard i, so every lookup is block-local — which is why the fix
+// beats interleaving (interleave merely spreads the misses evenly).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+#include "simos/page_policy.hpp"
+
+namespace numaprof::apps {
+
+struct KvCacheConfig {
+  std::uint32_t threads = 8;
+  /// Value-heap pages per client thread (keyspace scales with threads).
+  std::uint32_t pages_per_thread = 3;
+  /// get/put operations issued per client.
+  std::uint32_t ops_per_client = 4096;
+  /// Every `hot_every`-th op hits one of the hot keys instead of the
+  /// hashed key (the skew knob; 4 = 25% of traffic on the hot page).
+  std::uint32_t hot_every = 4;
+  /// Domain-sharded cache (the fix) instead of the shared keyspace.
+  bool fixed = false;
+  /// Placement applied to values in the broken variant (the grid's
+  /// page-policy axis); the fixed variant always relies on first touch.
+  simos::PolicySpec hot_policy = simos::PolicySpec::first_touch();
+};
+
+struct KvCacheRun {
+  simos::VAddr values = 0;
+  simos::VAddr client_state = 0;
+  std::uint64_t keys = 0;
+  /// First key of the hot set (16 keys in one line-aligned run mid-heap).
+  std::uint64_t hot_key = 0;
+  numasim::Cycles warm_cycles = 0;
+  numasim::Cycles serve_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+KvCacheRun run_minikvcache(simrt::Machine& machine, const KvCacheConfig& config);
+
+}  // namespace numaprof::apps

@@ -1,0 +1,142 @@
+#include "apps/miniorderbook.hpp"
+
+#include <vector>
+
+namespace numaprof::apps {
+
+namespace {
+
+using simos::PolicySpec;
+using simrt::FrameId;
+using simrt::Machine;
+using simrt::ScopedFrame;
+using simrt::SimThread;
+using simrt::Task;
+
+inline constexpr std::uint32_t kSections = 3;  // price, qty, side
+
+struct Frames {
+  FrameId main;
+  FrameId alloc_book;
+  FrameId alloc_ctrl;
+  FrameId alloc_fills;
+  FrameId feed_loop;
+  FrameId match_loop;
+};
+
+Frames make_frames(Machine& m) {
+  auto& f = m.frames();
+  Frames fr;
+  fr.main = f.intern("main", "orderbook.cc", 25);
+  fr.alloc_book = f.intern("malloc(book)", "orderbook.cc", 38);
+  fr.alloc_ctrl = f.intern("malloc(queue_ctrl)", "orderbook.cc", 41);
+  fr.alloc_fills = f.intern("malloc(fills)", "orderbook.cc", 44);
+  fr.feed_loop = f.intern("feed_orders", "orderbook.cc", 70,
+                          simrt::FrameKind::kLoop);
+  fr.match_loop = f.intern("match_orders", "orderbook.cc", 110,
+                           simrt::FrameKind::kLoop);
+  return fr;
+}
+
+}  // namespace
+
+OrderBookRun run_miniorderbook(Machine& m, const OrderBookConfig& cfg) {
+  const Frames fr = make_frames(m);
+  OrderBookRun run;
+  run.slots = static_cast<std::uint64_t>(cfg.threads) * cfg.slots_per_thread;
+  PhaseClock phase(m);
+
+  const PolicySpec book_policy =
+      cfg.fixed ? PolicySpec::first_touch() : cfg.hot_policy;
+  const std::vector<FrameId> base = {fr.main};
+
+  // Field f of slot s: SoA lays the three sections end-to-end; the fixed
+  // AoS packs one order's three fields together.
+  const auto field_addr = [&](std::uint64_t slot,
+                              std::uint32_t field) -> simos::VAddr {
+    if (cfg.fixed) return run.book + (slot * kSections + field) * 8;
+    return run.book +
+           (static_cast<std::uint64_t>(field) * run.slots + slot) * 8;
+  };
+  // Shared head/tail counters on ONE page (broken), or one counter line
+  // per matcher (fixed).
+  const auto ctrl_addr = [&](std::uint32_t matcher) -> simos::VAddr {
+    return run.queue_ctrl + (cfg.fixed ? matcher * kLineStride : 0) * 8;
+  };
+
+  // --- Allocation + feed (producer) ------------------------------------
+  parallel_region(
+      m, 1, "feed_thread", base, [&](SimThread& t, std::uint32_t) -> Task {
+        {
+          ScopedFrame a(t, fr.alloc_book);
+          run.book = t.malloc(run.slots * kSections * 8, "book", book_policy);
+        }
+        {
+          ScopedFrame a(t, fr.alloc_ctrl);
+          run.queue_ctrl = t.malloc(
+              std::max<std::uint64_t>(simos::kPageBytes,
+                                      cfg.threads * kLineStride * 8ull),
+              "queue_ctrl");
+        }
+        {
+          ScopedFrame a(t, fr.alloc_fills);
+          run.fills = t.malloc(run.slots * 8, "fills");
+        }
+        if (!cfg.fixed) {
+          // Broken: the feed thread publishes every order, first-touching
+          // all three sections (and the queue head) in its own domain.
+          ScopedFrame feed(t, fr.feed_loop);
+          store_lines(t, run.book, 0, run.slots * kSections);
+          t.store(ctrl_addr(0));
+        }
+        co_return;
+      });
+
+  if (cfg.fixed) {
+    // The fix: each matcher claims its slot block up front, first-touching
+    // its (now contiguous, AoS) orders and its own counter line.
+    parallel_region(
+        m, cfg.threads, "claim_slots._omp", base,
+        [&](SimThread& t, std::uint32_t index) -> Task {
+          ScopedFrame feed(t, fr.feed_loop);
+          const Slice s = block_slice(run.slots, index, cfg.threads);
+          store_lines(t, run.book, s.begin * kSections, s.end * kSections);
+          t.store(ctrl_addr(index));
+          co_return;
+        });
+  }
+  run.feed_cycles = phase.lap();
+
+  // --- Matching (consumers) --------------------------------------------
+  parallel_region(
+      m, cfg.threads, "matcher._omp", base,
+      [&](SimThread& t, std::uint32_t index) -> Task {
+        const Slice s = block_slice(run.slots, index, cfg.threads);
+        for (std::uint32_t pass = 0; pass < cfg.passes; ++pass) {
+          ScopedFrame match(t, fr.match_loop);
+          for (std::uint64_t slot = s.begin; slot < s.end;
+               slot += kLineStride) {
+            // Claim a batch of two lines at a time: bump the (shared or
+            // sharded) queue head. Batching keeps the book the dominant
+            // variable by volume while the head page stays visibly hot.
+            if ((slot / kLineStride) % 2 == 0) {
+              t.load(ctrl_addr(index));
+              t.store(ctrl_addr(index));
+            }
+            for (std::uint32_t field = 0; field < kSections; ++field) {
+              t.load(field_addr(slot, field));
+            }
+            t.exec(4);  // price-time priority match
+            t.store(elem_addr(run.fills, slot));
+            co_await t.tick();
+          }
+          co_await t.yield();  // pass barrier
+        }
+        co_return;
+      });
+  run.match_cycles = phase.lap();
+  run.total_cycles = run.feed_cycles + run.match_cycles;
+  return run;
+}
+
+}  // namespace numaprof::apps

@@ -1,0 +1,56 @@
+// MiniOrderBook: a producer-consumer order-book kernel.
+//
+// Memory structure modeled on a market-data fan-out: one feed thread
+// publishes orders into a ring, N matcher threads consume them.
+//  - book: ONE allocation holding three equal SoA sections (price, qty,
+//    side), each indexed by slot. The feed thread fills every slot
+//    serially (serial first touch), and each matcher reads its slot slice
+//    from EVERY section — ascending, heavily-overlapping staggered ranges,
+//    exactly the Blackscholes Fig. 8 shape. Expected diagnosis:
+//    staggered-overlap -> regroup-AoS+parallel-init.
+//  - queue_ctrl: the hot shared queue head/tail page. Every operation by
+//    every thread hits this single page, which first touch homes in the
+//    feed thread's domain — the "hot page" the address-centric view shows.
+//  - fills: per-matcher output (worker-written, local).
+//
+// The FIXED variant regroups the three sections into an AoS and lets each
+// matcher first-touch its own slot block, and shards queue_ctrl per
+// matcher (one counter line per thread instead of one shared head).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.hpp"
+#include "simos/page_policy.hpp"
+
+namespace numaprof::apps {
+
+struct OrderBookConfig {
+  std::uint32_t threads = 8;
+  /// Order slots per matcher thread (book holds 3 sections x slots).
+  std::uint32_t slots_per_thread = 1024;
+  /// Matching passes over each matcher's slot window. Sized so each
+  /// matcher collects enough samples under the mini IBS config that its
+  /// staggered per-thread range is visible through 5-bin quantization.
+  std::uint32_t passes = 24;
+  /// AoS regroup + matcher-parallel first touch + sharded queue counters.
+  bool fixed = false;
+  /// Placement applied to the book in the broken variant (the grid's
+  /// page-policy axis); the fixed variant always relies on first touch.
+  simos::PolicySpec hot_policy = simos::PolicySpec::first_touch();
+};
+
+struct OrderBookRun {
+  simos::VAddr book = 0;
+  simos::VAddr queue_ctrl = 0;
+  simos::VAddr fills = 0;
+  std::uint64_t slots = 0;
+  numasim::Cycles feed_cycles = 0;
+  numasim::Cycles match_cycles = 0;
+  numasim::Cycles total_cycles = 0;
+};
+
+OrderBookRun run_miniorderbook(simrt::Machine& machine,
+                               const OrderBookConfig& config);
+
+}  // namespace numaprof::apps

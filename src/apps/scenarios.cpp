@@ -1,0 +1,92 @@
+#include "apps/scenarios.hpp"
+
+#include <string>
+
+#include "apps/minigraph.hpp"
+#include "apps/minijoin.hpp"
+#include "apps/minikvcache.hpp"
+#include "apps/miniorderbook.hpp"
+#include "support/error.hpp"
+
+namespace numaprof::apps {
+
+namespace {
+
+numasim::Cycles run_join(simrt::Machine& m, std::uint32_t threads, bool fixed,
+                         const simos::PolicySpec& hot_policy) {
+  JoinConfig cfg;
+  cfg.threads = threads;
+  cfg.fixed = fixed;
+  cfg.hot_policy = hot_policy;
+  return run_minijoin(m, cfg).total_cycles;
+}
+
+numasim::Cycles run_graph(simrt::Machine& m, std::uint32_t threads,
+                          bool fixed, const simos::PolicySpec& hot_policy) {
+  GraphConfig cfg;
+  cfg.threads = threads;
+  cfg.fixed = fixed;
+  cfg.hot_policy = hot_policy;
+  return run_minigraph(m, cfg).total_cycles;
+}
+
+numasim::Cycles run_orderbook(simrt::Machine& m, std::uint32_t threads,
+                              bool fixed,
+                              const simos::PolicySpec& hot_policy) {
+  OrderBookConfig cfg;
+  cfg.threads = threads;
+  cfg.fixed = fixed;
+  cfg.hot_policy = hot_policy;
+  return run_miniorderbook(m, cfg).total_cycles;
+}
+
+numasim::Cycles run_kvcache(simrt::Machine& m, std::uint32_t threads,
+                            bool fixed,
+                            const simos::PolicySpec& hot_policy) {
+  KvCacheConfig cfg;
+  cfg.threads = threads;
+  cfg.fixed = fixed;
+  cfg.hot_policy = hot_policy;
+  return run_minikvcache(m, cfg).total_cycles;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& matrix_scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"graph", "col_index", core::PatternKind::kBlocked,
+       core::Action::kBlockwiseFirstTouch,
+       "serial CSR build: one thread first-touches the whole adjacency",
+       run_graph},
+      {"join", "hashtable", core::PatternKind::kFullRange,
+       core::Action::kInterleave,
+       "serial build side: probes hash across a one-domain bucket array",
+       run_join},
+      {"kvcache", "values", core::PatternKind::kFullRange,
+       core::Action::kInterleave,
+       "serial warm-up + hot-key skew onto one loader-homed page",
+       run_kvcache},
+      {"orderbook", "book", core::PatternKind::kStaggeredOverlap,
+       core::Action::kRegroupAos,
+       "feed-thread SoA publish: consumers stride three remote sections",
+       run_orderbook},
+  };
+  return kScenarios;
+}
+
+const Scenario& scenario_by_name(std::string_view name) {
+  for (const Scenario& s : matrix_scenarios()) {
+    if (s.name == name) return s;
+  }
+  std::string known;
+  for (const Scenario& s : matrix_scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw Error(ErrorKind::kUsage, /*file=*/"", /*field=*/"scenario",
+              /*line=*/0,
+              "unknown matrix scenario '" + std::string(name) +
+                  "' (known scenarios: " + known + ")");
+}
+
+}  // namespace numaprof::apps

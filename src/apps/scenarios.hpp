@@ -1,0 +1,51 @@
+// Scenario registry: the matrix workloads with their expected diagnoses.
+//
+// Each entry binds one workload kernel (broken + fixed variants behind a
+// single runner) to the diagnosis the tool is EXPECTED to produce on the
+// broken variant: which variable carries the mismatch, which access
+// pattern it exhibits, and which advisor Action fires. The regression grid
+// (tests/matrix_grid_test), the matrix bench, and the docs all consume
+// this one declarative table, so a kernel and its expectations cannot
+// drift apart silently.
+//
+// Note the expectations are PLACEMENT-INDEPENDENT: pattern classification
+// depends only on per-thread address ranges, so the expected pattern and
+// action hold across every topology and page-policy cell of the grid.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "apps/common.hpp"
+#include "core/advisor.hpp"
+#include "simos/page_policy.hpp"
+
+namespace numaprof::apps {
+
+struct Scenario {
+  /// Stable short name ("join", "graph", "orderbook", "kvcache").
+  std::string_view name;
+  /// The variable expected to top the mismatch ranking (broken variant).
+  std::string_view hot_variable;
+  /// Expected whole-program/guiding access pattern of the hot variable.
+  core::PatternKind expected_pattern;
+  /// Expected advisor recommendation for the hot variable.
+  core::Action expected_action;
+  /// One-line description of the deliberate antipattern (docs + bench).
+  std::string_view antipattern;
+  /// Runs the kernel: broken (fixed=false, `hot_policy` applied to the
+  /// hot variable) or fixed (fixed=true, first-touch + the code fix).
+  /// Returns total virtual cycles of the run.
+  numasim::Cycles (*run)(simrt::Machine& machine, std::uint32_t threads,
+                         bool fixed, const simos::PolicySpec& hot_policy);
+};
+
+/// All four matrix scenarios, in stable name order.
+const std::vector<Scenario>& matrix_scenarios();
+
+/// Lookup by short name; throws numaprof::Error{kUsage} naming the valid
+/// choices when `name` is unknown.
+const Scenario& scenario_by_name(std::string_view name);
+
+}  // namespace numaprof::apps

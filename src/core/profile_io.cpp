@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <tuple>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -136,7 +137,16 @@ void save_profile(const SessionData& data, std::ostream& os) {
   }
 
   os << "firsttouch " << data.first_touches.size() << "\n";
-  for (const FirstTouchRecord& r : data.first_touches) {
+  // Canonical record order: a live snapshot logs first touches in global
+  // chronological order, while shard merging concatenates each thread's
+  // records.  Sorting makes both serialize to the same bytes.
+  std::vector<FirstTouchRecord> touches = data.first_touches;
+  std::sort(touches.begin(), touches.end(),
+            [](const FirstTouchRecord& a, const FirstTouchRecord& b) {
+              return std::tie(a.variable, a.page, a.tid, a.domain, a.node) <
+                     std::tie(b.variable, b.page, b.tid, b.domain, b.node);
+            });
+  for (const FirstTouchRecord& r : touches) {
     os << r.variable << " " << r.tid << " " << r.domain << " " << r.node
        << " " << r.page << "\n";
   }

@@ -17,8 +17,8 @@ System::System(Topology topology)
   controllers_.reserve(topology_.domain_count);
   for (std::uint32_t d = 0; d < topology_.domain_count; ++d) {
     l3_.emplace_back(topology_.l3);
-    controllers_.emplace_back(topology_.local_dram_latency,
-                              topology_.controller_service);
+    controllers_.emplace_back(topology_.dram_latency_of(d),
+                              topology_.controller_service_of(d));
   }
 }
 
@@ -41,11 +41,14 @@ MemoryResult System::access(CoreId core, DomainId home,
     return result;
   }
 
-  // Past the private caches: traverse to the home domain's L3.
+  // Past the private caches: traverse to the home domain's L3. Memory-only
+  // domains (CXL-type expanders) have no home-side cache, so every access
+  // that reaches them pays the full DRAM path — the far tier can never
+  // come back faster than socket-attached memory.
   Cycles latency = topology_.l2.hit_latency;  // L2 miss detection cost
   latency += interconnect_.round_trip(requester, home, now + latency,
                                       topology_.distance(requester, home));
-  if (l3_[home].access(line)) {
+  if (!topology_.is_memory_only(home) && l3_[home].access(line)) {
     latency += topology_.l3.hit_latency;
     result.latency = latency;
     result.source = remote ? DataSource::kRemoteL3 : DataSource::kLocalL3;

@@ -1,5 +1,10 @@
 #include "numasim/topology.hpp"
 
+#include <cstdlib>
+#include <utility>
+
+#include "support/error.hpp"
+
 namespace numaprof::numasim {
 
 std::string_view to_string(DataSource s) noexcept {
@@ -115,6 +120,92 @@ Topology ivy_bridge() {
   return t;
 }
 
+Topology snc_two_socket() {
+  Topology t;
+  t.name = "SNC two-socket (2 sockets x 2 clusters, 16 cores)";
+  t.domain_count = 4;
+  t.cores_per_domain = 4;
+  t.l1 = {.sets = 64, .ways = 8, .hit_latency = 4};
+  t.l2 = {.sets = 512, .ways = 8, .hit_latency = 12};
+  t.l3 = {.sets = 2048, .ways = 12, .hit_latency = 33};
+  t.local_dram_latency = 105;
+  // SNC's defining asymmetry: the sibling cluster on the same socket is a
+  // single cheap mesh hop away, while the other socket costs two UPI-class
+  // traversals. remote = 105 + 2*40 = 185 > 1.3x local keeps the §2
+  // invariant for the sibling cluster too.
+  t.remote_hop_latency = 40;
+  t.controller_service = 6;
+  t.link_service = 2;
+  t.domain_distance.assign(static_cast<std::size_t>(t.domain_count) *
+                               t.domain_count,
+                           0);
+  for (DomainId a = 0; a < t.domain_count; ++a) {
+    for (DomainId b = 0; b < t.domain_count; ++b) {
+      if (a == b) continue;
+      const bool same_socket = (a / 2) == (b / 2);
+      t.domain_distance[static_cast<std::size_t>(a) * t.domain_count + b] =
+          same_socket ? 1 : 2;
+    }
+  }
+  return t;
+}
+
+Topology cxl_far_memory() {
+  Topology t;
+  t.name = "CXL far memory (2 compute domains + 1 memory-only expander)";
+  t.domain_count = 3;
+  t.cores_per_domain = 4;
+  t.memory_only_domains = 1;  // domain 2 has memory but no cores
+  t.l1 = {.sets = 64, .ways = 8, .hit_latency = 4};
+  t.l2 = {.sets = 512, .ways = 8, .hit_latency = 12};
+  t.l3 = {.sets = 4096, .ways = 16, .hit_latency = 35};
+  t.local_dram_latency = 110;
+  t.remote_hop_latency = 50;
+  t.controller_service = 3;
+  t.link_service = 2;
+  // The expander sits behind a serial CXL link: ~3x the pipe latency of
+  // socket DRAM and an order of magnitude less bandwidth (high occupancy
+  // per request). Socket domains keep the uniform numbers.
+  t.domain_dram_latency = {110, 110, 340};
+  t.domain_controller_service = {3, 3, 36};
+  // Reaching the expander crosses the socket fabric and then the CXL link.
+  t.domain_distance = {0, 1, 2,   //
+                       1, 0, 2,   //
+                       2, 2, 0};
+  return t;
+}
+
+Topology numascope_ccnuma() {
+  Topology t;
+  t.name = "NUMAscope ccNUMA ring (6 domains, 12 cores)";
+  t.domain_count = 6;
+  t.cores_per_domain = 2;
+  t.l1 = {.sets = 64, .ways = 4, .hit_latency = 3};
+  t.l2 = {.sets = 256, .ways = 8, .hit_latency = 11};
+  t.l3 = {.sets = 1024, .ways = 8, .hit_latency = 38};
+  t.local_dram_latency = 115;
+  t.remote_hop_latency = 55;
+  t.controller_service = 7;
+  t.link_service = 3;
+  // Ring fabric: hop count is the shorter way around, so remote latency
+  // grows with distance (1..3 hops) instead of the flat 1-hop presets.
+  t.domain_distance.assign(static_cast<std::size_t>(t.domain_count) *
+                               t.domain_count,
+                           0);
+  for (DomainId a = 0; a < t.domain_count; ++a) {
+    for (DomainId b = 0; b < t.domain_count; ++b) {
+      if (a == b) continue;
+      const std::uint32_t forward = (b + t.domain_count - a) % t.domain_count;
+      const std::uint32_t hops =
+          forward < t.domain_count - forward ? forward
+                                             : t.domain_count - forward;
+      t.domain_distance[static_cast<std::size_t>(a) * t.domain_count + b] =
+          static_cast<std::uint8_t>(hops);
+    }
+  }
+  return t;
+}
+
 Topology test_machine(std::uint32_t domains, std::uint32_t cores) {
   Topology t;
   t.name = "test machine";
@@ -133,6 +224,53 @@ Topology test_machine(std::uint32_t domains, std::uint32_t cores) {
 std::vector<Topology> evaluation_presets() {
   return {amd_magny_cours(), power7(), xeon_harpertown(), itanium2(),
           ivy_bridge()};
+}
+
+namespace {
+
+struct PresetEntry {
+  const char* name;
+  Topology (*factory)();
+};
+
+// The by-name catalog. Order here is presentation order for preset_names()
+// and error messages; lookups never depend on position.
+constexpr PresetEntry kPresetCatalog[] = {
+    {"magny-cours", amd_magny_cours},
+    {"magny-cours-ht", amd_magny_cours_ht},
+    {"power7", power7},
+    {"harpertown", xeon_harpertown},
+    {"itanium2", itanium2},
+    {"ivy-bridge", ivy_bridge},
+    {"snc", snc_two_socket},
+    {"cxl-far-memory", cxl_far_memory},
+    {"numascope", numascope_ccnuma},
+};
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kPresetCatalog));
+  for (const PresetEntry& entry : kPresetCatalog) {
+    names.emplace_back(entry.name);
+  }
+  return names;
+}
+
+Topology topology_by_name(std::string_view name) {
+  for (const PresetEntry& entry : kPresetCatalog) {
+    if (name == entry.name) return entry.factory();
+  }
+  std::string known;
+  for (const PresetEntry& entry : kPresetCatalog) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw Error(ErrorKind::kUsage, /*file=*/"", /*field=*/"topology",
+              /*line=*/0,
+              "unknown topology preset '" + std::string(name) +
+                  "' (known presets: " + known + ")");
 }
 
 }  // namespace numaprof::numasim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "numasim/types.hpp"
@@ -39,6 +40,10 @@ struct Topology {
   std::string name;
   std::uint32_t domain_count = 1;
   std::uint32_t cores_per_domain = 1;
+  /// Trailing domains that contribute memory but hold no cores (CXL-type
+  /// expanders / far-memory tiers). They occupy the HIGHEST domain ids so
+  /// core->domain mapping over the compute domains stays dense.
+  std::uint32_t memory_only_domains = 0;
 
   CacheGeometry l1;  // private per core
   CacheGeometry l2;  // private per core
@@ -55,6 +60,13 @@ struct Topology {
   /// Empty = uniform (every remote pair is 1 hop). Diagonal entries are 0.
   std::vector<std::uint8_t> domain_distance;
 
+  /// Optional per-domain DRAM pipe latency / controller occupancy (size
+  /// domain_count each, or empty = uniform local_dram_latency /
+  /// controller_service). Heterogeneous tiers — a CXL expander behind a
+  /// serial link — are slower AND narrower than socket-attached DRAM.
+  std::vector<Cycles> domain_dram_latency;
+  std::vector<Cycles> domain_controller_service;
+
   /// Hops between two domains (0 for a == b, >= 1 otherwise).
   std::uint32_t distance(DomainId a, DomainId b) const noexcept {
     if (a == b) return 0;
@@ -65,8 +77,28 @@ struct Topology {
     return 1;
   }
 
+  /// Domains that hold cores (ids [0, compute_domain_count)).
+  std::uint32_t compute_domain_count() const noexcept {
+    return domain_count - memory_only_domains;
+  }
+  bool is_memory_only(DomainId domain) const noexcept {
+    return domain >= compute_domain_count();
+  }
+  Cycles dram_latency_of(DomainId domain) const noexcept {
+    if (domain_dram_latency.size() == domain_count) {
+      return domain_dram_latency[domain];
+    }
+    return local_dram_latency;
+  }
+  Cycles controller_service_of(DomainId domain) const noexcept {
+    if (domain_controller_service.size() == domain_count) {
+      return domain_controller_service[domain];
+    }
+    return controller_service;
+  }
+
   std::uint32_t core_count() const noexcept {
-    return domain_count * cores_per_domain;
+    return compute_domain_count() * cores_per_domain;
   }
   DomainId domain_of_core(CoreId core) const noexcept {
     return core / cores_per_domain;
@@ -98,11 +130,36 @@ Topology itanium2();
 /// Intel Ivy Bridge: 8 cores, 2 sockets/domains. PEBS-LL host.
 Topology ivy_bridge();
 
+/// Sub-NUMA clustering: a 2-socket box with each socket split into two
+/// clusters (4 domains, 16 cores). Intra-socket cluster crossings are 1
+/// cheap hop; cross-socket crossings are 2 hops — the asymmetric
+/// intra-socket latency SNC exposes (and that flat 2-domain presets hide).
+Topology snc_two_socket();
+
+/// CXL-like far-memory tier: 2 compute domains plus one memory-only
+/// expander domain with much higher latency and much lower bandwidth
+/// (arXiv:2410.01514 §5 motivates profiling such tiered layouts).
+Topology cxl_far_memory();
+
+/// NUMAscope-style ccNUMA fabric: 6 two-core domains on a ring
+/// interconnect, so remote costs grow with hop distance up to 3 hops
+/// (arXiv:2111.11836 studies exactly these interconnect-heavy layouts).
+Topology numascope_ccnuma();
+
 /// Small machine for unit tests: `domains` domains x `cores` cores with tiny
 /// caches so tests can force misses cheaply.
 Topology test_machine(std::uint32_t domains, std::uint32_t cores);
 
 /// All five evaluation presets (Table 1 order).
 std::vector<Topology> evaluation_presets();
+
+/// Stable short names of every registered preset, for by-name iteration
+/// (tests and CLIs must not depend on Table-1 vector positions).
+std::vector<std::string> preset_names();
+
+/// Look up any registered preset by its short name (e.g. "magny-cours",
+/// "snc", "cxl-far-memory"). Throws numaprof::Error{kUsage} naming the
+/// valid choices when `name` is unknown.
+Topology topology_by_name(std::string_view name);
 
 }  // namespace numaprof::numasim

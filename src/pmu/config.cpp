@@ -15,6 +15,7 @@ std::string_view to_string(Mechanism m) noexcept {
     case Mechanism::kDear: return "DEAR";
     case Mechanism::kPebsLl: return "PEBS-LL";
     case Mechanism::kSoftIbs: return "Soft-IBS";
+    case Mechanism::kSpe: return "SPE";
   }
   return "unknown";
 }
@@ -52,6 +53,14 @@ Capabilities capabilities_of(Mechanism m) noexcept {
     case Mechanism::kSoftIbs:
       // Instrumentation sees every access; effective address + IP only.
       return {.precise_ip = true, .software_instrumentation = true};
+    case Mechanism::kSpe:
+      // ARM SPE samples every N-th micro-op of any kind at a FIXED
+      // architectural interval; sampled memory ops carry total latency,
+      // a data-source packet, and a precise PC (arXiv:2410.01514 §2).
+      return {.samples_all_instructions = true,
+              .reports_latency = true,
+              .reports_data_source = true,
+              .precise_ip = true};
   }
   return {};
 }
@@ -89,6 +98,12 @@ EventConfig EventConfig::table1(Mechanism m) {
       c.event_name = "memory accesses";
       c.period = 10'000'000;
       break;
+    case Mechanism::kSpe:
+      // PMSIRR.INTERVAL is a fixed op count; SPE relies on collision
+      // detection rather than period jitter.
+      c.event_name = "SPE ops (PMSIRR interval)";
+      c.period = 32 * 1024;
+      break;
   }
   return c;
 }
@@ -106,6 +121,7 @@ EventConfig EventConfig::mini(Mechanism m) {
     case Mechanism::kDear: c.period = 2'000; break;
     case Mechanism::kPebsLl: c.period = 2'000; break;
     case Mechanism::kSoftIbs: c.period = 5'000; break;
+    case Mechanism::kSpe: c.period = 1'200; break;
   }
   return c;
 }
@@ -119,9 +135,13 @@ std::string spec_name(Mechanism m) {
 }
 
 std::vector<Mechanism> fallback_chain(Mechanism requested) {
+  // SPE sits right after IBS: it matches IBS's capability profile
+  // (all-instruction sampling + latency + data source + precise IP), so it
+  // is the richest substitute when IBS hardware is absent.
   static constexpr Mechanism kOrder[] = {
-      Mechanism::kIbs,  Mechanism::kPebsLl, Mechanism::kPebs,
-      Mechanism::kMrk,  Mechanism::kDear,   Mechanism::kSoftIbs};
+      Mechanism::kIbs,  Mechanism::kSpe,  Mechanism::kPebsLl,
+      Mechanism::kPebs, Mechanism::kMrk,  Mechanism::kDear,
+      Mechanism::kSoftIbs};
   std::vector<Mechanism> chain{requested};
   for (const Mechanism m : kOrder) {
     if (m != requested) chain.push_back(m);

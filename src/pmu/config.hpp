@@ -50,7 +50,7 @@ struct EventConfig {
 };
 
 /// Degradation order when `requested` cannot be initialized: the requested
-/// mechanism first, then IBS → PEBS-LL → PEBS → MRK → DEAR → Soft-IBS
+/// mechanism first, then IBS → SPE → PEBS-LL → PEBS → MRK → DEAR → Soft-IBS
 /// (richest capabilities first; Soft-IBS is the always-available software
 /// fallback the paper built for exactly this case, §3).
 std::vector<Mechanism> fallback_chain(Mechanism requested);
@@ -61,7 +61,7 @@ std::vector<Mechanism> fallback_chain(Mechanism requested);
 bool mechanism_available(Mechanism m, const support::FaultPlan& plan);
 
 /// Lower-case mechanism name as used by CLIs and NUMAPROF_FAULTS
-/// (ibs, mrk, pebs, dear, pebs-ll, soft-ibs).
+/// (ibs, mrk, pebs, dear, pebs-ll, soft-ibs, spe).
 std::string spec_name(Mechanism m);
 
 }  // namespace numaprof::pmu

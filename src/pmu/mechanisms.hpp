@@ -1,4 +1,4 @@
-// The six address-sampling mechanisms (§3).
+// The seven address-sampling mechanisms (§3 + ARM SPE).
 //
 // Each class reproduces the trigger logic and capability profile of one
 // hardware (or software) mechanism. See pmu/config.cpp for the capability
@@ -97,6 +97,20 @@ class PebsLlSampler final : public Sampler {
 class SoftIbsSampler final : public Sampler {
  public:
   using Sampler::Sampler;
+  void on_access(const simrt::SimThread& thread,
+                 const simrt::AccessEvent& event) override;
+};
+
+/// ARM Statistical Profiling Extension: tags every N-th operation of any
+/// kind at a FIXED architectural interval (PMSIRR has no hardware period
+/// randomization; the architecture relies on sample-collision detection
+/// instead). Tagged memory ops report effective address, total latency,
+/// a data-source packet, and a precise PC (arXiv:2410.01514 §2). The
+/// fixed interval is the observable behavioral difference from IBS.
+class SpeSampler final : public Sampler {
+ public:
+  using Sampler::Sampler;
+  void on_exec(const simrt::SimThread& thread, std::uint64_t count) override;
   void on_access(const simrt::SimThread& thread,
                  const simrt::AccessEvent& event) override;
 };

@@ -27,10 +27,12 @@ enum class Mechanism : std::uint8_t {
   kDear,     // Itanium data event address registers
   kPebsLl,   // PEBS with load-latency extension
   kSoftIbs,  // software instrumentation (the paper's LLVM-based fallback)
+  kSpe,      // ARM statistical profiling extension (fixed-interval op
+             // sampling with latency annotations, arXiv:2410.01514)
 };
 
 /// Number of Mechanism enumerators (deserializers validate against this).
-inline constexpr int kMechanismCount = 6;
+inline constexpr int kMechanismCount = 7;
 
 std::string_view to_string(Mechanism m) noexcept;
 

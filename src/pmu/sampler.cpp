@@ -102,6 +102,7 @@ std::unique_ptr<Sampler> make_sampler(EventConfig config) {
     case Mechanism::kDear: return std::make_unique<DearSampler>(config);
     case Mechanism::kPebsLl: return std::make_unique<PebsLlSampler>(config);
     case Mechanism::kSoftIbs: return std::make_unique<SoftIbsSampler>(config);
+    case Mechanism::kSpe: return std::make_unique<SpeSampler>(config);
   }
   throw std::invalid_argument("unknown sampling mechanism");
 }

@@ -1,0 +1,45 @@
+#include "pmu/mechanisms.hpp"
+
+namespace numaprof::pmu {
+
+namespace {
+
+std::uint64_t fixed_period(const EventConfig& config) noexcept {
+  return config.period == 0 ? 1 : config.period;
+}
+
+}  // namespace
+
+void SpeSampler::on_exec(const simrt::SimThread& thread, std::uint64_t count) {
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = fixed_period(config_);
+    st.primed = true;
+  }
+  // Like IBS, SPE tags operations of any kind, so a batch of non-memory
+  // ops can straddle several sampling intervals. Unlike IBS the reload
+  // value is the exact PMSIRR interval — no jitter.
+  while (count >= st.countdown) {
+    count -= st.countdown;
+    emit(make_instruction_sample(thread));
+    st.countdown = fixed_period(config_);
+  }
+  st.countdown -= count;
+}
+
+void SpeSampler::on_access(const simrt::SimThread& thread,
+                           const simrt::AccessEvent& event) {
+  ThreadState& st = state_of(thread.tid());
+  if (!st.primed) {
+    st.countdown = fixed_period(config_);
+    st.primed = true;
+  }
+  if (st.countdown <= 1) {
+    emit(make_memory_sample(event));
+    st.countdown = fixed_period(config_);
+  } else {
+    --st.countdown;
+  }
+}
+
+}  // namespace numaprof::pmu

@@ -244,11 +244,13 @@ void parallel_region(Machine& machine, std::uint32_t count,
   // Scatter binding: worker i lands in domain (i mod D), like
   // OMP_PLACES=scatter / the paper's thread-per-core binding. A compact
   // binding would put a small team entirely inside domain 0 and hide every
-  // NUMA effect.
+  // NUMA effect. Memory-only domains (a CXL-style far tier) have no cores,
+  // so only compute domains participate.
   const auto& topo = machine.topology();
   const auto scatter_core = [&topo](std::uint32_t i) -> numasim::CoreId {
-    const std::uint32_t domain = i % topo.domain_count;
-    const std::uint32_t slot = (i / topo.domain_count) % topo.cores_per_domain;
+    const std::uint32_t domains = topo.compute_domain_count();
+    const std::uint32_t domain = i % domains;
+    const std::uint32_t slot = (i / domains) % topo.cores_per_domain;
     return domain * topo.cores_per_domain + slot;
   };
   for (std::uint32_t i = 0; i < count; ++i) {

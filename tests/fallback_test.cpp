@@ -64,25 +64,35 @@ TEST(FallbackChain, SpecNamesMatchCliNames) {
   EXPECT_EQ(pmu::spec_name(pmu::Mechanism::kSoftIbs), "soft-ibs");
 }
 
-TEST(FallbackChain, IbsInitFailureDegradesToPebsLl) {
+TEST(FallbackChain, IbsInitFailureDegradesToSpe) {
+  // SPE matches IBS's capability profile, so it is the first substitute.
   support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs");
   const auto fb = pmu::make_sampler_with_fallback(
       pmu::EventConfig::mini(pmu::Mechanism::kIbs), plan);
   ASSERT_NE(fb.sampler, nullptr);
   EXPECT_EQ(fb.requested, pmu::Mechanism::kIbs);
-  EXPECT_EQ(fb.used, pmu::Mechanism::kPebsLl);
+  EXPECT_EQ(fb.used, pmu::Mechanism::kSpe);
   EXPECT_TRUE(fb.degraded());
   ASSERT_EQ(fb.unavailable.size(), 1u);
   EXPECT_EQ(fb.unavailable.front(), pmu::Mechanism::kIbs);
 }
 
+TEST(FallbackChain, IbsAndSpeFailuresDegradeToPebsLl) {
+  support::FaultPlan plan = support::FaultPlan::parse("init-fail=ibs,spe");
+  const auto fb = pmu::make_sampler_with_fallback(
+      pmu::EventConfig::mini(pmu::Mechanism::kIbs), plan);
+  ASSERT_NE(fb.sampler, nullptr);
+  EXPECT_EQ(fb.used, pmu::Mechanism::kPebsLl);
+  ASSERT_EQ(fb.unavailable.size(), 2u);
+}
+
 TEST(FallbackChain, EverythingFailingEndsAtSoftIbs) {
   support::FaultPlan plan =
-      support::FaultPlan::parse("init-fail=ibs,mrk,pebs,dear,pebs-ll");
+      support::FaultPlan::parse("init-fail=ibs,spe,mrk,pebs,dear,pebs-ll");
   const auto fb = pmu::make_sampler_with_fallback(
       pmu::EventConfig::mini(pmu::Mechanism::kIbs), plan);
   EXPECT_EQ(fb.used, pmu::Mechanism::kSoftIbs);
-  EXPECT_EQ(fb.unavailable.size(), 5u);
+  EXPECT_EQ(fb.unavailable.size(), 6u);
 }
 
 TEST(FallbackChain, NoFaultPlanMeansNoDegradation) {
@@ -105,7 +115,7 @@ TEST(ProfilerFallback, RecordsDegradationEventsAndActualMechanism) {
   const core::SessionData data = profiler.snapshot();
 
   EXPECT_EQ(data.requested_mechanism, pmu::Mechanism::kIbs);
-  EXPECT_EQ(data.mechanism, pmu::Mechanism::kPebsLl);
+  EXPECT_EQ(data.mechanism, pmu::Mechanism::kSpe);
   EXPECT_TRUE(data.degraded());
   const auto has_kind = [&](core::DegradationKind kind) {
     return std::any_of(data.degradations.begin(), data.degradations.end(),
@@ -119,7 +129,7 @@ TEST(ProfilerFallback, RecordsDegradationEventsAndActualMechanism) {
 
 TEST(ProfilerFallback, ViewerLabelsActualMechanism) {
   support::FaultPlan plan =
-      support::FaultPlan::parse("init-fail=ibs,mrk,pebs,dear,pebs-ll");
+      support::FaultPlan::parse("init-fail=ibs,spe,mrk,pebs,dear,pebs-ll");
   Machine m(numasim::test_machine(2, 2));
   core::ProfilerConfig cfg;
   cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);

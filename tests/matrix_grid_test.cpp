@@ -1,0 +1,359 @@
+// Scenario x topology x page-policy regression grid.
+//
+// Every cell runs the full record -> merge -> analyze pipeline on one of
+// the four matrix workload kernels (apps/scenarios.hpp), on one of five
+// machine presets (two Table-1 machines plus SNC, CXL far-memory, and the
+// NUMAscope ccNUMA ring), under one of three page policies applied to the
+// kernel's hot variable. Per cell the test asserts the DIAGNOSIS, not the
+// timing: which variable tops the mismatch ranking, which advisor Action
+// fires, where the hot pages live, and that the broken variant's mismatch
+// fraction exceeds its fixed twin by a calibrated margin. The expectation
+// bands live in one declarative table below; pattern/action expectations
+// are placement-independent (classification reads per-thread address
+// ranges only), so one row covers all 15 cells of a scenario.
+//
+// Companion locks: analyzer output must be byte-identical for any --jobs
+// value in every cell, shard save -> merge -> analyze must reproduce the
+// in-memory profile, and a representative slice (the join row) is locked
+// against a checked-in golden (tests/golden/matrix_join_slice.txt,
+// regenerate with NUMAPROF_REGEN_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/diff.hpp"
+#include "core/profile_io.hpp"
+#include "core/viewer.hpp"
+#include "matrix_support.hpp"
+
+namespace numaprof {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Declarative expectation bands --------------------------------------
+//
+// Mismatch-fraction bands calibrated against the deterministic simulator:
+// each band leaves >= 0.05 of slack around the extreme observed cell so a
+// timing-model tweak does not flip the grid, while still pinning the
+// DIRECTION (broken workload mismatch-heavy, fixed workload clean).
+struct GridExpectation {
+  std::string_view scenario;
+  double broken_min;   // every broken cell's mismatch fraction is above
+  double broken_max;   // ... and below
+  double fixed_max;    // fixed twin stays below (0.02 == exactly clean)
+  double min_gap;      // broken - fixed, per (topology, policy) cell
+  // kvcache's hot-key skew can degrade the sampled pattern from
+  // full-range to irregular on 2-domain machines; the ACTION (interleave)
+  // is still asserted for every scenario.
+  bool assert_pattern;
+};
+
+const GridExpectation& expectation_for(std::string_view scenario) {
+  static const std::vector<GridExpectation> kTable = {
+      {"graph", 0.35, 0.95, 0.40, 0.20, true},
+      {"join", 0.25, 0.70, 0.02, 0.25, true},
+      {"kvcache", 0.20, 0.60, 0.02, 0.20, false},
+      {"orderbook", 0.30, 0.80, 0.25, 0.25, true},
+  };
+  for (const GridExpectation& e : kTable) {
+    if (e.scenario == scenario) return e;
+  }
+  throw std::logic_error("no expectation row for scenario");
+}
+
+// --- Cell cache ----------------------------------------------------------
+//
+// gtest instantiates one TEST_P per (cell, assertion-suite) pair; caching
+// recorded cells keeps the grid at one simulation per cell. The fixed twin
+// ignores the policy axis (it always first-touches), so it is keyed on
+// (scenario, topology) only.
+using CellKey = std::tuple<std::string, std::string, std::string, bool>;
+
+const matrix::CellResult& cached_cell(const apps::Scenario& scenario,
+                                      const std::string& topology,
+                                      const std::string& policy,
+                                      bool fixed) {
+  static std::map<CellKey, matrix::CellResult> cache;
+  const CellKey key{std::string(scenario.name), topology,
+                    fixed ? std::string() : policy, fixed};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const simos::PolicySpec spec =
+        fixed ? matrix::policy_by_name("first-touch").spec
+              : matrix::policy_by_name(policy).spec;
+    it = cache.emplace(key, matrix::run_cell(scenario, topology, spec, fixed))
+             .first;
+  }
+  return it->second;
+}
+
+using Param = std::tuple<std::string, std::string, std::string>;
+
+class MatrixGrid : public ::testing::TestWithParam<Param> {
+ protected:
+  const apps::Scenario& scenario() const {
+    return apps::scenario_by_name(std::get<0>(GetParam()));
+  }
+  const matrix::CellResult& broken() const {
+    return cached_cell(scenario(), std::get<1>(GetParam()),
+                       std::get<2>(GetParam()), false);
+  }
+  const matrix::CellResult& fixed_twin() const {
+    return cached_cell(scenario(), std::get<1>(GetParam()),
+                       std::get<2>(GetParam()), true);
+  }
+  std::string policy() const { return std::get<2>(GetParam()); }
+};
+
+// --- Per-cell diagnosis --------------------------------------------------
+
+TEST_P(MatrixGrid, DiagnosesHotVariableAndAction) {
+  const apps::Scenario& s = scenario();
+  const core::Analyzer analyzer(broken().data);
+  ASSERT_GT(analyzer.program().memory_samples, 100u);
+
+  // The kernel's deliberately-broken variable tops the mismatch ranking.
+  EXPECT_EQ(matrix::top_mismatch_variable(analyzer), s.hot_variable);
+
+  const core::Advisor advisor(analyzer);
+  for (const core::Variable& v : broken().data.variables) {
+    if (v.name != s.hot_variable) continue;
+    const core::Recommendation rec = advisor.recommend(v.id);
+    EXPECT_EQ(rec.action, s.expected_action)
+        << "advisor suggested " << to_string(rec.action) << " (pattern "
+        << to_string(rec.guiding.kind) << ")";
+    if (expectation_for(s.name).assert_pattern) {
+      EXPECT_EQ(rec.guiding.kind, s.expected_pattern)
+          << "guiding pattern " << to_string(rec.guiding.kind);
+    }
+    return;
+  }
+  FAIL() << "hot variable not sampled: " << s.hot_variable;
+}
+
+TEST_P(MatrixGrid, HotPagesHomeWhereThePolicyPutsThem) {
+  // Under first touch the serial init homes every hot page in the master
+  // thread's domain 0 — the classic diagnosis. Interleave and blockwise
+  // spread the pages, so no single home domain exists.
+  const apps::Scenario& s = scenario();
+  const core::Analyzer analyzer(broken().data);
+  for (const core::Variable& v : broken().data.variables) {
+    if (v.name != s.hot_variable) continue;
+    const core::VariableReport report = analyzer.report(v.id);
+    ASSERT_GT(report.samples, 0u);
+    if (policy() == "first-touch") {
+      ASSERT_TRUE(report.single_home_domain.has_value());
+      EXPECT_EQ(*report.single_home_domain, 0u);
+    } else {
+      EXPECT_FALSE(report.single_home_domain.has_value())
+          << "policy " << policy() << " should spread " << s.hot_variable
+          << " across domains";
+    }
+    return;
+  }
+  FAIL() << "hot variable not sampled: " << s.hot_variable;
+}
+
+TEST_P(MatrixGrid, BrokenMismatchExceedsFixedTwin) {
+  const GridExpectation& want = expectation_for(scenario().name);
+  const core::Analyzer broken_an(broken().data);
+  const core::Analyzer fixed_an(fixed_twin().data);
+  const double broken_mm = matrix::mismatch_fraction(broken_an);
+  const double fixed_mm = matrix::mismatch_fraction(fixed_an);
+
+  EXPECT_GE(broken_mm, want.broken_min);
+  EXPECT_LE(broken_mm, want.broken_max);
+  EXPECT_LE(fixed_mm, want.fixed_max);
+  EXPECT_GE(broken_mm - fixed_mm, want.min_gap)
+      << "broken=" << broken_mm << " fixed=" << fixed_mm;
+}
+
+TEST_P(MatrixGrid, DiffAgainstFixedTwinResolvesHotVariable) {
+  // The §8 verify step, per cell: diffing broken vs fixed must report the
+  // regression direction at program level AND name the hot variable as
+  // resolved (its own remote share collapsed).
+  const apps::Scenario& s = scenario();
+  const GridExpectation& want = expectation_for(s.name);
+  const core::Analyzer before(broken().data);
+  const core::Analyzer after(fixed_twin().data);
+  const core::DiffReport report = core::diff_profiles(before, after);
+
+  EXPECT_GE(report.mismatch_fraction_before - report.mismatch_fraction_after,
+            want.min_gap);
+
+  bool found = false;
+  for (const core::VariableDelta& delta : report.variables) {
+    if (delta.name != s.hot_variable) continue;
+    found = true;
+    EXPECT_LT(delta.mismatch_fraction_after, delta.mismatch_fraction_before);
+    EXPECT_TRUE(delta.resolved())
+        << s.hot_variable << ": before=" << delta.mismatch_fraction_before
+        << " after=" << delta.mismatch_fraction_after;
+  }
+  EXPECT_TRUE(found) << s.hot_variable << " missing from diff";
+
+  const std::vector<std::string> resolved = report.resolved_variables();
+  EXPECT_NE(std::find(resolved.begin(), resolved.end(),
+                      std::string(s.hot_variable)),
+            resolved.end())
+      << "resolved_variables() does not name " << s.hot_variable;
+}
+
+TEST_P(MatrixGrid, AnalyzerOutputIsJobCountInvariant) {
+  // Byte-identical full render (summary + tables + advisor) for --jobs 1
+  // vs --jobs 3, per cell.
+  const auto render = [this](unsigned jobs) {
+    PipelineOptions options;
+    options.jobs = jobs;
+    const core::Analyzer analyzer(broken().data, options);
+    const core::Viewer viewer(analyzer);
+    std::ostringstream os;
+    os << viewer.program_summary() << "\n"
+       << viewer.data_centric_table(10).to_text() << "\n"
+       << viewer.domain_balance_table().to_text() << "\n";
+    const core::Advisor advisor(analyzer);
+    for (const core::Recommendation& rec : advisor.recommend_all(5)) {
+      os << rec.variable_name << ": " << to_string(rec.action) << "\n  "
+         << rec.rationale << "\n";
+    }
+    return os.str();
+  };
+  const std::string serial = render(1);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(render(3), serial) << "--jobs 3 output diverged from --jobs 1";
+}
+
+std::vector<Param> all_cells() {
+  std::vector<Param> cells;
+  for (const apps::Scenario& s : apps::matrix_scenarios()) {
+    for (const std::string& topo : matrix::grid_topologies()) {
+      for (const matrix::PolicyAxis& pol : matrix::grid_policies()) {
+        cells.emplace_back(std::string(s.name), topo, std::string(pol.name));
+      }
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MatrixGrid, ::testing::ValuesIn(all_cells()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_" +
+                         std::get<2>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// --- Shard round-trip ----------------------------------------------------
+
+TEST(MatrixGridIo, ShardMergeReproducesInMemoryProfile) {
+  // One cell per scenario (on the SNC preset): shard the session into
+  // per-thread files, merge with jobs=1 and jobs=3, and require the
+  // re-serialized profile bytes — and the rendered diagnosis — to match
+  // the in-memory snapshot.
+  for (const apps::Scenario& s : apps::matrix_scenarios()) {
+    SCOPED_TRACE(std::string(s.name));
+    const matrix::CellResult& cell =
+        cached_cell(s, "snc", "first-touch", false);
+
+    const fs::path dir = fs::path(::testing::TempDir()) /
+                         ("numaprof_matrix_io_" + std::string(s.name));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::vector<std::string> paths =
+        core::save_thread_shards(cell.data, dir.string());
+    ASSERT_FALSE(paths.empty());
+
+    const auto bytes_of = [](const core::SessionData& data) {
+      std::ostringstream os;
+      core::save_profile(data, os);
+      return os.str();
+    };
+    PipelineOptions serial;
+    serial.jobs = 1;
+    PipelineOptions parallel;
+    parallel.jobs = 3;
+    const core::MergeResult merged_serial =
+        core::merge_profile_files(paths, serial);
+    const core::MergeResult merged_parallel =
+        core::merge_profile_files(paths, parallel);
+    EXPECT_EQ(bytes_of(merged_serial.data), bytes_of(cell.data));
+    EXPECT_EQ(bytes_of(merged_parallel.data), bytes_of(cell.data));
+
+    const core::Analyzer direct(cell.data);
+    const core::Analyzer merged(merged_serial.data);
+    EXPECT_EQ(matrix::top_mismatch_variable(merged),
+              matrix::top_mismatch_variable(direct));
+    EXPECT_EQ(matrix::mismatch_fraction(merged),
+              matrix::mismatch_fraction(direct));
+  }
+}
+
+// --- Golden slice --------------------------------------------------------
+
+TEST(MatrixGridGolden, JoinRowMatchesCheckedInSlice) {
+  // Locks the join row (5 topologies x 3 policies) cell diagnoses to
+  // byte-exact values: variable ranking, action, and mismatch fractions
+  // cannot drift without a deliberate regeneration.
+  const apps::Scenario& s = apps::scenario_by_name("join");
+  std::ostringstream rendered;
+  for (const std::string& topo : matrix::grid_topologies()) {
+    for (const matrix::PolicyAxis& pol : matrix::grid_policies()) {
+      const matrix::CellResult& broken =
+          cached_cell(s, topo, std::string(pol.name), false);
+      const matrix::CellResult& fixed = cached_cell(s, topo, "", true);
+      const core::Analyzer broken_an(broken.data);
+      const core::Analyzer fixed_an(fixed.data);
+      std::string action = "none";
+      for (const core::Variable& v : broken.data.variables) {
+        if (v.name != s.hot_variable) continue;
+        const core::Advisor advisor(broken_an);
+        action = std::string(to_string(advisor.recommend(v.id).action));
+        break;
+      }
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "join %-14s %-11s top=%s action=%s mm=%.4f fixed=%.4f\n",
+                    topo.c_str(), std::string(pol.name).c_str(),
+                    matrix::top_mismatch_variable(broken_an).c_str(),
+                    action.c_str(), matrix::mismatch_fraction(broken_an),
+                    matrix::mismatch_fraction(fixed_an));
+      rendered << line;
+    }
+  }
+
+  const std::string golden_path =
+      NUMAPROF_SOURCE_DIR "/tests/golden/matrix_join_slice.txt";
+  if (std::getenv("NUMAPROF_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path;
+    out << rendered.str();
+    return;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path
+                  << " (regenerate with NUMAPROF_REGEN_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered.str(), golden.str())
+      << "matrix join slice drifted; if intentional, rerun with "
+         "NUMAPROF_REGEN_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace numaprof

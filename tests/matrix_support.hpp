@@ -1,0 +1,122 @@
+// Shared cell machinery for the scenario x topology x page-policy
+// regression grid (tests/matrix_grid_test.cpp) and the matrix bench
+// (bench/matrix_kernels.cpp): one place defines which axes the grid spans
+// and how a single cell is recorded, so test and bench cannot diverge.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "core/analyzer.hpp"
+#include "core/profiler.hpp"
+#include "numasim/topology.hpp"
+#include "simos/page_policy.hpp"
+#include "support/error.hpp"
+
+namespace numaprof::matrix {
+
+/// The topology axis: two Table-1 machines plus the three new presets
+/// (SNC, CXL far memory, NUMAscope ccNUMA). Referenced BY NAME — vector
+/// positions carry no meaning anywhere in the grid.
+inline const std::vector<std::string>& grid_topologies() {
+  static const std::vector<std::string> kNames = {
+      "magny-cours", "ivy-bridge", "snc", "cxl-far-memory", "numascope"};
+  return kNames;
+}
+
+/// The page-policy axis applied to each scenario's hot variable.
+struct PolicyAxis {
+  std::string_view name;
+  simos::PolicySpec spec;
+};
+
+inline const std::vector<PolicyAxis>& grid_policies() {
+  static const std::vector<PolicyAxis> kPolicies = {
+      {"first-touch", simos::PolicySpec::first_touch()},
+      {"interleave", simos::PolicySpec::interleave()},
+      {"blockwise", simos::PolicySpec::blockwise()},
+  };
+  return kPolicies;
+}
+
+inline const PolicyAxis& policy_by_name(std::string_view name) {
+  for (const PolicyAxis& p : grid_policies()) {
+    if (p.name == name) return p;
+  }
+  throw Error(ErrorKind::kUsage, /*file=*/"", /*field=*/"policy", /*line=*/0,
+              "unknown grid policy '" + std::string(name) + "'");
+}
+
+/// Worker threads used on `topo`: every core up to a cap that keeps the
+/// 60-cell grid fast (the 48-core Magny-Cours does not need all 48 cores
+/// to exhibit its NUMA behavior in a regression cell).
+inline std::uint32_t cell_threads(const numasim::Topology& topo) {
+  return std::min<std::uint32_t>(topo.core_count(), 12);
+}
+
+struct CellResult {
+  core::SessionData data;
+  numasim::Cycles cycles = 0;
+  std::uint32_t threads = 0;
+};
+
+/// Records one grid cell: scenario x topology x policy, broken or fixed.
+/// Deterministic: fixed seeds, prime sampling period (shared with
+/// tests/matrix_test.cpp — a composite period aliases onto regular loops),
+/// no host-work knobs.
+inline CellResult run_cell(const apps::Scenario& scenario,
+                           std::string_view topology_name,
+                           const simos::PolicySpec& policy, bool fixed) {
+  const numasim::Topology topo =
+      numasim::topology_by_name(topology_name);
+  simrt::Machine machine(topo);
+  core::ProfilerConfig cfg;
+  cfg.event = pmu::EventConfig::mini(pmu::Mechanism::kIbs);
+  cfg.event.period = 293;
+  cfg.event.min_sample_gap = 0;
+  cfg.event.instrumentation_work = 0;
+  cfg.event.skid_correction_work = 0;
+  cfg.track_first_touch = true;
+  core::Profiler profiler(machine, cfg);
+
+  CellResult result;
+  result.threads = cell_threads(topo);
+  result.cycles = scenario.run(machine, result.threads, fixed, policy);
+  result.data = profiler.snapshot();
+  return result;
+}
+
+/// Program-level mismatch fraction M_r / (M_l + M_r) of a recorded cell.
+inline double mismatch_fraction(const core::Analyzer& analyzer) {
+  const core::ProgramSummary& p = analyzer.program();
+  const std::uint64_t total = p.match + p.mismatch;
+  return total == 0 ? 0.0
+                    : static_cast<double>(p.mismatch) /
+                          static_cast<double>(total);
+}
+
+/// Name of the variable carrying the largest share of the program's
+/// mismatched accesses (ties broken by sample count, then name for
+/// determinism).
+inline std::string top_mismatch_variable(const core::Analyzer& analyzer) {
+  std::string best;
+  std::uint64_t best_mismatch = 0;
+  std::uint64_t best_samples = 0;
+  for (const core::VariableReport& r : analyzer.variables()) {
+    if (r.mismatch > best_mismatch ||
+        (r.mismatch == best_mismatch &&
+         (r.samples > best_samples ||
+          (r.samples == best_samples && r.name < best)))) {
+      best = r.name;
+      best_mismatch = r.mismatch;
+      best_samples = r.samples;
+    }
+  }
+  return best;
+}
+
+}  // namespace numaprof::matrix

@@ -155,8 +155,8 @@ INSTANTIATE_TEST_SUITE_P(
                           App::kUmt),
         ::testing::Values(pmu::Mechanism::kIbs, pmu::Mechanism::kMrk,
                           pmu::Mechanism::kPebs, pmu::Mechanism::kDear,
-                          pmu::Mechanism::kPebsLl,
-                          pmu::Mechanism::kSoftIbs)),
+                          pmu::Mechanism::kPebsLl, pmu::Mechanism::kSoftIbs,
+                          pmu::Mechanism::kSpe)),
     [](const ::testing::TestParamInfo<Param>& info) {
       std::string name = app_name(std::get<0>(info.param)) + "_";
       for (const char c : to_string(std::get<1>(info.param))) {

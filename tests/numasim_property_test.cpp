@@ -1,0 +1,145 @@
+// Property tests for the memory-system model under EVERY topology preset,
+// including the new SNC, CXL-far-memory, and NUMAscope ring machines.
+// Rather than pinning latency constants, these tests pin the orderings any
+// credible NUMA machine obeys: cost grows with hop count, a far-memory
+// tier is never faster than local DRAM, sub-NUMA clusters keep
+// intra-socket traffic cheaper than inter-socket, and a loaded memory
+// controller queues (per-request latency is non-decreasing when requests
+// arrive together).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "numasim/system.hpp"
+#include "numasim/topology.hpp"
+#include "support/error.hpp"
+
+namespace numaprof::numasim {
+namespace {
+
+/// Cold-access latency from core 0 to a page homed in `home`, on a fresh
+/// system (no cache or queue state carried between probes).
+Cycles cold_latency(const Topology& topo, DomainId home) {
+  System sys(topo);
+  return sys.access(/*core=*/0, home, 0x10000, /*is_write=*/false, 0).latency;
+}
+
+TEST(TopologyPresets, ColdLatencyIsMonotonicInHopCount) {
+  for (const std::string& name : preset_names()) {
+    SCOPED_TRACE(name);
+    const Topology topo = topology_by_name(name);
+    // Compare compute domains only: memory-only tiers legitimately pay a
+    // device penalty on top of their hop count (asserted separately).
+    std::map<std::uint32_t, std::vector<Cycles>> by_hops;
+    for (DomainId home = 0; home < topo.compute_domain_count(); ++home) {
+      by_hops[topo.distance(0, home)].push_back(cold_latency(topo, home));
+    }
+    ASSERT_FALSE(by_hops.empty());
+    Cycles prev_max = 0;
+    std::uint32_t prev_hops = 0;
+    bool first = true;
+    for (const auto& [hops, latencies] : by_hops) {
+      Cycles level_max = 0;
+      for (const Cycles l : latencies) {
+        if (!first) {
+          EXPECT_GE(l, prev_max)
+              << hops << " hops cheaper than " << prev_hops << " hops";
+        }
+        level_max = std::max(level_max, l);
+      }
+      prev_max = std::max(prev_max, level_max);
+      prev_hops = hops;
+      first = false;
+    }
+  }
+}
+
+TEST(TopologyPresets, FarMemoryIsNeverFasterThanLocalDram) {
+  for (const std::string& name : preset_names()) {
+    const Topology topo = topology_by_name(name);
+    if (topo.memory_only_domains == 0) continue;
+    SCOPED_TRACE(name);
+    const Cycles local = cold_latency(topo, 0);
+    for (DomainId home = topo.compute_domain_count();
+         home < topo.domain_count; ++home) {
+      EXPECT_TRUE(topo.is_memory_only(home));
+      const Cycles far = cold_latency(topo, home);
+      EXPECT_GT(far, local) << "far tier domain " << home
+                            << " undercuts local DRAM";
+      // The device penalty dominates: it also undercuts no ordinary
+      // remote compute domain.
+      for (DomainId other = 1; other < topo.compute_domain_count(); ++other) {
+        EXPECT_GE(far, cold_latency(topo, other));
+      }
+    }
+  }
+}
+
+TEST(TopologyPresets, SncIntraSocketBeatsInterSocket) {
+  const Topology topo = topology_by_name("snc");
+  ASSERT_EQ(topo.domain_count, 4u);
+  // Domains 0/1 share a socket; 2/3 live in the other one.
+  const Cycles intra = cold_latency(topo, 1);
+  const Cycles inter_a = cold_latency(topo, 2);
+  const Cycles inter_b = cold_latency(topo, 3);
+  const Cycles local = cold_latency(topo, 0);
+  EXPECT_GT(intra, local);
+  EXPECT_LT(intra, inter_a);
+  EXPECT_LT(intra, inter_b);
+}
+
+TEST(TopologyPresets, ControllerQueuesUnderSimultaneousLoad) {
+  // Fire a burst of same-cycle requests at one home domain. The controller
+  // is epoch-windowed: the k-th same-epoch arrival waits for the backlog
+  // (k * service cycles) minus the virtual time already elapsed in the
+  // epoch, so early arrivals ride free and delay only appears once demand
+  // outruns what the controller could have drained. A burst much larger
+  // than elapsed/service must therefore see monotonically non-decreasing
+  // latency with a tail strictly above the uncontended cost.
+  for (const std::string& name :
+       {std::string("snc"), std::string("cxl-far-memory"),
+        std::string("numascope")}) {
+    SCOPED_TRACE(name);
+    const Topology topo = topology_by_name(name);
+    for (const DomainId home :
+         {DomainId{0}, DomainId(topo.domain_count - 1)}) {
+      System sys(topo);
+      Cycles prev = 0;
+      for (int i = 0; i < 64; ++i) {
+        const auto r = sys.access(/*core=*/0, home,
+                                  0x40000 + 0x1000ull * i, false, /*now=*/0);
+        EXPECT_GE(r.latency, prev) << "request " << i << " home " << home;
+        prev = r.latency;
+      }
+      EXPECT_GT(prev, cold_latency(topo, home))
+          << "burst tail paid no queueing at home " << home;
+    }
+  }
+}
+
+TEST(TopologyPresets, PerDomainOverridesPlumbThrough) {
+  const Topology cxl = topology_by_name("cxl-far-memory");
+  ASSERT_EQ(cxl.domain_dram_latency.size(), cxl.domain_count);
+  ASSERT_EQ(cxl.domain_controller_service.size(), cxl.domain_count);
+  EXPECT_EQ(cxl.dram_latency_of(0), cxl.domain_dram_latency[0]);
+  EXPECT_EQ(cxl.dram_latency_of(cxl.domain_count - 1),
+            cxl.domain_dram_latency[cxl.domain_count - 1]);
+  EXPECT_GT(cxl.dram_latency_of(cxl.domain_count - 1),
+            2 * cxl.dram_latency_of(0));
+  EXPECT_EQ(cxl.compute_domain_count(),
+            cxl.domain_count - cxl.memory_only_domains);
+  EXPECT_EQ(cxl.core_count(),
+            cxl.compute_domain_count() * cxl.cores_per_domain);
+
+  // Presets without overrides fall back to the machine-wide latency.
+  const Topology snc = topology_by_name("snc");
+  ASSERT_TRUE(snc.domain_dram_latency.empty());
+  EXPECT_EQ(snc.dram_latency_of(0), snc.local_dram_latency);
+  EXPECT_EQ(snc.controller_service_of(3), snc.controller_service);
+}
+
+}  // namespace
+}  // namespace numaprof::numasim

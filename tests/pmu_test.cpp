@@ -283,16 +283,52 @@ TEST(SoftIbs, FixedPeriodAliasesOnRegularLoops) {
   EXPECT_LT(b_odd, 3 * total_odd / 4);
 }
 
+TEST(Spe, SamplesAtExactFixedPeriodWithLatency) {
+  // ARM-SPE-style statistical profiling: operation sampling at a FIXED
+  // interval (PMSIRR has no hardware jitter), every sampled memory op
+  // annotated with latency + data source and a precise PC.
+  EventConfig cfg = EventConfig::mini(Mechanism::kSpe);
+  cfg.period = 100;
+  SpeSampler sampler(cfg);
+  const auto samples = run_loads(sampler, 5000);
+  EXPECT_EQ(samples.size(), 50u);  // no jitter: exactly every 100 ops
+  for (const Sample& s : samples) {
+    EXPECT_TRUE(s.ip_precise);
+    if (s.is_memory) {
+      EXPECT_TRUE(s.latency.has_value());
+      EXPECT_TRUE(s.data_source.has_value());
+    }
+  }
+}
+
+TEST(Spe, FixedPeriodAliasesOnRegularLoops) {
+  // The behavioral difference from IBS: on a loop whose body length
+  // divides the period, SPE's fixed interval locks onto ONE op kind —
+  // IBS's jitter mixes them (Ibs.JitterAvoidsAliasing above).
+  EventConfig cfg = EventConfig::mini(Mechanism::kSpe);
+  cfg.period = 64;
+  SpeSampler sampler(cfg);
+  // Loop body is exactly 2 instructions (load + exec 1).
+  const auto samples = run_loads(sampler, 4000, 1);
+  ASSERT_GT(samples.size(), 50u);
+  std::size_t memory = 0;
+  for (const Sample& s : samples) memory += s.is_memory;
+  EXPECT_TRUE(memory == 0 || memory == samples.size())
+      << "fixed-period SPE mixed op kinds on a regular loop: " << memory
+      << "/" << samples.size();
+}
+
 TEST(SoftIbs, WorksOnEveryEvaluationPlatform) {
   // Table 1, footnote 1: "Soft-IBS works on all of listed platforms" —
   // software instrumentation needs no PMU, so it must collect on every
-  // preset machine.
-  for (const auto& topology : numasim::evaluation_presets()) {
+  // registered preset (iterated by name: catalog positions shift as
+  // presets are added, names do not).
+  for (const std::string& name : numasim::preset_names()) {
     EventConfig cfg = EventConfig::mini(Mechanism::kSoftIbs);
     cfg.period = 64;
     cfg.instrumentation_work = 0;
     SoftIbsSampler sampler(cfg);
-    Machine m(topology);
+    Machine m(numasim::topology_by_name(name));
     m.add_observer(sampler);
     m.spawn([](SimThread& t) -> Task {
       for (int i = 0; i < 1000; ++i) {
@@ -301,14 +337,14 @@ TEST(SoftIbs, WorksOnEveryEvaluationPlatform) {
       }
     });
     m.run();
-    EXPECT_GT(sampler.samples_emitted(), 10u) << topology.name;
+    EXPECT_GT(sampler.samples_emitted(), 10u) << name;
   }
 }
 
 TEST(Factory, BuildsEveryMechanism) {
   for (const Mechanism mech :
        {Mechanism::kIbs, Mechanism::kMrk, Mechanism::kPebs, Mechanism::kDear,
-        Mechanism::kPebsLl, Mechanism::kSoftIbs}) {
+        Mechanism::kPebsLl, Mechanism::kSoftIbs, Mechanism::kSpe}) {
     const auto sampler = make_sampler(EventConfig::mini(mech));
     ASSERT_NE(sampler, nullptr);
     EXPECT_EQ(sampler->mechanism(), mech);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "numasim/topology.hpp"
+#include "support/error.hpp"
 
 namespace numaprof::numasim {
 namespace {
@@ -34,22 +37,87 @@ TEST(Topology, DomainOfCoreMapping) {
 }
 
 TEST(Topology, RemoteCostsExceedLocalByThirtyPercent) {
-  // §2: "remote accesses have more than 30% higher latency than local".
-  for (const Topology& t : evaluation_presets()) {
+  // §2: "remote accesses have more than 30% higher latency than local" —
+  // for every registered preset, by name (never by catalog position).
+  for (const std::string& name : preset_names()) {
+    const Topology t = topology_by_name(name);
     const double local = static_cast<double>(t.local_dram_latency);
     const double remote = local + 2.0 * t.remote_hop_latency;
-    EXPECT_GT(remote, 1.3 * local) << t.name;
+    EXPECT_GT(remote, 1.3 * local) << name;
   }
 }
 
-TEST(Topology, EvaluationPresetsMatchTable1Order) {
-  const auto presets = evaluation_presets();
-  ASSERT_EQ(presets.size(), 5u);
-  EXPECT_NE(presets[0].name.find("AMD"), std::string::npos);
-  EXPECT_NE(presets[1].name.find("POWER7"), std::string::npos);
-  EXPECT_NE(presets[2].name.find("Harpertown"), std::string::npos);
-  EXPECT_NE(presets[3].name.find("Itanium"), std::string::npos);
-  EXPECT_NE(presets[4].name.find("Ivy Bridge"), std::string::npos);
+TEST(Topology, EveryTable1MachineIsRegisteredByName) {
+  // The five Table-1 evaluation machines are addressed by stable short
+  // name; adding presets to the catalog must not shift anything.
+  EXPECT_NE(topology_by_name("magny-cours").name.find("AMD"),
+            std::string::npos);
+  EXPECT_NE(topology_by_name("power7").name.find("POWER7"),
+            std::string::npos);
+  EXPECT_NE(topology_by_name("harpertown").name.find("Harpertown"),
+            std::string::npos);
+  EXPECT_NE(topology_by_name("itanium2").name.find("Itanium"),
+            std::string::npos);
+  EXPECT_NE(topology_by_name("ivy-bridge").name.find("Ivy Bridge"),
+            std::string::npos);
+  // evaluation_presets() still returns exactly the Table-1 set.
+  EXPECT_EQ(evaluation_presets().size(), 5u);
+
+  const auto names = preset_names();
+  for (const char* required :
+       {"magny-cours", "power7", "harpertown", "itanium2", "ivy-bridge",
+        "snc", "cxl-far-memory", "numascope"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+  }
+}
+
+TEST(Topology, UnknownPresetNameThrowsTypedUsageError) {
+  try {
+    topology_by_name("magny-cours-typo");
+    FAIL() << "lookup of unknown preset did not throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kUsage);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("magny-cours-typo"), std::string::npos);
+    // The error names the valid choices.
+    EXPECT_NE(what.find("ivy-bridge"), std::string::npos);
+    EXPECT_NE(what.find("cxl-far-memory"), std::string::npos);
+  }
+}
+
+TEST(Topology, SncPresetClustersSockets) {
+  const Topology t = topology_by_name("snc");
+  EXPECT_EQ(t.domain_count, 4u);
+  EXPECT_EQ(t.memory_only_domains, 0u);
+  // Sub-NUMA clusters: two domains per socket, cross-socket is farther.
+  EXPECT_EQ(t.distance(0, 1), 1u);
+  EXPECT_EQ(t.distance(2, 3), 1u);
+  EXPECT_GT(t.distance(0, 2), t.distance(0, 1));
+}
+
+TEST(Topology, CxlPresetHasCorelessFarTier) {
+  const Topology t = topology_by_name("cxl-far-memory");
+  ASSERT_EQ(t.memory_only_domains, 1u);
+  const DomainId far = t.domain_count - 1;
+  EXPECT_TRUE(t.is_memory_only(far));
+  EXPECT_FALSE(t.is_memory_only(0));
+  // No cores on the far tier: core_count covers compute domains only.
+  EXPECT_EQ(t.core_count(), t.compute_domain_count() * t.cores_per_domain);
+  EXPECT_GT(t.dram_latency_of(far), t.dram_latency_of(0));
+}
+
+TEST(Topology, NumascopeRingDistancesAreSymmetricAndBounded) {
+  const Topology t = topology_by_name("numascope");
+  std::uint32_t max_hops = 0;
+  for (DomainId a = 0; a < t.domain_count; ++a) {
+    for (DomainId b = 0; b < t.domain_count; ++b) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+      max_hops = std::max(max_hops, t.distance(a, b));
+    }
+    EXPECT_EQ(t.distance(a, a), 0u);
+  }
+  EXPECT_EQ(max_hops, t.domain_count / 2);  // a ring's diameter
 }
 
 TEST(Topology, DefaultDistanceIsUniform) {
