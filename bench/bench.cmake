@@ -45,6 +45,14 @@ target_include_directories(matrix_kernels PRIVATE ${CMAKE_SOURCE_DIR}/tests)
 set_target_properties(matrix_kernels PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
 
+# micro_io has a custom main (BENCH lines + BENCH_io.json aggregate,
+# Analyzer-report validity gate over every load path), so no
+# benchmark_main here.
+add_executable(micro_io ${CMAKE_SOURCE_DIR}/bench/micro_io.cpp)
+target_link_libraries(micro_io PRIVATE numaprof_apps numaprof_core)
+set_target_properties(micro_io PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
+
 # micro_lint has a custom main (BENCH lines + BENCH_lint.json aggregate,
 # validity-checked driver/cache runs), so no benchmark_main here.
 add_executable(micro_lint ${CMAKE_SOURCE_DIR}/bench/micro_lint.cpp)

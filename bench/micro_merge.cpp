@@ -2,18 +2,23 @@
 //
 // Builds a synthetic 16-thread session with a large CCT (~20k nodes) and
 // dense per-thread metric stores, writes one measurement shard per thread
-// (save_thread_shards), then times merge_profile_files at jobs in
-// {1, 2, 4, 8} over the same 16 shard files. Two claims are checked:
+// (ProfileWriter::write_thread_shards) in BOTH encodings, then times
+// merge_profile_files at jobs in {1, 2, 4, 8} over each set of 16 shard
+// files. Three claims are checked:
 //
 //  - EQUIVALENCE (always enforced): the re-serialized merged profile is
-//    byte-identical at every jobs value;
+//    byte-identical at every jobs value, for both encodings;
+//  - FORMAT AGREEMENT (always enforced): merging binary shards produces
+//    the same session as merging text shards, byte for byte;
 //  - SCALING (enforced only when the host has >= 4 hardware threads): the
-//    4-job merge is at least 2x faster than the serial reference — the
-//    shard parses dominate and parallelize embarrassingly.
+//    4-job merge of text shards is at least 2x faster than the serial
+//    reference — the shard parses dominate and parallelize
+//    embarrassingly.
 //
 // Besides the human-readable table, each timing is emitted as a
 // machine-readable line:
-//   BENCH {"bench":"micro_merge","shards":16,"jobs":N,"seconds":S,"speedup":X}
+//   BENCH {"bench":"micro_merge","format":"text|binary","shards":16,
+//          "jobs":N,"seconds":S,"speedup":X}
 #include <filesystem>
 #include <sstream>
 #include <string>
@@ -117,9 +122,7 @@ core::SessionData synthetic_session() {
 }
 
 std::string profile_bytes(const core::SessionData& data) {
-  std::ostringstream os;
-  core::save_profile(data, os);
-  return os.str();
+  return core::ProfileWriter().bytes(data);
 }
 
 }  // namespace
@@ -129,63 +132,100 @@ int main() {
   bench::heading("micro_merge: parallel shard merge scaling (16 shards)");
 
   const core::SessionData session = synthetic_session();
-  const fs::path dir = fs::temp_directory_path() / "numaprof_micro_merge";
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  const std::vector<std::string> paths =
-      core::save_thread_shards(session, dir.string());
-  std::cout << "shards: " << paths.size() << ", cct nodes: "
-            << session.cct.size() << "\n";
-
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::string serial_bytes;
-  double serial_seconds = 0.0;
-  double speedup_at_4 = 0.0;
-  bool identical = true;
-
-  bench::subheading("merge wall-clock by jobs");
-  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
-    numaprof::PipelineOptions options;
-    options.jobs = jobs;
-    core::MergeResult merged;
-    double best = 1e100;
-    for (int rep = 0; rep < 3; ++rep) {  // min of 3: ignore cold caches
-      const double s = bench::time_seconds(
-          [&] { merged = core::merge_profile_files(paths, options); });
-      best = std::min(best, s);
-    }
-    const std::string bytes = profile_bytes(merged.data);
-    if (jobs == 1) {
-      serial_bytes = bytes;
-      serial_seconds = best;
-    } else if (bytes != serial_bytes) {
-      identical = false;
-    }
-    const double speedup = serial_seconds / best;
-    if (jobs == 4) speedup_at_4 = speedup;
-    std::cout << "jobs=" << jobs << ": " << best << " s  (speedup "
-              << speedup << "x)\n";
-    std::cout << "BENCH {\"bench\":\"micro_merge\",\"shards\":"
-              << paths.size() << ",\"jobs\":" << jobs
-              << ",\"seconds\":" << best << ",\"speedup\":" << speedup
-              << "}\n";
-  }
-  fs::remove_all(dir);
 
   bench::Comparison cmp;
-  cmp.add("merged profile bytes across jobs", "byte-identical",
-          identical ? "identical" : "DIVERGED", identical);
+  double text_speedup_at_4 = 0.0;
+  double serial_seconds_by_format[2] = {0.0, 0.0};  // [text, binary]
+  std::string text_merged_bytes;
+
+  for (const ProfileFormat format :
+       {ProfileFormat::kText, ProfileFormat::kBinary}) {
+    const bool binary = format == ProfileFormat::kBinary;
+    const char* format_name = binary ? "binary" : "text";
+    const fs::path dir = fs::temp_directory_path() /
+                         (std::string("numaprof_micro_merge_") + format_name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::vector<std::string> paths =
+        core::ProfileWriter(format).write_thread_shards(session,
+                                                        dir.string());
+    std::cout << format_name << " shards: " << paths.size()
+              << ", cct nodes: " << session.cct.size() << "\n";
+
+    std::string serial_bytes;
+    double serial_seconds = 0.0;
+    double speedup_at_4 = 0.0;
+    bool identical = true;
+
+    bench::subheading(std::string("merge wall-clock by jobs (") +
+                      format_name + " shards)");
+    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+      numaprof::PipelineOptions options;
+      options.jobs = jobs;
+      core::MergeResult merged;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {  // min of 3: ignore cold caches
+        const double s = bench::time_seconds(
+            [&] { merged = core::merge_profile_files(paths, options); });
+        best = std::min(best, s);
+      }
+      const std::string bytes = profile_bytes(merged.data);
+      if (jobs == 1) {
+        serial_bytes = bytes;
+        serial_seconds = best;
+      } else if (bytes != serial_bytes) {
+        identical = false;
+      }
+      const double speedup = serial_seconds / best;
+      if (jobs == 4) speedup_at_4 = speedup;
+      std::cout << "jobs=" << jobs << ": " << best << " s  (speedup "
+                << speedup << "x)\n";
+      std::cout << "BENCH {\"bench\":\"micro_merge\",\"format\":\""
+                << format_name << "\",\"shards\":" << paths.size()
+                << ",\"jobs\":" << jobs << ",\"seconds\":" << best
+                << ",\"speedup\":" << speedup << "}\n";
+    }
+    fs::remove_all(dir);
+
+    serial_seconds_by_format[binary ? 1 : 0] = serial_seconds;
+    cmp.add(std::string("merged bytes across jobs (") + format_name + ")",
+            "byte-identical", identical ? "identical" : "DIVERGED",
+            identical);
+    if (binary) {
+      cmp.add("binary-shard merge == text-shard merge", "byte-identical",
+              serial_bytes == text_merged_bytes ? "identical" : "DIVERGED",
+              serial_bytes == text_merged_bytes);
+    } else {
+      text_merged_bytes = serial_bytes;
+      text_speedup_at_4 = speedup_at_4;
+    }
+  }
+
   if (hw >= 4) {
     std::ostringstream measured;
-    measured << speedup_at_4 << "x";
-    cmp.add("merge speedup, 4 jobs / 16 shards", ">= 2.0x",
-            measured.str(), speedup_at_4 >= 2.0);
+    measured << text_speedup_at_4 << "x";
+    cmp.add("merge speedup, 4 jobs / 16 text shards", ">= 2.0x",
+            measured.str(), text_speedup_at_4 >= 2.0);
   } else {
     // Scaling is meaningless without hardware parallelism; equivalence
     // (above) is still fully checked.
-    cmp.add("merge speedup, 4 jobs / 16 shards", ">= 2.0x",
+    cmp.add("merge speedup, 4 jobs / 16 text shards", ">= 2.0x",
             "skipped (" + std::to_string(hw) + " hw thread(s))", true);
   }
+  // The binary format's reason to exist: a serial merge is load-dominated,
+  // so swapping the shard encoding alone must buy an order of magnitude.
+  const double format_speedup =
+      serial_seconds_by_format[1] > 0.0
+          ? serial_seconds_by_format[0] / serial_seconds_by_format[1]
+          : 0.0;
+  std::ostringstream format_measured;
+  format_measured << format_speedup << "x";
+  std::cout << "BENCH {\"bench\":\"micro_merge\",\"format\":\"binary\","
+            << "\"shards\":" << kShards
+            << ",\"jobs\":1,\"speedup_vs_text\":" << format_speedup << "}\n";
+  cmp.add("serial merge, binary shards vs text shards", ">= 10x",
+          format_measured.str(), format_speedup >= 10.0);
   cmp.print();
   return cmp.all_hold() ? 0 : 1;
 }

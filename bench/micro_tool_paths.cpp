@@ -126,8 +126,9 @@ void BM_ProfileSaveLoad(benchmark::State& state) {
   const core::SessionData data = profiler.snapshot();
   for (auto _ : state) {
     std::stringstream stream;
-    core::save_profile(data, stream);
-    benchmark::DoNotOptimize(core::load_profile(stream).cct.size());
+    core::ProfileWriter().write(data, stream);
+    benchmark::DoNotOptimize(
+        core::ProfileReader().read(stream).data.cct.size());
   }
 }
 BENCHMARK(BM_ProfileSaveLoad);
@@ -144,9 +145,7 @@ const std::string& corrupted_profile_text(bool corrupted) {
                                    .pages_per_thread = 2,
                                    .timesteps = 2,
                                    .variant = apps::Variant::kBaseline});
-    std::stringstream stream;
-    core::save_profile(profiler.snapshot(), stream);
-    return stream.str();
+    return core::ProfileWriter().bytes(profiler.snapshot());
   }();
   static const std::string bad = [] {
     // Damage the body, not line 1: the bench measures recovery/diagnosis
@@ -164,7 +163,8 @@ void BM_ProfileLoadStrictCorrupted(benchmark::State& state) {
   for (auto _ : state) {
     std::stringstream stream(text);
     try {
-      benchmark::DoNotOptimize(core::load_profile(stream).cct.size());
+      benchmark::DoNotOptimize(
+          core::ProfileReader().read(stream).data.cct.size());
       ++parsed;
     } catch (const core::ProfileError&) {
       ++threw;
@@ -181,7 +181,7 @@ void BM_ProfileLoadLenientCorrupted(benchmark::State& state) {
   std::size_t diagnostics = 0;
   for (auto _ : state) {
     std::stringstream stream(text);
-    const core::LoadResult result = core::load_profile(stream, options);
+    const core::LoadResult result = core::ProfileReader(options).read(stream);
     diagnostics += result.diagnostics.size();
     benchmark::DoNotOptimize(result.data.cct.size());
   }
@@ -197,7 +197,7 @@ void BM_ProfileLoadLenientClean(benchmark::State& state) {
   for (auto _ : state) {
     std::stringstream stream(text);
     benchmark::DoNotOptimize(
-        core::load_profile(stream, options).data.cct.size());
+        core::ProfileReader(options).read(stream).data.cct.size());
   }
 }
 BENCHMARK(BM_ProfileLoadLenientClean);

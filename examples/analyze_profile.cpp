@@ -1,7 +1,8 @@
 // CLI: the hpcprof/hpcviewer analogue as a command-line tool.
 //
-// Loads a profile written by save_profile_file (e.g. by record_app or the
-// lulesh_analysis example) and either prints the analysis to stdout or
+// Loads a profile written by ProfileWriter (e.g. by record_app or the
+// lulesh_analysis example) — text or binary, autodetected from magic
+// bytes — and either prints the analysis to stdout or
 // writes a full report directory. All flag parsing goes through
 // support::CliParser — unknown flags are rejected with the usage string,
 // and every failure is reported through numaprof::format_error.
@@ -285,8 +286,9 @@ int main(int argc, char** argv) {
         throw Error(ErrorKind::kUsage, {}, "--diff", 0,
                     "--diff expects <before> <after>\n" + cli.usage());
       }
-      const core::SessionData before = core::load_profile_file(inputs[0]);
-      const core::SessionData after = core::load_profile_file(inputs[1]);
+      const core::ProfileReader reader;
+      const core::SessionData before = reader.read_file(inputs[0]).data;
+      const core::SessionData after = reader.read_file(inputs[1]).data;
       const core::Analyzer before_an(before, options);
       const core::Analyzer after_an(after, options);
       std::cout << core::render_diff(core::diff_profiles(before_an, after_an));
@@ -325,7 +327,7 @@ int main(int argc, char** argv) {
     core::LoadOptions load_options;
     load_options.lenient = options.lenient;
     const core::LoadResult loaded =
-        core::load_profile_file(inputs[0], load_options);
+        core::ProfileReader(load_options).read_file(inputs[0]);
     for (const core::Diagnostic& d : loaded.diagnostics) {
       std::cout << "diagnostic: " << d.field << " (line " << d.line
                 << "): " << d.message << "\n";

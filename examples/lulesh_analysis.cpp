@@ -38,9 +38,10 @@ int main(int argc, char** argv) {
 
   // 2. Persist and reload, exactly as hpcrun's measurement files feed
   //    hpcprof.
-  core::save_profile_file(profiler.snapshot(), profile_path);
+  core::ProfileWriter().write_file(profiler.snapshot(), profile_path);
   std::cout << "wrote profile to " << profile_path << "\n\n";
-  const core::SessionData data = core::load_profile_file(profile_path);
+  const core::SessionData data =
+      core::ProfileReader().read_file(profile_path).data;
 
   // 3. Offline analysis.
   const core::Analyzer analyzer(data);

@@ -247,7 +247,7 @@ int main(int argc, char** argv) {
     const int rc = gate_exit(findings, werror);
 
     if (const auto profile = cli.value("--profile")) {
-      const Session data = core::load_profile_file(*profile);
+      const Session data = core::ProfileReader().read_file(*profile).data;
       const Analyzer analyzer(data, options);
       const core::Advisor advisor(analyzer);
       const std::vector<core::FusedFinding> fused =

@@ -17,6 +17,7 @@
 //   --wal PATH        write-ahead log (default: numaprofd.wal); an
 //                     existing log is recovered, not overwritten
 //   --out PATH        write the merged profile here
+//   --out-format FMT  encoding for --out: text (default) | binary
 //   --report PATH     write the text analysis report here
 //   --spool DIR       spool directory for the analyzer merge
 //                     (default: <wal>.spool)
@@ -50,6 +51,8 @@ support::CliParser make_parser() {
   cli.add_flag("--wal", true, "write-ahead log path (recovered if present)",
                "PATH");
   cli.add_flag("--out", true, "write the merged profile here", "PATH");
+  cli.add_flag("--out-format", true,
+               "encoding for --out: text (default) | binary", "FMT");
   cli.add_flag("--report", true, "write the text analysis report here",
                "PATH");
   cli.add_flag("--spool", true, "merge spool directory (default <wal>.spool)",
@@ -140,6 +143,14 @@ int main(int argc, char** argv) {
     PipelineOptions pipeline;
     pipeline.jobs = std::max(1u, cli.unsigned_value("--jobs", 1));
     pipeline.lenient = !cli.has("--strict");
+    if (const auto fmt = cli.value("--out-format")) {
+      if (*fmt == "binary") {
+        pipeline.format = ProfileFormat::kBinary;
+      } else if (*fmt != "text") {
+        throw Error(ErrorKind::kUsage, {}, "numaprofd", 0,
+                    "--out-format expects text or binary");
+      }
+    }
     if (const auto quorum = cli.value("--quorum")) {
       try {
         pipeline.quorum = std::stod(*quorum);
@@ -168,7 +179,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     if (const auto out = cli.value("--out")) {
-      core::save_profile_file(merged.data, *out);
+      core::ProfileWriter(pipeline).write_file(merged.data, *out);
       std::cout << "wrote merged profile -> " << *out << "\n";
     }
     if (const auto report = cli.value("--report")) {

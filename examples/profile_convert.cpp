@@ -1,0 +1,129 @@
+// CLI: profile_convert — transcode profiles between the two encodings.
+//
+// Reads any profile (text or binary, autodetected from magic bytes) and
+// rewrites it in the requested encoding. Both encodings are lossless and
+// byte-deterministic, so text -> binary -> text reproduces the original
+// file byte for byte; the round-trip test in tests/binary_format_test.cpp
+// holds this CLI to that exact promise.
+//
+// Usage:
+//   profile_convert [flags] <in-file> <out-file>
+//
+// Flags:
+//   --to FMT     output encoding: text | binary (default: the opposite
+//                of the input's encoding)
+//   --strict     fail on the first malformed field (default)
+//   --lenient    recover what is readable: damage is reported as
+//                diagnostics, damaged sections are dropped, and the
+//                surviving data is converted
+//   --quiet      suppress the conversion summary line
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/numaprof.hpp"
+#include "support/cliflags.hpp"
+
+using namespace numaprof;
+
+namespace {
+
+support::CliParser make_parser() {
+  support::CliParser cli(
+      "profile_convert",
+      "transcode a profile between the text and binary encodings; "
+      "operands: <in-file> <out-file>");
+  cli.add_flag("--to", true,
+               "output encoding: text | binary (default: the opposite of "
+               "the input)",
+               "FMT");
+  cli.add_flag("--strict", false, "fail on the first malformed field");
+  cli.add_flag("--lenient", false,
+               "recover readable sections, report damage as diagnostics");
+  cli.add_flag("--quiet", false, "suppress the conversion summary line");
+  cli.add_flag("--help", false, "show this message");
+  return cli;
+}
+
+const char* name_of(ProfileFormat format) noexcept {
+  return format == ProfileFormat::kBinary ? "binary" : "text";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::CliParser cli = make_parser();
+  try {
+    cli.parse(std::vector<std::string>(argv + 1, argv + argc));
+    if (cli.has("--help")) {
+      std::cout << cli.usage();
+      return 0;
+    }
+    if (cli.positional().size() != 2) {
+      throw Error(ErrorKind::kUsage, {}, "profile_convert", 0,
+                  "expected <in-file> <out-file>\n" + cli.usage());
+    }
+    if (cli.has("--strict") && cli.has("--lenient")) {
+      throw Error(ErrorKind::kUsage, {}, "profile_convert", 0,
+                  "--strict and --lenient are mutually exclusive");
+    }
+    const std::string& in_path = cli.positional()[0];
+    const std::string& out_path = cli.positional()[1];
+
+    // Sniff the input's encoding first so the default output direction
+    // (the opposite encoding) is known before the full load.
+    ProfileFormat in_format = ProfileFormat::kText;
+    {
+      std::ifstream sniff(in_path, std::ios::binary);
+      if (!sniff) {
+        throw Error(ErrorKind::kProfile, in_path, "file", 0,
+                    "cannot open for read: " + in_path);
+      }
+      char prefix[8] = {};
+      sniff.read(prefix, sizeof(prefix));
+      in_format = ProfileReader::detect(
+          std::string_view(prefix, static_cast<std::size_t>(sniff.gcount())));
+    }
+
+    ProfileFormat out_format = in_format == ProfileFormat::kBinary
+                                   ? ProfileFormat::kText
+                                   : ProfileFormat::kBinary;
+    if (const auto to = cli.value("--to")) {
+      if (*to == "text") {
+        out_format = ProfileFormat::kText;
+      } else if (*to == "binary") {
+        out_format = ProfileFormat::kBinary;
+      } else {
+        throw Error(ErrorKind::kUsage, {}, "profile_convert", 0,
+                    "--to expects text or binary");
+      }
+    }
+
+    LoadOptions load;
+    load.lenient = cli.has("--lenient");
+    const LoadResult loaded = ProfileReader(load).read_file(in_path);
+    for (const Diagnostic& d : loaded.diagnostics) {
+      std::cerr << "profile_convert: diagnostic: " << d.field << " (line "
+                << d.line << "): " << d.message << "\n";
+    }
+
+    ProfileWriter(out_format).write_file(loaded.data, out_path);
+    if (!cli.has("--quiet")) {
+      std::cout << "converted " << in_path << " (" << name_of(in_format)
+                << ") -> " << out_path << " (" << name_of(out_format) << ")";
+      if (!loaded.diagnostics.empty()) {
+        std::cout << " with " << loaded.diagnostics.size()
+                  << " diagnostic(s)";
+      }
+      std::cout << "\n";
+    }
+    return loaded.diagnostics.empty() ? 0 : 3;
+  } catch (const Error& error) {
+    std::cerr << "profile_convert: " << format_error(error) << "\n";
+    return error.kind() == ErrorKind::kUsage ? 2 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "profile_convert: " << format_error(error) << "\n";
+    return 1;
+  }
+}

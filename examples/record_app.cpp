@@ -9,6 +9,10 @@
 //
 // Flags:
 //   --trace                   record the per-sample trace
+//   --format FMT              profile encoding for the out-file, shards,
+//                             and the daemon stream: text (default, the
+//                             lossless interchange format) or binary (the
+//                             mmap-able columnar format, docs/format.md)
 //   --shards DIR              also write per-thread measurement files
 //                             (hpcrun style) for analyze_profile --merge
 //   --telemetry-interval N    stream a live measurement-health status line
@@ -77,6 +81,10 @@ support::CliParser make_parser() {
       "run a case-study workload under a sampling mechanism; "
       "operands: <app> <variant> <mechanism> <out-file>");
   cli.add_flag("--trace", false, "record the per-sample trace");
+  cli.add_flag("--format", true,
+               "profile encoding for out-file, shards, and the daemon "
+               "stream: text | binary (default text)",
+               "FMT");
   cli.add_flag("--shards", true, "also write per-thread shards into DIR",
                "DIR");
   cli.add_flag("--telemetry-interval", true,
@@ -174,6 +182,15 @@ int main(int argc, char** argv) {
     }
     const std::string& out = operands[3];
 
+    ProfileFormat format = ProfileFormat::kText;
+    if (const auto fmt = cli.value("--format")) {
+      if (*fmt == "binary") {
+        format = ProfileFormat::kBinary;
+      } else if (*fmt != "text") {
+        bad_usage(cli, "--format expects text or binary");
+      }
+    }
+
     std::optional<ExportKind> export_kind;
     if (const auto kind_text = cli.value("--export")) {
       export_kind = parse_export_kind(*kind_text);
@@ -239,7 +256,8 @@ int main(int argc, char** argv) {
       machine.remove_observer(streamer);
     }
     const core::SessionData data = profiler.snapshot();
-    core::save_profile_file(data, out);
+    const ProfileWriter writer(format);
+    writer.write_file(data, out);
     std::cout << "recorded " << app << "/" << operands[1] << " under "
               << to_string(data.mechanism) << " -> " << out << "\n";
     if (data.degraded()) {
@@ -247,7 +265,7 @@ int main(int argc, char** argv) {
                 << " event(s)); see the report's collection health section\n";
     }
     if (const auto shard_dir = cli.value("--shards")) {
-      const auto paths = core::save_thread_shards(data, *shard_dir);
+      const auto paths = writer.write_thread_shards(data, *shard_dir);
       std::cout << "wrote " << paths.size() << " per-thread shards to "
                 << *shard_dir << "\n";
     }
@@ -264,6 +282,7 @@ int main(int argc, char** argv) {
       ingest::LoopbackTransport loop(server);
       ingest::ClientOptions client_options;
       client_options.client_id = client_id;
+      client_options.shard_format = format;
       if (faults.enabled()) client_options.faults = &faults;
       ingest::IngestClient client(loop, client_options);
       const ingest::SendReport sent = client.send_session(data);
@@ -279,8 +298,7 @@ int main(int argc, char** argv) {
     }
     if (const auto spool = cli.value("--daemon-spool")) {
       support::FaultPlan& faults = support::global_fault_plan();
-      const std::vector<std::string> shards =
-          core::serialize_thread_shards(data);
+      const std::vector<std::string> shards = writer.thread_shards(data);
       const std::string stream = ingest::encode_client_stream(
           shards, client_id, faults.enabled() ? &faults : nullptr);
       std::ofstream os(*spool, std::ios::binary);

@@ -13,6 +13,7 @@ Cct::Cct() {
 }
 
 NodeId Cct::child(NodeId parent, NodeKind kind, std::uint64_t key) {
+  ensure_edges();
   auto& index = edges_.at(parent);
   const std::uint64_t ck = child_key(kind, key);
   const auto it = index.find(ck);
@@ -28,8 +29,40 @@ NodeId Cct::child(NodeId parent, NodeKind kind, std::uint64_t key) {
   return id;
 }
 
+void Cct::assign_columns(std::span<const NodeId> parents,
+                         std::span<const std::uint8_t> kinds,
+                         std::span<const std::uint64_t> keys) {
+  const std::size_t count = parents.size();
+  nodes_.clear();
+  nodes_.reserve(count + 1);
+  nodes_.push_back(CctNode{.parent = kRootNode,
+                           .kind = NodeKind::kRoot,
+                           .key = 0,
+                           .depth = 0});
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes_.push_back(CctNode{.parent = parents[i],
+                             .kind = static_cast<NodeKind>(kinds[i]),
+                             .key = keys[i],
+                             .depth = nodes_[parents[i]].depth + 1});
+  }
+  edges_.clear();
+  edges_valid_ = false;
+}
+
+void Cct::ensure_edges() const {
+  if (edges_valid_) return;
+  edges_.clear();
+  edges_.resize(nodes_.size());
+  for (NodeId id = 1; id < nodes_.size(); ++id) {
+    const CctNode& n = nodes_[id];
+    edges_[n.parent].emplace(child_key(n.kind, n.key), id);
+  }
+  edges_valid_ = true;
+}
+
 std::optional<NodeId> Cct::find_child(NodeId parent, NodeKind kind,
                                       std::uint64_t key) const {
+  ensure_edges();
   const auto& index = edges_.at(parent);
   const auto it = index.find(child_key(kind, key));
   if (it == index.end()) return std::nullopt;
@@ -55,11 +88,13 @@ std::vector<NodeId> Cct::path_to(NodeId id) const {
 }
 
 void Cct::visit(NodeId id, const std::function<void(NodeId)>& fn) const {
+  ensure_edges();
   fn(id);
   for (const auto& [key, chid] : edges_.at(id)) visit(chid, fn);
 }
 
 std::vector<NodeId> Cct::children(NodeId id) const {
+  ensure_edges();
   std::vector<NodeId> result;
   result.reserve(edges_.at(id).size());
   for (const auto& [key, chid] : edges_.at(id)) result.push_back(chid);

@@ -50,6 +50,18 @@ class Cct {
   /// Finds or creates the child of `parent` with (kind, key).
   NodeId child(NodeId parent, NodeKind kind, std::uint64_t key);
 
+  /// Bulk-loads the whole tree from parallel columns describing nodes
+  /// 1..N (node 0 is the implied root): element i gives node i+1. This is
+  /// the binary loader's path: one reserve, no per-node hash-map churn —
+  /// the child index materializes lazily on first lookup, and it never
+  /// materializes at all for trees that are only merged, not walked.
+  /// Every parent must be < its node id (the columns are topologically
+  /// ordered, as the writer emits them); kinds must be valid NodeKind
+  /// values. Depth is recomputed here. Replaces any existing contents.
+  void assign_columns(std::span<const NodeId> parents,
+                      std::span<const std::uint8_t> kinds,
+                      std::span<const std::uint64_t> keys);
+
   /// Lookup without creation (for read-only consumers like the viewer).
   std::optional<NodeId> find_child(NodeId parent, NodeKind kind,
                                    std::uint64_t key) const;
@@ -78,9 +90,19 @@ class Cct {
     return (static_cast<std::uint64_t>(kind) << 56) | (key & 0x00ff'ffff'ffff'ffffULL);
   }
 
+  /// Materializes edges_ from nodes_ when a bulk load left it stale.
+  /// Inserting nodes 1..N in id order replays the exact per-parent
+  /// insertion history of incremental child() construction, so hash-map
+  /// iteration order (and thus visit order) is identical whether a tree
+  /// was built node-by-node or bulk-loaded. NOT thread-safe: the first
+  /// read-side lookup after a bulk load mutates the cached index.
+  void ensure_edges() const;
+
   std::vector<CctNode> nodes_;
   // Per-parent child index; node ids are dense so a vector of maps works.
-  std::vector<std::unordered_map<std::uint64_t, NodeId>> edges_;
+  // Lazily rebuilt (see ensure_edges) after assign_columns.
+  mutable std::vector<std::unordered_map<std::uint64_t, NodeId>> edges_;
+  mutable bool edges_valid_ = true;
 };
 
 }  // namespace numaprof::core

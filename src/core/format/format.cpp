@@ -1,0 +1,82 @@
+#include "core/format/format.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NUMAPROF_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace numaprof::core::format {
+
+std::string_view to_string(SectionId id) noexcept {
+  switch (id) {
+    case SectionId::kMeta: return "meta";
+    case SectionId::kFrames: return "frames";
+    case SectionId::kCct: return "cct";
+    case SectionId::kVariables: return "variables";
+    case SectionId::kThreads: return "threads";
+    case SectionId::kMetrics: return "metrics";
+    case SectionId::kAddrCentric: return "addrcentric";
+    case SectionId::kFirstTouch: return "firsttouch";
+    case SectionId::kTrace: return "trace";
+    case SectionId::kDegradations: return "degradations";
+  }
+  return "unknown";
+}
+
+bool looks_binary(std::string_view prefix) noexcept {
+  const std::size_t n =
+      prefix.size() < sizeof(kBinaryMagic) ? prefix.size() : sizeof(kBinaryMagic);
+  if (n == 0) return false;
+  return std::memcmp(prefix.data(), kBinaryMagic, n) == 0 &&
+         prefix.size() >= sizeof(kBinaryMagic);
+}
+
+MappedFile::MappedFile(const std::string& path) {
+#ifdef NUMAPROF_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        view_ = std::string_view();
+        return;
+      }
+      void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (mem != MAP_FAILED) {
+        mapped_ = mem;
+        mapped_size_ = size;
+        view_ = std::string_view(static_cast<const char*>(mem), size);
+        return;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  // Fallback (non-regular file, mmap failure, or no mmap at all): slurp.
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream contents;
+  contents << is.rdbuf();
+  buffer_ = std::move(contents).str();
+  view_ = buffer_;
+}
+
+MappedFile::~MappedFile() {
+#ifdef NUMAPROF_HAVE_MMAP
+  if (mapped_ != nullptr) ::munmap(mapped_, mapped_size_);
+#endif
+}
+
+}  // namespace numaprof::core::format

@@ -1,0 +1,102 @@
+// The mmap-able columnar binary profile format (docs/format.md).
+//
+// A binary profile is a 32-byte header, a CRC-protected section table,
+// and 8-byte-aligned section payloads, each with its own CRC32 (the
+// ingest transport's checksum, shared via support/hash.hpp). Sections
+// store columns, not records: the CCT is three parallel arrays (parent,
+// kind, key), metrics are dense f64 rows per thread, and every list
+// section leads with its element count — so the loader can bound every
+// reserve(), memory-map the file, and hand whole columns to
+// Cct::assign_columns / MetricStore::set_row without re-lexing a byte.
+//
+// All integers are little-endian; doubles travel as the little-endian
+// bytes of their IEEE-754 bit pattern. The writer is byte-deterministic:
+// sections are emitted in id order with canonical record orders (the
+// text writer's sorted firsttouch / addrcentric orders), and padding is
+// always zero. The text format (docs/format.md) remains the
+// lossless interchange encoding; this one is the fast path.
+//
+// File layout:
+//   0   8  magic 89 4E 50 42 46 0D 0A 1A ("\x89NPBF\r\n\x1a", PNG-style)
+//   8   4  u32 format version
+//   12  4  u32 section count
+//   16  8  u64 file size in bytes
+//   24  4  u32 CRC32 of the section table bytes
+//   28  4  u32 CRC32 of header bytes [0, 28)
+//   32      section table: count x {u32 id, u32 crc, u64 offset, u64 len}
+//   ...     payloads, each at an 8-aligned offset, zero padding between
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/profile_io.hpp"
+#include "core/session.hpp"
+
+namespace numaprof::core::format {
+
+inline constexpr unsigned char kBinaryMagic[8] = {0x89, 'N',  'P',  'B',
+                                                  'F',  0x0D, 0x0A, 0x1A};
+inline constexpr std::uint32_t kBinaryFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kTableEntryBytes = 24;
+
+/// Section ids; files store sections in this order. Every section is
+/// always present (empty lists serialize a zero count) so the layout —
+/// and therefore the whole file — is deterministic.
+enum class SectionId : std::uint32_t {
+  kMeta = 1,         // machine, mechanisms, period, absolutes, fault plan
+  kFrames = 2,       // frame columns + name/file string blob
+  kCct = 3,          // parent / key / kind parallel arrays (node 0 implied)
+  kVariables = 4,    // variable columns + name blob
+  kThreads = 5,      // per-thread whole-program totals, columnar
+  kMetrics = 6,      // per thread: node ids + dense f64 metric rows
+  kAddrCentric = 7,  // sorted (context, variable, bin, tid) bin stats
+  kFirstTouch = 8,   // canonically sorted first-touch records
+  kTrace = 9,        // per-sample trace events
+  kDegradations = 10,  // collection-health events + detail blob
+};
+inline constexpr std::uint32_t kSectionCount = 10;
+
+std::string_view to_string(SectionId id) noexcept;
+
+/// True when `prefix` begins with the full 8-byte binary magic.
+bool looks_binary(std::string_view prefix) noexcept;
+
+/// Serializes `data` as one complete binary profile, appended to `out`.
+/// Byte-deterministic: equal sessions produce equal bytes.
+void write_binary_profile(const SessionData& data, std::string& out);
+
+/// Parses a complete in-memory (or memory-mapped) binary profile.
+/// Strict mode throws ProfileError whose field is "<section>/<field>"
+/// and whose line slot carries the BYTE OFFSET of the damage; lenient
+/// mode records a Diagnostic per damaged section, keeps every section
+/// that checksums and validates, and returns consistent partial data
+/// (truncate-to-valid-section recovery, matching the text loader).
+LoadResult load_binary_profile(std::string_view bytes,
+                               const LoadOptions& options);
+
+/// A read-only memory-mapped file (falls back to reading the file into a
+/// private buffer when mmap is unavailable). The view stays valid for
+/// the object's lifetime.
+class MappedFile {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened or read.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view bytes() const noexcept { return view_; }
+  bool is_mapped() const noexcept { return mapped_ != nullptr; }
+
+ private:
+  void* mapped_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::string buffer_;  // fallback storage when not mapped
+  std::string_view view_;
+};
+
+}  // namespace numaprof::core::format

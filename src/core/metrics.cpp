@@ -33,6 +33,18 @@ double MetricStore::get(NodeId node, std::uint32_t metric) const {
   return values_[node][metric];
 }
 
+std::span<const double> MetricStore::row(NodeId node) const {
+  if (node >= values_.size() || values_[node].empty()) return {};
+  return values_[node];
+}
+
+void MetricStore::set_row(NodeId node, std::span<const double> values) {
+  if (node >= values_.size()) {
+    values_.resize(static_cast<std::size_t>(node) + 1);
+  }
+  values_[node].assign(values.begin(), values.end());
+}
+
 std::vector<NodeId> MetricStore::nodes() const {
   std::vector<NodeId> result;
   for (NodeId id = 0; id < values_.size(); ++id) {

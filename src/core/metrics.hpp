@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,14 @@ class MetricStore {
 
   void add(NodeId node, std::uint32_t metric, double value);
   double get(NodeId node, std::uint32_t metric) const;
+
+  /// Bulk row access for the columnar (de)serializers: `row` is the dense
+  /// width()-wide metric vector of `node` (empty span when the node has no
+  /// recorded metrics), and set_row() installs one wholesale — the binary
+  /// loader feeds decoded metric columns straight in, bypassing the
+  /// per-cell add() path. `values.size()` must equal width().
+  std::span<const double> row(NodeId node) const;
+  void set_row(NodeId node, std::span<const double> values);
   bool has(NodeId node) const { return node < values_.size() && !values_[node].empty(); }
 
   /// One past the highest node slot allocated (rows may be empty).

@@ -60,6 +60,28 @@ using MergeResult = core::MergeResult;
 /// files under a PipelineOptions policy (jobs, lenient, quorum).
 using core::merge_profile_files;
 
+// --- Profile I/O -----------------------------------------------------
+/// ProfileFormat [stable]: which encoding a writer emits — kText (the
+/// lossless interchange format) or kBinary (the mmap-able columnar
+/// format, docs/format.md). Declared in core/options.hpp because
+/// PipelineOptions carries it.
+/// ProfileReader [stable]: loads a Session from a stream, buffer, or
+/// file, autodetecting the encoding from magic bytes; binary files are
+/// memory-mapped and loaded zero-copy.
+using ProfileReader = core::ProfileReader;
+/// ProfileWriter [stable]: byte-deterministic writer in the configured
+/// ProfileFormat; also produces the per-thread measurement shards the
+/// ingestion client streams.
+using ProfileWriter = core::ProfileWriter;
+/// LoadOptions / LoadResult / Diagnostic [stable]: strict-vs-lenient
+/// policy and the (data, diagnostics, complete) result of a load.
+using LoadOptions = core::LoadOptions;
+using LoadResult = core::LoadResult;
+using Diagnostic = core::Diagnostic;
+/// ProfileError [stable]: typed parse error naming the offending field
+/// and line (text) or byte offset (binary).
+using ProfileError = core::ProfileError;
+
 // --- Live telemetry --------------------------------------------------
 /// TelemetryHub / TelemetryRing / TelemetrySnapshot [evolving]: the
 /// lock-free self-observability layer every measurement component

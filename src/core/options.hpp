@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,15 @@ class ThreadPool;
 }
 
 namespace numaprof {
+
+/// On-disk profile encodings. Text is the lossless interchange format
+/// (docs/format.md); binary is the mmap-able columnar format
+/// (docs/format.md). Readers autodetect from magic bytes, so the field
+/// only governs what writers EMIT.
+enum class ProfileFormat : std::uint8_t {
+  kText,
+  kBinary,
+};
 
 struct PipelineOptions {
   /// Participants in every parallel stage (shard parsing, per-thread
@@ -42,6 +52,9 @@ struct PipelineOptions {
   /// caching. Entries are keyed by content hash, so stale files can never
   /// poison a run (docs/lint.md).
   std::string lint_cache_dir;
+  /// Encoding used when this pipeline WRITES profiles (merged outputs,
+  /// shards). Loads always autodetect, so mixed-format inputs merge fine.
+  ProfileFormat format = ProfileFormat::kText;
 };
 
 }  // namespace numaprof

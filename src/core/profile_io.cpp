@@ -7,6 +7,7 @@
 #include <optional>
 #include <sstream>
 
+#include "core/format/format.hpp"
 #include "support/threadpool.hpp"
 
 namespace numaprof::core {
@@ -72,9 +73,11 @@ std::string unescape_field(std::string_view escaped) {
   return out;
 }
 
-// --- writer ----------------------------------------------------------
+// --- text writer -----------------------------------------------------
 
-void save_profile(const SessionData& data, std::ostream& os) {
+namespace {
+
+void save_profile_text(const SessionData& data, std::ostream& os) {
   os << "numaprof-profile " << kProfileFormatVersion << "\n";
   os << "machine " << data.domain_count << " " << data.core_count << " "
      << escape_field(data.machine_name) << "\n";
@@ -172,7 +175,9 @@ void save_profile(const SessionData& data, std::ostream& os) {
   os << "end\n";
 }
 
-// --- reader ----------------------------------------------------------
+}  // namespace
+
+// --- text reader -----------------------------------------------------
 
 namespace {
 
@@ -603,36 +608,89 @@ class Loader {
   bool saw_requested_ = false;
 };
 
-}  // namespace
-
-LoadResult load_profile(std::istream& is, const LoadOptions& options) {
+LoadResult load_profile_text(std::istream& is, const LoadOptions& options) {
   return Loader(is, options).run();
 }
 
-SessionData load_profile(std::istream& is) {
-  return load_profile(is, LoadOptions{}).data;
+}  // namespace
+
+// --- ProfileReader / ProfileWriter -----------------------------------
+
+ProfileFormat ProfileReader::detect(std::string_view prefix) noexcept {
+  return format::looks_binary(prefix) ? ProfileFormat::kBinary
+                                      : ProfileFormat::kText;
 }
 
-void save_profile_file(const SessionData& data, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  save_profile(data, os);
+LoadResult ProfileReader::read(std::string_view bytes) const {
+  if (detect(bytes) == ProfileFormat::kBinary) {
+    return format::load_binary_profile(bytes, options_);
+  }
+  std::istringstream is{std::string(bytes)};
+  return load_profile_text(is, options_);
 }
 
-LoadResult load_profile_file(const std::string& path,
-                             const LoadOptions& options) {
-  std::ifstream is(path);
+LoadResult ProfileReader::read(std::istream& is) const {
+  // One peeked byte decides: no text profile can start with the binary
+  // magic's first byte (0x89 is not printable ASCII).
+  const int first = is.peek();
+  if (first == static_cast<int>(format::kBinaryMagic[0])) {
+    std::ostringstream buffered;
+    buffered << is.rdbuf();
+    const std::string bytes = std::move(buffered).str();
+    return format::load_binary_profile(bytes, options_);
+  }
+  return load_profile_text(is, options_);
+}
+
+LoadResult ProfileReader::read_file(const std::string& path) const {
+  {
+    std::ifstream sniff(path, std::ios::binary);
+    if (!sniff) throw std::runtime_error("cannot open for read: " + path);
+    char prefix[sizeof(format::kBinaryMagic)] = {};
+    sniff.read(prefix, sizeof(prefix));
+    const auto got = static_cast<std::size_t>(sniff.gcount());
+    if (detect(std::string_view(prefix, got)) == ProfileFormat::kBinary) {
+      const format::MappedFile map(path);
+      return format::load_binary_profile(map.bytes(), options_);
+    }
+  }
+  std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for read: " + path);
-  return load_profile(is, options);
+  return load_profile_text(is, options_);
 }
 
-SessionData load_profile_file(const std::string& path) {
-  return load_profile_file(path, LoadOptions{}).data;
+void ProfileWriter::write(const SessionData& data, std::ostream& os) const {
+  if (format_ == ProfileFormat::kBinary) {
+    std::string out;
+    format::write_binary_profile(data, out);
+    os.write(out.data(), static_cast<std::streamsize>(out.size()));
+  } else {
+    save_profile_text(data, os);
+  }
+}
+
+std::string ProfileWriter::bytes(const SessionData& data) const {
+  if (format_ == ProfileFormat::kBinary) {
+    std::string out;
+    format::write_binary_profile(data, out);
+    return out;
+  }
+  std::ostringstream os;
+  save_profile_text(data, os);
+  return std::move(os).str();
+}
+
+void ProfileWriter::write_file(const SessionData& data,
+                               const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write(data, os);
 }
 
 // --- per-thread shards and the analyzer merge ------------------------
 
-std::vector<std::string> serialize_thread_shards(const SessionData& data) {
+std::vector<std::string> ProfileWriter::thread_shards(
+    const SessionData& data) const {
   const std::size_t threads = std::max<std::size_t>(data.totals.size(), 1);
   std::vector<std::string> shards;
   shards.reserve(threads);
@@ -666,18 +724,16 @@ std::vector<std::string> serialize_thread_shards(const SessionData& data) {
       shard.pebs_ll_events = 0;
       shard.degradations.clear();
     }
-    std::ostringstream os;
-    save_profile(shard, os);
-    shards.push_back(std::move(os).str());
+    shards.push_back(bytes(shard));
   }
   return shards;
 }
 
-std::vector<std::string> save_thread_shards(const SessionData& data,
-                                            const std::string& directory) {
+std::vector<std::string> ProfileWriter::write_thread_shards(
+    const SessionData& data, const std::string& directory) const {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
-  const std::vector<std::string> shards = serialize_thread_shards(data);
+  const std::vector<std::string> shards = thread_shards(data);
   std::vector<std::string> paths;
   paths.reserve(shards.size());
   for (std::size_t tid = 0; tid < shards.size(); ++tid) {
@@ -690,6 +746,45 @@ std::vector<std::string> save_thread_shards(const SessionData& data,
     paths.push_back(path);
   }
   return paths;
+}
+
+// --- deprecated free-function shims -----------------------------------
+// Each forwards to the objects with ProfileFormat::kText, preserving the
+// exact pre-redesign behavior (these functions never spoke binary).
+
+void save_profile(const SessionData& data, std::ostream& os) {
+  save_profile_text(data, os);
+}
+
+void save_profile_file(const SessionData& data, const std::string& path) {
+  ProfileWriter(ProfileFormat::kText).write_file(data, path);
+}
+
+std::vector<std::string> serialize_thread_shards(const SessionData& data) {
+  return ProfileWriter(ProfileFormat::kText).thread_shards(data);
+}
+
+std::vector<std::string> save_thread_shards(const SessionData& data,
+                                            const std::string& directory) {
+  return ProfileWriter(ProfileFormat::kText)
+      .write_thread_shards(data, directory);
+}
+
+SessionData load_profile(std::istream& is) {
+  return load_profile_text(is, LoadOptions{}).data;
+}
+
+SessionData load_profile_file(const std::string& path) {
+  return ProfileReader().read_file(path).data;
+}
+
+LoadResult load_profile(std::istream& is, const LoadOptions& options) {
+  return load_profile_text(is, options);
+}
+
+LoadResult load_profile_file(const std::string& path,
+                             const LoadOptions& options) {
+  return ProfileReader(options).read_file(path);
 }
 
 namespace {
@@ -815,7 +910,7 @@ MergeResult merge_files_serial(const std::vector<std::string>& paths,
   for (const std::string& path : paths) {
     LoadResult loaded;
     try {
-      loaded = load_profile_file(path, load);
+      loaded = ProfileReader(load).read_file(path);
     } catch (const ProfileError& e) {
       if (!options.lenient) {
         throw ProfileError(e.field(), e.line(), path + ": " + e.what());
@@ -886,7 +981,7 @@ MergeResult merge_files_parallel(const std::vector<std::string>& paths,
   if (pool == nullptr) pool = &owned.emplace(options.jobs);
   pool->for_each_index(paths.size(), [&](std::size_t i) {
     try {
-      slots[i].loaded = load_profile_file(paths[i], load);
+      slots[i].loaded = ProfileReader(load).read_file(paths[i]);
     } catch (...) {
       slots[i].error = std::current_exception();
     }

@@ -1,26 +1,35 @@
 // Profile serialization: the on-disk handoff between the online profiler
 // (hpcrun writes per-thread measurement files) and the offline analyzer
-// (hpcprof reads and merges them), §7. A SessionData round-trips through a
-// line-oriented text format; strings are percent-escaped.
+// (hpcprof reads and merges them), §7. A SessionData round-trips through
+// either of two encodings behind one pair of objects:
+//   ProfileWriter — emits the line-oriented text format (the lossless
+//                   interchange encoding, docs/format.md) or the
+//                   mmap-able columnar binary format (docs/format.md),
+//                   selected by ProfileFormat;
+//   ProfileReader — autodetects the encoding from magic bytes, so every
+//                   consumer accepts either; binary files are loaded
+//                   through a zero-copy memory map.
 //
-// The loader treats its input as UNTRUSTED: every enum is range-checked,
-// every count is bounded before memory is reserved, and every cross-section
-// reference (CCT nodes, frames) is validated. Two load modes exist:
+// Both loaders treat their input as UNTRUSTED: every enum is range-
+// checked, every count is bounded before memory is reserved, and every
+// cross-section reference (CCT nodes, frames) is validated. Two load
+// modes exist:
 //   strict  — the default: any malformed field throws a ProfileError
-//             naming the field and line;
+//             naming the field and line (byte offset, for binary);
 //   lenient — damage is recorded as Diagnostics, the damaged section is
 //             skipped, and a consistent partial SessionData is returned
 //             (§7.2 merges thousands of per-thread files; one bad file
 //             must not kill the run).
 // merge_profile_files() is the analyzer-side multi-file merge with a
-// per-file quorum summary; save_thread_shards() writes the per-thread
-// measurement files it consumes.
+// per-file quorum summary; ProfileWriter::write_thread_shards() writes
+// the per-thread measurement files it consumes.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/options.hpp"
@@ -65,28 +74,97 @@ struct LoadResult {
   bool complete = true;
 };
 
+/// Reads profiles in either encoding, autodetecting from magic bytes: a
+/// stream/file/buffer beginning with the binary magic (docs/format.md)
+/// loads through the columnar binary loader (memory-mapped when given a
+/// path), anything else through the text loader. Construct from a
+/// LoadOptions for explicit strict/lenient policy, or from the pipeline's
+/// PipelineOptions (which carries the same knobs).
+class ProfileReader {
+ public:
+  ProfileReader() = default;
+  explicit ProfileReader(const LoadOptions& options) : options_(options) {}
+  explicit ProfileReader(const PipelineOptions& options)
+      : options_{.lenient = options.lenient, .max_count = options.max_count} {}
+
+  /// The encoding `prefix` (the first bytes of a profile) begins with.
+  /// Binary requires the full 8-byte magic; everything else is text —
+  /// the text loader produces the precise error for non-profiles.
+  static ProfileFormat detect(std::string_view prefix) noexcept;
+
+  /// Loads from a stream (text streams parse incrementally; binary
+  /// streams are buffered first). Strict mode throws ProfileError.
+  LoadResult read(std::istream& is) const;
+
+  /// Loads from an in-memory profile; binary input is parsed zero-copy.
+  LoadResult read(std::string_view bytes) const;
+
+  /// Loads from a file; binary files are memory-mapped.
+  LoadResult read_file(const std::string& path) const;
+
+  const LoadOptions& options() const noexcept { return options_; }
+
+ private:
+  LoadOptions options_;
+};
+
+/// Writes profiles in the configured encoding (text by default; binary
+/// when constructed with ProfileFormat::kBinary or a PipelineOptions
+/// whose `format` says so). Both encodings are byte-deterministic: equal
+/// sessions produce equal bytes, with canonical record orders.
+class ProfileWriter {
+ public:
+  ProfileWriter() = default;
+  explicit ProfileWriter(ProfileFormat format) : format_(format) {}
+  explicit ProfileWriter(const PipelineOptions& options)
+      : format_(options.format) {}
+
+  void write(const SessionData& data, std::ostream& os) const;
+
+  /// The complete serialized profile as one buffer.
+  std::string bytes(const SessionData& data) const;
+
+  void write_file(const SessionData& data, const std::string& path) const;
+
+  /// Serializes one measurement shard per thread WITHOUT touching the
+  /// filesystem: element `tid` is a complete profile (in this writer's
+  /// format) carrying the shared program structure plus only that
+  /// thread's measurements. This is what the ingestion client
+  /// (ingest/client.hpp) streams to numaprofd.
+  std::vector<std::string> thread_shards(const SessionData& data) const;
+
+  /// Writes one measurement file per thread into `directory`
+  /// (thread_<tid>.prof): exactly the thread_shards() payloads, so
+  /// merge_profile_files() can reassemble the session by summation.
+  /// Returns the paths written.
+  std::vector<std::string> write_thread_shards(
+      const SessionData& data, const std::string& directory) const;
+
+  ProfileFormat format() const noexcept { return format_; }
+
+ private:
+  ProfileFormat format_ = ProfileFormat::kText;
+};
+
+/// DEPRECATED free-function shims (PR 4 pattern: one release with a
+/// warning before removal). They predate ProfileReader/ProfileWriter and
+/// always speak TEXT — binary-aware callers must use the objects.
+[[deprecated("use numaprof::ProfileWriter::write instead")]]
 void save_profile(const SessionData& data, std::ostream& os);
+[[deprecated("use numaprof::ProfileWriter::write_file instead")]]
 void save_profile_file(const SessionData& data, const std::string& path);
-
-/// Serializes one measurement shard per thread WITHOUT touching the
-/// filesystem: element `tid` is the text-format profile carrying the
-/// shared program structure plus only that thread's measurements. This is
-/// what the ingestion client (ingest/client.hpp) streams to numaprofd.
+[[deprecated("use numaprof::ProfileWriter::thread_shards instead")]]
 std::vector<std::string> serialize_thread_shards(const SessionData& data);
-
-/// Writes one measurement file per thread into `directory`
-/// (thread_<tid>.prof): exactly the serialize_thread_shards() payloads,
-/// so merge_profile_files() can reassemble the session by summation.
-/// Returns the paths written.
+[[deprecated("use numaprof::ProfileWriter::write_thread_shards instead")]]
 std::vector<std::string> save_thread_shards(const SessionData& data,
                                             const std::string& directory);
-
-/// Strict load; throws ProfileError on malformed input.
+[[deprecated("use numaprof::ProfileReader::read instead")]]
 SessionData load_profile(std::istream& is);
+[[deprecated("use numaprof::ProfileReader::read_file instead")]]
 SessionData load_profile_file(const std::string& path);
-
-/// Load with explicit strict/lenient policy.
+[[deprecated("use numaprof::ProfileReader::read instead")]]
 LoadResult load_profile(std::istream& is, const LoadOptions& options);
+[[deprecated("use numaprof::ProfileReader::read_file instead")]]
 LoadResult load_profile_file(const std::string& path,
                              const LoadOptions& options);
 

@@ -210,7 +210,9 @@ SendReport IngestClient::send_shards(
 SendReport IngestClient::send_session(
     const core::SessionData& data,
     const std::vector<std::string>& telemetry) {
-  return send_shards(core::serialize_thread_shards(data), telemetry);
+  return send_shards(
+      core::ProfileWriter(options_.shard_format).thread_shards(data),
+      telemetry);
 }
 
 std::string encode_client_stream(const std::vector<std::string>& shards,

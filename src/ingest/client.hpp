@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/options.hpp"
 #include "ingest/frame.hpp"
 #include "support/faultinject.hpp"
 #include "support/retry.hpp"
@@ -79,6 +80,10 @@ struct ClientOptions {
   /// retry. False for one-way spool streams: fire and forget, no retries
   /// (there is nobody to answer).
   bool expect_acks = true;
+  /// Encoding of the shards send_session() serializes. The server's
+  /// merge autodetects per shard, so clients can switch independently;
+  /// kBinary shrinks the wire traffic and the daemon's spool.
+  ProfileFormat shard_format = ProfileFormat::kText;
 };
 
 /// What one session transfer accomplished — the client-side half of
@@ -109,8 +114,9 @@ class IngestClient {
  public:
   IngestClient(Transport& transport, ClientOptions options);
 
-  /// Serializes `data` into per-thread shards (core::serialize_thread_shards)
-  /// and streams hello, shards, telemetry, bye.
+  /// Serializes `data` into per-thread shards (ProfileWriter::
+  /// thread_shards, in options.shard_format) and streams hello, shards,
+  /// telemetry, bye.
   SendReport send_session(const core::SessionData& data,
                           const std::vector<std::string>& telemetry = {});
 

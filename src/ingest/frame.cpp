@@ -1,26 +1,11 @@
 #include "ingest/frame.hpp"
 
-#include <array>
-
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace numaprof::ingest {
 
 namespace {
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
 
 void put_u32(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>(v & 0xFF));
@@ -66,11 +51,10 @@ std::size_t resync_consumed(std::string_view buffer) {
 }  // namespace
 
 std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (const char byte : bytes) {
-    c = kCrcTable[(c ^ static_cast<unsigned char>(byte)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // The table-driven IEEE implementation moved to support/hash.hpp so the
+  // binary profile format (core/format) shares it without linking ingest;
+  // this wrapper keeps the ingest surface and its callers unchanged.
+  return support::crc32(bytes, seed);
 }
 
 std::string_view to_string(FrameType t) noexcept {

@@ -1,0 +1,84 @@
+// Bump allocator for deserialization staging.
+//
+// The binary profile loader decodes whole sections at once — CCT parent
+// columns, dense metric rows, string blobs — and those buffers all die
+// together when the load finishes. A chunked arena turns thousands of
+// per-record heap allocations into a handful of chunk mallocs: allocation
+// is a pointer bump, deallocation is dropping the arena. Nothing here is
+// thread-safe (one arena per load) and destructors are never run, so only
+// trivially-destructible element types may live in an arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace numaprof::support {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the default chunk size; oversized requests get a
+  /// dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = std::size_t(1) << 20)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Raw allocation, aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Never returns nullptr; size 0 yields a
+  /// valid one-past pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = (cursor_ + (align - 1)) & ~(align - 1);
+    if (chunks_.empty() || offset + bytes > capacity_) {
+      grow(bytes + align);
+      offset = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = offset + bytes;
+    used_ += bytes;
+    return chunks_.back().get() + offset;
+  }
+
+  /// Typed uninitialized span of `count` elements (trivially destructible
+  /// types only — the arena never runs destructors).
+  template <typename T>
+  std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) ::new (data + i) T{};
+    return std::span<T>(data, count);
+  }
+
+  /// Payload bytes handed out so far (excludes alignment padding).
+  std::size_t used_bytes() const noexcept { return used_; }
+
+  /// Bytes reserved from the system across all chunks.
+  std::size_t reserved_bytes() const noexcept { return reserved_; }
+
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  void grow(std::size_t at_least) {
+    const std::size_t size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+    chunks_.push_back(std::make_unique<std::byte[]>(size));
+    capacity_ = size;
+    cursor_ = 0;
+    reserved_ += size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t capacity_ = 0;  // bytes in the current (last) chunk
+  std::size_t cursor_ = 0;    // bump offset within the current chunk
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace numaprof::support

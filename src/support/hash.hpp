@@ -1,9 +1,11 @@
-// FNV-1a 64-bit: the repository's content-hash primitive. Deliberately
-// boring — stable across platforms and runs, no seeding — because its
-// outputs are persisted (numalint's incremental cache keys entries by
-// fnv1a64 of path + contents) and must stay comparable between builds.
+// Content-hash and checksum primitives. Deliberately boring — stable
+// across platforms and runs, no seeding — because their outputs are
+// persisted (numalint's incremental cache keys entries by fnv1a64 of
+// path + contents; profile and frame checksums are written to disk) and
+// must stay comparable between builds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -20,6 +22,61 @@ constexpr std::uint64_t fnv1a64(std::string_view bytes,
     h *= kFnvPrime;
   }
   return h;
+}
+
+namespace detail {
+// Slicing-by-8 table set: kCrc32Tables[0] is the classic byte-at-a-time
+// table; table k advances a byte's contribution k positions further into
+// the message, so eight lookups retire eight input bytes per iteration.
+constexpr std::array<std::array<std::uint32_t, 256>, 8>
+make_crc32_tables() noexcept {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (std::size_t k = 1; k < 8; ++k) {
+      tables[k][i] =
+          tables[0][tables[k - 1][i] & 0xFFu] ^ (tables[k - 1][i] >> 8);
+    }
+  }
+  return tables;
+}
+inline constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Tables =
+    make_crc32_tables();
+}  // namespace detail
+
+/// CRC32 (IEEE 802.3, the zlib polynomial), slicing-by-8 table-driven —
+/// the binary profile format checksums whole mmapped sections, so the
+/// classic one-byte-per-lookup loop is the load bottleneck. `seed` chains
+/// incremental computations; pass the previous return value. Shared by
+/// the ingest frame transport and the binary profile format so both
+/// checksum families stay interoperable.
+constexpr std::uint32_t crc32(std::string_view bytes,
+                              std::uint32_t seed = 0) noexcept {
+  const auto& t = detail::kCrc32Tables;
+  const auto u8 = [&bytes](std::size_t at) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at]));
+  };
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    const std::uint32_t lo = c ^ (u8(i) | (u8(i + 1) << 8) |
+                                  (u8(i + 2) << 16) | (u8(i + 3) << 24));
+    const std::uint32_t hi = u8(i + 4) | (u8(i + 5) << 8) |
+                             (u8(i + 6) << 16) | (u8(i + 7) << 24);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+  }
+  for (; i < bytes.size(); ++i) {
+    c = t[0][(c ^ static_cast<unsigned char>(bytes[i])) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 }  // namespace numaprof::support

@@ -91,6 +91,42 @@ namespace {
   } catch (const numaprof::Error& error) {
     out += numaprof::format_error(error);
   }
+
+  // Profile I/O: both encodings behind the reader/writer pair.
+  options.format = numaprof::ProfileFormat::kBinary;
+  const numaprof::ProfileWriter writer(options);
+  out += writer.format() == numaprof::ProfileFormat::kBinary ? "b" : "t";
+  const std::string binary = writer.bytes(session);
+  std::ostringstream sink;
+  writer.write(session, sink);
+  const std::vector<std::string> shards = writer.thread_shards(session);
+  out += std::to_string(shards.size());
+
+  numaprof::LoadOptions load_options;
+  load_options.lenient = true;
+  const numaprof::ProfileReader reader(load_options);
+  out += reader.options().lenient ? "l" : "s";
+  out += numaprof::ProfileReader::detect(binary) ==
+                 numaprof::ProfileFormat::kBinary
+             ? "B"
+             : "T";
+  try {
+    const numaprof::LoadResult loaded = reader.read(binary);
+    for (const numaprof::Diagnostic& diagnostic : loaded.diagnostics) {
+      out += diagnostic.field;
+    }
+    out += loaded.complete ? "c" : "p";
+    out += std::to_string(loaded.data.thread_count());
+  } catch (const numaprof::ProfileError& error) {
+    out += error.field();
+  }
+  try {
+    writer.write_file(session, "surface.prof");
+    writer.write_thread_shards(session, "surface_shards");
+    out += std::to_string(reader.read_file("surface.prof").data.cct.size());
+  } catch (const std::exception& error) {
+    out += error.what();
+  }
   return out;
 }
 

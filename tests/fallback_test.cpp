@@ -194,8 +194,8 @@ TEST(ProfilerFallback, DegradationsRoundTripThroughProfileFormat) {
   const core::SessionData original = profiler.snapshot();
 
   std::stringstream stream;
-  core::save_profile(original, stream);
-  const core::SessionData loaded = core::load_profile(stream);
+  core::ProfileWriter().write(original, stream);
+  const core::SessionData loaded = core::ProfileReader().read(stream).data;
   EXPECT_EQ(loaded.requested_mechanism, original.requested_mechanism);
   EXPECT_EQ(loaded.mechanism, original.mechanism);
   ASSERT_EQ(loaded.degradations.size(), original.degradations.size());

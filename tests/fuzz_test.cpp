@@ -140,7 +140,7 @@ TEST(ProfileIoFuzz, CorruptedInputNeverCrashes) {
                     co_return;
                   });
   std::stringstream out;
-  core::save_profile(profiler.snapshot(), out);
+  core::ProfileWriter().write(profiler.snapshot(), out);
   const std::string good = out.str();
 
   support::Rng rng(0xC0FFEE);
@@ -165,7 +165,7 @@ TEST(ProfileIoFuzz, CorruptedInputNeverCrashes) {
     }
     std::stringstream in(bad);
     try {
-      const core::SessionData data = core::load_profile(in);
+      const core::SessionData data = core::ProfileReader().read(in).data;
       ++loaded;  // corruption happened to keep the grammar valid
       (void)data;
     } catch (const std::exception&) {
@@ -195,7 +195,7 @@ TEST(ProfileIoFuzz, FaultInjectedStreamsStrictAndLenient) {
                     co_return;
                   });
   std::stringstream out;
-  core::save_profile(profiler.snapshot(), out);
+  core::ProfileWriter().write(profiler.snapshot(), out);
   const std::string good = out.str();
 
   int lenient_returned = 0, lenient_threw = 0;
@@ -212,7 +212,7 @@ TEST(ProfileIoFuzz, FaultInjectedStreamsStrictAndLenient) {
     // Strict: a typed error naming field and line, or a clean load.
     std::stringstream strict_in(bad);
     try {
-      (void)core::load_profile(strict_in);
+      (void)core::ProfileReader().read(strict_in).data;
     } catch (const core::ProfileError& e) {
       EXPECT_FALSE(e.field().empty()) << spec;
     }
@@ -221,7 +221,7 @@ TEST(ProfileIoFuzz, FaultInjectedStreamsStrictAndLenient) {
     std::stringstream lenient_in(bad);
     try {
       const core::LoadResult result =
-          core::load_profile(lenient_in, core::LoadOptions{.lenient = true});
+          core::ProfileReader(core::LoadOptions{.lenient = true}).read(lenient_in);
       ++lenient_returned;
       const core::SessionData& d = result.data;
       ASSERT_EQ(d.stores.size(), d.totals.size()) << spec;

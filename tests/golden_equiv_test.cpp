@@ -124,7 +124,7 @@ std::string render_full_analysis(const core::SessionData& data,
 
 std::string profile_bytes(const core::SessionData& data) {
   std::ostringstream os;
-  core::save_profile(data, os);
+  core::ProfileWriter().write(data, os);
   return os.str();
 }
 
@@ -166,26 +166,62 @@ TEST(GoldenEquiv, ParallelAnalysisTextMatchesSerialForAllCaseStudies) {
 }
 
 TEST(GoldenEquiv, ParallelShardMergeBytesMatchSerialForAllCaseStudies) {
+  // Parameterized over the shard encoding: text and binary measurement
+  // files must merge to the same session, at every jobs value.
+  for (const CaseStudy& app : case_studies()) {
+    const core::SessionData data = app.run();
+    std::string text_merge_bytes;
+    for (const ProfileFormat format :
+         {ProfileFormat::kText, ProfileFormat::kBinary}) {
+      const bool binary = format == ProfileFormat::kBinary;
+      const char* format_name = binary ? "binary" : "text";
+      SCOPED_TRACE(app.name + std::string("/") + format_name);
+      const std::string dir = fresh_dir("numaprof_equiv_" + app.name + "_" +
+                                        format_name);
+      const std::vector<std::string> paths =
+          core::ProfileWriter(format).write_thread_shards(data, dir);
+      ASSERT_FALSE(paths.empty());
+
+      numaprof::PipelineOptions serial_options;
+      serial_options.jobs = 1;
+      const core::MergeResult serial =
+          core::merge_profile_files(paths, serial_options);
+      numaprof::PipelineOptions parallel_options;
+      parallel_options.jobs = 4;
+      const core::MergeResult parallel =
+          core::merge_profile_files(paths, parallel_options);
+
+      EXPECT_EQ(parallel.summary.files_merged, serial.summary.files_merged);
+      EXPECT_EQ(profile_bytes(parallel.data), profile_bytes(serial.data))
+          << app.name << ": merged profile bytes differ between jobs";
+      if (binary) {
+        EXPECT_EQ(profile_bytes(serial.data), text_merge_bytes)
+            << app.name << ": binary-shard merge diverged from text-shard "
+            << "merge";
+      } else {
+        text_merge_bytes = profile_bytes(serial.data);
+      }
+    }
+  }
+}
+
+TEST(GoldenEquiv, BinaryLoadedSessionAnalyzesIdenticallyForAllCaseStudies) {
+  // The zero-copy binary load path must feed the analyzer the same data
+  // the in-memory session holds: the full viewer + advisor text over the
+  // reloaded session is byte-identical, at jobs=1 and jobs=4.
   for (const CaseStudy& app : case_studies()) {
     SCOPED_TRACE(app.name);
     const core::SessionData data = app.run();
-    const std::string dir = fresh_dir("numaprof_equiv_" + app.name);
-    const std::vector<std::string> paths =
-        core::save_thread_shards(data, dir);
-    ASSERT_FALSE(paths.empty());
-
-    numaprof::PipelineOptions serial_options;
-    serial_options.jobs = 1;
-    const core::MergeResult serial =
-        core::merge_profile_files(paths, serial_options);
-    numaprof::PipelineOptions parallel_options;
-    parallel_options.jobs = 4;
-    const core::MergeResult parallel =
-        core::merge_profile_files(paths, parallel_options);
-
-    EXPECT_EQ(parallel.summary.files_merged, serial.summary.files_merged);
-    EXPECT_EQ(profile_bytes(parallel.data), profile_bytes(serial.data))
-        << app.name << ": merged profile bytes differ between jobs";
+    const std::string binary =
+        core::ProfileWriter(ProfileFormat::kBinary).bytes(data);
+    const core::LoadResult loaded = core::ProfileReader().read(binary);
+    ASSERT_TRUE(loaded.complete);
+    EXPECT_EQ(render_full_analysis(loaded.data, 1),
+              render_full_analysis(data, 1))
+        << app.name << ": binary round-trip changed the analysis";
+    EXPECT_EQ(render_full_analysis(loaded.data, 4),
+              render_full_analysis(data, 1))
+        << app.name << ": binary round-trip + jobs=4 diverged";
   }
 }
 

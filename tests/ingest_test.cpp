@@ -531,7 +531,7 @@ TEST(IngestMerge, CleanSessionMergesWithoutDegradation) {
 TEST(IngestMerge, LostShardsSurfaceAsDegradationWithFaultContext) {
   TempDir dir("numaprof_ingest_merge_lossy");
   const core::SessionData data = record_session();
-  const std::vector<std::string> shards = core::serialize_thread_shards(data);
+  const std::vector<std::string> shards = core::ProfileWriter().thread_shards(data);
   ASSERT_GE(shards.size(), 2u);
 
   // A one-way spool stream with dropped frames: nobody can retransmit, so
@@ -660,7 +660,7 @@ std::vector<CaseStudy> case_studies() {
 
 std::string merged_bytes(IngestServer& server, const std::string& spool) {
   std::ostringstream out;
-  core::save_profile(server.merge(spool).data, out);
+  core::ProfileWriter().write(server.merge(spool).data, out);
   return std::move(out).str();
 }
 
@@ -670,7 +670,7 @@ TEST(IngestRecovery, CrashRestartMergesByteIdenticalForAllCaseStudies) {
     SCOPED_TRACE(cs.name);
     const core::SessionData data = cs.run();
     const std::vector<std::string> shards =
-        core::serialize_thread_shards(data);
+        core::ProfileWriter().thread_shards(data);
     const std::string stream = encode_client_stream(shards, 1);
 
     // Reference: one uninterrupted daemon run.

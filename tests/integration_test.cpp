@@ -53,8 +53,8 @@ TEST(Pipeline, DiagnoseAdviseFixVerify) {
   // 2. Write + re-read the profile (hpcrun -> hpcprof handoff).
   SessionData live = profiler.snapshot();
   std::stringstream file;
-  core::save_profile(live, file);
-  const SessionData data = core::load_profile(file);
+  core::ProfileWriter().write(live, file);
+  const SessionData data = core::ProfileReader().read(file).data;
 
   // 3. Analyze: the program warrants optimization; z is a top offender.
   const Analyzer analyzer(data);
@@ -93,8 +93,8 @@ TEST(Pipeline, ViewerRendersLoadedProfile) {
   run_minilulesh(machine, cfg(Variant::kBaseline));
   SessionData live = profiler.snapshot();
   std::stringstream file;
-  core::save_profile(live, file);
-  const SessionData data = core::load_profile(file);
+  core::ProfileWriter().write(live, file);
+  const SessionData data = core::ProfileReader().read(file).data;
 
   const Analyzer analyzer(data);
   const core::Viewer viewer(analyzer);
@@ -162,7 +162,7 @@ TEST(Pipeline, DeterministicAcrossRuns) {
     run_minilulesh(machine, cfg(Variant::kBaseline));
     SessionData data = profiler.snapshot();
     std::stringstream out;
-    core::save_profile(data, out);
+    core::ProfileWriter().write(data, out);
     return out.str();
   };
   EXPECT_EQ(run_once(), run_once());

@@ -276,12 +276,12 @@ TEST(MatrixGridIo, ShardMergeReproducesInMemoryProfile) {
     fs::remove_all(dir);
     fs::create_directories(dir);
     const std::vector<std::string> paths =
-        core::save_thread_shards(cell.data, dir.string());
+        core::ProfileWriter().write_thread_shards(cell.data, dir.string());
     ASSERT_FALSE(paths.empty());
 
     const auto bytes_of = [](const core::SessionData& data) {
       std::ostringstream os;
-      core::save_profile(data, os);
+      core::ProfileWriter().write(data, os);
       return os.str();
     };
     PipelineOptions serial;

@@ -176,7 +176,7 @@ std::string fresh_dir(const std::string& name) {
 
 std::string profile_bytes(const SessionData& data) {
   std::ostringstream os;
-  save_profile(data, os);
+  ProfileWriter().write(data, os);
   return os.str();
 }
 
@@ -300,7 +300,7 @@ TEST(MergeProperty, MergeAllMatchesSerialFoldBitwiseAcrossJobs) {
 TEST(MergeProperty, ShardFileMergeIsBitwiseIdenticalAcrossJobs) {
   const SessionData original = random_session(0x57040005, 9);
   const std::string dir = fresh_dir("numaprof_property_shards");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_EQ(paths.size(), 9u);
 
   PipelineOptions serial_options;

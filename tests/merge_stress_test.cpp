@@ -45,7 +45,7 @@ std::string fresh_dir(const std::string& name) {
 
 std::string profile_bytes(const SessionData& data) {
   std::ostringstream os;
-  save_profile(data, os);
+  ProfileWriter().write(data, os);
   return os.str();
 }
 
@@ -224,7 +224,7 @@ TEST(PipelineStressPool, ParallelReduceIsBitwiseStableAcrossPoolSizes) {
 TEST(PipelineStressMerge, AdversarialShardsMergeIdenticallyAcrossJobs) {
   const SessionData original = adversarial_session(0x57285502);
   const std::string dir = fresh_dir("numaprof_stress_shards");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_EQ(paths.size(), 8u);
 
   PipelineOptions serial_options;
@@ -247,7 +247,7 @@ TEST(PipelineStressMerge, AdversarialShardsMergeIdenticallyAcrossJobs) {
 TEST(PipelineStressMerge, LenientParallelMergeSkipsDamageLikeSerial) {
   const SessionData original = adversarial_session(0x57285503);
   const std::string dir = fresh_dir("numaprof_stress_damaged");
-  std::vector<std::string> paths = save_thread_shards(original, dir);
+  std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   // Truncate one shard mid-file: lenient merges must skip or diagnose it
   // identically whether the load happened serially or on a worker.
   {

@@ -72,7 +72,7 @@ void damage_file(const std::string& path, const std::string& fault_spec) {
 TEST(ThreadShards, MergeReassemblesTheSession) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_roundtrip");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_EQ(paths.size(), original.totals.size());
 
   const MergeResult merged = merge_profile_files(paths);
@@ -104,7 +104,7 @@ TEST(ThreadShards, MergeReassemblesTheSession) {
 TEST(ThreadShards, LenientMergeSkipsOneDamagedShard) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_lenient");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_GE(paths.size(), 3u);
   // Truncate one per-thread file mid-stream via the fault injector.
   damage_file(paths[1], "truncate=100");
@@ -129,7 +129,7 @@ TEST(ThreadShards, LenientMergeSkipsOneDamagedShard) {
 TEST(ThreadShards, LenientMergeSkipsUnreadableShardAndReportsIt) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_skip");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_GE(paths.size(), 3u);
   // Destroy the header so even the lenient loader must give up on it.
   damage_file(paths[1], "truncate=4");
@@ -169,7 +169,7 @@ TEST(ThreadShards, LenientMergeSkipsUnreadableShardAndReportsIt) {
 TEST(ThreadShards, StrictMergeThrowsTypedErrorNamingTheField) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_strict");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   damage_file(paths[0], "truncate=100");
 
   try {
@@ -184,7 +184,7 @@ TEST(ThreadShards, StrictMergeThrowsTypedErrorNamingTheField) {
 TEST(ThreadShards, QuorumFailureThrowsEvenInLenientMode) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_quorum");
-  const std::vector<std::string> paths = save_thread_shards(original, dir);
+  const std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   ASSERT_GE(paths.size(), 3u);
   // Destroy all but the first file's headers.
   for (std::size_t i = 1; i < paths.size(); ++i) {
@@ -203,7 +203,7 @@ TEST(ThreadShards, EmptyInputListThrows) {
 TEST(ThreadShards, MissingFileIsSkippedLeniently) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_missing");
-  std::vector<std::string> paths = save_thread_shards(original, dir);
+  std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
   paths.push_back(dir + "/does_not_exist.prof");
 
   PipelineOptions options;
@@ -216,7 +216,7 @@ TEST(ThreadShards, MissingFileIsSkippedLeniently) {
 TEST(ThreadShards, IncompatibleProfileIsSkippedWithReason) {
   const SessionData original = shard_session();
   const std::string dir = fresh_dir("numaprof_shards_incompat");
-  std::vector<std::string> paths = save_thread_shards(original, dir);
+  std::vector<std::string> paths = ProfileWriter().write_thread_shards(original, dir);
 
   // A structurally different profile (different machine) cannot be summed.
   SessionData other = original;
@@ -224,7 +224,7 @@ TEST(ThreadShards, IncompatibleProfileIsSkippedWithReason) {
   for (auto& t : other.totals) t.per_domain.resize(other.domain_count, 0);
   other.stores.assign(other.totals.size(), MetricStore(other.domain_count));
   const std::string alien = dir + "/alien.prof";
-  save_profile_file(other, alien);
+  ProfileWriter().write_file(other, alien);
   paths.push_back(alien);
 
   PipelineOptions options;

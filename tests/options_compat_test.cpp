@@ -1,6 +1,8 @@
 // The consolidated option/error surface: deprecated MergeOptions /
 // AnalyzerOptions shims still compile and forward faithfully through
-// .pipeline(), every typed failure shares the numaprof::Error base (kind +
+// .pipeline(), the deprecated profile-I/O free functions still match
+// ProfileReader/ProfileWriter byte for byte, every typed failure shares
+// the numaprof::Error base (kind +
 // file/field/line) and the one format_error() formatter, and the shared
 // CliParser rejects unknown flags the way the CLIs promise.
 #include <gtest/gtest.h>
@@ -75,7 +77,7 @@ TEST(PipelineOptionsCompat, AnalyzerOptionsForwardsThroughPipeline) {
 TEST(PipelineOptionsCompat, DeprecatedOverloadsMatchPipelineOptionsResults) {
   const core::SessionData data = tiny_session();
   const fs::path path = fs::path(::testing::TempDir()) / "compat.prof";
-  core::save_profile_file(data, path.string());
+  core::ProfileWriter().write_file(data, path.string());
 
   PipelineOptions options;
   options.jobs = 2;
@@ -101,6 +103,38 @@ TEST(PipelineOptionsCompat, DeprecatedOverloadsMatchPipelineOptionsResults) {
             merged_fresh.summary.files_merged);
   EXPECT_EQ(merged_shimmed.data.thread_count(),
             merged_fresh.data.thread_count());
+}
+
+TEST(ProfileIoCompat, DeprecatedFreeFunctionsMatchReaderWriterResults) {
+  // The pre-redesign free functions must keep compiling (with a warning —
+  // which is exactly what this pragma scope silences) and keep their
+  // text-only behavior: byte-identical output and equivalent loads.
+  const core::SessionData data = tiny_session();
+  const core::ProfileWriter writer;  // text by default, like the shims
+  const std::string fresh_bytes = writer.bytes(data);
+  const std::vector<std::string> fresh_shards = writer.thread_shards(data);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  std::ostringstream legacy_out;
+  core::save_profile(data, legacy_out);
+  EXPECT_EQ(legacy_out.str(), fresh_bytes);
+  EXPECT_EQ(core::serialize_thread_shards(data), fresh_shards);
+
+  const fs::path path = fs::path(::testing::TempDir()) / "compat_shim.prof";
+  core::save_profile_file(data, path.string());
+  const core::SessionData legacy_loaded =
+      core::load_profile_file(path.string());
+  std::istringstream legacy_in(fresh_bytes);
+  const core::LoadResult legacy_result =
+      core::load_profile(legacy_in, core::LoadOptions{});
+#pragma GCC diagnostic pop
+
+  const core::SessionData fresh_loaded =
+      core::ProfileReader().read_file(path.string()).data;
+  EXPECT_EQ(writer.bytes(legacy_loaded), writer.bytes(fresh_loaded));
+  EXPECT_TRUE(legacy_result.complete);
+  EXPECT_EQ(writer.bytes(legacy_result.data), fresh_bytes);
 }
 
 TEST(ErrorHierarchy, EveryTypedFailureSharesTheBase) {

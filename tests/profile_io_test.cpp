@@ -59,8 +59,8 @@ TEST(EscapeField, EscapedFormIsOneToken) {
 TEST(ProfileIo, SaveLoadRoundTrip) {
   const SessionData original = small_session();
   std::stringstream stream;
-  save_profile(original, stream);
-  const SessionData loaded = load_profile(stream);
+  ProfileWriter().write(original, stream);
+  const SessionData loaded = ProfileReader().read(stream).data;
 
   EXPECT_EQ(loaded.machine_name, original.machine_name);
   EXPECT_EQ(loaded.domain_count, original.domain_count);
@@ -87,8 +87,8 @@ TEST(ProfileIo, SaveLoadRoundTrip) {
 TEST(ProfileIo, AnalysisOfLoadedProfileMatchesLive) {
   const SessionData original = small_session();
   std::stringstream stream;
-  save_profile(original, stream);
-  const SessionData loaded = load_profile(stream);
+  ProfileWriter().write(original, stream);
+  const SessionData loaded = ProfileReader().read(stream).data;
 
   const Analyzer live(original);
   const Analyzer offline(loaded);
@@ -106,29 +106,29 @@ TEST(ProfileIo, AnalysisOfLoadedProfileMatchesLive) {
 TEST(ProfileIo, FileRoundTrip) {
   const SessionData original = small_session();
   const std::string path = ::testing::TempDir() + "/numaprof_test_profile.txt";
-  save_profile_file(original, path);
-  const SessionData loaded = load_profile_file(path);
+  ProfileWriter().write_file(original, path);
+  const SessionData loaded = ProfileReader().read_file(path).data;
   EXPECT_EQ(loaded.cct.size(), original.cct.size());
 }
 
 TEST(ProfileIo, RejectsWrongMagicAndVersion) {
   std::stringstream bad1("not-a-profile 1\n");
-  EXPECT_THROW(load_profile(bad1), std::runtime_error);
+  EXPECT_THROW(ProfileReader().read(bad1).data, std::runtime_error);
   std::stringstream bad2("numaprof-profile 999\n");
-  EXPECT_THROW(load_profile(bad2), std::runtime_error);
+  EXPECT_THROW(ProfileReader().read(bad2).data, std::runtime_error);
 }
 
 TEST(ProfileIo, RejectsTruncatedInput) {
   const SessionData original = small_session();
   std::stringstream stream;
-  save_profile(original, stream);
+  ProfileWriter().write(original, stream);
   const std::string full = stream.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
-  EXPECT_THROW(load_profile(truncated), std::runtime_error);
+  EXPECT_THROW(ProfileReader().read(truncated).data, std::runtime_error);
 }
 
 TEST(ProfileIo, MissingFileThrows) {
-  EXPECT_THROW(load_profile_file("/nonexistent/profile.txt"),
+  EXPECT_THROW(ProfileReader().read_file("/nonexistent/profile.txt").data,
                std::runtime_error);
 }
 
@@ -139,7 +139,7 @@ TEST(ProfileIo, RejectsOutOfRangeMechanismEnum) {
       "sampling 99 100 0\n"
       "end\n");
   try {
-    load_profile(in);
+    ProfileReader().read(in).data;
     FAIL() << "enum out of range must not be cast blindly";
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "mechanism");
@@ -155,7 +155,7 @@ TEST(ProfileIo, RejectsOutOfRangeFrameKind) {
       "7 10 f file.c\n"
       "end\n");
   try {
-    load_profile(in);
+    ProfileReader().read(in).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "frame kind");
@@ -171,7 +171,7 @@ TEST(ProfileIo, RejectsOutOfRangeCctAndVariableKinds) {
       "0 42 0\n"
       "end\n");
   try {
-    load_profile(cct_in);
+    ProfileReader().read(cct_in).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "cct kind");
@@ -183,7 +183,7 @@ TEST(ProfileIo, RejectsOutOfRangeCctAndVariableKinds) {
       "200 0 8 1 0 0 1 name\n"
       "end\n");
   try {
-    load_profile(var_in);
+    ProfileReader().read(var_in).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "var kind");
@@ -199,7 +199,7 @@ TEST(ProfileIo, RejectsDanglingCrossReferences) {
       "900 1 0\n"
       "end\n");
   try {
-    load_profile(bad_parent);
+    ProfileReader().read(bad_parent).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "cct parent");
@@ -212,7 +212,7 @@ TEST(ProfileIo, RejectsDanglingCrossReferences) {
       "0 0 8 1 500 0 1 name\n"
       "end\n");
   try {
-    load_profile(bad_node);
+    ProfileReader().read(bad_node).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "var node");
@@ -228,7 +228,7 @@ TEST(ProfileIo, BoundsHostileCountsBeforeReserving) {
       "frames 1099511627776\n"
       "end\n");
   try {
-    load_profile(in);
+    ProfileReader().read(in).data;
     FAIL();
   } catch (const ProfileError& e) {
     EXPECT_EQ(e.field(), "frame count");
@@ -239,7 +239,7 @@ TEST(ProfileIo, BoundsHostileCountsBeforeReserving) {
 TEST(ProfileIo, LenientLoadReturnsPartialDataWithDiagnostics) {
   const SessionData original = small_session();
   std::stringstream out;
-  save_profile(original, out);
+  ProfileWriter().write(original, out);
   std::string text = out.str();
   // Sabotage the variables section header; everything else stays intact.
   const std::size_t pos = text.find("\nvariables ");
@@ -247,7 +247,7 @@ TEST(ProfileIo, LenientLoadReturnsPartialDataWithDiagnostics) {
   text.replace(pos, 11, "\nvariables X");
 
   std::stringstream in(text);
-  const LoadResult result = load_profile(in, LoadOptions{.lenient = true});
+  const LoadResult result = ProfileReader(LoadOptions{.lenient = true}).read(in);
   EXPECT_FALSE(result.complete);
   EXPECT_FALSE(result.diagnostics.empty());
   // Sections before and after the damage survived.
@@ -260,15 +260,15 @@ TEST(ProfileIo, LenientLoadReturnsPartialDataWithDiagnostics) {
 
   // Strict mode refuses the same stream.
   std::stringstream strict_in(text);
-  EXPECT_THROW(load_profile(strict_in), ProfileError);
+  EXPECT_THROW(ProfileReader().read(strict_in).data, ProfileError);
 }
 
 TEST(ProfileIo, LenientLoadOfCleanStreamIsComplete) {
   const SessionData original = small_session();
   std::stringstream stream;
-  save_profile(original, stream);
+  ProfileWriter().write(original, stream);
   const LoadResult result =
-      load_profile(stream, LoadOptions{.lenient = true});
+      ProfileReader(LoadOptions{.lenient = true}).read(stream);
   EXPECT_TRUE(result.complete);
   EXPECT_TRUE(result.diagnostics.empty());
   EXPECT_EQ(result.data.cct.size(), original.cct.size());
@@ -292,7 +292,7 @@ TEST(ProfileIo, AcceptsVersion2StreamsWithoutHealthSections) {
       "machine 2 4 box\n"
       "sampling 5 100 0\n"
       "end\n");
-  const SessionData data = load_profile(in);
+  const SessionData data = ProfileReader().read(in).data;
   EXPECT_EQ(data.mechanism, pmu::Mechanism::kSoftIbs);
   EXPECT_EQ(data.requested_mechanism, pmu::Mechanism::kSoftIbs);
   EXPECT_TRUE(data.degradations.empty());

@@ -7,12 +7,34 @@
 #include <vector>
 
 #include "support/env.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace numaprof::support {
 namespace {
+
+TEST(Crc32, MatchesCanonicalVectors) {
+  // IEEE 802.3 / zlib check values; these are persisted in binary
+  // profiles and ingest frames, so they can never change.
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, ChainedEqualsOneShotAtEverySplit) {
+  // The slicing-by-8 fast path kicks in at 8-byte granularity; splitting
+  // at every offset crosses the fast/tail boundary in both halves.
+  const std::string message = "columnar profiles checksum in sections!";
+  const std::uint32_t whole = crc32(message);
+  for (std::size_t split = 0; split <= message.size(); ++split) {
+    EXPECT_EQ(crc32(message.substr(split), crc32(message.substr(0, split))),
+              whole)
+        << "split at " << split;
+  }
+}
 
 TEST(Rng, SameSeedSameStream) {
   Rng a(42), b(42);

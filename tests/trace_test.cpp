@@ -154,8 +154,8 @@ TEST(Trace, ViewerTimelineWrapsAnalysis) {
 TEST(Trace, SerializationRoundTrip) {
   const SessionData original = run_two_phase(true);
   std::stringstream stream;
-  save_profile(original, stream);
-  const SessionData loaded = load_profile(stream);
+  ProfileWriter().write(original, stream);
+  const SessionData loaded = ProfileReader().read(stream).data;
   ASSERT_EQ(loaded.trace.size(), original.trace.size());
   for (std::size_t i = 0; i < loaded.trace.size(); i += 97) {
     EXPECT_EQ(loaded.trace[i].time, original.trace[i].time);
