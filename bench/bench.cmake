@@ -53,6 +53,15 @@ target_link_libraries(micro_io PRIVATE numaprof_apps numaprof_core)
 set_target_properties(micro_io PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
 
+# monitor_refresh has a custom main (BENCH lines + BENCH_monitor.json
+# aggregate, determinism/frame-shape validity gates), so no
+# benchmark_main here.
+add_executable(monitor_refresh ${CMAKE_SOURCE_DIR}/bench/monitor_refresh.cpp)
+target_link_libraries(monitor_refresh PRIVATE
+  numaprof_apps numaprof_core numaprof_monitor)
+set_target_properties(monitor_refresh PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${NUMAPROF_BENCH_DIR})
+
 # micro_lint has a custom main (BENCH lines + BENCH_lint.json aggregate,
 # validity-checked driver/cache runs), so no benchmark_main here.
 add_executable(micro_lint ${CMAKE_SOURCE_DIR}/bench/micro_lint.cpp)

@@ -25,6 +25,9 @@
 //   --quorum F        minimum fraction of shards that must merge (0..1)
 //   --strict          fail on the first damaged shard (default: lenient)
 //   --crash-after N   fault injection: die mid-write after N WAL appends
+//   --telemetry-out PATH  append mechanism-less JSONL telemetry snapshots
+//                     (one after each ingested stream, one after the
+//                     merge) for `numa_top --follow PATH` to tail
 //
 // Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the daemon
 // side under injected failures (disk-full WAL appends).
@@ -63,6 +66,9 @@ support::CliParser make_parser() {
   cli.add_flag("--strict", false, "fail on the first damaged shard");
   cli.add_flag("--crash-after", true,
                "fault injection: die mid-write after N WAL appends", "N");
+  cli.add_flag("--telemetry-out", true,
+               "append JSONL telemetry snapshots here (numa_top --follow)",
+               "PATH");
   cli.add_flag("--help", false, "show this message");
   return cli;
 }
@@ -123,6 +129,31 @@ int main(int argc, char** argv) {
     options.wal_path = cli.value("--wal").value_or("numaprofd.wal");
     if (faults.enabled()) options.faults = &faults;
     options.crash_after_appends = cli.unsigned_value("--crash-after", 0);
+
+    // Telemetry spool for `numa_top --follow`: the server publishes its
+    // ingest counters/events into the hub, and we fold one snapshot per
+    // ingested stream (plus one after the merge) into an appendable JSONL
+    // file. Snapshot "time" is the 1-based fold number — the daemon has
+    // no virtual clock.
+    Telemetry hub;
+    std::ofstream telemetry_out;
+    const auto telemetry_path = cli.value("--telemetry-out");
+    if (telemetry_path) {
+      telemetry_out.open(*telemetry_path, std::ios::app);
+      if (!telemetry_out) {
+        throw Error(ErrorKind::kTelemetry, *telemetry_path, "telemetry", 0,
+                    "cannot open telemetry spool for writing: " +
+                        *telemetry_path);
+      }
+      options.telemetry = &hub;
+    }
+    std::uint64_t folds = 0;
+    const auto publish_snapshot = [&] {
+      if (!telemetry_path) return;
+      core::write_snapshot_jsonl(hub.snapshot(++folds), telemetry_out);
+      telemetry_out.flush();
+    };
+
     ingest::IngestServer server(options);
 
     const ingest::ServerStats recovered = server.stats();
@@ -138,6 +169,7 @@ int main(int argc, char** argv) {
 
     for (const std::string& path : cli.positional()) {
       server.ingest_stream(read_stream_file(path));
+      publish_snapshot();
     }
 
     PipelineOptions pipeline;
@@ -163,6 +195,7 @@ int main(int argc, char** argv) {
     const std::string spool =
         cli.value("--spool").value_or(options.wal_path + ".spool");
     const core::MergeResult merged = server.merge(spool, pipeline);
+    publish_snapshot();
 
     const ingest::ServerStats stats = server.stats();
     std::cout << "ingested " << stats.frames_accepted << " shard(s) from "

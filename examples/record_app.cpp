@@ -32,6 +32,15 @@
 //   --daemon-spool FILE       write the framed client stream to FILE for
 //                             a separate numaprofd process to replay
 //   --client-id N             client id stamped on every frame (default 1)
+//   --top                     paint a live numa_top monitor to stderr while
+//                             the workload runs (pull-only: the recorded
+//                             profile is byte-identical with or without
+//                             it); excludes --telemetry/--telemetry-interval
+//                             because a hub snapshot drains the event
+//                             queues and the hub is single-consumer
+//   --top-interval N          repaint every N instructions (default 100000)
+//   --top-size WxH            monitor frame size (default: tty size, else
+//                             80x24)
 //
 // Set NUMAPROF_FAULTS (see docs/robustness.md) to exercise the run under
 // injected failures: mechanism init failures degrade along the fallback
@@ -45,7 +54,13 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
+
+#include <unistd.h>
+
+#include "monitor/live.hpp"
+#include "monitor/term.hpp"
 
 #include "apps/distributions.hpp"
 #include "apps/miniamg.hpp"
@@ -103,6 +118,13 @@ support::CliParser make_parser() {
                "write the framed client stream here for numaprofd", "FILE");
   cli.add_flag("--client-id", true,
                "client id stamped on every frame (default 1)", "N");
+  cli.add_flag("--top", false,
+               "paint a live numa_top monitor to stderr while running");
+  cli.add_flag("--top-interval", true,
+               "repaint the monitor every N instructions (default 100000)",
+               "N");
+  cli.add_flag("--top-size", true,
+               "monitor frame size (default: tty size or 80x24)", "WxH");
   cli.add_flag("--help", false, "show this message");
   return cli;
 }
@@ -249,8 +271,47 @@ int main(int argc, char** argv) {
                            stream_cfg.jsonl != nullptr;
     if (streaming) machine.add_observer(streamer);
 
+    // Live monitor. It pulls snapshots from the same hub, and a hub
+    // snapshot drains the per-ring event queues (single consumer), so
+    // --top cannot share the hub with the telemetry streamer.
+    if (cli.has("--top") && streaming) {
+      bad_usage(cli,
+                "--top excludes --telemetry/--telemetry-interval (both "
+                "drain the telemetry hub, which is single-consumer)");
+    }
+    monitor::LiveTop::Config top_cfg;
+    top_cfg.out = &std::cerr;
+    top_cfg.mechanism = profiler.sampler().mechanism();
+    top_cfg.interval_instructions =
+        cli.unsigned_value("--top-interval", 100000);
+    top_cfg.ansi = ::isatty(STDERR_FILENO) != 0;
+    const monitor::TermSize top_size = monitor::detect_term_size(
+        STDERR_FILENO);
+    top_cfg.width = top_size.width;
+    top_cfg.height = top_size.height;
+    if (const auto text = cli.value("--top-size")) {
+      std::size_t width = 0;
+      std::size_t height = 0;
+      char x = 0;
+      std::istringstream in(*text);
+      if (!(in >> width >> x >> height) || x != 'x' || width == 0 ||
+          height == 0 || (in >> x)) {
+        bad_usage(cli, "--top-size expects WxH, e.g. 80x24");
+      }
+      top_cfg.width = width;
+      top_cfg.height = height;
+    }
+    monitor::LiveTop top(hub, top_cfg);
+    const bool topping = cli.has("--top");
+    if (topping) machine.add_observer(top);
+
     run_workload(machine, app, variant_it->second);
 
+    if (topping) {
+      top.flush(machine.elapsed());
+      machine.remove_observer(top);
+      if (top_cfg.ansi) std::cerr << monitor::ansi_leave() << std::flush;
+    }
     if (streaming) {
       streamer.flush(machine.elapsed());
       machine.remove_observer(streamer);

@@ -210,6 +210,23 @@ void Profiler::on_sample(const pmu::Sample& sample) {
     ring.add(mismatch ? support::TelemetryCounter::kMismatchSamples
                       : support::TelemetryCounter::kMatchSamples);
     ring.add_domain_sample(home_domain, mismatch);
+    if (sample.latency) {
+      ring.add(support::TelemetryCounter::kLatencyCycles, *sample.latency);
+      if (mismatch) {
+        ring.add(support::TelemetryCounter::kRemoteLatencyCycles,
+                 *sample.latency);
+      }
+    }
+    // Bounded top-K hot tables behind the numa_top panes: the touched
+    // page and variable per home domain, and this thread's call path.
+    ring.add_hot(support::HotTableKind::kPages, simos::page_of(sample.addr),
+                 home_domain, mismatch);
+    ring.add_hot(support::HotTableKind::kVariables, vid, home_domain,
+                 mismatch, var.name);
+    // Paths are per-thread, not per-domain: domain 0 keeps each leaf in
+    // one slot.
+    ring.add_hot(support::HotTableKind::kPaths, code_leaf, 0, mismatch,
+                 hot_path_label(code_leaf, sample.stack));
   }
   if (sample.latency) {
     const auto latency = static_cast<double>(*sample.latency);
@@ -254,16 +271,41 @@ void Profiler::on_fault(const simrt::FaultEvent& fault) {
   store.add(node, kFirstTouches, 1);
   store.add(registry_.variable(vid).variable_node, kFirstTouches, 1);
 
-  first_touches_.push_back(FirstTouchRecord{
-      .variable = vid,
-      .tid = fault.tid,
-      .domain = simos::numa_node_of_cpu(machine_.topology(), fault.core),
-      .node = node,
-      .page = page});
+  const numasim::DomainId touch_domain =
+      simos::numa_node_of_cpu(machine_.topology(), fault.core);
+  first_touches_.push_back(FirstTouchRecord{.variable = vid,
+                                            .tid = fault.tid,
+                                            .domain = touch_domain,
+                                            .node = node,
+                                            .page = page});
   if (config_.telemetry != nullptr) {
-    config_.telemetry->ring(fault.tid).add(
-        support::TelemetryCounter::kFirstTouchTraps);
+    support::TelemetryRing& ring = config_.telemetry->ring(fault.tid);
+    ring.add(support::TelemetryCounter::kFirstTouchTraps);
+    // First touch fixes the page's home domain — seed the hot tables so
+    // numa_top shows the page/variable before any samples land on it.
+    ring.add_hot(support::HotTableKind::kPages, page, touch_domain, false);
+    ring.add_hot(support::HotTableKind::kVariables, vid, touch_domain, false,
+                 registry_.variable(vid).name);
   }
+}
+
+std::string_view Profiler::hot_path_label(
+    NodeId leaf, std::span<const simrt::FrameId> stack) {
+  const auto cached = hot_path_labels_.find(leaf);
+  if (cached != hot_path_labels_.end()) return cached->second;
+  // The last three frames identify the path tightly enough for a terminal
+  // column; a ".." prefix marks truncation.
+  constexpr std::size_t kTailFrames = 3;
+  std::string label;
+  if (stack.size() > kTailFrames) label = "..";
+  const std::size_t first =
+      stack.size() > kTailFrames ? stack.size() - kTailFrames : 0;
+  for (std::size_t i = first; i < stack.size(); ++i) {
+    if (!label.empty()) label += '>';
+    label += machine_.frames().info(stack[i]).name;
+  }
+  if (label.empty()) label = "(no stack)";
+  return hot_path_labels_.emplace(leaf, std::move(label)).first->second;
 }
 
 SessionData Profiler::snapshot() {

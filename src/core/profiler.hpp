@@ -11,7 +11,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/session.hpp"
@@ -116,6 +119,10 @@ class Profiler final : public simrt::MachineObserver {
   void on_fault(const simrt::FaultEvent& fault);
   void publish_telemetry_event(support::TelemetryEventKind kind,
                                std::uint64_t value, std::string_view detail);
+  /// Rendered tail of the call path under `leaf`, cached per CCT node so
+  /// the hot-path telemetry table costs one map lookup per sample.
+  std::string_view hot_path_label(NodeId leaf,
+                                  std::span<const simrt::FrameId> stack);
   MetricStore& store_of(simrt::ThreadId tid);
   ThreadTotals& totals_of(simrt::ThreadId tid);
   void record_at(MetricStore& store, NodeId node, bool mismatch, bool remote,
@@ -134,6 +141,7 @@ class Profiler final : public simrt::MachineObserver {
   std::vector<ThreadTotals> totals_;      // per thread
   std::vector<FirstTouchRecord> first_touches_;
   std::vector<TraceEvent> trace_;
+  std::unordered_map<NodeId, std::string> hot_path_labels_;
   NodeId access_dummy_;
   NodeId first_touch_dummy_;
   bool running_ = false;

@@ -69,6 +69,21 @@ void write_u64_array(std::ostream& os, const std::vector<std::uint64_t>& v) {
   os << ']';
 }
 
+void write_hot_array(std::ostream& os,
+                     const std::vector<support::HotCounter>& rows) {
+  os << '[';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const support::HotCounter& row = rows[i];
+    if (i) os << ',';
+    os << "{\"key\":" << row.key << ",\"domain\":" << row.domain
+       << ",\"count\":" << row.count << ",\"mismatch\":" << row.mismatch
+       << ",\"label\":";
+    write_json_string(os, row.label);
+    os << '}';
+  }
+  os << ']';
+}
+
 // ---------------------------------------------------------------------
 // A minimal JSON reader for the trace schema. Each JSONL line is parsed
 // independently; errors carry the 1-based line number.
@@ -302,6 +317,45 @@ std::vector<std::uint64_t> as_u64_array(const JsonValue& v,
   return out;
 }
 
+std::vector<support::HotCounter> as_hot_array(const JsonValue& v,
+                                              const std::string& file,
+                                              std::size_t line,
+                                              const char* what) {
+  if (v.kind != JsonValue::Kind::kArray) {
+    trace_error(file, line, std::string(what) + " must be an array");
+  }
+  std::vector<support::HotCounter> out;
+  out.reserve(v.array.size());
+  for (const JsonValue& e : v.array) {
+    if (e.kind != JsonValue::Kind::kObject) {
+      trace_error(file, line, std::string(what) + " entries must be objects");
+    }
+    support::HotCounter row;
+    if (const JsonValue* key = e.find("key")) {
+      row.key = as_u64(*key, file, line, "key");
+    }
+    if (const JsonValue* domain = e.find("domain")) {
+      row.domain =
+          static_cast<std::uint32_t>(as_u64(*domain, file, line, "domain"));
+    }
+    if (const JsonValue* count = e.find("count")) {
+      row.count = as_u64(*count, file, line, "count");
+    }
+    if (const JsonValue* mismatch = e.find("mismatch")) {
+      row.mismatch = as_u64(*mismatch, file, line, "mismatch");
+    }
+    if (const JsonValue* label = e.find("label")) {
+      if (label->kind != JsonValue::Kind::kString) {
+        trace_error(file, line,
+                    std::string(what) + " labels must be strings");
+      }
+      row.label = label->string;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 bool counter_from_string(std::string_view name, TelemetryCounter& out) {
   for (std::size_t i = 0; i < support::kTelemetryCounterCount; ++i) {
     const auto c = static_cast<TelemetryCounter>(i);
@@ -370,6 +424,12 @@ TelemetrySnapshot parse_snapshot_line(const JsonValue& root,
     snap.domain_mismatch =
         as_u64_array(*mismatch, file, line, "domain-mismatch");
   }
+  if (const JsonValue* pages = root.find("hot-pages")) {
+    snap.hot_pages = as_hot_array(*pages, file, line, "hot-pages");
+  }
+  if (const JsonValue* vars = root.find("hot-vars")) {
+    snap.hot_vars = as_hot_array(*vars, file, line, "hot-vars");
+  }
   if (const JsonValue* threads = root.find("threads")) {
     if (threads->kind != JsonValue::Kind::kArray) {
       trace_error(file, line, "threads must be an array");
@@ -392,6 +452,9 @@ TelemetrySnapshot parse_snapshot_line(const JsonValue& root,
       if (const JsonValue* mismatch = row.find("domain-mismatch")) {
         thread.domain_mismatch =
             as_u64_array(*mismatch, file, line, "domain-mismatch");
+      }
+      if (const JsonValue* paths = row.find("hot-paths")) {
+        thread.hot_paths = as_hot_array(*paths, file, line, "hot-paths");
       }
       snap.threads.push_back(std::move(thread));
     }
@@ -436,12 +499,40 @@ const support::TelemetrySnapshot& TelemetryTrace::final_snapshot() const {
 
 std::string format_status_line(const TelemetrySnapshot& snapshot,
                                pmu::Mechanism mechanism) {
+  return format_status_line(snapshot, mechanism, nullptr);
+}
+
+std::string format_status_line(const TelemetrySnapshot& snapshot,
+                               pmu::Mechanism mechanism,
+                               const TelemetrySnapshot* previous) {
+  // Interval delta + per-kilocycle rate for one cumulative counter. The
+  // elapsed-cycles guard is load-bearing: a flush right after a periodic
+  // emit produces two snapshots with the SAME timestamp, and dividing by
+  // that zero interval used to print inf/nan rates.
+  const auto delta_suffix = [&](TelemetryCounter c, bool with_rate) {
+    if (previous == nullptr) return std::string();
+    const std::uint64_t cur = snapshot.total(c);
+    const std::uint64_t prev = previous->total(c);
+    const std::uint64_t delta = cur >= prev ? cur - prev : 0;
+    std::string out = " (+" + std::to_string(delta);
+    if (with_rate && snapshot.time > previous->time) {
+      const auto elapsed =
+          static_cast<double>(snapshot.time - previous->time);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.1f/kc",
+                    static_cast<double>(delta) * 1000.0 / elapsed);
+      out += buf;
+    }
+    return out + ")";
+  };
   std::ostringstream os;
   os << "[telemetry #" << snapshot.sequence << " t=" << snapshot.time << "] "
      << pmu::to_string(mechanism)
      << " threads=" << snapshot.threads.size()
      << " samples=" << snapshot.total(TelemetryCounter::kSamples)
+     << delta_suffix(TelemetryCounter::kSamples, true)
      << " mem=" << snapshot.total(TelemetryCounter::kMemorySamples)
+     << delta_suffix(TelemetryCounter::kMemorySamples, false)
      << " drop=" << percent(snapshot.drop_fraction())
      << " traps=" << snapshot.total(TelemetryCounter::kFirstTouchTraps)
      << " heap=" << snapshot.total(TelemetryCounter::kHeapRegistrations);
@@ -453,17 +544,59 @@ std::string format_status_line(const TelemetrySnapshot& snapshot,
   return os.str();
 }
 
-void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
-                          pmu::Mechanism mechanism, std::ostream& os) {
-  os << "{\"type\":\"snapshot\",\"seq\":" << snapshot.sequence
-     << ",\"t\":" << snapshot.time << ",\"mechanism\":";
-  write_json_string(os, pmu::to_string(mechanism));
+std::vector<std::string> format_event_lines(
+    const std::vector<TelemetryEvent>& events) {
+  // Identical repeated events collapse into one row with a repeat count.
+  std::vector<std::pair<const TelemetryEvent*, std::size_t>> event_rows;
+  for (const TelemetryEvent& event : events) {
+    const auto same = [&event](const auto& row) {
+      const TelemetryEvent& seen = *row.first;
+      return seen.kind == event.kind && seen.time == event.time &&
+             seen.tid == event.tid && seen.value == event.value &&
+             seen.detail_view() == event.detail_view();
+    };
+    if (auto it = std::find_if(event_rows.begin(), event_rows.end(), same);
+        it != event_rows.end()) {
+      ++it->second;
+    } else {
+      event_rows.emplace_back(&event, 1);
+    }
+  }
+  std::vector<std::string> lines;
+  lines.reserve(event_rows.size());
+  for (const auto& [event, repeats] : event_rows) {
+    std::ostringstream os;
+    os << "  [" << to_string(event->kind) << "] t=" << event->time
+       << " tid=" << event->tid;
+    if (event->value != 0) os << " (" << event->value << ")";
+    if (!event->detail_view().empty()) os << ": " << event->detail_view();
+    if (repeats > 1) os << " (x" << repeats << ")";
+    lines.push_back(std::move(os).str());
+  }
+  return lines;
+}
+
+namespace {
+
+void write_snapshot_jsonl_impl(const TelemetrySnapshot& snapshot,
+                               const pmu::Mechanism* mechanism,
+                               std::ostream& os) {
+  os << "{\"type\":\"snapshot\",\"v\":2,\"seq\":" << snapshot.sequence
+     << ",\"t\":" << snapshot.time;
+  if (mechanism != nullptr) {
+    os << ",\"mechanism\":";
+    write_json_string(os, pmu::to_string(*mechanism));
+  }
   os << ",\"totals\":";
   write_counters(os, snapshot.totals);
   os << ",\"domain-match\":";
   write_u64_array(os, snapshot.domain_match);
   os << ",\"domain-mismatch\":";
   write_u64_array(os, snapshot.domain_mismatch);
+  os << ",\"hot-pages\":";
+  write_hot_array(os, snapshot.hot_pages);
+  os << ",\"hot-vars\":";
+  write_hot_array(os, snapshot.hot_vars);
   os << ",\"threads\":[";
   for (std::size_t i = 0; i < snapshot.threads.size(); ++i) {
     const ThreadTelemetry& thread = snapshot.threads[i];
@@ -474,6 +607,8 @@ void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
     write_u64_array(os, thread.domain_match);
     os << ",\"domain-mismatch\":";
     write_u64_array(os, thread.domain_mismatch);
+    os << ",\"hot-paths\":";
+    write_hot_array(os, thread.hot_paths);
     os << '}';
   }
   os << "]}\n";
@@ -487,41 +622,57 @@ void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
   }
 }
 
-TelemetryTrace load_telemetry_trace(std::istream& is) {
-  return [&is]() {
-    TelemetryTrace trace;
-    std::string line;
-    std::size_t lineno = 0;
-    const std::string file;
-    while (std::getline(is, line)) {
-      ++lineno;
-      if (line.empty()) continue;
-      JsonParser parser(line, file, lineno);
-      const JsonValue root = parser.parse();
-      if (root.kind != JsonValue::Kind::kObject) {
-        trace_error(file, lineno, "every trace line must be a JSON object");
+}  // namespace
+
+void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
+                          pmu::Mechanism mechanism, std::ostream& os) {
+  write_snapshot_jsonl_impl(snapshot, &mechanism, os);
+}
+
+void write_snapshot_jsonl(const TelemetrySnapshot& snapshot,
+                          std::ostream& os) {
+  write_snapshot_jsonl_impl(snapshot, nullptr, os);
+}
+
+bool append_trace_line(TelemetryTrace& trace, std::string_view line,
+                       std::size_t lineno, const std::string& file) {
+  if (line.empty()) return false;
+  JsonParser parser(line, file, lineno);
+  const JsonValue root = parser.parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    trace_error(file, lineno, "every trace line must be a JSON object");
+  }
+  const JsonValue* type = root.find("type");
+  if (type == nullptr || type->kind != JsonValue::Kind::kString) {
+    trace_error(file, lineno, "trace lines require a string \"type\"");
+  }
+  if (type->string == "snapshot") {
+    if (const JsonValue* mech = root.find("mechanism")) {
+      if (mech->kind != JsonValue::Kind::kString ||
+          !mechanism_from_string(mech->string, trace.mechanism)) {
+        trace_error(file, lineno, "unknown mechanism");
       }
-      const JsonValue* type = root.find("type");
-      if (type == nullptr || type->kind != JsonValue::Kind::kString) {
-        trace_error(file, lineno, "trace lines require a string \"type\"");
-      }
-      if (type->string == "snapshot") {
-        if (const JsonValue* mech = root.find("mechanism")) {
-          if (mech->kind != JsonValue::Kind::kString ||
-              !mechanism_from_string(mech->string, trace.mechanism)) {
-            trace_error(file, lineno, "unknown mechanism");
-          }
-          trace.has_mechanism = true;
-        }
-        trace.snapshots.push_back(parse_snapshot_line(root, file, lineno));
-      } else if (type->string == "event") {
-        trace.events.push_back(parse_event_line(root, file, lineno));
-      } else {
-        // Unknown line types are skipped (forward compatibility).
-      }
+      trace.has_mechanism = true;
     }
-    return trace;
-  }();
+    trace.snapshots.push_back(parse_snapshot_line(root, file, lineno));
+    return true;
+  }
+  if (type->string == "event") {
+    trace.events.push_back(parse_event_line(root, file, lineno));
+  }
+  // Unknown line types are skipped (forward compatibility).
+  return false;
+}
+
+TelemetryTrace load_telemetry_trace(std::istream& is) {
+  TelemetryTrace trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    append_trace_line(trace, line, lineno);
+  }
+  return trace;
 }
 
 TelemetryTrace load_telemetry_trace_file(const std::string& path) {
@@ -612,32 +763,13 @@ std::string render_health_pane(const TelemetryTrace& trace,
   os << "telemetry events dropped: "
      << last.total(TelemetryCounter::kEventsDropped) << "\n";
 
-  // Identical repeated events collapse into one row with a repeat count
-  // (the raw total in the heading and the cross-check below still count
-  // every occurrence).
+  // Identical repeated events collapse into one "(xN)" row — the same
+  // format_event_lines the live status-line sink prints through (the raw
+  // total in the heading and the cross-check below still count every
+  // occurrence).
   os << "events (" << trace.events.size() << "):\n";
-  std::vector<std::pair<const TelemetryEvent*, std::size_t>> event_rows;
-  for (const TelemetryEvent& event : trace.events) {
-    const auto same = [&event](const auto& row) {
-      const TelemetryEvent& seen = *row.first;
-      return seen.kind == event.kind && seen.time == event.time &&
-             seen.tid == event.tid && seen.value == event.value &&
-             seen.detail_view() == event.detail_view();
-    };
-    if (auto it = std::find_if(event_rows.begin(), event_rows.end(), same);
-        it != event_rows.end()) {
-      ++it->second;
-    } else {
-      event_rows.emplace_back(&event, 1);
-    }
-  }
-  for (const auto& [event, repeats] : event_rows) {
-    os << "  [" << to_string(event->kind) << "] t=" << event->time
-       << " tid=" << event->tid;
-    if (event->value != 0) os << " (" << event->value << ")";
-    if (!event->detail_view().empty()) os << ": " << event->detail_view();
-    if (repeats > 1) os << " (x" << repeats << ")";
-    os << "\n";
+  for (const std::string& line : format_event_lines(trace.events)) {
+    os << line << "\n";
   }
 
   if (profile != nullptr) {
@@ -703,20 +835,35 @@ void TelemetryStreamer::on_access(const simrt::SimThread& thread,
 }
 
 void TelemetryStreamer::flush(std::uint64_t time) {
+  // The final partial interval is emitted exactly once: with nothing
+  // accumulated since the last emit (second flush in a row, or a flush
+  // landing exactly on an interval boundary) there is no partial interval
+  // to report, so the flush is a no-op.
+  if (emitted_ > 0 && since_emit_ == 0) return;
   emit(std::max(time, last_time_));
 }
 
 void TelemetryStreamer::emit(std::uint64_t time) {
   since_emit_ = 0;
-  const TelemetrySnapshot snapshot = hub_->snapshot(time);
+  TelemetrySnapshot snapshot = hub_->snapshot(time);
   ++emitted_;
   if (config_.status != nullptr) {
-    *config_.status << format_status_line(snapshot, config_.mechanism)
+    *config_.status << format_status_line(snapshot, config_.mechanism,
+                                          has_previous_ ? &previous_
+                                                        : nullptr)
                     << "\n";
+    // Event echo below the status line, with identical repeats collapsed
+    // into "(xN)" exactly like the health pane — a stalled client
+    // re-publishing one event cannot scroll the terminal.
+    for (const std::string& line : format_event_lines(snapshot.events)) {
+      *config_.status << line << "\n";
+    }
   }
   if (config_.jsonl != nullptr) {
     write_snapshot_jsonl(snapshot, config_.mechanism, *config_.jsonl);
   }
+  previous_ = std::move(snapshot);
+  has_previous_ = true;
 }
 
 }  // namespace numaprof::core

@@ -38,20 +38,48 @@ struct TelemetryTrace {
 };
 
 /// One-line live health summary:
-///   `[telemetry #3 t=24000] ibs samples=1204 (+402/s.mem 881) drop=0.0% ...`
+///   `[telemetry #3 t=24000] ibs threads=4 samples=1204 mem=881 ...`
+/// With `previous` (the preceding snapshot of the same stream), the
+/// samples/mem columns also carry interval deltas and a per-kilocycle
+/// rate: `samples=1204 (+402 3.4/kc) mem=881 (+210)`. A zero-length
+/// interval (same timestamp, e.g. a flush right after a periodic emit)
+/// prints the delta but omits the rate — never `inf`/`nan`.
 std::string format_status_line(const support::TelemetrySnapshot& snapshot,
                                pmu::Mechanism mechanism);
+std::string format_status_line(const support::TelemetrySnapshot& snapshot,
+                               pmu::Mechanism mechanism,
+                               const support::TelemetrySnapshot* previous);
 
-/// Appends one `snapshot` JSONL object, then one `event` object per event
-/// drained into this snapshot.
+/// The health pane's event log body: one "  [kind] t=... tid=..." line per
+/// distinct event, with identical repeats collapsed into "(xN)". Shared by
+/// render_health_pane and the live status-line sink so a stalled client
+/// re-publishing the same event cannot scroll the terminal.
+std::vector<std::string> format_event_lines(
+    const std::vector<support::TelemetryEvent>& events);
+
+/// Appends one `snapshot` JSONL object (schema v2: per-domain hot-page /
+/// hot-variable rows and per-thread hot call paths ride along), then one
+/// `event` object per event drained into this snapshot. The overload
+/// without a mechanism omits the "mechanism" key (used by sinks that do
+/// not know it, e.g. numaprofd --telemetry-out).
 void write_snapshot_jsonl(const support::TelemetrySnapshot& snapshot,
                           pmu::Mechanism mechanism, std::ostream& os);
+void write_snapshot_jsonl(const support::TelemetrySnapshot& snapshot,
+                          std::ostream& os);
 
 /// Parses a JSONL trace written by write_snapshot_jsonl. Unknown keys are
 /// ignored (forward compatibility); malformed lines throw numaprof::Error
-/// with kind kTelemetry naming the line.
+/// with kind kTelemetry naming the 1-based line.
 TelemetryTrace load_telemetry_trace(std::istream& is);
 TelemetryTrace load_telemetry_trace_file(const std::string& path);
+
+/// Parses ONE trace line (1-based `lineno` for error messages) into
+/// `trace`, the incremental unit behind load_telemetry_trace and
+/// `numa_top --follow` (which tails a growing JSONL file). Returns true
+/// when the line added a snapshot, false for events / blank / unknown
+/// line types.
+bool append_trace_line(TelemetryTrace& trace, std::string_view line,
+                       std::size_t lineno, const std::string& file = {});
 
 /// The "-- measurement health --" pane: end-of-run totals, drop fractions,
 /// per-domain M_l/M_r, the event log, and — when `profile` is non-null —
@@ -84,7 +112,10 @@ class TelemetryStreamer final : public simrt::MachineObserver {
   void on_access(const simrt::SimThread& thread,
                  const simrt::AccessEvent& event) override;
 
-  /// Emits the final snapshot (even if the interval has not elapsed).
+  /// Emits the final partial interval exactly once: a flush with nothing
+  /// accumulated since the last emit (including a second flush in a row)
+  /// is a no-op, so shutdown paths may flush defensively without
+  /// duplicating the final snapshot.
   void flush(std::uint64_t time);
 
   std::uint64_t snapshots_emitted() const noexcept { return emitted_; }
@@ -97,6 +128,9 @@ class TelemetryStreamer final : public simrt::MachineObserver {
   std::uint64_t since_emit_ = 0;
   std::uint64_t last_time_ = 0;
   std::uint64_t emitted_ = 0;
+  /// Previous emitted snapshot, for the status line's rate columns.
+  support::TelemetrySnapshot previous_;
+  bool has_previous_ = false;
 };
 
 }  // namespace numaprof::core

@@ -1,0 +1,34 @@
+#include "monitor/frame.hpp"
+
+namespace numaprof::monitor {
+
+std::string fit_line(std::string_view text, std::size_t width) {
+  if (text.size() > width) text = text.substr(0, width);
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return std::string(text);
+}
+
+std::string render_frame(const std::vector<std::string>& lines,
+                         std::size_t width, std::size_t height) {
+  std::string out;
+  out.reserve(height * (width / 2 + 1));
+  for (std::size_t i = 0; i < height; ++i) {
+    if (i < lines.size()) out += fit_line(lines[i], width);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string rule(std::size_t width) { return std::string(width, '-'); }
+
+std::string pad_left(std::string cell, std::size_t width) {
+  if (cell.size() < width) {
+    cell.insert(cell.begin(), width - cell.size(), ' ');
+  }
+  return cell;
+}
+
+}  // namespace numaprof::monitor

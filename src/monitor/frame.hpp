@@ -1,0 +1,32 @@
+// Deterministic text-frame primitives for the numa_top monitor.
+//
+// A frame is plain text: `height` lines, each clipped to `width` columns
+// with trailing whitespace trimmed, every line '\n'-terminated. Control
+// sequences never appear here — the live renderer (monitor/term.hpp)
+// wraps finished frames in cursor-addressing codes, so the same bytes a
+// terminal repaints are what the scripted-frames goldens lock down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace numaprof::monitor {
+
+/// Clips `text` to `width` columns and trims trailing spaces/tabs.
+std::string fit_line(std::string_view text, std::size_t width);
+
+/// Assembles a frame exactly `height` lines tall: each line fit_line'd,
+/// missing lines blank, extras dropped.
+std::string render_frame(const std::vector<std::string>& lines,
+                         std::size_t width, std::size_t height);
+
+/// A horizontal rule of '-' spanning `width` columns.
+std::string rule(std::size_t width);
+
+/// Right-aligns `cell` into `width` columns (cells wider than the column
+/// are kept whole; the frame clip handles overflow).
+std::string pad_left(std::string cell, std::size_t width);
+
+}  // namespace numaprof::monitor

@@ -1,0 +1,447 @@
+#include "monitor/model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "monitor/frame.hpp"
+
+namespace numaprof::monitor {
+namespace {
+
+using support::HotCounter;
+using support::TelemetryCounter;
+using support::TelemetrySnapshot;
+using support::ThreadTelemetry;
+
+std::string fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string hex_key(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string pad_right(std::string cell, std::size_t width) {
+  if (cell.size() < width) cell.append(width - cell.size(), ' ');
+  return cell;
+}
+
+double ratio_or(double num, double den, double fallback) {
+  return den > 0.0 ? num / den : fallback;
+}
+
+}  // namespace
+
+std::string_view to_string(Screen s) noexcept {
+  switch (s) {
+    case Screen::kThreads: return "threads";
+    case Screen::kDomains: return "domains";
+    case Screen::kHotPages: return "hot pages";
+    case Screen::kHotVars: return "hot vars";
+    case Screen::kPaths: return "call paths";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Key k) noexcept {
+  switch (k) {
+    case Key::kNone: return "none";
+    case Key::kUp: return "up";
+    case Key::kDown: return "down";
+    case Key::kEnter: return "enter";
+    case Key::kBack: return "back";
+    case Key::kQuit: return "quit";
+    case Key::kThreads: return "t";
+    case Key::kDomains: return "d";
+    case Key::kPages: return "p";
+    case Key::kVars: return "v";
+    case Key::kSortNext: return "s";
+    case Key::kReverse: return "r";
+  }
+  return "unknown";
+}
+
+bool key_from_name(std::string_view name, Key& out) noexcept {
+  for (const Key k :
+       {Key::kUp, Key::kDown, Key::kEnter, Key::kBack, Key::kQuit,
+        Key::kThreads, Key::kDomains, Key::kPages, Key::kVars,
+        Key::kSortNext, Key::kReverse}) {
+    if (to_string(k) == name) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+MonitorModel::MonitorModel() {
+  // Default sorts: threads by RMA, hot tables by count — the columns an
+  // operator hunting remote traffic reads first. Domains ascend by id.
+  state_.sort_col = {3, 0, 2, 1, 0};
+  state_.sort_desc = {true, false, true, true, true};
+}
+
+void MonitorModel::set_mechanism(pmu::Mechanism mechanism) noexcept {
+  mechanism_ = mechanism;
+  has_mechanism_ = true;
+}
+
+void MonitorModel::feed(const TelemetrySnapshot& snapshot) {
+  previous_ = std::move(current_);
+  current_ = snapshot;
+  ++fed_;
+}
+
+const std::vector<MonitorModel::ColumnSpec>& MonitorModel::columns_for(
+    Screen screen) {
+  static const std::vector<ColumnSpec> kThreadCols = {
+      {"TID", 5},     {"SAMP", 8},  {"LMA", 8},  {"RMA", 8},
+      {"RMA/LMA", 8}, {"MISM%", 6}, {"RLAT", 8}, {"INSTR", 11}};
+  static const std::vector<ColumnSpec> kDomainCols = {
+      {"DOM", 4},   {"LMA", 9},   {"RMA", 9},
+      {"MISM%", 6}, {"HOTPG", 6}, {"TOPPAGE", 14}};
+  static const std::vector<ColumnSpec> kPageCols = {
+      {"DOM", 4}, {"PAGE", 14}, {"COUNT", 8}, {"RMA", 8}, {"RMA%", 6}};
+  static const std::vector<ColumnSpec> kVarCols = {
+      {"DOM", 4}, {"COUNT", 8}, {"RMA", 8}, {"RMA%", 6}, {"VAR", 28, true}};
+  static const std::vector<ColumnSpec> kPathCols = {
+      {"COUNT", 8}, {"RMA%", 6}, {"PATH", 48, true}};
+  switch (screen) {
+    case Screen::kThreads: return kThreadCols;
+    case Screen::kDomains: return kDomainCols;
+    case Screen::kHotPages: return kPageCols;
+    case Screen::kHotVars: return kVarCols;
+    case Screen::kPaths: return kPathCols;
+  }
+  return kThreadCols;
+}
+
+std::vector<MonitorModel::Row> MonitorModel::rows_for(Screen screen) const {
+  std::vector<Row> rows;
+  const auto hot_row = [](const HotCounter& h, bool with_domain,
+                          const std::string& label) {
+    Row row;
+    const double mism_pct =
+        ratio_or(static_cast<double>(h.mismatch) * 100.0,
+                 static_cast<double>(h.count), 0.0);
+    if (with_domain) {
+      row.cells = {std::to_string(h.domain), std::to_string(h.count),
+                   std::to_string(h.mismatch), fixed(mism_pct, 1), label};
+      row.sort_keys = {static_cast<double>(h.domain),
+                       static_cast<double>(h.count),
+                       static_cast<double>(h.mismatch), mism_pct, 0.0};
+    } else {
+      row.cells = {std::to_string(h.count), fixed(mism_pct, 1), label};
+      row.sort_keys = {static_cast<double>(h.count), mism_pct, 0.0};
+    }
+    return row;
+  };
+
+  switch (screen) {
+    case Screen::kThreads:
+      for (const ThreadTelemetry& t : current_.threads) {
+        const auto lma =
+            static_cast<double>(t.counter(TelemetryCounter::kMatchSamples));
+        const auto rma = static_cast<double>(
+            t.counter(TelemetryCounter::kMismatchSamples));
+        const auto rlat_cycles = static_cast<double>(
+            t.counter(TelemetryCounter::kRemoteLatencyCycles));
+        const double ratio = ratio_or(rma, lma, rma > 0.0 ? 1e18 : 0.0);
+        const double mism_pct = ratio_or(rma * 100.0, lma + rma, 0.0);
+        const double rlat = ratio_or(rlat_cycles, rma, 0.0);
+        Row row;
+        row.tid = t.tid;
+        row.cells = {
+            std::to_string(t.tid),
+            std::to_string(t.counter(TelemetryCounter::kSamples)),
+            fixed(lma, 0),
+            fixed(rma, 0),
+            lma > 0.0 ? fixed(ratio, 2) : "-",
+            fixed(mism_pct, 1),
+            rlat > 0.0 ? fixed(rlat, 1) : "-",
+            std::to_string(t.counter(TelemetryCounter::kInstructions))};
+        row.sort_keys = {
+            static_cast<double>(t.tid),
+            static_cast<double>(t.counter(TelemetryCounter::kSamples)),
+            lma,
+            rma,
+            ratio,
+            mism_pct,
+            rlat,
+            static_cast<double>(
+                t.counter(TelemetryCounter::kInstructions))};
+        rows.push_back(std::move(row));
+      }
+      break;
+    case Screen::kDomains: {
+      const std::size_t domains = std::max(current_.domain_match.size(),
+                                           current_.domain_mismatch.size());
+      for (std::size_t d = 0; d < domains; ++d) {
+        const auto lma = static_cast<double>(
+            d < current_.domain_match.size() ? current_.domain_match[d] : 0);
+        const auto rma = static_cast<double>(
+            d < current_.domain_mismatch.size() ? current_.domain_mismatch[d]
+                                                : 0);
+        const double mism_pct = ratio_or(rma * 100.0, lma + rma, 0.0);
+        std::size_t hot_pages = 0;
+        std::string top_page = "-";
+        for (const HotCounter& h : current_.hot_pages) {
+          if (h.domain != d) continue;
+          if (hot_pages == 0) top_page = hex_key(h.key);
+          ++hot_pages;
+        }
+        Row row;
+        row.cells = {std::to_string(d),       fixed(lma, 0),
+                     fixed(rma, 0),           fixed(mism_pct, 1),
+                     std::to_string(hot_pages), top_page};
+        row.sort_keys = {static_cast<double>(d), lma, rma, mism_pct,
+                         static_cast<double>(hot_pages), 0.0};
+        rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case Screen::kHotPages:
+      for (const HotCounter& h : current_.hot_pages) {
+        Row row = hot_row(h, true, hex_key(h.key));
+        // PAGE replaces the VAR-style trailing label: reorder to
+        // DOM PAGE COUNT RMA RMA%.
+        row.cells = {row.cells[0], row.cells[4], row.cells[1], row.cells[2],
+                     row.cells[3]};
+        row.sort_keys = {row.sort_keys[0], static_cast<double>(h.key),
+                         row.sort_keys[1], row.sort_keys[2],
+                         row.sort_keys[3]};
+        rows.push_back(std::move(row));
+      }
+      break;
+    case Screen::kHotVars:
+      for (const HotCounter& h : current_.hot_vars) {
+        rows.push_back(hot_row(
+            h, true, h.label.empty() ? "var#" + std::to_string(h.key)
+                                     : h.label));
+      }
+      break;
+    case Screen::kPaths:
+      for (const ThreadTelemetry& t : current_.threads) {
+        if (t.tid != state_.drill_tid) continue;
+        for (const HotCounter& h : t.hot_paths) {
+          rows.push_back(hot_row(
+              h, false, h.label.empty() ? "node#" + std::to_string(h.key)
+                                        : h.label));
+        }
+        break;
+      }
+      break;
+  }
+
+  const std::size_t screen_idx = static_cast<std::size_t>(screen);
+  const std::size_t col = std::min(state_.sort_col[screen_idx],
+                                   columns_for(screen).size() - 1);
+  const bool desc = state_.sort_desc[screen_idx];
+  std::stable_sort(rows.begin(), rows.end(),
+                   [col, desc](const Row& a, const Row& b) {
+                     if (a.sort_keys[col] != b.sort_keys[col]) {
+                       return desc ? a.sort_keys[col] > b.sort_keys[col]
+                                   : a.sort_keys[col] < b.sort_keys[col];
+                     }
+                     if (a.cells[col] != b.cells[col]) {
+                       return desc ? a.cells[col] > b.cells[col]
+                                   : a.cells[col] < b.cells[col];
+                     }
+                     return false;
+                   });
+  return rows;
+}
+
+std::size_t MonitorModel::row_count() const {
+  return rows_for(state_.screen).size();
+}
+
+void MonitorModel::apply_key(Key key) {
+  switch (key) {
+    case Key::kNone:
+      break;
+    case Key::kUp:
+      if (state_.selected > 0) --state_.selected;
+      break;
+    case Key::kDown: {
+      const std::size_t rows = row_count();
+      if (rows > 0 && state_.selected + 1 < rows) ++state_.selected;
+      break;
+    }
+    case Key::kEnter: {
+      if (state_.screen != Screen::kThreads) break;
+      const std::vector<Row> rows = rows_for(Screen::kThreads);
+      if (rows.empty()) break;
+      const std::size_t pick = std::min(state_.selected, rows.size() - 1);
+      state_.drill_tid = rows[pick].tid;
+      state_.screen = Screen::kPaths;
+      state_.selected = 0;
+      break;
+    }
+    case Key::kBack:
+      if (state_.screen == Screen::kPaths) {
+        state_.screen = Screen::kThreads;
+        state_.selected = 0;
+      }
+      break;
+    case Key::kQuit:
+      state_.quit = true;
+      break;
+    case Key::kThreads:
+      state_.screen = Screen::kThreads;
+      state_.selected = 0;
+      break;
+    case Key::kDomains:
+      state_.screen = Screen::kDomains;
+      state_.selected = 0;
+      break;
+    case Key::kPages:
+      state_.screen = Screen::kHotPages;
+      state_.selected = 0;
+      break;
+    case Key::kVars:
+      state_.screen = Screen::kHotVars;
+      state_.selected = 0;
+      break;
+    case Key::kSortNext: {
+      const std::size_t idx = static_cast<std::size_t>(state_.screen);
+      state_.sort_col[idx] =
+          (state_.sort_col[idx] + 1) % columns_for(state_.screen).size();
+      break;
+    }
+    case Key::kReverse: {
+      const std::size_t idx = static_cast<std::size_t>(state_.screen);
+      state_.sort_desc[idx] = !state_.sort_desc[idx];
+      break;
+    }
+  }
+}
+
+std::string MonitorModel::summary_line() const {
+  const auto total = [this](TelemetryCounter c) { return current_.total(c); };
+  std::string out = "samples " +
+                    std::to_string(total(TelemetryCounter::kSamples));
+  if (fed_ >= 2) {
+    const std::uint64_t cur = total(TelemetryCounter::kSamples);
+    const std::uint64_t prev =
+        previous_.total(TelemetryCounter::kSamples);
+    const std::uint64_t delta = cur >= prev ? cur - prev : 0;
+    out += " (+" + std::to_string(delta);
+    // Same zero-elapsed guard as format_status_line: a final flush can
+    // share its predecessor's timestamp.
+    if (current_.time > previous_.time) {
+      out += " " +
+             fixed(static_cast<double>(delta) * 1000.0 /
+                       static_cast<double>(current_.time - previous_.time),
+                   1) +
+             "/kc";
+    }
+    out += ")";
+  }
+  out += " mem " + std::to_string(total(TelemetryCounter::kMemorySamples));
+  out += " drop " + fixed(current_.drop_fraction() * 100.0, 1) + "%";
+  out += " traps " +
+         std::to_string(total(TelemetryCounter::kFirstTouchTraps));
+  const std::uint64_t ml = total(TelemetryCounter::kMatchSamples);
+  const std::uint64_t mr = total(TelemetryCounter::kMismatchSamples);
+  out += " M_l/M_r " + std::to_string(ml) + "/" + std::to_string(mr);
+  if (ml + mr > 0) {
+    out += " (" +
+           fixed(static_cast<double>(mr) * 100.0 /
+                     static_cast<double>(ml + mr),
+                 1) +
+           "% remote)";
+  }
+  const std::uint64_t rlat_cycles =
+      total(TelemetryCounter::kRemoteLatencyCycles);
+  if (mr > 0 && rlat_cycles > 0) {
+    out += " rlat " +
+           fixed(static_cast<double>(rlat_cycles) / static_cast<double>(mr),
+                 1) +
+           "c";
+  }
+  return out;
+}
+
+std::string MonitorModel::render(std::size_t width,
+                                 std::size_t height) const {
+  if (width == 0) width = 1;
+  if (height == 0) height = 1;
+  std::vector<std::string> lines;
+
+  std::string title = "numa_top - ";
+  title += has_mechanism_ ? std::string(pmu::to_string(mechanism_)) : "-";
+  if (fed_ == 0) {
+    title += " | waiting for telemetry";
+    lines.push_back(title);
+    lines.push_back(rule(width));
+    lines.push_back("no snapshot received yet");
+    return render_frame(lines, width, height);
+  }
+  title += " | snap #" + std::to_string(current_.sequence) +
+           " t=" + std::to_string(current_.time) + " | threads " +
+           std::to_string(current_.threads.size()) + " | [" +
+           std::string(to_string(state_.screen));
+  if (state_.screen == Screen::kPaths) {
+    title += " tid " + std::to_string(state_.drill_tid);
+  }
+  title += "]";
+  lines.push_back(std::move(title));
+  lines.push_back(summary_line());
+  lines.push_back(rule(width));
+
+  const std::vector<ColumnSpec>& cols = columns_for(state_.screen);
+  const std::size_t screen_idx = static_cast<std::size_t>(state_.screen);
+  const std::size_t sort_col =
+      std::min(state_.sort_col[screen_idx], cols.size() - 1);
+  std::string header = "  ";
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    std::string cell = cols[c].title;
+    if (c == sort_col) cell += state_.sort_desc[screen_idx] ? "v" : "^";
+    if (c) header += ' ';
+    header += cols[c].left ? pad_right(std::move(cell), cols[c].width)
+                           : pad_left(std::move(cell), cols[c].width);
+  }
+  lines.push_back(std::move(header));
+
+  const std::vector<Row> rows = rows_for(state_.screen);
+  const std::size_t selected =
+      rows.empty() ? 0 : std::min(state_.selected, rows.size() - 1);
+  const std::size_t visible = height > 6 ? height - 6 : 1;
+  const std::size_t scroll =
+      selected >= visible ? selected - visible + 1 : 0;
+  for (std::size_t i = scroll;
+       i < rows.size() && i < scroll + visible; ++i) {
+    std::string line = i == selected ? "> " : "  ";
+    for (std::size_t c = 0; c < rows[i].cells.size(); ++c) {
+      if (c) line += ' ';
+      line += cols[c].left ? pad_right(rows[i].cells[c], cols[c].width)
+                           : pad_left(rows[i].cells[c], cols[c].width);
+    }
+    lines.push_back(std::move(line));
+  }
+  if (rows.empty()) {
+    lines.push_back(state_.screen == Screen::kPaths
+                        ? "  (no sampled call paths for this thread yet)"
+                        : "  (no rows yet)");
+  }
+
+  std::vector<std::string> frame_lines;
+  frame_lines.reserve(height);
+  for (std::size_t i = 0; i + 2 < height && i < lines.size(); ++i) {
+    frame_lines.push_back(std::move(lines[i]));
+  }
+  while (frame_lines.size() + 2 < height) frame_lines.emplace_back();
+  frame_lines.push_back(rule(width));
+  frame_lines.push_back(
+      "q quit | t threads d domains p pages v vars | s sort r reverse | "
+      "enter drill b back | up/down select");
+  return render_frame(frame_lines, width, height);
+}
+
+}  // namespace numaprof::monitor

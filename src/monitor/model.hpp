@@ -1,0 +1,115 @@
+// The numa_top frame model: snapshots + keystrokes in, text frames out.
+//
+// Modeled on intel numatop's window stack (per-node -> per-process ->
+// per-latency drill-down), shrunk to this tool's telemetry: a summary
+// bar, sortable per-thread and per-domain tables (RMA/LMA, remote
+// latency, mismatch fraction), hot-page / hot-variable panes fed by the
+// per-domain top-K telemetry counters, and drill-down from a thread to
+// its hottest call paths.
+//
+// The model is deliberately pure: render() is a deterministic function of
+// (snapshots fed so far, UI state, frame size) with no clock, terminal,
+// or locale dependence. That purity is what lets the scripted-frames mode
+// (monitor/script.hpp) golden-lock the exact bytes a live terminal shows.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmu/sample.hpp"
+#include "support/telemetry.hpp"
+
+namespace numaprof::monitor {
+
+/// The monitor's screens (numatop-style windows).
+enum class Screen : std::uint8_t {
+  kThreads,   // per-thread table (the home screen)
+  kDomains,   // per-domain M_l/M_r balance
+  kHotPages,  // per-domain top-K hot pages
+  kHotVars,   // per-domain top-K hot variables
+  kPaths,     // one thread's hottest call paths (drill-down)
+};
+inline constexpr std::size_t kScreenCount = 5;
+std::string_view to_string(Screen s) noexcept;
+
+/// Decoded keystrokes. Script names (monitor/script.hpp) and the live
+/// byte decoder (monitor/term.hpp) both map onto these.
+enum class Key : std::uint8_t {
+  kNone,
+  kUp,        // up / 'k'
+  kDown,      // down / 'j'
+  kEnter,     // drill into the selected thread's call paths
+  kBack,      // 'b' / backspace: leave the drill-down
+  kQuit,      // 'q'
+  kThreads,   // 't'
+  kDomains,   // 'd'
+  kPages,     // 'p'
+  kVars,      // 'v'
+  kSortNext,  // 's': cycle the active screen's sort column
+  kReverse,   // 'r': flip the active screen's sort direction
+};
+
+/// Script-token names: up down enter back quit t d p v s r.
+bool key_from_name(std::string_view name, Key& out) noexcept;
+std::string_view to_string(Key k) noexcept;
+
+/// Everything the user can change from the keyboard. Plain data so tests
+/// can inspect exactly where a keystroke sequence landed.
+struct UiState {
+  Screen screen = Screen::kThreads;
+  std::array<std::size_t, kScreenCount> sort_col{};
+  std::array<bool, kScreenCount> sort_desc{};
+  std::size_t selected = 0;     // row index within the sorted table
+  std::uint32_t drill_tid = 0;  // thread shown by Screen::kPaths
+  bool quit = false;
+};
+
+class MonitorModel {
+ public:
+  MonitorModel();
+
+  /// Mechanism shown in the summary bar ("-" until set).
+  void set_mechanism(pmu::Mechanism mechanism) noexcept;
+
+  /// Advances to the next snapshot (the previous one is retained for the
+  /// summary bar's interval rates).
+  void feed(const support::TelemetrySnapshot& snapshot);
+
+  void apply_key(Key key);
+  bool quit_requested() const noexcept { return state_.quit; }
+  const UiState& state() const noexcept { return state_; }
+  std::size_t snapshots_fed() const noexcept { return fed_; }
+
+  /// Pure render: depends only on fed snapshots, UI state, and the size.
+  std::string render(std::size_t width, std::size_t height) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    std::vector<double> sort_keys;  // one per column
+    std::uint32_t tid = 0;          // threads screen: drill target
+  };
+  struct ColumnSpec {
+    const char* title;
+    std::size_t width;
+    bool left = false;  // label columns; everything else right-aligns
+  };
+
+  static const std::vector<ColumnSpec>& columns_for(Screen screen);
+  std::vector<Row> rows_for(Screen screen) const;
+  std::size_t row_count() const;
+  std::string summary_line() const;
+
+  support::TelemetrySnapshot current_;
+  support::TelemetrySnapshot previous_;
+  std::size_t fed_ = 0;
+  pmu::Mechanism mechanism_ = pmu::Mechanism::kIbs;
+  bool has_mechanism_ = false;
+  UiState state_;
+};
+
+}  // namespace numaprof::monitor

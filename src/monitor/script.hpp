@@ -1,0 +1,46 @@
+// Scripted-frames mode for numa_top: replays a keystroke/feed script
+// against the pure frame model and concatenates the frames it asks for.
+//
+// The script grammar is one command per line ('#' starts a comment):
+//
+//   feed [N]      feed the next N snapshots into the model (default 1)
+//   key NAME      apply a keystroke; NAME is a script token from
+//                 key_from_name(): up down enter back quit t d p v s r
+//   resize W H    change the frame size for subsequent `frame` commands
+//   frame         emit one frame, preceded by `== frame <n> (<W>x<H>) ==`
+//
+// Because MonitorModel::render() is a pure function of (snapshots fed,
+// UI state, size), the resulting byte stream is deterministic and can be
+// golden-locked in CI. Malformed scripts raise Error(kMonitor) with a
+// 1-based line number.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "monitor/model.hpp"
+#include "support/telemetry.hpp"
+
+namespace numaprof::monitor {
+
+struct ScriptOptions {
+  std::size_t width = 80;   // initial frame size (overridden by `resize`)
+  std::size_t height = 24;
+  std::string file;         // script name used in error messages
+};
+
+struct ScriptResult {
+  std::string frames;           // all emitted frames, headers included
+  std::size_t frame_count = 0;  // number of `frame` commands executed
+};
+
+/// Runs `script` against `model`, drawing snapshots from `snapshots` in
+/// order. Feeding past the end of `snapshots` is an error (the script
+/// asked for data the trace does not have).
+ScriptResult run_script(MonitorModel& model,
+                        const std::vector<support::TelemetrySnapshot>& snapshots,
+                        std::istream& script, const ScriptOptions& options);
+
+}  // namespace numaprof::monitor

@@ -11,6 +11,7 @@ std::string_view to_string(ErrorKind k) noexcept {
     case ErrorKind::kUsage: return "usage";
     case ErrorKind::kExport: return "export";
     case ErrorKind::kIngest: return "ingest";
+    case ErrorKind::kMonitor: return "monitor";
   }
   return "unknown";
 }

@@ -23,10 +23,11 @@ enum class ErrorKind : std::uint8_t {
   kUsage,      // CLI misuse (bad flag values)
   kExport,     // artifact export failures (core/export/export.hpp)
   kIngest,     // ingestion service failures (ingest/frame.hpp, ingest/wal.hpp)
+  kMonitor,    // numa_top monitor failures (monitor/script.hpp)
 };
 
 /// Number of ErrorKind enumerators (kept for switch-exhaustiveness tests).
-inline constexpr int kErrorKindCount = 7;
+inline constexpr int kErrorKindCount = 8;
 
 std::string_view to_string(ErrorKind k) noexcept;
 

@@ -18,6 +18,10 @@
 //     consumer — whoever calls TelemetryHub::snapshot()). A full ring
 //     drops the NEWEST event and counts the drop, so publishing never
 //     blocks the measurement path;
+//   - the hot tables (pages / variables / call paths) follow the same
+//     single-producer contract; every slot field is a relaxed atomic, so
+//     a concurrent snapshot may observe one slot mid-replacement (a
+//     monitoring-grade inconsistency, never a data race);
 //   - ring creation is lock-free on the hot path (an atomic pointer per
 //     slot); only first contact with a new thread id takes a mutex.
 #pragma once
@@ -47,8 +51,10 @@ enum class TelemetryCounter : std::uint8_t {
   kMismatchSamples,    // running M_r (remote sampled accesses)
   kInstructions,       // instructions retired (simrt runtime)
   kEventsDropped,      // telemetry events lost to a full ring
+  kLatencyCycles,      // summed sampled access latency (all memory samples)
+  kRemoteLatencyCycles,  // summed sampled latency of remote (M_r) accesses
 };
-inline constexpr std::size_t kTelemetryCounterCount = 11;
+inline constexpr std::size_t kTelemetryCounterCount = 13;
 
 /// Stable kebab-case key, used verbatim in the JSONL schema (docs/api.md).
 std::string_view to_string(TelemetryCounter c) noexcept;
@@ -86,6 +92,38 @@ struct TelemetryEvent {
   }
 };
 
+/// Which bounded per-ring hot table a publish lands in.
+enum class HotTableKind : std::uint8_t {
+  kPages,      // keyed by page id, per home domain
+  kVariables,  // keyed by variable id, per home domain
+  kPaths,      // keyed by CCT access-leaf node id (per thread, domain 0)
+};
+inline constexpr std::size_t kHotTableKindCount = 3;
+
+/// Slots per hot table per ring: the Space-Saving capacity. When a table
+/// is full, a new key evicts the current minimum-count slot and inherits
+/// min+1 — the classic bounded top-K guarantee (the true top keys are
+/// retained once their counts exceed the noise floor).
+inline constexpr std::size_t kHotSlotsPerTable = 16;
+/// Rows kept per domain when a snapshot folds the hot tables.
+inline constexpr std::size_t kHotTopK = 8;
+/// Label bytes kept per hot slot (truncated, NUL-terminated).
+inline constexpr std::size_t kHotLabelBytes = 48;
+
+/// One folded hot-table row inside a snapshot (plain values, no atomics).
+struct HotCounter {
+  std::uint64_t key = 0;       // page id / variable id / CCT node id
+  std::uint32_t domain = 0;    // home domain (pages, variables); 0 for paths
+  std::uint64_t count = 0;     // sampled touches attributed to the key
+  std::uint64_t mismatch = 0;  // remote (M_r) subset of count
+  std::string label;           // variable name / rendered call path
+
+  friend bool operator==(const HotCounter& a, const HotCounter& b) {
+    return a.key == b.key && a.domain == b.domain && a.count == b.count &&
+           a.mismatch == b.mismatch && a.label == b.label;
+  }
+};
+
 /// One thread's telemetry: a counter block plus a bounded event queue.
 class TelemetryRing {
  public:
@@ -113,6 +151,11 @@ class TelemetryRing {
   /// Enqueues an event; on a full ring the event is dropped (newest-loses)
   /// and kEventsDropped is incremented. Returns false on drop.
   bool publish(const TelemetryEvent& event) noexcept;
+  /// One sampled touch of `key` (page / variable / path leaf) homed on
+  /// `domain`. Bounded Space-Saving accounting; `label` is copied only
+  /// when the key first claims a slot.
+  void add_hot(HotTableKind table, std::uint64_t key, std::uint32_t domain,
+               bool mismatch, std::string_view label = {}) noexcept;
 
   // --- consumer side (the snapshot aggregator) ----------------------
   std::uint64_t counter(TelemetryCounter c) const noexcept {
@@ -132,12 +175,30 @@ class TelemetryRing {
   /// Drains every queued event into `out` (appending, oldest first).
   /// Single consumer only.
   void drain(std::vector<TelemetryEvent>& out);
+  /// Appends every live hot-table slot to `out` (unordered; callers sort).
+  void collect_hot(HotTableKind table, std::vector<HotCounter>& out) const;
 
  private:
+  /// One bounded hot-table slot. Every field is a relaxed atomic so the
+  /// single producer and the snapshot consumer never race; `used` is the
+  /// liveness guard (released last on claim, cleared first on eviction).
+  struct HotSlot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> mismatch{0};
+    std::atomic<std::uint32_t> domain{0};
+    std::atomic<std::uint32_t> used{0};
+    std::array<std::atomic<std::uint64_t>, kHotLabelBytes / 8> label{};
+  };
+  using HotTable = std::array<HotSlot, kHotSlotsPerTable>;
+
+  static void store_label(HotSlot& slot, std::string_view label) noexcept;
+
   std::uint32_t tid_;
   std::array<std::atomic<std::uint64_t>, kTelemetryCounterCount> counters_{};
   std::vector<std::atomic<std::uint64_t>> domain_match_;
   std::vector<std::atomic<std::uint64_t>> domain_mismatch_;
+  std::array<HotTable, kHotTableKindCount> hot_{};
   std::vector<TelemetryEvent> slots_;
   std::size_t mask_;
   alignas(64) std::atomic<std::uint64_t> head_{0};  // next write position
@@ -150,6 +211,9 @@ struct ThreadTelemetry {
   std::array<std::uint64_t, kTelemetryCounterCount> counters{};
   std::vector<std::uint64_t> domain_match;
   std::vector<std::uint64_t> domain_mismatch;
+  /// This thread's hottest sampled call paths (count desc, key asc,
+  /// at most kHotTopK).
+  std::vector<HotCounter> hot_paths;
 
   std::uint64_t counter(TelemetryCounter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
@@ -167,6 +231,11 @@ struct TelemetrySnapshot {
   std::vector<std::uint64_t> domain_mismatch;
   std::vector<ThreadTelemetry> threads;
   std::vector<TelemetryEvent> events;
+  /// Hottest pages / variables folded across every ring, grouped by
+  /// (key, home domain) and trimmed to kHotTopK rows per domain, sorted
+  /// (domain asc, count desc, mismatch desc, key asc).
+  std::vector<HotCounter> hot_pages;
+  std::vector<HotCounter> hot_vars;
 
   std::uint64_t total(TelemetryCounter c) const noexcept {
     return totals[static_cast<std::size_t>(c)];

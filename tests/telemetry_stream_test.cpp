@@ -330,5 +330,259 @@ TEST(TelemetryStreamerTest, StreamsLiveRunAndCrossChecksCleanly) {
       << pane;
 }
 
+// Satellite: the status line's interval rate columns. With a previous
+// snapshot the samples column carries "(+delta rate/kc)" and mem a bare
+// "(+delta)"; a zero-length interval (same timestamp) keeps the delta but
+// must never divide by zero into inf/nan.
+TEST(TelemetryJsonl, StatusLineCarriesIntervalRates) {
+  TelemetryHub hub;
+  hub.ring(0).add(TelemetryCounter::kSamples, 100);
+  hub.ring(0).add(TelemetryCounter::kMemorySamples, 40);
+  const TelemetrySnapshot first = hub.snapshot(1000);
+  hub.ring(0).add(TelemetryCounter::kSamples, 50);
+  hub.ring(0).add(TelemetryCounter::kMemorySamples, 10);
+  const TelemetrySnapshot second = hub.snapshot(3000);
+
+  const std::string line =
+      format_status_line(second, pmu::Mechanism::kIbs, &first);
+  EXPECT_NE(line.find("samples=150 (+50 25.0/kc)"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("mem=50 (+10)"), std::string::npos) << line;
+
+  // Without a previous snapshot the 3-arg overload matches the 2-arg one.
+  EXPECT_EQ(format_status_line(second, pmu::Mechanism::kIbs, nullptr),
+            format_status_line(second, pmu::Mechanism::kIbs));
+}
+
+TEST(TelemetryJsonl, StatusLineZeroElapsedIntervalOmitsRate) {
+  TelemetryHub hub;
+  hub.ring(0).add(TelemetryCounter::kSamples, 100);
+  const TelemetrySnapshot first = hub.snapshot(5000);
+  hub.ring(0).add(TelemetryCounter::kSamples, 7);
+  // Same timestamp: exactly what a flush right after a periodic emit
+  // produces.
+  const TelemetrySnapshot second = hub.snapshot(5000);
+
+  const std::string line =
+      format_status_line(second, pmu::Mechanism::kIbs, &first);
+  EXPECT_NE(line.find("samples=107 (+7)"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("/kc"), std::string::npos) << line;
+
+  // Time moving backwards (clock skew across merged streams) is treated
+  // the same as zero-elapsed.
+  TelemetrySnapshot earlier = second;
+  earlier.time = 4000;
+  const std::string skew =
+      format_status_line(earlier, pmu::Mechanism::kIbs, &first);
+  EXPECT_EQ(skew.find("inf"), std::string::npos) << skew;
+  EXPECT_EQ(skew.find("/kc"), std::string::npos) << skew;
+}
+
+// Satellite: the live status-line event echo collapses identical repeats
+// into "(xN)" exactly like the health pane.
+TEST(TelemetryJsonl, FormatEventLinesDeduplicatesRepeats) {
+  std::vector<TelemetryEvent> events;
+  TelemetryEvent retune;
+  retune.kind = TelemetryEventKind::kPeriodRetune;
+  retune.tid = 2;
+  retune.time = 100;
+  retune.value = 1024;
+  retune.set_detail("period 2048 -> 1024");
+  events.push_back(retune);
+  events.push_back(retune);
+  events.push_back(retune);
+  TelemetryEvent start;
+  start.kind = TelemetryEventKind::kThreadStart;
+  start.tid = 9;
+  start.time = 5;
+  events.push_back(start);
+
+  const std::vector<std::string> lines = format_event_lines(events);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("period 2048 -> 1024 (x3)"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("tid=9"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[1].find("(x"), std::string::npos) << lines[1];
+}
+
+TEST(TelemetryJsonl, StreamerEchoesDedupedEventsBelowStatusLine) {
+  TelemetryHub hub;
+  TelemetryEvent degraded;
+  degraded.kind = TelemetryEventKind::kIngestDegraded;
+  degraded.tid = 1;
+  degraded.time = 50;
+  degraded.value = 1;
+  degraded.set_detail("wal append failed");
+  hub.ring(1).publish(degraded);
+  hub.ring(1).publish(degraded);
+
+  std::ostringstream status;
+  TelemetryStreamer::Config cfg;
+  cfg.status = &status;
+  TelemetryStreamer streamer(hub, cfg);
+  streamer.flush(60);
+
+  const std::string text = status.str();
+  EXPECT_NE(text.find("[telemetry #1"), std::string::npos) << text;
+  EXPECT_NE(text.find("(x2)"), std::string::npos) << text;
+}
+
+// Satellite: flush emits the final partial interval exactly once.
+TEST(TelemetryStreamerTest, DoubleFlushEmitsFinalIntervalOnce) {
+  TelemetryHub hub;
+  hub.ring(0).add(TelemetryCounter::kSamples, 3);
+  std::ostringstream jsonl;
+  TelemetryStreamer::Config cfg;
+  cfg.jsonl = &jsonl;
+  TelemetryStreamer streamer(hub, cfg);
+
+  streamer.flush(100);
+  EXPECT_EQ(streamer.snapshots_emitted(), 1u);
+  streamer.flush(100);
+  streamer.flush(200);  // still nothing accumulated since the last emit
+  EXPECT_EQ(streamer.snapshots_emitted(), 1u);
+
+  std::istringstream is(jsonl.str());
+  EXPECT_EQ(load_telemetry_trace(is).snapshots.size(), 1u);
+
+  // New activity (observed instructions) re-arms the flush.
+  hub.ring(0).add(TelemetryCounter::kSamples, 1);
+  simrt::Machine machine(numasim::test_machine(2, 2));
+  machine.add_observer(streamer);
+  parallel_region(machine, 1, "tick", {},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    t.exec(10);  // below the interval: no periodic emit
+                    co_return;
+                  });
+  machine.remove_observer(streamer);
+  streamer.flush(machine.elapsed());
+  EXPECT_EQ(streamer.snapshots_emitted(), 2u);
+}
+
+TEST(TelemetryStreamerTest, FlushOnIntervalBoundaryIsNoOp) {
+  // When the run ends exactly on an interval boundary the periodic emit
+  // already reported everything; the defensive flush must not duplicate
+  // the final snapshot.
+  TelemetryHub hub;
+  std::ostringstream jsonl;
+  TelemetryStreamer::Config cfg;
+  cfg.interval_instructions = 10;
+  cfg.jsonl = &jsonl;
+  TelemetryStreamer streamer(hub, cfg);
+
+  simrt::Machine machine(numasim::test_machine(2, 2));
+  machine.add_observer(streamer);
+  parallel_region(machine, 1, "work", {},
+                  [&](simrt::SimThread& t, std::uint32_t) -> simrt::Task {
+                    t.exec(40);  // lands exactly on an interval boundary
+                    co_return;
+                  });
+  machine.remove_observer(streamer);
+  const std::uint64_t periodic = streamer.snapshots_emitted();
+  ASSERT_GT(periodic, 0u);
+
+  streamer.flush(machine.elapsed());
+  const std::uint64_t after = streamer.snapshots_emitted();
+  EXPECT_TRUE(after == periodic || after == periodic + 1);
+  streamer.flush(machine.elapsed());
+  EXPECT_EQ(streamer.snapshots_emitted(), after);
+}
+
+// Schema v2: per-domain hot-page/hot-variable rows and per-thread hot
+// call paths survive the JSONL round trip.
+TEST(TelemetryJsonl, HotCountersRoundTrip) {
+  TelemetryHub hub;
+  support::TelemetryRing& ring = hub.ring(3);
+  for (int i = 0; i < 5; ++i) {
+    ring.add_hot(support::HotTableKind::kPages, 0x40, 1, i % 2 == 0);
+  }
+  ring.add_hot(support::HotTableKind::kVariables, 7, 0, true, "matrix[]");
+  ring.add_hot(support::HotTableKind::kPaths, 12, 0, false,
+               "main>solve>relax");
+  const TelemetrySnapshot snap = hub.snapshot(999);
+  ASSERT_EQ(snap.hot_pages.size(), 1u);
+  ASSERT_EQ(snap.hot_vars.size(), 1u);
+  ASSERT_EQ(snap.threads.size(), 1u);
+  ASSERT_EQ(snap.threads[0].hot_paths.size(), 1u);
+
+  std::ostringstream os;
+  write_snapshot_jsonl(snap, pmu::Mechanism::kPebs, os);
+  EXPECT_NE(os.str().find("\"v\":2"), std::string::npos);
+  std::istringstream is(os.str());
+  const TelemetryTrace trace = load_telemetry_trace(is);
+  ASSERT_EQ(trace.snapshots.size(), 1u);
+  const TelemetrySnapshot& loaded = trace.snapshots[0];
+  EXPECT_EQ(loaded.hot_pages, snap.hot_pages);
+  EXPECT_EQ(loaded.hot_vars, snap.hot_vars);
+  ASSERT_EQ(loaded.threads.size(), 1u);
+  EXPECT_EQ(loaded.threads[0].hot_paths, snap.threads[0].hot_paths);
+  EXPECT_EQ(loaded.hot_vars[0].label, "matrix[]");
+  EXPECT_EQ(loaded.threads[0].hot_paths[0].label, "main>solve>relax");
+}
+
+// Satellite: every malformed hot-* shape names the 1-based line, both in
+// the message and in the structured line() accessor.
+TEST(TelemetryJsonl, MalformedHotShapesNameTheLine) {
+  const auto expect_error_on_line = [](const std::string& text,
+                                       std::size_t line,
+                                       const std::string& needle) {
+    std::istringstream is(text);
+    try {
+      load_telemetry_trace(is);
+      FAIL() << "expected a parse error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTelemetry);
+      EXPECT_EQ(e.line(), line) << e.what();
+      const std::string want = "line " + std::to_string(line);
+      EXPECT_NE(std::string(e.what()).find(want), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error_on_line(
+      "{\"type\":\"snapshot\",\"t\":1,\"hot-pages\":7}\n", 1, "array");
+  expect_error_on_line(
+      "\n{\"type\":\"snapshot\",\"t\":1,\"hot-vars\":{\"k\":1}}\n", 2,
+      "array");
+  expect_error_on_line(
+      "{\"type\":\"snapshot\",\"t\":1,\"hot-pages\":[4]}\n", 1, "object");
+  expect_error_on_line(
+      "{\"type\":\"snapshot\",\"t\":1,\"hot-vars\":[{\"label\":3}]}\n", 1,
+      "string");
+  expect_error_on_line(
+      "{\"type\":\"snapshot\",\"t\":1,\"threads\":[{\"tid\":0,"
+      "\"hot-paths\":\"x\"}]}\n",
+      1, "array");
+  expect_error_on_line(
+      "{\"type\":\"snapshot\",\"t\":1,\"hot-pages\":[{\"count\":-1}]}\n", 1,
+      "non-negative");
+}
+
+TEST(TelemetryJsonl, AppendTraceLineReportsSnapshotAdds) {
+  TelemetryTrace trace;
+  EXPECT_FALSE(append_trace_line(trace, "", 1));
+  EXPECT_FALSE(append_trace_line(
+      trace, "{\"type\":\"event\",\"kind\":\"thread-start\",\"t\":1}", 2));
+  EXPECT_TRUE(append_trace_line(
+      trace, "{\"type\":\"snapshot\",\"seq\":1,\"t\":10}", 3));
+  EXPECT_FALSE(
+      append_trace_line(trace, "{\"type\":\"future-thing\"}", 4));
+  EXPECT_EQ(trace.snapshots.size(), 1u);
+  EXPECT_EQ(trace.events.size(), 1u);
+
+  try {
+    append_trace_line(trace, "{broken", 41, "spool.jsonl");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTelemetry);
+    EXPECT_EQ(e.line(), 41u);
+    EXPECT_NE(std::string(e.what()).find("line 41"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace numaprof::core

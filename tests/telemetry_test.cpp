@@ -226,5 +226,160 @@ TEST(TelemetryHub, ConcurrentPublishersAndSnapshotConsumer) {
   EXPECT_EQ(final_snap.threads.size(), kThreads);
 }
 
+TEST(TelemetryHot, SpaceSavingBoundsSlotsAndEvicts) {
+  TelemetryRing ring(0, 2, 8);
+  // Fill every slot of the pages table with distinct keys.
+  for (std::uint64_t key = 0; key < kHotSlotsPerTable; ++key) {
+    ring.add_hot(HotTableKind::kPages, key, 0, false);
+    ring.add_hot(HotTableKind::kPages, key, 0, false);
+  }
+  std::vector<HotCounter> rows;
+  ring.collect_hot(HotTableKind::kPages, rows);
+  EXPECT_EQ(rows.size(), kHotSlotsPerTable);
+
+  // A new key on a full table evicts the current minimum and inherits
+  // min+1 (the Space-Saving overestimate bound).
+  ring.add_hot(HotTableKind::kPages, 0xdead, 1, true);
+  rows.clear();
+  ring.collect_hot(HotTableKind::kPages, rows);
+  EXPECT_EQ(rows.size(), kHotSlotsPerTable);
+  bool found = false;
+  for (const HotCounter& row : rows) {
+    if (row.key == 0xdead) {
+      found = true;
+      EXPECT_EQ(row.domain, 1u);
+      EXPECT_EQ(row.count, 3u);  // evicted min (2) + 1
+      EXPECT_EQ(row.mismatch, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Same key, different domain is a distinct entry; same (key, domain)
+  // bumps in place.
+  TelemetryRing fresh(0, 2, 8);
+  fresh.add_hot(HotTableKind::kVariables, 7, 0, false, "a[]");
+  fresh.add_hot(HotTableKind::kVariables, 7, 1, true, "a[]");
+  fresh.add_hot(HotTableKind::kVariables, 7, 0, true, "a[]");
+  rows.clear();
+  fresh.collect_hot(HotTableKind::kVariables, rows);
+  ASSERT_EQ(rows.size(), 2u);
+  std::uint64_t total = 0;
+  for (const HotCounter& row : rows) {
+    total += row.count;
+    EXPECT_EQ(row.label, "a[]");
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(TelemetryHot, HubSnapshotAggregatesAndRanksHotTables) {
+  TelemetryConfig config;
+  config.domain_count = 2;
+  TelemetryHub hub(config);
+  // Two threads touch overlapping pages; the fold must merge (key,
+  // domain) groups across rings and rank per domain by count.
+  for (int i = 0; i < 5; ++i) hub.ring(1).add_hot(HotTableKind::kPages, 0x10, 0, false);
+  for (int i = 0; i < 3; ++i) hub.ring(2).add_hot(HotTableKind::kPages, 0x10, 0, true);
+  for (int i = 0; i < 4; ++i) hub.ring(2).add_hot(HotTableKind::kPages, 0x20, 0, false);
+  hub.ring(1).add_hot(HotTableKind::kPages, 0x30, 1, true);
+  hub.ring(1).add_hot(HotTableKind::kVariables, 3, 0, false, "grid");
+  hub.ring(2).add_hot(HotTableKind::kPaths, 11, 0, false, "main>solve");
+
+  const TelemetrySnapshot snap = hub.snapshot(50);
+  ASSERT_EQ(snap.hot_pages.size(), 3u);
+  // Domain 0 first, ranked by merged count (8 for 0x10, 4 for 0x20).
+  EXPECT_EQ(snap.hot_pages[0].key, 0x10u);
+  EXPECT_EQ(snap.hot_pages[0].domain, 0u);
+  EXPECT_EQ(snap.hot_pages[0].count, 8u);
+  EXPECT_EQ(snap.hot_pages[0].mismatch, 3u);
+  EXPECT_EQ(snap.hot_pages[1].key, 0x20u);
+  EXPECT_EQ(snap.hot_pages[2].domain, 1u);
+  ASSERT_EQ(snap.hot_vars.size(), 1u);
+  EXPECT_EQ(snap.hot_vars[0].label, "grid");
+  // Paths stay per thread (they are a drill-down, not a global table).
+  ASSERT_EQ(snap.threads.size(), 2u);
+  EXPECT_TRUE(snap.hot_pages == hub.snapshot(51).hot_pages)
+      << "fold must be deterministic across snapshots";
+  ASSERT_EQ(snap.threads[1].hot_paths.size(), 1u);
+  EXPECT_EQ(snap.threads[1].hot_paths[0].label, "main>solve");
+}
+
+TEST(TelemetryHot, TopKTruncationPerDomain) {
+  TelemetryHub hub(TelemetryConfig{.domain_count = 2, .event_capacity = 8});
+  // 12 distinct keys per domain, one domain per ring (12 fits the 16
+  // slots, so no Space-Saving noise): the snapshot keeps only the
+  // kHotTopK hottest per domain.
+  for (std::uint64_t key = 0; key < 12; ++key) {
+    for (std::uint64_t n = 0; n <= key; ++n) {
+      hub.ring(0).add_hot(HotTableKind::kPages, key, 0, false);
+      hub.ring(1).add_hot(HotTableKind::kPages, 100 + key, 1, false);
+    }
+  }
+  const TelemetrySnapshot snap = hub.snapshot(1);
+  std::size_t domain0 = 0;
+  std::size_t domain1 = 0;
+  for (const HotCounter& row : snap.hot_pages) {
+    (row.domain == 0 ? domain0 : domain1)++;
+  }
+  EXPECT_EQ(domain0, kHotTopK);
+  EXPECT_EQ(domain1, kHotTopK);
+  // The survivors are the hottest: counts 12..5 for domain 0.
+  EXPECT_EQ(snap.hot_pages[0].count, 12u);
+  EXPECT_EQ(snap.hot_pages[kHotTopK - 1].count, 5u);
+}
+
+// Multi-threaded publishers vs. a concurrent snapshot consumer, hot
+// tables included; under TSan (the CI job runs this binary) this is the
+// data-race proof for the hot-table claim/evict protocol. The final
+// quiesced snapshot must also be internally ordered: domains ascend,
+// counts descend within a domain.
+TEST(TelemetryHub, ConcurrentHotPublishersKeepSnapshotsOrdered) {
+  constexpr std::uint32_t kThreads = 6;
+  constexpr std::uint64_t kTouchesPerThread = 4000;
+  TelemetryHub hub(TelemetryConfig{.domain_count = 2, .event_capacity = 16});
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hub, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      TelemetryRing& ring = hub.ring(t);
+      for (std::uint64_t i = 0; i < kTouchesPerThread; ++i) {
+        ring.add_hot(HotTableKind::kPages, i % 24,
+                     static_cast<std::uint32_t>(i % 2), i % 5 == 0);
+        ring.add_hot(HotTableKind::kVariables, i % 7, 0, false, "v[]");
+        ring.add(TelemetryCounter::kMemorySamples);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  const auto check_ordered = [](const TelemetrySnapshot& snap) {
+    for (std::size_t i = 1; i < snap.hot_pages.size(); ++i) {
+      const HotCounter& a = snap.hot_pages[i - 1];
+      const HotCounter& b = snap.hot_pages[i];
+      ASSERT_LE(a.domain, b.domain);
+      if (a.domain == b.domain) ASSERT_GE(a.count, b.count);
+    }
+    for (const ThreadTelemetry& thread : snap.threads) {
+      for (std::size_t i = 1; i < thread.hot_paths.size(); ++i) {
+        ASSERT_GE(thread.hot_paths[i - 1].count, thread.hot_paths[i].count);
+      }
+    }
+  };
+  // Snapshots taken mid-race must already satisfy the ordering contract
+  // (values are racy, ordering is not).
+  for (int round = 0; round < 30; ++round) check_ordered(hub.snapshot(round));
+  for (std::thread& w : workers) w.join();
+
+  const TelemetrySnapshot final_snap = hub.snapshot(999);
+  check_ordered(final_snap);
+  EXPECT_EQ(final_snap.total(TelemetryCounter::kMemorySamples),
+            kThreads * kTouchesPerThread);
+  EXPECT_FALSE(final_snap.hot_pages.empty());
+  EXPECT_FALSE(final_snap.hot_vars.empty());
+  EXPECT_EQ(final_snap.hot_vars[0].label, "v[]");
+}
+
 }  // namespace
 }  // namespace numaprof::support
